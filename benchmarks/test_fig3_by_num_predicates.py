@@ -1,0 +1,23 @@
+"""Regenerates Figure 3: GB estimation errors per QFT by #predicates."""
+
+import numpy as np
+
+from repro.experiments import fig3_by_predicates
+
+
+def test_fig3_by_num_predicates(benchmark, scale, record):
+    result = benchmark.pedantic(fig3_by_predicates.run, args=(scale,),
+                                rounds=1, iterations=1)
+    record(result)
+    rows = result.rows
+
+    # All four QFTs produced per-bucket distributions.
+    assert {r["qft"] for r in rows} == {"simple", "range", "conjunctive",
+                                        "complex"}
+
+    # Universal Conjunction Encoding is the most consistent across
+    # predicate counts: its aggregate mean stays below Singular's.
+    def total_mean(qft):
+        return float(np.mean([r["mean"] for r in rows if r["qft"] == qft]))
+
+    assert total_mean("conjunctive") <= total_mean("simple")

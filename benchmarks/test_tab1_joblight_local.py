@@ -1,0 +1,26 @@
+"""Regenerates Table 1: JOB-light under local NN/GB × simple/range/conj."""
+
+import numpy as np
+
+from repro.experiments import tab1_joblight
+
+
+def test_tab1_joblight_local(benchmark, scale, record):
+    result = benchmark.pedantic(tab1_joblight.run, args=(scale,),
+                                rounds=1, iterations=1)
+    record(result)
+    rows = {r["model + QFT"]: r for r in result.rows}
+    assert len(rows) == 6
+
+    # The paper's dominant finding: GB medians beat NN medians overall.
+    gb_median = np.mean([r["median"] for k, r in rows.items()
+                         if k.startswith("GB")])
+    nn_median = np.mean([r["median"] for k, r in rows.items()
+                         if k.startswith("NN")])
+    assert gb_median <= nn_median
+
+    # "Overall, the estimates of GB + range are best.  This comes as no
+    # surprise since JOB-light queries contain at most one point- or
+    # range predicate per attribute."
+    gb_means = {k: r["mean"] for k, r in rows.items() if k.startswith("GB")}
+    assert min(gb_means, key=gb_means.get) == "GB + range"

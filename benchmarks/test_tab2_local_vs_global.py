@@ -1,0 +1,19 @@
+"""Regenerates Table 2: local vs. global models on JOB-light."""
+
+from repro.experiments import tab2_local_global
+
+
+def test_tab2_local_vs_global(benchmark, scale, record):
+    result = benchmark.pedantic(tab2_local_global.run, args=(scale,),
+                                rounds=1, iterations=1)
+    record(result)
+    rows = {r["model + QFT"]: r for r in result.rows}
+    assert set(rows) == {"MSCN w/o mods (global)", "MSCN + conj (global)",
+                         "NN + conj (local)"}
+
+    # The QFT upgrade improves the global MSCN on at least one of the
+    # paper's headline statistics (median or 99%).
+    base = rows["MSCN w/o mods (global)"]
+    upgraded = rows["MSCN + conj (global)"]
+    assert (upgraded["median"] <= base["median"]
+            or upgraded["99%"] <= base["99%"])

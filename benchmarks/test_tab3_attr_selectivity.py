@@ -1,0 +1,20 @@
+"""Regenerates Table 3: effect of the per-attribute selectivity appendix."""
+
+from repro.experiments import tab3_attr_selectivity
+
+
+def test_tab3_attr_selectivity(benchmark, scale, record):
+    result = benchmark.pedantic(tab3_attr_selectivity.run, args=(scale,),
+                                rounds=1, iterations=1)
+    record(result)
+    rows = result.rows
+    assert len(rows) == 8  # {GB, NN} x {conj, comp} x {w/, w/o}
+
+    # The paper finds mostly marginal differences; verify the ablation at
+    # least does not catastrophically hurt the medians for GB.
+    by_name = {r["model"]: r for r in rows}
+    for short in ("conj", "comp"):
+        with_sel = by_name[f"GB+{short} w/ attrSel"]["median"]
+        without = by_name[f"GB+{short} w/o attrSel"]["median"]
+        assert with_sel <= 3 * without
+        assert without <= 3 * with_sel

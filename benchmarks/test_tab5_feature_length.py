@@ -1,0 +1,21 @@
+"""Regenerates Table 5: GB + conj accuracy per feature-vector length."""
+
+from repro.experiments import tab5_feature_length
+
+
+def test_tab5_feature_length(benchmark, scale, record):
+    result = benchmark.pedantic(tab5_feature_length.run, args=(scale,),
+                                rounds=1, iterations=1)
+    record(result)
+    rows = result.rows
+    assert [r["entries"] for r in rows] == [8, 16, 32, 64, 256]
+
+    # Feature-vector bytes grow monotonically with the entry count.
+    sizes = [r["bytes"] for r in rows]
+    assert sizes == sorted(sizes)
+
+    # The paper's sweet-spot shape: some interior entry count is at least
+    # as good (mean error) as the 256-entry extreme, where learnability
+    # suffers at a fixed training budget.
+    interior_best = min(r["mean"] for r in rows[:4])
+    assert interior_best <= rows[-1]["mean"] * 1.25

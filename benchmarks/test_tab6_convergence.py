@@ -1,0 +1,24 @@
+"""Regenerates Table 6: mean error vs. number of training queries."""
+
+from repro.experiments import tab6_convergence
+
+
+def test_tab6_convergence(benchmark, scale, record):
+    result = benchmark.pedantic(tab6_convergence.run, args=(scale,),
+                                rounds=1, iterations=1)
+    record(result)
+    rows = result.rows
+
+    gb_rows = [r for r in rows if r["model"] == "GB"]
+    nn_rows = [r for r in rows if r["model"] == "NN"]
+    assert len(gb_rows) == len(nn_rows) == 6
+
+    # More training data helps: the largest budget beats the smallest for
+    # GB under the data-driven QFT.
+    assert gb_rows[-1]["conj"] <= gb_rows[0]["conj"]
+
+    # Given the full budget, conj/comp beat simple for GB (the paper's
+    # central convergence claim).
+    final = gb_rows[-1]
+    assert final["conj"] <= final["simple"]
+    assert final["comp"] <= final["simple"]

@@ -1,0 +1,21 @@
+"""Regenerates Table 7 (+ Section 5.7): QFT timing and model memory."""
+
+from repro.experiments import tab7_time_memory
+
+
+def test_tab7_featurization_time(benchmark, scale, record):
+    result = benchmark.pedantic(tab7_time_memory.run, args=(scale,),
+                                rounds=1, iterations=1)
+    record(result)
+    timing = {r["subject"]: r["value"] for r in result.rows
+              if r["measure"] == "featurization"}
+    memory = {r["subject"]: r["value"] for r in result.rows
+              if r["measure"] == "memory"}
+
+    # Time grows with QFT complexity and everything is sub-millisecond.
+    assert timing["simple"] <= timing["conjunctive"] <= timing["complex"]
+    assert all(t < 1_000 for t in timing.values())
+
+    # GB is the smallest learned model, the NN the largest (Section 5.7).
+    assert memory["GB"] < memory["NN"]
+    assert memory["MSCN"] < memory["NN"]

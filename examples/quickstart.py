@@ -1,0 +1,67 @@
+"""Quickstart: train a learned cardinality estimator on a single table.
+
+Walks the full pipeline of the paper on the synthetic forest covertype
+dataset:
+
+1. generate data and a conjunctive query workload (true cardinalities
+   come from the built-in executor),
+2. featurize queries with Universal Conjunction Encoding,
+3. train a gradient-boosting model on log cardinalities,
+4. evaluate with the q-error, and
+5. estimate a query written as SQL text.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.data.forest import generate_forest
+from repro.estimators import LearnedEstimator, PostgresEstimator
+from repro.featurize import ConjunctiveEncoding
+from repro.metrics import qerror, summarize
+from repro.models import GradientBoostingRegressor
+from repro.sql import parse_query
+from repro.sql.executor import cardinality
+from repro.workloads import generate_conjunctive_workload
+
+
+def main() -> None:
+    print("Generating the forest covertype table ...")
+    table = generate_forest(rows=20_000)
+    print(f"  {table}")
+
+    print("Generating a labeled conjunctive workload ...")
+    workload = generate_conjunctive_workload(table, num_queries=3_000)
+    train, test = workload.split(train_size=2_500)
+    print(f"  {len(train)} training / {len(test)} test queries")
+    print(f"  example: {train[0].query.to_sql()[:100]} ...")
+
+    print("Training GB + Universal Conjunction Encoding ...")
+    estimator = LearnedEstimator(
+        ConjunctiveEncoding(table, max_partitions=32),
+        GradientBoostingRegressor(),
+        name="GB + conj",
+    ).fit(train.queries, train.cardinalities)
+
+    errors = qerror(test.cardinalities, estimator.estimate_batch(test.queries))
+    summary = summarize(errors)
+    print(f"  q-error: mean={summary.mean:.2f} median={summary.median:.2f} "
+          f"99%={summary.q99:.2f} max={summary.max:.2f}")
+
+    baseline = PostgresEstimator(table)
+    base_summary = summarize(
+        qerror(test.cardinalities, baseline.estimate_batch(test.queries))
+    )
+    print(f"  Postgres-style baseline: mean={base_summary.mean:.2f} "
+          f"median={base_summary.median:.2f} 99%={base_summary.q99:.2f}")
+
+    sql = ("SELECT count(*) FROM forest "
+           "WHERE A1 >= 2500 AND A1 <= 3100 AND A3 <= 20 AND A3 <> 7")
+    query = parse_query(sql)
+    estimate = estimator.estimate(query)
+    true_count = cardinality(query, table)
+    print(f"SQL: {sql}")
+    print(f"  estimated {estimate:.0f}, true {true_count}, "
+          f"q-error {float(qerror(true_count, estimate)):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""The paper's own Definition 3.3 example, end to end.
+
+Reproduces the paper's illustrative mixed query on a TPC-H-style
+``Orders`` table — orders from either 1994 or 1996 (July 4th excluded in
+both years), pending or finished, priced between 1000 and 2000 — and
+estimates it with GB + Limited Disjunction Encoding.
+
+Run:  python examples/tpch_mixed_query.py
+"""
+
+from repro.data.tpch import ORDERSTATUS_CODES, generate_orders
+from repro.estimators import LearnedEstimator, PostgresEstimator
+from repro.featurize import DisjunctionEncoding
+from repro.metrics import qerror, summarize
+from repro.models import GradientBoostingRegressor
+from repro.sql import parse_query
+from repro.sql.executor import cardinality
+from repro.workloads import generate_mixed_workload
+
+
+def main() -> None:
+    print("Generating the TPC-H-style orders table ...")
+    table = generate_orders(rows=30_000)
+    print(f"  {table} (o_orderstatus codes: {ORDERSTATUS_CODES})")
+
+    print("Training GB + Limited Disjunction Encoding on mixed queries ...")
+    workload = generate_mixed_workload(table, num_queries=3_000,
+                                       max_attributes=4)
+    train, test = workload.split(2_500)
+    estimator = LearnedEstimator(
+        DisjunctionEncoding(table, max_partitions=64),
+        GradientBoostingRegressor(),
+        name="GB + complex",
+    ).fit(train.queries, train.cardinalities)
+    summary = summarize(qerror(
+        test.cardinalities, estimator.estimate_batch(test.queries)))
+    print(f"  test q-error: mean={summary.mean:.2f} "
+          f"median={summary.median:.2f} 99%={summary.q99:.2f}")
+
+    # The paper's example below Definition 3.3, with dates as YYYYMMDD
+    # integers and statuses dictionary-encoded (P=2, F=0).
+    sql = (
+        "SELECT count(*) FROM orders WHERE "
+        "(o_orderdate >= 19940101 AND o_orderdate <= 19941231 "
+        " AND o_orderdate <> 19940704 "
+        " OR o_orderdate >= 19960101 AND o_orderdate <= 19961231 "
+        " AND o_orderdate <> 19960704) "
+        "AND (o_orderstatus = 2 OR o_orderstatus = 0) "
+        "AND (o_totalprice > 1000 AND o_totalprice < 2000)"
+    )
+    query = parse_query(sql)
+    truth = cardinality(query, table)
+    estimate = estimator.estimate(query)
+    print("The paper's Definition 3.3 example query:")
+    print(f"  {sql}")
+    print(f"  true {truth}, estimated {estimate:.0f}, "
+          f"q-error {float(qerror(truth, estimate)):.2f}")
+
+    # The independence-assumption baseline handles the same query via
+    # the union formula — usually noticeably worse on correlated data.
+    baseline = PostgresEstimator(table)
+    base_estimate = baseline.estimate(query)
+    print(f"  Postgres-style baseline: {base_estimate:.0f} "
+          f"(q-error {float(qerror(truth, base_estimate)):.2f})")
+
+    # Per-attribute compound structure, as Algorithm 2 sees it.
+    form = query.compound_form()
+    for attribute, branches in form.items():
+        print(f"  compound on {attribute}: {len(branches)} branch(es)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in ``pyproject.toml``; this file exists because the
+offline build environment (setuptools 65, no ``wheel``) needs the legacy
+``setup.py develop`` path for editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""repro — reproduction of "Enhanced Featurization of Queries with Mixed
+Combinations of Predicates for ML-based Cardinality Estimation"
+(Müller, Woltmann, Lehner; EDBT 2023).
+
+The package is organised along the paper's structure:
+
+* :mod:`repro.featurize` — the query featurization techniques (QFTs),
+  the paper's primary contribution (Section 3).
+* :mod:`repro.models` — the ML model substrates (GB / NN / MSCN) built
+  from scratch in numpy (Section 2.2).
+* :mod:`repro.estimators` — QFT × model estimators plus the Postgres
+  and sampling baselines (Sections 4/5.2).
+* :mod:`repro.data`, :mod:`repro.sql` — the data and SQL substrates.
+* :mod:`repro.workloads` — workload generators (Section 5 protocol).
+* :mod:`repro.optimizer` — the end-to-end plan-choice simulation
+  (Section 5.3).
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro.data.forest import generate_forest
+    from repro.featurize import ConjunctiveEncoding
+    from repro.models import GradientBoostingRegressor
+    from repro.estimators import LearnedEstimator
+    from repro.workloads import generate_conjunctive_workload
+
+    table = generate_forest(rows=20_000)
+    workload = generate_conjunctive_workload(table, num_queries=2_000)
+    train, test = workload.split(train_size=1_500)
+
+    estimator = LearnedEstimator(
+        ConjunctiveEncoding(table, max_partitions=32),
+        GradientBoostingRegressor(),
+    ).fit(train.queries, train.cardinalities)
+
+    estimates = estimator.estimate_batch(test.queries)
+"""
+
+from repro import config
+from repro.data import Column, ForeignKey, Schema, Table
+from repro.estimators import (
+    CardinalityEstimator,
+    GlobalLearnedEstimator,
+    GroupCountEstimator,
+    HybridEstimator,
+    LearnedEstimator,
+    LocalModelEnsemble,
+    PostgresEstimator,
+    SamplingEstimator,
+    TrueCardinalityEstimator,
+)
+from repro.featurize import (
+    ConjunctiveEncoding,
+    DisjunctionEncoding,
+    EquiDepthConjunctiveEncoding,
+    Featurizer,
+    JoinQueryFeaturizer,
+    RangeEncoding,
+    SingularEncoding,
+)
+from repro.metrics import QErrorSummary, qerror, summarize
+from repro.models import (
+    GradientBoostingRegressor,
+    MSCNModel,
+    NeuralNetRegressor,
+)
+from repro.sql import Op, Query, SimplePredicate, desugar_strings, parse_query
+from repro.workloads import LabeledQuery, Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "config",
+    # data
+    "Column", "Table", "Schema", "ForeignKey",
+    # sql
+    "Op", "Query", "SimplePredicate", "parse_query", "desugar_strings",
+    # featurization
+    "Featurizer", "SingularEncoding", "RangeEncoding",
+    "ConjunctiveEncoding", "DisjunctionEncoding",
+    "EquiDepthConjunctiveEncoding", "JoinQueryFeaturizer",
+    # models
+    "GradientBoostingRegressor", "NeuralNetRegressor", "MSCNModel",
+    # estimators
+    "CardinalityEstimator", "LearnedEstimator", "GlobalLearnedEstimator",
+    "LocalModelEnsemble", "HybridEstimator", "GroupCountEstimator",
+    "PostgresEstimator", "SamplingEstimator",
+    "TrueCardinalityEstimator",
+    # workloads & metrics
+    "LabeledQuery", "Workload", "qerror", "QErrorSummary", "summarize",
+]

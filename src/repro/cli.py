@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+Four subcommands cover the train-once / estimate-many workflow a
+downstream user needs, plus dataset generation:
+
+* ``repro generate-forest out.csv --rows 60000`` — write the synthetic
+  covertype table (or use a real UCI ``covtype.data`` directly).
+* ``repro train data.csv model.npz --qft conjunctive --model gb`` —
+  generate + label a training workload over the CSV table, train the
+  chosen QFT × model combination, and persist it.
+* ``repro estimate model.npz "SELECT count(*) FROM t WHERE a > 5"`` —
+  load a persisted estimator and print the estimate (optionally the true
+  cardinality and q-error when ``--data`` is given).
+* ``repro experiments ...`` — forwards to the experiment runner.
+
+Invoke as ``python -m repro <subcommand>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import config
+from repro.data.forest import generate_forest
+from repro.data.loaders import load_table_csv, save_table_csv
+from repro.estimators import LearnedEstimator
+from repro.experiments import runner as experiments_runner
+from repro.featurize import BY_PAPER_LABEL
+from repro.metrics import qerror
+from repro.models import GradientBoostingRegressor, NeuralNetRegressor
+from repro.persistence import load_estimator, save_estimator
+from repro.sql.executor import cardinality
+from repro.sql.parser import parse_query
+from repro.workloads import (
+    generate_conjunctive_workload,
+    generate_mixed_workload,
+)
+
+__all__ = ["main"]
+
+_MODELS = {
+    "gb": lambda trees: GradientBoostingRegressor(n_estimators=trees),
+    "nn": lambda trees: NeuralNetRegressor(),
+}
+
+
+def _cmd_generate_forest(args) -> int:
+    table = generate_forest(rows=args.rows, seed=args.seed)
+    save_table_csv(table, args.output)
+    print(f"wrote {table.row_count} rows x {len(table.column_names)} "
+          f"columns to {args.output}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    table = load_table_csv(args.data, name=args.table_name)
+    print(f"loaded {table}")
+    generate = (generate_mixed_workload if args.workload == "mixed"
+                else generate_conjunctive_workload)
+    workload = generate(table, args.queries,
+                        max_attributes=min(args.max_attributes,
+                                           len(table.column_names)),
+                        seed=args.seed)
+    print(f"labeled {len(workload)} {args.workload} training queries")
+    featurizer_cls = BY_PAPER_LABEL[args.qft]
+    if args.qft in ("conjunctive", "complex"):
+        featurizer = featurizer_cls(table, max_partitions=args.partitions)
+    else:
+        featurizer = featurizer_cls(table)
+    estimator = LearnedEstimator(featurizer, _MODELS[args.model](args.trees))
+    estimator.fit(workload.queries, workload.cardinalities)
+    save_estimator(estimator, args.output)
+    print(f"saved estimator ({estimator.name}, "
+          f"{estimator.memory_bytes() / 1024:.1f} kB) to {args.output}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    estimator = load_estimator(args.model)
+    query = parse_query(args.sql)
+    estimate = estimator.estimate(query)
+    print(f"estimate: {estimate:.0f}")
+    if args.data:
+        table = load_table_csv(args.data,
+                               name=estimator.featurizer.table_name)
+        true_count = cardinality(query, table)
+        print(f"true:     {true_count}")
+        print(f"q-error:  {float(qerror(true_count, estimate)):.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Learned cardinality estimation with enhanced query "
+                    "featurization (EDBT 2023 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate-forest",
+                         help="write the synthetic covertype table as CSV")
+    gen.add_argument("output", type=Path)
+    gen.add_argument("--rows", type=int, default=config.FOREST_ROWS)
+    gen.add_argument("--seed", type=int, default=config.DEFAULT_SEED)
+    gen.set_defaults(func=_cmd_generate_forest)
+
+    train = sub.add_parser("train", help="train and persist an estimator")
+    train.add_argument("data", type=Path, help="CSV table (headered)")
+    train.add_argument("output", type=Path, help="output .npz model path")
+    train.add_argument("--table-name", default=None,
+                       help="table name (default: CSV file stem)")
+    train.add_argument("--qft", choices=sorted(BY_PAPER_LABEL),
+                       default="conjunctive")
+    train.add_argument("--model", choices=sorted(_MODELS), default="gb")
+    train.add_argument("--workload", choices=["conjunctive", "mixed"],
+                       default="conjunctive")
+    train.add_argument("--queries", type=int, default=5_000)
+    train.add_argument("--max-attributes", type=int, default=8)
+    train.add_argument("--partitions", type=int, default=32)
+    train.add_argument("--trees", type=int, default=150)
+    train.add_argument("--seed", type=int, default=config.DEFAULT_SEED)
+    train.set_defaults(func=_cmd_train)
+
+    estimate = sub.add_parser("estimate",
+                              help="estimate a SQL count(*) query")
+    estimate.add_argument("model", type=Path, help="persisted .npz model")
+    estimate.add_argument("sql", help="SELECT count(*) ... statement")
+    estimate.add_argument("--data", type=Path, default=None,
+                          help="CSV table to compute the true count against")
+    estimate.set_defaults(func=_cmd_estimate)
+
+    sub.add_parser(
+        "experiments", help="run paper experiments (see runner --help)")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # The experiments subcommand forwards everything verbatim to the
+    # experiment runner (argparse.REMAINDER mishandles leading options).
+    if argv and argv[0] == "experiments":
+        return experiments_runner.main(argv[1:])
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

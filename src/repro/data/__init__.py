@@ -1,0 +1,25 @@
+"""Data substrate: columnar tables, statistics, schemas, and generators.
+
+The paper runs against PostgreSQL tables holding the UCI forest covertype
+data and an IMDb snapshot.  Neither a DBMS nor the original datasets are
+available offline, so this subpackage provides the substrate from scratch:
+
+* :mod:`repro.data.column` / :mod:`repro.data.table` — a numpy-backed
+  columnar storage engine.
+* :mod:`repro.data.stats` — per-column statistics (min/max, distinct
+  counts, equi-depth histograms, most-common values) used both by the
+  featurizers and by the Postgres-style baseline estimator.
+* :mod:`repro.data.schema` — multi-table schemas with key/foreign-key
+  relationships.
+* :mod:`repro.data.forest` — deterministic synthetic stand-in for the UCI
+  forest covertype dataset (55 attributes, correlated, skewed).
+* :mod:`repro.data.imdb` — synthetic IMDb-like star schema for the
+  JOB-light join experiments.
+"""
+
+from repro.data.column import Column
+from repro.data.schema import ForeignKey, Schema
+from repro.data.stats import ColumnStats
+from repro.data.table import Table
+
+__all__ = ["Column", "ColumnStats", "Table", "Schema", "ForeignKey"]

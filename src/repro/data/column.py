@@ -1,0 +1,139 @@
+"""A single named, typed column of values backed by a numpy array."""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.stats import ColumnStats, build_stats
+
+__all__ = ["Column"]
+
+
+class Column:
+    """One column of a :class:`~repro.data.table.Table`.
+
+    Values are stored as a read-only numpy array.  Statistics are computed
+    lazily on first access and cached; they never change because columns
+    are immutable (the paper assumes fixed data, Equation 2 — data drift is
+    handled by rebuilding tables and models, Section 5.5.2).
+
+    String columns are supported through **dictionary encoding** (the
+    state of the art the paper's Section 6 starts from): values are
+    integer codes into a *sorted* dictionary, so string equality and —
+    because the dictionary is sorted — prefix predicates reduce to code
+    ranges.  Build one with :meth:`from_strings`.
+    """
+
+    def __init__(self, name: str, values: np.ndarray,
+                 dictionary: Sequence[str] | None = None) -> None:
+        if not name:
+            raise ValueError("column name must be non-empty")
+        data = np.asarray(values)
+        if data.ndim != 1:
+            raise ValueError(
+                f"column {name!r} requires a 1-d array, got shape {data.shape}"
+            )
+        if data.size == 0:
+            raise ValueError(f"column {name!r} must contain at least one value")
+        if not np.issubdtype(data.dtype, np.number):
+            raise TypeError(
+                f"column {name!r} must be numeric, got dtype {data.dtype}; "
+                "encode categorical data as integers (dictionary encoding)"
+            )
+        data = data.astype(np.float64, copy=True)
+        data.setflags(write=False)
+        self._name = name
+        self._values = data
+        self._stats: ColumnStats | None = None
+        self._dictionary: tuple[str, ...] | None = None
+        if dictionary is not None:
+            entries = tuple(dictionary)
+            if not entries:
+                raise ValueError(f"column {name!r}: dictionary is empty")
+            if list(entries) != sorted(entries):
+                raise ValueError(
+                    f"column {name!r}: dictionary must be sorted (prefix "
+                    "predicates rely on contiguous code ranges)"
+                )
+            if len(set(entries)) != len(entries):
+                raise ValueError(f"column {name!r}: dictionary has duplicates")
+            codes = data.astype(np.int64)
+            if not np.array_equal(codes, data):
+                raise ValueError(
+                    f"column {name!r}: dictionary-encoded values must be "
+                    "integer codes"
+                )
+            if codes.min() < 0 or codes.max() >= len(entries):
+                raise ValueError(
+                    f"column {name!r}: codes out of dictionary range "
+                    f"[0, {len(entries)})"
+                )
+            self._dictionary = entries
+
+    @classmethod
+    def from_strings(cls, name: str, values: Sequence[str]) -> "Column":
+        """Dictionary-encode a string sequence into a column.
+
+        The dictionary is the sorted distinct values; stored codes are
+        their indices, so code order equals lexicographic order.
+        """
+        entries = sorted(set(values))
+        index = {value: code for code, value in enumerate(entries)}
+        codes = np.asarray([index[v] for v in values], dtype=np.float64)
+        return cls(name, codes, dictionary=entries)
+
+    @property
+    def name(self) -> str:
+        """The column's name."""
+        return self._name
+
+    @property
+    def dictionary(self) -> tuple[str, ...] | None:
+        """The sorted string dictionary, or None for numeric columns."""
+        return self._dictionary
+
+    def encode(self, value: str) -> int:
+        """Dictionary code of a string value (``KeyError`` if absent)."""
+        if self._dictionary is None:
+            raise TypeError(f"column {self._name!r} is not dictionary-encoded")
+        idx = bisect_left(self._dictionary, value)
+        if idx >= len(self._dictionary) or self._dictionary[idx] != value:
+            raise KeyError(f"value {value!r} not in the dictionary of "
+                           f"column {self._name!r}")
+        return idx
+
+    def prefix_code_range(self, prefix: str) -> tuple[int, int]:
+        """Half-open code range ``[lo, hi)`` of values starting with ``prefix``.
+
+        The dictionary is sorted, so prefixed values are contiguous; an
+        empty range means no value matches.
+        """
+        if self._dictionary is None:
+            raise TypeError(f"column {self._name!r} is not dictionary-encoded")
+        if not prefix:
+            return (0, len(self._dictionary))
+        lo = bisect_left(self._dictionary, prefix)
+        upper = prefix[:-1] + chr(ord(prefix[-1]) + 1)
+        hi = bisect_left(self._dictionary, upper)
+        return (lo, hi)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The read-only value array (float64)."""
+        return self._values
+
+    @property
+    def stats(self) -> ColumnStats:
+        """Cached column statistics (computed on first access)."""
+        if self._stats is None:
+            self._stats = build_stats(self._values)
+        return self._stats
+
+    def __len__(self) -> int:
+        return int(self._values.size)
+
+    def __repr__(self) -> str:
+        return f"Column({self._name!r}, n={len(self)})"

@@ -1,0 +1,180 @@
+"""Synthetic IMDb-like star schema for the JOB-light join experiments.
+
+The paper's join experiments run JOB-light — 70 hand-written queries over
+six IMDb tables — plus 231k generated training queries.  The IMDb snapshot
+is not available offline, so this module generates a scaled-down schema
+with the same shape:
+
+* ``title`` is the hub table (every JOB-light query joins through it).
+* Five fact/dimension tables hang off ``title`` via foreign keys:
+  ``movie_companies``, ``movie_info``, ``movie_info_idx``,
+  ``movie_keyword``, and ``cast_info``.
+* Foreign-key fan-outs are Zipf-skewed (blockbusters have many cast
+  entries; obscure titles have none), so join-size estimates under the
+  independence assumption go wrong in the way the paper's Table 1/2
+  exploit.
+
+All categorical attributes (company type, info type, role, …) are
+dictionary-encoded to small integer domains, matching how the original
+MSCN featurizes IMDb columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import config
+from repro.data.schema import ForeignKey, Schema
+from repro.data.table import Table
+
+__all__ = ["generate_imdb", "JOBLIGHT_TABLES"]
+
+#: The six tables used by JOB-light, hub first.
+JOBLIGHT_TABLES = (
+    "title",
+    "movie_companies",
+    "movie_info",
+    "movie_info_idx",
+    "movie_keyword",
+    "cast_info",
+)
+
+#: Attributes JOB-light-style queries filter on.  The real JOB-light
+#: predicates target low-domain categorical and year attributes
+#: (kind_id, production_year, company_type_id, info_type_id, role_id);
+#: the huge-domain identifier-like columns (person_id, keyword_id,
+#: company_id) exist for realistic fan-out skew but are never filtered.
+PREDICATE_ATTRIBUTES: dict[str, tuple[str, ...]] = {
+    "title": ("kind_id", "production_year", "episode_nr"),
+    "movie_companies": ("company_type_id",),
+    "movie_info": ("info_type_id",),
+    "movie_info_idx": ("info_type_id",),
+    "movie_keyword": ("keyword_id",),
+    "cast_info": ("role_id",),
+}
+
+
+def _fanout_counts(rng: np.random.Generator, rows: int, mean: float,
+                   zero_fraction: float, year_shift: np.ndarray) -> np.ndarray:
+    """Draw a skewed per-title fan-out with a point mass at zero.
+
+    Zipf-like tails model the real IMDb: a few titles have hundreds of
+    cast entries while ``zero_fraction`` of titles have none at all.
+    Fan-outs grow with ``year_shift`` (recent titles have far more
+    metadata rows) — exactly the predicate/fan-out correlation that makes
+    independence-assumption join estimates fail on the real IMDb.
+    """
+    counts = rng.zipf(1.9, rows).astype(np.float64)
+    counts = np.minimum(counts, 200.0)
+    counts *= 0.15 + 4.0 * year_shift**3
+    scale = mean / max(counts.mean(), 1e-9)
+    counts = np.maximum(np.rint(counts * scale), 1).astype(np.int64)
+    zero_p = np.clip(zero_fraction * (1.6 - 1.2 * year_shift), 0.0, 0.98)
+    counts[rng.random(rows) < zero_p] = 0
+    return counts
+
+
+def _child_table(name: str, rng: np.random.Generator, title_ids: np.ndarray,
+                 counts: np.ndarray, attributes: dict[str, tuple[int, float]],
+                 title_year: np.ndarray) -> Table:
+    """Materialise a child table with ``counts[i]`` rows per title ``i``.
+
+    ``attributes`` maps attribute name to ``(domain_size, zipf_exponent)``;
+    each is generated Zipf-skewed over ``1..domain_size`` and mildly
+    correlated with the parent title's production year so cross-table
+    correlation exists (local models must learn it).
+    """
+    movie_id = np.repeat(title_ids, counts)
+    total = int(movie_id.size)
+    if total == 0:
+        raise ValueError(f"child table {name!r} would be empty")
+    columns: dict[str, np.ndarray] = {
+        "id": np.arange(1, total + 1, dtype=np.float64),
+        "movie_id": movie_id.astype(np.float64),
+    }
+    parent_year = np.repeat(title_year, counts)
+    year_shift = ((parent_year - parent_year.min())
+                  / max(parent_year.max() - parent_year.min(), 1.0))
+    for attr, (domain, exponent) in attributes.items():
+        ranks = np.arange(1, domain + 1, dtype=np.float64)
+        weights = 1.0 / ranks**exponent
+        weights /= weights.sum()
+        base = rng.choice(domain, size=total, p=weights)
+        # Shift most rows by the parent's year band so child attributes
+        # correlate strongly with the join partner: the value regions a
+        # predicate selects then sit on titles with specific fan-outs,
+        # which breaks the independence assumption (the effect the paper's
+        # join experiments rely on).
+        shifted = (base + (year_shift * domain * 0.8).astype(np.int64)) % domain
+        take_shifted = rng.random(total) < 0.9
+        values = np.where(take_shifted, shifted, base) + 1
+        columns[attr] = values.astype(np.float64)
+    return Table(name, columns)
+
+
+def generate_imdb(title_rows: int = config.IMDB_TITLE_ROWS,
+                  seed: int = config.DEFAULT_SEED) -> Schema:
+    """Generate the synthetic IMDb star schema.
+
+    Deterministic in ``seed``.  ``title_rows`` scales the whole schema;
+    child tables hold roughly 1.5–3x as many rows as ``title``.
+    """
+    if title_rows < 100:
+        raise ValueError(f"title table needs at least 100 rows, got {title_rows}")
+    rng = np.random.default_rng(seed)
+
+    title_ids = np.arange(1, title_rows + 1, dtype=np.int64)
+    production_year = np.clip(
+        np.rint(2010.0 - rng.gamma(2.0, 14.0, title_rows)), 1880.0, 2023.0
+    )
+    kind_id = rng.choice(7, size=title_rows,
+                         p=[0.45, 0.25, 0.12, 0.08, 0.05, 0.03, 0.02]) + 1
+    # Episode counts: mostly zero (movies), some large (series).
+    episode_nr = np.where(
+        rng.random(title_rows) < 0.85, 0.0,
+        np.rint(rng.gamma(1.5, 40.0, title_rows))
+    )
+    title = Table("title", {
+        "id": title_ids.astype(np.float64),
+        "kind_id": kind_id.astype(np.float64),
+        "production_year": production_year,
+        "episode_nr": episode_nr,
+    })
+
+    children = {
+        "movie_companies": dict(
+            mean=1.6, zero_fraction=0.25,
+            attributes={"company_id": (400, 1.3), "company_type_id": (4, 0.8)},
+        ),
+        "movie_info": dict(
+            mean=3.0, zero_fraction=0.10,
+            attributes={"info_type_id": (110, 1.1)},
+        ),
+        "movie_info_idx": dict(
+            mean=1.2, zero_fraction=0.45,
+            attributes={"info_type_id": (110, 1.4)},
+        ),
+        "movie_keyword": dict(
+            mean=2.4, zero_fraction=0.30,
+            attributes={"keyword_id": (120, 1.2)},
+        ),
+        "cast_info": dict(
+            mean=4.0, zero_fraction=0.08,
+            attributes={"person_id": (5000, 1.15), "role_id": (11, 0.9)},
+        ),
+    }
+
+    year_shift = ((production_year - production_year.min())
+                  / max(production_year.max() - production_year.min(), 1.0))
+    tables = [title]
+    foreign_keys = []
+    for name, spec in children.items():
+        counts = _fanout_counts(rng, title_rows, spec["mean"],
+                                spec["zero_fraction"], year_shift)
+        tables.append(_child_table(name, rng, title_ids, counts,
+                                   spec["attributes"], production_year))
+        foreign_keys.append(ForeignKey(name, "movie_id", "title", "id"))
+
+    schema = Schema(tables, foreign_keys)
+    schema.check_referential_integrity()
+    return schema

@@ -1,0 +1,105 @@
+"""CSV import/export for tables and schemas.
+
+The reproduction generates its datasets, but a downstream user will want
+to point the estimators at their own data.  These loaders move
+:class:`~repro.data.table.Table`/:class:`~repro.data.schema.Schema`
+objects to and from plain CSV files — in particular, the original UCI
+covertype file (``covtype.data``: 55 comma-separated integers per line,
+no header) loads directly via :func:`load_covertype`, replacing the
+synthetic forest table with the real one when available.
+
+Only numeric data is supported (categoricals must be dictionary-encoded
+first, matching the package's :class:`Column` contract).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import config
+from repro.data.schema import ForeignKey, Schema
+from repro.data.table import Table
+
+__all__ = ["save_table_csv", "load_table_csv", "load_covertype",
+           "save_schema", "load_schema"]
+
+
+def save_table_csv(table: Table, path: str | Path) -> None:
+    """Write a table to CSV with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    matrix = np.column_stack([c.values for c in table.columns])
+    header = ",".join(table.column_names)
+    np.savetxt(path, matrix, delimiter=",", header=header, comments="",
+               fmt="%.12g")
+
+
+def load_table_csv(path: str | Path, name: str | None = None) -> Table:
+    """Load a headered CSV into a table (name defaults to the file stem)."""
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline().strip()
+    if not header:
+        raise ValueError(f"{path} is empty")
+    columns = [c.strip() for c in header.split(",")]
+    data = np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
+    if data.shape[1] != len(columns):
+        raise ValueError(
+            f"{path}: header names {len(columns)} columns but rows have "
+            f"{data.shape[1]} fields"
+        )
+    return Table(name or path.stem,
+                 {col: data[:, i] for i, col in enumerate(columns)})
+
+
+def load_covertype(path: str | Path,
+                   max_rows: int | None = None) -> Table:
+    """Load the original UCI covertype file as the forest table.
+
+    ``covtype.data`` has no header: 54 feature columns plus the cover
+    type, one row per line.  Columns are named ``A1`` .. ``A55`` exactly
+    like the synthetic generator, so the two are drop-in replacements
+    for each other.
+    """
+    data = np.loadtxt(Path(path), delimiter=",", max_rows=max_rows, ndmin=2)
+    if data.shape[1] != config.FOREST_ATTRIBUTES:
+        raise ValueError(
+            f"covertype file must have {config.FOREST_ATTRIBUTES} columns, "
+            f"got {data.shape[1]}"
+        )
+    return Table("forest", {f"A{i + 1}": data[:, i]
+                            for i in range(data.shape[1])})
+
+
+def save_schema(schema: Schema, directory: str | Path) -> None:
+    """Write a schema as one CSV per table plus ``schema.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for table in schema.tables:
+        save_table_csv(table, directory / f"{table.name}.csv")
+    meta = {
+        "tables": schema.table_names,
+        "foreign_keys": [
+            {"child_table": fk.child_table, "child_column": fk.child_column,
+             "parent_table": fk.parent_table, "parent_column": fk.parent_column}
+            for fk in schema.foreign_keys
+        ],
+    }
+    (directory / "schema.json").write_text(json.dumps(meta, indent=2),
+                                           encoding="utf-8")
+
+
+def load_schema(directory: str | Path) -> Schema:
+    """Load a schema saved by :func:`save_schema`."""
+    directory = Path(directory)
+    meta_path = directory / "schema.json"
+    if not meta_path.exists():
+        raise FileNotFoundError(f"{meta_path} not found")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    tables = [load_table_csv(directory / f"{name}.csv", name)
+              for name in meta["tables"]]
+    foreign_keys = [ForeignKey(**fk) for fk in meta["foreign_keys"]]
+    return Schema(tables, foreign_keys)

@@ -1,0 +1,156 @@
+"""Per-column statistics.
+
+Column statistics serve two distinct consumers in this reproduction:
+
+1. The **featurizers** (Section 3 of the paper) need each attribute's
+   ``min``/``max`` to normalise literals and to map values to domain
+   partitions.
+2. The **Postgres-style baseline estimator** (Section 7, "independence
+   assumption") needs equi-depth histograms and most-common-value lists to
+   compute per-predicate selectivities, mirroring what ``ANALYZE`` collects.
+
+Statistics are computed once per column and cached on the owning
+:class:`~repro.data.column.Column`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ColumnStats", "TableStats", "build_stats"]
+
+#: Number of equi-depth histogram buckets collected per column (Postgres
+#: defaults to 100 via ``default_statistics_target``).
+HISTOGRAM_BUCKETS = 100
+
+#: Number of most-common values tracked per column.
+MCV_ENTRIES = 20
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics of one column, as a frozen value object."""
+
+    #: Number of rows (including duplicates).
+    row_count: int
+    #: Minimum value in the column.
+    min_value: float
+    #: Maximum value in the column.
+    max_value: float
+    #: Number of distinct values.
+    distinct_count: int
+    #: Whether every stored value is integral (drives the paper's
+    #: "integer attributes" handling of strict comparisons, Section 3.1).
+    is_integral: bool
+    #: Equi-depth histogram bucket boundaries, length ``buckets + 1``.
+    histogram_bounds: tuple[float, ...] = field(default=())
+    #: Most common values, most frequent first.
+    mcv_values: tuple[float, ...] = field(default=())
+    #: Frequencies (fractions of rows) of ``mcv_values``.
+    mcv_fractions: tuple[float, ...] = field(default=())
+
+    @property
+    def domain_size(self) -> float:
+        """Size of the value domain ``max - min + 1`` (paper's Algorithm 1).
+
+        The ``+ 1`` matches the paper's index formula, which treats domains
+        as inclusive integer ranges.  For non-integral columns this is an
+        approximation, exactly as in the paper.
+        """
+        return self.max_value - self.min_value + 1.0
+
+    def normalize(self, value: float) -> float:
+        """Map ``value`` to ``[0, 1]`` via min-max normalisation.
+
+        This is the literal encoding used by Singular Predicate Encoding
+        and Range Predicate Encoding.  Values outside the observed domain
+        are clamped, so out-of-range literals stay representable.
+        """
+        span = self.max_value - self.min_value
+        if span <= 0:
+            return 0.0
+        scaled = (value - self.min_value) / span
+        return float(min(max(scaled, 0.0), 1.0))
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """A statistics snapshot of a table: everything a QFT needs.
+
+    Featurizers consume only per-column statistics, never row data, so a
+    ``TableStats`` is sufficient to reconstruct a fitted featurizer — the
+    basis of estimator persistence (:mod:`repro.persistence`).
+    """
+
+    #: The table's name.
+    name: str
+    #: Column name -> statistics, in column order.
+    columns: dict[str, ColumnStats]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("table name must be non-empty")
+        if not self.columns:
+            raise ValueError("a table snapshot needs at least one column")
+
+    @classmethod
+    def from_table(cls, table) -> "TableStats":
+        """Snapshot a :class:`~repro.data.table.Table`."""
+        return cls(name=table.name,
+                   columns={c.name: c.stats for c in table.columns})
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in definition order."""
+        return list(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.columns
+
+    def column_stats(self, name: str) -> ColumnStats:
+        """Statistics of one column (``KeyError`` if unknown)."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"snapshot of table {self.name!r} has no column {name!r}; "
+                f"available: {self.column_names}"
+            ) from None
+
+
+def build_stats(values: np.ndarray) -> ColumnStats:
+    """Compute :class:`ColumnStats` for a numeric numpy array.
+
+    Raises ``ValueError`` on empty input — a table column always has rows
+    in this reproduction, and statistics of an empty column would poison
+    every downstream selectivity computation silently.
+    """
+    if values.size == 0:
+        raise ValueError("cannot build statistics for an empty column")
+    data = np.asarray(values, dtype=np.float64)
+    unique, counts = np.unique(data, return_counts=True)
+
+    is_integral = bool(np.all(np.equal(np.mod(data, 1), 0)))
+
+    # Equi-depth histogram over the full data, like Postgres' ANALYZE.
+    buckets = min(HISTOGRAM_BUCKETS, unique.size)
+    quantiles = np.linspace(0.0, 1.0, buckets + 1)
+    bounds = np.quantile(data, quantiles)
+
+    order = np.argsort(counts)[::-1]
+    top = order[:MCV_ENTRIES]
+    mcv_values = unique[top]
+    mcv_fractions = counts[top] / data.size
+
+    return ColumnStats(
+        row_count=int(data.size),
+        min_value=float(data.min()),
+        max_value=float(data.max()),
+        distinct_count=int(unique.size),
+        is_integral=is_integral,
+        histogram_bounds=tuple(float(b) for b in bounds),
+        mcv_values=tuple(float(v) for v in mcv_values),
+        mcv_fractions=tuple(float(f) for f in mcv_fractions),
+    )

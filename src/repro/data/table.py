@@ -1,0 +1,102 @@
+"""A named collection of equally-long columns."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.data.column import Column
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An immutable, numpy-backed relational table.
+
+    A table owns an ordered mapping from column names to
+    :class:`~repro.data.column.Column` objects, all of the same length.
+    It is the unit the featurizers are fitted against (they need the
+    attribute list and per-attribute statistics) and the unit the executor
+    scans to produce true cardinalities.
+    """
+
+    def __init__(self, name: str, columns: Mapping[str, np.ndarray] | Iterable[Column]) -> None:
+        if not name:
+            raise ValueError("table name must be non-empty")
+        self._name = name
+        if isinstance(columns, Mapping):
+            cols = [Column(col_name, values) for col_name, values in columns.items()]
+        else:
+            cols = list(columns)
+        if not cols:
+            raise ValueError(f"table {name!r} must have at least one column")
+        lengths = {len(col) for col in cols}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"table {name!r} has columns of differing lengths: {sorted(lengths)}"
+            )
+        names = [col.name for col in cols]
+        if len(set(names)) != len(names):
+            raise ValueError(f"table {name!r} has duplicate column names")
+        self._columns: dict[str, Column] = {col.name: col for col in cols}
+        self._row_count = lengths.pop()
+
+    @property
+    def name(self) -> str:
+        """The table's name."""
+        return self._name
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows."""
+        return self._row_count
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in definition order."""
+        return list(self._columns)
+
+    @property
+    def columns(self) -> list[Column]:
+        """Columns in definition order."""
+        return list(self._columns.values())
+
+    def column(self, name: str) -> Column:
+        """Return the column called ``name``.
+
+        Raises ``KeyError`` with the available names listed; a missing
+        column is always a query/schema mismatch the caller must see.
+        """
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self._name!r} has no column {name!r}; "
+                f"available: {self.column_names}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def subset(self, mask: np.ndarray, name: str | None = None) -> "Table":
+        """Return a new table containing only rows where ``mask`` is true.
+
+        Used by the sampling estimator (to materialise Bernoulli samples)
+        and by tests.  ``mask`` must be a boolean array with one entry per
+        row and must select at least one row (tables may not be empty).
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._row_count,):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match row count {self._row_count}"
+            )
+        if not mask.any():
+            raise ValueError("subset would produce an empty table")
+        return Table(
+            name or self._name,
+            {col.name: col.values[mask] for col in self.columns},
+        )
+
+    def __repr__(self) -> str:
+        return f"Table({self._name!r}, rows={self._row_count}, cols={len(self._columns)})"

@@ -1,0 +1,88 @@
+"""TPC-H-style ``Orders`` table (the paper's Definition 3.3 example).
+
+The paper illustrates mixed queries on the TPC-H ``Orders`` table:
+
+    SELECT count(*) FROM Orders WHERE
+    (o_orderdate >= '1994-01' AND o_orderdate <= '1994-12'
+       AND o_orderdate <> '1994-07-04'
+     OR o_orderdate >= '1996-01' AND o_orderdate <= '1996-12'
+       AND o_orderdate <> '1996-07-04')
+    AND (o_orderstatus = 'P' OR o_orderstatus = 'F')
+    AND (o_totalprice > 1000 AND o_totalprice < 2000);
+
+This generator produces an ``orders`` table with the columns that query
+touches, dictionary-encoded per the package's numeric-column contract:
+
+* ``o_orderdate`` — integer ``YYYYMMDD`` dates over 1992-01-01 to
+  1998-08-02 (the TPC-H date range), denser in recent years.
+* ``o_orderstatus`` — ``F`` -> 0, ``O`` -> 1, ``P`` -> 2 (sorted codes),
+  correlated with the date exactly like TPC-H: old orders are finished
+  (``F``), recent ones open (``O``), a thin band in between pending.
+* ``o_totalprice`` — gamma-shaped positive prices.
+* ``o_orderpriority`` — 1..5, mildly skewed.
+* ``o_shippriority`` — constant 0, as in TPC-H (a degenerate domain the
+  featurizers must tolerate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import config
+from repro.data.table import Table
+
+__all__ = ["generate_orders", "ORDERSTATUS_CODES"]
+
+#: Dictionary encoding of o_orderstatus (sorted alphabetically).
+ORDERSTATUS_CODES = {"F": 0, "O": 1, "P": 2}
+
+_START = np.datetime64("1992-01-01")
+_END = np.datetime64("1998-08-02")
+
+
+def _to_yyyymmdd(dates: np.ndarray) -> np.ndarray:
+    """Convert datetime64[D] to integer YYYYMMDD."""
+    years = dates.astype("datetime64[Y]").astype(int) + 1970
+    months = dates.astype("datetime64[M]").astype(int) % 12 + 1
+    month_start = dates.astype("datetime64[M]").astype("datetime64[D]")
+    days = (dates - month_start).astype(int) + 1
+    return years * 10_000 + months * 100 + days
+
+
+def generate_orders(rows: int = 30_000,
+                    seed: int = config.DEFAULT_SEED) -> Table:
+    """Generate the TPC-H-style orders table (deterministic in ``seed``)."""
+    if rows < 100:
+        raise ValueError(f"orders table needs at least 100 rows, got {rows}")
+    rng = np.random.default_rng(seed)
+
+    total_days = int((_END - _START).astype(int))
+    # Order volume grows over time (recent dates denser).
+    offsets = np.floor(
+        total_days * rng.beta(1.6, 1.0, rows)
+    ).astype(int)
+    dates = _START + offsets
+    order_date = _to_yyyymmdd(dates).astype(np.float64)
+
+    # Status follows age: anything shipped long ago is F, recent orders
+    # are O, and a slice in between is still P(ending).
+    age_fraction = offsets / total_days
+    draw = rng.random(rows)
+    status = np.where(
+        age_fraction > 0.9, ORDERSTATUS_CODES["O"],
+        np.where(draw < 0.07, ORDERSTATUS_CODES["P"],
+                 ORDERSTATUS_CODES["F"]),
+    ).astype(np.float64)
+
+    total_price = np.round(rng.gamma(2.2, 820.0, rows) + 850.0, 2)
+    priority = (rng.choice(5, size=rows,
+                           p=[0.2, 0.2, 0.2, 0.2, 0.2]) + 1).astype(np.float64)
+    ship_priority = np.zeros(rows)
+
+    return Table("orders", {
+        "o_orderdate": order_date,
+        "o_orderstatus": status,
+        "o_totalprice": total_price,
+        "o_orderpriority": priority,
+        "o_shippriority": ship_priority,
+    })

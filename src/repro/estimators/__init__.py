@@ -1,0 +1,37 @@
+"""Cardinality estimators.
+
+Everything that maps a :class:`~repro.sql.ast.Query` to an estimated
+result size implements :class:`~repro.estimators.base.CardinalityEstimator`:
+
+* :class:`LearnedEstimator` — QFT + ML model (the paper's approach).
+* :class:`LocalModelEnsemble` — one learned model per connected
+  sub-schema (Section 2.1.2 "local models").
+* :class:`GlobalLearnedEstimator` — one model for all sub-schemata with a
+  table-presence vector ("global models").
+* :class:`PostgresEstimator` — Selinger-style histograms + independence
+  assumption (the paper's *Postgres* baseline).
+* :class:`SamplingEstimator` — per-query Bernoulli sampling baseline.
+* :class:`TrueCardinalityEstimator` — the oracle (used for labels and for
+  the end-to-end "true cardinalities" column of Table 4).
+"""
+
+from repro.estimators.base import CardinalityEstimator
+from repro.estimators.groupby import GroupCountEstimator
+from repro.estimators.hybrid import HybridEstimator
+from repro.estimators.learned import GlobalLearnedEstimator, LearnedEstimator
+from repro.estimators.local import LocalModelEnsemble
+from repro.estimators.oracle import TrueCardinalityEstimator
+from repro.estimators.postgres import PostgresEstimator
+from repro.estimators.sampling import SamplingEstimator
+
+__all__ = [
+    "CardinalityEstimator",
+    "LearnedEstimator",
+    "GlobalLearnedEstimator",
+    "LocalModelEnsemble",
+    "HybridEstimator",
+    "GroupCountEstimator",
+    "PostgresEstimator",
+    "SamplingEstimator",
+    "TrueCardinalityEstimator",
+]

@@ -1,0 +1,35 @@
+"""The estimator interface."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro import config
+from repro.sql.ast import Query
+
+__all__ = ["CardinalityEstimator", "clamp_estimate"]
+
+
+def clamp_estimate(value: float) -> float:
+    """Clamp an estimate to the paper's ``>= 1`` convention."""
+    return max(float(value), config.MIN_ESTIMATE)
+
+
+class CardinalityEstimator(abc.ABC):
+    """Maps queries to estimated result cardinalities (always ``>= 1``)."""
+
+    #: Display name used in experiment tables/plots.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def estimate(self, query: Query) -> float:
+        """Estimate the result cardinality of one query."""
+
+    def estimate_batch(self, queries: Sequence[Query] | Iterable[Query]
+                       ) -> np.ndarray:
+        """Estimate many queries; subclasses override for vectorised paths."""
+        return np.asarray([self.estimate(q) for q in queries],
+                          dtype=np.float64)

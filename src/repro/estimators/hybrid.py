@@ -1,0 +1,122 @@
+"""Hybrid estimation: learned base tables + System-R join composition.
+
+The paper's Section 2.1.2 points to Woltmann et al.'s *Best of Both
+Worlds* [31]: local models are only needed "exactly for those
+sub-schemata for which the assumptions from [25] do not hold"; elsewhere
+the classic System-R formulas compose estimates.  The cheapest such
+configuration — implemented here — learns **one model per base table**
+(capturing intra-table predicate correlation, where the independence
+assumption is most wrong) and composes join estimates with the Selinger
+formula ``|R ⋈ S| = |R| * |S| / max(ndv(a), ndv(b))``.
+
+Compared to a full :class:`~repro.estimators.local.LocalModelEnsemble`:
+``n`` models instead of up to ``2^n - 1``, trained on cheap single-table
+labels; the price is that cross-table correlation (e.g. fan-out skew)
+remains unmodeled, exactly as in the Postgres baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro import config
+from repro.data.schema import Schema
+from repro.estimators.base import CardinalityEstimator, clamp_estimate
+from repro.estimators.learned import LearnedEstimator
+from repro.featurize.joins import FeaturizerFactory, predicate_columns
+from repro.models.base import Regressor
+from repro.sql.ast import Query
+from repro.sql.executor import per_table_selections
+from repro.workloads.conjunctive import generate_conjunctive_workload
+from repro.workloads.spec import Workload
+
+__all__ = ["HybridEstimator"]
+
+ModelFactory = Callable[[], Regressor]
+
+
+class HybridEstimator(CardinalityEstimator):
+    """Per-base-table learned selectivities, System-R join composition."""
+
+    name = "hybrid"
+
+    def __init__(self, schema: Schema, featurizer_factory: FeaturizerFactory,
+                 model_factory: ModelFactory) -> None:
+        self._schema = schema
+        self._featurizer_factory = featurizer_factory
+        self._model_factory = model_factory
+        self._models: dict[str, LearnedEstimator] = {}
+
+    @property
+    def table_models(self) -> dict[str, LearnedEstimator]:
+        """The trained per-base-table estimators."""
+        return dict(self._models)
+
+    def fit(self, table_workloads: Mapping[str, Workload]
+            ) -> "HybridEstimator":
+        """Train one single-table model per entry of ``table_workloads``."""
+        self._models = {}
+        for table_name, workload in table_workloads.items():
+            featurizer = self._featurizer_factory(
+                self._schema.table(table_name),
+                predicate_columns(self._schema, table_name),
+            )
+            self._models[table_name] = LearnedEstimator(
+                featurizer, self._model_factory(),
+            ).fit(workload.queries, workload.cardinalities)
+        return self
+
+    def fit_generated(self, queries_per_table: int = 2_000,
+                      max_attributes: int = 3,
+                      seed: int = config.DEFAULT_SEED) -> "HybridEstimator":
+        """Generate + label single-table training workloads and fit.
+
+        Single-table labels are orders of magnitude cheaper than join
+        labels — the practical advantage of the hybrid configuration.
+        """
+        workloads = {}
+        for offset, table_name in enumerate(self._schema.table_names):
+            table = self._schema.table(table_name)
+            columns = predicate_columns(self._schema, table_name)
+            workloads[table_name] = generate_conjunctive_workload(
+                table, queries_per_table,
+                max_attributes=min(max_attributes, len(columns)),
+                attributes=columns,
+                seed=seed + offset,
+                name=f"hybrid-{table_name}",
+            )
+        return self.fit(workloads)
+
+    def _table_cardinality(self, table_name: str, query: Query,
+                           selections) -> float:
+        """Learned qualifying-row estimate for one table of the query."""
+        model = self._models.get(table_name)
+        if model is None:
+            raise KeyError(
+                f"no base-table model for {table_name!r}; fitted tables: "
+                f"{sorted(self._models)}"
+            )
+        expr = selections.get(table_name)
+        table = self._schema.table(table_name)
+        if expr is None:
+            return float(table.row_count)
+        return model.estimate(Query.single_table(table_name, expr))
+
+    def estimate(self, query: Query) -> float:
+        if not self._models:
+            raise RuntimeError("estimator must be fitted before estimating")
+        selections = per_table_selections(query, self._schema)
+        estimate = 1.0
+        for table_name in query.tables:
+            estimate *= self._table_cardinality(table_name, query, selections)
+        for join in query.joins:
+            ndv_left = self._schema.table(join.left_table).column(
+                join.left_column).stats.distinct_count
+            ndv_right = self._schema.table(join.right_table).column(
+                join.right_column).stats.distinct_count
+            estimate /= max(ndv_left, ndv_right, 1)
+        return clamp_estimate(estimate)
+
+    def memory_bytes(self) -> int:
+        """Total footprint of the base-table models."""
+        return sum(m.memory_bytes() for m in self._models.values())

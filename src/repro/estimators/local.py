@@ -1,0 +1,97 @@
+"""Local-model ensemble (Section 2.1.2 / Section 4.1).
+
+One model is built per *sub-schema* — per base table or per join result.
+At estimation time a query's selection predicates are featurized and
+forwarded to the local model responsible for the query's table set.
+
+Following the paper ("in real applications, this number is reduced by
+relying on System R formulas"), the ensemble trains models only for the
+sub-schemata that actually occur in the training workload; unseen table
+sets raise ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.schema import Schema
+from repro.estimators.base import CardinalityEstimator
+from repro.estimators.learned import LearnedEstimator
+from repro.featurize.joins import FeaturizerFactory, JoinQueryFeaturizer
+from repro.models.base import Regressor
+from repro.sql.ast import Query
+
+__all__ = ["LocalModelEnsemble"]
+
+#: Builds a fresh, unfitted regressor per sub-schema.
+ModelFactory = Callable[[], Regressor]
+
+
+class LocalModelEnsemble(CardinalityEstimator):
+    """Per-sub-schema learned estimators behind a single interface."""
+
+    def __init__(self, schema: Schema, featurizer_factory: FeaturizerFactory,
+                 model_factory: ModelFactory, name: str = "local") -> None:
+        self._schema = schema
+        self._featurizer_factory = featurizer_factory
+        self._model_factory = model_factory
+        self._models: dict[frozenset[str], LearnedEstimator] = {}
+        self.name = name
+
+    @property
+    def subschemata(self) -> list[frozenset[str]]:
+        """The table sets for which local models exist."""
+        return list(self._models)
+
+    def model_for(self, tables) -> LearnedEstimator:
+        """The local model of a table set (``KeyError`` if untrained)."""
+        key = frozenset(tables)
+        try:
+            return self._models[key]
+        except KeyError:
+            raise KeyError(
+                f"no local model for sub-schema {sorted(key)}; trained "
+                f"sub-schemata: {[sorted(s) for s in self._models]}"
+            ) from None
+
+    def fit(self, queries: Sequence[Query], cardinalities: np.ndarray
+            ) -> "LocalModelEnsemble":
+        """Train one local model per table set present in ``queries``."""
+        cards = np.asarray(cardinalities, dtype=np.float64)
+        if len(queries) != cards.size:
+            raise ValueError("queries and cardinalities must align")
+        groups: dict[frozenset[str], list[int]] = {}
+        for i, query in enumerate(queries):
+            groups.setdefault(frozenset(query.tables), []).append(i)
+        self._models = {}
+        for table_set, indices in groups.items():
+            featurizer = JoinQueryFeaturizer(
+                self._schema, sorted(table_set), self._featurizer_factory
+            )
+            estimator = LearnedEstimator(featurizer, self._model_factory())
+            estimator.fit([queries[i] for i in indices], cards[indices])
+            self._models[table_set] = estimator
+        return self
+
+    def estimate(self, query: Query) -> float:
+        return self.model_for(query.tables).estimate(query)
+
+    def estimate_batch(self, queries) -> np.ndarray:
+        queries = list(queries)
+        estimates = np.empty(len(queries), dtype=np.float64)
+        # Route by sub-schema, estimating each group in one vectorised call.
+        groups: dict[frozenset[str], list[int]] = {}
+        for i, query in enumerate(queries):
+            groups.setdefault(frozenset(query.tables), []).append(i)
+        for table_set, indices in groups.items():
+            model = self.model_for(table_set)
+            estimates[indices] = model.estimate_batch(
+                [queries[i] for i in indices]
+            )
+        return estimates
+
+    def memory_bytes(self) -> int:
+        """Total footprint across all local models (Section 5.7)."""
+        return sum(m.memory_bytes() for m in self._models.values())

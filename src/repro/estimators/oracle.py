@@ -1,0 +1,32 @@
+"""The oracle estimator: returns true cardinalities.
+
+Used to produce training labels, as the ground truth of every
+experiment, and as the "true cardinalities" configuration of the
+end-to-end comparison (Table 4).
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.estimators.base import CardinalityEstimator, clamp_estimate
+from repro.sql.ast import Query
+from repro.sql.executor import cardinality
+
+__all__ = ["TrueCardinalityEstimator"]
+
+
+class TrueCardinalityEstimator(CardinalityEstimator):
+    """Exact counting via the executor (not an estimator in spirit)."""
+
+    name = "true"
+
+    def __init__(self, data: Table | Schema) -> None:
+        self._data = data
+
+    def true_cardinality(self, query: Query) -> int:
+        """The exact (unclamped) result size."""
+        return cardinality(query, self._data)
+
+    def estimate(self, query: Query) -> float:
+        return clamp_estimate(self.true_cardinality(query))

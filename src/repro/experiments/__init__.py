@@ -1,0 +1,23 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment module exposes ``run(scale) -> ExperimentResult``.  The
+``scale`` is a :class:`~repro.experiments.common.Scale` bundle of dataset
+and training sizes; ``SMALL`` (the default, laptop-minutes) and ``FULL``
+(closer to the paper's setup) are predefined.  Results carry the measured
+rows plus the paper's reported numbers for side-by-side comparison.
+
+Run from the command line::
+
+    python -m repro.experiments.runner --experiment fig1
+    python -m repro.experiments.runner --all --scale small
+"""
+
+from repro.experiments.common import (
+    SMALL,
+    FULL,
+    ExperimentResult,
+    Scale,
+    get_context,
+)
+
+__all__ = ["SMALL", "FULL", "Scale", "ExperimentResult", "get_context"]

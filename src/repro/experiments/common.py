@@ -1,0 +1,227 @@
+"""Shared experiment infrastructure: scales, cached contexts, results.
+
+Building the forest table, the IMDb schema, and the labeled workloads is
+the expensive part of every experiment, and many experiments share them.
+:func:`get_context` returns a per-scale :class:`Context` that builds each
+artifact lazily exactly once per process, so a full benchmark run pays
+for data generation a single time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro import config
+from repro.data.forest import generate_forest
+from repro.data.imdb import generate_imdb
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.featurize import (
+    ConjunctiveEncoding,
+    DisjunctionEncoding,
+    RangeEncoding,
+    SingularEncoding,
+)
+from repro.metrics import QErrorSummary, format_table, qerror, summarize
+from repro.models import GradientBoostingRegressor, NeuralNetRegressor
+from repro.workloads import (
+    Workload,
+    generate_conjunctive_workload,
+    generate_joblight_benchmark,
+    generate_mixed_workload,
+)
+from repro.workloads.joblight import generate_balanced_training
+
+__all__ = [
+    "Scale", "SMALL", "FULL", "Context", "get_context",
+    "ExperimentResult", "qft_factory", "gb_factory", "nn_factory",
+    "evaluate_estimator", "QFT_LABELS",
+]
+
+#: Paper QFT label -> featurizer class, in the paper's plot order.
+QFT_LABELS = ("simple", "range", "conjunctive", "complex")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Dataset/training sizes for one experiment configuration."""
+
+    name: str
+    forest_rows: int
+    train_queries: int
+    test_queries: int
+    imdb_title_rows: int
+    queries_per_subschema: int
+    gb_trees: int
+    nn_epochs: int
+    mscn_epochs: int
+    #: Per-attribute partitions for conjunctive/complex encodings.
+    partitions: int = 32
+
+
+#: Laptop-minutes configuration used by tests and default benchmarks.
+SMALL = Scale(
+    name="small",
+    forest_rows=20_000,
+    train_queries=4_000,
+    test_queries=1_500,
+    imdb_title_rows=5_000,
+    queries_per_subschema=600,
+    gb_trees=150,
+    nn_epochs=40,
+    mscn_epochs=25,
+)
+
+#: Closer-to-paper configuration (minutes to an hour on a laptop).
+FULL = Scale(
+    name="full",
+    forest_rows=config.FOREST_ROWS,
+    train_queries=20_000,
+    test_queries=5_000,
+    imdb_title_rows=config.IMDB_TITLE_ROWS,
+    queries_per_subschema=1_500,
+    gb_trees=250,
+    nn_epochs=80,
+    mscn_epochs=50,
+)
+
+
+def qft_factory(label: str, table: Table, attributes=None,
+                partitions: int = 32, attr_selectivity: bool = True):
+    """Build a fitted QFT by its paper label."""
+    if label == "simple":
+        return SingularEncoding(table, attributes)
+    if label == "range":
+        return RangeEncoding(table, attributes)
+    if label == "conjunctive":
+        return ConjunctiveEncoding(table, attributes,
+                                   max_partitions=partitions,
+                                   attr_selectivity=attr_selectivity)
+    if label == "complex":
+        return DisjunctionEncoding(table, attributes,
+                                   max_partitions=partitions,
+                                   attr_selectivity=attr_selectivity)
+    raise ValueError(f"unknown QFT label {label!r}; expected {QFT_LABELS}")
+
+
+def gb_factory(scale: Scale) -> Callable[[], GradientBoostingRegressor]:
+    """Gradient-boosting model factory at the given scale."""
+    return lambda: GradientBoostingRegressor(n_estimators=scale.gb_trees)
+
+
+def nn_factory(scale: Scale) -> Callable[[], NeuralNetRegressor]:
+    """Feed-forward NN model factory at the given scale."""
+    return lambda: NeuralNetRegressor(epochs=scale.nn_epochs)
+
+
+class Context:
+    """Lazily built, cached data artifacts for one scale."""
+
+    def __init__(self, scale: Scale) -> None:
+        self.scale = scale
+        self._cache: dict[str, object] = {}
+
+    def _get(self, key: str, build: Callable[[], object]):
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+    @property
+    def forest(self) -> Table:
+        """The synthetic forest covertype table."""
+        return self._get("forest", lambda: generate_forest(
+            rows=self.scale.forest_rows))
+
+    @property
+    def imdb(self) -> Schema:
+        """The synthetic IMDb star schema."""
+        return self._get("imdb", lambda: generate_imdb(
+            title_rows=self.scale.imdb_title_rows))
+
+    def conjunctive_workload(self) -> tuple[Workload, Workload]:
+        """(train, test) of the forest conjunctive workload."""
+        def build():
+            total = self.scale.train_queries + self.scale.test_queries
+            workload = generate_conjunctive_workload(self.forest, total)
+            return workload.split(self.scale.train_queries)
+        return self._get("conjunctive", build)
+
+    def mixed_workload(self) -> tuple[Workload, Workload]:
+        """(train, test) of the forest mixed workload."""
+        def build():
+            total = self.scale.train_queries + self.scale.test_queries
+            workload = generate_mixed_workload(self.forest, total,
+                                               seed=config.DEFAULT_SEED + 1)
+            return workload.split(self.scale.train_queries)
+        return self._get("mixed", build)
+
+    def joblight_benchmark(self) -> Workload:
+        """The 70-query JOB-light-style benchmark."""
+        return self._get("joblight", lambda: generate_joblight_benchmark(self.imdb))
+
+    def joblight_training(self) -> Workload:
+        """Balanced per-sub-schema training workload for join experiments."""
+        return self._get("joblight_train", lambda: generate_balanced_training(
+            self.imdb, self.scale.queries_per_subschema))
+
+
+_CONTEXTS: dict[str, Context] = {}
+
+
+def get_context(scale: Scale = SMALL) -> Context:
+    """Process-wide cached context for ``scale``."""
+    if scale.name not in _CONTEXTS:
+        _CONTEXTS[scale.name] = Context(scale)
+    return _CONTEXTS[scale.name]
+
+
+@dataclass
+class ExperimentResult:
+    """Measured rows of one experiment plus the paper's reference values."""
+
+    experiment: str
+    #: What the paper's corresponding table/figure is.
+    paper_artifact: str
+    #: Measured rows (dicts; column order from the first row).
+    rows: list[dict] = field(default_factory=list)
+    #: The paper's reported rows, for side-by-side comparison.
+    paper_rows: list[dict] = field(default_factory=list)
+    #: Free-text notes on how to read the comparison.
+    notes: str = ""
+    #: Row columns forming box-plot labels; non-empty renders an ASCII
+    #: box plot (the paper's figures are box plots) under the table.
+    boxplot_label_keys: tuple[str, ...] = ()
+
+    def markdown(self) -> str:
+        """Render measured (and paper) rows as markdown."""
+        parts = [f"### {self.experiment} — {self.paper_artifact}", ""]
+        parts.append("**Measured**")
+        parts.append("")
+        parts.append(format_table(self.rows))
+        if self.boxplot_label_keys and self.rows:
+            from repro.plotting import boxplot_from_rows
+
+            parts += ["", "```",
+                      boxplot_from_rows(self.rows,
+                                        list(self.boxplot_label_keys)),
+                      "```"]
+        if self.paper_rows:
+            parts += ["", "**Paper reports**", "", format_table(self.paper_rows)]
+        if self.notes:
+            parts += ["", self.notes]
+        return "\n".join(parts)
+
+
+def evaluate_estimator(estimator, workload: Workload) -> QErrorSummary:
+    """q-error summary of ``estimator`` over ``workload``."""
+    estimates = estimator.estimate_batch(workload.queries)
+    return summarize(qerror(workload.cardinalities, estimates))
+
+
+def summary_row(label: Mapping[str, object] | str,
+                summary: QErrorSummary) -> dict:
+    """A table row combining a label with the paper's four error columns."""
+    row = dict(label) if isinstance(label, Mapping) else {"setup": label}
+    row.update(summary.row())
+    return row

@@ -1,0 +1,141 @@
+"""Section 6 extensions, made measurable (beyond the paper's evaluation).
+
+The paper *outlines* two featurization extensions without evaluating
+them; this experiment quantifies both:
+
+* **GROUP BY** — the binary grouping vector concatenated with a QFT,
+  regressing the number of groups (Section 6, first paragraph).  We
+  compare the learned group-count estimator against the trivial
+  "distinct product" upper bound (product of the grouping attributes'
+  distinct counts, capped by the qualifying row estimate).
+* **String prefixes** — the per-letter bucket encoding for
+  ``LIKE 'a%'`` predicates.  We measure the bucket selectivity estimate
+  against the true prefix selectivity over a synthetic dictionary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimators.groupby import (
+    GroupCountEstimator,
+    generate_groupby_workload,
+)
+from repro.experiments.common import (
+    SMALL,
+    ExperimentResult,
+    Scale,
+    get_context,
+)
+from repro.featurize import ConjunctiveEncoding
+from repro.featurize.strings import StringPrefixEncoding
+from repro.metrics import qerror, summarize
+from repro.models import GradientBoostingRegressor
+
+__all__ = ["run_groupby", "run_strings", "run"]
+
+
+def _distinct_product_baseline(table, workload) -> np.ndarray:
+    """Group-count bound a DBMS could compute: the product of the
+    grouping attributes' distinct counts, capped by the (histogram-
+    estimated) number of qualifying rows."""
+    from repro.estimators import PostgresEstimator
+    from repro.sql.ast import Query
+
+    postgres = PostgresEstimator(table)
+    estimates = []
+    for item in workload:
+        bound = 1.0
+        for attr in item.query.group_by:
+            bound *= table.column(attr).stats.distinct_count
+        qualifying = postgres.estimate(
+            Query.single_table(table.name, item.query.where))
+        estimates.append(max(min(bound, qualifying), 1.0))
+    return np.asarray(estimates)
+
+
+def run_groupby(scale: Scale = SMALL) -> ExperimentResult:
+    """Learned group counts vs. the distinct-product bound."""
+    context = get_context(scale)
+    table = context.forest
+    # Group on the high-cardinality terrain attributes (A1..A10): that is
+    # where group counts are data-dependent and estimation is genuinely
+    # hard — grouping on binary indicators is trivially bounded by 2.
+    workload = generate_groupby_workload(
+        table, scale.train_queries + scale.test_queries,
+        group_columns=[f"A{i}" for i in range(1, 11)])
+    train, test = workload.split(scale.train_queries)
+
+    estimator = GroupCountEstimator(
+        ConjunctiveEncoding(table, max_partitions=scale.partitions),
+        table,
+        GradientBoostingRegressor(n_estimators=scale.gb_trees,
+                                  min_samples_leaf=5),
+    ).fit(train.queries, train.cardinalities)
+
+    learned = summarize(qerror(test.cardinalities,
+                               estimator.estimate_batch(test.queries)))
+    baseline = summarize(qerror(test.cardinalities,
+                                _distinct_product_baseline(table, test)))
+    rows = [
+        {"estimator": "GB + conj ⊕ grouping vector", "mean": learned.mean,
+         "median": learned.median, "99%": learned.q99},
+        {"estimator": "distinct-product bound", "mean": baseline.mean,
+         "median": baseline.median, "99%": baseline.q99},
+    ]
+    return ExperimentResult(
+        experiment="ext-groupby",
+        paper_artifact="Section 6: GROUP BY featurization (outlined, not evaluated)",
+        rows=rows,
+        notes=(
+            "Expected shape: the learned estimator beats the "
+            "distinct-product bound decisively — grouping shrinks result "
+            "sizes in data-dependent ways the bound cannot see."
+        ),
+    )
+
+
+def run_strings(scale: Scale = SMALL) -> ExperimentResult:
+    """Bucket selectivity of LIKE-prefix predicates vs. ground truth."""
+    rng = np.random.default_rng(scale.train_queries)
+    # A Zipf-ish dictionary of synthetic words.
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    words = []
+    for _ in range(4_000):
+        length = int(rng.integers(3, 10))
+        first = alphabet[int(rng.zipf(1.4)) % 26]
+        rest = "".join(alphabet[i] for i in rng.integers(0, 26, length - 1))
+        words.append(first + rest)
+
+    rows = []
+    for buckets in (13, 26, 104):
+        encoding = StringPrefixEncoding(words, buckets=buckets)
+        dictionary = encoding.dictionary
+        errors = []
+        for _ in range(300):
+            word = dictionary[int(rng.integers(len(dictionary)))]
+            prefix = word[:int(rng.integers(1, 3))]
+            true_sel = sum(1 for w in dictionary
+                           if w.startswith(prefix)) / len(dictionary)
+            est_sel = encoding.prefix_selectivity(prefix)
+            errors.append(float(qerror(max(true_sel, 1e-9) * len(dictionary),
+                                       max(est_sel, 1e-9) * len(dictionary))))
+        summary = summarize(errors)
+        rows.append({"buckets": buckets, "mean": summary.mean,
+                     "median": summary.median, "99%": summary.q99})
+    return ExperimentResult(
+        experiment="ext-strings",
+        paper_artifact="Section 6: string-prefix featurization (outlined, not evaluated)",
+        rows=rows,
+        notes=(
+            "Expected shape: the dictionary-based selectivity estimate is "
+            "near-exact (it is computed on the dictionary itself); bucket "
+            "count does not change the appended selectivity, only the "
+            "vector's resolution."
+        ),
+    )
+
+
+def run(scale: Scale = SMALL) -> list[ExperimentResult]:
+    """Run both Section 6 extension experiments."""
+    return [run_groupby(scale), run_strings(scale)]

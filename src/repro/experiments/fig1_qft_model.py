@@ -1,0 +1,93 @@
+"""Figure 1 — q-error distribution by QFT × ML model combination (forest).
+
+The paper's grid: {simple, range, conjunctive} × {GB, NN, MSCN} on the
+conjunctive workload, plus {complex} × {GB, NN, MSCN} on the mixed
+workload (separated by a vertical line in the plot).  The paper's three
+take-aways, which this experiment checks:
+
+1. under simple/range the local model choice (GB vs NN) hardly matters,
+2. under conjunctive/complex, GB and MSCN outperform NN,
+3. under GB or MSCN, conjunctive/complex clearly beat the other QFTs.
+"""
+
+from __future__ import annotations
+
+from repro.estimators import LearnedEstimator
+from repro.estimators.learned import MSCNEstimator
+from repro.experiments.common import (
+    SMALL,
+    ExperimentResult,
+    Scale,
+    evaluate_estimator,
+    get_context,
+    qft_factory,
+)
+from repro.models import GradientBoostingRegressor, NeuralNetRegressor
+from repro.models.mscn import MSCNInputBuilder, MSCNModel
+
+__all__ = ["run"]
+
+#: QFT label -> MSCN input-builder mode.
+_MSCN_MODES = {
+    "simple": "basic",
+    "range": "range",
+    "conjunctive": "qft",
+    "complex": "qft",
+}
+
+
+def _workload_for(context, label: str):
+    if label == "complex":
+        return context.mixed_workload()
+    return context.conjunctive_workload()
+
+
+def run(scale: Scale = SMALL) -> ExperimentResult:
+    """Run the Figure 1 grid and return box-plot statistics per combo."""
+    context = get_context(scale)
+    table = context.forest
+    rows = []
+    for label in ("simple", "range", "conjunctive", "complex"):
+        train, test = _workload_for(context, label)
+        combos = {
+            "GB": LearnedEstimator(
+                qft_factory(label, table, partitions=scale.partitions),
+                GradientBoostingRegressor(n_estimators=scale.gb_trees),
+            ),
+            "NN": LearnedEstimator(
+                qft_factory(label, table, partitions=scale.partitions),
+                NeuralNetRegressor(epochs=scale.nn_epochs),
+            ),
+            "MSCN": MSCNEstimator(MSCNModel(
+                MSCNInputBuilder(table, mode=_MSCN_MODES[label],
+                                 max_partitions=scale.partitions),
+                epochs=scale.mscn_epochs,
+            )),
+        }
+        for model_name, estimator in combos.items():
+            estimator.fit(train.queries, train.cardinalities)
+            summary = evaluate_estimator(estimator, test)
+            rows.append({
+                "model": model_name,
+                "qft": label,
+                "workload": train.name.replace("-train", ""),
+                "median": summary.median,
+                "q25": summary.q25,
+                "q75": summary.q75,
+                "q01": summary.q01,
+                "q99": summary.q99,
+                "mean": summary.mean,
+            })
+    return ExperimentResult(
+        experiment="fig1",
+        paper_artifact="Figure 1: error distribution by QFT × ML model",
+        rows=rows,
+        paper_rows=[],
+        boxplot_label_keys=("model", "qft"),
+        notes=(
+            "The paper shows box plots, not numbers.  Expected shape: "
+            "(1) GB ≈ NN under simple/range; (2) GB and MSCN beat NN under "
+            "conjunctive/complex; (3) conjunctive/complex beat simple/range "
+            "under GB and MSCN."
+        ),
+    )

@@ -1,0 +1,102 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner --experiment fig1
+    python -m repro.experiments.runner --experiment tab1 --scale full
+    python -m repro.experiments.runner --all
+    python -m repro.experiments.runner --list
+
+Each experiment prints its measured rows and, where the paper reports
+numbers, the paper's rows for side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import FULL, SMALL, ExperimentResult
+from repro.experiments import (
+    ablations,
+    ext_extensions,
+    fig1_qft_model,
+    fig2_by_attributes,
+    fig3_by_predicates,
+    fig4_vs_established,
+    fig5_query_drift,
+    tab1_joblight,
+    tab2_local_global,
+    tab3_attr_selectivity,
+    tab4_end_to_end,
+    tab5_feature_length,
+    tab6_convergence,
+    tab7_time_memory,
+)
+
+#: Experiment id -> run callable.
+EXPERIMENTS = {
+    "fig1": fig1_qft_model.run,
+    "fig2": fig2_by_attributes.run,
+    "fig3": fig3_by_predicates.run,
+    "fig4": fig4_vs_established.run,
+    "fig5": fig5_query_drift.run,
+    "tab1": tab1_joblight.run,
+    "tab2": tab2_local_global.run,
+    "tab3": tab3_attr_selectivity.run,
+    "tab4": tab4_end_to_end.run,
+    "tab5": tab5_feature_length.run,
+    "tab6": tab6_convergence.run,
+    "tab7": tab7_time_memory.run,
+    "ablations": ablations.run,
+    "extensions": ext_extensions.run,
+}
+
+_SCALES = {"small": SMALL, "full": FULL}
+
+
+def _print_result(result: ExperimentResult | list[ExperimentResult]) -> None:
+    results = result if isinstance(result, list) else [result]
+    for item in results:
+        print()
+        print(item.markdown())
+        print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Runner entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Run the paper-reproduction experiments."
+    )
+    parser.add_argument("--experiment", "-e", choices=sorted(EXPERIMENTS),
+                        help="experiment id (fig1..fig5, tab1..tab7, ablations, "
+                             "extensions)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="small",
+                        help="dataset/training scale (default: small)")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key in sorted(EXPERIMENTS):
+            print(key)
+        return 0
+    if not args.all and not args.experiment:
+        parser.error("choose --experiment <id>, --all, or --list")
+
+    scale = _SCALES[args.scale]
+    chosen = sorted(EXPERIMENTS) if args.all else [args.experiment]
+    for key in chosen:
+        start = time.perf_counter()
+        print(f"== running {key} at scale {scale.name!r} ==")
+        result = EXPERIMENTS[key](scale)
+        _print_result(result)
+        print(f"== {key} finished in {time.perf_counter() - start:.1f}s ==")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Table 7 + Section 5.7 — featurization time and estimator memory.
+
+Two measurements:
+
+* **Featurization time** (Table 7): microseconds per query for each QFT
+  over the forest workload.  Expected ordering: simple < range <
+  conjunctive < complex, all well under a millisecond.
+* **Memory consumption** (Section 5.7 text): trained-model footprints.
+  Expected ordering: GB smallest (kilobytes), MSCN next, NN largest
+  (around a megabyte); the sampling baseline's footprint is the sample
+  itself.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.estimators import LearnedEstimator, SamplingEstimator
+from repro.estimators.learned import MSCNEstimator
+from repro.experiments.common import (
+    SMALL,
+    ExperimentResult,
+    Scale,
+    get_context,
+    qft_factory,
+)
+from repro.models import GradientBoostingRegressor, NeuralNetRegressor
+from repro.models.mscn import MSCNInputBuilder, MSCNModel
+
+__all__ = ["run", "PAPER_TABLE_7"]
+
+PAPER_TABLE_7 = [
+    {"measure": "featurization", "subject": "simple", "value": 21.6, "unit": "us/query"},
+    {"measure": "featurization", "subject": "range", "value": 29.7, "unit": "us/query"},
+    {"measure": "featurization", "subject": "conjunctive", "value": 43.2, "unit": "us/query"},
+    {"measure": "featurization", "subject": "complex", "value": 72.9, "unit": "us/query"},
+]
+
+
+def run(scale: Scale = SMALL) -> ExperimentResult:
+    """Measure featurization µs/query and model memory footprints."""
+    context = get_context(scale)
+    table = context.forest
+    conj_train, _ = context.conjunctive_workload()
+    mixed_train, _ = context.mixed_workload()
+
+    rows = []
+    sample = 1_000
+    for label in ("simple", "range", "conjunctive", "complex"):
+        workload = mixed_train if label == "complex" else conj_train
+        queries = workload.queries[:sample]
+        featurizer = qft_factory(label, table, partitions=scale.partitions)
+        start = time.perf_counter()
+        featurizer.featurize_batch(queries)
+        elapsed = time.perf_counter() - start
+        rows.append({
+            "measure": "featurization",
+            "subject": label,
+            "value": elapsed / len(queries) * 1e6,
+            "unit": "us/query",
+        })
+
+    # Memory footprints of trained estimators (small training runs — the
+    # parameter count, not the accuracy, is what is measured here).
+    head = conj_train.queries[:1_000]
+    cards = conj_train.cardinalities[:1_000]
+    gb = LearnedEstimator(
+        qft_factory("conjunctive", table, partitions=scale.partitions),
+        GradientBoostingRegressor(n_estimators=scale.gb_trees),
+    ).fit(head, cards)
+    nn = LearnedEstimator(
+        qft_factory("conjunctive", table, partitions=scale.partitions),
+        NeuralNetRegressor(epochs=5),
+    ).fit(head, cards)
+    mscn = MSCNEstimator(MSCNModel(
+        MSCNInputBuilder(table, mode="qft", max_partitions=scale.partitions),
+        epochs=2,
+    )).fit(list(head), cards)
+    sampling = SamplingEstimator(table, per_query_sample=False)
+    for name, footprint in (
+        ("GB", gb.memory_bytes()),
+        ("NN", nn.memory_bytes()),
+        ("MSCN", mscn.memory_bytes()),
+        ("Sampling (fixed sample)", sampling.sample_bytes()),
+    ):
+        rows.append({"measure": "memory", "subject": name,
+                     "value": footprint / 1024.0, "unit": "kB"})
+
+    return ExperimentResult(
+        experiment="tab7",
+        paper_artifact="Table 7: QFT time consumption + Section 5.7 memory",
+        rows=rows,
+        paper_rows=PAPER_TABLE_7
+        + [
+            {"measure": "memory", "subject": "GB", "value": 4.8, "unit": "kB"},
+            {"measure": "memory", "subject": "MSCN", "value": 320.0, "unit": "kB (lower bound)"},
+            {"measure": "memory", "subject": "NN", "value": 1024.0, "unit": "kB (>1 MB)"},
+            {"measure": "memory", "subject": "Sampling", "value": 142.0, "unit": "kB"},
+        ],
+        notes=(
+            "Expected shape: featurization time grows with QFT complexity "
+            "(simple < range < conjunctive < complex) and stays far below "
+            "1 ms; GB is the smallest model, NN the largest."
+        ),
+    )

@@ -1,0 +1,144 @@
+"""Featurization-quality analysis tools.
+
+Definition 3.1 calls a featurization *lossless* when a query with the
+same result can be reconstructed from the feature vector.  This module
+makes that definition operational:
+
+* :func:`decode` — the inverse function of Definition 3.1: given a
+  feature vector produced by Universal Conjunction / Limited Disjunction
+  Encoding at **exact resolution** (one partition per integer value), it
+  reconstructs a conjunctive query with the same result set.
+* :func:`is_lossless_for` — whether a fitted encoding is at exact
+  resolution for every attribute (the regime of Lemma 3.2's limit).
+* :func:`collision_report` — quantifies the information loss of *any*
+  featurizer over a workload: queries mapping to the same vector with
+  different cardinalities violate the determinism requirement of the
+  paper's Equation 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.featurize.conjunctive import ConjunctiveEncoding
+from repro.sql.ast import And, BoolExpr, Op, Query, SimplePredicate
+
+__all__ = ["decode", "is_lossless_for", "collision_report", "CollisionReport"]
+
+
+def is_lossless_for(featurizer: ConjunctiveEncoding) -> bool:
+    """True iff every attribute is encoded at one partition per value."""
+    return all(featurizer.is_exact(attr) for attr in featurizer.attributes)
+
+
+def decode(featurizer: ConjunctiveEncoding, vector: np.ndarray) -> Query:
+    """Reconstruct a query with the same result set from a feature vector.
+
+    This is the function whose existence Definition 3.1 demands.  It
+    requires exact resolution (:func:`is_lossless_for`); below that,
+    partitions aggregate several values and no inverse can exist in
+    general (that *is* the information loss).
+
+    The reconstruction per attribute: the entries equal to 1 are the
+    qualifying values; they are expressed as a closed range over the
+    qualifying span plus ``<>`` predicates for interior gaps — always a
+    plain conjunction, even if the vector came from Limited Disjunction
+    Encoding (at exact resolution a union of per-attribute predicates is
+    again expressible as range + exclusions).
+    """
+    if not is_lossless_for(featurizer):
+        inexact = [a for a in featurizer.attributes
+                   if not featurizer.is_exact(a)]
+        raise ValueError(
+            "decode requires exact resolution (one partition per value); "
+            f"inexact attributes: {inexact} — increase max_partitions"
+        )
+    vector = np.asarray(vector, dtype=np.float64)
+    if vector.shape != (featurizer.feature_length,):
+        raise ValueError(
+            f"vector has shape {vector.shape}, expected "
+            f"({featurizer.feature_length},)"
+        )
+    predicates: list[SimplePredicate] = []
+    slices = featurizer.attribute_slices()
+    for attr in featurizer.attributes:
+        segment = vector[slices[attr]]
+        entries = segment[:featurizer.partitions(attr)]
+        stats = featurizer.stats(attr)
+        qualifying = np.nonzero(entries == 1.0)[0]
+        if qualifying.size == entries.size:
+            continue  # no predicate on this attribute
+        if qualifying.size == 0:
+            # Unsatisfiable: no value qualifies.
+            predicates.append(SimplePredicate(attr, Op.LT, stats.min_value))
+            continue
+        # Partition index -> the single value it covers (the geometry
+        # hook also used by Algorithm 1's exact refinement; correct for
+        # both equal-width and equi-depth exact partitions).
+        value_of = featurizer._partition_value
+        lo = value_of(attr, int(qualifying.min()))
+        hi = value_of(attr, int(qualifying.max()))
+        predicates.append(SimplePredicate(attr, Op.GE, lo))
+        predicates.append(SimplePredicate(attr, Op.LE, hi))
+        inside = np.arange(qualifying.min(), qualifying.max() + 1)
+        gaps = np.setdiff1d(inside, qualifying)
+        predicates.extend(
+            SimplePredicate(attr, Op.NE, value_of(attr, int(gap)))
+            for gap in gaps
+        )
+    where: BoolExpr | None
+    if not predicates:
+        where = None
+    elif len(predicates) == 1:
+        where = predicates[0]
+    else:
+        where = And(predicates)
+    return Query.single_table(featurizer.table_name, where)
+
+
+@dataclass(frozen=True)
+class CollisionReport:
+    """Information-loss measurement of a featurizer over a workload."""
+
+    #: Number of queries inspected.
+    total_queries: int
+    #: Distinct feature vectors observed.
+    distinct_vectors: int
+    #: Queries sharing a vector with a different-cardinality query.
+    colliding_queries: int
+    #: Largest cardinality spread within one vector (max/min ratio).
+    worst_spread: float
+
+    @property
+    def collision_rate(self) -> float:
+        """Fraction of queries involved in a determinism violation."""
+        if self.total_queries == 0:
+            return 0.0
+        return self.colliding_queries / self.total_queries
+
+
+def collision_report(featurizer, workload) -> CollisionReport:
+    """Measure Equation-4 violations of ``featurizer`` on ``workload``.
+
+    Works with any vector featurizer (the four QFTs alike); the paper's
+    argument is that lossy QFTs necessarily produce collisions on query
+    classes they cannot represent, which caps achievable accuracy.
+    """
+    buckets: dict[bytes, list[int]] = {}
+    for item in workload:
+        key = featurizer.featurize(item.query).tobytes()
+        buckets.setdefault(key, []).append(item.cardinality)
+    colliding = 0
+    worst = 1.0
+    for cards in buckets.values():
+        if len(set(cards)) > 1:
+            colliding += len(cards)
+            worst = max(worst, max(cards) / max(min(cards), 1))
+    return CollisionReport(
+        total_queries=len(workload),
+        distinct_vectors=len(buckets),
+        colliding_queries=colliding,
+        worst_spread=worst,
+    )

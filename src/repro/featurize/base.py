@@ -1,0 +1,158 @@
+"""Featurizer interface shared by every QFT.
+
+A featurizer is *fitted* to a table: it captures the attribute list and
+per-attribute statistics (min/max/domain size), which define the geometry
+of the feature space.  Featurization itself is then a pure function
+``query -> numpy vector`` of fixed length — exactly the two-step mapping
+of the paper's Equation 2.
+
+All featurizers accept either a single-table :class:`~repro.sql.ast.Query`
+or a bare boolean expression (a WHERE clause).  Attribute names may be
+qualified (``forest.A7``); the table prefix is stripped during resolution.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.data.stats import ColumnStats, TableStats
+from repro.data.table import Table
+from repro.sql.ast import BoolExpr, Query, SimplePredicate
+
+__all__ = ["Featurizer", "LosslessnessError"]
+
+
+class LosslessnessError(ValueError):
+    """Raised when a QFT is asked to encode a query it cannot represent.
+
+    The lossy encodings (Singular, Range) by design *silently* drop
+    information for query classes the paper studies — that is the point of
+    the comparison — but raise for queries entirely outside their contract
+    (e.g. disjunctions), where a silent wrong answer would not be a
+    featurization at all.
+    """
+
+
+class Featurizer(abc.ABC):
+    """Base class of all query featurization techniques."""
+
+    #: Paper label for plots ("simple", "range", "conjunctive", "complex").
+    name: str = "abstract"
+
+    def __init__(self, table: Union[Table, TableStats],
+                 attributes: Sequence[str] | None = None) -> None:
+        # A featurizer consumes only statistics, so a TableStats snapshot
+        # works in place of the table itself (this is how persisted
+        # estimators are reconstructed without the original data).
+        snapshot = (table if isinstance(table, TableStats)
+                    else TableStats.from_table(table))
+        self._table_name = snapshot.name
+        names = (list(attributes) if attributes is not None
+                 else snapshot.column_names)
+        if not names:
+            raise ValueError("featurizer needs at least one attribute")
+        missing = [n for n in names if n not in snapshot]
+        if missing:
+            raise KeyError(f"attributes {missing} not in table "
+                           f"{snapshot.name!r}")
+        self._attributes: tuple[str, ...] = tuple(names)
+        self._stats: dict[str, ColumnStats] = {
+            name: snapshot.column_stats(name) for name in names
+        }
+
+    @property
+    def table_name(self) -> str:
+        """Name of the table this featurizer was fitted to."""
+        return self._table_name
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attributes covered by the feature space, in vector order."""
+        return self._attributes
+
+    def stats(self, attribute: str) -> ColumnStats:
+        """Statistics of ``attribute`` (``KeyError`` if uncovered)."""
+        try:
+            return self._stats[attribute]
+        except KeyError:
+            raise KeyError(
+                f"attribute {attribute!r} is not covered by this featurizer "
+                f"(table {self._table_name!r}, attributes {self._attributes})"
+            ) from None
+
+    def snapshot(self) -> TableStats:
+        """The statistics snapshot this featurizer was fitted to."""
+        return TableStats(name=self._table_name, columns=dict(self._stats))
+
+    def get_config(self) -> dict:
+        """Constructor parameters beyond the snapshot (for persistence).
+
+        Subclasses with extra knobs (partition counts, selectivity
+        appendix, merge operator) override this.
+        """
+        return {}
+
+    @property
+    @abc.abstractmethod
+    def feature_length(self) -> int:
+        """Dimension of the produced feature vectors."""
+
+    @abc.abstractmethod
+    def _featurize_expr(self, expr: BoolExpr | None) -> np.ndarray:
+        """Encode a WHERE expression (``None`` = no predicates)."""
+
+    def featurize(self, query: Query | BoolExpr | None) -> np.ndarray:
+        """Encode a query (or bare WHERE expression) into a feature vector."""
+        expr = self._extract_expr(query)
+        vector = self._featurize_expr(expr)
+        if vector.shape != (self.feature_length,):
+            raise AssertionError(
+                f"{type(self).__name__} produced shape {vector.shape}, "
+                f"expected ({self.feature_length},)"
+            )
+        return vector
+
+    def featurize_batch(self, queries: Iterable[Query | BoolExpr | None]) -> np.ndarray:
+        """Encode many queries into a ``(n, feature_length)`` matrix."""
+        rows = [self.featurize(q) for q in queries]
+        if not rows:
+            return np.empty((0, self.feature_length), dtype=np.float64)
+        return np.stack(rows)
+
+    def _extract_expr(self, query: Query | BoolExpr | None) -> BoolExpr | None:
+        if query is None:
+            return None
+        if isinstance(query, Query):
+            if len(query.tables) != 1:
+                raise ValueError(
+                    f"{type(self).__name__} featurizes single-table queries; "
+                    f"got tables {query.tables} — wrap join queries in "
+                    "JoinQueryFeaturizer"
+                )
+            if query.tables[0] != self._table_name:
+                raise ValueError(
+                    f"query targets table {query.tables[0]!r} but this "
+                    f"featurizer was fitted to {self._table_name!r}"
+                )
+            return query.where
+        return query
+
+    def _resolve(self, predicate: SimplePredicate) -> str:
+        """Return the unqualified attribute name of ``predicate``."""
+        attr = predicate.attribute
+        prefix, dot, rest = attr.partition(".")
+        if dot and prefix == self._table_name:
+            attr = rest
+        if attr not in self._stats:
+            raise KeyError(
+                f"predicate on unknown attribute {predicate.attribute!r} "
+                f"(table {self._table_name!r})"
+            )
+        return attr
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(table={self._table_name!r}, "
+                f"d={self.feature_length})")

@@ -1,0 +1,266 @@
+"""Universal Conjunction Encoding (paper label: ``conjunctive``; Section 3.2).
+
+The data-driven QFT of Algorithm 1: the domain of each attribute ``A`` is
+discretised into ``n_A = min(n, max(A) - min(A) + 1)`` partitions and each
+partition owns one feature-vector entry whose categorical value states
+whether the partition satisfies the query's predicates on ``A``:
+
+* ``1``  — every value in the partition qualifies,
+* ``1/2`` — some values qualify (a predicate boundary falls inside),
+* ``0``  — no value qualifies.
+
+Attributes without predicates stay all-one.  This supports *arbitrarily
+many* AND-connected simple predicates per attribute, because each
+predicate can only lower entries (conjunctions only grow more selective).
+By Lemma 3.2 the encoding converges to a lossless featurization as ``n``
+grows; once every partition covers a single integer value the encoding is
+exact and entries take only values ``{0, 1}`` (the refinement mentioned at
+the end of Section 3.2).
+
+Optionally (Algorithm 1's gray lines, ablated in the paper's Table 3) a
+*per-attribute selectivity estimate* under the uniformity assumption is
+appended to each attribute's segment.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import config
+from repro.data.table import Table
+from repro.featurize.base import Featurizer, LosslessnessError
+from repro.featurize.selectivity import fold_conjunction, uniform_selectivity
+from repro.sql.ast import (
+    BoolExpr,
+    Op,
+    SimplePredicate,
+    is_conjunctive,
+    iter_simple_predicates,
+)
+
+__all__ = ["ConjunctiveEncoding"]
+
+_HALF = 0.5
+
+
+class ConjunctiveEncoding(Featurizer):
+    """Universal Conjunction Encoding (Algorithm 1).
+
+    Parameters
+    ----------
+    table:
+        Table whose attribute statistics define the feature space.
+    attributes:
+        Optional subset/ordering of attributes (defaults to all columns).
+    max_partitions:
+        Maximum per-attribute entries ``n`` (paper default 64; the sweep in
+        Table 5 varies this).
+    attr_selectivity:
+        Whether to append the per-attribute uniformity selectivity
+        estimate (the gray lines of Algorithm 1; ablated in Table 3).
+    """
+
+    name = "conjunctive"
+
+    def __init__(self, table: Table, attributes=None,
+                 max_partitions: int = config.DEFAULT_PARTITIONS,
+                 attr_selectivity: bool = True) -> None:
+        super().__init__(table, attributes)
+        if max_partitions < 1:
+            raise ValueError(f"max_partitions must be >= 1, got {max_partitions}")
+        self._max_partitions = max_partitions
+        self._attr_selectivity = attr_selectivity
+        self._partition_counts: dict[str, int] = {}
+        self._exact: dict[str, bool] = {}
+        for attr in self.attributes:
+            stats = self.stats(attr)
+            if stats.is_integral:
+                n_attr = min(max_partitions, int(stats.domain_size))
+            else:
+                n_attr = max_partitions
+            n_attr = max(n_attr, 1)
+            self._partition_counts[attr] = n_attr
+            # One partition per integer value -> the encoding is exact and
+            # entries never need the "some values qualify" 1/2 state.
+            self._exact[attr] = stats.is_integral and n_attr >= stats.domain_size
+
+    def get_config(self) -> dict:
+        return {"max_partitions": self._max_partitions,
+                "attr_selectivity": self._attr_selectivity}
+
+    @property
+    def max_partitions(self) -> int:
+        """The configured maximum per-attribute partition count ``n``."""
+        return self._max_partitions
+
+    @property
+    def attr_selectivity(self) -> bool:
+        """Whether per-attribute selectivity estimates are appended."""
+        return self._attr_selectivity
+
+    def partitions(self, attribute: str) -> int:
+        """Number of partitions ``n_A`` used for ``attribute``."""
+        return self._partition_counts[attribute]
+
+    def is_exact(self, attribute: str) -> bool:
+        """True iff every partition of ``attribute`` covers one value."""
+        return self._exact[attribute]
+
+    @property
+    def _segment_extra(self) -> int:
+        return 1 if self._attr_selectivity else 0
+
+    @property
+    def feature_length(self) -> int:
+        """Dimension of the produced feature vectors."""
+        return sum(self._partition_counts[a] + self._segment_extra
+                   for a in self.attributes)
+
+    def attribute_slices(self) -> dict[str, slice]:
+        """Map each attribute to its segment of the feature vector."""
+        slices: dict[str, slice] = {}
+        offset = 0
+        for attr in self.attributes:
+            width = self._partition_counts[attr] + self._segment_extra
+            slices[attr] = slice(offset, offset + width)
+            offset += width
+        return slices
+
+    def partition_index(self, attribute: str, value: float) -> int:
+        """Zero-based partition index of ``value`` (Algorithm 1, line 4).
+
+        Values outside the observed domain map to the *virtual* indices
+        ``-1`` (below the minimum) and ``n_A`` (above the maximum), which
+        the per-operator logic interprets as "no partition affected" /
+        "all partitions affected" respectively.
+        """
+        stats = self.stats(attribute)
+        if value < stats.min_value:
+            return -1
+        if value > stats.max_value:
+            return self._partition_counts[attribute]
+        n_attr = self._partition_counts[attribute]
+        idx = math.floor(
+            (value - stats.min_value) / stats.domain_size * n_attr
+        )
+        return min(max(idx, 0), n_attr - 1)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+
+    def _featurize_expr(self, expr: BoolExpr | None) -> np.ndarray:
+        if expr is not None and not is_conjunctive(expr):
+            raise LosslessnessError(
+                "Universal Conjunction Encoding handles conjunctions only; "
+                f"got: {expr.to_sql()} — use Limited Disjunction Encoding "
+                "for mixed queries"
+            )
+        per_attribute: dict[str, list[SimplePredicate]] = {}
+        if expr is not None:
+            for predicate in iter_simple_predicates(expr):
+                attr = self._resolve(predicate)
+                per_attribute.setdefault(attr, []).append(predicate)
+        segments = [
+            self.attribute_segment(attr, per_attribute.get(attr, ()))
+            for attr in self.attributes
+        ]
+        return np.concatenate(segments)
+
+    def attribute_segment(self, attribute: str,
+                          predicates) -> np.ndarray:
+        """Featurize one attribute's conjunction into its vector segment.
+
+        This is the per-attribute body of Algorithm 1, exposed separately
+        because Limited Disjunction Encoding (Algorithm 2) calls it once
+        per disjunction branch before merging.
+        """
+        predicates = list(predicates)
+        n_attr = self._partition_counts[attribute]
+        exact = self._exact[attribute]
+        entries = np.ones(n_attr, dtype=np.float64)
+        for predicate in predicates:
+            self._apply(entries, attribute, predicate, exact)
+        if not self._attr_selectivity:
+            return entries
+        stats = self.stats(attribute)
+        if predicates:
+            interval = fold_conjunction(predicates, stats)
+            selectivity = uniform_selectivity(interval, stats)
+        else:
+            selectivity = 1.0
+        return np.concatenate([entries, [selectivity]])
+
+    def _partition_value(self, attribute: str, idx: int) -> float:
+        """The single value an *exact* partition covers.
+
+        Only called when :meth:`is_exact` holds; equal-width exact
+        partitions map index ``i`` to the integer ``min(A) + i``.
+        Subclasses with other geometries (equi-depth) override this.
+        """
+        return self.stats(attribute).min_value + idx
+
+    def _apply(self, entries: np.ndarray, attribute: str,
+               predicate: SimplePredicate, exact: bool) -> None:
+        """Lower entries according to one predicate (Algorithm 1, lines 5-16).
+
+        For exact partitions the single covered value is known, so the
+        boundary partition resolves to 0 or 1 instead of ½ (the
+        refinement at the end of Section 3.2).
+        """
+        n_attr = entries.size
+        idx = self.partition_index(attribute, predicate.value)
+        in_domain = 0 <= idx < n_attr
+        value = float(predicate.value)
+        op = predicate.op
+        # The single value of the boundary partition, if known exactly.
+        u = (self._partition_value(attribute, idx)
+             if exact and in_domain else None)
+
+        if op is Op.EQ:
+            # Entries may only decrease (Algorithm 1, line 5): a previous
+            # predicate that zeroed the matching partition must win, so a
+            # contradiction like A = 0 AND A = 1 stays all-zero.
+            current = entries[idx] if in_domain else 0.0
+            entries[:] = 0.0
+            if in_domain:
+                if u is None:
+                    entries[idx] = min(current, _HALF)
+                elif u == value:
+                    entries[idx] = current
+                # else: the partition's value differs -> stays 0.
+            return
+        if op is Op.NE:
+            if in_domain:
+                if u is None:
+                    entries[idx] = min(entries[idx], _HALF)
+                elif u == value:
+                    entries[idx] = 0.0
+            return
+        if op in (Op.GT, Op.GE):
+            if idx >= n_attr:
+                entries[:] = 0.0
+                return
+            if idx < 0:
+                return
+            entries[:idx] = 0.0
+            if u is None:
+                entries[idx] = min(entries[idx], _HALF)
+            elif (u < value) or (op is Op.GT and u == value):
+                entries[idx] = 0.0
+            return
+        if op in (Op.LT, Op.LE):
+            if idx < 0:
+                entries[:] = 0.0
+                return
+            if idx >= n_attr:
+                return
+            entries[idx + 1:] = 0.0
+            if u is None:
+                entries[idx] = min(entries[idx], _HALF)
+            elif (u > value) or (op is Op.LT and u == value):
+                entries[idx] = 0.0
+            return
+        raise ValueError(f"unhandled operator {op}")  # pragma: no cover

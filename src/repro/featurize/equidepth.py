@@ -1,0 +1,95 @@
+"""Equi-depth partitioning for Universal Conjunction Encoding.
+
+Section 3.2 notes that the partition count interacts with skew: "For
+attributes with high skew, a larger n may be necessary.  [...] One could
+also apply sophisticated partitioning techniques from the field of
+histograms, like v-optimal and q-optimal partitioning."
+
+This module implements the classic member of that family: **equi-depth**
+partitions, whose boundaries are value quantiles, so every partition
+covers (roughly) the same number of *rows* instead of the same slice of
+the value *domain*.  On skewed attributes this spends resolution where
+the data lives; the equal-width layout of the base class wastes most
+partitions on empty domain regions.
+
+Everything else of Algorithm 1 — the ``{0, ½, 1}`` alphabet, operator
+handling, per-attribute selectivity appendix, Algorithm 2 merging via
+:class:`~repro.featurize.disjunction.DisjunctionEncoding` — is inherited
+unchanged; only the value-to-partition geometry differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import config
+from repro.data.stats import TableStats
+from repro.data.table import Table
+from repro.featurize.conjunctive import ConjunctiveEncoding
+
+__all__ = ["EquiDepthConjunctiveEncoding"]
+
+
+class EquiDepthConjunctiveEncoding(ConjunctiveEncoding):
+    """Universal Conjunction Encoding over quantile-boundary partitions."""
+
+    name = "conjunctive-equidepth"
+
+    def __init__(self, table: Table, attributes=None,
+                 max_partitions: int = config.DEFAULT_PARTITIONS,
+                 attr_selectivity: bool = True) -> None:
+        if isinstance(table, TableStats):
+            raise TypeError(
+                "equi-depth partitioning needs column values, not a "
+                "statistics snapshot; fit it against the Table"
+            )
+        super().__init__(table, attributes, max_partitions=max_partitions,
+                         attr_selectivity=attr_selectivity)
+        # Per-attribute *upper* boundaries of partitions 0..n_A-2 (the
+        # last partition is unbounded above): value v belongs to the
+        # first partition whose boundary is >= v.
+        self._boundaries: dict[str, np.ndarray] = {}
+        # The single distinct value per partition, for exact attributes.
+        self._uniques: dict[str, np.ndarray] = {}
+        for attr in self.attributes:
+            values = table.column(attr).values
+            uniques = np.unique(values)
+            n_attr = min(self._max_partitions, uniques.size)
+            self._partition_counts[attr] = max(n_attr, 1)
+            self._exact[attr] = uniques.size <= n_attr
+            if self._exact[attr]:
+                # One partition per distinct value; boundaries are the
+                # values themselves (minus the last).
+                self._boundaries[attr] = uniques[:-1]
+                self._uniques[attr] = uniques
+            else:
+                quantiles = np.linspace(0.0, 1.0, n_attr + 1)[1:-1]
+                edges = np.quantile(values, quantiles, method="inverted_cdf")
+                # Collapsed edges (heavy skew) would create empty
+                # partitions; dedupe and accept a smaller n_attr.
+                edges = np.unique(edges)
+                self._boundaries[attr] = edges
+                self._partition_counts[attr] = edges.size + 1
+
+    def partition_index(self, attribute: str, value: float) -> int:
+        """Quantile-boundary partition index (replaces the linear formula).
+
+        Values outside the observed domain map to the virtual indices
+        ``-1`` / ``n_A`` exactly like the base class.
+        """
+        stats = self.stats(attribute)
+        if value < stats.min_value:
+            return -1
+        if value > stats.max_value:
+            return self._partition_counts[attribute]
+        boundaries = self._boundaries[attribute]
+        return int(np.searchsorted(boundaries, value, side="left"))
+
+    def _partition_value(self, attribute: str, idx: int) -> float:
+        """The distinct value an exact equi-depth partition covers."""
+        return float(self._uniques[attribute][idx])
+
+    def get_config(self) -> dict:
+        config_dict = super().get_config()
+        config_dict["partitioning"] = "equi-depth"
+        return config_dict

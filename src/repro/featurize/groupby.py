@@ -1,0 +1,59 @@
+"""GROUP BY featurization (Section 6 extension).
+
+"Suppose a binary vector with as many entries as attributes in the table
+under consideration […] this vector exactly describes the GROUP BY clause
+by setting the entry of each of the grouping attributes to 1.  For
+instance, with 5 attributes A1 to A5, ``01010`` corresponds to
+``GROUP BY A2, A4``."
+
+:class:`GroupByVector` produces exactly that vector; it composes with any
+QFT by concatenation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.sql.ast import Query
+
+__all__ = ["GroupByVector"]
+
+
+class GroupByVector:
+    """Binary grouping-attribute indicator for one table's attribute list."""
+
+    def __init__(self, table: Table, attributes: Sequence[str] | None = None) -> None:
+        names = list(attributes) if attributes is not None else table.column_names
+        missing = [n for n in names if n not in table]
+        if missing:
+            raise KeyError(f"attributes {missing} not in table {table.name!r}")
+        self._table_name = table.name
+        self._attributes = tuple(names)
+
+    @property
+    def feature_length(self) -> int:
+        """Dimension of the produced vectors (one entry per attribute)."""
+        return len(self._attributes)
+
+    def featurize(self, query_or_columns: Query | Sequence[str]) -> np.ndarray:
+        """Encode a GROUP BY clause (a query's, or a raw column list)."""
+        if isinstance(query_or_columns, Query):
+            columns = query_or_columns.group_by
+        else:
+            columns = tuple(query_or_columns)
+        vector = np.zeros(len(self._attributes), dtype=np.float64)
+        for column in columns:
+            name = column
+            prefix, dot, rest = column.partition(".")
+            if dot and prefix == self._table_name:
+                name = rest
+            try:
+                vector[self._attributes.index(name)] = 1.0
+            except ValueError:
+                raise KeyError(
+                    f"grouping attribute {column!r} not among {self._attributes}"
+                ) from None
+        return vector

@@ -1,0 +1,110 @@
+"""Closed-interval arithmetic for conjunctions of simple predicates.
+
+All point and range predicates over one attribute can be folded into a
+closed interval ``[lo, hi]`` plus a set of excluded values (Section 3.1):
+``A = 5`` becomes ``[5, 5]``, ``A <= 5`` becomes ``[min(A), 5]``, and for
+integer attributes ``A < 5`` becomes ``[min(A), 4]`` (a small step is used
+for continuous attributes).  ``A <> 5`` records 5 as excluded.
+
+This module provides that folding, plus the *uniformity-assumption
+selectivity* of the folded interval — the gray "per-attribute selectivity
+estimate" appended to the feature vectors of Universal Conjunction
+Encoding (Algorithm 1, lines 17–20).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.data.stats import ColumnStats
+from repro.sql.ast import Op, SimplePredicate
+
+__all__ = ["Interval", "fold_conjunction", "uniform_selectivity"]
+
+#: Relative step used to close strict bounds on continuous domains.
+_CONTINUOUS_STEP = 1e-9
+
+
+@dataclass
+class Interval:
+    """A closed interval with excluded points, over one attribute's domain."""
+
+    lo: float
+    hi: float
+    excluded: set[float] = field(default_factory=set)
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff no value can satisfy the folded conjunction."""
+        return self.lo > self.hi
+
+    def __contains__(self, value: float) -> bool:
+        return (self.lo <= value <= self.hi) and value not in self.excluded
+
+
+def fold_conjunction(predicates: Iterable[SimplePredicate],
+                     stats: ColumnStats) -> Interval:
+    """Fold a conjunction of same-attribute predicates into an interval.
+
+    The caller guarantees all predicates reference the same attribute,
+    whose statistics are ``stats``.
+    """
+    step = 1.0 if stats.is_integral else max(
+        abs(stats.max_value - stats.min_value), 1.0) * _CONTINUOUS_STEP
+    interval = Interval(lo=stats.min_value, hi=stats.max_value)
+    for predicate in predicates:
+        value = float(predicate.value)
+        op = predicate.op
+        if op is Op.EQ:
+            interval.lo = max(interval.lo, value)
+            interval.hi = min(interval.hi, value)
+        elif op is Op.GE:
+            interval.lo = max(interval.lo, value)
+        elif op is Op.GT:
+            interval.lo = max(interval.lo, value + step)
+        elif op is Op.LE:
+            interval.hi = min(interval.hi, value)
+        elif op is Op.LT:
+            interval.hi = min(interval.hi, value - step)
+        elif op is Op.NE:
+            interval.excluded.add(value)
+        else:  # pragma: no cover - Op is a closed enum
+            raise ValueError(f"unhandled operator {op}")
+    return interval
+
+
+def uniform_selectivity(interval: Interval, stats: ColumnStats) -> float:
+    """Fraction of the attribute's domain qualifying under uniformity.
+
+    This mirrors the paper's Algorithm 1 gray lines: the qualifying domain
+    size divided by the total domain size ``max(A) - min(A) + 1`` — a
+    Selinger-style estimate, *not* a data-driven one.
+
+    * Integral domains count qualifying integers (excluding ``<>`` values
+      inside the interval).
+    * Continuous domains use interval length; exclusions have measure
+      zero, and an equality collapse is credited ``1 / distinct_count``.
+    """
+    if interval.is_empty:
+        return 0.0
+    if stats.is_integral:
+        lo = math.ceil(interval.lo)
+        hi = math.floor(interval.hi)
+        if lo > hi:
+            return 0.0
+        excluded_inside = sum(
+            1 for v in interval.excluded
+            if lo <= v <= hi and float(v).is_integer()
+        )
+        qualifying = (hi - lo + 1) - excluded_inside
+        return max(qualifying, 0) / stats.domain_size
+    span = stats.max_value - stats.min_value
+    if span <= 0:
+        return 1.0
+    width = interval.hi - interval.lo
+    if width <= 0:
+        # Equality on a continuous domain: one point qualifies.
+        return 1.0 / max(stats.distinct_count, 1)
+    return min(width / span, 1.0)

@@ -1,0 +1,79 @@
+"""Singular Predicate Encoding (paper label: ``simple``).
+
+The established baseline QFT from prior work (Section 2.1.1): for a table
+with ``m`` attributes the feature vector has ``4 * m`` entries.  Each
+attribute owns four entries — a 3-bit operator indicator over
+``{=, >, <}`` and the min-max-normalised literal::
+
+    A > 5  AND  B = 7   (m = 3)
+    ->  [0,1,0, 0.27,   1,0,0, 0.15,   0,0,0, 0.0]
+         ---A--------   ---B--------   -no pred.--
+
+Non-strict and negated operators are expressed by setting two bits
+(``>=`` sets ``=`` and ``>``; ``<>`` sets ``>`` and ``<``).
+
+**Deliberate information loss** (this is what Section 3 analyses): only
+one predicate per attribute fits.  When a query has ``k > 1`` predicates
+on an attribute, the *first* one is kept and the other ``k - 1`` are
+dropped — the feature vector can no longer distinguish a selective
+many-predicate query from a permissive one-predicate query.
+Disjunctions cannot be represented at all and raise
+:class:`~repro.featurize.base.LosslessnessError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.featurize.base import Featurizer, LosslessnessError
+from repro.sql.ast import BoolExpr, Op, is_conjunctive, iter_simple_predicates
+
+__all__ = ["SingularEncoding"]
+
+#: Entries reserved per attribute: three operator bits plus the literal.
+_ENTRIES_PER_ATTRIBUTE = 4
+
+#: Operator -> (=, >, <) indicator bits.
+_OP_BITS = {
+    Op.EQ: (1.0, 0.0, 0.0),
+    Op.GT: (0.0, 1.0, 0.0),
+    Op.LT: (0.0, 0.0, 1.0),
+    Op.GE: (1.0, 1.0, 0.0),
+    Op.LE: (1.0, 0.0, 1.0),
+    Op.NE: (0.0, 1.0, 1.0),
+}
+
+
+class SingularEncoding(Featurizer):
+    """Singular Predicate Encoding: 4 entries per attribute, 1 predicate each."""
+
+    name = "simple"
+
+    @property
+    def feature_length(self) -> int:
+        """Dimension of the produced feature vectors."""
+        return _ENTRIES_PER_ATTRIBUTE * len(self.attributes)
+
+    def _featurize_expr(self, expr: BoolExpr | None) -> np.ndarray:
+        vector = np.zeros(self.feature_length, dtype=np.float64)
+        if expr is None:
+            return vector
+        if not is_conjunctive(expr):
+            raise LosslessnessError(
+                "Singular Predicate Encoding cannot represent disjunctions; "
+                f"got: {expr.to_sql()}"
+            )
+        offsets = {attr: i * _ENTRIES_PER_ATTRIBUTE
+                   for i, attr in enumerate(self.attributes)}
+        encoded: set[str] = set()
+        for predicate in iter_simple_predicates(expr):
+            attr = self._resolve(predicate)
+            if attr in encoded:
+                # Lossy by design: later predicates on the same attribute
+                # are dropped (Section 3's motivating failure case).
+                continue
+            encoded.add(attr)
+            base = offsets[attr]
+            vector[base:base + 3] = _OP_BITS[predicate.op]
+            vector[base + 3] = self.stats(attr).normalize(predicate.value)
+        return vector

@@ -1,0 +1,137 @@
+"""Error metrics and summaries for cardinality estimation.
+
+The paper evaluates all estimators with the *q-error* (Moerkotte et al.,
+VLDB 2009): ``qerror(x, e) = max(x / e, e / x)`` for a true cardinality
+``x`` and an estimate ``e``.  The q-error is relative, symmetric, and always
+``>= 1``; a perfect estimate has q-error 1.
+
+This module also provides the summary statistics the paper reports: mean,
+median, the 25/75 % box bounds, and the 1/99 % whiskers used in the box
+plots, plus helpers to render result tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "qerror",
+    "QErrorSummary",
+    "summarize",
+    "format_table",
+]
+
+
+def qerror(true_cardinality, estimate) -> np.ndarray:
+    """Return the element-wise q-error ``max(x/e, e/x)``.
+
+    Both arguments may be scalars or arrays and are broadcast against each
+    other.  Inputs are clamped to ``>= 1`` first, mirroring the paper's
+    evaluation protocol ("we consider only queries with non-empty results,
+    and all estimates are >= 1").
+
+    >>> float(qerror(100, 10))
+    10.0
+    >>> float(qerror(10, 100))
+    10.0
+    >>> float(qerror(42, 42))
+    1.0
+    """
+    x = np.maximum(np.asarray(true_cardinality, dtype=np.float64), 1.0)
+    e = np.maximum(np.asarray(estimate, dtype=np.float64), 1.0)
+    return np.maximum(x / e, e / x)
+
+
+@dataclass(frozen=True)
+class QErrorSummary:
+    """Summary statistics of a q-error distribution.
+
+    The fields mirror what the paper reports in its tables (mean, median,
+    99 % quantile, max) and in its box plots (25/75 % box, 1/99 % whiskers).
+    """
+
+    count: int
+    mean: float
+    median: float
+    q25: float
+    q75: float
+    q01: float
+    q99: float
+    max: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the summary as a plain dictionary (for table rendering)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "q25": self.q25,
+            "q75": self.q75,
+            "q01": self.q01,
+            "q99": self.q99,
+            "max": self.max,
+        }
+
+    def row(self) -> dict[str, float]:
+        """Return the four columns used by the paper's tables."""
+        return {
+            "mean": self.mean,
+            "median": self.median,
+            "99%": self.q99,
+            "max": self.max,
+        }
+
+
+def summarize(errors: Iterable[float]) -> QErrorSummary:
+    """Summarise a q-error sample into the paper's reporting statistics.
+
+    Raises ``ValueError`` for an empty sample: a summary of nothing is
+    always a bug in the calling experiment.
+    """
+    arr = np.asarray(list(errors) if not isinstance(errors, np.ndarray) else errors,
+                     dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty q-error sample")
+    return QErrorSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        q25=float(np.quantile(arr, 0.25)),
+        q75=float(np.quantile(arr, 0.75)),
+        q01=float(np.quantile(arr, 0.01)),
+        q99=float(np.quantile(arr, 0.99)),
+        max=float(arr.max()),
+    )
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] | None = None,
+                 float_fmt: str = "{:.2f}") -> str:
+    """Render a list of dict rows as a GitHub-flavoured markdown table.
+
+    ``columns`` fixes the column order; by default the keys of the first
+    row are used.  Floats are formatted with ``float_fmt``; everything else
+    with ``str``.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    body = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in body))
+              for i, col in enumerate(columns)]
+    header = "| " + " | ".join(c.ljust(w) for c, w in zip(columns, widths)) + " |"
+    rule = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    lines = [header, rule]
+    lines += ["| " + " | ".join(v.ljust(w) for v, w in zip(line, widths)) + " |"
+              for line in body]
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Machine-learning models for cardinality estimation, from scratch.
+
+The paper combines its QFTs with three model families (Section 2.2): a
+feed-forward neural network (Keras/TensorFlow in the paper), gradient
+boosting (lightGBM in the paper), and the Multi-Set Convolutional Network
+(PyTorch in the paper).  None of those libraries are available offline,
+so this subpackage implements all three — plus the linear/SVR baselines
+the paper mentions and dismisses — in pure numpy:
+
+* :mod:`repro.models.tree` / :mod:`repro.models.gradient_boosting` —
+  histogram-based gradient-boosted regression trees.
+* :mod:`repro.models.neural_net` — a multi-layer perceptron with ReLU,
+  Adam, mini-batching, and early stopping.
+* :mod:`repro.models.mscn` — the multi-set convolutional network: per-set
+  MLPs, masked average pooling, and an output MLP.
+* :mod:`repro.models.linear` — ridge regression and linear SVR.
+
+All models are *input-agnostic* regressors (``fit(X, y)`` /
+``predict(X)``), which is what lets the QFT vary independently of the
+model (Section 2.2, last paragraph).  Cardinality targets are handled in
+log space by :class:`repro.models.base.LogSpaceRegressor`.
+"""
+
+from repro.models.base import LogSpaceRegressor, Regressor
+from repro.models.gradient_boosting import GradientBoostingRegressor
+from repro.models.linear import LinearSVR, RidgeRegressor
+from repro.models.mscn import MSCNModel, MSCNInputBuilder
+from repro.models.neural_net import NeuralNetRegressor
+
+__all__ = [
+    "Regressor",
+    "LogSpaceRegressor",
+    "GradientBoostingRegressor",
+    "NeuralNetRegressor",
+    "MSCNModel",
+    "MSCNInputBuilder",
+    "RidgeRegressor",
+    "LinearSVR",
+]

@@ -1,0 +1,97 @@
+"""Model interface and the log-space target transform.
+
+Cardinalities span many orders of magnitude, and the q-error is a
+*relative* metric, so every learned estimator in the paper regresses
+``log(cardinality)`` rather than the raw count.
+:class:`LogSpaceRegressor` wraps any raw :class:`Regressor` with that
+transform and clamps predictions to ``>= 1`` (Section 5: "all estimates
+are >= 1").
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro import config
+
+__all__ = ["Regressor", "LogSpaceRegressor", "check_matrix"]
+
+
+def check_matrix(features: np.ndarray, targets: np.ndarray | None = None
+                 ) -> tuple[np.ndarray, np.ndarray | None]:
+    """Validate and normalise ``(X, y)`` shapes; returns float64 arrays."""
+    X = np.asarray(features, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"feature matrix must be 2-d, got shape {X.shape}")
+    if X.shape[0] == 0:
+        raise ValueError("feature matrix must contain at least one sample")
+    if not np.isfinite(X).all():
+        raise ValueError("feature matrix contains NaN or infinity")
+    if targets is None:
+        return X, None
+    y = np.asarray(targets, dtype=np.float64).reshape(-1)
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"targets length {y.shape[0]} does not match samples {X.shape[0]}"
+        )
+    if not np.isfinite(y).all():
+        raise ValueError("targets contain NaN or infinity")
+    return X, y
+
+
+class Regressor(abc.ABC):
+    """A supervised regressor ``f: R^d -> R`` (the paper's Equation 3)."""
+
+    @abc.abstractmethod
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "Regressor":
+        """Train on a feature matrix ``(n, d)`` and targets ``(n,)``."""
+
+    @abc.abstractmethod
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for a feature matrix ``(n, d)``."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint of the trained model.
+
+        Used for the memory-consumption comparison of Section 5.7.
+        """
+
+
+class LogSpaceRegressor:
+    """Wrap a raw regressor to train/predict cardinalities in log space."""
+
+    def __init__(self, model: Regressor) -> None:
+        self._model = model
+        self._fitted = False
+
+    @property
+    def model(self) -> Regressor:
+        """The wrapped raw regressor."""
+        return self._model
+
+    def fit(self, features: np.ndarray, cardinalities: np.ndarray
+            ) -> "LogSpaceRegressor":
+        """Train on raw cardinalities (transformed to ``log`` internally)."""
+        X, y = check_matrix(features, cardinalities)
+        if (y < 0).any():
+            raise ValueError("cardinalities must be non-negative")
+        self._model.fit(X, np.log(np.maximum(y, 1.0)))
+        self._fitted = True
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict cardinalities (``exp`` of the model output, clamped >= 1)."""
+        if not self._fitted:
+            raise RuntimeError("model must be fitted before predicting")
+        X, _ = check_matrix(features)
+        log_pred = self._model.predict(X)
+        # Guard the exponential against runaway extrapolation.
+        log_pred = np.clip(log_pred, 0.0, 80.0)
+        return np.maximum(np.exp(log_pred), config.MIN_ESTIMATE)
+
+    def memory_bytes(self) -> int:
+        """Footprint of the wrapped model."""
+        return self._model.memory_bytes()

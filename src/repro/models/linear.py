@@ -1,0 +1,111 @@
+"""Linear baselines the paper mentions and dismisses (Section 2.2).
+
+"We also tested simpler models, like linear regression and support vector
+regression.  However, we do not include these ML models in the further
+discussion and evaluation since their estimates are worse by a
+significant factor."  We implement both so that claim is checkable
+(see ``tests/models/test_linear.py`` and the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import config
+from repro.models.base import Regressor, check_matrix
+
+__all__ = ["RidgeRegressor", "LinearSVR"]
+
+
+class RidgeRegressor(Regressor):
+    """L2-regularised least squares, solved in closed form."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self._coef: np.ndarray | None = None
+        self._intercept = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegressor":
+        X, y = check_matrix(features, targets)
+        mean_x = X.mean(axis=0)
+        mean_y = float(y.mean())
+        Xc = X - mean_x
+        yc = y - mean_y
+        gram = Xc.T @ Xc + self.alpha * np.eye(X.shape[1])
+        self._coef = np.linalg.solve(gram, Xc.T @ yc)
+        self._intercept = mean_y - float(mean_x @ self._coef)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._coef is None:
+            raise RuntimeError("model must be fitted before predicting")
+        X, _ = check_matrix(features)
+        return X @ self._coef + self._intercept
+
+    def memory_bytes(self) -> int:
+        if self._coef is None:
+            return 0
+        return self._coef.nbytes + 8
+
+
+class LinearSVR(Regressor):
+    """Linear support vector regression via subgradient descent.
+
+    Epsilon-insensitive loss with L2 regularisation; plain mini-batch
+    subgradient updates are plenty for a baseline that exists to be
+    outperformed.
+    """
+
+    def __init__(self, epsilon: float = 0.1, c: float = 1.0,
+                 epochs: int = 60, batch_size: int = 128,
+                 learning_rate: float = 1e-2,
+                 random_state: int = config.DEFAULT_SEED) -> None:
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        if c <= 0:
+            raise ValueError(f"c must be > 0, got {c}")
+        self.epsilon = epsilon
+        self.c = c
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.random_state = random_state
+        self._coef: np.ndarray | None = None
+        self._intercept = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearSVR":
+        X, y = check_matrix(features, targets)
+        rng = np.random.default_rng(self.random_state)
+        coef = np.zeros(X.shape[1])
+        intercept = float(y.mean())
+        n = X.shape[0]
+        for epoch in range(self.epochs):
+            lr = self.learning_rate / (1.0 + 0.1 * epoch)
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                residual = X[idx] @ coef + intercept - y[idx]
+                # Subgradient of the epsilon-insensitive loss.
+                sign = np.where(residual > self.epsilon, 1.0,
+                                np.where(residual < -self.epsilon, -1.0, 0.0))
+                grad_coef = (self.c * (X[idx].T @ sign) / idx.size
+                             + coef / n)
+                grad_intercept = self.c * float(sign.mean())
+                coef -= lr * grad_coef
+                intercept -= lr * grad_intercept
+        self._coef = coef
+        self._intercept = intercept
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._coef is None:
+            raise RuntimeError("model must be fitted before predicting")
+        X, _ = check_matrix(features)
+        return X @ self._coef + self._intercept
+
+    def memory_bytes(self) -> int:
+        if self._coef is None:
+            return 0
+        return self._coef.nbytes + 8

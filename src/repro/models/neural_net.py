@@ -1,0 +1,223 @@
+"""Feed-forward neural network (Section 2.2.1), pure numpy.
+
+A multi-layer perceptron with ReLU activations trained with Adam on the
+mean-squared error of the log-cardinality target — the architecture class
+used by the local models of Woltmann et al. [32].  Inputs are
+standardised internally; training uses mini-batches, an optional
+validation split, and early stopping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import config
+from repro.models.base import Regressor, check_matrix
+
+__all__ = ["NeuralNetRegressor"]
+
+
+class _Standardizer:
+    """Per-feature standardisation fitted on the training matrix."""
+
+    def fit(self, X: np.ndarray) -> "_Standardizer":
+        self.mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.std = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        return (X - self.mean) / self.std
+
+
+class NeuralNetRegressor(Regressor):
+    """MLP regressor: ``input -> hidden... -> 1`` with ReLU and Adam."""
+
+    def __init__(self, hidden_sizes: tuple[int, ...] = (256, 128),
+                 epochs: int = 60, batch_size: int = 128,
+                 learning_rate: float = 1e-3, l2: float = 1e-6,
+                 early_stopping_rounds: int | None = 8,
+                 validation_fraction: float = 0.1,
+                 random_state: int = config.DEFAULT_SEED) -> None:
+        if not hidden_sizes:
+            raise ValueError("at least one hidden layer is required")
+        if any(h < 1 for h in hidden_sizes):
+            raise ValueError(f"hidden sizes must be positive, got {hidden_sizes}")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.early_stopping_rounds = early_stopping_rounds
+        self.validation_fraction = validation_fraction
+        self.random_state = random_state
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._scaler: _Standardizer | None = None
+
+    # ------------------------------------------------------------------
+
+    def _init_params(self, input_dim: int, rng: np.random.Generator) -> None:
+        sizes = [input_dim, *self.hidden_sizes, 1]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            # He initialisation for ReLU layers.
+            scale = np.sqrt(2.0 / fan_in)
+            self._weights.append(rng.normal(0.0, scale, (fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Return output and the post-activation of every layer."""
+        activations = [X]
+        out = X
+        last = len(self._weights) - 1
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            out = out @ W + b
+            if i != last:
+                out = np.maximum(out, 0.0)
+            activations.append(out)
+        return out[:, 0], activations
+
+    def _backward(self, activations: list[np.ndarray], error: np.ndarray
+                  ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Gradients of the MSE loss w.r.t. weights and biases."""
+        batch = activations[0].shape[0]
+        grad_w = [np.empty(0)] * len(self._weights)
+        grad_b = [np.empty(0)] * len(self._biases)
+        # dL/d(output) for 0.5 * mean((pred - y)^2).
+        delta = (error / batch)[:, None]
+        for i in range(len(self._weights) - 1, -1, -1):
+            grad_w[i] = activations[i].T @ delta + self.l2 * self._weights[i]
+            grad_b[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = delta @ self._weights[i].T
+                delta *= activations[i] > 0.0  # ReLU derivative
+        return grad_w, grad_b
+
+    # ------------------------------------------------------------------
+
+    def fit(self, features: np.ndarray, targets: np.ndarray
+            ) -> "NeuralNetRegressor":
+        X, y = check_matrix(features, targets)
+        rng = np.random.default_rng(self.random_state)
+        self._scaler = _Standardizer().fit(X)
+        X = self._scaler.transform(X)
+        self._init_params(X.shape[1], rng)
+
+        use_early_stop = (self.early_stopping_rounds is not None
+                          and X.shape[0] >= 50)
+        if use_early_stop:
+            permutation = rng.permutation(X.shape[0])
+            n_val = max(int(X.shape[0] * self.validation_fraction), 10)
+            val_idx, train_idx = permutation[:n_val], permutation[n_val:]
+        else:
+            train_idx = np.arange(X.shape[0])
+            val_idx = np.empty(0, dtype=np.int64)
+
+        # Adam state.
+        m_w = [np.zeros_like(W) for W in self._weights]
+        v_w = [np.zeros_like(W) for W in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        best_val = np.inf
+        best_params: tuple[list[np.ndarray], list[np.ndarray]] | None = None
+        rounds_since_best = 0
+
+        for _ in range(self.epochs):
+            order = rng.permutation(train_idx)
+            for start in range(0, order.size, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                if batch.size == 0:
+                    continue
+                pred, activations = self._forward(X[batch])
+                grad_w, grad_b = self._backward(activations, pred - y[batch])
+                step += 1
+                for i in range(len(self._weights)):
+                    m_w[i] = beta1 * m_w[i] + (1 - beta1) * grad_w[i]
+                    v_w[i] = beta2 * v_w[i] + (1 - beta2) * grad_w[i]**2
+                    m_b[i] = beta1 * m_b[i] + (1 - beta1) * grad_b[i]
+                    v_b[i] = beta2 * v_b[i] + (1 - beta2) * grad_b[i]**2
+                    m_hat_w = m_w[i] / (1 - beta1**step)
+                    v_hat_w = v_w[i] / (1 - beta2**step)
+                    m_hat_b = m_b[i] / (1 - beta1**step)
+                    v_hat_b = v_b[i] / (1 - beta2**step)
+                    self._weights[i] -= (self.learning_rate * m_hat_w
+                                         / (np.sqrt(v_hat_w) + eps))
+                    self._biases[i] -= (self.learning_rate * m_hat_b
+                                        / (np.sqrt(v_hat_b) + eps))
+
+            if use_early_stop:
+                val_pred, _ = self._forward(X[val_idx])
+                val_loss = float(np.mean((val_pred - y[val_idx]) ** 2))
+                if val_loss < best_val - 1e-9:
+                    best_val = val_loss
+                    best_params = ([W.copy() for W in self._weights],
+                                   [b.copy() for b in self._biases])
+                    rounds_since_best = 0
+                else:
+                    rounds_since_best += 1
+                    if rounds_since_best >= self.early_stopping_rounds:
+                        break
+
+        if best_params is not None:
+            self._weights, self._biases = best_params
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._scaler is None:
+            raise RuntimeError("model must be fitted before predicting")
+        X, _ = check_matrix(features)
+        pred, _ = self._forward(self._scaler.transform(X))
+        return pred
+
+    def memory_bytes(self) -> int:
+        """Footprint of weights, biases, and the scaler."""
+        params = sum(W.nbytes for W in self._weights)
+        params += sum(b.nbytes for b in self._biases)
+        if self._scaler is not None:
+            params += self._scaler.mean.nbytes + self._scaler.std.nbytes
+        return params
+
+    # ------------------------------------------------------------------
+    # Persistence (see repro.persistence)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable state: JSON-safe ``config`` + numpy ``arrays``."""
+        if self._scaler is None:
+            raise RuntimeError("cannot serialise an unfitted model")
+        arrays = {"scaler_mean": self._scaler.mean,
+                  "scaler_std": self._scaler.std}
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            arrays[f"w{i}"] = W
+            arrays[f"b{i}"] = b
+        config = {
+            "kind": "neural_net",
+            "n_layers": len(self._weights),
+            "hidden_sizes": list(self.hidden_sizes),
+        }
+        return {"config": config, "arrays": arrays}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "NeuralNetRegressor":
+        """Rebuild a predict-only model from :meth:`state_dict` output."""
+        config = state["config"]
+        if config.get("kind") != "neural_net":
+            raise ValueError(f"not a neural-net state: {config}")
+        model = cls(hidden_sizes=tuple(config["hidden_sizes"]))
+        arrays = state["arrays"]
+        model._weights = [np.asarray(arrays[f"w{i}"])
+                          for i in range(config["n_layers"])]
+        model._biases = [np.asarray(arrays[f"b{i}"])
+                         for i in range(config["n_layers"])]
+        scaler = _Standardizer()
+        scaler.mean = np.asarray(arrays["scaler_mean"])
+        scaler.std = np.asarray(arrays["scaler_std"])
+        model._scaler = scaler
+        return model

@@ -1,0 +1,21 @@
+"""Query-optimizer substrate for the end-to-end experiment (Table 4).
+
+The paper integrates its estimator into PostgreSQL and measures JOB-light
+run times under (a) Postgres's own estimates, (b) the learned estimates,
+and (c) true cardinalities.  Offline, we reproduce the *plan-choice*
+mechanism that drives those run times:
+
+* :mod:`repro.optimizer.dp` — a System-R-style dynamic-programming join
+  orderer that picks the cheapest left-deep join order under a given
+  cardinality estimator (``C_out`` cost: the sum of estimated
+  intermediate result sizes).
+* :mod:`repro.optimizer.execute` — a work-based plan "executor" that
+  charges every chosen intermediate its **true** size (tuples that a real
+  executor would materialise), making plan quality measurable without a
+  DBMS.
+"""
+
+from repro.optimizer.dp import JoinPlan, optimize
+from repro.optimizer.execute import plan_work, workload_work
+
+__all__ = ["JoinPlan", "optimize", "plan_work", "workload_work"]

@@ -1,0 +1,42 @@
+"""Sub-queries over table subsets (the DP's estimation targets)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.data.schema import Schema
+from repro.sql.ast import And, BoolExpr, Query
+from repro.sql.executor import per_table_selections
+
+__all__ = ["subquery"]
+
+
+def subquery(query: Query, tables: Iterable[str], schema: Schema) -> Query:
+    """Restrict ``query`` to the subset ``tables``.
+
+    Keeps the join predicates whose endpoints both lie in the subset and
+    the selection terms owned by subset tables.  The subset must be
+    non-empty and drawn from the query's FROM list.
+    """
+    subset = tuple(t for t in query.tables if t in set(tables))
+    if len(subset) != len(set(tables)):
+        unknown = set(tables) - set(query.tables)
+        raise ValueError(f"tables {sorted(unknown)} not part of the query")
+    if not subset:
+        raise ValueError("subset must contain at least one table")
+    joins = tuple(
+        j for j in query.joins
+        if j.left_table in subset and j.right_table in subset
+    )
+    selections = per_table_selections(query, schema)
+    terms: list[BoolExpr] = [
+        selections[t] for t in subset if selections.get(t) is not None
+    ]
+    where: BoolExpr | None
+    if not terms:
+        where = None
+    elif len(terms) == 1:
+        where = terms[0]
+    else:
+        where = And(terms)
+    return Query(tables=subset, joins=joins, where=where)

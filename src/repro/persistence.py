@@ -1,0 +1,137 @@
+"""Persistence for trained estimators.
+
+Training is the expensive step (the paper reports days of query
+generation and minutes of training, Section 5.5.2); a production
+deployment trains once and serves many estimates.  This module saves a
+fitted :class:`~repro.estimators.learned.LearnedEstimator` to a single
+``.npz`` file and loads it back *without the original data* — the
+featurizer is reconstructed from its statistics snapshot.
+
+Supported featurizers: Singular/Range/Conjunctive/Disjunction encodings.
+Supported models: gradient boosting and the feed-forward NN.  Loaded
+models are predict-only (optimizer state and bin mappers are not kept).
+
+Example::
+
+    save_estimator(estimator, "forest_gb_conj.npz")
+    estimator = load_estimator("forest_gb_conj.npz")
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.stats import ColumnStats, TableStats
+from repro.estimators.learned import LearnedEstimator
+from repro.featurize import (
+    ConjunctiveEncoding,
+    DisjunctionEncoding,
+    RangeEncoding,
+    SingularEncoding,
+)
+from repro.models.gradient_boosting import GradientBoostingRegressor
+from repro.models.neural_net import NeuralNetRegressor
+
+__all__ = ["save_estimator", "load_estimator", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+_FEATURIZERS = {
+    "SingularEncoding": SingularEncoding,
+    "RangeEncoding": RangeEncoding,
+    "ConjunctiveEncoding": ConjunctiveEncoding,
+    "DisjunctionEncoding": DisjunctionEncoding,
+}
+
+_MODELS = {
+    "gradient_boosting": GradientBoostingRegressor,
+    "neural_net": NeuralNetRegressor,
+}
+
+
+def _snapshot_to_json(snapshot: TableStats) -> dict:
+    return {
+        "name": snapshot.name,
+        "columns": {name: asdict(stats)
+                    for name, stats in snapshot.columns.items()},
+    }
+
+
+def _snapshot_from_json(payload: dict) -> TableStats:
+    columns = {}
+    for name, fields in payload["columns"].items():
+        fields = dict(fields)
+        for key in ("histogram_bounds", "mcv_values", "mcv_fractions"):
+            fields[key] = tuple(fields[key])
+        columns[name] = ColumnStats(**fields)
+    return TableStats(name=payload["name"], columns=columns)
+
+
+def save_estimator(estimator: LearnedEstimator, path: str | Path) -> None:
+    """Serialise a fitted learned estimator to one ``.npz`` file."""
+    featurizer = estimator.featurizer
+    class_name = type(featurizer).__name__
+    if class_name not in _FEATURIZERS:
+        raise TypeError(
+            f"cannot persist featurizer of type {class_name}; supported: "
+            f"{sorted(_FEATURIZERS)}"
+        )
+    model = estimator.model.model  # unwrap the log-space wrapper
+    if not hasattr(model, "state_dict"):
+        raise TypeError(
+            f"cannot persist model of type {type(model).__name__}; it has "
+            "no state_dict()"
+        )
+    state = model.state_dict()
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "estimator_name": estimator.name,
+        "featurizer": {
+            "class": class_name,
+            "config": featurizer.get_config(),
+            "attributes": list(featurizer.attributes),
+            "snapshot": _snapshot_to_json(featurizer.snapshot()),
+        },
+        "model": state["config"],
+    }
+    arrays = {f"model/{key}": value for key, value in state["arrays"].items()}
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, __meta__=np.asarray(json.dumps(meta)),
+                            **arrays)
+
+
+def load_estimator(path: str | Path) -> LearnedEstimator:
+    """Load an estimator saved by :func:`save_estimator`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if "__meta__" not in archive:
+            raise ValueError(f"{path} is not a persisted estimator")
+        meta = json.loads(str(archive["__meta__"]))
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported format version {meta.get('format_version')}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        arrays = {key[len("model/"):]: archive[key]
+                  for key in archive.files if key.startswith("model/")}
+
+    feat_meta = meta["featurizer"]
+    featurizer_cls = _FEATURIZERS[feat_meta["class"]]
+    snapshot = _snapshot_from_json(feat_meta["snapshot"])
+    featurizer = featurizer_cls(snapshot, feat_meta["attributes"],
+                                **feat_meta["config"])
+
+    model_cls = _MODELS[meta["model"]["kind"]]
+    model = model_cls.from_state({"config": meta["model"], "arrays": arrays})
+
+    estimator = LearnedEstimator(featurizer, model,
+                                 name=meta["estimator_name"])
+    # The persisted model is fitted; mark the wrapper accordingly.
+    estimator.model._fitted = True
+    estimator._fitted = True
+    return estimator

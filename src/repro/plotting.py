@@ -1,0 +1,95 @@
+"""Text-based box plots for q-error distributions.
+
+The paper's figures are box plots (25/75 % boxes, 1/99 % whiskers,
+median band).  Without a plotting stack available offline, this module
+renders the same geometry as monospace text on a log-scaled axis, so
+experiment results remain *visually* comparable in a terminal or a
+markdown code block::
+
+    GB+conj     |------[=====|========]----------------|        q99=38.1
+    GB+simple   |---------[========|======]------------------|  q99=75.3
+
+Used by the experiment runner for the figure experiments; also part of
+the public API for ad-hoc comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.metrics import QErrorSummary
+
+__all__ = ["ascii_boxplot", "boxplot_from_rows"]
+
+
+def _position(value: float, lo: float, hi: float, width: int) -> int:
+    """Map a value to a column on a log-scaled axis of ``width`` columns."""
+    value = max(value, lo)
+    if hi <= lo:
+        return 0
+    fraction = (math.log(value) - math.log(lo)) / (math.log(hi) - math.log(lo))
+    return min(max(int(round(fraction * (width - 1))), 0), width - 1)
+
+
+def ascii_boxplot(items: Sequence[tuple[str, QErrorSummary]],
+                  width: int = 60) -> str:
+    """Render labeled q-error summaries as aligned text box plots.
+
+    Whiskers span the 1 %..99 % quantiles, the box spans 25 %..75 %, and
+    ``|`` inside the box marks the median — the same convention as the
+    paper's figures.  The axis is logarithmic and shared across rows.
+    """
+    if not items:
+        return "(no data)"
+    if width < 20:
+        raise ValueError(f"width must be >= 20 columns, got {width}")
+    lo = max(min(s.q01 for _, s in items), 1.0)
+    hi = max(max(s.q99 for _, s in items), lo * 1.01)
+    label_width = max(len(label) for label, _ in items)
+
+    lines = []
+    for label, summary in items:
+        canvas = [" "] * width
+        left = _position(max(summary.q01, lo), lo, hi, width)
+        right = _position(summary.q99, lo, hi, width)
+        box_left = _position(summary.q25, lo, hi, width)
+        box_right = _position(summary.q75, lo, hi, width)
+        median = _position(summary.median, lo, hi, width)
+        for i in range(left, right + 1):
+            canvas[i] = "-"
+        for i in range(box_left, box_right + 1):
+            canvas[i] = "="
+        canvas[left] = "|"
+        canvas[right] = "|"
+        canvas[median] = "|" if canvas[median] != "=" else "+"
+        lines.append(
+            f"{label.ljust(label_width)}  {''.join(canvas)}  "
+            f"median={summary.median:.2f} q99={summary.q99:.1f}"
+        )
+    axis = (f"{' ' * label_width}  [log axis: {lo:.2f} .. {hi:.1f}]")
+    return "\n".join([*lines, axis])
+
+
+def boxplot_from_rows(rows: Sequence[Mapping[str, object]],
+                      label_keys: Sequence[str],
+                      width: int = 60) -> str:
+    """Render experiment-result rows (as produced by the experiment
+    modules, with ``median``/``q25``/``q75``/``q01``/``q99`` columns) as
+    a text box plot; ``label_keys`` name the columns forming the label.
+    """
+    items = []
+    for row in rows:
+        label = " ".join(str(row[k]) for k in label_keys)
+        summary = QErrorSummary(
+            count=int(row.get("queries", row.get("count", 0)) or 0),
+            mean=float(row.get("mean", 1.0)),
+            median=float(row["median"]),
+            q25=float(row.get("q25", row["median"])),
+            q75=float(row.get("q75", row["median"])),
+            q01=float(row.get("q01", 1.0)),
+            q99=float(row["q99"]),
+            max=float(row.get("max", row["q99"])),
+        )
+        items.append((label, summary))
+    return ascii_boxplot(items, width=width)

@@ -1,0 +1,147 @@
+"""A fluent query-builder API.
+
+SQL strings (via :func:`repro.sql.parser.parse_query`) are one way to
+construct queries; programs composing queries dynamically are better
+served by a typed builder::
+
+    from repro.sql.builder import col, query
+
+    q = (query("forest")
+         .where((col("A1") >= 2500) & (col("A1") <= 3100)
+                | (col("A1") == 1900))
+         .where(col("A3") != 7)
+         .group_by("A55")
+         .build())
+
+``&`` is AND, ``|`` is OR; chained :meth:`QueryBuilder.where` calls are
+AND-connected, mirroring SQL's conjunctive WHERE style.  The result is a
+plain :class:`~repro.sql.ast.Query`, interchangeable with parsed ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.ast import And, BoolExpr, JoinPredicate, Op, Or, Query, SimplePredicate
+
+__all__ = ["col", "query", "Column", "Expr", "QueryBuilder"]
+
+
+@dataclass(frozen=True)
+class Expr:
+    """A boolean expression under construction (supports ``&`` and ``|``)."""
+
+    node: BoolExpr
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return Expr(And([self.node, other.node]))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Expr(Or([self.node, other.node]))
+
+    def to_sql(self) -> str:
+        """Render the expression as SQL text."""
+        return self.node.to_sql()
+
+
+class Column:
+    """A column reference producing predicates via comparison operators.
+
+    Deliberately *not* hashable and not a dataclass: ``==`` builds a
+    predicate instead of comparing, so identity-based use (dict keys,
+    sets) would be a bug waiting to happen.
+    """
+
+    __hash__ = None
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("column name must be non-empty")
+        self.name = name
+
+    def _predicate(self, op: Op, value) -> Expr:
+        return Expr(SimplePredicate(self.name, op, float(value)))
+
+    def __eq__(self, value) -> Expr:  # type: ignore[override]
+        return self._predicate(Op.EQ, value)
+
+    def __ne__(self, value) -> Expr:  # type: ignore[override]
+        return self._predicate(Op.NE, value)
+
+    def __lt__(self, value) -> Expr:
+        return self._predicate(Op.LT, value)
+
+    def __le__(self, value) -> Expr:
+        return self._predicate(Op.LE, value)
+
+    def __gt__(self, value) -> Expr:
+        return self._predicate(Op.GT, value)
+
+    def __ge__(self, value) -> Expr:
+        return self._predicate(Op.GE, value)
+
+    def between(self, lo, hi) -> Expr:
+        """Closed-range shorthand: ``lo <= column <= hi``."""
+        return (self >= lo) & (self <= hi)
+
+
+def col(name: str) -> Column:
+    """A column reference (optionally qualified as ``table.column``)."""
+    return Column(name)
+
+
+class QueryBuilder:
+    """Accumulates tables, joins, selections, and grouping into a Query."""
+
+    def __init__(self, *tables: str) -> None:
+        if not tables:
+            raise ValueError("query() needs at least one table")
+        self._tables = tuple(tables)
+        self._joins: list[JoinPredicate] = []
+        self._conditions: list[BoolExpr] = []
+        self._group_by: tuple[str, ...] = ()
+
+    def join(self, child: str, parent: str) -> "QueryBuilder":
+        """Add an equi-join; both sides as qualified ``table.column``."""
+        child_table, _, child_column = child.partition(".")
+        parent_table, _, parent_column = parent.partition(".")
+        if not child_column or not parent_column:
+            raise ValueError(
+                f"join sides must be qualified table.column, got "
+                f"{child!r} = {parent!r}"
+            )
+        self._joins.append(JoinPredicate(child_table, child_column,
+                                         parent_table, parent_column))
+        return self
+
+    def where(self, condition: Expr) -> "QueryBuilder":
+        """Add a condition; multiple calls are AND-connected."""
+        if not isinstance(condition, Expr):
+            raise TypeError(
+                f"where() expects an Expr built from col(), got "
+                f"{type(condition).__name__}"
+            )
+        self._conditions.append(condition.node)
+        return self
+
+    def group_by(self, *columns: str) -> "QueryBuilder":
+        """Set the grouping columns."""
+        self._group_by = tuple(columns)
+        return self
+
+    def build(self) -> Query:
+        """Produce the immutable :class:`~repro.sql.ast.Query`."""
+        where: BoolExpr | None
+        if not self._conditions:
+            where = None
+        elif len(self._conditions) == 1:
+            where = self._conditions[0]
+        else:
+            where = And(self._conditions)
+        return Query(tables=self._tables, joins=tuple(self._joins),
+                     where=where, group_by=self._group_by)
+
+
+def query(*tables: str) -> QueryBuilder:
+    """Start building a ``SELECT count(*)`` query over ``tables``."""
+    return QueryBuilder(*tables)

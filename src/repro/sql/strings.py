@@ -1,0 +1,126 @@
+"""Desugaring of string predicates into numeric code predicates.
+
+Section 6: "The state-of-the-art approach to support strings is to use a
+dictionary encoding.  This approach works for equality predicates.
+However, range predicates could only be supported for sorted
+dictionaries."  This package's dictionaries *are* sorted
+(:meth:`repro.data.column.Column.from_strings`), so:
+
+* ``name = 'spam'``  desugars to an equality on the value's code,
+* ``name <> 'spam'`` to the corresponding not-equal,
+* ``name LIKE 'spa%'`` to a closed **code range** — prefixed values are
+  contiguous in a sorted dictionary.
+
+After :func:`desugar_strings`, a query contains only numeric simple
+predicates and every QFT consumes it unchanged — which is precisely the
+paper's point that Universal Conjunction Encoding "naturally supports"
+such predicates.
+
+Predicates on absent values desugar to the unsatisfiable ``attr = -1``
+(codes are non-negative), preserving result equivalence.
+"""
+
+from __future__ import annotations
+
+from repro.data.column import Column
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.sql.ast import (
+    And,
+    BoolExpr,
+    LikePredicate,
+    Op,
+    Or,
+    Query,
+    SimplePredicate,
+    StringPredicate,
+)
+
+__all__ = ["desugar_strings", "desugar_expr"]
+
+
+def _resolve_column(attribute: str, data: Table | Schema,
+                    query_tables: tuple[str, ...] | None) -> Column:
+    """Find the (dictionary-encoded) column an attribute refers to."""
+    prefix, dot, rest = attribute.partition(".")
+    if isinstance(data, Table):
+        name = rest if dot and prefix == data.name else attribute
+        return data.column(name)
+    if dot:
+        return data.table(prefix).column(rest)
+    candidates = query_tables if query_tables else tuple(data.table_names)
+    owners = [t for t in candidates if attribute in data.table(t)]
+    if len(owners) != 1:
+        raise KeyError(
+            f"attribute {attribute!r} is ambiguous or unknown among "
+            f"tables {candidates}; qualify it"
+        )
+    return data.table(owners[0]).column(attribute)
+
+
+def _require_dictionary(column: Column, predicate) -> None:
+    if column.dictionary is None:
+        raise TypeError(
+            f"predicate {predicate.to_sql()!r} targets column "
+            f"{column.name!r}, which is not dictionary-encoded; use "
+            "Column.from_strings for string data"
+        )
+
+
+_IMPOSSIBLE_CODE = -1.0
+
+
+def _desugar_leaf(predicate, data, query_tables) -> BoolExpr:
+    if isinstance(predicate, StringPredicate):
+        column = _resolve_column(predicate.attribute, data, query_tables)
+        _require_dictionary(column, predicate)
+        try:
+            code = float(column.encode(predicate.value))
+        except KeyError:
+            # Absent value: '=' can never match; '<>' always matches.
+            code = _IMPOSSIBLE_CODE
+        return SimplePredicate(predicate.attribute, predicate.op, code)
+    if isinstance(predicate, LikePredicate):
+        column = _resolve_column(predicate.attribute, data, query_tables)
+        _require_dictionary(column, predicate)
+        lo, hi = column.prefix_code_range(predicate.prefix)
+        if hi <= lo:
+            return SimplePredicate(predicate.attribute, Op.EQ,
+                                   _IMPOSSIBLE_CODE)
+        if hi - lo == 1:
+            return SimplePredicate(predicate.attribute, Op.EQ, float(lo))
+        return And([
+            SimplePredicate(predicate.attribute, Op.GE, float(lo)),
+            SimplePredicate(predicate.attribute, Op.LE, float(hi - 1)),
+        ])
+    return predicate  # numeric leaves pass through unchanged
+
+
+def desugar_expr(expr: BoolExpr | None, data: Table | Schema,
+                 query_tables: tuple[str, ...] | None = None
+                 ) -> BoolExpr | None:
+    """Replace string/LIKE leaves of ``expr`` with numeric code predicates."""
+    if expr is None:
+        return None
+    if isinstance(expr, And):
+        return And([desugar_expr(c, data, query_tables)
+                    for c in expr.children])
+    if isinstance(expr, Or):
+        return Or([desugar_expr(c, data, query_tables)
+                   for c in expr.children])
+    return _desugar_leaf(expr, data, query_tables)
+
+
+def desugar_strings(query: Query, data: Table | Schema) -> Query:
+    """Return ``query`` with all string predicates desugared to codes.
+
+    The result has the same result set over ``data`` and is accepted by
+    every featurizer and estimator.  Queries without string predicates
+    are returned structurally identical (a fresh Query object).
+    """
+    return Query(
+        tables=query.tables,
+        joins=query.joins,
+        where=desugar_expr(query.where, data, query.tables),
+        group_by=query.group_by,
+    )

@@ -1,0 +1,36 @@
+"""Query workload generators following the paper's Section 5 protocol.
+
+* :mod:`repro.workloads.conjunctive` — the forest *conjunctive* workload:
+  per query, ``k`` distinct attributes with one closed range predicate
+  each plus ``l in [0, 5]`` not-equal predicates inside each range.
+* :mod:`repro.workloads.mixed` — the forest *mixed* workload: the
+  per-attribute generation is repeated ``m in [1, 3]`` times and the
+  branches are concatenated with OR (Definition 3.3 compound predicates).
+* :mod:`repro.workloads.joblight` — JOB-light-style join workloads over
+  the synthetic IMDb schema: a 70-query benchmark plus generated
+  training queries.
+* :mod:`repro.workloads.drift` — the query-drift split of Section 5.5.1
+  (train on <= 2 attributes, test on >= 3).
+
+All generators label queries with true cardinalities via the executor
+and only emit queries with non-empty results (the paper's protocol).
+"""
+
+from repro.workloads.conjunctive import generate_conjunctive_workload
+from repro.workloads.drift import drift_split
+from repro.workloads.joblight import (
+    generate_joblight_benchmark,
+    generate_joblight_training,
+)
+from repro.workloads.mixed import generate_mixed_workload
+from repro.workloads.spec import LabeledQuery, Workload
+
+__all__ = [
+    "LabeledQuery",
+    "Workload",
+    "generate_conjunctive_workload",
+    "generate_mixed_workload",
+    "generate_joblight_benchmark",
+    "generate_joblight_training",
+    "drift_split",
+]

@@ -1,0 +1,129 @@
+"""The forest *conjunctive* query workload (Section 5, "Data sets & query
+workloads").
+
+Per query the paper draws ``k`` distinct attributes uniformly at random,
+generates one closed range predicate per attribute, and adds ``l`` in
+``[0, 5]`` not-equal predicates per attribute that exclude values from
+the range, e.g.::
+
+    SELECT count(*) FROM forest
+    WHERE A7 >= 160 AND A7 <= 225 AND
+          A8 >= 45 AND A8 <= 237 AND A8 <> 220 AND A8 <> 186
+
+Only queries with non-empty results are kept.  To make non-empty results
+likely even for high-dimensional queries, ranges are anchored at the
+attribute values of a randomly drawn *pivot row* (a standard workload-
+generation device): the range always contains the pivot's value and the
+not-equal predicates never exclude it, so the pivot row always qualifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import config
+from repro.data.table import Table
+from repro.sql.ast import And, Op, Query, SimplePredicate
+from repro.sql.executor import selection_mask
+from repro.workloads.spec import LabeledQuery, Workload
+
+__all__ = ["generate_conjunctive_workload", "attribute_predicates"]
+
+
+def attribute_predicates(table: Table, attribute: str, pivot_value: float,
+                         rng: np.random.Generator,
+                         max_not_equals: int = 5) -> list[SimplePredicate]:
+    """One closed range plus ``l`` not-equal predicates on ``attribute``.
+
+    The range is anchored at ``pivot_value``; the excluded values lie
+    inside the range but differ from the pivot.
+    """
+    stats = table.column(attribute).stats
+    span = stats.max_value - stats.min_value
+    # Range half-widths are log-uniform over ~3 orders of magnitude so
+    # selectivities vary from needle-narrow to half the domain (mirroring
+    # randomly drawn range endpoints, which are often very tight).  Tight
+    # ranges are exactly what the lossy QFTs misrepresent most.
+    low_width = 10.0 ** rng.uniform(-3.0, np.log10(0.5)) * span
+    high_width = 10.0 ** rng.uniform(-3.0, np.log10(0.5)) * span
+    lo = max(pivot_value - low_width, stats.min_value)
+    hi = min(pivot_value + high_width, stats.max_value)
+    if stats.is_integral:
+        lo, hi = float(np.floor(lo)), float(np.ceil(hi))
+    predicates = [
+        SimplePredicate(attribute, Op.GE, lo),
+        SimplePredicate(attribute, Op.LE, hi),
+    ]
+    n_not_equals = int(rng.integers(0, max_not_equals + 1))
+    if n_not_equals and stats.is_integral and hi > lo:
+        candidates = np.arange(lo, hi + 1.0)
+        candidates = candidates[candidates != pivot_value]
+        if candidates.size:
+            chosen = rng.choice(
+                candidates,
+                size=min(n_not_equals, candidates.size),
+                replace=False,
+            )
+            predicates += [SimplePredicate(attribute, Op.NE, float(v))
+                           for v in chosen]
+    return predicates
+
+
+def generate_conjunctive_workload(table: Table, num_queries: int,
+                                  min_attributes: int = 1,
+                                  max_attributes: int = 8,
+                                  max_not_equals: int = 5,
+                                  attributes=None,
+                                  seed: int = config.DEFAULT_SEED,
+                                  name: str = "forest-conjunctive") -> Workload:
+    """Generate a labeled conjunctive workload over ``table``.
+
+    ``min_attributes``/``max_attributes`` bound the per-query attribute
+    count ``k`` (drawn uniformly); the paper's plots analyse 1–8
+    attributes.  ``attributes`` restricts the draw to a column subset
+    (e.g. excluding join keys).  Deterministic in ``seed``.
+    """
+    if num_queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {num_queries}")
+    candidates = (list(attributes) if attributes is not None
+                  else table.column_names)
+    missing = [a for a in candidates if a not in table]
+    if missing:
+        raise KeyError(f"attributes {missing} not in table {table.name!r}")
+    if not 1 <= min_attributes <= max_attributes <= len(candidates):
+        raise ValueError(
+            f"invalid attribute bounds [{min_attributes}, {max_attributes}] "
+            f"for {len(candidates)} candidate columns"
+        )
+    rng = np.random.default_rng(seed)
+    items: list[LabeledQuery] = []
+    attributes = np.asarray(candidates)
+    attempts = 0
+    max_attempts = num_queries * 50
+    while len(items) < num_queries:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"workload generation stalled: {len(items)}/{num_queries} "
+                f"queries after {attempts} attempts"
+            )
+        k = int(rng.integers(min_attributes, max_attributes + 1))
+        chosen = rng.choice(attributes, size=k, replace=False)
+        pivot_row = int(rng.integers(table.row_count))
+        predicates: list[SimplePredicate] = []
+        for attribute in chosen:
+            pivot_value = float(table.column(attribute).values[pivot_row])
+            predicates.extend(attribute_predicates(
+                table, attribute, pivot_value, rng, max_not_equals
+            ))
+        where = And(predicates) if len(predicates) > 1 else predicates[0]
+        cardinality = int(selection_mask(where, table).sum())
+        if cardinality < 1:
+            continue
+        items.append(LabeledQuery(
+            query=Query.single_table(table.name, where),
+            cardinality=cardinality,
+            num_attributes=k,
+            num_predicates=len(predicates),
+        ))
+    return Workload(items, name)

@@ -1,0 +1,35 @@
+"""Query-drift experiment split (Section 5.5.1).
+
+"Low-dimensional queries, mentioning at most two distinct attributes,
+are used for training.  For testing, high-dimensional queries,
+mentioning at least three distinct attributes, are used."
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import Workload
+
+__all__ = ["drift_split"]
+
+
+def drift_split(workload: Workload, train_max_attributes: int = 2,
+                test_min_attributes: int = 3) -> tuple[Workload, Workload]:
+    """Split ``workload`` into drifted (train, test) parts by attribute count.
+
+    Raises ``ValueError`` (from :meth:`Workload.filter`) if either side
+    would be empty, and rejects overlapping bounds outright.
+    """
+    if test_min_attributes <= train_max_attributes:
+        raise ValueError(
+            "drift split requires test_min_attributes > train_max_attributes, "
+            f"got {test_min_attributes} <= {train_max_attributes}"
+        )
+    train = workload.filter(
+        lambda item: item.num_attributes <= train_max_attributes,
+        f"{workload.name}-drift-train",
+    )
+    test = workload.filter(
+        lambda item: item.num_attributes >= test_min_attributes,
+        f"{workload.name}-drift-test",
+    )
+    return train, test

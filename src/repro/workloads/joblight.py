@@ -1,0 +1,184 @@
+"""JOB-light-style join workloads over the synthetic IMDb schema.
+
+JOB-light (Kipf et al.) is a set of 70 hand-written ``SELECT count(*)``
+queries joining 2–6 IMDb tables through the ``title`` hub, with 1–5
+conjunctive selection predicates on 1–4 distinct attributes and at most
+one range per attribute.  :func:`generate_joblight_benchmark` emits a
+70-query benchmark with exactly those shape constraints;
+:func:`generate_joblight_training` emits the larger generated training
+workload (the paper uses 231k; the scale is a parameter here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import config
+from repro.data.imdb import PREDICATE_ATTRIBUTES
+from repro.data.schema import Schema
+from repro.sql.ast import And, JoinPredicate, Op, Query, SimplePredicate
+from repro.sql.executor import cardinality
+from repro.workloads.spec import LabeledQuery, Workload
+
+__all__ = ["generate_joblight_benchmark", "generate_joblight_training",
+           "generate_join_queries"]
+
+_HUB = "title"
+
+
+def _join_query_shape(schema: Schema, rng: np.random.Generator,
+                      min_joins: int, max_joins: int,
+                      fixed_children: tuple[str, ...] | None = None
+                      ) -> tuple[tuple[str, ...], tuple[JoinPredicate, ...]]:
+    """Draw the table set and join predicates of one star query."""
+    if fixed_children is not None:
+        chosen = list(fixed_children)
+    else:
+        children = [name for name in schema.table_names if name != _HUB]
+        n_joins = int(rng.integers(min_joins, max_joins + 1))
+        chosen = list(rng.choice(children, size=n_joins, replace=False))
+    tables = (_HUB, *chosen)
+    joins = []
+    fk_by_child = {fk.child_table: fk for fk in schema.foreign_keys
+                   if fk.parent_table == _HUB}
+    for child in chosen:
+        fk = fk_by_child[child]
+        joins.append(JoinPredicate(fk.child_table, fk.child_column,
+                                   fk.parent_table, fk.parent_column))
+    return tables, tuple(joins)
+
+
+def _draw_predicate(schema: Schema, table_name: str, attribute: str,
+                    rng: np.random.Generator) -> list[SimplePredicate]:
+    """At most one range (or equality) predicate on one attribute.
+
+    JOB-light contains "at most one range per attribute"; literals are
+    drawn from observed values so predicates are never trivially empty.
+    """
+    column = schema.table(table_name).column(attribute)
+    value = float(column.values[int(rng.integers(column.values.size))])
+    qualified = f"{table_name}.{attribute}"
+    kind = rng.random()
+    if kind < 0.35 or column.stats.distinct_count <= 8:
+        return [SimplePredicate(qualified, Op.EQ, value)]
+    if kind < 0.60:
+        return [SimplePredicate(qualified, Op.GT, value)]
+    if kind < 0.85:
+        return [SimplePredicate(qualified, Op.LT, value)]
+    other = float(column.values[int(rng.integers(column.values.size))])
+    lo, hi = min(value, other), max(value, other)
+    return [SimplePredicate(qualified, Op.GE, lo),
+            SimplePredicate(qualified, Op.LE, hi)]
+
+
+def generate_join_queries(schema: Schema, num_queries: int,
+                          min_joins: int = 1, max_joins: int = 4,
+                          max_pred_attributes: int = 4,
+                          min_cardinality: int = 1,
+                          seed: int = config.DEFAULT_SEED,
+                          name: str = "imdb-joins",
+                          fixed_children: tuple[str, ...] | None = None
+                          ) -> Workload:
+    """Generate labeled star-join queries (shared generator core).
+
+    ``fixed_children`` pins the joined child tables (used by the balanced
+    per-sub-schema training generator); otherwise the child set is drawn
+    per query with ``min_joins``–``max_joins`` children.
+    ``min_cardinality`` rejects queries with smaller results (the
+    hand-written JOB-light queries all have non-trivial result sizes).
+    """
+    if num_queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {num_queries}")
+    children = len(schema.table_names) - 1
+    if not 1 <= min_joins <= max_joins <= children:
+        raise ValueError(
+            f"join bounds [{min_joins}, {max_joins}] invalid for a schema "
+            f"with {children} child tables"
+        )
+    rng = np.random.default_rng(seed)
+    items: list[LabeledQuery] = []
+    attempts = 0
+    max_attempts = num_queries * 200
+    while len(items) < num_queries:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"join workload generation stalled: {len(items)}/"
+                f"{num_queries} after {attempts} attempts"
+            )
+        tables, joins = _join_query_shape(schema, rng, min_joins, max_joins,
+                                          fixed_children)
+        # Candidate (table, attribute) pairs across the chosen tables,
+        # restricted to the JOB-light-style predicate attributes.
+        candidates = [(t, a) for t in tables
+                      for a in PREDICATE_ATTRIBUTES.get(t, ())
+                      if a in schema.table(t)]
+        n_attrs = int(rng.integers(1, max_pred_attributes + 1))
+        n_attrs = min(n_attrs, len(candidates))
+        picked = rng.choice(len(candidates), size=n_attrs, replace=False)
+        predicates: list[SimplePredicate] = []
+        for index in picked:
+            table_name, attribute = candidates[int(index)]
+            predicates.extend(_draw_predicate(schema, table_name, attribute, rng))
+        where = And(predicates) if len(predicates) > 1 else predicates[0]
+        query = Query(tables=tables, joins=joins, where=where)
+        card = cardinality(query, schema)
+        if card < max(min_cardinality, 1):
+            continue
+        items.append(LabeledQuery(
+            query=query,
+            cardinality=card,
+            num_attributes=n_attrs,
+            num_predicates=len(predicates),
+        ))
+    return Workload(items, name)
+
+
+def generate_joblight_benchmark(schema: Schema, num_queries: int = 70,
+                                seed: int = config.DEFAULT_SEED + 7
+                                ) -> Workload:
+    """The 70-query JOB-light-style benchmark (2–5 joins)."""
+    max_joins = min(5, len(schema.table_names) - 1)
+    return generate_join_queries(
+        schema, num_queries, min_joins=2, max_joins=max_joins,
+        min_cardinality=10, seed=seed, name="job-light",
+    )
+
+
+def generate_joblight_training(schema: Schema, num_queries: int,
+                               seed: int = config.DEFAULT_SEED) -> Workload:
+    """The generated training workload for the join experiments (1–5 joins)."""
+    max_joins = min(5, len(schema.table_names) - 1)
+    return generate_join_queries(
+        schema, num_queries, min_joins=1, max_joins=max_joins,
+        seed=seed, name="imdb-training",
+    )
+
+
+def generate_balanced_training(schema: Schema, queries_per_subschema: int,
+                               min_joins: int = 1,
+                               seed: int = config.DEFAULT_SEED) -> Workload:
+    """Training workload with equal coverage of every star sub-schema.
+
+    Local models train one estimator per sub-schema; a uniformly random
+    table-set draw starves the larger sub-schemata of samples.  This
+    generator emits ``queries_per_subschema`` queries for *every*
+    combination of child tables with at least ``min_joins`` children,
+    mirroring how the paper's per-sub-schema training sets are built.
+    """
+    from itertools import combinations
+
+    children = [name for name in schema.table_names if name != _HUB]
+    items = []
+    offset = 0
+    for size in range(min_joins, len(children) + 1):
+        for combo in combinations(children, size):
+            offset += 1
+            workload = generate_join_queries(
+                schema, queries_per_subschema,
+                min_joins=size, max_joins=size,
+                seed=seed + offset, fixed_children=combo,
+                name="imdb-balanced",
+            )
+            items.extend(workload)
+    return Workload(items, "imdb-balanced")

@@ -1,0 +1,92 @@
+"""The forest *mixed* query workload (Section 5).
+
+"The generation is the same as for conjunctive queries, except that we
+repeat the generation for the per-attribute predicates between ``m``,
+``1 <= m <= 3`` times and concatenate them via OR."  The result is a
+mixed query per Definition 3.3: a conjunction of per-attribute compound
+predicates, each a disjunction of range-plus-not-equal conjunctions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import config
+from repro.data.table import Table
+from repro.sql.ast import And, BoolExpr, Or, Query
+from repro.sql.executor import selection_mask
+from repro.workloads.conjunctive import attribute_predicates
+from repro.workloads.spec import LabeledQuery, Workload
+
+__all__ = ["generate_mixed_workload"]
+
+
+def _compound_predicate(table: Table, attribute: str, pivot_row: int,
+                        rng: np.random.Generator, max_branches: int,
+                        max_not_equals: int) -> tuple[BoolExpr, int]:
+    """A per-attribute compound predicate; returns ``(expr, n_predicates)``.
+
+    Branch 1 is anchored at the pivot row (keeping the query non-empty);
+    further branches anchor at independently drawn rows, so disjunction
+    branches cover different regions of the attribute's domain.
+    """
+    column = table.column(attribute).values
+    n_branches = int(rng.integers(1, max_branches + 1))
+    branches: list[BoolExpr] = []
+    total_predicates = 0
+    for branch_index in range(n_branches):
+        row = pivot_row if branch_index == 0 else int(rng.integers(column.size))
+        predicates = attribute_predicates(
+            table, attribute, float(column[row]), rng, max_not_equals
+        )
+        total_predicates += len(predicates)
+        branches.append(And(predicates) if len(predicates) > 1 else predicates[0])
+    expr: BoolExpr = branches[0] if len(branches) == 1 else Or(branches)
+    return expr, total_predicates
+
+
+def generate_mixed_workload(table: Table, num_queries: int,
+                            min_attributes: int = 1, max_attributes: int = 8,
+                            max_branches: int = 3, max_not_equals: int = 5,
+                            seed: int = config.DEFAULT_SEED,
+                            name: str = "forest-mixed") -> Workload:
+    """Generate a labeled mixed workload over ``table`` (see module docs)."""
+    if num_queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {num_queries}")
+    if max_branches < 1:
+        raise ValueError(f"max_branches must be >= 1, got {max_branches}")
+    rng = np.random.default_rng(seed)
+    attributes = np.asarray(table.column_names)
+    items: list[LabeledQuery] = []
+    attempts = 0
+    max_attempts = num_queries * 50
+    while len(items) < num_queries:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"workload generation stalled: {len(items)}/{num_queries} "
+                f"queries after {attempts} attempts"
+            )
+        k = int(rng.integers(min_attributes, max_attributes + 1))
+        chosen = rng.choice(attributes, size=k, replace=False)
+        pivot_row = int(rng.integers(table.row_count))
+        compounds: list[BoolExpr] = []
+        total_predicates = 0
+        for attribute in chosen:
+            expr, n_preds = _compound_predicate(
+                table, attribute, pivot_row, rng, max_branches, max_not_equals
+            )
+            compounds.append(expr)
+            total_predicates += n_preds
+        where: BoolExpr = (And(compounds) if len(compounds) > 1
+                           else compounds[0])
+        cardinality = int(selection_mask(where, table).sum())
+        if cardinality < 1:
+            continue
+        items.append(LabeledQuery(
+            query=Query.single_table(table.name, where),
+            cardinality=cardinality,
+            num_attributes=k,
+            num_predicates=total_predicates,
+        ))
+    return Workload(items, name)

@@ -1,0 +1,105 @@
+"""Workload value objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.sql.ast import Query
+
+__all__ = ["LabeledQuery", "Workload"]
+
+
+@dataclass(frozen=True)
+class LabeledQuery:
+    """A query with its true cardinality and workload metadata."""
+
+    query: Query
+    cardinality: int
+    #: Number of distinct attributes with predicates.
+    num_attributes: int
+    #: Number of simple predicates.
+    num_predicates: int
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 1:
+            raise ValueError(
+                "labeled queries must have non-empty results (paper protocol); "
+                f"got cardinality {self.cardinality}"
+            )
+
+
+class Workload:
+    """An ordered collection of labeled queries with filtering helpers."""
+
+    def __init__(self, items: Sequence[LabeledQuery], name: str = "workload") -> None:
+        if not items:
+            raise ValueError(f"workload {name!r} must contain at least one query")
+        self._items = tuple(items)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[LabeledQuery]:
+        return iter(self._items)
+
+    def __getitem__(self, index) -> LabeledQuery:
+        return self._items[index]
+
+    @property
+    def queries(self) -> list[Query]:
+        """The queries, in order."""
+        return [item.query for item in self._items]
+
+    @property
+    def cardinalities(self) -> np.ndarray:
+        """True cardinalities, aligned with :attr:`queries`."""
+        return np.asarray([item.cardinality for item in self._items],
+                          dtype=np.float64)
+
+    def filter(self, keep: Callable[[LabeledQuery], bool],
+               name: str | None = None) -> "Workload":
+        """A new workload containing only items where ``keep`` is true."""
+        kept = [item for item in self._items if keep(item)]
+        if not kept:
+            raise ValueError(f"filter removed every query from {self.name!r}")
+        return Workload(kept, name or self.name)
+
+    def split(self, train_size: int, name_prefix: str | None = None
+              ) -> tuple["Workload", "Workload"]:
+        """Split into a training prefix and a testing suffix (disjoint)."""
+        if not 0 < train_size < len(self._items):
+            raise ValueError(
+                f"train_size must be in (0, {len(self._items)}), got {train_size}"
+            )
+        prefix = name_prefix or self.name
+        return (
+            Workload(self._items[:train_size], f"{prefix}-train"),
+            Workload(self._items[train_size:], f"{prefix}-test"),
+        )
+
+    def by_num_attributes(self) -> dict[int, "Workload"]:
+        """Group queries by attribute count (used by Figures 2, 4, 5)."""
+        groups: dict[int, list[LabeledQuery]] = {}
+        for item in self._items:
+            groups.setdefault(item.num_attributes, []).append(item)
+        return {
+            count: Workload(items, f"{self.name}-attrs{count}")
+            for count, items in sorted(groups.items())
+        }
+
+    def by_num_predicates(self) -> dict[int, "Workload"]:
+        """Group queries by predicate count (used by Figure 3)."""
+        groups: dict[int, list[LabeledQuery]] = {}
+        for item in self._items:
+            groups.setdefault(item.num_predicates, []).append(item)
+        return {
+            count: Workload(items, f"{self.name}-preds{count}")
+            for count, items in sorted(groups.items())
+        }
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, n={len(self._items)})"

@@ -1,0 +1,77 @@
+"""Shared fixtures.
+
+Expensive artifacts (tables, schemas, workloads) are session-scoped and
+small: tests check behaviour and invariants, not paper-scale accuracy
+(the benchmarks do that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.forest import generate_forest
+from repro.data.imdb import generate_imdb
+from repro.data.table import Table
+from repro.workloads import (
+    generate_conjunctive_workload,
+    generate_joblight_benchmark,
+    generate_mixed_workload,
+)
+
+
+@pytest.fixture(scope="session")
+def paper_table() -> Table:
+    """The table of the paper's Section 3.2 worked example.
+
+    Attributes: A with min -9 / max 50, B with min 0 / max 115, C with
+    values in {1, 2} — all integral.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.integers(-9, 51, 400).astype(np.float64)
+    a[0], a[1] = -9.0, 50.0
+    b = rng.integers(0, 116, 400).astype(np.float64)
+    b[0], b[1] = 0.0, 115.0
+    c = rng.integers(1, 3, 400).astype(np.float64)
+    c[0], c[1] = 1.0, 2.0
+    return Table("t", {"A": a, "B": b, "C": c})
+
+
+@pytest.fixture(scope="session")
+def small_forest() -> Table:
+    """A small forest covertype table for behavioural tests."""
+    return generate_forest(rows=4_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_table() -> Table:
+    """A tiny three-column integer table with hand-checkable contents."""
+    return Table("tiny", {
+        "x": np.asarray([1, 2, 3, 4, 5, 6, 7, 8, 9, 10], dtype=np.float64),
+        "y": np.asarray([1, 1, 1, 2, 2, 2, 3, 3, 3, 3], dtype=np.float64),
+        "z": np.asarray([5, 5, 5, 5, 5, 7, 7, 7, 7, 7], dtype=np.float64),
+    })
+
+
+@pytest.fixture(scope="session")
+def imdb_schema():
+    """A small synthetic IMDb schema."""
+    return generate_imdb(title_rows=1_200, seed=5)
+
+
+@pytest.fixture(scope="session")
+def conjunctive_workload(small_forest):
+    """A labeled conjunctive workload over the small forest table."""
+    return generate_conjunctive_workload(small_forest, 400, seed=3)
+
+
+@pytest.fixture(scope="session")
+def mixed_workload(small_forest):
+    """A labeled mixed workload over the small forest table."""
+    return generate_mixed_workload(small_forest, 400, seed=4)
+
+
+@pytest.fixture(scope="session")
+def joblight_bench(imdb_schema):
+    """A small JOB-light-style benchmark workload."""
+    return generate_joblight_benchmark(imdb_schema, num_queries=25)

@@ -1,0 +1,56 @@
+"""Tests for repro.data.column."""
+
+import numpy as np
+import pytest
+
+from repro.data.column import Column
+
+
+def test_values_are_float64_and_readonly():
+    col = Column("a", np.asarray([1, 2, 3]))
+    assert col.values.dtype == np.float64
+    with pytest.raises(ValueError):
+        col.values[0] = 99.0
+
+
+def test_source_array_is_copied():
+    source = np.asarray([1.0, 2.0, 3.0])
+    col = Column("a", source)
+    source[0] = 42.0
+    assert col.values[0] == 1.0
+
+
+def test_len_and_repr():
+    col = Column("a", np.arange(5))
+    assert len(col) == 5
+    assert "a" in repr(col)
+
+
+def test_stats_cached():
+    col = Column("a", np.asarray([1.0, 2.0, 2.0]))
+    assert col.stats is col.stats
+
+
+def test_rejects_empty_name():
+    with pytest.raises(ValueError, match="name"):
+        Column("", np.asarray([1.0]))
+
+
+def test_rejects_empty_values():
+    with pytest.raises(ValueError, match="at least one value"):
+        Column("a", np.asarray([], dtype=np.float64))
+
+
+def test_rejects_2d_values():
+    with pytest.raises(ValueError, match="1-d"):
+        Column("a", np.ones((2, 2)))
+
+
+def test_rejects_non_numeric():
+    with pytest.raises(TypeError, match="numeric"):
+        Column("a", np.asarray(["x", "y"]))
+
+
+def test_integer_input_accepted():
+    col = Column("a", np.asarray([1, 2, 3], dtype=np.int32))
+    assert col.stats.is_integral

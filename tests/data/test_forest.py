@@ -1,0 +1,81 @@
+"""Tests for the synthetic forest covertype generator."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.data.forest import generate_forest
+
+
+def test_shape_matches_covertype():
+    table = generate_forest(rows=2_000, seed=1)
+    assert table.row_count == 2_000
+    assert len(table.column_names) == config.FOREST_ATTRIBUTES
+    assert table.column_names[0] == "A1"
+    assert table.column_names[-1] == f"A{config.FOREST_ATTRIBUTES}"
+
+
+def test_deterministic_in_seed():
+    a = generate_forest(rows=500, seed=7)
+    b = generate_forest(rows=500, seed=7)
+    for name in a.column_names:
+        np.testing.assert_array_equal(a.column(name).values,
+                                      b.column(name).values)
+
+
+def test_different_seeds_differ():
+    a = generate_forest(rows=500, seed=7)
+    b = generate_forest(rows=500, seed=8)
+    assert not np.array_equal(a.column("A1").values, b.column("A1").values)
+
+
+def test_rejects_tiny_tables():
+    with pytest.raises(ValueError, match="at least 100"):
+        generate_forest(rows=10)
+
+
+def test_wilderness_indicators_are_one_hot():
+    table = generate_forest(rows=1_000, seed=2)
+    total = sum(table.column(f"A{i}").values for i in range(11, 15))
+    np.testing.assert_array_equal(total, np.ones(1_000))
+
+
+def test_soil_indicators_are_one_hot():
+    table = generate_forest(rows=1_000, seed=2)
+    total = sum(table.column(f"A{i}").values for i in range(15, 55))
+    np.testing.assert_array_equal(total, np.ones(1_000))
+
+
+def test_cover_type_domain():
+    table = generate_forest(rows=1_000, seed=2)
+    cover = table.column("A55").values
+    assert cover.min() >= 1
+    assert cover.max() <= 7
+
+
+def test_elevation_correlates_with_cover_type():
+    """The independence baseline must be genuinely wrong on this data."""
+    table = generate_forest(rows=5_000, seed=3)
+    elevation = table.column("A1").values
+    cover = table.column("A55").values
+    # Mean elevation differs strongly across cover types.
+    means = [elevation[cover == k].mean() for k in (3, 7)
+             if (cover == k).any()]
+    assert len(means) == 2
+    assert abs(means[0] - means[1]) > 300
+
+
+def test_all_columns_integral():
+    table = generate_forest(rows=500, seed=4)
+    for column in table.columns:
+        assert column.stats.is_integral, column.name
+
+
+def test_soil_type_skew():
+    """Soil types follow a Zipf-ish distribution (top type is common)."""
+    table = generate_forest(rows=5_000, seed=5)
+    fractions = sorted(
+        (table.column(f"A{i}").values.mean() for i in range(15, 55)),
+        reverse=True,
+    )
+    assert fractions[0] > 5 * max(fractions[-1], 1e-9)

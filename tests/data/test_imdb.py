@@ -1,0 +1,71 @@
+"""Tests for the synthetic IMDb star-schema generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.imdb import JOBLIGHT_TABLES, PREDICATE_ATTRIBUTES, generate_imdb
+
+
+def test_all_joblight_tables_present(imdb_schema):
+    assert tuple(imdb_schema.table_names) == JOBLIGHT_TABLES
+
+
+def test_star_shape(imdb_schema):
+    for fk in imdb_schema.foreign_keys:
+        assert fk.parent_table == "title"
+        assert fk.parent_column == "id"
+        assert fk.child_column == "movie_id"
+    assert len(imdb_schema.foreign_keys) == len(JOBLIGHT_TABLES) - 1
+
+
+def test_referential_integrity(imdb_schema):
+    imdb_schema.check_referential_integrity()
+
+
+def test_deterministic_in_seed():
+    a = generate_imdb(title_rows=300, seed=9)
+    b = generate_imdb(title_rows=300, seed=9)
+    for name in a.table_names:
+        for column in a.table(name).column_names:
+            np.testing.assert_array_equal(
+                a.table(name).column(column).values,
+                b.table(name).column(column).values,
+            )
+
+
+def test_rejects_tiny_schemas():
+    with pytest.raises(ValueError, match="at least 100"):
+        generate_imdb(title_rows=10)
+
+
+def test_title_ids_are_dense(imdb_schema):
+    ids = imdb_schema.table("title").column("id").values
+    np.testing.assert_array_equal(ids, np.arange(1, ids.size + 1))
+
+
+def test_fanout_skew(imdb_schema):
+    """Some titles have many cast entries, many have none (Zipf tails)."""
+    cast = imdb_schema.table("cast_info").column("movie_id").values
+    titles = imdb_schema.table("title").row_count
+    counts = np.bincount(cast.astype(np.int64), minlength=titles + 1)[1:]
+    assert (counts == 0).sum() > 0
+    assert counts.max() >= 10 * max(np.median(counts), 1)
+
+
+def test_fanout_correlates_with_year(imdb_schema):
+    """Recent titles must have larger fan-outs (the anti-independence knob)."""
+    title = imdb_schema.table("title")
+    years = title.column("production_year").values
+    cast = imdb_schema.table("cast_info").column("movie_id").values
+    counts = np.bincount(cast.astype(np.int64),
+                         minlength=title.row_count + 1)[1:]
+    recent = counts[years >= np.quantile(years, 0.8)].mean()
+    old = counts[years <= np.quantile(years, 0.2)].mean()
+    assert recent > 2 * old
+
+
+def test_predicate_attributes_exist(imdb_schema):
+    for table_name, attributes in PREDICATE_ATTRIBUTES.items():
+        table = imdb_schema.table(table_name)
+        for attribute in attributes:
+            assert attribute in table, f"{table_name}.{attribute}"

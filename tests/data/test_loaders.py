@@ -1,0 +1,89 @@
+"""Tests for CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.data.imdb import generate_imdb
+from repro.data.loaders import (
+    load_covertype,
+    load_schema,
+    load_table_csv,
+    save_schema,
+    save_table_csv,
+)
+
+
+def test_table_round_trip(tmp_path, tiny_table):
+    path = tmp_path / "tiny.csv"
+    save_table_csv(tiny_table, path)
+    loaded = load_table_csv(path)
+    assert loaded.name == "tiny"
+    assert loaded.column_names == tiny_table.column_names
+    for name in tiny_table.column_names:
+        np.testing.assert_allclose(loaded.column(name).values,
+                                   tiny_table.column(name).values)
+
+
+def test_table_name_override(tmp_path, tiny_table):
+    path = tmp_path / "data.csv"
+    save_table_csv(tiny_table, path)
+    assert load_table_csv(path, name="renamed").name == "renamed"
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_table_csv(path)
+
+
+def test_header_mismatch_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b,c\n1,2\n")
+    with pytest.raises(ValueError):
+        load_table_csv(path)
+
+
+def test_covertype_format(tmp_path):
+    """A UCI-format file (55 headerless integer columns) loads as forest."""
+    rng = np.random.default_rng(0)
+    rows = rng.integers(0, 100, size=(20, config.FOREST_ATTRIBUTES))
+    path = tmp_path / "covtype.data"
+    np.savetxt(path, rows, delimiter=",", fmt="%d")
+    table = load_covertype(path)
+    assert table.name == "forest"
+    assert table.column_names[0] == "A1"
+    assert table.column_names[-1] == f"A{config.FOREST_ATTRIBUTES}"
+    assert table.row_count == 20
+
+
+def test_covertype_max_rows(tmp_path):
+    rows = np.ones((30, config.FOREST_ATTRIBUTES))
+    rows[:, 0] = np.arange(30)
+    path = tmp_path / "covtype.data"
+    np.savetxt(path, rows, delimiter=",", fmt="%d")
+    assert load_covertype(path, max_rows=10).row_count == 10
+
+
+def test_covertype_wrong_width_rejected(tmp_path):
+    path = tmp_path / "covtype.data"
+    np.savetxt(path, np.ones((5, 10)), delimiter=",", fmt="%d")
+    with pytest.raises(ValueError, match="columns"):
+        load_covertype(path)
+
+
+def test_schema_round_trip(tmp_path):
+    schema = generate_imdb(title_rows=150, seed=99)
+    save_schema(schema, tmp_path / "imdb")
+    loaded = load_schema(tmp_path / "imdb")
+    assert loaded.table_names == schema.table_names
+    assert loaded.foreign_keys == schema.foreign_keys
+    loaded.check_referential_integrity()
+    for name in schema.table_names:
+        assert loaded.table(name).row_count == schema.table(name).row_count
+
+
+def test_load_schema_requires_manifest(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_schema(tmp_path)

@@ -1,0 +1,77 @@
+"""Tests for repro.data.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.stats import ColumnStats, build_stats
+
+
+def test_basic_stats():
+    stats = build_stats(np.asarray([1.0, 2.0, 2.0, 5.0]))
+    assert stats.row_count == 4
+    assert stats.min_value == 1.0
+    assert stats.max_value == 5.0
+    assert stats.distinct_count == 3
+    assert stats.is_integral
+
+
+def test_non_integral_detection():
+    stats = build_stats(np.asarray([1.5, 2.0]))
+    assert not stats.is_integral
+
+
+def test_domain_size_inclusive():
+    stats = build_stats(np.asarray([0.0, 9.0]))
+    assert stats.domain_size == 10.0
+
+
+def test_normalize_endpoints_and_clamping():
+    stats = build_stats(np.asarray([10.0, 20.0]))
+    assert stats.normalize(10.0) == 0.0
+    assert stats.normalize(20.0) == 1.0
+    assert stats.normalize(15.0) == pytest.approx(0.5)
+    assert stats.normalize(-100.0) == 0.0
+    assert stats.normalize(100.0) == 1.0
+
+
+def test_normalize_constant_column():
+    stats = build_stats(np.full(5, 3.0))
+    assert stats.normalize(3.0) == 0.0
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        build_stats(np.asarray([], dtype=np.float64))
+
+
+def test_mcv_ordering():
+    data = np.asarray([1.0] * 50 + [2.0] * 30 + [3.0] * 20)
+    stats = build_stats(data)
+    assert stats.mcv_values[0] == 1.0
+    assert stats.mcv_fractions[0] == pytest.approx(0.5)
+    # Fractions are non-increasing.
+    assert list(stats.mcv_fractions) == sorted(stats.mcv_fractions,
+                                               reverse=True)
+
+
+def test_histogram_bounds_are_monotone():
+    rng = np.random.default_rng(1)
+    stats = build_stats(rng.normal(size=1000))
+    bounds = np.asarray(stats.histogram_bounds)
+    assert bounds[0] == stats.min_value
+    assert bounds[-1] == stats.max_value
+    assert np.all(np.diff(bounds) >= 0)
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_stats_invariants_hold_for_any_integer_column(values):
+    stats = build_stats(np.asarray(values, dtype=np.float64))
+    assert stats.min_value <= stats.max_value
+    assert 1 <= stats.distinct_count <= stats.row_count
+    assert stats.is_integral
+    assert sum(stats.mcv_fractions) <= 1.0 + 1e-9
+    assert stats.domain_size >= 1.0

@@ -1,0 +1,69 @@
+"""Tests for repro.data.table."""
+
+import numpy as np
+import pytest
+
+from repro.data.column import Column
+from repro.data.table import Table
+
+
+def make_table() -> Table:
+    return Table("t", {"a": np.asarray([1.0, 2.0, 3.0]),
+                       "b": np.asarray([4.0, 5.0, 6.0])})
+
+
+def test_row_count_and_names():
+    table = make_table()
+    assert table.row_count == 3
+    assert table.column_names == ["a", "b"]
+
+
+def test_column_lookup_and_contains():
+    table = make_table()
+    assert table.column("a").values[0] == 1.0
+    assert "a" in table
+    assert "missing" not in table
+
+
+def test_missing_column_error_lists_available():
+    with pytest.raises(KeyError, match="available"):
+        make_table().column("missing")
+
+
+def test_columns_from_iterable_of_columns():
+    table = Table("t", [Column("x", np.asarray([1.0]))])
+    assert table.column_names == ["x"]
+
+
+def test_rejects_length_mismatch():
+    with pytest.raises(ValueError, match="differing lengths"):
+        Table("t", [Column("a", np.asarray([1.0])),
+                    Column("b", np.asarray([1.0, 2.0]))])
+
+
+def test_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="duplicate"):
+        Table("t", [Column("a", np.asarray([1.0])),
+                    Column("a", np.asarray([2.0]))])
+
+
+def test_rejects_empty_table():
+    with pytest.raises(ValueError, match="at least one column"):
+        Table("t", {})
+
+
+def test_subset_selects_rows():
+    table = make_table()
+    sub = table.subset(np.asarray([True, False, True]))
+    assert sub.row_count == 2
+    assert list(sub.column("a").values) == [1.0, 3.0]
+
+
+def test_subset_rejects_wrong_mask_shape():
+    with pytest.raises(ValueError, match="mask shape"):
+        make_table().subset(np.asarray([True, False]))
+
+
+def test_subset_rejects_empty_result():
+    with pytest.raises(ValueError, match="empty"):
+        make_table().subset(np.zeros(3, dtype=bool))

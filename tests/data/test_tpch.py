@@ -1,0 +1,79 @@
+"""Tests for the TPC-H-style orders generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.tpch import ORDERSTATUS_CODES, generate_orders
+from repro.sql.executor import cardinality
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def orders():
+    return generate_orders(rows=5_000, seed=3)
+
+
+def test_schema(orders):
+    assert orders.name == "orders"
+    assert orders.column_names == [
+        "o_orderdate", "o_orderstatus", "o_totalprice",
+        "o_orderpriority", "o_shippriority",
+    ]
+
+
+def test_dates_are_valid_yyyymmdd(orders):
+    dates = orders.column("o_orderdate").values.astype(np.int64)
+    years = dates // 10_000
+    months = dates // 100 % 100
+    days = dates % 100
+    assert years.min() >= 1992
+    assert years.max() <= 1998
+    assert months.min() >= 1 and months.max() <= 12
+    assert days.min() >= 1 and days.max() <= 31
+
+
+def test_status_domain_and_correlation(orders):
+    status = orders.column("o_orderstatus").values
+    assert set(np.unique(status)) <= set(float(v)
+                                         for v in ORDERSTATUS_CODES.values())
+    # Open orders are recent; finished ones are old (TPC-H semantics).
+    dates = orders.column("o_orderdate").values
+    open_dates = dates[status == ORDERSTATUS_CODES["O"]]
+    finished_dates = dates[status == ORDERSTATUS_CODES["F"]]
+    assert open_dates.mean() > finished_dates.mean()
+
+
+def test_ship_priority_degenerate_domain(orders):
+    """A constant column — the featurizers must tolerate span 0."""
+    from repro.featurize import ConjunctiveEncoding
+    values = orders.column("o_shippriority").values
+    assert (values == 0).all()
+    enc = ConjunctiveEncoding(orders, max_partitions=16)
+    vector = enc.featurize(None)
+    assert np.isfinite(vector).all()
+
+
+def test_deterministic(orders):
+    again = generate_orders(rows=5_000, seed=3)
+    np.testing.assert_array_equal(orders.column("o_orderdate").values,
+                                  again.column("o_orderdate").values)
+
+
+def test_rejects_tiny_tables():
+    with pytest.raises(ValueError, match="at least 100"):
+        generate_orders(rows=5)
+
+
+def test_paper_example_query_is_nonempty(orders):
+    """The Definition 3.3 example query has qualifying rows here."""
+    query = parse_query(
+        "SELECT count(*) FROM orders WHERE "
+        "(o_orderdate >= 19940101 AND o_orderdate <= 19941231 "
+        " AND o_orderdate <> 19940704 "
+        " OR o_orderdate >= 19960101 AND o_orderdate <= 19961231 "
+        " AND o_orderdate <> 19960704) "
+        "AND (o_orderstatus = 2 OR o_orderstatus = 0) "
+        "AND (o_totalprice > 1000 AND o_totalprice < 2000)"
+    )
+    assert cardinality(query, orders) > 0
+    assert len(query.compound_form()) == 3

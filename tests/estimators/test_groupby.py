@@ -1,0 +1,85 @@
+"""Tests for learned group-count estimation (Section 6 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.groupby import (
+    GroupCountEstimator,
+    generate_groupby_workload,
+)
+from repro.featurize import ConjunctiveEncoding
+from repro.metrics import qerror
+from repro.models import GradientBoostingRegressor
+from repro.sql.executor import group_count
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def workload(small_forest):
+    return generate_groupby_workload(small_forest, 1_500, seed=31)
+
+
+@pytest.fixture(scope="module")
+def estimator(small_forest, workload):
+    items = list(workload)[:1_200]
+    est = GroupCountEstimator(
+        ConjunctiveEncoding(small_forest, max_partitions=16),
+        small_forest,
+        GradientBoostingRegressor(n_estimators=120, min_samples_leaf=5),
+    )
+    return est.fit([it.query for it in items],
+                   np.asarray([it.cardinality for it in items], dtype=float))
+
+
+class TestWorkload:
+    def test_labels_are_exact_group_counts(self, workload, small_forest):
+        for item in list(workload)[:25]:
+            assert item.cardinality == group_count(item.query, small_forest)
+
+    def test_every_query_has_group_by(self, workload):
+        assert all(item.query.group_by for item in workload)
+
+    def test_deterministic(self, small_forest):
+        a = generate_groupby_workload(small_forest, 20, seed=5)
+        b = generate_groupby_workload(small_forest, 20, seed=5)
+        assert [i.query.to_sql() for i in a] == [i.query.to_sql() for i in b]
+
+
+class TestEstimator:
+    def test_beats_constant_baseline(self, estimator, workload):
+        test = list(workload)[1_200:]
+        truth = np.asarray([it.cardinality for it in test], dtype=float)
+        estimates = estimator.estimate_batch([it.query for it in test])
+        geo = float(np.exp(np.log(truth).mean()))
+        model_err = np.median(qerror(truth, estimates))
+        const_err = np.median(qerror(truth, np.full(truth.size, geo)))
+        assert model_err < const_err
+
+    def test_grouping_vector_matters(self, estimator, small_forest):
+        """Same selection, different GROUP BY -> different estimates.
+
+        A55 has 7 distinct values while A15 is binary; a model that sees
+        the grouping vector must estimate more groups for A55.
+        """
+        coarse = parse_query(
+            "SELECT count(*) FROM forest WHERE A1 >= 2500 GROUP BY A15")
+        fine = parse_query(
+            "SELECT count(*) FROM forest WHERE A1 >= 2500 GROUP BY A55")
+        assert estimator.estimate(fine) > estimator.estimate(coarse)
+
+    def test_rejects_queries_without_group_by(self, estimator):
+        query = parse_query("SELECT count(*) FROM forest WHERE A1 >= 2500")
+        with pytest.raises(ValueError, match="GROUP BY"):
+            estimator.estimate(query)
+
+    def test_unfitted_rejected(self, small_forest):
+        est = GroupCountEstimator(
+            ConjunctiveEncoding(small_forest, max_partitions=8),
+            small_forest, GradientBoostingRegressor(n_estimators=5),
+        )
+        with pytest.raises(RuntimeError, match="fitted"):
+            est.estimate_batch([])
+
+    def test_feature_length(self, estimator, small_forest):
+        qft_len = estimator._featurizer.feature_length
+        assert estimator.feature_length == qft_len + 55

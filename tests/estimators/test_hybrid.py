@@ -1,0 +1,104 @@
+"""Tests for the hybrid estimator (learned base tables + System-R joins)."""
+
+import numpy as np
+import pytest
+
+from repro.estimators import PostgresEstimator
+from repro.estimators.hybrid import HybridEstimator
+from repro.featurize import ConjunctiveEncoding
+from repro.metrics import qerror
+from repro.models import GradientBoostingRegressor
+from repro.sql.ast import Query
+from repro.sql.executor import cardinality, per_table_selections
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def hybrid(imdb_schema):
+    return HybridEstimator(
+        imdb_schema,
+        lambda t, a: ConjunctiveEncoding(t, a, max_partitions=16),
+        lambda: GradientBoostingRegressor(n_estimators=40),
+    ).fit_generated(queries_per_table=600, seed=41)
+
+
+def test_one_model_per_table(hybrid, imdb_schema):
+    assert sorted(hybrid.table_models) == sorted(imdb_schema.table_names)
+
+
+def test_single_table_query_delegates_to_base_model(hybrid):
+    query = parse_query(
+        "SELECT count(*) FROM title WHERE production_year > 2000")
+    model = hybrid.table_models["title"]
+    assert hybrid.estimate(query) == pytest.approx(model.estimate(query))
+
+
+def test_selection_estimates_are_learned(hybrid, imdb_schema):
+    """Base-table estimates track true counts closely (they are learned
+    from exact single-table labels)."""
+    years = imdb_schema.table("title").column("production_year").values
+    mid = float(np.quantile(years, 0.5))
+    query = parse_query(
+        f"SELECT count(*) FROM title WHERE production_year > {mid}")
+    true_count = cardinality(query, imdb_schema.table("title"))
+    assert float(qerror(true_count, hybrid.estimate(query))) < 2.0
+
+
+def test_join_composition_uses_selinger_formula(hybrid, imdb_schema):
+    """An unfiltered FK join estimate equals |L|*|R|/max(ndv)."""
+    query = parse_query(
+        "SELECT count(*) FROM title, cast_info "
+        "WHERE cast_info.movie_id = title.id")
+    title = imdb_schema.table("title")
+    cast = imdb_schema.table("cast_info")
+    ndv = max(title.column("id").stats.distinct_count,
+              cast.column("movie_id").stats.distinct_count)
+    expected = title.row_count * cast.row_count / ndv
+    assert hybrid.estimate(query) == pytest.approx(expected, rel=1e-9)
+
+
+def test_competitive_with_postgres_on_joins(hybrid, imdb_schema,
+                                            joblight_bench):
+    """[31]'s configuration: learned selections fix the intra-table
+    errors, so the hybrid's median beats the pure histogram baseline."""
+    postgres = PostgresEstimator(imdb_schema)
+    truth = joblight_bench.cardinalities
+    hybrid_median = np.median(qerror(
+        truth, hybrid.estimate_batch(joblight_bench.queries)))
+    postgres_median = np.median(qerror(
+        truth, postgres.estimate_batch(joblight_bench.queries)))
+    assert hybrid_median <= postgres_median * 1.2
+
+
+def test_unfitted_rejected(imdb_schema):
+    estimator = HybridEstimator(
+        imdb_schema,
+        lambda t, a: ConjunctiveEncoding(t, a, max_partitions=8),
+        lambda: GradientBoostingRegressor(n_estimators=5),
+    )
+    with pytest.raises(RuntimeError, match="fitted"):
+        estimator.estimate(parse_query("SELECT count(*) FROM title"))
+
+
+def test_missing_table_model_rejected(imdb_schema, joblight_bench):
+    estimator = HybridEstimator(
+        imdb_schema,
+        lambda t, a: ConjunctiveEncoding(t, a, max_partitions=8),
+        lambda: GradientBoostingRegressor(n_estimators=5),
+    )
+    # Fit only the hub; join queries then miss their child models.
+    from repro.workloads.conjunctive import generate_conjunctive_workload
+    from repro.featurize.joins import predicate_columns
+    title = imdb_schema.table("title")
+    workload = generate_conjunctive_workload(
+        title, 120, max_attributes=2,
+        attributes=predicate_columns(imdb_schema, "title"), seed=43)
+    estimator.fit({"title": workload})
+    join_query = joblight_bench.queries[0]
+    with pytest.raises(KeyError, match="no base-table model"):
+        estimator.estimate(join_query)
+
+
+def test_memory_is_sum_of_models(hybrid):
+    assert hybrid.memory_bytes() == sum(
+        m.memory_bytes() for m in hybrid.table_models.values()) > 0

@@ -1,0 +1,93 @@
+"""Tests for the learned estimators (QFT + model, global, MSCN adapter)."""
+
+import numpy as np
+import pytest
+
+from repro.estimators import GlobalLearnedEstimator, LearnedEstimator
+from repro.estimators.learned import MSCNEstimator
+from repro.featurize import ConjunctiveEncoding
+from repro.metrics import qerror
+from repro.models import GradientBoostingRegressor
+from repro.models.mscn import MSCNInputBuilder, MSCNModel
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def fitted(small_forest, conjunctive_workload):
+    estimator = LearnedEstimator(
+        ConjunctiveEncoding(small_forest, max_partitions=16),
+        GradientBoostingRegressor(n_estimators=60),
+    )
+    train = list(conjunctive_workload)[:300]
+    estimator.fit([it.query for it in train],
+                  np.asarray([it.cardinality for it in train], dtype=float))
+    return estimator
+
+
+def test_beats_trivial_estimates(fitted, conjunctive_workload):
+    """The model must beat the best constant estimator under the q-error
+    (the geometric mean of the true cardinalities)."""
+    test = list(conjunctive_workload)[300:]
+    estimates = fitted.estimate_batch([it.query for it in test])
+    truth = np.asarray([it.cardinality for it in test], dtype=float)
+    model_err = np.median(qerror(truth, estimates))
+    geo_mean = float(np.exp(np.log(truth).mean()))
+    constant_err = np.median(qerror(truth, np.full(truth.size, geo_mean)))
+    assert model_err < constant_err
+
+
+def test_estimates_at_least_one(fitted, conjunctive_workload):
+    estimates = fitted.estimate_batch(conjunctive_workload.queries[:50])
+    assert (estimates >= 1.0).all()
+
+
+def test_single_estimate_matches_batch(fitted, conjunctive_workload):
+    query = conjunctive_workload.queries[0]
+    single = fitted.estimate(query)
+    batch = fitted.estimate_batch([query])[0]
+    assert single == pytest.approx(batch)
+
+
+def test_unfitted_estimator_rejected(small_forest):
+    estimator = LearnedEstimator(
+        ConjunctiveEncoding(small_forest, max_partitions=8),
+        GradientBoostingRegressor(n_estimators=5),
+    )
+    with pytest.raises(RuntimeError, match="fitted"):
+        estimator.estimate(parse_query("SELECT count(*) FROM forest"))
+
+
+def test_memory_bytes(fitted):
+    assert fitted.memory_bytes() > 0
+
+
+def test_default_name_mentions_parts(small_forest):
+    estimator = LearnedEstimator(
+        ConjunctiveEncoding(small_forest, max_partitions=8),
+        GradientBoostingRegressor(n_estimators=5),
+    )
+    assert "conjunctive" in estimator.name
+    assert "GradientBoosting" in estimator.name
+
+
+class TestGlobalLearnedEstimator:
+    def test_fits_across_subschemata(self, imdb_schema, joblight_bench):
+        estimator = GlobalLearnedEstimator(
+            imdb_schema,
+            lambda t, a: ConjunctiveEncoding(t, a, max_partitions=8),
+            GradientBoostingRegressor(n_estimators=30),
+        )
+        estimator.fit(joblight_bench.queries, joblight_bench.cardinalities)
+        estimates = estimator.estimate_batch(joblight_bench.queries)
+        assert estimates.shape == (len(joblight_bench),)
+        assert (estimates >= 1.0).all()
+
+
+class TestMSCNEstimatorAdapter:
+    def test_adapts_model_interface(self, imdb_schema, joblight_bench):
+        model = MSCNModel(MSCNInputBuilder(imdb_schema, mode="basic"),
+                          hidden=8, epochs=2)
+        estimator = MSCNEstimator(model).fit(
+            joblight_bench.queries, joblight_bench.cardinalities)
+        assert estimator.estimate(joblight_bench.queries[0]) >= 1.0
+        assert estimator.memory_bytes() > 0

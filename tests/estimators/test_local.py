@@ -1,0 +1,73 @@
+"""Tests for the local-model ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.estimators import LocalModelEnsemble
+from repro.featurize import ConjunctiveEncoding
+from repro.models import GradientBoostingRegressor
+from repro.sql.parser import parse_query
+from repro.workloads.joblight import generate_join_queries
+
+
+@pytest.fixture(scope="module")
+def training(imdb_schema):
+    return generate_join_queries(imdb_schema, 220, min_joins=1, max_joins=2,
+                                 seed=21)
+
+
+@pytest.fixture(scope="module")
+def ensemble(imdb_schema, training):
+    return LocalModelEnsemble(
+        imdb_schema,
+        lambda t, a: ConjunctiveEncoding(t, a, max_partitions=8),
+        lambda: GradientBoostingRegressor(n_estimators=30),
+    ).fit(training.queries, training.cardinalities)
+
+
+def test_one_model_per_subschema(ensemble, training):
+    expected = {frozenset(q.tables) for q in training.queries}
+    assert set(ensemble.subschemata) == expected
+
+
+def test_routes_queries_to_matching_model(ensemble, training):
+    query = training.queries[0]
+    model = ensemble.model_for(query.tables)
+    assert ensemble.estimate(query) == pytest.approx(model.estimate(query))
+
+
+def test_unseen_subschema_rejected(ensemble, imdb_schema):
+    query = parse_query(
+        "SELECT count(*) FROM title, movie_companies, movie_info, "
+        "movie_info_idx, movie_keyword, cast_info WHERE "
+        "movie_companies.movie_id = title.id AND "
+        "movie_info.movie_id = title.id AND "
+        "movie_info_idx.movie_id = title.id AND "
+        "movie_keyword.movie_id = title.id AND "
+        "cast_info.movie_id = title.id")
+    with pytest.raises(KeyError, match="no local model"):
+        ensemble.estimate(query)
+
+
+def test_batch_matches_single(ensemble, training):
+    queries = training.queries[:20]
+    batch = ensemble.estimate_batch(queries)
+    singles = np.asarray([ensemble.estimate(q) for q in queries])
+    np.testing.assert_allclose(batch, singles)
+
+
+def test_fit_validates_alignment(imdb_schema, training):
+    ensemble = LocalModelEnsemble(
+        imdb_schema,
+        lambda t, a: ConjunctiveEncoding(t, a, max_partitions=8),
+        lambda: GradientBoostingRegressor(n_estimators=5),
+    )
+    with pytest.raises(ValueError, match="align"):
+        ensemble.fit(training.queries, np.ones(3))
+
+
+def test_memory_is_sum_of_models(ensemble):
+    total = ensemble.memory_bytes()
+    parts = sum(ensemble.model_for(s).memory_bytes()
+                for s in ensemble.subschemata)
+    assert total == parts > 0

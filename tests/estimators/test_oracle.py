@@ -1,0 +1,25 @@
+"""Tests for the oracle (true-cardinality) estimator."""
+
+from repro.estimators import TrueCardinalityEstimator
+from repro.sql.executor import cardinality
+from repro.sql.parser import parse_query
+
+
+def test_matches_executor(small_forest):
+    oracle = TrueCardinalityEstimator(small_forest)
+    query = parse_query("SELECT count(*) FROM forest WHERE A1 >= 2800")
+    assert oracle.estimate(query) == cardinality(query, small_forest)
+    assert oracle.true_cardinality(query) == cardinality(query, small_forest)
+
+
+def test_clamps_empty_results(small_forest):
+    oracle = TrueCardinalityEstimator(small_forest)
+    query = parse_query("SELECT count(*) FROM forest WHERE A1 > 999999")
+    assert oracle.true_cardinality(query) == 0
+    assert oracle.estimate(query) == 1.0
+
+
+def test_works_on_schemas(imdb_schema, joblight_bench):
+    oracle = TrueCardinalityEstimator(imdb_schema)
+    item = joblight_bench[0]
+    assert oracle.estimate(item.query) == item.cardinality

@@ -1,0 +1,60 @@
+"""Tests for the Bernoulli sampling estimator."""
+
+import numpy as np
+import pytest
+
+from repro.estimators import SamplingEstimator
+from repro.sql.parser import parse_query
+
+
+def test_unbiased_on_average(small_forest):
+    estimator = SamplingEstimator(small_forest, fraction=0.1, seed=1)
+    query = parse_query("SELECT count(*) FROM forest WHERE A1 >= 2800")
+    true_count = int((small_forest.column("A1").values >= 2800).sum())
+    estimates = [estimator.estimate(query) for _ in range(30)]
+    assert np.mean(estimates) == pytest.approx(true_count, rel=0.25)
+
+
+def test_selective_predicates_have_large_tail_errors(small_forest):
+    """The paper's 'familiar phenomenon': selective predicates break
+    sampling — a query matching few rows often sees zero sample hits."""
+    x = small_forest.column("A1").values
+    rare = float(np.sort(x)[5])  # ~6 qualifying rows
+    estimator = SamplingEstimator(small_forest, fraction=0.01, seed=2)
+    query = parse_query(f"SELECT count(*) FROM forest WHERE A1 <= {rare}")
+    estimates = [estimator.estimate(query) for _ in range(20)]
+    assert min(estimates) == 1.0  # zero sample hits clamp to 1
+
+
+def test_per_query_resampling_varies(small_forest):
+    estimator = SamplingEstimator(small_forest, fraction=0.05, seed=3)
+    query = parse_query("SELECT count(*) FROM forest WHERE A1 >= 2800")
+    estimates = {estimator.estimate(query) for _ in range(10)}
+    assert len(estimates) > 1
+
+
+def test_fixed_sample_is_deterministic(small_forest):
+    estimator = SamplingEstimator(small_forest, fraction=0.05,
+                                  per_query_sample=False, seed=4)
+    query = parse_query("SELECT count(*) FROM forest WHERE A1 >= 2800")
+    assert estimator.estimate(query) == estimator.estimate(query)
+
+
+def test_fraction_validation(small_forest):
+    with pytest.raises(ValueError, match="fraction"):
+        SamplingEstimator(small_forest, fraction=0.0)
+    with pytest.raises(ValueError, match="fraction"):
+        SamplingEstimator(small_forest, fraction=1.5)
+
+
+def test_sample_bytes_scales_with_fraction(small_forest):
+    small = SamplingEstimator(small_forest, fraction=0.01, seed=5)
+    large = SamplingEstimator(small_forest, fraction=0.10, seed=5)
+    assert large.sample_bytes() > small.sample_bytes() > 0
+
+
+def test_join_path_runs(imdb_schema, joblight_bench):
+    estimator = SamplingEstimator(imdb_schema, fraction=0.05, seed=6)
+    estimates = estimator.estimate_batch(joblight_bench.queries[:5])
+    assert (estimates >= 1.0).all()
+    assert np.isfinite(estimates).all()

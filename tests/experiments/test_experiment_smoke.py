@@ -1,0 +1,122 @@
+"""Micro-scale smoke tests of every experiment module.
+
+The benchmarks run the experiments at realistic scale; these tests run
+each of them at a deliberately tiny scale so that wiring errors (wrong
+column names, broken grouping, missing estimator paths) surface in the
+fast test suite.  Accuracy is NOT asserted here — only structure.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    ext_extensions,
+    fig1_qft_model,
+    fig2_by_attributes,
+    fig3_by_predicates,
+    fig4_vs_established,
+    fig5_query_drift,
+    tab1_joblight,
+    tab2_local_global,
+    tab3_attr_selectivity,
+    tab4_end_to_end,
+    tab5_feature_length,
+    tab6_convergence,
+    tab7_time_memory,
+)
+from repro.experiments.common import Scale, get_context
+
+#: Tiny enough that the whole module runs in well under two minutes.
+MICRO = Scale(
+    name="micro",
+    forest_rows=1_500,
+    train_queries=250,
+    test_queries=120,
+    imdb_title_rows=500,
+    queries_per_subschema=12,
+    gb_trees=10,
+    nn_epochs=2,
+    mscn_epochs=1,
+    partitions=8,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm_context():
+    """Build the shared artifacts once for the whole module."""
+    context = get_context(MICRO)
+    context.forest
+    context.imdb
+    return context
+
+
+def _check(result, min_rows):
+    assert result.rows, result.experiment
+    assert len(result.rows) >= min_rows
+    assert result.paper_artifact
+    assert result.markdown()
+
+
+def test_fig1_smoke():
+    _check(fig1_qft_model.run(MICRO), min_rows=12)
+
+
+def test_fig2_smoke():
+    _check(fig2_by_attributes.run(MICRO), min_rows=8)
+
+
+def test_fig3_smoke():
+    _check(fig3_by_predicates.run(MICRO), min_rows=8)
+
+
+def test_fig4_smoke():
+    _check(fig4_vs_established.run(MICRO), min_rows=10)
+
+
+def test_fig5_smoke():
+    _check(fig5_query_drift.run(MICRO), min_rows=8)
+
+
+def test_tab1_smoke():
+    _check(tab1_joblight.run(MICRO), min_rows=6)
+
+
+def test_tab2_smoke():
+    _check(tab2_local_global.run(MICRO), min_rows=3)
+
+
+def test_tab3_smoke():
+    _check(tab3_attr_selectivity.run(MICRO), min_rows=8)
+
+
+def test_tab4_smoke():
+    result = tab4_end_to_end.run(MICRO)
+    _check(result, min_rows=3)
+    work = {r["estimator"]: r["total work (tuples)"] for r in result.rows}
+    assert work["True cardinalities"] <= work["Postgres"]
+
+
+def test_tab5_smoke():
+    _check(tab5_feature_length.run(MICRO), min_rows=5)
+
+
+def test_tab6_smoke():
+    _check(tab6_convergence.run(MICRO), min_rows=12)
+
+
+def test_tab7_smoke():
+    _check(tab7_time_memory.run(MICRO), min_rows=8)
+
+
+def test_ablations_smoke():
+    results = ablations.run(MICRO)
+    assert len(results) == 5
+    for result in results:
+        _check(result, min_rows=2)
+
+
+def test_extensions_smoke():
+    results = ext_extensions.run(MICRO)
+    assert len(results) == 2
+    for result in results:
+        _check(result, min_rows=2)

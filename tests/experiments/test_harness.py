@@ -1,0 +1,84 @@
+"""Tests for the experiment harness (scales, contexts, runner wiring)."""
+
+import pytest
+
+from repro.experiments import SMALL, FULL, ExperimentResult, Scale, get_context
+from repro.experiments.common import gb_factory, nn_factory, qft_factory
+from repro.experiments.runner import EXPERIMENTS, main
+from repro.featurize import (
+    ConjunctiveEncoding,
+    DisjunctionEncoding,
+    RangeEncoding,
+    SingularEncoding,
+)
+
+
+class TestScales:
+    def test_predefined_scales(self):
+        assert SMALL.name == "small"
+        assert FULL.name == "full"
+        assert FULL.train_queries > SMALL.train_queries
+
+    def test_context_caches_per_scale(self):
+        assert get_context(SMALL) is get_context(SMALL)
+
+    def test_context_lazy_artifact_caching(self):
+        tiny = Scale(name="harness-test", forest_rows=500, train_queries=20,
+                     test_queries=10, imdb_title_rows=150,
+                     queries_per_subschema=2, gb_trees=5, nn_epochs=2,
+                     mscn_epochs=1)
+        context = get_context(tiny)
+        assert context.forest is context.forest
+        train, test = context.conjunctive_workload()
+        train2, test2 = context.conjunctive_workload()
+        assert train is train2
+
+
+class TestFactories:
+    def test_qft_factory_labels(self, small_forest):
+        assert isinstance(qft_factory("simple", small_forest),
+                          SingularEncoding)
+        assert isinstance(qft_factory("range", small_forest), RangeEncoding)
+        conj = qft_factory("conjunctive", small_forest, partitions=8)
+        assert isinstance(conj, ConjunctiveEncoding)
+        assert conj.max_partitions == 8
+        assert isinstance(qft_factory("complex", small_forest),
+                          DisjunctionEncoding)
+
+    def test_unknown_label_rejected(self, small_forest):
+        with pytest.raises(ValueError, match="unknown QFT"):
+            qft_factory("bogus", small_forest)
+
+    def test_model_factories_apply_scale(self):
+        assert gb_factory(SMALL)().n_estimators == SMALL.gb_trees
+        assert nn_factory(SMALL)().epochs == SMALL.nn_epochs
+
+
+class TestExperimentResult:
+    def test_markdown_contains_rows_and_paper(self):
+        result = ExperimentResult(
+            experiment="x", paper_artifact="Table 0",
+            rows=[{"a": 1.0}], paper_rows=[{"a": 2.0}], notes="note text",
+        )
+        text = result.markdown()
+        assert "Table 0" in text
+        assert "Measured" in text
+        assert "Paper reports" in text
+        assert "note text" in text
+
+
+class TestRunner:
+    def test_all_paper_artifacts_covered(self):
+        expected = {"fig1", "fig2", "fig3", "fig4", "fig5",
+                    "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
+                    "ablations", "extensions"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "tab7" in out
+
+    def test_requires_choice(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,81 @@
+"""Tests for the q-error metric and summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import format_table, qerror, summarize
+
+
+class TestQError:
+    def test_perfect_estimate(self):
+        assert float(qerror(42, 42)) == 1.0
+
+    def test_symmetry_example(self):
+        assert float(qerror(100, 10)) == float(qerror(10, 100)) == 10.0
+
+    def test_clamps_below_one(self):
+        # Paper protocol: all estimates and cardinalities >= 1.
+        assert float(qerror(0, 0.5)) == 1.0
+        assert float(qerror(5, 0)) == 5.0
+
+    def test_vectorised(self):
+        errors = qerror([10, 20], [20, 10])
+        np.testing.assert_allclose(errors, [2.0, 2.0])
+
+    @given(st.floats(min_value=1, max_value=1e9),
+           st.floats(min_value=1, max_value=1e9))
+    @settings(max_examples=200, deadline=None)
+    def test_properties(self, x, e):
+        err = float(qerror(x, e))
+        assert err >= 1.0
+        assert err == pytest.approx(float(qerror(e, x)))  # symmetric
+        # Identity iff equal.
+        if abs(x - e) > 1e-6 * max(x, e):
+            assert err > 1.0
+
+    @given(st.floats(min_value=1, max_value=1e6),
+           st.floats(min_value=1, max_value=1e6),
+           st.floats(min_value=1, max_value=1e6))
+    @settings(max_examples=200, deadline=None)
+    def test_multiplicative_triangle_inequality(self, x, y, z):
+        assert float(qerror(x, z)) <= (float(qerror(x, y))
+                                       * float(qerror(y, z))) * (1 + 1e-9)
+
+
+class TestSummarize:
+    def test_quantile_ordering(self):
+        rng = np.random.default_rng(0)
+        summary = summarize(1.0 + rng.gamma(2.0, 3.0, 500))
+        assert (summary.q01 <= summary.q25 <= summary.median
+                <= summary.q75 <= summary.q99 <= summary.max)
+        assert summary.count == 500
+
+    def test_single_value(self):
+        summary = summarize([3.0])
+        assert summary.mean == summary.median == summary.max == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize([])
+
+    def test_row_columns(self):
+        row = summarize([1.0, 2.0]).row()
+        assert set(row) == {"mean", "median", "99%", "max"}
+
+
+class TestFormatTable:
+    def test_renders_markdown(self):
+        text = format_table([{"a": 1.0, "b": "x"}, {"a": 2.5, "b": "y"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("| a")
+        assert "2.50" in text
+        assert "y" in text
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_explicit_column_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].index("b") < text.splitlines()[0].index("a")

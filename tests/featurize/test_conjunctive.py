@@ -1,0 +1,147 @@
+"""Tests for Universal Conjunction Encoding (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.featurize import ConjunctiveEncoding
+from repro.featurize.base import LosslessnessError
+from repro.sql.parser import parse_where
+
+H = 0.5
+
+
+@pytest.fixture(scope="module")
+def enc(paper_table):
+    return ConjunctiveEncoding(paper_table, max_partitions=12,
+                               attr_selectivity=False)
+
+
+class TestGeometry:
+    def test_feature_length_sums_partitions(self, paper_table):
+        enc = ConjunctiveEncoding(paper_table, max_partitions=12,
+                                  attr_selectivity=False)
+        assert enc.feature_length == 12 + 12 + 2
+        with_sel = ConjunctiveEncoding(paper_table, max_partitions=12,
+                                       attr_selectivity=True)
+        assert with_sel.feature_length == 13 + 13 + 3
+
+    def test_attribute_slices_cover_vector(self, enc):
+        slices = enc.attribute_slices()
+        stops = [s.stop for s in slices.values()]
+        starts = [s.start for s in slices.values()]
+        assert starts[0] == 0
+        assert stops[-1] == enc.feature_length
+        for prev_stop, start in zip(stops, starts[1:]):
+            assert prev_stop == start
+
+    def test_invalid_max_partitions(self, paper_table):
+        with pytest.raises(ValueError, match="max_partitions"):
+            ConjunctiveEncoding(paper_table, max_partitions=0)
+
+
+class TestOperators:
+    def test_equality_inexact(self, enc):
+        vector = enc.featurize(parse_where("A = 7"))[:12]
+        expected = np.zeros(12)
+        expected[3] = H
+        np.testing.assert_array_equal(vector, expected)
+
+    def test_equality_exact_partition(self, enc):
+        vector = enc.featurize(parse_where("C = 2"))[-2:]
+        np.testing.assert_array_equal(vector, [0, 1])
+
+    def test_not_equal_exact_partition(self, enc):
+        vector = enc.featurize(parse_where("C <> 2"))[-2:]
+        np.testing.assert_array_equal(vector, [1, 0])
+
+    def test_gt_vs_ge_exact_partition(self, paper_table):
+        enc = ConjunctiveEncoding(paper_table, max_partitions=2,
+                                  attr_selectivity=False)
+        gt = enc.featurize(parse_where("C > 1"))
+        ge = enc.featurize(parse_where("C >= 1"))
+        slices = enc.attribute_slices()
+        np.testing.assert_array_equal(gt[slices["C"]], [0, 1])
+        np.testing.assert_array_equal(ge[slices["C"]], [1, 1])
+
+    def test_lt_vs_le_exact_partition(self, paper_table):
+        enc = ConjunctiveEncoding(paper_table, max_partitions=2,
+                                  attr_selectivity=False)
+        lt = enc.featurize(parse_where("C < 2"))
+        le = enc.featurize(parse_where("C <= 2"))
+        slices = enc.attribute_slices()
+        np.testing.assert_array_equal(lt[slices["C"]], [1, 0])
+        np.testing.assert_array_equal(le[slices["C"]], [1, 1])
+
+    def test_out_of_domain_equality_zeroes_attribute(self, enc):
+        vector = enc.featurize(parse_where("A = 999"))[:12]
+        np.testing.assert_array_equal(vector, np.zeros(12))
+
+    def test_out_of_domain_bounds(self, enc):
+        # A > max: nothing qualifies.
+        vector = enc.featurize(parse_where("A > 999"))[:12]
+        np.testing.assert_array_equal(vector, np.zeros(12))
+        # A < min: nothing qualifies.
+        vector = enc.featurize(parse_where("A < -999"))[:12]
+        np.testing.assert_array_equal(vector, np.zeros(12))
+        # A <= max + 10: everything qualifies.
+        vector = enc.featurize(parse_where("A <= 999"))[:12]
+        np.testing.assert_array_equal(vector, np.ones(12))
+        # A >= min - 10: everything qualifies.
+        vector = enc.featurize(parse_where("A >= -999"))[:12]
+        np.testing.assert_array_equal(vector, np.ones(12))
+
+
+class TestConjunctionSemantics:
+    def test_entries_only_decrease(self, enc):
+        """Further predicates can only make a query more selective."""
+        base = enc.featurize(parse_where("A >= 0 AND A <= 40"))
+        extended = enc.featurize(
+            parse_where("A >= 0 AND A <= 40 AND A <> 20 AND A > 5"))
+        assert np.all(extended <= base + 1e-12)
+
+    def test_many_predicates_per_attribute_supported(self, enc):
+        expr = " AND ".join(f"A <> {v}" for v in range(-5, 40, 3))
+        vector = enc.featurize(parse_where(expr))
+        assert vector.shape == (enc.feature_length,)
+
+    def test_contradiction_zeroes_attribute(self, enc):
+        vector = enc.featurize(parse_where("A > 40 AND A < -5"))[:12]
+        np.testing.assert_array_equal(vector, np.zeros(12))
+
+    def test_disjunction_rejected(self, enc):
+        with pytest.raises(LosslessnessError, match="conjunctions only"):
+            enc.featurize(parse_where("A = 1 OR A = 2"))
+
+
+class TestLosslessness:
+    def test_exact_encoding_is_lossless_on_small_domain(self, paper_table):
+        """Lemma 3.2: with one partition per value, distinct result sets
+        produce distinct vectors (here: all conjunctions over C)."""
+        enc = ConjunctiveEncoding(paper_table, max_partitions=64,
+                                  attr_selectivity=False)
+        queries = ["C = 1", "C = 2", "C <> 1", "C <> 2", "C >= 1",
+                   "C > 1", "C <= 1", "C < 2", "C >= 1 AND C <= 2"]
+        by_result: dict[bytes, set] = {}
+        c = paper_table.column("C").values
+        from repro.sql.executor import selection_mask
+        for sql in queries:
+            expr = parse_where(sql)
+            vector = enc.featurize(expr).tobytes()
+            result = frozenset(np.nonzero(selection_mask(expr, paper_table))[0])
+            by_result.setdefault(vector, set()).add(result)
+        for results in by_result.values():
+            assert len(results) == 1, "same vector, different result sets"
+
+    def test_more_partitions_reduce_collisions(self, small_forest,
+                                               conjunctive_workload):
+        def collisions(entries: int) -> int:
+            enc = ConjunctiveEncoding(small_forest, max_partitions=entries,
+                                      attr_selectivity=False)
+            buckets: dict[bytes, set[int]] = {}
+            for item in conjunctive_workload:
+                key = enc.featurize(item.query).tobytes()
+                buckets.setdefault(key, set()).add(item.cardinality)
+            return sum(1 for cards in buckets.values() if len(cards) > 1)
+
+        coarse, fine = collisions(2), collisions(64)
+        assert fine <= coarse

@@ -1,0 +1,94 @@
+"""Tests for Limited Disjunction Encoding (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.featurize import ConjunctiveEncoding, DisjunctionEncoding
+from repro.sql.ast import UnsupportedQueryError
+from repro.sql.parser import parse_where
+
+H = 0.5
+
+
+@pytest.fixture(scope="module")
+def enc(paper_table):
+    return DisjunctionEncoding(paper_table, max_partitions=12,
+                               attr_selectivity=False)
+
+
+def test_equals_conjunctive_on_conjunctions(paper_table, enc):
+    """On purely conjunctive queries both encodings coincide (the paper
+    relies on this to omit 'complex' from Table 1)."""
+    conj = ConjunctiveEncoding(paper_table, max_partitions=12,
+                               attr_selectivity=False)
+    for sql in ("A < 7", "A >= 0 AND A <= 40 AND B <> 50",
+                "A = 3 AND B > 10 AND C = 1"):
+        np.testing.assert_array_equal(
+            enc.featurize(parse_where(sql)),
+            conj.featurize(parse_where(sql)),
+        )
+
+
+def test_merge_is_entrywise_max(enc):
+    left = enc.featurize(parse_where("A <= 10"))
+    right = enc.featurize(parse_where("A >= 30"))
+    union = enc.featurize(parse_where("A <= 10 OR A >= 30"))
+    np.testing.assert_array_equal(union, np.maximum(left, right))
+
+
+def test_disjunction_only_widens(enc):
+    base = enc.featurize(parse_where("A <= 10"))
+    widened = enc.featurize(parse_where("A <= 10 OR A = 30"))
+    assert np.all(widened >= base - 1e-12)
+
+
+def test_overlapping_branches_idempotent(enc):
+    once = enc.featurize(parse_where("A <= 10"))
+    repeated = enc.featurize(parse_where("A <= 10 OR A <= 10"))
+    np.testing.assert_array_equal(once, repeated)
+
+
+def test_selectivity_entry_merged_with_max(paper_table):
+    enc = DisjunctionEncoding(paper_table, max_partitions=12,
+                              attr_selectivity=True)
+    slices = enc.attribute_slices()
+    vector = enc.featurize(parse_where("A <= 10 OR A >= 30"))
+    sel_left = enc.featurize(parse_where("A <= 10"))[slices["A"]][-1]
+    sel_right = enc.featurize(parse_where("A >= 30"))[slices["A"]][-1]
+    assert vector[slices["A"]][-1] == pytest.approx(max(sel_left, sel_right))
+
+
+def test_cross_attribute_disjunction_rejected(enc):
+    with pytest.raises(UnsupportedQueryError, match="Definition 3.3"):
+        enc.featurize(parse_where("A > 5 OR B > 5"))
+
+
+def test_sum_merge_ablation(paper_table):
+    enc_sum = DisjunctionEncoding(paper_table, max_partitions=12,
+                                  attr_selectivity=False, merge="sum")
+    vector = enc_sum.featurize(parse_where("A <= 10 OR A >= 30"))
+    # Sum merge is clipped at 1 and differs from max only where branches
+    # overlap — here they don't, so it must equal the max merge.
+    enc_max = DisjunctionEncoding(paper_table, max_partitions=12,
+                                  attr_selectivity=False, merge="max")
+    np.testing.assert_array_equal(
+        vector, enc_max.featurize(parse_where("A <= 10 OR A >= 30")))
+
+
+def test_sum_merge_clips_at_one(paper_table):
+    enc_sum = DisjunctionEncoding(paper_table, max_partitions=12,
+                                  attr_selectivity=False, merge="sum")
+    vector = enc_sum.featurize(parse_where("A <= 40 OR A <= 41"))
+    assert vector.max() <= 1.0
+
+
+def test_invalid_merge_rejected(paper_table):
+    with pytest.raises(ValueError, match="merge"):
+        DisjunctionEncoding(paper_table, merge="avg")
+
+
+def test_non_dnf_mixed_query_supported(enc):
+    """Mixed queries need not be in CNF/DNF (Definition 3.3 remark)."""
+    vector = enc.featurize(parse_where(
+        "(A = 1 OR A = 2) AND (A < 40 OR A > 45) AND B >= 10"))
+    assert vector.shape == (enc.feature_length,)

@@ -1,0 +1,52 @@
+"""Tests for the GROUP BY featurization extension (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.featurize.groupby import GroupByVector
+from repro.sql.ast import Query
+
+
+@pytest.fixture(scope="module")
+def table():
+    return Table("t", {f"A{i}": np.asarray([1.0, 2.0]) for i in range(1, 6)})
+
+
+def test_paper_example(table):
+    """'01010 exactly corresponds to the clause GROUP BY A2, A4'."""
+    vector = GroupByVector(table).featurize(["A2", "A4"])
+    np.testing.assert_array_equal(vector, [0, 1, 0, 1, 0])
+
+
+def test_from_query_object(table):
+    query = Query.single_table("t", group_by=("A1", "A5"))
+    vector = GroupByVector(table).featurize(query)
+    np.testing.assert_array_equal(vector, [1, 0, 0, 0, 1])
+
+
+def test_empty_group_by(table):
+    vector = GroupByVector(table).featurize([])
+    np.testing.assert_array_equal(vector, np.zeros(5))
+
+
+def test_qualified_names_stripped(table):
+    vector = GroupByVector(table).featurize(["t.A3"])
+    np.testing.assert_array_equal(vector, [0, 0, 1, 0, 0])
+
+
+def test_unknown_attribute_rejected(table):
+    with pytest.raises(KeyError, match="grouping attribute"):
+        GroupByVector(table).featurize(["A99"])
+
+
+def test_attribute_subset(table):
+    builder = GroupByVector(table, attributes=["A1", "A2"])
+    assert builder.feature_length == 2
+    with pytest.raises(KeyError):
+        builder.featurize(["A3"])
+
+
+def test_unknown_attribute_in_constructor(table):
+    with pytest.raises(KeyError, match="not in table"):
+        GroupByVector(table, attributes=["A99"])

@@ -1,0 +1,119 @@
+"""Tests for join-query featurization composition."""
+
+import numpy as np
+import pytest
+
+from repro.featurize import ConjunctiveEncoding, JoinQueryFeaturizer
+from repro.featurize.joins import (
+    GlobalJoinFeaturizer,
+    TableSetVector,
+    join_key_columns,
+    predicate_columns,
+)
+from repro.sql.parser import parse_query
+
+
+def conj_factory(table, attributes):
+    return ConjunctiveEncoding(table, attributes, max_partitions=8)
+
+
+class TestKeyColumns:
+    def test_join_keys_identified(self, imdb_schema):
+        keys = join_key_columns(imdb_schema)
+        assert keys["title"] == {"id"}
+        assert keys["cast_info"] == {"movie_id"}
+
+    def test_predicate_columns_exclude_keys(self, imdb_schema):
+        columns = predicate_columns(imdb_schema, "cast_info")
+        assert "movie_id" not in columns
+        assert "role_id" in columns
+
+
+class TestJoinQueryFeaturizer:
+    def test_feature_length_sums_tables(self, imdb_schema):
+        single = JoinQueryFeaturizer(imdb_schema, ["title"], conj_factory)
+        pair = JoinQueryFeaturizer(imdb_schema, ["title", "cast_info"],
+                                   conj_factory)
+        assert pair.feature_length > single.feature_length
+
+    def test_routes_predicates_to_tables(self, imdb_schema):
+        featurizer = JoinQueryFeaturizer(imdb_schema, ["title", "cast_info"],
+                                         conj_factory)
+        query = parse_query(
+            "SELECT count(*) FROM title, cast_info "
+            "WHERE cast_info.movie_id = title.id AND cast_info.role_id = 3")
+        vector = featurizer.featurize(query)
+        title_len = featurizer.featurizer_for("title").feature_length
+        # Title has no predicates -> its conj segment is the no-predicate
+        # encoding (all partitions 1).
+        no_pred = featurizer.featurizer_for("title").featurize(None)
+        np.testing.assert_array_equal(vector[:title_len], no_pred)
+        # cast_info's segment differs from its no-predicate encoding.
+        cast_no_pred = featurizer.featurizer_for("cast_info").featurize(None)
+        assert not np.array_equal(vector[title_len:], cast_no_pred)
+
+    def test_rejects_wrong_table_set(self, imdb_schema):
+        featurizer = JoinQueryFeaturizer(imdb_schema, ["title", "cast_info"],
+                                         conj_factory)
+        query = parse_query(
+            "SELECT count(*) FROM title, movie_keyword "
+            "WHERE movie_keyword.movie_id = title.id")
+        with pytest.raises(ValueError, match="covers"):
+            featurizer.featurize(query)
+
+    def test_rejects_disconnected_subschema(self, imdb_schema):
+        with pytest.raises(ValueError, match="connected"):
+            JoinQueryFeaturizer(imdb_schema, ["cast_info", "movie_keyword"],
+                                conj_factory)
+
+    def test_batch_shape(self, imdb_schema, joblight_bench):
+        items = [it for it in joblight_bench
+                 if set(it.query.tables) == {"title", "cast_info"}]
+        featurizer = JoinQueryFeaturizer(imdb_schema, ["title", "cast_info"],
+                                         conj_factory)
+        if items:
+            matrix = featurizer.featurize_batch([it.query for it in items])
+            assert matrix.shape == (len(items), featurizer.feature_length)
+
+
+class TestTableSetVector:
+    def test_bitmap_semantics(self, imdb_schema):
+        vector_builder = TableSetVector(imdb_schema)
+        query = parse_query(
+            "SELECT count(*) FROM title, cast_info "
+            "WHERE cast_info.movie_id = title.id")
+        bitmap = vector_builder.featurize(query)
+        names = imdb_schema.table_names
+        assert bitmap[names.index("title")] == 1.0
+        assert bitmap[names.index("cast_info")] == 1.0
+        assert bitmap.sum() == 2.0
+
+    def test_unknown_table_rejected(self, imdb_schema):
+        vector_builder = TableSetVector(imdb_schema)
+        query = parse_query("SELECT count(*) FROM ghost")
+        with pytest.raises(KeyError, match="ghost"):
+            vector_builder.featurize(query)
+
+
+class TestGlobalJoinFeaturizer:
+    def test_bitmap_prefix_and_total_length(self, imdb_schema):
+        featurizer = GlobalJoinFeaturizer(imdb_schema, conj_factory)
+        query = parse_query(
+            "SELECT count(*) FROM title, cast_info "
+            "WHERE cast_info.movie_id = title.id AND title.kind_id = 1")
+        vector = featurizer.featurize(query)
+        assert vector.shape == (featurizer.feature_length,)
+        n_tables = len(imdb_schema.table_names)
+        assert vector[:n_tables].sum() == 2.0
+
+    def test_absent_tables_get_default_encoding(self, imdb_schema):
+        featurizer = GlobalJoinFeaturizer(imdb_schema, conj_factory)
+        q1 = parse_query("SELECT count(*) FROM title WHERE kind_id = 1")
+        q2 = parse_query(
+            "SELECT count(*) FROM title, cast_info "
+            "WHERE cast_info.movie_id = title.id AND title.kind_id = 1")
+        v1, v2 = featurizer.featurize(q1), featurizer.featurize(q2)
+        # Only the table bitmap distinguishes the two queries.
+        n_tables = len(imdb_schema.table_names)
+        assert not np.array_equal(v1[:n_tables], v2[:n_tables])
+        np.testing.assert_array_equal(v1[n_tables:], v2[n_tables:])

@@ -1,0 +1,115 @@
+"""The worked featurization examples from the paper, reproduced exactly.
+
+Section 3.2's example: a table with numeric attributes A, B, C where
+min(A) = -9, max(A) = 50, min(B) = 0, max(B) = 115 and C only contains
+values in {1, 2}; n = 12 per-attribute entries.  Section 3.3's example
+uses the same table.  These tests pin our Algorithm 1/2 implementations
+to the paper's published vectors entry by entry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.featurize import ConjunctiveEncoding, DisjunctionEncoding
+from repro.sql.parser import parse_where
+
+H = 0.5
+
+
+@pytest.fixture(scope="module")
+def conj(paper_table):
+    return ConjunctiveEncoding(paper_table, max_partitions=12,
+                               attr_selectivity=False)
+
+
+@pytest.fixture(scope="module")
+def disj(paper_table):
+    return DisjunctionEncoding(paper_table, max_partitions=12,
+                               attr_selectivity=False)
+
+
+class TestPartitionGeometry:
+    def test_partition_counts(self, conj):
+        # A spans 60 values, B spans 116 -> both capped at n = 12;
+        # C spans 2 values -> exactly 2 partitions, one per value.
+        assert conj.partitions("A") == 12
+        assert conj.partitions("B") == 12
+        assert conj.partitions("C") == 2
+
+    def test_exactness(self, conj):
+        assert not conj.is_exact("A")
+        assert not conj.is_exact("B")
+        assert conj.is_exact("C")
+
+    def test_index_formula_from_paper(self, conj):
+        # "7 maps to the fourth entry in the vector of A since
+        # floor((7-(-9))/(50-(-9)+1) * 12) = 3".
+        assert conj.partition_index("A", 7) == 3
+
+    def test_out_of_domain_indices(self, conj):
+        assert conj.partition_index("A", -100) == -1
+        assert conj.partition_index("A", 100) == 12
+
+
+class TestSection32Example:
+    """A < 7 AND B >= 30 AND B <= 100 AND B <> 66 with n = 12."""
+
+    def test_full_vector(self, conj):
+        expr = parse_where("A < 7 AND B >= 30 AND B <= 100 AND B <> 66")
+        vector = conj.featurize(expr)
+        expected_a = [1, 1, 1, H, 0, 0, 0, 0, 0, 0, 0, 0]
+        expected_b = [0, 0, 0, H, 1, 1, H, 1, 1, 1, H, 0]
+        expected_c = [1, 1]
+        np.testing.assert_array_equal(
+            vector, np.asarray(expected_a + expected_b + expected_c)
+        )
+
+    def test_no_predicate_attribute_is_all_one(self, conj):
+        vector = conj.featurize(parse_where("A < 7"))
+        slices = conj.attribute_slices()
+        np.testing.assert_array_equal(vector[slices["B"]], np.ones(12))
+        np.testing.assert_array_equal(vector[slices["C"]], np.ones(2))
+
+    def test_selectivity_appendix_values(self, paper_table):
+        """With the gray lines on, each attribute gains one entry holding
+        the uniformity-assumption selectivity of its conjunction."""
+        featurizer = ConjunctiveEncoding(paper_table, max_partitions=12,
+                                         attr_selectivity=True)
+        expr = parse_where("A < 7 AND B >= 30 AND B <= 100 AND B <> 66")
+        vector = featurizer.featurize(expr)
+        slices = featurizer.attribute_slices()
+        # A < 7 qualifies the 16 integers in [-9, 6] out of 60.
+        assert vector[slices["A"]][-1] == pytest.approx(16 / 60)
+        # 30 <= B <= 100 minus one excluded value: 70 of 116.
+        assert vector[slices["B"]][-1] == pytest.approx(70 / 116)
+        # No predicate on C.
+        assert vector[slices["C"]][-1] == 1.0
+
+
+class TestSection33Example:
+    """(A > -2 AND A <= 30 AND A != 7 OR A >= 42) AND B >= 39.5."""
+
+    def test_first_conjunction_branch(self, conj):
+        vector = conj.featurize(parse_where("A > -2 AND A <= 30 AND A != 7"))
+        slices = conj.attribute_slices()
+        expected = [0, H, 1, H, 1, 1, 1, H, 0, 0, 0, 0]
+        np.testing.assert_array_equal(vector[slices["A"]], expected)
+
+    def test_second_conjunction_branch(self, conj):
+        vector = conj.featurize(parse_where("A >= 42"))
+        slices = conj.attribute_slices()
+        expected = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, H, 1]
+        np.testing.assert_array_equal(vector[slices["A"]], expected)
+
+    def test_merged_disjunction(self, disj):
+        expr = parse_where(
+            "(A > -2 AND A <= 30 AND A != 7 OR A >= 42) AND B >= 39.5"
+        )
+        vector = disj.featurize(expr)
+        slices = disj.attribute_slices()
+        expected_a = [0, H, 1, H, 1, 1, 1, H, 0, 0, H, 1]
+        expected_b = [0, 0, 0, 0, H, 1, 1, 1, 1, 1, 1, 1]
+        expected_c = [1, 1]
+        np.testing.assert_array_equal(vector[slices["A"]], expected_a)
+        np.testing.assert_array_equal(vector[slices["B"]], expected_b)
+        np.testing.assert_array_equal(vector[slices["C"]], expected_c)

@@ -1,0 +1,153 @@
+"""Property-based tests of the featurization invariants (hypothesis).
+
+These encode the semantic properties the paper's algorithms are designed
+around:
+
+* Algorithm 1 entries take values in {0, 1/2, 1} and a conjunction's
+  entries are the entry-wise minimum over its predicates' entries
+  (predicates only lower entries).
+* Algorithm 2 is the entry-wise max over branch vectors, so adding a
+  branch never lowers an entry, branch order is irrelevant, and merging
+  is idempotent.
+* Featurization is a pure function: equal queries yield equal vectors.
+* Lemma 3.2 (losslessness at full resolution): with one partition per
+  domain value, two conjunctions with different qualifying value sets
+  get different vectors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.table import Table
+from repro.featurize import ConjunctiveEncoding, DisjunctionEncoding
+from repro.sql.ast import And, Op, Or, SimplePredicate
+
+DOMAIN = 20  # values 0..19
+
+
+@pytest.fixture(scope="module")
+def table():
+    values = np.arange(DOMAIN, dtype=np.float64)
+    return Table("t", {"A": values, "B": values.copy()})
+
+
+predicates = st.builds(
+    SimplePredicate,
+    attribute=st.just("A"),
+    op=st.sampled_from(list(Op)),
+    value=st.integers(min_value=-2, max_value=DOMAIN + 1).map(float),
+)
+
+conjunctions = st.lists(predicates, min_size=1, max_size=5)
+
+
+def qualifying_values(preds) -> frozenset:
+    """Brute-force qualifying integer set for a conjunction on A."""
+    ops = {Op.EQ: np.equal, Op.NE: np.not_equal, Op.LT: np.less,
+           Op.LE: np.less_equal, Op.GT: np.greater, Op.GE: np.greater_equal}
+    domain = np.arange(DOMAIN)
+    mask = np.ones(DOMAIN, dtype=bool)
+    for pred in preds:
+        mask &= ops[pred.op](domain, pred.value)
+    return frozenset(domain[mask].tolist())
+
+
+class TestConjunctiveProperties:
+    @given(conjunctions)
+    @settings(max_examples=200, deadline=None)
+    def test_entries_in_categorical_alphabet(self, table, preds):
+        enc = ConjunctiveEncoding(table, max_partitions=7,
+                                  attr_selectivity=False)
+        vector = enc.featurize(And(preds) if len(preds) > 1 else preds[0])
+        assert set(np.unique(vector)) <= {0.0, 0.5, 1.0}
+
+    @given(conjunctions, predicates)
+    @settings(max_examples=200, deadline=None)
+    def test_adding_predicate_never_raises_entries(self, table, preds, extra):
+        enc = ConjunctiveEncoding(table, max_partitions=7,
+                                  attr_selectivity=False)
+        base = enc.featurize(And(preds) if len(preds) > 1 else preds[0])
+        extended = enc.featurize(And([*preds, extra]))
+        assert np.all(extended <= base + 1e-12)
+
+    @given(conjunctions)
+    @settings(max_examples=100, deadline=None)
+    def test_determinism(self, table, preds):
+        enc = ConjunctiveEncoding(table, max_partitions=7)
+        expr = And(preds) if len(preds) > 1 else preds[0]
+        np.testing.assert_array_equal(enc.featurize(expr), enc.featurize(expr))
+
+    @given(conjunctions)
+    @settings(max_examples=100, deadline=None)
+    def test_predicate_order_irrelevant(self, table, preds):
+        enc = ConjunctiveEncoding(table, max_partitions=7)
+        forward = And(preds) if len(preds) > 1 else preds[0]
+        backward = (And(list(reversed(preds))) if len(preds) > 1
+                    else preds[0])
+        np.testing.assert_array_equal(enc.featurize(forward),
+                                      enc.featurize(backward))
+
+    @given(conjunctions, conjunctions)
+    @settings(max_examples=200, deadline=None)
+    def test_lossless_at_full_resolution(self, table, left, right):
+        """Lemma 3.2: at one partition per value, different qualifying
+        sets imply different feature vectors."""
+        enc = ConjunctiveEncoding(table, max_partitions=DOMAIN,
+                                  attr_selectivity=False)
+        if qualifying_values(left) == qualifying_values(right):
+            return
+        v_left = enc.featurize(And(left) if len(left) > 1 else left[0])
+        v_right = enc.featurize(And(right) if len(right) > 1 else right[0])
+        assert not np.array_equal(v_left, v_right)
+
+    @given(conjunctions)
+    @settings(max_examples=200, deadline=None)
+    def test_exact_encoding_decodes_to_qualifying_set(self, table, preds):
+        """At full resolution the vector IS the qualifying indicator."""
+        enc = ConjunctiveEncoding(table, max_partitions=DOMAIN,
+                                  attr_selectivity=False)
+        vector = enc.featurize(And(preds) if len(preds) > 1 else preds[0])
+        slices = enc.attribute_slices()
+        decoded = frozenset(np.nonzero(vector[slices["A"]] == 1.0)[0].tolist())
+        assert decoded == qualifying_values(preds)
+
+
+class TestDisjunctionProperties:
+    @given(st.lists(conjunctions, min_size=1, max_size=3))
+    @settings(max_examples=150, deadline=None)
+    def test_branch_order_irrelevant(self, table, branches):
+        enc = DisjunctionEncoding(table, max_partitions=7,
+                                  attr_selectivity=False)
+
+        def expr(order):
+            parts = [And(b) if len(b) > 1 else b[0] for b in order]
+            return Or(parts) if len(parts) > 1 else parts[0]
+
+        np.testing.assert_array_equal(
+            enc.featurize(expr(branches)),
+            enc.featurize(expr(list(reversed(branches)))),
+        )
+
+    @given(st.lists(conjunctions, min_size=1, max_size=3), conjunctions)
+    @settings(max_examples=150, deadline=None)
+    def test_adding_branch_never_lowers_entries(self, table, branches, extra):
+        enc = DisjunctionEncoding(table, max_partitions=7,
+                                  attr_selectivity=False)
+        parts = [And(b) if len(b) > 1 else b[0] for b in branches]
+        base = enc.featurize(Or(parts) if len(parts) > 1 else parts[0])
+        widened = enc.featurize(Or([*parts, And(extra) if len(extra) > 1
+                                    else extra[0]]))
+        assert np.all(widened >= base - 1e-12)
+
+    @given(conjunctions)
+    @settings(max_examples=100, deadline=None)
+    def test_self_union_idempotent(self, table, preds):
+        enc = DisjunctionEncoding(table, max_partitions=7,
+                                  attr_selectivity=False)
+        branch = And(preds) if len(preds) > 1 else preds[0]
+        np.testing.assert_array_equal(
+            enc.featurize(branch),
+            enc.featurize(Or([branch, branch])),
+        )

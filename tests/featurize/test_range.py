@@ -1,0 +1,72 @@
+"""Tests for Range Predicate Encoding."""
+
+import numpy as np
+import pytest
+
+from repro.featurize import RangeEncoding
+from repro.featurize.base import LosslessnessError
+from repro.sql.parser import parse_where
+
+
+@pytest.fixture(scope="module")
+def enc(paper_table):
+    return RangeEncoding(paper_table)
+
+
+def test_feature_length_is_2m(enc):
+    assert enc.feature_length == 2 * 3
+
+
+def test_no_predicates_full_ranges(enc):
+    np.testing.assert_array_equal(enc.featurize(None), [0, 1, 0, 1, 0, 1])
+
+
+def test_equality_collapses_to_point(enc):
+    vector = enc.featurize(parse_where("B = 23"))
+    assert vector[2] == vector[3] == pytest.approx(23 / 115)
+
+
+def test_closed_range_from_two_predicates(enc):
+    vector = enc.featurize(parse_where("B >= 23 AND B <= 92"))
+    assert vector[2] == pytest.approx(23 / 115)
+    assert vector[3] == pytest.approx(92 / 115)
+
+
+def test_strict_bounds_tighten_by_one_on_integers(enc):
+    """A < 5 corresponds to [min(A), 4] on integer domains (Section 3.1)."""
+    lt = enc.featurize(parse_where("A < 5"))
+    le = enc.featurize(parse_where("A <= 4"))
+    np.testing.assert_allclose(lt, le)
+
+
+def test_intersection_of_multiple_ranges(enc):
+    vector = enc.featurize(parse_where("B >= 10 AND B >= 30 AND B <= 80 AND B <= 90"))
+    assert vector[2] == pytest.approx(30 / 115)
+    assert vector[3] == pytest.approx(80 / 115)
+
+
+def test_not_equal_dropped(enc):
+    """<> has no range representation: Figure 3's 3-predicate spike."""
+    with_ne = enc.featurize(parse_where("B >= 30 AND B <= 80 AND B <> 50"))
+    without = enc.featurize(parse_where("B >= 30 AND B <= 80"))
+    np.testing.assert_array_equal(with_ne, without)
+
+
+def test_empty_intersection_encodes_inverted_range(enc):
+    vector = enc.featurize(parse_where("B >= 90 AND B <= 10"))
+    assert vector[2] == 1.0
+    assert vector[3] == 0.0
+
+
+def test_disjunctions_rejected(enc):
+    with pytest.raises(LosslessnessError, match="disjunction"):
+        enc.featurize(parse_where("B = 1 OR B = 2"))
+
+
+def test_lossless_for_single_range_queries(enc):
+    """Distinct single-range queries produce distinct vectors."""
+    seen = set()
+    for lo, hi in [(0, 115), (0, 50), (20, 50), (20, 115), (33, 34)]:
+        key = enc.featurize(parse_where(f"B >= {lo} AND B <= {hi}")).tobytes()
+        assert key not in seen
+        seen.add(key)

@@ -1,0 +1,79 @@
+"""Tests for Singular Predicate Encoding."""
+
+import numpy as np
+import pytest
+
+from repro.featurize import SingularEncoding
+from repro.featurize.base import LosslessnessError
+from repro.sql.ast import Query
+from repro.sql.parser import parse_where
+
+
+@pytest.fixture(scope="module")
+def enc(paper_table):
+    return SingularEncoding(paper_table)
+
+
+def test_feature_length_is_4m(enc):
+    assert enc.feature_length == 4 * 3
+
+
+def test_empty_query_is_zero_vector(enc):
+    np.testing.assert_array_equal(enc.featurize(None), np.zeros(12))
+
+
+def test_paper_layout_example(enc, paper_table):
+    """A > 5 AND B = 7: operator bits then normalised literal, per attribute."""
+    vector = enc.featurize(parse_where("A > 5 AND B = 7"))
+    # A: (=,>,<) = (0,1,0), literal (5+9)/59.
+    np.testing.assert_allclose(vector[0:4], [0, 1, 0, 14 / 59])
+    # B: (1,0,0), literal 7/115.
+    np.testing.assert_allclose(vector[4:8], [1, 0, 0, 7 / 115])
+    # C: no predicate -> all zero.
+    np.testing.assert_array_equal(vector[8:12], np.zeros(4))
+
+
+def test_compound_operator_bits(enc):
+    vector = enc.featurize(parse_where("A >= 5"))
+    np.testing.assert_array_equal(vector[0:3], [1, 1, 0])
+    vector = enc.featurize(parse_where("A <> 5"))
+    np.testing.assert_array_equal(vector[0:3], [0, 1, 1])
+    vector = enc.featurize(parse_where("A <= 5"))
+    np.testing.assert_array_equal(vector[0:3], [1, 0, 1])
+
+
+def test_information_loss_multiple_predicates(enc):
+    """k > 1 predicates on one attribute: only the first is kept — the
+    defining failure mode Section 3 analyses."""
+    one = enc.featurize(parse_where("A >= 5"))
+    two = enc.featurize(parse_where("A >= 5 AND A <= 30"))
+    np.testing.assert_array_equal(one, two)
+
+
+def test_disjunctions_rejected(enc):
+    with pytest.raises(LosslessnessError, match="disjunction"):
+        enc.featurize(parse_where("A = 1 OR A = 2"))
+
+
+def test_query_object_accepted(enc):
+    query = Query.single_table("t", parse_where("A > 5"))
+    vector = enc.featurize(query)
+    assert vector[1] == 1.0
+
+
+def test_wrong_table_rejected(enc):
+    query = Query.single_table("other", parse_where("A > 5"))
+    with pytest.raises(ValueError, match="fitted to"):
+        enc.featurize(query)
+
+
+def test_unknown_attribute_rejected(enc):
+    with pytest.raises(KeyError, match="unknown attribute"):
+        enc.featurize(parse_where("Z > 5"))
+
+
+def test_attribute_subset(paper_table):
+    enc = SingularEncoding(paper_table, attributes=["B"])
+    assert enc.feature_length == 4
+    with pytest.raises(KeyError):
+        enc.featurize(parse_where("A > 5"))

@@ -1,0 +1,81 @@
+"""Tests for the string-prefix featurization extension (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.featurize.strings import StringPrefixEncoding
+
+WORDS = ["alpha", "apex", "bravo", "beta", "charlie", "delta", "dog",
+         "echo", "ember", "fox", "golf", "hotel"]
+
+
+@pytest.fixture(scope="module")
+def enc():
+    return StringPrefixEncoding(WORDS, buckets=6)
+
+
+def test_dictionary_sorted_unique():
+    enc = StringPrefixEncoding(["b", "a", "b", "c"], buckets=3)
+    assert enc.dictionary == ["a", "b", "c"]
+
+
+def test_feature_length(enc):
+    assert enc.feature_length == 7  # 6 buckets + selectivity
+
+
+def test_encode_value(enc):
+    assert enc.encode_value("alpha") == 0
+    with pytest.raises(KeyError):
+        enc.encode_value("zulu")
+
+
+def test_prefix_selectivity_fraction(enc):
+    # 2 of 12 words start with 'b'.
+    assert enc.prefix_selectivity("b") == pytest.approx(2 / 12)
+    # 'd' matches delta and dog.
+    assert enc.prefix_selectivity("d") == pytest.approx(2 / 12)
+    assert enc.prefix_selectivity("zz") == 0.0
+
+
+def test_longer_prefix_narrows(enc):
+    assert enc.prefix_selectivity("de") <= enc.prefix_selectivity("d")
+
+
+def test_no_predicate_is_all_ones(enc):
+    vector = enc.featurize_no_predicate()
+    np.testing.assert_array_equal(vector[:-1], np.ones(6))
+    assert vector[-1] == 1.0
+
+
+def test_equality_activates_one_region(enc):
+    vector = enc.featurize_equals("charlie")
+    assert 0 < np.count_nonzero(vector[:-1]) <= 2
+    assert vector[-1] == pytest.approx(1 / 12)
+
+
+def test_equality_of_absent_value(enc):
+    vector = enc.featurize_equals("zulu")
+    np.testing.assert_array_equal(vector[:-1], np.zeros(6))
+
+
+def test_prefix_vector_alphabet(enc):
+    vector = enc.featurize_prefix("a")[:-1]
+    assert set(np.unique(vector)) <= {0.0, 0.5, 1.0}
+
+
+def test_empty_prefix_rejected(enc):
+    with pytest.raises(ValueError, match="non-empty"):
+        enc.featurize_prefix("")
+
+
+def test_rejects_empty_dictionary():
+    with pytest.raises(ValueError):
+        StringPrefixEncoding([], buckets=4)
+    with pytest.raises(ValueError):
+        StringPrefixEncoding(["", ""], buckets=4)
+
+
+def test_without_selectivity_appendix():
+    enc = StringPrefixEncoding(WORDS, buckets=4, attr_selectivity=False)
+    assert enc.feature_length == 4
+    assert enc.prefix_selectivity("a") == pytest.approx(2 / 12)

@@ -1,0 +1,127 @@
+"""End-to-end integration tests across modules.
+
+Each test walks a full pipeline at miniature scale: data generation ->
+workload -> featurization -> training -> estimation -> metric, plus the
+estimator-vs-estimator shapes the paper's conclusions rest on.  These run
+in seconds; the benchmarks validate the full-size versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.estimators import (
+    LearnedEstimator,
+    LocalModelEnsemble,
+    PostgresEstimator,
+    TrueCardinalityEstimator,
+)
+from repro.featurize import ConjunctiveEncoding, DisjunctionEncoding
+from repro.metrics import qerror, summarize
+from repro.models import GradientBoostingRegressor, NeuralNetRegressor
+from repro.optimizer import workload_work
+from repro.sql.parser import parse_query
+from repro.workloads.joblight import generate_join_queries
+
+
+class TestSingleTablePipeline:
+    def test_gb_conj_pipeline(self, small_forest, conjunctive_workload):
+        train = list(conjunctive_workload)[:320]
+        test = list(conjunctive_workload)[320:]
+        estimator = LearnedEstimator(
+            ConjunctiveEncoding(small_forest, max_partitions=16),
+            GradientBoostingRegressor(n_estimators=80),
+        ).fit([it.query for it in train],
+              np.asarray([it.cardinality for it in train], dtype=float))
+        truth = np.asarray([it.cardinality for it in test], dtype=float)
+        summary = summarize(qerror(
+            truth, estimator.estimate_batch([it.query for it in test])))
+        assert summary.median < 4.0
+
+    def test_nn_pipeline_runs(self, small_forest, conjunctive_workload):
+        train = list(conjunctive_workload)[:320]
+        estimator = LearnedEstimator(
+            ConjunctiveEncoding(small_forest, max_partitions=8),
+            NeuralNetRegressor(hidden_sizes=(32,), epochs=6),
+        ).fit([it.query for it in train],
+              np.asarray([it.cardinality for it in train], dtype=float))
+        estimates = estimator.estimate_batch(
+            [it.query for it in conjunctive_workload][:20])
+        assert (estimates >= 1.0).all()
+
+    def test_mixed_pipeline_with_disjunctions(self, small_forest,
+                                              mixed_workload):
+        train = list(mixed_workload)[:320]
+        test = list(mixed_workload)[320:]
+        estimator = LearnedEstimator(
+            DisjunctionEncoding(small_forest, max_partitions=16),
+            GradientBoostingRegressor(n_estimators=80),
+        ).fit([it.query for it in train],
+              np.asarray([it.cardinality for it in train], dtype=float))
+        truth = np.asarray([it.cardinality for it in test], dtype=float)
+        summary = summarize(qerror(
+            truth, estimator.estimate_batch([it.query for it in test])))
+        assert summary.median < 4.0
+
+    def test_learned_beats_postgres_on_correlated_data(
+            self, small_forest, conjunctive_workload):
+        """The headline single-table comparison (Figure 4's shape)."""
+        train = list(conjunctive_workload)[:320]
+        test = list(conjunctive_workload)[320:]
+        learned = LearnedEstimator(
+            ConjunctiveEncoding(small_forest, max_partitions=16),
+            GradientBoostingRegressor(n_estimators=80),
+        ).fit([it.query for it in train],
+              np.asarray([it.cardinality for it in train], dtype=float))
+        postgres = PostgresEstimator(small_forest)
+        truth = np.asarray([it.cardinality for it in test], dtype=float)
+        queries = [it.query for it in test]
+        learned_median = np.median(qerror(truth, learned.estimate_batch(queries)))
+        postgres_median = np.median(qerror(truth, postgres.estimate_batch(queries)))
+        assert learned_median < postgres_median
+
+
+class TestJoinPipeline:
+    @pytest.fixture(scope="class")
+    def join_setup(self, imdb_schema):
+        train = generate_join_queries(imdb_schema, 250, min_joins=1,
+                                      max_joins=2, seed=77)
+        test = generate_join_queries(imdb_schema, 40, min_joins=1,
+                                     max_joins=2, seed=78)
+        ensemble = LocalModelEnsemble(
+            imdb_schema,
+            lambda t, a: ConjunctiveEncoding(t, a, max_partitions=8),
+            lambda: GradientBoostingRegressor(n_estimators=40),
+        ).fit(train.queries, train.cardinalities)
+        return ensemble, test
+
+    def test_local_models_estimate_join_queries(self, join_setup):
+        ensemble, test = join_setup
+        estimates = ensemble.estimate_batch(test.queries)
+        assert (estimates >= 1.0).all()
+        summary = summarize(qerror(test.cardinalities, estimates))
+        assert summary.median < 25.0
+
+    def test_plan_choice_with_learned_estimates(self, imdb_schema,
+                                                join_setup):
+        ensemble, test = join_setup
+        queries = [q for q in test.queries if len(q.tables) >= 3][:5]
+        truth_work = workload_work(queries, imdb_schema,
+                                   TrueCardinalityEstimator(imdb_schema))
+        learned_work = workload_work(queries, imdb_schema, ensemble)
+        assert learned_work >= truth_work  # truth is optimal under C_out
+        assert learned_work <= 10 * truth_work  # and learned is sane
+
+
+class TestSqlInterface:
+    def test_parse_train_estimate_round_trip(self, small_forest,
+                                             conjunctive_workload):
+        """A user can train on generated queries and ask about SQL text."""
+        train = list(conjunctive_workload)[:200]
+        estimator = LearnedEstimator(
+            ConjunctiveEncoding(small_forest, max_partitions=8),
+            GradientBoostingRegressor(n_estimators=30),
+        ).fit([it.query for it in train],
+              np.asarray([it.cardinality for it in train], dtype=float))
+        query = parse_query(
+            "SELECT count(*) FROM forest WHERE A1 >= 2500 AND A1 <= 3000")
+        assert estimator.estimate(query) >= 1.0

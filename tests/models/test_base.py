@@ -1,0 +1,99 @@
+"""Tests for the model base layer (log-space wrapper, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.models import GradientBoostingRegressor
+from repro.models.base import LogSpaceRegressor, Regressor, check_matrix
+
+
+class TestCheckMatrix:
+    def test_valid_inputs_pass_through(self):
+        X, y = check_matrix(np.ones((3, 2)), [1, 2, 3])
+        assert X.dtype == np.float64
+        assert y.shape == (3,)
+
+    def test_targets_optional(self):
+        X, y = check_matrix(np.ones((3, 2)))
+        assert y is None
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError, match="2-d"):
+            check_matrix(np.ones(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            check_matrix(np.empty((0, 2)))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_matrix(np.asarray([[np.inf]]))
+        with pytest.raises(ValueError, match="NaN"):
+            check_matrix(np.ones((2, 1)), [np.nan, 1.0])
+
+    def test_rejects_misaligned_targets(self):
+        with pytest.raises(ValueError, match="length"):
+            check_matrix(np.ones((3, 1)), [1.0, 2.0])
+
+
+class _ConstantModel(Regressor):
+    """Predicts the mean of its training targets."""
+
+    def fit(self, features, targets):
+        self.value = float(np.mean(targets))
+        return self
+
+    def predict(self, features):
+        return np.full(features.shape[0], self.value)
+
+    def memory_bytes(self):
+        return 8
+
+
+class TestLogSpaceRegressor:
+    def test_round_trips_through_log(self):
+        model = LogSpaceRegressor(_ConstantModel())
+        X = np.ones((4, 1))
+        cards = np.asarray([10.0, 10.0, 10.0, 10.0])
+        model.fit(X, cards)
+        np.testing.assert_allclose(model.predict(X), 10.0, rtol=1e-9)
+
+    def test_geometric_mean_behaviour(self):
+        """Mean in log space = geometric mean of cardinalities."""
+        model = LogSpaceRegressor(_ConstantModel())
+        X = np.ones((2, 1))
+        model.fit(X, np.asarray([1.0, 10000.0]))
+        np.testing.assert_allclose(model.predict(X), 100.0, rtol=1e-9)
+
+    def test_predictions_clamped_to_one(self):
+        model = LogSpaceRegressor(_ConstantModel())
+        X = np.ones((2, 1))
+        model.fit(X, np.asarray([1.0, 1.0]))
+        assert (model.predict(X) >= 1.0).all()
+
+    def test_zero_cardinalities_tolerated(self):
+        model = LogSpaceRegressor(_ConstantModel())
+        model.fit(np.ones((2, 1)), np.asarray([0.0, 1.0]))
+
+    def test_negative_cardinalities_rejected(self):
+        model = LogSpaceRegressor(_ConstantModel())
+        with pytest.raises(ValueError, match="non-negative"):
+            model.fit(np.ones((2, 1)), np.asarray([-1.0, 1.0]))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            LogSpaceRegressor(_ConstantModel()).predict(np.ones((1, 1)))
+
+    def test_wraps_real_model(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(300, 3))
+        cards = np.exp(5 * X[:, 0] + 2)  # spans e^2 .. e^7
+        model = LogSpaceRegressor(
+            GradientBoostingRegressor(n_estimators=40))
+        model.fit(X, cards)
+        ratio = model.predict(X) / cards
+        assert np.median(np.maximum(ratio, 1 / ratio)) < 1.5
+
+    def test_memory_bytes_delegates(self):
+        model = LogSpaceRegressor(_ConstantModel())
+        assert model.memory_bytes() == 8

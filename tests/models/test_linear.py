@@ -1,0 +1,64 @@
+"""Tests for the linear baselines (ridge, linear SVR)."""
+
+import numpy as np
+import pytest
+
+from repro.models.linear import LinearSVR, RidgeRegressor
+
+
+def make_linear(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5 + rng.normal(0, 0.01, n)
+    return X, y
+
+
+class TestRidge:
+    def test_recovers_linear_coefficients(self):
+        X, y = make_linear()
+        model = RidgeRegressor(alpha=1e-6).fit(X, y)
+        pred = model.predict(X)
+        assert np.abs(pred - y).mean() < 0.05
+
+    def test_alpha_shrinks_coefficients(self):
+        X, y = make_linear()
+        loose = RidgeRegressor(alpha=1e-6).fit(X, y)
+        tight = RidgeRegressor(alpha=1e5).fit(X, y)
+        assert np.linalg.norm(tight._coef) < np.linalg.norm(loose._coef)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(alpha=-1.0)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegressor().predict(np.ones((1, 2)))
+
+    def test_memory_bytes(self):
+        X, y = make_linear(n=50)
+        model = RidgeRegressor().fit(X, y)
+        assert model.memory_bytes() == 3 * 8 + 8
+
+
+class TestLinearSVR:
+    def test_fits_linear_function_roughly(self):
+        X, y = make_linear()
+        model = LinearSVR(epochs=80, learning_rate=5e-2).fit(X, y)
+        residual = y - model.predict(X)
+        assert residual.std() < 0.5 * y.std()
+
+    def test_deterministic_in_seed(self):
+        X, y = make_linear(n=100)
+        a = LinearSVR(epochs=5, random_state=1).fit(X, y)
+        b = LinearSVR(epochs=5, random_state=1).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVR(epsilon=-1)
+        with pytest.raises(ValueError):
+            LinearSVR(c=0)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            LinearSVR().predict(np.ones((1, 2)))

@@ -1,0 +1,77 @@
+"""Tests for the feed-forward neural network."""
+
+import numpy as np
+import pytest
+
+from repro.models import NeuralNetRegressor
+
+
+def make_regression(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 4))
+    y = 2.0 * X[:, 0] - X[:, 1] + 0.5 * np.abs(X[:, 2])
+    return X, y
+
+
+def test_fits_linearish_function():
+    X, y = make_regression()
+    model = NeuralNetRegressor(hidden_sizes=(32, 16), epochs=40,
+                               early_stopping_rounds=None)
+    model.fit(X, y)
+    residual = y - model.predict(X)
+    assert residual.std() < 0.35 * y.std()
+
+
+def test_deterministic_in_seed():
+    X, y = make_regression(n=200)
+    a = NeuralNetRegressor(hidden_sizes=(16,), epochs=5,
+                           random_state=3).fit(X, y)
+    b = NeuralNetRegressor(hidden_sizes=(16,), epochs=5,
+                           random_state=3).fit(X, y)
+    np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+
+def test_early_stopping_restores_best_weights():
+    X, y = make_regression(n=300)
+    model = NeuralNetRegressor(hidden_sizes=(16,), epochs=60,
+                               early_stopping_rounds=3)
+    model.fit(X, y)
+    assert np.isfinite(model.predict(X)).all()
+
+
+def test_standardisation_handles_constant_features():
+    X = np.hstack([np.ones((100, 1)), np.random.default_rng(0).normal(size=(100, 1))])
+    y = X[:, 1]
+    model = NeuralNetRegressor(hidden_sizes=(8,), epochs=10)
+    model.fit(X, y)
+    assert np.isfinite(model.predict(X)).all()
+
+
+def test_predict_before_fit_rejected():
+    with pytest.raises(RuntimeError, match="fitted"):
+        NeuralNetRegressor().predict(np.ones((1, 3)))
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        NeuralNetRegressor(hidden_sizes=())
+    with pytest.raises(ValueError):
+        NeuralNetRegressor(hidden_sizes=(0,))
+    with pytest.raises(ValueError):
+        NeuralNetRegressor(epochs=0)
+
+
+def test_memory_bytes_counts_parameters():
+    X, y = make_regression(n=100)
+    model = NeuralNetRegressor(hidden_sizes=(16, 8), epochs=2).fit(X, y)
+    # 4*16 + 16*8 + 8*1 weights + biases + scaler, all float64.
+    expected_weights = (4 * 16 + 16 * 8 + 8 * 1 + 16 + 8 + 1 + 2 * 4) * 8
+    assert model.memory_bytes() == expected_weights
+
+
+def test_tiny_training_set():
+    X = np.asarray([[0.0], [1.0], [2.0]])
+    y = np.asarray([0.0, 1.0, 2.0])
+    model = NeuralNetRegressor(hidden_sizes=(4,), epochs=3)
+    model.fit(X, y)
+    assert np.isfinite(model.predict(X)).all()

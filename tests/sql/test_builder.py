@@ -1,0 +1,96 @@
+"""Tests for the fluent query builder."""
+
+import numpy as np
+import pytest
+
+from repro.sql.ast import And, Op, Or
+from repro.sql.builder import col, query
+from repro.sql.executor import cardinality, selection_mask
+from repro.sql.parser import parse_query
+
+
+class TestColumnOperators:
+    def test_all_comparisons(self):
+        for expr, op in ((col("A") == 5, Op.EQ), (col("A") != 5, Op.NE),
+                         (col("A") < 5, Op.LT), (col("A") <= 5, Op.LE),
+                         (col("A") > 5, Op.GT), (col("A") >= 5, Op.GE)):
+            assert expr.node.op is op
+            assert expr.node.attribute == "A"
+            assert expr.node.value == 5.0
+
+    def test_between(self):
+        expr = col("A").between(3, 9)
+        assert expr.to_sql() == "A >= 3 AND A <= 9"
+
+    def test_and_or_composition(self):
+        expr = (col("A") > 1) & (col("A") < 9) | (col("A") == 42)
+        assert isinstance(expr.node, Or)
+        assert isinstance(expr.node.children[0], And)
+
+    def test_column_not_hashable(self):
+        with pytest.raises(TypeError):
+            {col("A"): 1}
+
+
+class TestQueryBuilder:
+    def test_single_table_query(self, tiny_table):
+        built = (query("tiny")
+                 .where(col("x").between(3, 8))
+                 .where(col("y") != 2)
+                 .build())
+        parsed = parse_query(
+            "SELECT count(*) FROM tiny WHERE x >= 3 AND x <= 8 AND y <> 2")
+        np.testing.assert_array_equal(
+            selection_mask(built.where, tiny_table),
+            selection_mask(parsed.where, tiny_table),
+        )
+
+    def test_mixed_query_matches_paper_form(self, tiny_table):
+        built = (query("tiny")
+                 .where((col("x") <= 3) | (col("x") >= 8))
+                 .where(col("z") == 5)
+                 .build())
+        form = built.compound_form()
+        assert set(form) == {"x", "z"}
+        assert len(form["x"]) == 2
+
+    def test_join_query(self, imdb_schema):
+        built = (query("title", "cast_info")
+                 .join("cast_info.movie_id", "title.id")
+                 .where(col("title.production_year") > 2000)
+                 .build())
+        parsed = parse_query(
+            "SELECT count(*) FROM title, cast_info WHERE "
+            "cast_info.movie_id = title.id AND title.production_year > 2000")
+        assert cardinality(built, imdb_schema) == cardinality(parsed,
+                                                              imdb_schema)
+
+    def test_group_by(self):
+        built = query("t").where(col("a") > 1).group_by("b", "c").build()
+        assert built.group_by == ("b", "c")
+
+    def test_no_conditions(self):
+        built = query("t").build()
+        assert built.where is None
+
+    def test_requires_tables(self):
+        with pytest.raises(ValueError, match="at least one table"):
+            query()
+
+    def test_join_requires_qualified_names(self):
+        with pytest.raises(ValueError, match="qualified"):
+            query("a", "b").join("x", "b.y")
+
+    def test_where_rejects_non_expr(self):
+        with pytest.raises(TypeError, match="col\\(\\)"):
+            query("t").where("a > 1")
+
+    def test_sql_round_trip(self, tiny_table):
+        built = (query("tiny")
+                 .where((col("x") > 2) & (col("x") < 9) | (col("x") == 1))
+                 .build())
+        reparsed = parse_query(built.to_sql())
+        np.testing.assert_array_equal(
+            selection_mask(built.where, tiny_table),
+            selection_mask(reparsed.where, tiny_table),
+        )

@@ -1,0 +1,242 @@
+"""Tests for the counting executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import ForeignKey, Schema
+from repro.data.table import Table
+from repro.sql.ast import (
+    And,
+    JoinPredicate,
+    Op,
+    Or,
+    Query,
+    SimplePredicate,
+    UnsupportedQueryError,
+)
+from repro.sql.executor import (
+    cardinality,
+    group_count,
+    per_table_selections,
+    selection_mask,
+)
+from repro.sql.parser import parse_query, parse_where
+
+
+def p(attr, op, val):
+    return SimplePredicate(attr, Op.from_symbol(op), val)
+
+
+class TestSelectionMask:
+    def test_none_selects_all(self, tiny_table):
+        assert selection_mask(None, tiny_table).sum() == 10
+
+    def test_each_operator(self, tiny_table):
+        x = tiny_table.column("x").values
+        cases = {
+            "=": x == 5, "<>": x != 5, "<": x < 5,
+            "<=": x <= 5, ">": x > 5, ">=": x >= 5,
+        }
+        for symbol, expected in cases.items():
+            mask = selection_mask(p("x", symbol, 5), tiny_table)
+            np.testing.assert_array_equal(mask, expected)
+
+    def test_and_or_combination(self, tiny_table):
+        expr = And([p("x", ">", 2), Or([p("y", "=", 1), p("z", "=", 7)])])
+        mask = selection_mask(expr, tiny_table)
+        x = tiny_table.column("x").values
+        y = tiny_table.column("y").values
+        z = tiny_table.column("z").values
+        np.testing.assert_array_equal(mask, (x > 2) & ((y == 1) | (z == 7)))
+
+    def test_qualified_attribute(self, tiny_table):
+        mask = selection_mask(p("tiny.x", ">", 8), tiny_table)
+        assert mask.sum() == 2
+
+    def test_wrong_table_prefix_rejected(self, tiny_table):
+        with pytest.raises(KeyError, match="does not belong"):
+            selection_mask(p("other.x", ">", 8), tiny_table)
+
+
+class TestSingleTableCardinality:
+    def test_matches_mask_sum(self, tiny_table):
+        query = Query.single_table("tiny", p("y", "=", 3))
+        assert cardinality(query, tiny_table) == 4
+
+    def test_join_query_rejected_on_table(self, tiny_table):
+        query = Query(tables=("tiny", "other"),
+                      joins=(JoinPredicate("tiny", "x", "other", "x"),))
+        with pytest.raises(UnsupportedQueryError):
+            cardinality(query, tiny_table)
+
+    @given(st.integers(min_value=0, max_value=11),
+           st.integers(min_value=0, max_value=11))
+    @settings(max_examples=30, deadline=None)
+    def test_range_cardinality_formula(self, tiny_table, lo, hi):
+        query = Query.single_table(
+            "tiny", And([p("x", ">=", lo), p("x", "<=", hi)])
+        )
+        x = tiny_table.column("x").values
+        assert cardinality(query, tiny_table) == int(((x >= lo) & (x <= hi)).sum())
+
+
+def brute_force_star_count(schema, query) -> int:
+    """Nested-loop join count for validation (star joins around the hub)."""
+    selections = per_table_selections(query, schema)
+    hub = query.tables[0]
+    hub_table = schema.table(hub)
+    hub_mask = selection_mask(selections[hub], hub_table)
+    total = 0
+    hub_keys = hub_table.column("id").values
+    child_data = []
+    for join in query.joins:
+        child = join.left_table if join.right_table == hub else join.right_table
+        child_table = schema.table(child)
+        child_mask = selection_mask(selections.get(child), child_table)
+        child_data.append((child_table.column("movie_id").values, child_mask))
+    for i in range(hub_table.row_count):
+        if not hub_mask[i]:
+            continue
+        product = 1
+        for keys, mask in child_data:
+            product *= int(((keys == hub_keys[i]) & mask).sum())
+            if product == 0:
+                break
+        total += product
+    return total
+
+
+class TestJoinCardinality:
+    def make_schema(self):
+        hub = Table("title", {
+            "id": np.arange(1.0, 9.0),
+            "year": np.asarray([1990, 1995, 2000, 2005, 2010, 2015, 2020, 2021],
+                               dtype=np.float64),
+        })
+        a = Table("a", {
+            "movie_id": np.asarray([1, 1, 2, 3, 3, 3, 8], dtype=np.float64),
+            "v": np.asarray([1, 2, 1, 2, 3, 1, 9], dtype=np.float64),
+        })
+        b = Table("b", {
+            "movie_id": np.asarray([1, 2, 2, 5, 8, 8], dtype=np.float64),
+            "w": np.asarray([4, 4, 5, 6, 4, 5], dtype=np.float64),
+        })
+        return Schema([hub, a, b], [ForeignKey("a", "movie_id", "title", "id"),
+                                    ForeignKey("b", "movie_id", "title", "id")])
+
+    def test_two_way_join_no_filter(self):
+        schema = self.make_schema()
+        query = parse_query(
+            "SELECT count(*) FROM title, a WHERE a.movie_id = title.id")
+        assert cardinality(query, schema) == 7
+
+    def test_three_way_star_join(self):
+        schema = self.make_schema()
+        query = parse_query(
+            "SELECT count(*) FROM title, a, b "
+            "WHERE a.movie_id = title.id AND b.movie_id = title.id")
+        # title 1: 2*1, title 2: 1*2, title 8: 1*2 -> 6.
+        assert cardinality(query, schema) == 6
+
+    def test_star_join_with_filters(self):
+        schema = self.make_schema()
+        query = parse_query(
+            "SELECT count(*) FROM title, a, b "
+            "WHERE a.movie_id = title.id AND b.movie_id = title.id "
+            "AND a.v = 1 AND b.w = 4")
+        assert cardinality(query, schema) == brute_force_star_count(schema, query)
+
+    def test_against_brute_force_on_generated_schema(self, imdb_schema):
+        query = parse_query(
+            "SELECT count(*) FROM title, cast_info, movie_keyword "
+            "WHERE cast_info.movie_id = title.id "
+            "AND movie_keyword.movie_id = title.id "
+            "AND title.production_year > 2000 AND cast_info.role_id <= 3")
+        assert cardinality(query, imdb_schema) == brute_force_star_count(
+            imdb_schema, query)
+
+    def test_cyclic_join_graph_rejected(self):
+        schema = self.make_schema()
+        query = Query(
+            tables=("title", "a"),
+            joins=(JoinPredicate("a", "movie_id", "title", "id"),
+                   JoinPredicate("a", "v", "title", "year")),
+        )
+        with pytest.raises(UnsupportedQueryError, match="tree"):
+            cardinality(query, schema)
+
+    def test_disconnected_join_graph_rejected(self):
+        schema = self.make_schema()
+        query = Query(tables=("title", "a", "b"),
+                      joins=(JoinPredicate("a", "movie_id", "title", "id"),))
+        with pytest.raises(UnsupportedQueryError, match="tree"):
+            cardinality(query, schema)
+
+    def test_cross_table_selection_term_rejected(self):
+        schema = self.make_schema()
+        query = Query(
+            tables=("title", "a"),
+            joins=(JoinPredicate("a", "movie_id", "title", "id"),),
+            where=Or([p("title.year", ">", 2000), p("a.v", "=", 1)]),
+        )
+        with pytest.raises(UnsupportedQueryError, match="spans tables"):
+            cardinality(query, schema)
+
+
+class TestPerTableSelections:
+    def test_split_by_owner(self):
+        schema = TestJoinCardinality().make_schema()
+        query = parse_query(
+            "SELECT count(*) FROM title, a WHERE a.movie_id = title.id "
+            "AND title.year > 2000 AND a.v = 1 AND a.v <> 3")
+        selections = per_table_selections(query, schema)
+        assert selections["title"].to_sql() == "title.year > 2000"
+        assert "a.v" in selections["a"].to_sql()
+
+    def test_unqualified_attribute_resolved_by_uniqueness(self):
+        schema = TestJoinCardinality().make_schema()
+        query = Query(
+            tables=("title", "a"),
+            joins=(JoinPredicate("a", "movie_id", "title", "id"),),
+            where=p("year", ">", 2000),
+        )
+        selections = per_table_selections(query, schema)
+        assert selections["title"] is not None
+
+    def test_ambiguous_attribute_rejected(self):
+        schema = TestJoinCardinality().make_schema()
+        query = Query(
+            tables=("title", "a", "b"),
+            joins=(JoinPredicate("a", "movie_id", "title", "id"),
+                   JoinPredicate("b", "movie_id", "title", "id")),
+            where=p("movie_id", ">", 1),
+        )
+        with pytest.raises(KeyError, match="ambiguous"):
+            per_table_selections(query, schema)
+
+
+class TestGroupCount:
+    def test_counts_distinct_groups(self, tiny_table):
+        query = Query.single_table("tiny", group_by=("y",))
+        assert group_count(query, tiny_table) == 3
+
+    def test_multi_attribute_groups(self, tiny_table):
+        query = Query.single_table("tiny", group_by=("y", "z"))
+        # (1,5) (2,5) (2,7) (3,7) -> 4 groups.
+        assert group_count(query, tiny_table) == 4
+
+    def test_with_filter(self, tiny_table):
+        query = Query.single_table("tiny", where=parse_where("x > 6"),
+                                   group_by=("y",))
+        assert group_count(query, tiny_table) == 1
+
+    def test_empty_selection(self, tiny_table):
+        query = Query.single_table("tiny", where=parse_where("x > 99"),
+                                   group_by=("y",))
+        assert group_count(query, tiny_table) == 0
+
+    def test_requires_group_by(self, tiny_table):
+        with pytest.raises(ValueError, match="GROUP BY"):
+            group_count(Query.single_table("tiny"), tiny_table)

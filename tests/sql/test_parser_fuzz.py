@@ -1,0 +1,66 @@
+"""Fuzz tests: the parser fails *predictably* on malformed input.
+
+Whatever garbage arrives, the contract is: either a parsed query or one
+of the library's own error types (``SqlSyntaxError`` /
+``UnsupportedQueryError``) — never an IndexError, RecursionError, or
+other internal leak.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.ast import UnsupportedQueryError
+from repro.sql.parser import SqlSyntaxError, parse_query, parse_where
+
+EXPECTED = (SqlSyntaxError, UnsupportedQueryError)
+
+
+class TestParserFuzz:
+    @given(st.text(max_size=120))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_text_never_leaks_internal_errors(self, text):
+        try:
+            parse_query(text)
+        except EXPECTED:
+            pass
+
+    @given(st.text(alphabet="AB ()<>=!AND OR and or 0123456789.", max_size=80))
+    @settings(max_examples=300, deadline=None)
+    def test_sql_like_soup(self, soup):
+        try:
+            parse_where(soup)
+        except EXPECTED:
+            pass
+
+    @given(st.lists(st.sampled_from(
+        ["A", "B", ">", "<", "=", "<>", "AND", "OR", "(", ")", "5", "-3",
+         "2.5"]), min_size=1, max_size=25).map(" ".join))
+    @settings(max_examples=300, deadline=None)
+    def test_token_shuffles(self, text):
+        try:
+            parse_where(text)
+        except EXPECTED:
+            pass
+
+    def test_deeply_nested_parentheses(self):
+        depth = 200
+        sql = "(" * depth + "A > 1" + ")" * depth
+        expr = parse_where(sql)
+        assert expr.to_sql() == "A > 1"
+
+    def test_very_long_conjunction(self):
+        sql = " AND ".join(f"A <> {i}" for i in range(2_000))
+        expr = parse_where(sql)
+        assert len(list(expr.children)) == 2_000
+
+    @pytest.mark.parametrize("bad", [
+        "", "SELECT", "SELECT count(*)", "SELECT count(*) FROM",
+        "SELECT count(*) FROM t WHERE", "SELECT count(*) FROM t WHERE A >",
+        "SELECT count(*) FROM t WHERE A > 1 AND",
+        "SELECT count(*) FROM t GROUP", "SELECT count(*) FROM t GROUP BY",
+        "SELECT sum(*) FROM t",
+    ])
+    def test_truncated_statements(self, bad):
+        with pytest.raises(EXPECTED):
+            parse_query(bad)

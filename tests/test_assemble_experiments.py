@@ -1,0 +1,57 @@
+"""Tests for the EXPERIMENTS.md assembler script."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).parent.parent / "benchmarks" / "assemble_experiments.py"
+
+
+def load_assembler():
+    spec = importlib.util.spec_from_file_location("assemble_experiments",
+                                                  _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def assembler(tmp_path, monkeypatch):
+    module = load_assembler()
+    monkeypatch.setattr(module, "RESULTS", tmp_path / "results")
+    monkeypatch.setattr(module, "OUTPUT", tmp_path / "EXPERIMENTS.md")
+    return module
+
+
+def test_every_ordered_experiment_has_a_verdict(assembler):
+    missing = [key for key in assembler.ORDER if key not in assembler.VERDICTS]
+    assert not missing
+
+
+def test_missing_results_reported(assembler):
+    (assembler.RESULTS).mkdir()
+    with pytest.raises(SystemExit, match="missing results"):
+        assembler.main()
+
+
+def test_assembles_all_sections(assembler):
+    assembler.RESULTS.mkdir()
+    for key in assembler.ORDER:
+        (assembler.RESULTS / f"{key}.md").write_text(
+            f"### {key} — stub\n\n| a |\n|---|\n| 1 |\n")
+    assert assembler.main() == 0
+    text = assembler.OUTPUT.read_text()
+    for key in assembler.ORDER:
+        assert f"### {key} — stub" in text
+    assert text.count("**Paper's claim.**") == len(assembler.ORDER)
+    assert text.count("**Verdict.**") == len(assembler.ORDER)
+
+
+def test_verdicts_are_substantive(assembler):
+    for key, (claim, verdict) in assembler.VERDICTS.items():
+        assert len(claim) > 40, key
+        assert len(verdict) > 40, key
+        assert verdict.split(" ")[0].isupper(), (
+            f"{key}: verdicts lead with an ALL-CAPS judgement"
+        )

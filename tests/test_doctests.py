@@ -1,0 +1,17 @@
+"""Run the executable examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.metrics
+
+MODULES_WITH_DOCTESTS = [repro.metrics]
+
+
+@pytest.mark.parametrize("module", MODULES_WITH_DOCTESTS,
+                         ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,72 @@
+"""Meta-tests: every public item in the library carries documentation."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name for _, name, __ in pkgutil.walk_packages(repro.__path__, "repro.")
+    # Importing __main__ executes the CLI; it is covered by tests/test_cli.py.
+    if not name.endswith("__main__")
+)
+
+
+def _public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-exports documented at their definition site
+        yield name, member
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = [name for name, member in _public_members(module)
+                    if not inspect.getdoc(member)]
+    assert not undocumented, (
+        f"{module_name} has undocumented public items: {undocumented}"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_methods_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for cls_name, cls in _public_members(module):
+        if not inspect.isclass(cls):
+            continue
+        for name, method in vars(cls).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isfunction(method)
+                    or isinstance(method, (property, classmethod,
+                                           staticmethod))):
+                continue
+            target = method.fget if isinstance(method, property) else method
+            if isinstance(method, (classmethod, staticmethod)):
+                target = method.__func__
+            if not inspect.getdoc(target):
+                undocumented.append(f"{cls_name}.{name}")
+    assert not undocumented, (
+        f"{module_name} has undocumented public methods: {undocumented}"
+    )
+
+
+def test_package_exports_resolve():
+    """Everything in repro.__all__ is importable from the top level."""
+    for name in repro.__all__:
+        assert hasattr(repro, name), name

@@ -1,0 +1,143 @@
+"""Tests for query-feedback drift detection and self-tuning (Section 5.5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.data.forest import generate_forest
+from repro.estimators import LearnedEstimator
+from repro.featurize import ConjunctiveEncoding
+from repro.feedback import QueryFeedbackMonitor, SelfTuningEstimator
+from repro.metrics import qerror
+from repro.models import GradientBoostingRegressor
+from repro.workloads import generate_conjunctive_workload
+
+
+class TestQueryFeedbackMonitor:
+    def test_no_decision_before_min_observations(self):
+        monitor = QueryFeedbackMonitor(min_observations=10, threshold=2.0)
+        for _ in range(9):
+            monitor.record(100, 1)  # q-error 100
+        assert not monitor.drift_detected()
+        monitor.record(100, 1)
+        assert monitor.drift_detected()
+
+    def test_accurate_feedback_never_triggers(self):
+        monitor = QueryFeedbackMonitor(min_observations=5, threshold=10.0)
+        for _ in range(50):
+            monitor.record(100, 110)
+        assert not monitor.drift_detected()
+
+    def test_quantile_semantics(self):
+        """With quantile 0.9, a 5% tail of bad errors must not trigger."""
+        monitor = QueryFeedbackMonitor(window=100, min_observations=100,
+                                       threshold=10.0, quantile=0.9)
+        for i in range(100):
+            monitor.record(1000, 1000 if i % 20 else 1)
+        assert not monitor.drift_detected()
+
+    def test_window_evicts_old_errors(self):
+        monitor = QueryFeedbackMonitor(window=10, min_observations=5,
+                                       threshold=5.0)
+        for _ in range(10):
+            monitor.record(100, 1)
+        assert monitor.drift_detected()
+        for _ in range(10):
+            monitor.record(100, 100)
+        assert not monitor.drift_detected()
+
+    def test_reset_clears_window(self):
+        monitor = QueryFeedbackMonitor(window=10, min_observations=5,
+                                       threshold=5.0)
+        for _ in range(10):
+            monitor.record(100, 1)
+        monitor.reset()
+        assert not monitor.drift_detected()
+        assert monitor.current_quantile_error() == 1.0
+        assert monitor.observation_count == 10
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            QueryFeedbackMonitor(window=0)
+        with pytest.raises(ValueError):
+            QueryFeedbackMonitor(threshold=0.5)
+        with pytest.raises(ValueError):
+            QueryFeedbackMonitor(quantile=0.0)
+        with pytest.raises(ValueError):
+            QueryFeedbackMonitor(min_observations=0)
+
+
+class TestSelfTuningEstimator:
+    @staticmethod
+    def _builder_for(table):
+        def build():
+            workload = generate_conjunctive_workload(table, 250,
+                                                     max_attributes=2, seed=71)
+            return LearnedEstimator(
+                ConjunctiveEncoding(table, max_partitions=8),
+                GradientBoostingRegressor(n_estimators=40),
+            ).fit(workload.queries, workload.cardinalities)
+        return build
+
+    def test_data_drift_triggers_rebuild_and_recovers(self):
+        """Train on yesterday's table; feed queries labelled against a
+        drifted table; the estimator must rebuild and improve."""
+        old_table = generate_forest(rows=4_000, seed=50)
+        # Data drift: "the data stored [...] may change abruptly and
+        # drastically" (Section 5.5) — two thirds of the rows (the low
+        # elevations) are deleted, so every learned cardinality is stale.
+        elevation = old_table.column("A1").values
+        new_table = old_table.subset(
+            elevation > np.quantile(elevation, 0.67))
+
+        # The live table changes underneath: the builder closure always
+        # trains against the *current* table.
+        live = {"table": old_table}
+
+        def build():
+            return self._builder_for(live["table"])()
+
+        tuning = SelfTuningEstimator(
+            build,
+            QueryFeedbackMonitor(window=80, min_observations=40,
+                                 threshold=15.0, quantile=0.9),
+        )
+        assert tuning.rebuild_count == 0
+
+        live["table"] = new_table
+        drifted = generate_conjunctive_workload(new_table, 120,
+                                                max_attributes=2, seed=72)
+        rebuilt = False
+        for item in drifted:
+            rebuilt |= tuning.feedback(item.query, item.cardinality)
+        assert rebuilt
+        assert tuning.rebuild_count >= 1
+
+        # After rebuilding, the estimator is trained on the new data: it
+        # must beat the stale pre-drift model on the new distribution.
+        stale = self._builder_for(old_table)()
+        check = generate_conjunctive_workload(new_table, 100,
+                                              max_attributes=2, seed=73)
+        rebuilt_mean = np.mean(qerror(
+            check.cardinalities, tuning.estimate_batch(check.queries)))
+        stale_mean = np.mean(qerror(
+            check.cardinalities, stale.estimate_batch(check.queries)))
+        assert rebuilt_mean < stale_mean
+
+    def test_no_rebuild_without_drift(self, small_forest):
+        tuning = SelfTuningEstimator(
+            self._builder_for(small_forest),
+            QueryFeedbackMonitor(window=80, min_observations=40,
+                                 threshold=50.0, quantile=0.9),
+        )
+        workload = generate_conjunctive_workload(small_forest, 100,
+                                                 max_attributes=2, seed=74)
+        for item in workload:
+            tuning.feedback(item.query, item.cardinality)
+        assert tuning.rebuild_count == 0
+
+    def test_estimates_delegate_to_current_model(self, small_forest):
+        tuning = SelfTuningEstimator(self._builder_for(small_forest))
+        workload = generate_conjunctive_workload(small_forest, 5, seed=75)
+        single = tuning.estimate(workload.queries[0])
+        underlying = tuning.current_estimator.estimate(workload.queries[0])
+        assert single == pytest.approx(underlying)

@@ -1,0 +1,126 @@
+"""Tests for estimator persistence (save/load round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.data.stats import TableStats
+from repro.estimators import LearnedEstimator
+from repro.featurize import (
+    ConjunctiveEncoding,
+    DisjunctionEncoding,
+    RangeEncoding,
+    SingularEncoding,
+)
+from repro.models import GradientBoostingRegressor, NeuralNetRegressor
+from repro.models.linear import RidgeRegressor
+from repro.persistence import load_estimator, save_estimator
+
+
+def _fit(featurizer, model, workload, n=200):
+    items = list(workload)[:n]
+    return LearnedEstimator(featurizer, model).fit(
+        [it.query for it in items],
+        np.asarray([it.cardinality for it in items], dtype=float),
+    )
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("featurizer_cls,kwargs", [
+        (SingularEncoding, {}),
+        (RangeEncoding, {}),
+        (ConjunctiveEncoding, {"max_partitions": 8}),
+        (ConjunctiveEncoding, {"max_partitions": 8, "attr_selectivity": False}),
+        (DisjunctionEncoding, {"max_partitions": 8, "merge": "sum"}),
+    ])
+    def test_gb_round_trip(self, tmp_path, small_forest,
+                           conjunctive_workload, featurizer_cls, kwargs):
+        estimator = _fit(featurizer_cls(small_forest, **kwargs),
+                         GradientBoostingRegressor(n_estimators=15),
+                         conjunctive_workload)
+        path = tmp_path / "model.npz"
+        save_estimator(estimator, path)
+        loaded = load_estimator(path)
+        queries = conjunctive_workload.queries[:40]
+        np.testing.assert_allclose(loaded.estimate_batch(queries),
+                                   estimator.estimate_batch(queries))
+
+    def test_nn_round_trip(self, tmp_path, small_forest,
+                           conjunctive_workload):
+        estimator = _fit(
+            ConjunctiveEncoding(small_forest, max_partitions=8),
+            NeuralNetRegressor(hidden_sizes=(16,), epochs=3),
+            conjunctive_workload,
+        )
+        path = tmp_path / "nn.npz"
+        save_estimator(estimator, path)
+        loaded = load_estimator(path)
+        queries = conjunctive_workload.queries[:40]
+        np.testing.assert_allclose(loaded.estimate_batch(queries),
+                                   estimator.estimate_batch(queries))
+
+    def test_name_preserved(self, tmp_path, small_forest,
+                            conjunctive_workload):
+        estimator = _fit(ConjunctiveEncoding(small_forest, max_partitions=8),
+                         GradientBoostingRegressor(n_estimators=5),
+                         conjunctive_workload)
+        estimator.name = "my-estimator"
+        save_estimator(estimator, tmp_path / "m.npz")
+        assert load_estimator(tmp_path / "m.npz").name == "my-estimator"
+
+    def test_featurizer_config_preserved(self, tmp_path, small_forest,
+                                         mixed_workload):
+        estimator = _fit(
+            DisjunctionEncoding(small_forest, max_partitions=16,
+                                attr_selectivity=False),
+            GradientBoostingRegressor(n_estimators=5),
+            mixed_workload,
+        )
+        save_estimator(estimator, tmp_path / "m.npz")
+        loaded = load_estimator(tmp_path / "m.npz")
+        featurizer = loaded.featurizer
+        assert isinstance(featurizer, DisjunctionEncoding)
+        assert featurizer.max_partitions == 16
+        assert not featurizer.attr_selectivity
+        assert featurizer.feature_length == estimator.featurizer.feature_length
+
+
+class TestErrors:
+    def test_unfitted_model_rejected(self, tmp_path, small_forest):
+        estimator = LearnedEstimator(
+            ConjunctiveEncoding(small_forest, max_partitions=8),
+            GradientBoostingRegressor(n_estimators=5),
+        )
+        with pytest.raises(RuntimeError, match="unfitted"):
+            save_estimator(estimator, tmp_path / "m.npz")
+
+    def test_unsupported_model_rejected(self, tmp_path, small_forest,
+                                        conjunctive_workload):
+        estimator = _fit(ConjunctiveEncoding(small_forest, max_partitions=8),
+                         RidgeRegressor(), conjunctive_workload)
+        with pytest.raises(TypeError, match="state_dict"):
+            save_estimator(estimator, tmp_path / "m.npz")
+
+    def test_loading_garbage_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.ones(3))
+        with pytest.raises(ValueError, match="not a persisted estimator"):
+            load_estimator(path)
+
+
+class TestSnapshotFeaturizers:
+    def test_featurizer_from_snapshot_matches_table(self, small_forest):
+        """A featurizer built from TableStats equals one built from the
+        table — the property persistence relies on."""
+        from_table = ConjunctiveEncoding(small_forest, max_partitions=8)
+        snapshot = TableStats.from_table(small_forest)
+        from_stats = ConjunctiveEncoding(snapshot, max_partitions=8)
+        from repro.sql.parser import parse_where
+        expr = parse_where("A1 >= 2500 AND A1 <= 3000 AND A3 <> 10")
+        np.testing.assert_array_equal(from_table.featurize(expr),
+                                      from_stats.featurize(expr))
+
+    def test_snapshot_validation(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            TableStats(name="t", columns={})
+        with pytest.raises(ValueError, match="non-empty"):
+            TableStats(name="", columns={"a": None})

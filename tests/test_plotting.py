@@ -1,0 +1,74 @@
+"""Tests for the text box-plot renderer."""
+
+import pytest
+
+from repro.metrics import QErrorSummary, summarize
+from repro.plotting import ascii_boxplot, boxplot_from_rows
+
+
+def summary(median, q25, q75, q01, q99):
+    return QErrorSummary(count=10, mean=median, median=median, q25=q25,
+                         q75=q75, q01=q01, q99=q99, max=q99)
+
+
+def test_empty_input():
+    assert ascii_boxplot([]) == "(no data)"
+
+
+def test_width_validation():
+    with pytest.raises(ValueError, match="width"):
+        ascii_boxplot([("a", summary(2, 1.5, 3, 1, 10))], width=5)
+
+
+def test_geometry_markers_present():
+    text = ascii_boxplot([("model", summary(2.0, 1.5, 3.0, 1.0, 50.0))],
+                         width=40)
+    line = text.splitlines()[0]
+    assert line.startswith("model")
+    assert "=" in line  # the 25-75% box
+    assert "-" in line  # the whiskers
+    assert "median=2.00" in line
+    assert "q99=50.0" in line
+
+
+def test_rows_aligned_and_axis_shared():
+    items = [
+        ("narrow", summary(1.2, 1.1, 1.4, 1.0, 2.0)),
+        ("wide", summary(5.0, 2.0, 20.0, 1.0, 400.0)),
+    ]
+    text = ascii_boxplot(items, width=50)
+    lines = text.splitlines()
+    assert len(lines) == 3  # two rows + axis
+    # Both canvases share the axis: the whiskers start at q01=1.0 -> the
+    # leftmost '|' sits in the same column.
+    assert lines[0].index("|") == lines[1].index("|")
+    assert "log axis" in lines[2]
+
+
+def test_ordering_on_log_axis():
+    """A strictly larger distribution renders strictly further right."""
+    small = summary(1.5, 1.2, 1.8, 1.0, 3.0)
+    large = summary(15.0, 12.0, 18.0, 10.0, 30.0)
+    text = ascii_boxplot([("s", small), ("l", large)], width=60)
+    s_line, l_line = text.splitlines()[:2]
+    assert s_line.index("=") < l_line.index("=")
+
+
+def test_boxplot_from_rows():
+    rows = [
+        {"model": "GB", "qft": "conj", "median": 1.4, "q25": 1.2,
+         "q75": 2.1, "q01": 1.0, "q99": 38.0, "mean": 3.5, "queries": 100},
+        {"model": "GB", "qft": "simple", "median": 1.8, "q25": 1.2,
+         "q75": 4.5, "q01": 1.0, "q99": 75.0, "mean": 6.2, "queries": 100},
+    ]
+    text = boxplot_from_rows(rows, label_keys=["model", "qft"])
+    assert "GB conj" in text
+    assert "GB simple" in text
+
+
+def test_works_with_real_summaries():
+    import numpy as np
+    rng = np.random.default_rng(0)
+    real = summarize(1.0 + rng.gamma(1.5, 2.0, 500))
+    text = ascii_boxplot([("real", real)])
+    assert "median=" in text

@@ -1,0 +1,156 @@
+"""Tests for the conjunctive / mixed / JOB-light workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.sql.executor import cardinality, selection_mask
+from repro.workloads import (
+    drift_split,
+    generate_conjunctive_workload,
+    generate_joblight_benchmark,
+    generate_mixed_workload,
+)
+from repro.workloads.joblight import (
+    generate_balanced_training,
+    generate_join_queries,
+)
+
+
+class TestConjunctiveWorkload:
+    def test_all_results_non_empty(self, conjunctive_workload, small_forest):
+        for item in list(conjunctive_workload)[:50]:
+            assert item.cardinality >= 1
+
+    def test_labels_are_true_cardinalities(self, conjunctive_workload,
+                                           small_forest):
+        for item in list(conjunctive_workload)[:30]:
+            assert item.cardinality == cardinality(item.query, small_forest)
+
+    def test_metadata_consistent(self, conjunctive_workload):
+        for item in list(conjunctive_workload)[:30]:
+            assert item.num_attributes == len(item.query.attributes)
+            assert item.num_predicates == len(item.query.predicates)
+
+    def test_all_queries_conjunctive(self, conjunctive_workload):
+        assert all(item.query.is_conjunctive()
+                   for item in conjunctive_workload)
+
+    def test_attribute_bounds_respected(self, small_forest):
+        workload = generate_conjunctive_workload(
+            small_forest, 50, min_attributes=2, max_attributes=3, seed=9)
+        counts = {item.num_attributes for item in workload}
+        assert counts <= {2, 3}
+
+    def test_deterministic_in_seed(self, small_forest):
+        a = generate_conjunctive_workload(small_forest, 20, seed=42)
+        b = generate_conjunctive_workload(small_forest, 20, seed=42)
+        assert [i.query.to_sql() for i in a] == [i.query.to_sql() for i in b]
+
+    def test_ranges_and_not_equals_shape(self, conjunctive_workload):
+        """Each attribute gets one closed range (>= and <=) plus optional
+        <> exclusions — the paper's generation recipe."""
+        from repro.sql.ast import Op
+        item = next(it for it in conjunctive_workload if it.num_predicates > 2)
+        by_attr = {}
+        for pred in item.query.predicates:
+            by_attr.setdefault(pred.attribute, []).append(pred.op)
+        for ops in by_attr.values():
+            assert ops.count(Op.GE) == 1
+            assert ops.count(Op.LE) == 1
+            assert all(op in (Op.GE, Op.LE, Op.NE) for op in ops)
+
+    def test_invalid_parameters(self, small_forest):
+        with pytest.raises(ValueError):
+            generate_conjunctive_workload(small_forest, 0)
+        with pytest.raises(ValueError):
+            generate_conjunctive_workload(small_forest, 5, min_attributes=0)
+        with pytest.raises(ValueError):
+            generate_conjunctive_workload(small_forest, 5, max_attributes=999)
+
+
+class TestMixedWorkload:
+    def test_contains_disjunctions(self, mixed_workload):
+        assert any(not item.query.is_conjunctive() for item in mixed_workload)
+
+    def test_all_are_valid_mixed_queries(self, mixed_workload):
+        """Every query normalises under Definition 3.3."""
+        for item in list(mixed_workload)[:50]:
+            form = item.query.compound_form()
+            assert len(form) == item.num_attributes
+
+    def test_branch_limit_respected(self, small_forest):
+        workload = generate_mixed_workload(small_forest, 40, max_branches=2,
+                                           seed=13)
+        for item in workload:
+            for branches in item.query.compound_form().values():
+                assert len(branches) <= 2
+
+    def test_labels_are_true_cardinalities(self, mixed_workload, small_forest):
+        for item in list(mixed_workload)[:30]:
+            mask = selection_mask(item.query.where, small_forest)
+            assert item.cardinality == int(mask.sum())
+
+    def test_mean_cardinality_exceeds_conjunctive(self, conjunctive_workload,
+                                                  mixed_workload):
+        """Disjunctions only widen queries, so mixed results are larger on
+        average (the paper reports 307k vs 175k)."""
+        assert (mixed_workload.cardinalities.mean()
+                > conjunctive_workload.cardinalities.mean())
+
+
+class TestJoblightWorkloads:
+    def test_benchmark_shape(self, joblight_bench):
+        for item in joblight_bench:
+            assert 3 <= len(item.query.tables) <= 6  # 2-5 joins + title
+            assert item.query.tables[0] == "title"
+            assert len(item.query.joins) == len(item.query.tables) - 1
+            assert 1 <= item.num_attributes <= 4
+            assert item.cardinality >= 10
+
+    def test_benchmark_conjunctive_only(self, joblight_bench):
+        assert all(item.query.is_conjunctive() for item in joblight_bench)
+
+    def test_training_covers_all_star_subschemata(self, imdb_schema):
+        train = generate_balanced_training(imdb_schema, 3, seed=33)
+        table_sets = {frozenset(item.query.tables) for item in train}
+        assert len(table_sets) == 31  # all non-empty child subsets + title
+
+    def test_labels_are_true_cardinalities(self, joblight_bench, imdb_schema):
+        for item in list(joblight_bench)[:10]:
+            assert item.cardinality == cardinality(item.query, imdb_schema)
+
+    def test_invalid_join_bounds(self, imdb_schema):
+        with pytest.raises(ValueError, match="join bounds"):
+            generate_join_queries(imdb_schema, 5, min_joins=0)
+        with pytest.raises(ValueError, match="join bounds"):
+            generate_join_queries(imdb_schema, 5, max_joins=99)
+
+    def test_deterministic_in_seed(self, imdb_schema):
+        a = generate_joblight_benchmark(imdb_schema, num_queries=5)
+        b = generate_joblight_benchmark(imdb_schema, num_queries=5)
+        assert [i.query.to_sql() for i in a] == [i.query.to_sql() for i in b]
+
+
+class TestDriftSplit:
+    def test_split_bounds(self, conjunctive_workload):
+        train, test = drift_split(conjunctive_workload)
+        assert all(item.num_attributes <= 2 for item in train)
+        assert all(item.num_attributes >= 3 for item in test)
+
+    def test_custom_bounds(self, conjunctive_workload):
+        train, test = drift_split(conjunctive_workload,
+                                  train_max_attributes=3,
+                                  test_min_attributes=5)
+        assert all(item.num_attributes <= 3 for item in train)
+        assert all(item.num_attributes >= 5 for item in test)
+
+    def test_overlapping_bounds_rejected(self, conjunctive_workload):
+        with pytest.raises(ValueError, match="requires"):
+            drift_split(conjunctive_workload, train_max_attributes=3,
+                        test_min_attributes=3)
+
+    def test_drifted_test_means_differ(self, conjunctive_workload):
+        """High-dimensional queries have smaller result sizes — the drift
+        the model must compensate (Section 5.5.1)."""
+        train, test = drift_split(conjunctive_workload)
+        assert test.cardinalities.mean() < train.cardinalities.mean()

@@ -1,0 +1,57 @@
+"""Tests for workload save/load round trips."""
+
+import pytest
+
+from repro.workloads.serialization import load_workload, save_workload
+
+
+def test_round_trip_conjunctive(tmp_path, conjunctive_workload):
+    path = tmp_path / "wl.tsv"
+    save_workload(conjunctive_workload, path)
+    loaded = load_workload(path)
+    assert loaded.name == conjunctive_workload.name
+    assert len(loaded) == len(conjunctive_workload)
+    for original, restored in zip(conjunctive_workload, loaded):
+        assert restored.cardinality == original.cardinality
+        assert restored.num_attributes == original.num_attributes
+        assert restored.num_predicates == original.num_predicates
+        assert restored.query.to_sql() == original.query.to_sql()
+
+
+def test_round_trip_mixed(tmp_path, mixed_workload):
+    """Mixed queries (with OR and parentheses) survive the text format."""
+    path = tmp_path / "mixed.tsv"
+    save_workload(mixed_workload, path)
+    loaded = load_workload(path)
+    for original, restored in zip(mixed_workload, loaded):
+        assert restored.query.compound_form() == original.query.compound_form()
+
+
+def test_round_trip_joins(tmp_path, joblight_bench):
+    path = tmp_path / "joins.tsv"
+    save_workload(joblight_bench, path)
+    loaded = load_workload(path)
+    for original, restored in zip(joblight_bench, loaded):
+        assert restored.query.joins == original.query.joins
+        assert restored.query.tables == original.query.tables
+
+
+def test_missing_header_rejected(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("10\t1\t1\tSELECT count(*) FROM t WHERE a > 1\n")
+    with pytest.raises(ValueError, match="missing header"):
+        load_workload(path)
+
+
+def test_malformed_line_rejected(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("# workload: w\n10\t1\tmissing-sql\n")
+    with pytest.raises(ValueError, match="4 tab-separated"):
+        load_workload(path)
+
+
+def test_blank_lines_tolerated(tmp_path, conjunctive_workload):
+    path = tmp_path / "wl.tsv"
+    save_workload(conjunctive_workload, path)
+    path.write_text(path.read_text() + "\n\n")
+    assert len(load_workload(path)) == len(conjunctive_workload)

@@ -1,0 +1,69 @@
+"""Tests for the workload value objects."""
+
+import numpy as np
+import pytest
+
+from repro.sql.parser import parse_query
+from repro.workloads.spec import LabeledQuery, Workload
+
+
+def make_item(card=10, attrs=1, preds=2):
+    return LabeledQuery(
+        query=parse_query("SELECT count(*) FROM t WHERE a > 1"),
+        cardinality=card, num_attributes=attrs, num_predicates=preds,
+    )
+
+
+def test_labeled_query_rejects_empty_results():
+    with pytest.raises(ValueError, match="non-empty"):
+        make_item(card=0)
+
+
+def test_workload_accessors():
+    workload = Workload([make_item(5), make_item(7)], "w")
+    assert len(workload) == 2
+    np.testing.assert_array_equal(workload.cardinalities, [5.0, 7.0])
+    assert len(workload.queries) == 2
+    assert workload[1].cardinality == 7
+
+
+def test_empty_workload_rejected():
+    with pytest.raises(ValueError, match="at least one"):
+        Workload([], "w")
+
+
+def test_split_disjoint():
+    items = [make_item(i + 1) for i in range(10)]
+    workload = Workload(items, "w")
+    train, test = workload.split(7)
+    assert len(train) == 7
+    assert len(test) == 3
+    assert train.name.endswith("-train")
+    assert test.name.endswith("-test")
+
+
+def test_split_bounds():
+    workload = Workload([make_item(), make_item()], "w")
+    with pytest.raises(ValueError):
+        workload.split(0)
+    with pytest.raises(ValueError):
+        workload.split(2)
+
+
+def test_filter():
+    workload = Workload([make_item(card=1), make_item(card=100)], "w")
+    big = workload.filter(lambda it: it.cardinality > 10)
+    assert len(big) == 1
+    with pytest.raises(ValueError, match="removed every"):
+        workload.filter(lambda it: False)
+
+
+def test_grouping_helpers():
+    items = [make_item(attrs=1, preds=2), make_item(attrs=1, preds=3),
+             make_item(attrs=3, preds=6)]
+    workload = Workload(items, "w")
+    by_attrs = workload.by_num_attributes()
+    assert sorted(by_attrs) == [1, 3]
+    assert len(by_attrs[1]) == 2
+    by_preds = workload.by_num_predicates()
+    assert sorted(by_preds) == [2, 3, 6]
