@@ -12,6 +12,8 @@ downstream user needs, plus dataset generation:
   load a persisted estimator and print the estimate (optionally the true
   cardinality and q-error when ``--data`` is given).
 * ``repro experiments ...`` — forwards to the experiment runner.
+* ``repro lint [paths]`` — the repo's own static-analysis pass
+  (featurization/determinism contracts; see ``docs/lint_rules.md``).
 
 Invoke as ``python -m repro <subcommand>``.
 """
@@ -38,7 +40,7 @@ from repro.workloads import (
     generate_mixed_workload,
 )
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 _MODELS = {
     "gb": lambda trees: GradientBoostingRegressor(n_estimators=trees),
@@ -91,6 +93,24 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # Reassemble the flags for the lint front end so both entry points
+    # (`repro lint` and `python -m repro.lint`) share one parser.
+    from repro.lint.cli import main as lint_main
+
+    forwarded: list[str] = [str(p) for p in args.paths]
+    forwarded += ["--format", args.format]
+    if args.baseline is not None:
+        forwarded += ["--baseline", str(args.baseline)]
+    if args.write_baseline:
+        forwarded.append("--write-baseline")
+    if args.no_baseline:
+        forwarded.append("--no-baseline")
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the ``repro`` command."""
     parser = argparse.ArgumentParser(
@@ -134,6 +154,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "experiments", help="run paper experiments (see runner --help)")
+
+    lint = sub.add_parser(
+        "lint", help="run the repro static-analysis pass (RPR rules)")
+    lint.add_argument("paths", nargs="*", default=["src"], type=Path,
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--baseline", type=Path, default=None,
+                      help="baseline file of grandfathered findings")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="record current findings as the new baseline")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, ignoring any baseline")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -27,7 +27,7 @@ from repro import config
 from repro.data.schema import ForeignKey, Schema
 from repro.data.table import Table
 
-__all__ = ["generate_imdb", "JOBLIGHT_TABLES"]
+__all__ = ["generate_imdb", "JOBLIGHT_TABLES", "PREDICATE_ATTRIBUTES"]
 
 #: The six tables used by JOB-light, hub first.
 JOBLIGHT_TABLES = (

@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ColumnStats", "TableStats", "build_stats"]
+__all__ = ["ColumnStats", "TableStats", "build_stats",
+           "HISTOGRAM_BUCKETS", "MCV_ENTRIES"]
 
 #: Number of equi-depth histogram buckets collected per column (Postgres
 #: defaults to 100 via ``default_statistics_target``).

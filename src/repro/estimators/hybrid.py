@@ -30,7 +30,7 @@ from repro.sql.executor import per_table_selections
 from repro.workloads.conjunctive import generate_conjunctive_workload
 from repro.workloads.spec import Workload
 
-__all__ = ["HybridEstimator"]
+__all__ = ["HybridEstimator", "ModelFactory"]
 
 ModelFactory = Callable[[], Regressor]
 

@@ -21,7 +21,8 @@ from repro.models.base import LogSpaceRegressor, Regressor
 from repro.models.mscn import MSCNModel
 from repro.sql.ast import Query
 
-__all__ = ["LearnedEstimator", "GlobalLearnedEstimator", "MSCNEstimator"]
+__all__ = ["LearnedEstimator", "GlobalLearnedEstimator", "MSCNEstimator",
+           "VectorFeaturizer"]
 
 
 class VectorFeaturizer(Protocol):

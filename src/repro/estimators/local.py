@@ -23,7 +23,7 @@ from repro.featurize.joins import FeaturizerFactory, JoinQueryFeaturizer
 from repro.models.base import Regressor
 from repro.sql.ast import Query
 
-__all__ = ["LocalModelEnsemble"]
+__all__ = ["LocalModelEnsemble", "ModelFactory"]
 
 #: Builds a fresh, unfitted regressor per sub-schema.
 ModelFactory = Callable[[], Regressor]

@@ -21,7 +21,7 @@ from repro.estimators.base import CardinalityEstimator, clamp_estimate
 from repro.sql.ast import And, BoolExpr, Op, Or, Query, SimplePredicate
 from repro.sql.executor import per_table_selections
 
-__all__ = ["PostgresEstimator"]
+__all__ = ["PostgresEstimator", "predicate_selectivity"]
 
 #: Selectivity floor to avoid zero estimates (Postgres behaves similarly).
 _MIN_SELECTIVITY = 1e-9

@@ -33,7 +33,9 @@ from repro.metrics import qerror
 from repro.models import GradientBoostingRegressor
 from repro.models.linear import LinearSVR, RidgeRegressor
 
-__all__ = ["run_partitions", "run_merge", "run_linear_baselines", "run"]
+__all__ = ["run_partitions", "run_merge", "run_linear_baselines", "run",
+           "run_model_granularity", "run_partitioning_scheme",
+           "collision_rate"]
 
 
 def collision_rate(featurizer, workload) -> float:

@@ -36,7 +36,7 @@ from repro.workloads.joblight import generate_balanced_training
 __all__ = [
     "Scale", "SMALL", "FULL", "Context", "get_context",
     "ExperimentResult", "qft_factory", "gb_factory", "nn_factory",
-    "evaluate_estimator", "QFT_LABELS",
+    "evaluate_estimator", "summary_row", "QFT_LABELS",
 ]
 
 #: Paper QFT label -> featurizer class, in the paper's plot order.

@@ -35,6 +35,7 @@ __all__ = [
     "EquiDepthConjunctiveEncoding",
     "JoinQueryFeaturizer",
     "TableSetVector",
+    "BY_PAPER_LABEL",
 ]
 
 #: Paper plot label -> featurizer class (Section 5 "Abbreviations").

@@ -67,7 +67,11 @@ def decode(featurizer: ConjunctiveEncoding, vector: np.ndarray) -> Query:
         segment = vector[slices[attr]]
         entries = segment[:featurizer.partitions(attr)]
         stats = featurizer.stats(attr)
-        qualifying = np.nonzero(entries == 1.0)[0]
+        # Vectorized membership test on a constructed 0/1 indicator
+        # array: the encoder wrote these entries as exact 0.0/1.0
+        # constants (never computed), so `== 1.0` is representation-safe
+        # here and np.isclose would only blur the contract.
+        qualifying = np.nonzero(entries == 1.0)[0]  # repro: ignore[RPR102]
         if qualifying.size == entries.size:
             continue  # no predicate on this attribute
         if qualifying.size == 0:

@@ -27,7 +27,7 @@ from repro.sql.ast import Query
 from repro.sql.executor import per_table_selections
 
 __all__ = ["JoinQueryFeaturizer", "TableSetVector", "GlobalJoinFeaturizer",
-           "join_key_columns", "predicate_columns"]
+           "FeaturizerFactory", "join_key_columns", "predicate_columns"]
 
 #: A factory building a fitted QFT for one table over given attributes.
 FeaturizerFactory = Callable[[Table, Sequence[str]], Featurizer]

@@ -1,0 +1,80 @@
+"""Baseline files: committed grandfathered findings.
+
+A baseline lets the linter be adopted on a tree with pre-existing
+violations: known findings are recorded once and only *new* findings
+fail the build.  This repository's committed baseline is empty — every
+finding the initial sweep surfaced was fixed — but the mechanism stays,
+because future rules will land against a grown tree.
+
+Matching is by :meth:`Finding.fingerprint` (path, code, message) with
+multiset semantics, so line drift does not un-baseline a finding but a
+*second* identical violation in the same file is still reported.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["BaselineError", "load_baseline", "write_baseline",
+           "apply_baseline"]
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline files."""
+
+
+def load_baseline(path: Path) -> Counter:
+    """Fingerprint multiset from ``path`` (missing file = empty)."""
+    if not path.is_file():
+        return Counter()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(data, dict) or "findings" not in data:
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'findings' list")
+    fingerprints: Counter = Counter()
+    for item in data["findings"]:
+        try:
+            fingerprints[(item["path"], item["code"], item["message"])] += 1
+        except (TypeError, KeyError) as error:
+            raise BaselineError(
+                f"baseline {path} has a malformed entry: {item!r}"
+            ) from error
+    return fingerprints
+
+
+def write_baseline(findings: Iterable[Finding], path: Path) -> None:
+    """Write ``findings`` as the new baseline at ``path``."""
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"path": f.path, "code": f.code, "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Counter) -> tuple[list[Finding], list[Finding]]:
+    """Split ``findings`` into (new, grandfathered) against ``baseline``."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if remaining[fingerprint] > 0:
+            remaining[fingerprint] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    return new, matched

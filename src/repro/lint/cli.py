@@ -1,0 +1,89 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro lint``.
+
+Exit codes: 0 = clean (no non-baselined finding), 1 = findings,
+2 = usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO
+
+from repro.lint import baseline as baseline_mod
+from repro.lint import engine
+from repro.lint.config import load_config
+from repro.lint.registry import all_rule_classes
+from repro.lint.reporters import Report, render
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the lint front end."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static analysis enforcing the repro featurization "
+                    "and determinism contracts (rules RPR1xx/2xx/3xx).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], type=Path,
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=["text", "json"],
+                        default="text", dest="fmt",
+                        help="report format (default: text)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file of grandfathered findings "
+                             "(default: from [tool.repro.lint])")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current findings as the new baseline "
+                             "and exit 0")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _list_rules(stream: IO[str]) -> int:
+    for cls in all_rule_classes():
+        stream.write(f"{cls.code}  {cls.name}: {cls.summary}\n")
+    return 0
+
+
+def main(argv: list[str] | None = None,
+         stream: IO[str] | None = None) -> int:
+    """Run the linter; returns the process exit code."""
+    out = stream if stream is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules(out)
+
+    missing = [p for p in args.paths if not p.exists()]
+    if missing:
+        out.write(f"error: path does not exist: {missing[0]}\n")
+        return 2
+    config = load_config(args.paths[0])
+    result = engine.run(args.paths, config)
+
+    baseline_path = (args.baseline if args.baseline is not None
+                     else config.baseline_path())
+    if args.write_baseline:
+        baseline_mod.write_baseline(result.findings, baseline_path)
+        out.write(f"wrote {len(result.findings)} finding(s) to "
+                  f"{baseline_path}\n")
+        return 0
+    if args.no_baseline:
+        known = baseline_mod.load_baseline(Path("/nonexistent"))
+    else:
+        try:
+            known = baseline_mod.load_baseline(baseline_path)
+        except baseline_mod.BaselineError as error:
+            out.write(f"error: {error}\n")
+            return 2
+    new, matched = baseline_mod.apply_baseline(result.findings, known)
+    report = Report(new=new, baselined=matched,
+                    suppressed=result.suppressed,
+                    files_scanned=result.files_scanned)
+    render(report, out, args.fmt)
+    return report.exit_code

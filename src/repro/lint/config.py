@@ -1,0 +1,117 @@
+"""Lint configuration, read from ``[tool.repro.lint]`` in pyproject.toml.
+
+Recognised keys::
+
+    [tool.repro.lint]
+    select = ["RPR101", ...]        # only these rules (default: all)
+    ignore = ["RPR302"]             # disable these rules project-wide
+    print-allowed = ["repro.cli"]   # modules where RPR302 does not apply
+    baseline = "lint-baseline.json" # default baseline path
+
+    [tool.repro.lint.layering]      # RPR301: layer -> forbidden imports
+    "repro.featurize" = ["repro.models", ...]
+
+Every key has a default grounded in this repository, so the linter also
+works on a bare tree with no configuration at all.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["LintConfig", "load_config", "find_pyproject",
+           "DEFAULT_LAYERING", "DEFAULT_PRINT_ALLOWED", "DEFAULT_BASELINE"]
+
+#: Strict layering: lower layers never import upward.  The featurization,
+#: SQL, and data substrates must stay reusable without dragging in the
+#: model / estimator / experiment stack (ROADMAP: independent scaling).
+DEFAULT_LAYERING: Mapping[str, tuple[str, ...]] = {
+    "repro.featurize": ("repro.models", "repro.estimators",
+                        "repro.experiments"),
+    "repro.sql": ("repro.models", "repro.estimators", "repro.experiments"),
+    "repro.data": ("repro.models", "repro.estimators", "repro.experiments"),
+}
+
+#: Command-line entry points legitimately talk to stdout.
+DEFAULT_PRINT_ALLOWED: tuple[str, ...] = (
+    "repro.cli",
+    "repro.experiments.runner",
+)
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved lint configuration."""
+
+    #: Codes to run exclusively (``None`` = every registered rule).
+    select: frozenset[str] | None = None
+    #: Codes disabled project-wide.
+    ignore: frozenset[str] = frozenset()
+    #: Modules (or package prefixes) where ``print()`` is legitimate.
+    print_allowed: tuple[str, ...] = DEFAULT_PRINT_ALLOWED
+    #: RPR301 layer map: module prefix -> forbidden import prefixes.
+    layering: Mapping[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_LAYERING))
+    #: Default baseline file path, relative to the pyproject directory.
+    baseline: str = DEFAULT_BASELINE
+    #: Directory the configuration was loaded from (resolves baseline).
+    root: Path = field(default_factory=Path.cwd)
+
+    def is_enabled(self, code: str) -> bool:
+        """Whether the rule with ``code`` participates in this run."""
+        if code in self.ignore:
+            return False
+        return self.select is None or code in self.select
+
+    def baseline_path(self) -> Path:
+        """Absolute path of the configured baseline file."""
+        return (self.root / self.baseline).resolve()
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(start: Path | None = None) -> LintConfig:
+    """Load the configuration governing a scan rooted at ``start``."""
+    pyproject = find_pyproject(start if start is not None else Path.cwd())
+    if pyproject is None:
+        return LintConfig()
+    try:
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except (tomllib.TOMLDecodeError, OSError):
+        return LintConfig(root=pyproject.parent)
+    section = data.get("tool", {}).get("repro", {}).get("lint", {})
+    if not isinstance(section, dict):
+        section = {}
+    layering_section = section.get("layering")
+    if isinstance(layering_section, dict) and layering_section:
+        layering = {str(layer): tuple(str(m) for m in forbidden)
+                    for layer, forbidden in layering_section.items()}
+    else:
+        layering = dict(DEFAULT_LAYERING)
+    select = section.get("select")
+    return LintConfig(
+        select=(frozenset(str(c) for c in select)
+                if select is not None else None),
+        ignore=frozenset(str(c) for c in section.get("ignore", ())),
+        print_allowed=tuple(
+            str(m) for m in section.get("print-allowed",
+                                        DEFAULT_PRINT_ALLOWED)),
+        layering=layering,
+        baseline=str(section.get("baseline", DEFAULT_BASELINE)),
+        root=pyproject.parent,
+    )

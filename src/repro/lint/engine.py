@@ -1,0 +1,227 @@
+"""The visitor-driven rule engine.
+
+One run parses every target file once, walks each AST in source order,
+and dispatches node events to every enabled rule (``visit_Call``,
+``visit_Compare``, ...).  Module- and project-level hooks run after the
+walks.  Findings are collected centrally, pragma-suppressed, and sorted;
+baseline filtering happens in :mod:`repro.lint.baseline` on top of the
+result.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.pragmas import is_suppressed, parse_pragmas
+from repro.lint.registry import PARSE_ERROR_CODE, Rule, all_rule_classes
+
+__all__ = ["ModuleContext", "ProjectContext", "LintResult",
+           "discover_files", "module_name_for", "run", "lint_text"]
+
+
+class ModuleContext:
+    """Everything a rule may inspect about one source file."""
+
+    def __init__(self, *, path: str, module_name: str, source: str,
+                 tree: ast.Module, pragmas: dict[int, frozenset[str]]) -> None:
+        #: Scan-root-relative posix path (what findings carry).
+        self.path = path
+        #: Dotted module name, e.g. ``"repro.featurize.base"``.
+        self.module_name = module_name
+        self.source = source
+        self.tree = tree
+        #: line -> suppressed codes (see :mod:`repro.lint.pragmas`).
+        self.pragmas = pragmas
+        self.findings: list[Finding] = []
+        self.suppressed: list[Finding] = []
+
+    @property
+    def is_package_init(self) -> bool:
+        """Whether this file is a package ``__init__.py``."""
+        return self.path.rsplit("/", 1)[-1] == "__init__.py"
+
+    def report(self, code: str, node, message: str) -> None:
+        """Record a finding at ``node``, honouring same-line pragmas."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        finding = Finding(path=self.path, line=line, col=col,
+                          code=code, message=message)
+        if is_suppressed(self.pragmas, line, code):
+            self.suppressed.append(finding)
+        else:
+            self.findings.append(finding)
+
+
+class ProjectContext:
+    """Cross-module state for ``finish_project`` hooks."""
+
+    def __init__(self) -> None:
+        self.modules: list[ModuleContext] = []
+
+    def iter_classes(self) -> Iterable[tuple[ModuleContext, ast.ClassDef]]:
+        """Every class definition in the project, with its module."""
+        for module in self.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield module, node
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one engine run (before baseline filtering)."""
+
+    findings: tuple[Finding, ...]
+    suppressed: tuple[Finding, ...] = ()
+    files_scanned: int = 0
+    rules_run: tuple[str, ...] = field(default_factory=tuple)
+
+
+def discover_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand ``paths`` (files or directories) into sorted ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(p for p in path.rglob("*.py")
+                         if not any(part.startswith(".")
+                                    for part in p.parts))
+        elif path.suffix == ".py":
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(files)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, found by ascending package dirs.
+
+    Walks up while an ``__init__.py`` sibling exists, so
+    ``src/repro/featurize/base.py`` resolves to
+    ``repro.featurize.base`` regardless of the scan root.
+    """
+    path = path.resolve()
+    parts = [path.stem]
+    directory = path.parent
+    while (directory / "__init__.py").is_file():
+        parts.append(directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    parts.reverse()
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _enabled_rules(config: LintConfig) -> list[Rule]:
+    return [cls(config) for cls in all_rule_classes()
+            if config.is_enabled(cls.code)]
+
+
+def _dispatch_table(rules: Sequence[Rule]) -> dict[str, list]:
+    """Node-type name -> bound ``visit_*`` handlers, in rule-code order."""
+    table: dict[str, list] = {}
+    for rule in rules:
+        for attr in dir(rule):
+            if attr.startswith("visit_"):
+                table.setdefault(attr[len("visit_"):], []).append(
+                    getattr(rule, attr))
+    return table
+
+
+def _walk_module(module: ModuleContext, rules: Sequence[Rule],
+                 table: dict[str, list]) -> None:
+    for rule in rules:
+        hook = getattr(rule, "begin_module", None)
+        if hook is not None:
+            hook(module)
+    for node in ast.walk(module.tree):
+        for handler in table.get(type(node).__name__, ()):
+            handler(node, module)
+    for rule in rules:
+        hook = getattr(rule, "finish_module", None)
+        if hook is not None:
+            hook(module)
+
+
+def _build_module(source: str, *, path: str, module_name: str,
+                  sink: list[Finding]) -> ModuleContext | None:
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError) as error:
+        line = getattr(error, "lineno", 1) or 1
+        sink.append(Finding(
+            path=path, line=line, col=1, code=PARSE_ERROR_CODE,
+            message=f"file does not parse: {error.msg if isinstance(error, SyntaxError) else error}"))
+        return None
+    return ModuleContext(path=path, module_name=module_name, source=source,
+                         tree=tree, pragmas=parse_pragmas(source))
+
+
+def _finish(project: ProjectContext, rules: Sequence[Rule],
+            parse_errors: list[Finding], files_scanned: int) -> LintResult:
+    for rule in rules:
+        hook = getattr(rule, "finish_project", None)
+        if hook is not None:
+            hook(project)
+    findings = list(parse_errors)
+    suppressed: list[Finding] = []
+    for module in project.modules:
+        findings.extend(module.findings)
+        suppressed.extend(module.suppressed)
+    return LintResult(
+        findings=tuple(sorted(findings)),
+        suppressed=tuple(sorted(suppressed)),
+        files_scanned=files_scanned,
+        rules_run=tuple(rule.code for rule in rules),
+    )
+
+
+def run(paths: Sequence[Path], config: LintConfig | None = None) -> LintResult:
+    """Lint every python file under ``paths`` with the enabled rules."""
+    if config is None:
+        config = LintConfig()
+    rules = _enabled_rules(config)
+    table = _dispatch_table(rules)
+    files = discover_files([Path(p) for p in paths])
+    project = ProjectContext()
+    parse_errors: list[Finding] = []
+    root = Path.cwd()
+    for file in files:
+        try:
+            relative = file.resolve().relative_to(root.resolve())
+            display = relative.as_posix()
+        except ValueError:
+            display = file.as_posix()
+        source = file.read_text(encoding="utf-8")
+        module = _build_module(source, path=display,
+                               module_name=module_name_for(file),
+                               sink=parse_errors)
+        if module is None:
+            continue
+        project.modules.append(module)
+        _walk_module(module, rules, table)
+    return _finish(project, rules, parse_errors, len(files))
+
+
+def lint_text(source: str, *, module_name: str = "snippet",
+              path: str = "snippet.py",
+              config: LintConfig | None = None) -> LintResult:
+    """Lint a source string (the unit-test entry point)."""
+    if config is None:
+        config = LintConfig()
+    rules = _enabled_rules(config)
+    table = _dispatch_table(rules)
+    project = ProjectContext()
+    parse_errors: list[Finding] = []
+    module = _build_module(source, path=path, module_name=module_name,
+                           sink=parse_errors)
+    if module is not None:
+        project.modules.append(module)
+        _walk_module(module, rules, table)
+    return _finish(project, rules, parse_errors, 1)

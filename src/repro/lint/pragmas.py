@@ -1,0 +1,65 @@
+"""Inline suppression pragmas.
+
+A finding is suppressed by a comment on the same physical line::
+
+    qualifying = np.nonzero(entries == 1.0)[0]  # repro: ignore[RPR102]
+
+Several codes may be listed (``# repro: ignore[RPR102,RPR302]``); the
+bare form ``# repro: ignore`` suppresses every rule on that line.  The
+pragma must sit on the line the finding is reported at (the node's
+``lineno``), mirroring how ``# noqa`` behaves.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["ALL_CODES", "parse_pragmas", "is_suppressed"]
+
+#: Sentinel entry meaning "every code" (the bare ``# repro: ignore``).
+ALL_CODES = "*"
+
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*ignore"
+    r"(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+
+
+def parse_pragmas(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> suppressed codes for every pragma in ``source``.
+
+    Comments are found with :mod:`tokenize` so pragmas inside string
+    literals are not misread.  Unreadable sources yield no pragmas (the
+    engine reports the parse failure separately).
+    """
+    pragmas: dict[int, frozenset[str]] = {}
+    readline = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(readline))
+    except (tokenize.TokenError, SyntaxError, ValueError):
+        return pragmas
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        if raw is None:
+            codes = frozenset({ALL_CODES})
+        else:
+            codes = frozenset(
+                part.strip() for part in raw.split(",") if part.strip())
+            if not codes:
+                codes = frozenset({ALL_CODES})
+        line = token.start[0]
+        pragmas[line] = pragmas.get(line, frozenset()) | codes
+    return pragmas
+
+
+def is_suppressed(pragmas: dict[int, frozenset[str]],
+                  line: int, code: str) -> bool:
+    """True iff a pragma on ``line`` suppresses ``code``."""
+    codes = pragmas.get(line)
+    return codes is not None and (code in codes or ALL_CODES in codes)

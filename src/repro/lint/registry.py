@@ -1,0 +1,94 @@
+"""Rule base class and the registry of stable rule codes.
+
+Rules register themselves with :func:`register`; the engine instantiates
+every enabled rule once per run.  Codes are stable and banded:
+
+* ``RPR1xx`` — correctness (bugs waiting to happen),
+* ``RPR2xx`` — determinism (the paper's Equation-4 contract),
+* ``RPR3xx`` — layering and API hygiene.
+
+``RPR001`` is reserved by the engine for files that fail to parse.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.lint.config import LintConfig
+    from repro.lint.engine import ModuleContext, ProjectContext
+
+__all__ = ["Rule", "register", "all_rule_classes", "get_rule_class",
+           "PARSE_ERROR_CODE"]
+
+#: Engine-reserved code for unparseable files (not a registered rule).
+PARSE_ERROR_CODE = "RPR001"
+
+_CODE_PATTERN = re.compile(r"^RPR[1-9]\d{2}$")
+
+_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+class Rule:
+    """Base class of all lint rules.
+
+    Subclasses set the class attributes below and implement any of the
+    optional hooks.  ``visit_<NodeType>`` methods (e.g. ``visit_Call``)
+    are discovered by name and dispatched by the engine for every AST
+    node of that type, in source order.
+
+    Optional hooks:
+
+    * ``begin_module(module)`` — called before the AST walk of a module
+      (e.g. to prescan import aliases).
+    * ``finish_module(module)`` — called after the walk of a module
+      (for whole-module invariants such as ``__all__`` consistency).
+    * ``finish_project(project)`` — called once after every module has
+      been walked (for cross-module invariants such as class hierarchy
+      checks).
+    """
+
+    #: Stable code, e.g. ``"RPR101"``.
+    code: str = ""
+    #: Short kebab-case identifier, e.g. ``"mutable-default-argument"``.
+    name: str = ""
+    #: One-line summary shown by ``--list-rules`` and the docs table.
+    summary: str = ""
+
+    def __init__(self, config: "LintConfig") -> None:
+        self.config = config
+
+    def report(self, module: "ModuleContext", node, message: str) -> None:
+        """Record a violation of this rule at ``node``."""
+        module.report(self.code, node, message)
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding ``cls`` to the rule registry."""
+    if not _CODE_PATTERN.match(cls.code):
+        raise ValueError(
+            f"rule {cls.__name__} has invalid code {cls.code!r} "
+            "(expected RPRnnn with nnn in 100..999)")
+    if not cls.name or not cls.summary:
+        raise ValueError(f"rule {cls.__name__} needs a name and a summary")
+    existing = _REGISTRY.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"rule code {cls.code} already registered by "
+            f"{existing.__name__}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rule_classes() -> tuple[type[Rule], ...]:
+    """Every registered rule class, ordered by code."""
+    # Importing the rules package populates the registry on first use.
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def get_rule_class(code: str) -> type[Rule]:
+    """Registered rule class for ``code`` (``KeyError`` if unknown)."""
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+    return _REGISTRY[code]

@@ -1,0 +1,75 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+Reporters write to a caller-supplied stream; they never touch
+``sys.stdout`` themselves, which keeps the library layer silent (the
+same contract rule RPR302 enforces on the rest of the codebase).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["Report", "render_text", "render_json", "render"]
+
+
+class Report:
+    """Everything one lint run produced, ready for rendering."""
+
+    def __init__(self, *, new: Sequence[Finding],
+                 baselined: Sequence[Finding] = (),
+                 suppressed: Sequence[Finding] = (),
+                 files_scanned: int = 0) -> None:
+        self.new = list(new)
+        self.baselined = list(baselined)
+        self.suppressed = list(suppressed)
+        self.files_scanned = files_scanned
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no non-baselined finding remains, else 1."""
+        return 1 if self.new else 0
+
+
+def render_text(report: Report, stream: IO[str]) -> None:
+    """One ``path:line:col: CODE message`` line per finding + summary."""
+    for finding in report.new:
+        stream.write(finding.render() + "\n")
+    summary = (
+        f"{len(report.new)} finding(s) in {report.files_scanned} file(s)")
+    extras = []
+    if report.baselined:
+        extras.append(f"{len(report.baselined)} baselined")
+    if report.suppressed:
+        extras.append(f"{len(report.suppressed)} pragma-suppressed")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    stream.write(summary + "\n")
+
+
+def render_json(report: Report, stream: IO[str]) -> None:
+    """Single JSON object: findings plus run summary."""
+    payload = {
+        "version": 1,
+        "findings": [f.to_dict() for f in report.new],
+        "summary": {
+            "files_scanned": report.files_scanned,
+            "new": len(report.new),
+            "baselined": len(report.baselined),
+            "suppressed": len(report.suppressed),
+            "exit_code": report.exit_code,
+        },
+    }
+    stream.write(json.dumps(payload, indent=2) + "\n")
+
+
+def render(report: Report, stream: IO[str], fmt: str = "text") -> None:
+    """Dispatch to the named reporter (``text`` or ``json``)."""
+    if fmt == "json":
+        render_json(report, stream)
+    elif fmt == "text":
+        render_text(report, stream)
+    else:
+        raise ValueError(f"unknown report format {fmt!r}")

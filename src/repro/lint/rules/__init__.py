@@ -1,0 +1,33 @@
+"""Built-in rule set.
+
+Importing this package registers every rule with
+:mod:`repro.lint.registry`.  Rules live in one module per code band.
+"""
+
+from repro.lint.rules.correctness import (
+    BroadExceptRule,
+    FeaturizerSurfaceRule,
+    FloatEqualityRule,
+    MutableDefaultRule,
+)
+from repro.lint.rules.determinism import (
+    GlobalNumpyRandomRule,
+    UnseededGeneratorRule,
+)
+from repro.lint.rules.layering import (
+    DunderAllRule,
+    ImportLayeringRule,
+    PrintInLibraryRule,
+)
+
+__all__ = [
+    "MutableDefaultRule",
+    "FloatEqualityRule",
+    "BroadExceptRule",
+    "FeaturizerSurfaceRule",
+    "GlobalNumpyRandomRule",
+    "UnseededGeneratorRule",
+    "ImportLayeringRule",
+    "PrintInLibraryRule",
+    "DunderAllRule",
+]

@@ -1,0 +1,251 @@
+"""RPR1xx — correctness rules.
+
+These catch constructs that are legal python but are bugs waiting to
+happen in an estimator codebase: shared mutable defaults, exact float
+comparison against literals, exception handlers that swallow everything,
+and featurizers that silently miss part of the abstract surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import ModuleContext, ProjectContext
+from repro.lint.registry import Rule, register
+
+__all__ = ["MutableDefaultRule", "FloatEqualityRule", "BroadExceptRule",
+           "FeaturizerSurfaceRule"]
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "defaultdict",
+                      "Counter", "OrderedDict", "deque"}
+
+
+@register
+class MutableDefaultRule(Rule):
+    """A mutable default is evaluated once and shared across calls."""
+
+    code = "RPR101"
+    name = "mutable-default-argument"
+    summary = "Default argument values must be immutable"
+
+    def visit_FunctionDef(self, node: ast.FunctionDef,
+                          module: ModuleContext) -> None:
+        """Check the defaults of a function definition."""
+        self._check(node, module)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
+                               module: ModuleContext) -> None:
+        """Check the defaults of an async function definition."""
+        self._check(node, module)
+
+    def _check(self, node, module: ModuleContext) -> None:
+        defaults = list(node.args.defaults)
+        defaults.extend(d for d in node.args.kw_defaults if d is not None)
+        for default in defaults:
+            if self._is_mutable(default):
+                self.report(
+                    module, default,
+                    f"mutable default `{ast.unparse(default)}` in "
+                    f"{node.name}() is shared across calls; default to "
+                    "None and construct inside the body")
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, _MUTABLE_LITERALS):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (func.id if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute)
+                    else None)
+            return name in _MUTABLE_FACTORIES
+        return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Exact ``==``/``!=`` against a float literal is representation-
+    dependent for computed values.  Vectorized partition-membership tests
+    on constructed 0/1 arrays are the legitimate exception — annotate
+    those with ``# repro: ignore[RPR102]``.
+    """
+
+    code = "RPR102"
+    name = "float-literal-equality"
+    summary = "No exact ==/!= against float scalar literals"
+
+    def visit_Compare(self, node: ast.Compare,
+                      module: ModuleContext) -> None:
+        """Flag ==/!= chains with a float literal on either side."""
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            pair = (operands[index], operands[index + 1])
+            literal = next((side for side in pair
+                            if self._is_float_literal(side)), None)
+            if literal is not None:
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                self.report(
+                    module, node,
+                    f"exact `{symbol} {ast.unparse(literal)}` float "
+                    "comparison; use math.isclose/np.isclose, or add "
+                    "`# repro: ignore[RPR102]` for vectorized "
+                    "membership tests on constructed arrays")
+
+    @staticmethod
+    def _is_float_literal(node: ast.expr) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            node = node.operand
+        return isinstance(node, ast.Constant) and type(node.value) is float
+
+
+@register
+class BroadExceptRule(Rule):
+    """Bare/broad handlers swallow contract violations the featurization
+    stack raises on purpose (``LosslessnessError``, shape asserts)."""
+
+    code = "RPR103"
+    name = "broad-except"
+    summary = "No bare `except:` or swallowed `except Exception:`"
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler,
+                            module: ModuleContext) -> None:
+        """Flag bare handlers and non-re-raising broad handlers."""
+        if node.type is None:
+            self.report(module, node,
+                        "bare `except:` catches everything including "
+                        "KeyboardInterrupt; name the exception types")
+            return
+        broad = sorted(self._BROAD & set(self._exception_names(node.type)))
+        if broad and not self._reraises(node):
+            self.report(
+                module, node,
+                f"`except {broad[0]}:` without re-raise swallows contract "
+                "violations; catch specific exceptions or re-raise")
+
+    @staticmethod
+    def _exception_names(node: ast.expr) -> Iterable[str]:
+        candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+        for candidate in candidates:
+            if isinstance(candidate, ast.Name):
+                yield candidate.id
+            elif isinstance(candidate, ast.Attribute):
+                yield candidate.attr
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(child, ast.Raise) and child.exc is None
+                   for child in ast.walk(handler))
+
+
+@register
+class FeaturizerSurfaceRule(Rule):
+    """Every concrete ``Featurizer`` subclass must implement the full
+    abstract surface declared in ``featurize/base.py``.  A partial
+    implementation inherits ``abc``'s *instantiation-time* failure, which
+    a model-training run only hits long after import.
+    """
+
+    code = "RPR104"
+    name = "featurizer-abstract-surface"
+    summary = "Concrete Featurizer subclasses implement all abstract methods"
+
+    #: Root class whose abstract surface is enforced.
+    root_class = "Featurizer"
+
+    def finish_project(self, project: ProjectContext) -> None:
+        """Check every transitive Featurizer subclass in the project."""
+        classes: dict[str, tuple[ModuleContext, ast.ClassDef]] = {}
+        for module, node in project.iter_classes():
+            classes[node.name] = (module, node)
+        root = classes.get(self.root_class)
+        if root is None:
+            return
+        required = self._abstract_names(root[1])
+        if not required:
+            return
+        for name in self._subclasses(classes, self.root_class):
+            module, node = classes[name]
+            if self._abstract_names(node):
+                continue  # itself abstract: an intermediate base class
+            provided = self._provided_names(classes, name)
+            missing = sorted(required - provided)
+            if missing:
+                self.report(
+                    module, node,
+                    f"concrete Featurizer subclass {name} is missing "
+                    f"abstract member(s) {', '.join(missing)} required "
+                    "by featurize/base.py")
+
+    @staticmethod
+    def _base_names(node: ast.ClassDef) -> set[str]:
+        names = set()
+        for base in node.bases:
+            while isinstance(base, ast.Subscript):  # Generic[...] etc.
+                base = base.value
+            if isinstance(base, ast.Name):
+                names.add(base.id)
+            elif isinstance(base, ast.Attribute):
+                names.add(base.attr)
+        return names
+
+    @classmethod
+    def _subclasses(cls, classes, root: str) -> list[str]:
+        """Transitive subclasses of ``root``, by declared base names."""
+        known = {root}
+        changed = True
+        while changed:
+            changed = False
+            for name, (_, node) in classes.items():
+                if name not in known and cls._base_names(node) & known:
+                    known.add(name)
+                    changed = True
+        return sorted(known - {root})
+
+    @staticmethod
+    def _abstract_names(node: ast.ClassDef) -> set[str]:
+        """Names declared abstract in the class body."""
+        abstract = set()
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for decorator in stmt.decorator_list:
+                label = (decorator.id if isinstance(decorator, ast.Name)
+                         else decorator.attr
+                         if isinstance(decorator, ast.Attribute) else None)
+                if label in ("abstractmethod", "abstractproperty"):
+                    abstract.add(stmt.name)
+        return abstract
+
+    @classmethod
+    def _provided_names(cls, classes, name: str) -> set[str]:
+        """Concrete members defined by ``name`` or any project ancestor."""
+        provided: set[str] = set()
+        queue = [name]
+        seen: set[str] = set()
+        while queue:
+            current = queue.pop()
+            if current in seen or current not in classes:
+                continue
+            seen.add(current)
+            _, node = classes[current]
+            abstract = cls._abstract_names(node)
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if stmt.name not in abstract:
+                        provided.add(stmt.name)
+                elif isinstance(stmt, ast.Assign):
+                    provided.update(t.id for t in stmt.targets
+                                    if isinstance(t, ast.Name))
+                elif (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)
+                        and stmt.value is not None):
+                    provided.add(stmt.target.id)
+            queue.extend(cls._base_names(node))
+        return provided

@@ -1,0 +1,145 @@
+"""RPR2xx — determinism rules.
+
+The paper's Equation 4 requires featurization (and therefore training
+and estimation) to be a deterministic function of its inputs.  Every
+stochastic component in this codebase threads an explicit
+``np.random.Generator`` (see ``models/neural_net.py``); these rules make
+that convention machine-checked.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import ModuleContext
+from repro.lint.registry import Rule, register
+
+__all__ = ["GlobalNumpyRandomRule", "UnseededGeneratorRule"]
+
+#: Members of ``numpy.random`` compatible with explicit seed threading.
+_ALLOWED_MEMBERS = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _alias_maps(module: ModuleContext) -> tuple[set[str], set[str], set[str]]:
+    """(numpy aliases, numpy.random aliases, local default_rng names)."""
+    numpy_aliases: set[str] = set()
+    random_aliases: set[str] = set()
+    default_rng_names: set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                if alias.name == "numpy":
+                    numpy_aliases.add(local)
+                elif alias.name == "numpy.random" and alias.asname:
+                    random_aliases.add(alias.asname)
+                elif alias.name.startswith("numpy."):
+                    numpy_aliases.add(local)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name == "default_rng":
+                        default_rng_names.add(alias.asname or "default_rng")
+    return numpy_aliases, random_aliases, default_rng_names
+
+
+class _NumpyRandomRule(Rule):
+    """Shared alias prescan for the two RNG rules."""
+
+    def begin_module(self, module: ModuleContext) -> None:
+        """Prescan the module's numpy import aliases."""
+        (self._numpy_aliases, self._random_aliases,
+         self._default_rng_names) = _alias_maps(module)
+
+    def _random_member(self, dotted: str) -> str | None:
+        """The ``numpy.random`` member a dotted chain refers to."""
+        head, _, member = dotted.rpartition(".")
+        if not head:
+            return None
+        if head in self._random_aliases:
+            return member
+        base, _, middle = head.rpartition(".")
+        if middle == "random" and base in self._numpy_aliases:
+            return member
+        return None
+
+
+@register
+class GlobalNumpyRandomRule(_NumpyRandomRule):
+    """Legacy ``np.random.*`` draws from hidden process-global state."""
+
+    code = "RPR201"
+    name = "global-numpy-random"
+    summary = "No global-state np.random.* calls; thread a Generator"
+
+    def visit_Attribute(self, node: ast.Attribute,
+                        module: ModuleContext) -> None:
+        """Flag attribute chains reaching legacy numpy.random state."""
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return
+        member = self._random_member(dotted)
+        if member is not None and member not in _ALLOWED_MEMBERS:
+            self.report(
+                module, node,
+                f"`{dotted}` uses numpy's process-global RNG state; "
+                "thread an explicit np.random.Generator instead")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom,
+                         module: ModuleContext) -> None:
+        """Flag `from numpy.random import <legacy global>`."""
+        if node.level != 0 or node.module != "numpy.random":
+            return
+        for alias in node.names:
+            if alias.name not in _ALLOWED_MEMBERS and alias.name != "*":
+                self.report(
+                    module, node,
+                    f"importing `{alias.name}` from numpy.random binds "
+                    "process-global RNG state; thread a Generator instead")
+
+
+@register
+class UnseededGeneratorRule(_NumpyRandomRule):
+    """``default_rng()`` without a seed pulls OS entropy, so two runs of
+    the same experiment diverge silently."""
+
+    code = "RPR202"
+    name = "unseeded-default-rng"
+    summary = "np.random.default_rng() must receive a seed"
+
+    def visit_Call(self, node: ast.Call, module: ModuleContext) -> None:
+        """Flag `default_rng()` calls that carry no seed argument."""
+        if node.args or node.keywords:
+            return
+        func = node.func
+        is_default_rng = (
+            isinstance(func, ast.Name)
+            and func.id in self._default_rng_names)
+        if not is_default_rng and isinstance(func, ast.Attribute):
+            dotted = _dotted_name(func)
+            is_default_rng = (dotted is not None
+                              and self._random_member(dotted) == "default_rng")
+        if is_default_rng:
+            self.report(
+                module, node,
+                "default_rng() without a seed is nondeterministic; pass "
+                "a seed or accept an np.random.Generator parameter")

@@ -1,0 +1,230 @@
+"""RPR3xx — layering and API-hygiene rules.
+
+The featurization, SQL, and data substrates form the lower layers of the
+system (see ``docs/architecture.md``): they must stay importable without
+dragging in models, estimators, or experiments, which is what lets them
+be served, sharded, and tested independently.  The hygiene rules keep
+the public API (``__all__``) and stdout behaviour honest.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import ModuleContext
+from repro.lint.registry import Rule, register
+
+__all__ = ["ImportLayeringRule", "PrintInLibraryRule", "DunderAllRule"]
+
+
+def _module_matches(module_name: str, prefix: str) -> bool:
+    return module_name == prefix or module_name.startswith(prefix + ".")
+
+
+@register
+class ImportLayeringRule(Rule):
+    """Lower layers must not import upward (config: ``layering`` map)."""
+
+    code = "RPR301"
+    name = "import-layering"
+    summary = "featurize/sql/data never import models/estimators/experiments"
+
+    def visit_Import(self, node: ast.Import, module: ModuleContext) -> None:
+        """Check `import x` statements against the layer map."""
+        for alias in node.names:
+            self._check(alias.name, node, module)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom,
+                         module: ModuleContext) -> None:
+        """Check `from x import y` statements against the layer map."""
+        target = self._resolve(node, module)
+        if target is None:
+            return
+        self._check(target, node, module)
+        for alias in node.names:
+            if alias.name != "*":
+                self._check(f"{target}.{alias.name}", node, module)
+
+    @staticmethod
+    def _resolve(node: ast.ImportFrom, module: ModuleContext) -> str | None:
+        """Absolute target of an import-from (handles relative levels)."""
+        if node.level == 0:
+            return node.module
+        parts = module.module_name.split(".")
+        # Within a package __init__, level 1 refers to the package itself.
+        cut = node.level - 1 if module.is_package_init else node.level
+        if cut >= len(parts):
+            return node.module
+        base = parts[:len(parts) - cut]
+        if node.module:
+            base.append(node.module)
+        return ".".join(base)
+
+    def _check(self, imported: str, node: ast.stmt,
+               module: ModuleContext) -> None:
+        for layer, forbidden in self.config.layering.items():
+            if not _module_matches(module.module_name, layer):
+                continue
+            for target in forbidden:
+                if _module_matches(imported, target):
+                    self.report(
+                        module, node,
+                        f"layer `{layer}` must not import `{target}` "
+                        f"(imports `{imported}`); move the dependency up "
+                        "or invert it via an interface")
+                    return
+
+
+@register
+class PrintInLibraryRule(Rule):
+    """Library code reports through return values and exceptions;
+    stdout belongs to the CLI entry points (config: ``print-allowed``)."""
+
+    code = "RPR302"
+    name = "print-in-library"
+    summary = "No print() outside configured CLI entry-point modules"
+
+    def visit_Call(self, node: ast.Call, module: ModuleContext) -> None:
+        """Flag print() calls outside the configured CLI modules."""
+        if not (isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            return
+        if any(_module_matches(module.module_name, allowed)
+               for allowed in self.config.print_allowed):
+            return
+        self.report(
+            module, node,
+            "print() in library code; return the value, raise, or move "
+            "the output to a CLI module (config key `print-allowed`)")
+
+
+@register
+class DunderAllRule(Rule):
+    """``__all__`` must list exactly the public surface: every public
+    top-level definition (and, in a package ``__init__``, every re-export)
+    appears in it, and everything it lists is actually bound."""
+
+    code = "RPR303"
+    name = "dunder-all-consistency"
+    summary = "__all__ matches the actually-defined public names"
+
+    def finish_module(self, module: ModuleContext) -> None:
+        """Cross-check the module's __all__ against its bindings."""
+        declaration = self._find_all(module.tree)
+        if declaration is None:
+            return
+        node, names = declaration
+        if names is None:
+            return  # not statically resolvable; nothing to check
+        seen: set[str] = set()
+        for name in names:
+            if name in seen:
+                self.report(module, node,
+                            f"duplicate name {name!r} in __all__")
+            seen.add(name)
+        bound, public, star_import = self._bindings(module)
+        if not star_import:
+            for name in sorted(seen - bound):
+                self.report(
+                    module, node,
+                    f"__all__ lists {name!r} which is not defined or "
+                    "imported at module top level")
+        for name in sorted(public - seen):
+            self.report(
+                module, node,
+                f"public name {name!r} is defined but missing from "
+                "__all__; export it or rename it with a leading "
+                "underscore")
+
+    @staticmethod
+    def _find_all(tree: ast.Module):
+        for stmt in tree.body:
+            target = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target = stmt.target
+            if not (isinstance(target, ast.Name)
+                    and target.id == "__all__"):
+                continue
+            value = stmt.value
+            if not isinstance(value, (ast.List, ast.Tuple)):
+                return stmt, None
+            names = []
+            for element in value.elts:
+                if not (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)):
+                    return stmt, None
+                names.append(element.value)
+            return stmt, names
+        return None
+
+    @classmethod
+    def _bindings(cls, module: ModuleContext) -> tuple[set[str], set[str], bool]:
+        """(all bound names, required-public names, saw star import).
+
+        Public *definitions* (functions, classes, constants) must be
+        exported everywhere.  Imported names count as public surface only
+        in a package ``__init__`` and only when imported from inside the
+        package itself — that is the re-export contract; stdlib and
+        third-party imports are implementation details everywhere.  All
+        imports count as *bound* for the dangling-name check.
+        """
+        bound: set[str] = set()
+        public: set[str] = set()
+        star_import = False
+        is_init = module.is_package_init
+        package = module.module_name
+
+        def intra_package(origin: str | None, level: int) -> bool:
+            if level > 0:
+                return True
+            return origin is not None and _module_matches(origin, package)
+
+        def note(name: str, *, definition: bool) -> None:
+            bound.add(name)
+            if definition and not name.startswith("_"):
+                public.add(name)
+
+        def collect(statements) -> None:
+            nonlocal star_import
+            for stmt in statements:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                    note(stmt.name, definition=True)
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        for name_node in ast.walk(target):
+                            if isinstance(name_node, ast.Name):
+                                note(name_node.id, definition=True)
+                elif isinstance(stmt, ast.AnnAssign):
+                    if (isinstance(stmt.target, ast.Name)
+                            and stmt.value is not None):
+                        note(stmt.target.id, definition=True)
+                elif isinstance(stmt, ast.Import):
+                    for alias in stmt.names:
+                        local = alias.asname or alias.name.partition(".")[0]
+                        note(local, definition=(
+                            is_init and alias.asname is not None
+                            and intra_package(alias.name, 0)))
+                elif isinstance(stmt, ast.ImportFrom):
+                    reexport = is_init and intra_package(stmt.module,
+                                                         stmt.level)
+                    for alias in stmt.names:
+                        if alias.name == "*":
+                            star_import = True
+                            continue
+                        note(alias.asname or alias.name,
+                             definition=reexport)
+                elif isinstance(stmt, ast.If):
+                    collect(stmt.body)
+                    collect(stmt.orelse)
+                elif isinstance(stmt, ast.Try):
+                    collect(stmt.body)
+                    for handler in stmt.handlers:
+                        collect(handler.body)
+                    collect(stmt.orelse)
+                    collect(stmt.finalbody)
+
+        collect(module.tree.body)
+        return bound, public, star_import

@@ -205,7 +205,10 @@ def grow_tree(codes: np.ndarray, gradients: np.ndarray, mapper: BinMapper,
     if not 0.0 < colsample <= 1.0:
         raise ValueError(f"colsample must be in (0, 1], got {colsample}")
     if colsample < 1.0 and rng is None:
-        rng = np.random.default_rng()
+        # Column subsampling needs randomness even when the caller did
+        # not pass a generator; a fixed seed keeps training reproducible
+        # (Equation 4's determinism contract, enforced by RPR202).
+        rng = np.random.default_rng(0)
     max_bins = mapper.max_bins
     n_features = codes.shape[1]
 

@@ -38,6 +38,10 @@ __all__ = [
     "Query",
     "CompoundForm",
     "UnsupportedQueryError",
+    "attributes_of",
+    "is_conjunctive",
+    "iter_simple_predicates",
+    "to_compound_form",
 ]
 
 

@@ -21,7 +21,7 @@ from repro.sql.executor import cardinality
 from repro.workloads.spec import LabeledQuery, Workload
 
 __all__ = ["generate_joblight_benchmark", "generate_joblight_training",
-           "generate_join_queries"]
+           "generate_balanced_training", "generate_join_queries"]
 
 _HUB = "title"
 

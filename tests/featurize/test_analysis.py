@@ -149,3 +149,62 @@ class TestCollisionReport:
         report = CollisionReport(total_queries=0, distinct_vectors=0,
                                  colliding_queries=0, worst_spread=1.0)
         assert report.collision_rate == 0.0
+
+
+class TestErrorPaths:
+    """Failure modes of the Definition-3.1 tooling, exercised explicitly."""
+
+    def test_decode_error_names_the_inexact_attributes(self, table):
+        """The ValueError tells the user *which* attributes block the
+        inverse, so max_partitions can be raised surgically."""
+        coarse = ConjunctiveEncoding(table, max_partitions=4,
+                                     attr_selectivity=False)
+        vector = coarse.featurize(parse_where("A > 3"))
+        with pytest.raises(ValueError) as excinfo:
+            decode(coarse, vector)
+        message = str(excinfo.value)
+        assert "exact resolution" in message
+        assert "'A'" in message and "'B'" in message
+        assert "max_partitions" in message
+
+    def test_decode_rejects_vector_from_other_featurizer(self, table, exact):
+        """A vector of the wrong geometry cannot silently decode."""
+        other = RangeEncoding(table)
+        vector = other.featurize(parse_where("A > 3"))
+        assert vector.shape != (exact.feature_length,)
+        with pytest.raises(ValueError, match="shape"):
+            decode(exact, vector)
+
+    def test_decode_rejects_transposed_batch(self, exact):
+        """featurize_batch output (2-D) is not a single vector."""
+        batch = exact.featurize_batch([None, None])
+        with pytest.raises(ValueError, match="shape"):
+            decode(exact, batch)
+
+    def test_collision_report_on_known_colliding_workload(self, table):
+        """Three <>-variants of one range collapse onto one Range-encoding
+        vector with three different cardinalities: all three queries are
+        Equation-4 violations and the spread is the max/min ratio."""
+        enc = RangeEncoding(table)
+        sqls = [
+            "A >= 2 AND A <= 12",
+            "A >= 2 AND A <= 12 AND A <> 5",
+            "A >= 2 AND A <= 12 AND A <> 5 AND A <> 7",
+        ]
+        workload = TestCollisionReport._workload(self, table, sqls)
+        cards = [item.cardinality for item in workload]
+        report = collision_report(enc, workload)
+        assert report.total_queries == 3
+        assert report.distinct_vectors == 1
+        assert report.colliding_queries == 3
+        assert report.collision_rate == 1.0
+        assert report.worst_spread == pytest.approx(max(cards) / min(cards))
+
+    def test_collision_report_empty_workload(self, exact):
+        """Workload objects refuse to be empty, but collision_report
+        accepts any iterable of labeled queries; zero queries must not
+        divide by zero in the rate."""
+        report = collision_report(exact, [])
+        assert report.total_queries == 0
+        assert report.collision_rate == 0.0
+        assert report.worst_spread == 1.0

@@ -1,0 +1,187 @@
+"""Tests for the engine plumbing: baseline, config, reporters, pragmas."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.config import (
+    DEFAULT_LAYERING,
+    LintConfig,
+    find_pyproject,
+    load_config,
+)
+from repro.lint.engine import discover_files, module_name_for
+from repro.lint.findings import Finding
+from repro.lint.pragmas import parse_pragmas
+from repro.lint.registry import all_rule_classes
+from repro.lint.reporters import Report, render
+
+F1 = Finding(path="a.py", line=3, col=1, code="RPR101", message="m1")
+F2 = Finding(path="b.py", line=9, col=5, code="RPR303", message="m2")
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([F1, F2], path)
+        known = load_baseline(path)
+        new, matched = apply_baseline([F1, F2], known)
+        assert new == []
+        assert sorted(matched) == sorted([F1, F2])
+
+    def test_line_drift_still_matches(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([F1], path)
+        moved = Finding(path="a.py", line=77, col=2, code="RPR101",
+                        message="m1")
+        new, matched = apply_baseline([moved], load_baseline(path))
+        assert new == [] and matched == [moved]
+
+    def test_second_identical_violation_is_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([F1], path)
+        twice = [F1, Finding(path="a.py", line=50, col=1, code="RPR101",
+                             message="m1")]
+        new, matched = apply_baseline(twice, load_baseline(path))
+        assert len(new) == 1 and len(matched) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+        path.write_text("not json at all")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+class TestConfig:
+    def test_repo_pyproject_is_discovered(self):
+        repo_root = Path(__file__).resolve().parents[2]
+        config = load_config(repo_root / "src")
+        assert config.root == repo_root
+        assert "repro.cli" in config.print_allowed
+        assert config.layering["repro.featurize"] == (
+            "repro.models", "repro.estimators", "repro.experiments")
+        assert config.baseline_path() == repo_root / "lint-baseline.json"
+
+    def test_defaults_without_pyproject(self, tmp_path):
+        config = load_config(tmp_path)
+        assert dict(config.layering) == dict(DEFAULT_LAYERING)
+        assert config.select is None and config.ignore == frozenset()
+
+    def test_section_overrides(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro.lint]\n'
+            'ignore = ["RPR302"]\n'
+            'select = ["RPR302", "RPR101"]\n'
+            'print-allowed = ["x.y"]\n'
+            'baseline = "b.json"\n'
+            '[tool.repro.lint.layering]\n'
+            '"pkg.low" = ["pkg.high"]\n')
+        config = load_config(tmp_path)
+        assert config.is_enabled("RPR101")
+        assert not config.is_enabled("RPR302")  # ignore beats select
+        assert not config.is_enabled("RPR303")  # not selected
+        assert config.print_allowed == ("x.y",)
+        assert config.layering == {"pkg.low": ("pkg.high",)}
+        assert config.baseline_path() == tmp_path / "b.json"
+
+    def test_find_pyproject_walks_upward(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        assert find_pyproject(nested) == tmp_path / "pyproject.toml"
+        assert find_pyproject(Path("/")) in (None, Path("/pyproject.toml"))
+
+
+class TestPragmas:
+    def test_parse_single_and_multiple_codes(self):
+        pragmas = parse_pragmas(
+            "x = 1  # repro: ignore[RPR102]\n"
+            "y = 2  # repro: ignore[RPR101, RPR303]\n")
+        assert pragmas[1] == frozenset({"RPR102"})
+        assert pragmas[2] == frozenset({"RPR101", "RPR303"})
+
+    def test_pragma_inside_string_is_not_a_pragma(self):
+        pragmas = parse_pragmas('x = "# repro: ignore[RPR101]"\n')
+        assert pragmas == {}
+
+    def test_blanket_form(self):
+        assert parse_pragmas("x = 1  # repro: ignore\n")[1] == frozenset("*")
+
+
+class TestReporters:
+    def _report(self):
+        return Report(new=[F1], baselined=[F2], suppressed=[],
+                      files_scanned=4)
+
+    def test_text_reporter(self, tmp_path):
+        out = (tmp_path / "o.txt").open("w+")
+        render(self._report(), out, "text")
+        out.seek(0)
+        text = out.read()
+        assert "a.py:3:1: RPR101 m1" in text
+        assert "1 finding(s) in 4 file(s) (1 baselined)" in text
+
+    def test_json_reporter(self, tmp_path):
+        out = (tmp_path / "o.json").open("w+")
+        render(self._report(), out, "json")
+        out.seek(0)
+        payload = json.loads(out.read())
+        assert payload["findings"] == [F1.to_dict()]
+        assert payload["summary"]["baselined"] == 1
+        assert payload["summary"]["exit_code"] == 1
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            render(self._report(), (tmp_path / "o").open("w"), "yaml")
+
+    def test_exit_code_zero_when_clean(self):
+        assert Report(new=[], baselined=[F1], files_scanned=1).exit_code == 0
+
+
+class TestRegistry:
+    def test_catalogue_is_complete_and_banded(self):
+        classes = all_rule_classes()
+        codes = [cls.code for cls in classes]
+        assert len(codes) == len(set(codes)) >= 9
+        assert all(code.startswith("RPR") for code in codes)
+        bands = {code[3] for code in codes}
+        assert bands == {"1", "2", "3"}
+        for cls in classes:
+            assert cls.name and cls.summary
+
+
+class TestDiscovery:
+    def test_module_name_resolution(self):
+        repo_src = Path(__file__).resolve().parents[2] / "src"
+        assert module_name_for(
+            repo_src / "repro" / "featurize" / "base.py"
+        ) == "repro.featurize.base"
+        assert module_name_for(
+            repo_src / "repro" / "lint" / "__init__.py") == "repro.lint"
+
+    def test_discover_skips_hidden_and_finds_nested(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "no.py").write_text("x = 1\n")
+        found = discover_files([tmp_path])
+        assert [p.name for p in found] == ["mod.py"]
+
+    def test_discover_rejects_non_python_target(self, tmp_path):
+        target = tmp_path / "data.csv"
+        target.write_text("a,b\n")
+        with pytest.raises(FileNotFoundError):
+            discover_files([target])

@@ -1,0 +1,101 @@
+"""Tests for the lint command-line front end (``python -m repro.lint``)."""
+
+import io
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint.cli import main
+
+CLEAN = '__all__ = ["f"]\n\n\ndef f():\n    """Do nothing."""\n    return 1\n'
+DIRTY = textwrap.dedent("""\
+    import numpy as np
+
+    __all__ = ["f"]
+
+
+    def f(x=[]):
+        \"\"\"Misbehave.\"\"\"
+        np.random.seed(0)
+        return x
+    """)
+
+
+def run_cli(args):
+    stream = io.StringIO()
+    code = main(args, stream=stream)
+    return code, stream.getvalue()
+
+
+def test_clean_file_exits_zero(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN)
+    code, out = run_cli([str(target), "--no-baseline"])
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_dirty_file_exits_one_with_text_report(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    code, out = run_cli([str(target), "--no-baseline"])
+    assert code == 1
+    assert "RPR101" in out and "RPR201" in out
+
+
+def test_json_format(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    code, out = run_cli([str(target), "--format", "json", "--no-baseline"])
+    assert code == 1
+    payload = json.loads(out)
+    codes = {f["code"] for f in payload["findings"]}
+    assert {"RPR101", "RPR201"} <= codes
+    assert payload["summary"]["exit_code"] == 1
+
+
+def test_write_then_apply_baseline(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    baseline = tmp_path / "baseline.json"
+    code, out = run_cli([str(target), "--baseline", str(baseline),
+                         "--write-baseline"])
+    assert code == 0 and baseline.exists()
+    # Grandfathered findings no longer fail the run...
+    code, out = run_cli([str(target), "--baseline", str(baseline)])
+    assert code == 0
+    assert "baselined" in out
+    # ...but a fresh violation still does.
+    target.write_text(DIRTY + "\n\nBAD = x == 1.0\n")
+    code, out = run_cli([str(target), "--baseline", str(baseline)])
+    assert code == 1
+
+
+def test_malformed_baseline_is_a_usage_error(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN)
+    baseline = tmp_path / "broken.json"
+    baseline.write_text("{")
+    code, out = run_cli([str(target), "--baseline", str(baseline)])
+    assert code == 2
+    assert "error" in out
+
+
+def test_missing_path_is_a_usage_error(tmp_path):
+    code, out = run_cli([str(tmp_path / "nope")])
+    assert code == 2
+    assert "does not exist" in out
+
+
+def test_list_rules(tmp_path):
+    code, out = run_cli(["--list-rules"])
+    assert code == 0
+    for expected in ("RPR101", "RPR202", "RPR303"):
+        assert expected in out
+
+
+def test_repo_src_via_cli_is_clean():
+    """End to end: the shipped tree, real config, real baseline."""
+    repo_root = Path(__file__).resolve().parents[2]
+    code, out = run_cli([str(repo_root / "src")])
+    assert code == 0, out

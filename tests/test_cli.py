@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -85,3 +88,44 @@ def test_experiments_forwarding(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])
+
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def test_lint_subcommand_on_shipped_tree(capsys):
+    assert main(["lint", REPO_SRC]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_lint_subcommand_json_format(capsys):
+    assert main(["lint", REPO_SRC, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["exit_code"] == 0
+    assert payload["findings"] == []
+
+
+def test_lint_subcommand_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "RPR101" in out and "RPR303" in out
+
+
+def test_lint_subcommand_flags_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text('__all__ = []\n\n\ndef f(x=[]):\n    """Doc."""\n'
+                   "    return x\n")
+    assert main(["lint", str(bad),
+                 "--baseline", str(tmp_path / "none.json")]) == 1
+    out = capsys.readouterr().out
+    assert "RPR101" in out and "RPR303" in out
+
+
+def test_lint_subcommand_write_baseline(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text('def f(x=[]):\n    """Doc."""\n    return x\n')
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(bad), "--baseline", str(baseline),
+                 "--write-baseline"]) == 0
+    assert "wrote 1 finding(s)" in capsys.readouterr().out
+    assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
