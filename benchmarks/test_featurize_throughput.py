@@ -1,0 +1,44 @@
+"""Featurization throughput: scalar loop vs columnar batch pipeline.
+
+Times every QFT's per-query ``featurize`` loop against the compile →
+encode ``featurize_batch`` pipeline on the same workloads (see
+``repro.bench``), asserts the two produce bitwise-identical matrices,
+and records the speedups.  The same measurement backs the
+``repro bench featurize`` CLI subcommand and the committed
+``BENCH_featurize.json``.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_featurize_bench
+from repro.experiments.common import ExperimentResult
+
+
+def test_featurize_throughput(scale, record):
+    report = run_featurize_bench(rows=scale.forest_rows,
+                                 queries=scale.featurize_queries,
+                                 partitions=scale.partitions)
+    rows = [
+        {
+            "qft": case["featurizer"],
+            "workload": case["workload"],
+            "queries": case["n_queries"],
+            "scalar (s)": f"{case['scalar_seconds']:.3f}",
+            "batch (s)": f"{case['batch_seconds']:.3f}",
+            "speedup": f"{case['speedup']:.2f}x",
+            "identical": case["identical"],
+        }
+        for case in report["cases"]
+    ]
+    record(ExperimentResult(
+        experiment="featurize_throughput",
+        paper_artifact="featurization cost (Section 5 'costs of the "
+                       "query featurization')",
+        rows=rows,
+        notes="Batch featurization must match the scalar path bitwise; "
+              "the speedup column is the scalar/batch runtime ratio.",
+    ))
+    assert report["all_identical"], "batch featurization diverged from scalar"
+    assert report["min_speedup"] >= 1.0, (
+        f"batch slower than scalar: min speedup {report['min_speedup']:.2f}x"
+    )

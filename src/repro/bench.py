@@ -1,0 +1,172 @@
+"""Featurization micro-benchmarks: scalar vs batch compile → encode.
+
+The batch refactor's contract is twofold — bitwise-identical feature
+matrices and a real throughput win.  :func:`run_featurize_bench` checks
+both: every case times the per-query scalar loop against the columnar
+``featurize_batch`` pipeline on the same workload and verifies the two
+matrices are identical before reporting a speedup.
+
+This module computes and returns results only; printing and process exit
+codes live in :mod:`repro.cli` (``repro bench featurize``), and the
+pytest-driven benchmark lives in ``benchmarks/test_featurize_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro import config
+from repro.data.forest import generate_forest
+from repro.data.table import Table
+from repro.featurize import (
+    ConjunctiveEncoding,
+    DisjunctionEncoding,
+    RangeEncoding,
+    SingularEncoding,
+)
+from repro.sql.ast import Query
+from repro.workloads import generate_conjunctive_queries, generate_mixed_queries
+
+__all__ = ["BenchCase", "run_featurize_bench", "write_report"]
+
+#: (featurizer label, workload label) cases the benchmark measures.
+_CASES = (
+    ("simple", "conjunctive"),
+    ("range", "conjunctive"),
+    ("conjunctive", "conjunctive"),
+    ("complex", "conjunctive"),
+    ("complex", "mixed"),
+)
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One scalar-vs-batch measurement."""
+
+    featurizer: str
+    workload: str
+    n_queries: int
+    feature_length: int
+    scalar_seconds: float
+    batch_seconds: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        """Scalar time over batch time (higher is better)."""
+        if self.batch_seconds <= 0.0:
+            return float("inf")
+        return self.scalar_seconds / self.batch_seconds
+
+    def row(self) -> dict:
+        """JSON-serialisable summary of this case."""
+        return {
+            "featurizer": self.featurizer,
+            "workload": self.workload,
+            "n_queries": self.n_queries,
+            "feature_length": self.feature_length,
+            "scalar_seconds": self.scalar_seconds,
+            "batch_seconds": self.batch_seconds,
+            "speedup": self.speedup,
+            "identical": self.identical,
+        }
+
+
+def _build_featurizer(label: str, table: Table, partitions: int):
+    if label == "simple":
+        return SingularEncoding(table)
+    if label == "range":
+        return RangeEncoding(table)
+    if label == "conjunctive":
+        return ConjunctiveEncoding(table, max_partitions=partitions)
+    if label == "complex":
+        return DisjunctionEncoding(table, max_partitions=partitions)
+    raise ValueError(f"unknown featurizer label {label!r}")
+
+
+def _time_case(featurizer, queries: Sequence[Query],
+               featurizer_label: str, workload_label: str,
+               repeats: int) -> BenchCase:
+    # One untimed pass per path first: the process's first large
+    # allocations page-fault fresh memory, which would otherwise charge
+    # a one-time OS cost to whichever path happens to run first.
+    scalar = np.stack([featurizer.featurize(q) for q in queries])
+    batch = featurizer.featurize_batch(queries)
+    identical = bool(np.array_equal(scalar, batch))
+
+    scalar_seconds = float("inf")
+    batch_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        np.stack([featurizer.featurize(q) for q in queries])
+        scalar_seconds = min(scalar_seconds, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        featurizer.featurize_batch(queries)
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    return BenchCase(
+        featurizer=featurizer_label,
+        workload=workload_label,
+        n_queries=len(queries),
+        feature_length=featurizer.feature_length,
+        scalar_seconds=scalar_seconds,
+        batch_seconds=batch_seconds,
+        identical=identical,
+    )
+
+
+def run_featurize_bench(rows: int = 10_000, queries: int = 10_000,
+                        partitions: int = config.DEFAULT_PARTITIONS,
+                        seed: int = config.DEFAULT_SEED,
+                        smoke: bool = False, repeats: int = 3) -> dict:
+    """Benchmark scalar vs batch featurization; return the report dict.
+
+    Each case runs one untimed warm-up pass per path (whose output also
+    feeds the bitwise-equality check), then reports the best of
+    ``repeats`` timed runs.  ``smoke`` shrinks the workload to a
+    seconds-long configuration for CI: the equivalence checks still run
+    on real queries, only the timing sample is small.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if smoke:
+        rows = min(rows, 1_000)
+        queries = min(queries, 300)
+        repeats = 1
+    table = generate_forest(rows=rows, seed=seed)
+    workloads = {
+        "conjunctive": generate_conjunctive_queries(
+            table, queries, seed=seed),
+        "mixed": generate_mixed_queries(table, queries, seed=seed + 1),
+    }
+    cases: list[BenchCase] = []
+    for featurizer_label, workload_label in _CASES:
+        featurizer = _build_featurizer(featurizer_label, table, partitions)
+        cases.append(_time_case(featurizer, workloads[workload_label],
+                                featurizer_label, workload_label, repeats))
+    return {
+        "benchmark": "featurize",
+        "config": {
+            "rows": rows,
+            "queries": queries,
+            "partitions": partitions,
+            "seed": seed,
+            "smoke": smoke,
+            "repeats": repeats,
+        },
+        "cases": [case.row() for case in cases],
+        "all_identical": all(case.identical for case in cases),
+        "min_speedup": min(case.speedup for case in cases),
+    }
+
+
+def write_report(report: dict, path: Path) -> None:
+    """Write a benchmark report as indented JSON."""
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")

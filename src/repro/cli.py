@@ -12,6 +12,9 @@ downstream user needs, plus dataset generation:
   load a persisted estimator and print the estimate (optionally the true
   cardinality and q-error when ``--data`` is given).
 * ``repro experiments ...`` — forwards to the experiment runner.
+* ``repro bench featurize`` — scalar-vs-batch featurization benchmark;
+  writes ``BENCH_featurize.json`` and fails if the batch pipeline is
+  slower than the scalar loop or diverges from it.
 * ``repro lint [paths]`` — the repo's own static-analysis pass
   (featurization/determinism contracts; see ``docs/lint_rules.md``).
 
@@ -93,6 +96,34 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import run_featurize_bench, write_report
+
+    report = run_featurize_bench(rows=args.rows, queries=args.queries,
+                                 partitions=args.partitions, seed=args.seed,
+                                 smoke=args.smoke, repeats=args.repeats)
+    cfg = report["config"]
+    print(f"featurize bench: {cfg['queries']} queries over "
+          f"{cfg['rows']} rows ({cfg['partitions']} partitions, "
+          f"seed {cfg['seed']}{', smoke' if cfg['smoke'] else ''})")
+    for case in report["cases"]:
+        status = "ok" if case["identical"] else "MISMATCH"
+        print(f"  {case['featurizer']:>12} / {case['workload']:<12} "
+              f"scalar {case['scalar_seconds']:8.3f}s  "
+              f"batch {case['batch_seconds']:8.3f}s  "
+              f"speedup {case['speedup']:6.2f}x  [{status}]")
+    write_report(report, args.output)
+    print(f"wrote {args.output}")
+    if not report["all_identical"]:
+        print("FAIL: batch featurization diverges from scalar")
+        return 1
+    if report["min_speedup"] < args.min_speedup:
+        print(f"FAIL: min speedup {report['min_speedup']:.2f}x below "
+              f"required {args.min_speedup:.2f}x")
+        return 1
+    return 0
+
+
 def _cmd_lint(args) -> int:
     # Reassemble the flags for the lint front end so both entry points
     # (`repro lint` and `python -m repro.lint`) share one parser.
@@ -154,6 +185,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "experiments", help="run paper experiments (see runner --help)")
+
+    bench = sub.add_parser(
+        "bench", help="micro-benchmarks (scalar vs batch featurization)")
+    bench.add_argument("target", choices=["featurize"],
+                       help="benchmark to run")
+    bench.add_argument("--smoke", action="store_true",
+                       help="small CI-sized workload (caps rows/queries)")
+    bench.add_argument("--rows", type=int, default=10_000,
+                       help="synthetic table rows (default: 10000)")
+    bench.add_argument("--queries", type=int, default=10_000,
+                       help="queries per workload (default: 10000)")
+    bench.add_argument("--partitions", type=int,
+                       default=config.DEFAULT_PARTITIONS)
+    bench.add_argument("--seed", type=int, default=config.DEFAULT_SEED)
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed runs per case; the best is reported "
+                            "(default: 3, smoke forces 1)")
+    bench.add_argument("--output", type=Path,
+                       default=Path("BENCH_featurize.json"),
+                       help="JSON report path (default: BENCH_featurize.json)")
+    bench.add_argument("--min-speedup", type=float, default=1.0,
+                       help="fail if any case's speedup is below this "
+                            "(default: 1.0)")
+    bench.set_defaults(func=_cmd_bench)
 
     lint = sub.add_parser(
         "lint", help="run the repro static-analysis pass (RPR rules)")

@@ -64,7 +64,13 @@ class LearnedEstimator(CardinalityEstimator):
 
     def fit(self, queries: Sequence[Query], cardinalities: np.ndarray
             ) -> "LearnedEstimator":
-        """Train on queries with known true cardinalities."""
+        """Train on queries with known true cardinalities.
+
+        Feature matrices come from the featurizer's batch pipeline (one
+        compile pass plus a vectorized encode), so training-set
+        featurization cost no longer scales with per-query python
+        dispatch.
+        """
         features = self._featurizer.featurize_batch(queries)
         self._model.fit(features, np.asarray(cardinalities, dtype=np.float64))
         self._fitted = True
@@ -100,18 +106,26 @@ class MSCNEstimator(CardinalityEstimator):
 
     def __init__(self, model: MSCNModel, name: str = "mscn") -> None:
         self._model = model
+        # Adopt the state of a pre-trained model so reconstructed
+        # estimators stay usable without refitting.
+        self._fitted = bool(getattr(model, "_fitted", False))
         self.name = name
 
     def fit(self, queries: Sequence[Query], cardinalities: np.ndarray
             ) -> "MSCNEstimator":
         """Train the underlying MSCN."""
         self._model.fit(list(queries), np.asarray(cardinalities, dtype=np.float64))
+        self._fitted = True
         return self
 
     def estimate(self, query: Query) -> float:
+        if not self._fitted:
+            raise RuntimeError("estimator must be fitted before estimating")
         return float(self._model.predict([query])[0])
 
     def estimate_batch(self, queries) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("estimator must be fitted before estimating")
         return self._model.predict(list(queries))
 
     def memory_bytes(self) -> int:

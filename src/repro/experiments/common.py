@@ -58,6 +58,8 @@ class Scale:
     mscn_epochs: int
     #: Per-attribute partitions for conjunctive/complex encodings.
     partitions: int = 32
+    #: Queries per workload in the featurization throughput benchmark.
+    featurize_queries: int = 10_000
 
 
 #: Laptop-minutes configuration used by tests and default benchmarks.

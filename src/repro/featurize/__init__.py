@@ -18,22 +18,29 @@ and the join-query composition layer used by local and global models.
 """
 
 from repro.featurize.base import Featurizer, LosslessnessError
+from repro.featurize.batch import PredicateBatch
 from repro.featurize.conjunctive import ConjunctiveEncoding
 from repro.featurize.disjunction import DisjunctionEncoding
 from repro.featurize.equidepth import EquiDepthConjunctiveEncoding
-from repro.featurize.joins import JoinQueryFeaturizer, TableSetVector
+from repro.featurize.joins import (
+    GlobalJoinFeaturizer,
+    JoinQueryFeaturizer,
+    TableSetVector,
+)
 from repro.featurize.range_encoding import RangeEncoding
 from repro.featurize.singular import SingularEncoding
 
 __all__ = [
     "Featurizer",
     "LosslessnessError",
+    "PredicateBatch",
     "SingularEncoding",
     "RangeEncoding",
     "ConjunctiveEncoding",
     "DisjunctionEncoding",
     "EquiDepthConjunctiveEncoding",
     "JoinQueryFeaturizer",
+    "GlobalJoinFeaturizer",
     "TableSetVector",
     "BY_PAPER_LABEL",
 ]

@@ -9,6 +9,16 @@ of the paper's Equation 2.
 All featurizers accept either a single-table :class:`~repro.sql.ast.Query`
 or a bare boolean expression (a WHERE clause).  Attribute names may be
 qualified (``forest.A7``); the table prefix is stripped during resolution.
+
+Batch featurization is a two-stage **compile → encode** pipeline:
+:meth:`Featurizer.compile_batch` normalizes a query sequence into the
+columnar :class:`~repro.featurize.batch.PredicateBatch` IR, and
+``_featurize_compiled`` encodes the whole batch into an
+``(n, feature_length)`` matrix.  The built-in QFTs override
+``_featurize_compiled`` with vectorized numpy kernels; third-party
+subclasses inherit a fallback that encodes one compiled expression at a
+time through ``_featurize_expr``, so implementing the scalar surface
+alone keeps the batch API working.
 """
 
 from __future__ import annotations
@@ -20,7 +30,15 @@ import numpy as np
 
 from repro.data.stats import ColumnStats, TableStats
 from repro.data.table import Table
-from repro.sql.ast import BoolExpr, Query, SimplePredicate
+from repro.featurize.batch import OP_CODES, PredicateBatch
+from repro.featurize.selectivity import strict_step
+from repro.sql.ast import (
+    BoolExpr,
+    Query,
+    SimplePredicate,
+    is_conjunctive,
+    iter_simple_predicates,
+)
 
 __all__ = ["Featurizer", "LosslessnessError"]
 
@@ -62,6 +80,19 @@ class Featurizer(abc.ABC):
         self._stats: dict[str, ColumnStats] = {
             name: snapshot.column_stats(name) for name in names
         }
+        # Columnar statistics, aligned with the attribute order: the
+        # vectorized encode kernels index these by attribute id instead
+        # of doing per-predicate ColumnStats lookups.
+        stats_list = [self._stats[name] for name in self._attributes]
+        self._min_values = np.array([s.min_value for s in stats_list])
+        self._max_values = np.array([s.max_value for s in stats_list])
+        self._spans = self._max_values - self._min_values
+        self._domain_sizes = np.array([s.domain_size for s in stats_list])
+        self._integral = np.array([s.is_integral for s in stats_list],
+                                  dtype=bool)
+        self._distinct_counts = np.array(
+            [s.distinct_count for s in stats_list], dtype=np.float64)
+        self._steps = np.array([strict_step(s) for s in stats_list])
 
     @property
     def table_name(self) -> str:
@@ -116,11 +147,109 @@ class Featurizer(abc.ABC):
         return vector
 
     def featurize_batch(self, queries: Iterable[Query | BoolExpr | None]) -> np.ndarray:
-        """Encode many queries into a ``(n, feature_length)`` matrix."""
-        rows = [self.featurize(q) for q in queries]
-        if not rows:
+        """Encode many queries into a ``(n, feature_length)`` matrix.
+
+        This is the compile → encode pipeline: the queries are first
+        normalized into the columnar :class:`PredicateBatch` IR (one
+        pass over the ASTs, with all validation), then encoded in one
+        vectorized step.  Scalar :meth:`featurize` remains the ``n = 1``
+        special case with identical results and error contracts.
+        """
+        batch = self.compile_batch(queries)
+        matrix = self._featurize_compiled(batch)
+        expected = (batch.n_queries, self.feature_length)
+        if matrix.shape != expected or matrix.dtype != np.float64:
+            raise AssertionError(
+                f"{type(self).__name__} produced {matrix.dtype} matrix of "
+                f"shape {matrix.shape}, expected float64 {expected}"
+            )
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Compile stage
+    # ------------------------------------------------------------------
+
+    def compile_batch(self, queries: Iterable[Query | BoolExpr | None]
+                      ) -> PredicateBatch:
+        """Normalize queries into the columnar :class:`PredicateBatch` IR.
+
+        Performs the same per-query validation as :meth:`featurize`
+        (table checks, attribute resolution, this QFT's query-class
+        contract) and raises the same exception types, so batch callers
+        observe errors at the same offending query.
+        """
+        exprs = [self._extract_expr(q) for q in queries]
+        return self._compile_exprs(exprs)
+
+    def _compile_exprs(self, exprs: Sequence[BoolExpr | None]
+                       ) -> PredicateBatch:
+        """Flatten conjunctive WHERE expressions into predicate columns.
+
+        The default compile accepts the conjunctive query class shared
+        by Singular, Range, and Universal Conjunction Encoding; QFTs
+        with a wider class (Limited Disjunction Encoding) override this
+        to emit disjunction-branch ids.
+        """
+        attr_ids = {name: i for i, name in enumerate(self._attributes)}
+        query_index: list[int] = []
+        attr_index: list[int] = []
+        op_code: list[int] = []
+        value: list[float] = []
+        for qi, expr in enumerate(exprs):
+            if expr is None:
+                continue
+            if not is_conjunctive(expr):
+                raise self._disjunction_error(expr)
+            for predicate in iter_simple_predicates(expr):
+                attr_index.append(attr_ids[self._resolve(predicate)])
+                query_index.append(qi)
+                op_code.append(OP_CODES[predicate.op])
+                value.append(float(predicate.value))
+        return PredicateBatch.from_lists(
+            n_queries=len(exprs), attributes=self._attributes,
+            query_index=query_index, attr_index=attr_index,
+            branch_index=[0] * len(query_index), op_code=op_code,
+            value=value, exprs=exprs,
+        )
+
+    def _disjunction_error(self, expr: BoolExpr) -> "LosslessnessError":
+        """The error this QFT raises for disjunctive queries.
+
+        Scalar and compile paths share this hook so both raise
+        identical messages.
+        """
+        return LosslessnessError(
+            f"{type(self).__name__} cannot represent disjunctions; "
+            f"got: {expr.to_sql()}"
+        )
+
+    # ------------------------------------------------------------------
+    # Encode stage
+    # ------------------------------------------------------------------
+
+    def _featurize_compiled(self, batch: PredicateBatch) -> np.ndarray:
+        """Encode a compiled batch into an ``(n, feature_length)`` matrix.
+
+        Fallback for featurizers without a vectorized encode stage: one
+        ``_featurize_expr`` call per compiled expression.  The built-in
+        QFTs override this with columnar numpy kernels.
+        """
+        if batch.n_queries == 0:
             return np.empty((0, self.feature_length), dtype=np.float64)
-        return np.stack(rows)
+        return np.stack([self._featurize_expr(expr) for expr in batch.exprs])
+
+    def _normalize_values(self, attr_ids: np.ndarray,
+                          values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`~repro.data.stats.ColumnStats.normalize`.
+
+        Bitwise-identical to the scalar method: ``(v - min) / span``
+        clamped to ``[0, 1]``, and ``0.0`` on degenerate domains.
+        """
+        spans = self._spans[attr_ids]
+        safe = np.where(spans > 0.0, spans, 1.0)
+        scaled = (values - self._min_values[attr_ids]) / safe
+        clamped = np.minimum(np.maximum(scaled, 0.0), 1.0)
+        return np.where(spans > 0.0, clamped, 0.0)
 
     def _extract_expr(self, query: Query | BoolExpr | None) -> BoolExpr | None:
         if query is None:

@@ -1,0 +1,127 @@
+"""Columnar predicate-batch IR — the *compile* stage of featurization.
+
+Every QFT's batch path is an explicit two-stage pipeline:
+
+1. **compile** — normalize a sequence of queries into a
+   :class:`PredicateBatch`: flat, parallel numpy arrays holding one row
+   per simple predicate (owning query, attribute id, disjunction-branch
+   id, operator code, literal).  Compilation walks the
+   :mod:`repro.sql.ast` trees exactly once and performs all per-query
+   validation (conjunctive-only contracts, attribute resolution), so the
+   encode stage never touches python objects.
+2. **encode** — a per-QFT ``_featurize_compiled(batch)`` that turns the
+   columnar arrays into the full ``(n, feature_length)`` matrix with
+   vectorized numpy kernels (grouped reductions over the predicate rows
+   instead of per-query scalar math).
+
+The IR is deliberately tiny: it is the *common denominator* of the four
+paper QFTs.  Singular/Range ignore ``branch_index`` (their compile stage
+rejects disjunctions first), Universal Conjunction Encoding groups rows
+by ``(query_index, attr_index)``, and Limited Disjunction Encoding
+additionally splits groups by ``branch_index`` before max/sum-merging
+branch segments (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.sql.ast import BoolExpr, Op
+
+__all__ = [
+    "PredicateBatch",
+    "OP_CODES",
+    "OP_EQ",
+    "OP_NE",
+    "OP_LT",
+    "OP_LE",
+    "OP_GT",
+    "OP_GE",
+]
+
+#: Stable integer codes for the six simple-predicate operators.
+OP_EQ, OP_NE, OP_LT, OP_LE, OP_GT, OP_GE = range(6)
+
+#: :class:`~repro.sql.ast.Op` -> integer op code.
+OP_CODES = {
+    Op.EQ: OP_EQ,
+    Op.NE: OP_NE,
+    Op.LT: OP_LT,
+    Op.LE: OP_LE,
+    Op.GT: OP_GT,
+    Op.GE: OP_GE,
+}
+
+
+@dataclass(frozen=True)
+class PredicateBatch:
+    """Columnar normal form of a batch of queries' WHERE clauses.
+
+    All predicate arrays are parallel (one entry per simple predicate,
+    in compile order, i.e. query-major).  ``exprs`` retains the original
+    per-query expressions for featurizers without a vectorized encode
+    stage (the base-class fallback) and for error reporting.
+    """
+
+    #: Number of compiled queries (rows of the encoded matrix).
+    n_queries: int
+    #: Attribute order of the owning featurizer's feature space.
+    attributes: tuple[str, ...]
+    #: Owning query of each predicate, in ``range(n_queries)``.
+    query_index: np.ndarray
+    #: Attribute id of each predicate (position in :attr:`attributes`).
+    attr_index: np.ndarray
+    #: Disjunction-branch id within ``(query, attribute)``; all zero for
+    #: conjunctive compiles.
+    branch_index: np.ndarray
+    #: Operator code of each predicate (see :data:`OP_CODES`).
+    op_code: np.ndarray
+    #: Comparison literal of each predicate.
+    value: np.ndarray
+    #: Global compile-order position of each predicate.  Set-based
+    #: consumers (the MSCN input builder) use it to reproduce the
+    #: scalar path's per-query row order after grouped encoding.
+    position: np.ndarray
+    #: The per-query WHERE expressions the batch was compiled from.
+    exprs: tuple[BoolExpr | None, ...]
+
+    @classmethod
+    def from_lists(cls, n_queries: int, attributes: Sequence[str],
+                   query_index: Sequence[int], attr_index: Sequence[int],
+                   branch_index: Sequence[int], op_code: Sequence[int],
+                   value: Sequence[float],
+                   exprs: Sequence[BoolExpr | None]) -> "PredicateBatch":
+        """Build a batch from the parallel python lists a compile loop fills."""
+        return cls(
+            n_queries=n_queries,
+            attributes=tuple(attributes),
+            query_index=np.asarray(query_index, dtype=np.int64),
+            attr_index=np.asarray(attr_index, dtype=np.int64),
+            branch_index=np.asarray(branch_index, dtype=np.int64),
+            op_code=np.asarray(op_code, dtype=np.int64),
+            value=np.asarray(value, dtype=np.float64),
+            position=np.arange(len(query_index), dtype=np.int64),
+            exprs=tuple(exprs),
+        )
+
+    @property
+    def n_predicates(self) -> int:
+        """Total number of compiled simple predicates."""
+        return int(self.query_index.size)
+
+    def __post_init__(self) -> None:
+        sizes = {self.query_index.size, self.attr_index.size,
+                 self.branch_index.size, self.op_code.size,
+                 self.value.size, self.position.size}
+        if len(sizes) != 1:
+            raise ValueError(
+                f"predicate arrays must be parallel; got sizes {sorted(sizes)}"
+            )
+        if len(self.exprs) != self.n_queries:
+            raise ValueError(
+                f"exprs holds {len(self.exprs)} entries for "
+                f"{self.n_queries} queries"
+            )

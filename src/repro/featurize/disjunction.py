@@ -20,8 +20,11 @@ Encoding are equal" on JOB-light).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
+from repro.featurize.batch import OP_CODES, PredicateBatch
 from repro.featurize.conjunctive import ConjunctiveEncoding
 from repro.sql.ast import BoolExpr, to_compound_form
 
@@ -87,3 +90,56 @@ class DisjunctionEncoding(ConjunctiveEncoding):
                 self._merge_branches(merged, self.attribute_segment(attr, branch))
             segments.append(merged)
         return np.concatenate(segments)
+
+    def _compile_exprs(self, exprs: Sequence[BoolExpr | None]
+                       ) -> PredicateBatch:
+        """Compile mixed queries, tagging disjunction-branch ids.
+
+        Queries are normalised into Definition 3.3 form exactly like the
+        scalar path, including its key-matching behaviour: compound
+        predicates whose attribute is not verbatim in the feature space
+        (e.g. table-qualified names) are skipped.
+        """
+        attr_ids = {name: i for i, name in enumerate(self._attributes)}
+        query_index: list[int] = []
+        attr_index: list[int] = []
+        branch_index: list[int] = []
+        op_code: list[int] = []
+        value: list[float] = []
+        for qi, expr in enumerate(exprs):
+            if expr is None:
+                continue
+            compound = to_compound_form(expr)
+            for attr, attr_id in attr_ids.items():
+                branches = compound.get(attr)
+                if not branches:
+                    continue
+                for bi, branch in enumerate(branches):
+                    for predicate in branch:
+                        query_index.append(qi)
+                        attr_index.append(attr_id)
+                        branch_index.append(bi)
+                        op_code.append(OP_CODES[predicate.op])
+                        value.append(float(predicate.value))
+        return PredicateBatch.from_lists(
+            n_queries=len(exprs), attributes=self._attributes,
+            query_index=query_index, attr_index=attr_index,
+            branch_index=branch_index, op_code=op_code,
+            value=value, exprs=exprs,
+        )
+
+    def _merge_branch_rows(self, rows: np.ndarray,
+                           starts: np.ndarray) -> np.ndarray:
+        if self._merge == "max":
+            return super()._merge_branch_rows(rows, starts)
+        # Entry-wise sum clipped to 1.  Accumulated branch-by-branch (not
+        # reduceat, which does not fix the association order of float
+        # addition) so the result matches the scalar merge bitwise.
+        ends = np.append(starts[1:], rows.shape[0])
+        sizes = ends - starts
+        merged = rows[starts].copy()
+        for rank in range(1, int(sizes.max())):
+            has = np.flatnonzero(sizes > rank)
+            merged[has] += rows[starts[has] + rank]
+            np.minimum(merged, 1.0, out=merged)
+        return merged

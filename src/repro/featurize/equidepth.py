@@ -70,6 +70,9 @@ class EquiDepthConjunctiveEncoding(ConjunctiveEncoding):
                 edges = np.unique(edges)
                 self._boundaries[attr] = edges
                 self._partition_counts[attr] = edges.size + 1
+        # The loop above changes partition counts; rebuild the columnar
+        # geometry the batch encode kernel indexes.
+        self._refresh_partition_arrays()
 
     def partition_index(self, attribute: str, value: float) -> int:
         """Quantile-boundary partition index (replaces the linear formula).
@@ -88,6 +91,31 @@ class EquiDepthConjunctiveEncoding(ConjunctiveEncoding):
     def _partition_value(self, attribute: str, idx: int) -> float:
         """The distinct value an exact equi-depth partition covers."""
         return float(self._uniques[attribute][idx])
+
+    def _partition_indices(self, attr_ids: np.ndarray,
+                           values: np.ndarray) -> np.ndarray:
+        """Vectorized quantile-boundary partition lookup."""
+        idx = np.empty(values.size, dtype=np.int64)
+        for attr_id in np.unique(attr_ids):
+            selected = attr_ids == attr_id
+            boundaries = self._boundaries[self.attributes[attr_id]]
+            idx[selected] = np.searchsorted(
+                boundaries, values[selected], side="left")
+        mins = self._min_values[attr_ids]
+        idx[values < mins] = -1
+        above = values > self._max_values[attr_ids]
+        idx[above] = self._counts[attr_ids][above]
+        return idx
+
+    def _partition_values(self, attr_ids: np.ndarray,
+                          indices: np.ndarray) -> np.ndarray:
+        """Vectorized distinct-value lookup for exact partitions."""
+        out = np.empty(indices.size, dtype=np.float64)
+        for attr_id in np.unique(attr_ids):
+            selected = attr_ids == attr_id
+            uniques = self._uniques[self.attributes[attr_id]]
+            out[selected] = uniques[indices[selected]]
+        return out
 
     def get_config(self) -> dict:
         config_dict = super().get_config()

@@ -101,11 +101,28 @@ class JoinQueryFeaturizer:
         return np.concatenate(segments)
 
     def featurize_batch(self, queries: Iterable[Query]) -> np.ndarray:
-        """Encode many queries into a ``(n, feature_length)`` matrix."""
-        rows = [self.featurize(q) for q in queries]
-        if not rows:
+        """Encode many queries into a ``(n, feature_length)`` matrix.
+
+        Routes each table's selection column to that table's QFT batch
+        pipeline, so the per-table compile → encode kernels see the whole
+        batch at once; the segments are then stacked side by side.
+        """
+        queries = list(queries)
+        if not queries:
             return np.empty((0, self.feature_length), dtype=np.float64)
-        return np.stack(rows)
+        for query in queries:
+            if set(query.tables) != set(self._tables):
+                raise ValueError(
+                    f"query joins {query.tables} but this featurizer covers "
+                    f"{self._tables}"
+                )
+        selections = [per_table_selections(q, self._schema) for q in queries]
+        segments = [
+            self._featurizers[table].featurize_batch(
+                [selection[table] for selection in selections])
+            for table in self._tables
+        ]
+        return np.hstack(segments)
 
     def __repr__(self) -> str:
         return f"JoinQueryFeaturizer(tables={self._tables}, d={self.feature_length})"
@@ -133,6 +150,22 @@ class TableSetVector:
                     f"query table {table!r} not in schema tables {self._tables}"
                 ) from None
         return vector
+
+    def featurize_batch(self, queries: Iterable[Query]) -> np.ndarray:
+        """Encode many queries' table bitmaps as an ``(n, m)`` matrix."""
+        queries = list(queries)
+        matrix = np.zeros((len(queries), len(self._tables)),
+                          dtype=np.float64)
+        for row, query in enumerate(queries):
+            for table in query.tables:
+                try:
+                    matrix[row, self._tables.index(table)] = 1.0
+                except ValueError:
+                    raise KeyError(
+                        f"query table {table!r} not in schema tables "
+                        f"{self._tables}"
+                    ) from None
+        return matrix
 
 
 class GlobalJoinFeaturizer:
@@ -165,8 +198,18 @@ class GlobalJoinFeaturizer:
         return np.concatenate(segments)
 
     def featurize_batch(self, queries: Iterable[Query]) -> np.ndarray:
-        """Encode many queries into a ``(n, feature_length)`` matrix."""
-        rows = [self.featurize(q) for q in queries]
-        if not rows:
+        """Encode many queries into a ``(n, feature_length)`` matrix.
+
+        Every schema table's QFT encodes the whole batch in one compile →
+        encode pass (absent tables contribute their no-predicate column),
+        and the segments are stacked after the table bitmap.
+        """
+        queries = list(queries)
+        if not queries:
             return np.empty((0, self.feature_length), dtype=np.float64)
-        return np.stack(rows)
+        selections = [per_table_selections(q, self._schema) for q in queries]
+        segments = [self._table_vector.featurize_batch(queries)]
+        for table, featurizer in self._featurizers.items():
+            segments.append(featurizer.featurize_batch(
+                [selection.get(table) for selection in selections]))
+        return np.hstack(segments)

@@ -24,6 +24,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.featurize.base import Featurizer, LosslessnessError
+from repro.featurize.batch import (
+    OP_EQ,
+    OP_GE,
+    OP_GT,
+    OP_LE,
+    OP_LT,
+    OP_NE,
+    PredicateBatch,
+)
 from repro.featurize.selectivity import fold_conjunction
 from repro.sql.ast import BoolExpr, Op, is_conjunctive, iter_simple_predicates
 
@@ -43,6 +52,12 @@ class RangeEncoding(Featurizer):
         """Dimension of the produced feature vectors."""
         return _ENTRIES_PER_ATTRIBUTE * len(self.attributes)
 
+    def _disjunction_error(self, expr: BoolExpr) -> LosslessnessError:
+        return LosslessnessError(
+            "Range Predicate Encoding cannot represent disjunctions; "
+            f"got: {expr.to_sql()}"
+        )
+
     def _featurize_expr(self, expr: BoolExpr | None) -> np.ndarray:
         vector = np.empty(self.feature_length, dtype=np.float64)
         # Default: the full domain [0, 1] for every attribute.
@@ -51,10 +66,7 @@ class RangeEncoding(Featurizer):
         if expr is None:
             return vector
         if not is_conjunctive(expr):
-            raise LosslessnessError(
-                "Range Predicate Encoding cannot represent disjunctions; "
-                f"got: {expr.to_sql()}"
-            )
+            raise self._disjunction_error(expr)
         per_attribute: dict[str, list] = {}
         for predicate in iter_simple_predicates(expr):
             attr = self._resolve(predicate)
@@ -76,3 +88,59 @@ class RangeEncoding(Featurizer):
                 vector[base] = stats.normalize(interval.lo)
                 vector[base + 1] = stats.normalize(interval.hi)
         return vector
+
+    def _featurize_compiled(self, batch: PredicateBatch) -> np.ndarray:
+        matrix = np.empty((batch.n_queries, self.feature_length),
+                          dtype=np.float64)
+        matrix[:, 0::2] = 0.0
+        matrix[:, 1::2] = 1.0
+        # <> predicates are dropped before folding (this QFT's defining
+        # information loss); attributes constrained only by <> keep the
+        # full-domain default, exactly like the scalar path.
+        keep = batch.op_code != OP_NE
+        if not np.any(keep):
+            return matrix
+        queries = batch.query_index[keep]
+        attrs = batch.attr_index[keep]
+        ops = batch.op_code[keep]
+        values = batch.value[keep]
+
+        # Group predicates by (query, attribute) and fold each group's
+        # conjunction into one closed interval with grouped max/min.
+        key = queries * len(self.attributes) + attrs
+        order = np.argsort(key, kind="stable")
+        key, queries, attrs, ops, values = (
+            x[order] for x in (key, queries, attrs, ops, values))
+        starts = np.flatnonzero(
+            np.concatenate(([True], key[1:] != key[:-1])))
+
+        steps = self._steps[attrs]
+        lo_cand = np.full(values.shape, -np.inf)
+        hi_cand = np.full(values.shape, np.inf)
+        point = ops == OP_EQ
+        lo_cand[point] = values[point]
+        hi_cand[point] = values[point]
+        lower = ops == OP_GE
+        lo_cand[lower] = values[lower]
+        lower = ops == OP_GT
+        lo_cand[lower] = values[lower] + steps[lower]
+        upper = ops == OP_LE
+        hi_cand[upper] = values[upper]
+        upper = ops == OP_LT
+        hi_cand[upper] = values[upper] - steps[upper]
+
+        group_attrs = attrs[starts]
+        group_queries = queries[starts]
+        lo = np.maximum(np.maximum.reduceat(lo_cand, starts),
+                        self._min_values[group_attrs])
+        hi = np.minimum(np.minimum.reduceat(hi_cand, starts),
+                        self._max_values[group_attrs])
+        empty = lo > hi
+        lo_norm = self._normalize_values(group_attrs, lo)
+        hi_norm = self._normalize_values(group_attrs, hi)
+        lo_norm[empty] = 1.0
+        hi_norm[empty] = 0.0
+        base = group_attrs * _ENTRIES_PER_ATTRIBUTE
+        matrix[group_queries, base] = lo_norm
+        matrix[group_queries, base + 1] = hi_norm
+        return matrix

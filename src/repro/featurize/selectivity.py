@@ -21,10 +21,23 @@ from typing import Iterable
 from repro.data.stats import ColumnStats
 from repro.sql.ast import Op, SimplePredicate
 
-__all__ = ["Interval", "fold_conjunction", "uniform_selectivity"]
+__all__ = ["Interval", "fold_conjunction", "strict_step",
+           "uniform_selectivity"]
 
 #: Relative step used to close strict bounds on continuous domains.
 _CONTINUOUS_STEP = 1e-9
+
+
+def strict_step(stats: ColumnStats) -> float:
+    """Step by which a strict bound tightens when folded closed.
+
+    Integer domains step by one value; continuous domains by a span-
+    relative epsilon.  Shared by the scalar fold below and the
+    vectorized batch-encode kernels, so both paths tighten identically.
+    """
+    if stats.is_integral:
+        return 1.0
+    return max(abs(stats.max_value - stats.min_value), 1.0) * _CONTINUOUS_STEP
 
 
 @dataclass
@@ -51,8 +64,7 @@ def fold_conjunction(predicates: Iterable[SimplePredicate],
     The caller guarantees all predicates reference the same attribute,
     whose statistics are ``stats``.
     """
-    step = 1.0 if stats.is_integral else max(
-        abs(stats.max_value - stats.min_value), 1.0) * _CONTINUOUS_STEP
+    step = strict_step(stats)
     interval = Interval(lo=stats.min_value, hi=stats.max_value)
     for predicate in predicates:
         value = float(predicate.value)

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.featurize.base import Featurizer, LosslessnessError
+from repro.featurize.batch import OP_CODES, PredicateBatch
 from repro.sql.ast import BoolExpr, Op, is_conjunctive, iter_simple_predicates
 
 __all__ = ["SingularEncoding"]
@@ -43,6 +44,11 @@ _OP_BITS = {
     Op.NE: (0.0, 1.0, 1.0),
 }
 
+#: Op-code-indexed view of :data:`_OP_BITS` for the batch encode kernel.
+_OP_BIT_TABLE = np.zeros((len(OP_CODES), 3), dtype=np.float64)
+for _op, _code in OP_CODES.items():
+    _OP_BIT_TABLE[_code] = _OP_BITS[_op]
+
 
 class SingularEncoding(Featurizer):
     """Singular Predicate Encoding: 4 entries per attribute, 1 predicate each."""
@@ -54,15 +60,18 @@ class SingularEncoding(Featurizer):
         """Dimension of the produced feature vectors."""
         return _ENTRIES_PER_ATTRIBUTE * len(self.attributes)
 
+    def _disjunction_error(self, expr: BoolExpr) -> LosslessnessError:
+        return LosslessnessError(
+            "Singular Predicate Encoding cannot represent disjunctions; "
+            f"got: {expr.to_sql()}"
+        )
+
     def _featurize_expr(self, expr: BoolExpr | None) -> np.ndarray:
         vector = np.zeros(self.feature_length, dtype=np.float64)
         if expr is None:
             return vector
         if not is_conjunctive(expr):
-            raise LosslessnessError(
-                "Singular Predicate Encoding cannot represent disjunctions; "
-                f"got: {expr.to_sql()}"
-            )
+            raise self._disjunction_error(expr)
         offsets = {attr: i * _ENTRIES_PER_ATTRIBUTE
                    for i, attr in enumerate(self.attributes)}
         encoded: set[str] = set()
@@ -77,3 +86,25 @@ class SingularEncoding(Featurizer):
             vector[base:base + 3] = _OP_BITS[predicate.op]
             vector[base + 3] = self.stats(attr).normalize(predicate.value)
         return vector
+
+    def _featurize_compiled(self, batch: PredicateBatch) -> np.ndarray:
+        matrix = np.zeros((batch.n_queries, self.feature_length),
+                          dtype=np.float64)
+        if batch.n_predicates == 0:
+            return matrix
+        # The first predicate per (query, attribute) wins — the same
+        # drop rule as the scalar path.  Compile order is query-major
+        # and preserves predicate order, so np.unique's first-occurrence
+        # indices select exactly the scalar path's survivors.
+        m = len(self.attributes)
+        key = batch.query_index * m + batch.attr_index
+        _, first = np.unique(key, return_index=True)
+        queries = batch.query_index[first]
+        attrs = batch.attr_index[first]
+        base = attrs * _ENTRIES_PER_ATTRIBUTE
+        bits = _OP_BIT_TABLE[batch.op_code[first]]
+        for offset in range(3):
+            matrix[queries, base + offset] = bits[:, offset]
+        matrix[queries, base + 3] = self._normalize_values(
+            attrs, batch.value[first])
+        return matrix

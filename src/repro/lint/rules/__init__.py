@@ -9,6 +9,7 @@ from repro.lint.rules.correctness import (
     FeaturizerSurfaceRule,
     FloatEqualityRule,
     MutableDefaultRule,
+    ScalarFeaturizeLoopRule,
 )
 from repro.lint.rules.determinism import (
     GlobalNumpyRandomRule,
@@ -25,6 +26,7 @@ __all__ = [
     "FloatEqualityRule",
     "BroadExceptRule",
     "FeaturizerSurfaceRule",
+    "ScalarFeaturizeLoopRule",
     "GlobalNumpyRandomRule",
     "UnseededGeneratorRule",
     "ImportLayeringRule",

@@ -15,7 +15,7 @@ from repro.lint.engine import ModuleContext, ProjectContext
 from repro.lint.registry import Rule, register
 
 __all__ = ["MutableDefaultRule", "FloatEqualityRule", "BroadExceptRule",
-           "FeaturizerSurfaceRule"]
+           "FeaturizerSurfaceRule", "ScalarFeaturizeLoopRule"]
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
                      ast.DictComp, ast.SetComp)
@@ -249,3 +249,56 @@ class FeaturizerSurfaceRule(Rule):
                     provided.add(stmt.target.id)
             queue.extend(cls._base_names(node))
         return provided
+
+
+@register
+class ScalarFeaturizeLoopRule(Rule):
+    """Batch featurization entry points must stay on the columnar
+    compile → encode pipeline.  A per-query ``.featurize(...)`` loop
+    inside a ``*batch*`` method silently reverts the whole pipeline to
+    scalar cost — correct output, an order of magnitude slower, and no
+    test notices.
+    """
+
+    code = "RPR105"
+    name = "scalar-featurize-loop"
+    summary = "No per-query featurize() loops inside batch methods"
+
+    #: Module prefix the rule applies to (the featurization package).
+    module_prefix = "repro.featurize"
+
+    _LOOPS = (ast.For, ast.AsyncFor, ast.While, ast.ListComp, ast.SetComp,
+              ast.DictComp, ast.GeneratorExp)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef,
+                          module: ModuleContext) -> None:
+        """Check a batch-pipeline method for scalar featurize loops."""
+        self._check(node, module)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
+                               module: ModuleContext) -> None:
+        """Check an async batch-pipeline method likewise."""
+        self._check(node, module)
+
+    def _check(self, node, module: ModuleContext) -> None:
+        if not (module.module_name == self.module_prefix
+                or module.module_name.startswith(self.module_prefix + ".")):
+            return
+        if "batch" not in node.name:
+            return
+        for child in ast.walk(node):
+            if not isinstance(child, self._LOOPS):
+                continue
+            for call in ast.walk(child):
+                if self._is_scalar_featurize(call):
+                    self.report(
+                        module, call,
+                        f"per-query featurize() loop inside batch method "
+                        f"{node.name}(); use the compiled batch pipeline "
+                        "(compile_batch/_featurize_compiled) instead")
+
+    @staticmethod
+    def _is_scalar_featurize(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "featurize")

@@ -27,6 +27,7 @@ import numpy as np
 from repro import config
 from repro.data.schema import Schema
 from repro.data.table import Table
+from repro.featurize.batch import OP_CODES, PredicateBatch
 from repro.featurize.disjunction import DisjunctionEncoding
 from repro.featurize.joins import predicate_columns
 from repro.sql.ast import Op, Query, to_compound_form
@@ -213,11 +214,102 @@ class MSCNInputBuilder:
                     rows.append(vector)
         return rows
 
+    def _predicate_rows_batch(self, queries: list[Query]
+                              ) -> list[list[np.ndarray]]:
+        """Batched qft-mode predicate rows via the compile → encode kernel.
+
+        Compiles every query's per-table compound predicates into one
+        :class:`PredicateBatch` per table and encodes all attribute
+        segments with the vectorized Algorithm 1/2 kernel.  Rows are
+        re-sorted by (table rank in the query, compile position) so each
+        query's set elements appear in exactly the scalar order — the
+        masked average pool sums floats in element order, so row order
+        is part of the bitwise contract.
+        """
+        selections = [per_table_selections(q, self._schema) for q in queries]
+        n_attrs = len(self._attributes)
+        # Per query: (table_rank, compile_position, row) sort keys.
+        collected: list[list[tuple[int, int, np.ndarray]]] = [
+            [] for _ in queries
+        ]
+        for table_name in self._tables:
+            featurizer = self._featurizers[table_name]
+            query_ids = [i for i, selection in enumerate(selections)
+                         if table_name in queries[i].tables
+                         and selection.get(table_name) is not None]
+            if not query_ids:
+                continue
+            batch = self._compile_table(
+                featurizer, [selections[i][table_name] for i in query_ids])
+            segments, group_queries, group_attrs, group_positions = (
+                featurizer._compiled_attribute_segments(batch))
+            counts = np.asarray(
+                [featurizer.partitions(a) for a in featurizer.attributes],
+                dtype=np.int64)[group_attrs]
+            onehot_ids = np.asarray(
+                [self._attr_index[(table_name, a)]
+                 for a in featurizer.attributes],
+                dtype=np.int64)[group_attrs]
+            max_n = segments.shape[1] - (1 if featurizer.attr_selectivity
+                                         else 0)
+            n_groups = segments.shape[0]
+            rows = np.zeros((n_groups, self.predicate_dim), dtype=np.float64)
+            rows[np.arange(n_groups), onehot_ids] = 1.0
+            # Padded segment columns beyond a group's n_A are all zero,
+            # so the block copy leaves the scalar path's zero padding.
+            rows[:, n_attrs:n_attrs + max_n] = segments[:, :max_n]
+            if featurizer.attr_selectivity:
+                rows[np.arange(n_groups), n_attrs + counts] = segments[:, -1]
+            for g in range(n_groups):
+                query_id = query_ids[group_queries[g]]
+                rank = queries[query_id].tables.index(table_name)
+                collected[query_id].append(
+                    (rank, int(group_positions[g]), rows[g]))
+        return [
+            [row for _, _, row in sorted(per_query, key=lambda t: t[:2])]
+            for per_query in collected
+        ]
+
+    @staticmethod
+    def _compile_table(featurizer: DisjunctionEncoding,
+                       exprs: list) -> PredicateBatch:
+        """Compile WHERE expressions in ``compound.items()`` order.
+
+        Unlike the featurizer's own compile (feature-space attribute
+        order), set rows follow the scalar builder's iteration order over
+        ``to_compound_form``, so positions must be assigned in that
+        order for the re-sort above to reproduce it.
+        """
+        attr_ids = {name: i for i, name in
+                    enumerate(featurizer.attributes)}
+        query_index: list[int] = []
+        attr_index: list[int] = []
+        branch_index: list[int] = []
+        op_code: list[int] = []
+        value: list[float] = []
+        for qi, expr in enumerate(exprs):
+            compound = to_compound_form(expr)
+            for attr, branches in compound.items():
+                name = attr.partition(".")[2] if "." in attr else attr
+                attr_id = attr_ids[name]
+                for bi, branch in enumerate(branches):
+                    for predicate in branch:
+                        query_index.append(qi)
+                        attr_index.append(attr_id)
+                        branch_index.append(bi)
+                        op_code.append(OP_CODES[predicate.op])
+                        value.append(float(predicate.value))
+        return PredicateBatch.from_lists(
+            n_queries=len(exprs), attributes=featurizer.attributes,
+            query_index=query_index, attr_index=attr_index,
+            branch_index=branch_index, op_code=op_code,
+            value=value, exprs=exprs,
+        )
+
     def build(self, queries: list[Query]) -> tuple[SetBatch, SetBatch, SetBatch]:
         """Build the (tables, joins, predicates) set batches for ``queries``."""
         table_rows = []
         join_rows = []
-        pred_rows = []
         for query in queries:
             onehots = []
             for table in query.tables:
@@ -226,7 +318,10 @@ class MSCNInputBuilder:
                 onehots.append(vector)
             table_rows.append(onehots)
             join_rows.append(self._join_onehot(query))
-            pred_rows.append(self._predicate_rows(query))
+        if self._mode == "qft":
+            pred_rows = self._predicate_rows_batch(queries)
+        else:
+            pred_rows = [self._predicate_rows(q) for q in queries]
         return (
             SetBatch(table_rows, self.table_dim),
             SetBatch(join_rows, self.join_dim),

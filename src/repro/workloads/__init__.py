@@ -16,20 +16,25 @@ All generators label queries with true cardinalities via the executor
 and only emit queries with non-empty results (the paper's protocol).
 """
 
-from repro.workloads.conjunctive import generate_conjunctive_workload
+from repro.workloads.conjunctive import (
+    generate_conjunctive_queries,
+    generate_conjunctive_workload,
+)
 from repro.workloads.drift import drift_split
 from repro.workloads.joblight import (
     generate_joblight_benchmark,
     generate_joblight_training,
 )
-from repro.workloads.mixed import generate_mixed_workload
+from repro.workloads.mixed import generate_mixed_queries, generate_mixed_workload
 from repro.workloads.spec import LabeledQuery, Workload
 
 __all__ = [
     "LabeledQuery",
     "Workload",
     "generate_conjunctive_workload",
+    "generate_conjunctive_queries",
     "generate_mixed_workload",
+    "generate_mixed_queries",
     "generate_joblight_benchmark",
     "generate_joblight_training",
     "drift_split",

@@ -27,7 +27,8 @@ from repro.sql.ast import And, Op, Query, SimplePredicate
 from repro.sql.executor import selection_mask
 from repro.workloads.spec import LabeledQuery, Workload
 
-__all__ = ["generate_conjunctive_workload", "attribute_predicates"]
+__all__ = ["generate_conjunctive_workload", "generate_conjunctive_queries",
+           "attribute_predicates"]
 
 
 def attribute_predicates(table: Table, attribute: str, pivot_value: float,
@@ -127,3 +128,44 @@ def generate_conjunctive_workload(table: Table, num_queries: int,
             num_predicates=len(predicates),
         ))
     return Workload(items, name)
+
+
+def generate_conjunctive_queries(table: Table, num_queries: int,
+                                 min_attributes: int = 1,
+                                 max_attributes: int = 8,
+                                 max_not_equals: int = 5,
+                                 attributes=None,
+                                 seed: int = config.DEFAULT_SEED
+                                 ) -> list[Query]:
+    """Generate *unlabeled* conjunctive queries (no execution, no filter).
+
+    Same per-query drawing as :func:`generate_conjunctive_workload`, but
+    queries are not executed against the table and empty-result queries
+    are kept — suitable for featurization-throughput benchmarks where
+    executing tens of thousands of queries would dominate the runtime.
+    """
+    if num_queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {num_queries}")
+    candidates = (list(attributes) if attributes is not None
+                  else table.column_names)
+    if not 1 <= min_attributes <= max_attributes <= len(candidates):
+        raise ValueError(
+            f"invalid attribute bounds [{min_attributes}, {max_attributes}] "
+            f"for {len(candidates)} candidate columns"
+        )
+    rng = np.random.default_rng(seed)
+    pool = np.asarray(candidates)
+    queries: list[Query] = []
+    for _ in range(num_queries):
+        k = int(rng.integers(min_attributes, max_attributes + 1))
+        chosen = rng.choice(pool, size=k, replace=False)
+        pivot_row = int(rng.integers(table.row_count))
+        predicates: list[SimplePredicate] = []
+        for attribute in chosen:
+            pivot_value = float(table.column(attribute).values[pivot_row])
+            predicates.extend(attribute_predicates(
+                table, attribute, pivot_value, rng, max_not_equals
+            ))
+        where = And(predicates) if len(predicates) > 1 else predicates[0]
+        queries.append(Query.single_table(table.name, where))
+    return queries

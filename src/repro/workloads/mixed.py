@@ -18,7 +18,7 @@ from repro.sql.executor import selection_mask
 from repro.workloads.conjunctive import attribute_predicates
 from repro.workloads.spec import LabeledQuery, Workload
 
-__all__ = ["generate_mixed_workload"]
+__all__ = ["generate_mixed_workload", "generate_mixed_queries"]
 
 
 def _compound_predicate(table: Table, attribute: str, pivot_row: int,
@@ -90,3 +90,35 @@ def generate_mixed_workload(table: Table, num_queries: int,
             num_predicates=total_predicates,
         ))
     return Workload(items, name)
+
+
+def generate_mixed_queries(table: Table, num_queries: int,
+                           min_attributes: int = 1, max_attributes: int = 8,
+                           max_branches: int = 3, max_not_equals: int = 5,
+                           seed: int = config.DEFAULT_SEED) -> list[Query]:
+    """Generate *unlabeled* mixed queries (no execution, no filter).
+
+    Same drawing as :func:`generate_mixed_workload` without the
+    cardinality labeling pass — for featurization benchmarks.
+    """
+    if num_queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {num_queries}")
+    if max_branches < 1:
+        raise ValueError(f"max_branches must be >= 1, got {max_branches}")
+    rng = np.random.default_rng(seed)
+    attributes = np.asarray(table.column_names)
+    queries: list[Query] = []
+    for _ in range(num_queries):
+        k = int(rng.integers(min_attributes, max_attributes + 1))
+        chosen = rng.choice(attributes, size=k, replace=False)
+        pivot_row = int(rng.integers(table.row_count))
+        compounds: list[BoolExpr] = []
+        for attribute in chosen:
+            expr, _ = _compound_predicate(
+                table, attribute, pivot_row, rng, max_branches, max_not_equals
+            )
+            compounds.append(expr)
+        where: BoolExpr = (And(compounds) if len(compounds) > 1
+                           else compounds[0])
+        queries.append(Query.single_table(table.name, where))
+    return queries

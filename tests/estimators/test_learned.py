@@ -91,3 +91,13 @@ class TestMSCNEstimatorAdapter:
             joblight_bench.queries, joblight_bench.cardinalities)
         assert estimator.estimate(joblight_bench.queries[0]) >= 1.0
         assert estimator.memory_bytes() > 0
+
+    def test_estimate_before_fit_rejected(self, imdb_schema, joblight_bench):
+        model = MSCNModel(MSCNInputBuilder(imdb_schema, mode="basic"),
+                          hidden=8, epochs=2)
+        estimator = MSCNEstimator(model)
+        message = "estimator must be fitted before estimating"
+        with pytest.raises(RuntimeError, match=message):
+            estimator.estimate(joblight_bench.queries[0])
+        with pytest.raises(RuntimeError, match=message):
+            estimator.estimate_batch(joblight_bench.queries)

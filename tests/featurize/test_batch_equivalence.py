@@ -1,0 +1,134 @@
+"""Batch featurization must be bitwise-identical to the scalar path.
+
+The compile → encode pipeline (``compile_batch`` +
+``_featurize_compiled``) re-implements every QFT's scalar ``featurize``
+with columnar numpy kernels.  Its contract is exact equality — not
+approximate: ``featurize_batch(queries)`` row ``i`` equals
+``featurize(queries[i])`` to the last bit, for every QFT, on
+conjunctive, mixed, and predicate-free queries alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.featurize import (
+    ConjunctiveEncoding,
+    DisjunctionEncoding,
+    EquiDepthConjunctiveEncoding,
+    GlobalJoinFeaturizer,
+    LosslessnessError,
+    RangeEncoding,
+    SingularEncoding,
+)
+from repro.sql.ast import Query
+
+
+def scalar_matrix(featurizer, queries):
+    return np.stack([featurizer.featurize(q) for q in queries])
+
+
+def featurizer_cases(table):
+    """(label, featurizer) pairs covering every QFT and merge variant."""
+    return [
+        ("simple", SingularEncoding(table)),
+        ("range", RangeEncoding(table)),
+        ("conjunctive", ConjunctiveEncoding(table, max_partitions=16)),
+        ("conjunctive-no-sel",
+         ConjunctiveEncoding(table, max_partitions=16,
+                             attr_selectivity=False)),
+        ("equidepth",
+         EquiDepthConjunctiveEncoding(table, max_partitions=16)),
+        ("complex-max",
+         DisjunctionEncoding(table, max_partitions=16, merge="max")),
+        ("complex-sum",
+         DisjunctionEncoding(table, max_partitions=16, merge="sum")),
+    ]
+
+
+class TestConjunctiveWorkloadEquivalence:
+    def test_every_qft_matches_scalar(self, small_forest,
+                                      conjunctive_workload):
+        queries = conjunctive_workload.queries
+        for label, featurizer in featurizer_cases(small_forest):
+            batch = featurizer.featurize_batch(queries)
+            expected = scalar_matrix(featurizer, queries)
+            assert np.array_equal(batch, expected), (
+                f"{label}: batch diverges from scalar on conjunctive queries"
+            )
+
+    def test_batch_shape_and_dtype(self, small_forest, conjunctive_workload):
+        queries = conjunctive_workload.queries
+        featurizer = ConjunctiveEncoding(small_forest, max_partitions=16)
+        batch = featurizer.featurize_batch(queries)
+        assert batch.shape == (len(queries), featurizer.feature_length)
+        assert batch.dtype == np.float64
+
+
+class TestMixedWorkloadEquivalence:
+    @pytest.mark.parametrize("merge", ["max", "sum"])
+    def test_disjunction_encoding_matches_scalar(self, small_forest,
+                                                 mixed_workload, merge):
+        queries = mixed_workload.queries
+        featurizer = DisjunctionEncoding(small_forest, max_partitions=16,
+                                         merge=merge)
+        batch = featurizer.featurize_batch(queries)
+        assert np.array_equal(batch, scalar_matrix(featurizer, queries))
+
+
+class TestEdgeCases:
+    def test_predicate_free_queries(self, small_forest):
+        queries = [Query.single_table(small_forest.name)] * 3
+        for label, featurizer in featurizer_cases(small_forest):
+            batch = featurizer.featurize_batch(queries)
+            expected = scalar_matrix(featurizer, queries)
+            assert np.array_equal(batch, expected), (
+                f"{label}: batch diverges from scalar on empty WHERE"
+            )
+
+    def test_empty_batch_contract(self, small_forest):
+        for label, featurizer in featurizer_cases(small_forest):
+            batch = featurizer.featurize_batch([])
+            assert batch.shape == (0, featurizer.feature_length), label
+            assert batch.dtype == np.float64, label
+
+    def test_single_query_batch_equals_featurize(self, small_forest,
+                                                 conjunctive_workload):
+        query = conjunctive_workload.queries[0]
+        for label, featurizer in featurizer_cases(small_forest):
+            batch = featurizer.featurize_batch([query])
+            assert np.array_equal(batch[0], featurizer.featurize(query)), label
+
+
+class TestLosslessnessParity:
+    """featurize_batch rejects out-of-scope queries with the scalar
+    path's exact error message."""
+
+    @pytest.mark.parametrize("build", [
+        SingularEncoding,
+        lambda table: ConjunctiveEncoding(table, max_partitions=16),
+    ])
+    def test_disjunction_rejected_with_scalar_message(self, small_forest,
+                                                      mixed_workload, build):
+        featurizer = build(small_forest)
+        disjunctive = next(
+            q for q in mixed_workload.queries if not q.is_conjunctive()
+        )
+        with pytest.raises(LosslessnessError) as scalar_error:
+            featurizer.featurize(disjunctive)
+        with pytest.raises(LosslessnessError) as batch_error:
+            featurizer.featurize_batch([disjunctive])
+        assert str(batch_error.value) == str(scalar_error.value)
+
+
+class TestGlobalJoinEquivalence:
+    def test_global_featurizer_matches_scalar(self, imdb_schema,
+                                              joblight_bench):
+        def factory(table, attributes):
+            return ConjunctiveEncoding(table, attributes, max_partitions=8)
+
+        featurizer = GlobalJoinFeaturizer(imdb_schema, factory)
+        queries = joblight_bench.queries
+        batch = featurizer.featurize_batch(queries)
+        assert np.array_equal(batch, scalar_matrix(featurizer, queries))

@@ -128,6 +128,61 @@ class TestFeaturizerSurfaceRPR104:
         assert codes(source) == []
 
 
+class TestScalarFeaturizeLoopRPR105:
+    def test_flags_featurize_loop_in_batch_method(self):
+        source = """
+    class Encoding:
+        def featurize_batch(self, queries):
+            return [self.featurize(q) for q in queries]
+    """
+        assert "RPR105" in codes(source,
+                                 module_name="repro.featurize.custom")
+
+    def test_flags_for_loop_variant(self):
+        source = """
+    class Encoding:
+        def featurize_batch(self, queries):
+            out = []
+            for q in queries:
+                out.append(self.featurize(q))
+            return out
+    """
+        assert "RPR105" in codes(source,
+                                 module_name="repro.featurize.custom")
+
+    def test_accepts_compiled_pipeline_and_featurize_batch_calls(self):
+        source = """
+    class Encoding:
+        def featurize_batch(self, queries):
+            batch = self.compile_batch(queries)
+            return self._featurize_compiled(batch)
+
+    class Composite:
+        def featurize_batch(self, queries):
+            return [f.featurize_batch(queries) for f in self._parts]
+    """
+        assert codes(source, module_name="repro.featurize.custom") == []
+
+    def test_only_applies_inside_featurize_package(self):
+        source = """
+    class Runner:
+        def run_batch(self, queries):
+            return [self.featurize(q) for q in queries]
+    """
+        assert codes(source, module_name="repro.experiments.helper") == []
+
+    def test_scalar_featurize_outside_batch_method_is_fine(self):
+        source = """
+    class Encoding:
+        def featurize(self, query):
+            return self._encode(query)
+
+        def describe(self, queries):
+            return [self.featurize(q) for q in queries]
+    """
+        assert codes(source, module_name="repro.featurize.custom") == []
+
+
 class TestGlobalNumpyRandomRPR201:
     def test_flags_np_random_seed(self):
         assert "RPR201" in codes(

@@ -82,6 +82,16 @@ class TestInputBuilder:
         np.testing.assert_array_equal(preds.data[0, 0],
                                       np.zeros(builder.predicate_dim))
 
+    def test_qft_batch_rows_match_scalar(self, imdb_schema, joblight_bench):
+        builder = MSCNInputBuilder(imdb_schema, mode="qft", max_partitions=8)
+        queries = joblight_bench.queries
+        batched = builder._predicate_rows_batch(queries)
+        for query, rows in zip(queries, batched):
+            expected = builder._predicate_rows(query)
+            assert len(rows) == len(expected)
+            for got, want in zip(rows, expected):
+                np.testing.assert_array_equal(got, want)
+
 
 class TestMSCNModel:
     def _train(self, schema, workload, mode="basic", epochs=6):
