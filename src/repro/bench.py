@@ -1,4 +1,4 @@
-"""Featurization micro-benchmarks: scalar vs batch compile → encode.
+"""Micro-benchmarks: featurization throughput and lint cache warm-up.
 
 The batch refactor's contract is twofold — bitwise-identical feature
 matrices and a real throughput win.  :func:`run_featurize_bench` checks
@@ -6,14 +6,21 @@ both: every case times the per-query scalar loop against the columnar
 ``featurize_batch`` pipeline on the same workload and verifies the two
 matrices are identical before reporting a speedup.
 
+:func:`run_lint_bench` measures the linter's incremental cache the same
+way: a cold full-repo analysis against a warm re-run over an unchanged
+tree, verifying the warm run re-analyses nothing and reporting the
+speedup (committed as ``BENCH_lint.json``).
+
 This module computes and returns results only; printing and process exit
-codes live in :mod:`repro.cli` (``repro bench featurize``), and the
-pytest-driven benchmark lives in ``benchmarks/test_featurize_throughput.py``.
+codes live in :mod:`repro.cli` (``repro bench featurize`` / ``repro
+bench lint``), and the pytest-driven benchmark lives in
+``benchmarks/test_featurize_throughput.py``.
 """
 
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -33,7 +40,8 @@ from repro.featurize import (
 from repro.sql.ast import Query
 from repro.workloads import generate_conjunctive_queries, generate_mixed_queries
 
-__all__ = ["BenchCase", "run_featurize_bench", "write_report"]
+__all__ = ["BenchCase", "run_featurize_bench", "run_lint_bench",
+           "write_report"]
 
 #: (featurizer label, workload label) cases the benchmark measures.
 _CASES = (
@@ -164,6 +172,69 @@ def run_featurize_bench(rows: int = 10_000, queries: int = 10_000,
         "cases": [case.row() for case in cases],
         "all_identical": all(case.identical for case in cases),
         "min_speedup": min(case.speedup for case in cases),
+    }
+
+
+def run_lint_bench(paths: Sequence[str] = ("src",), repeats: int = 3,
+                   jobs: int = 1) -> dict:
+    """Benchmark cold vs warm incremental lint runs; return the report.
+
+    Uses a throwaway cache file: every cold run starts from a deleted
+    cache, every warm run reuses the cache the preceding full analysis
+    wrote over an unchanged tree.  The best of ``repeats`` runs is
+    reported for each, along with how many files each re-analysed (warm
+    must be zero — asserted here so a silently broken cache can never
+    report a fake speedup).
+    """
+    from repro.lint import load_config
+    from repro.lint.engine import run as lint_run
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    target_paths = [Path(p) for p in paths]
+    lint_config = load_config(target_paths[0])
+    with tempfile.TemporaryDirectory(prefix="repro-lint-bench-") as tmp:
+        cache_path = Path(tmp) / "lint-cache.json"
+
+        cold_seconds = float("inf")
+        for _ in range(repeats):
+            cache_path.unlink(missing_ok=True)
+            start = time.perf_counter()
+            cold = lint_run(target_paths, lint_config, jobs=jobs,
+                            cache_path=cache_path)
+            cold_seconds = min(cold_seconds, time.perf_counter() - start)
+
+        warm_seconds = float("inf")
+        warm = cold
+        for _ in range(repeats):
+            start = time.perf_counter()
+            warm = lint_run(target_paths, lint_config, jobs=jobs,
+                            cache_path=cache_path)
+            warm_seconds = min(warm_seconds, time.perf_counter() - start)
+
+    if warm.files_reanalyzed:
+        raise RuntimeError(
+            "warm lint run re-analysed "
+            f"{len(warm.files_reanalyzed)} file(s) over an unchanged "
+            "tree; the incremental cache is broken")
+    if warm.findings != cold.findings:
+        raise RuntimeError("warm lint findings diverge from cold run")
+    speedup = (cold_seconds / warm_seconds if warm_seconds > 0.0
+               else float("inf"))
+    return {
+        "benchmark": "lint",
+        "config": {
+            "paths": [str(p) for p in target_paths],
+            "repeats": repeats,
+            "jobs": jobs,
+        },
+        "files_scanned": cold.files_scanned,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_files_reanalyzed": len(cold.files_reanalyzed),
+        "warm_files_reanalyzed": len(warm.files_reanalyzed),
+        "findings": len(cold.findings),
+        "min_speedup": speedup,
     }
 
 

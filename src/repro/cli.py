@@ -15,6 +15,8 @@ downstream user needs, plus dataset generation:
 * ``repro bench featurize`` — scalar-vs-batch featurization benchmark;
   writes ``BENCH_featurize.json`` and fails if the batch pipeline is
   slower than the scalar loop or diverges from it.
+* ``repro bench lint`` — cold-vs-warm incremental lint benchmark;
+  writes ``BENCH_lint.json`` and fails below ``--min-speedup``.
 * ``repro lint [paths]`` — the repo's own static-analysis pass
   (featurization/determinism contracts; see ``docs/lint_rules.md``).
 
@@ -97,6 +99,8 @@ def _cmd_estimate(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.target == "lint":
+        return _cmd_bench_lint(args)
     from repro.bench import run_featurize_bench, write_report
 
     report = run_featurize_bench(rows=args.rows, queries=args.queries,
@@ -112,14 +116,35 @@ def _cmd_bench(args) -> int:
               f"scalar {case['scalar_seconds']:8.3f}s  "
               f"batch {case['batch_seconds']:8.3f}s  "
               f"speedup {case['speedup']:6.2f}x  [{status}]")
-    write_report(report, args.output)
-    print(f"wrote {args.output}")
+    output = args.output or Path("BENCH_featurize.json")
+    write_report(report, output)
+    print(f"wrote {output}")
     if not report["all_identical"]:
         print("FAIL: batch featurization diverges from scalar")
         return 1
     if report["min_speedup"] < args.min_speedup:
         print(f"FAIL: min speedup {report['min_speedup']:.2f}x below "
               f"required {args.min_speedup:.2f}x")
+        return 1
+    return 0
+
+
+def _cmd_bench_lint(args) -> int:
+    from repro.bench import run_lint_bench, write_report
+
+    report = run_lint_bench(repeats=args.repeats, jobs=args.jobs)
+    print(f"lint bench: {report['files_scanned']} files, "
+          f"cold {report['cold_seconds']:.3f}s "
+          f"({report['cold_files_reanalyzed']} analysed), "
+          f"warm {report['warm_seconds']:.3f}s "
+          f"({report['warm_files_reanalyzed']} analysed), "
+          f"speedup {report['min_speedup']:.2f}x")
+    output = args.output or Path("BENCH_lint.json")
+    write_report(report, output)
+    print(f"wrote {output}")
+    if report["min_speedup"] < args.min_speedup:
+        print(f"FAIL: warm/cold speedup {report['min_speedup']:.2f}x "
+              f"below required {args.min_speedup:.2f}x")
         return 1
     return 0
 
@@ -131,12 +156,19 @@ def _cmd_lint(args) -> int:
 
     forwarded: list[str] = [str(p) for p in args.paths]
     forwarded += ["--format", args.format]
+    forwarded += ["--jobs", str(args.jobs)]
     if args.baseline is not None:
         forwarded += ["--baseline", str(args.baseline)]
     if args.write_baseline:
         forwarded.append("--write-baseline")
+    if args.update_baseline:
+        forwarded.append("--update-baseline")
     if args.no_baseline:
         forwarded.append("--no-baseline")
+    if args.cache is not None:
+        forwarded += ["--cache", str(args.cache)]
+    if args.no_cache:
+        forwarded.append("--no-cache")
     if args.list_rules:
         forwarded.append("--list-rules")
     return lint_main(forwarded)
@@ -187,8 +219,9 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="run paper experiments (see runner --help)")
 
     bench = sub.add_parser(
-        "bench", help="micro-benchmarks (scalar vs batch featurization)")
-    bench.add_argument("target", choices=["featurize"],
+        "bench",
+        help="micro-benchmarks (featurize throughput, lint cache)")
+    bench.add_argument("target", choices=["featurize", "lint"],
                        help="benchmark to run")
     bench.add_argument("--smoke", action="store_true",
                        help="small CI-sized workload (caps rows/queries)")
@@ -202,9 +235,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3,
                        help="timed runs per case; the best is reported "
                             "(default: 3, smoke forces 1)")
-    bench.add_argument("--output", type=Path,
-                       default=Path("BENCH_featurize.json"),
-                       help="JSON report path (default: BENCH_featurize.json)")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="lint bench: parse-stage worker processes "
+                            "(default: 1)")
+    bench.add_argument("--output", type=Path, default=None,
+                       help="JSON report path (default: "
+                            "BENCH_<target>.json)")
     bench.add_argument("--min-speedup", type=float, default=1.0,
                        help="fail if any case's speedup is below this "
                             "(default: 1.0)")
@@ -214,14 +250,23 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run the repro static-analysis pass (RPR rules)")
     lint.add_argument("paths", nargs="*", default=["src"], type=Path,
                       help="files or directories to lint (default: src)")
-    lint.add_argument("--format", choices=["text", "json"], default="text",
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text",
                       help="report format (default: text)")
     lint.add_argument("--baseline", type=Path, default=None,
                       help="baseline file of grandfathered findings")
     lint.add_argument("--write-baseline", action="store_true",
                       help="record current findings as the new baseline")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="drop baseline entries no longer produced")
     lint.add_argument("--no-baseline", action="store_true",
                       help="report every finding, ignoring any baseline")
+    lint.add_argument("--jobs", type=int, default=1,
+                      help="parse-stage worker processes (default: 1)")
+    lint.add_argument("--cache", type=Path, default=None,
+                      help="incremental cache file")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="analyse from scratch without a cache")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
     lint.set_defaults(func=_cmd_lint)

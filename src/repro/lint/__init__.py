@@ -9,12 +9,15 @@ independent of the model stack.  This package makes those contracts
 machine-checked:
 
 * :mod:`repro.lint.engine` — AST parsing, visitor dispatch, module and
-  project hooks.
+  project hooks, incremental caching, parse-stage fan-out.
 * :mod:`repro.lint.rules` — the built-in rules (``RPR1xx`` correctness,
   ``RPR2xx`` determinism, ``RPR3xx`` layering/API hygiene).
+* :mod:`repro.lint.semantic` — the project index (module graph, class
+  hierarchy, call graph) and the interprocedural rules that run on it.
+* :mod:`repro.lint.cache` — content-hash-keyed per-file result cache.
 * :mod:`repro.lint.pragmas` — ``# repro: ignore[RPRnnn]`` suppression.
 * :mod:`repro.lint.baseline` — committed grandfathered findings.
-* :mod:`repro.lint.reporters` — text and JSON output.
+* :mod:`repro.lint.reporters` — text, JSON, and SARIF 2.1.0 output.
 * :mod:`repro.lint.cli` — ``repro lint`` / ``python -m repro.lint``.
 
 Run programmatically::

@@ -21,7 +21,7 @@ from typing import Iterable, Sequence
 from repro.lint.findings import Finding
 
 __all__ = ["BaselineError", "load_baseline", "write_baseline",
-           "apply_baseline"]
+           "apply_baseline", "update_baseline"]
 
 _VERSION = 1
 
@@ -30,8 +30,14 @@ class BaselineError(ValueError):
     """Raised for malformed baseline files."""
 
 
-def load_baseline(path: Path) -> Counter:
-    """Fingerprint multiset from ``path`` (missing file = empty)."""
+def load_baseline(path: Path, root: Path | None = None) -> Counter:
+    """Fingerprint multiset from ``path`` (missing file = empty).
+
+    When ``root`` is given, entries whose recorded path no longer exists
+    under it are pruned on load: a deleted file's grandfathered findings
+    must not linger as spendable credit that could mask a *new* finding
+    with the same fingerprint in a recreated file.
+    """
     if not path.is_file():
         return Counter()
     try:
@@ -42,13 +48,25 @@ def load_baseline(path: Path) -> Counter:
         raise BaselineError(
             f"baseline {path} must be an object with a 'findings' list")
     fingerprints: Counter = Counter()
+    missing: set[str] = set()
+    present: set[str] = set()
     for item in data["findings"]:
         try:
-            fingerprints[(item["path"], item["code"], item["message"])] += 1
+            fingerprint = (item["path"], item["code"], item["message"])
         except (TypeError, KeyError) as error:
             raise BaselineError(
                 f"baseline {path} has a malformed entry: {item!r}"
             ) from error
+        if root is not None:
+            file_path = fingerprint[0]
+            if file_path not in present and file_path not in missing:
+                if (root / file_path).is_file():
+                    present.add(file_path)
+                else:
+                    missing.add(file_path)
+            if file_path in missing:
+                continue
+        fingerprints[fingerprint] += 1
     return fingerprints
 
 
@@ -62,6 +80,31 @@ def write_baseline(findings: Iterable[Finding], path: Path) -> None:
         ],
     }
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def update_baseline(findings: Sequence[Finding], path: Path,
+                    root: Path | None = None) -> int:
+    """Shrink the baseline at ``path`` to findings still produced.
+
+    The intersection (multiset) of the existing baseline with the
+    current run's findings is rewritten deterministically: fixed or
+    vanished entries drop out, but — unlike ``--write-baseline`` — no
+    *new* finding is ever grandfathered.  Returns the number of entries
+    removed.
+    """
+    old = load_baseline(path, root)
+    current = Counter(f.fingerprint() for f in findings)
+    kept = old & current
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"path": p, "code": code, "message": message}
+            for (p, code, message), count in sorted(kept.items())
+            for _ in range(count)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return sum(old.values()) - sum(kept.values())
 
 
 def apply_baseline(findings: Sequence[Finding],

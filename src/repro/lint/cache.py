@@ -1,0 +1,173 @@
+"""Content-hash-keyed incremental lint cache.
+
+Whole-project analysis is strictly more expensive than per-file walks,
+so the engine persists, per file and keyed by the SHA-256 of its bytes:
+
+* the per-file (syntactic) findings and pragma suppressions,
+* the :class:`~repro.lint.semantic.facts.ModuleFacts` index shard,
+* the semantic (project-pass) findings attributed to the file.
+
+A warm run with no file changes reuses everything — no parsing, no
+index build.  When files change, only they are re-parsed; semantic
+findings are recomputed for the changed files plus their transitive
+importers (the import-graph invalidation frontier), and reused from the
+cache everywhere else.
+
+The whole cache is invalidated by a *meta key* covering the cache
+format version, the enabled rule catalogue, and the configuration, so a
+new rule or config edit never serves stale results.  The cache file is
+plain JSON with sorted keys, written atomically; a missing, corrupt, or
+stale file silently degrades to a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.lint.findings import Finding
+from repro.lint.semantic.facts import ModuleFacts
+
+__all__ = ["CACHE_FORMAT_VERSION", "CacheEntry", "LintCache",
+           "cache_meta_key", "file_digest"]
+
+#: Bump when the cached representation changes shape or semantics.
+CACHE_FORMAT_VERSION = 1
+
+
+def file_digest(data: bytes) -> str:
+    """Content hash used as the per-file cache key."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def cache_meta_key(config_fingerprint: str,
+                  rule_codes: Iterable[str]) -> str:
+    """Meta key invalidating the whole cache on rule/config changes."""
+    payload = json.dumps({
+        "format": CACHE_FORMAT_VERSION,
+        "config": config_fingerprint,
+        "rules": sorted(rule_codes),
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """Everything cached for one file at one content hash."""
+
+    file_hash: str
+    module_name: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    #: ``None`` until a project pass has produced them (distinct from
+    #: "produced and empty", which is a valid cached result).
+    semantic_findings: list[Finding] | None = None
+    semantic_suppressed: list[Finding] | None = None
+    #: ``None`` for files that failed to parse.
+    facts: ModuleFacts | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form of the entry."""
+        def render(findings: list[Finding] | None) -> list | None:
+            if findings is None:
+                return None
+            return [f.to_dict() for f in findings]
+
+        return {
+            "file_hash": self.file_hash,
+            "module_name": self.module_name,
+            "findings": render(self.findings),
+            "suppressed": render(self.suppressed),
+            "semantic_findings": render(self.semantic_findings),
+            "semantic_suppressed": render(self.semantic_suppressed),
+            "facts": self.facts.to_dict() if self.facts is not None
+            else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CacheEntry":
+        """Rebuild an entry from :meth:`to_dict` output."""
+        def parse(items) -> list[Finding] | None:
+            if items is None:
+                return None
+            return [Finding(**item) for item in items]
+
+        return cls(
+            file_hash=payload["file_hash"],
+            module_name=payload["module_name"],
+            findings=parse(payload["findings"]) or [],
+            suppressed=parse(payload["suppressed"]) or [],
+            semantic_findings=parse(payload["semantic_findings"]),
+            semantic_suppressed=parse(payload["semantic_suppressed"]),
+            facts=(ModuleFacts.from_dict(payload["facts"])
+                   if payload["facts"] is not None else None),
+        )
+
+
+class LintCache:
+    """On-disk cache of per-file analyses, keyed by display path."""
+
+    def __init__(self, path: Path, meta_key: str) -> None:
+        self.path = path
+        self.meta_key = meta_key
+        self.entries: dict[str, CacheEntry] = {}
+
+    @classmethod
+    def load(cls, path: Path, meta_key: str) -> "LintCache":
+        """Load the cache at ``path``; stale or unreadable means empty."""
+        cache = cls(path, meta_key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return cache
+        if not isinstance(payload, dict) \
+                or payload.get("meta_key") != meta_key:
+            return cache
+        try:
+            for display, entry in payload.get("files", {}).items():
+                cache.entries[display] = CacheEntry.from_dict(entry)
+        except (KeyError, TypeError, ValueError):
+            cache.entries.clear()
+        return cache
+
+    def lookup(self, display: str, file_hash: str) -> CacheEntry | None:
+        """Entry for ``display`` if it matches the current content hash."""
+        entry = self.entries.get(display)
+        if entry is not None and entry.file_hash == file_hash:
+            return entry
+        return None
+
+    def put(self, display: str, entry: CacheEntry) -> None:
+        """Insert or replace the entry for ``display``."""
+        self.entries[display] = entry
+
+    def prune(self, keep: Iterable[str]) -> None:
+        """Drop entries for files no longer part of the scan."""
+        keep_set = set(keep)
+        for display in list(self.entries):
+            if display not in keep_set:
+                del self.entries[display]
+
+    def save(self) -> None:
+        """Write the cache atomically with deterministic key order."""
+        payload = {
+            "meta_key": self.meta_key,
+            "files": {display: entry.to_dict()
+                      for display, entry in sorted(self.entries.items())},
+        }
+        text = json.dumps(payload, sort_keys=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            # Caching is an optimisation; an unwritable location (e.g. a
+            # read-only checkout) must never fail the lint run itself.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass

@@ -29,7 +29,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("paths", nargs="*", default=["src"], type=Path,
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=["text", "json"],
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
                         default="text", dest="fmt",
                         help="report format (default: text)")
     parser.add_argument("--baseline", type=Path, default=None,
@@ -38,8 +38,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--write-baseline", action="store_true",
                         help="record current findings as the new baseline "
                              "and exit 0")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="drop baseline entries no longer produced "
+                             "(never adds new ones) and exit 0")
     parser.add_argument("--no-baseline", action="store_true",
                         help="ignore any baseline file")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parse-stage worker processes "
+                             "(1 = serial, 0 = auto; default: 1)")
+    parser.add_argument("--cache", type=Path, default=None,
+                        help="incremental cache file (default: from "
+                             "[tool.repro.lint])")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="analyse everything from scratch, "
+                             "read/write no cache")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -64,7 +76,14 @@ def main(argv: list[str] | None = None,
         out.write(f"error: path does not exist: {missing[0]}\n")
         return 2
     config = load_config(args.paths[0])
-    result = engine.run(args.paths, config)
+    if args.no_cache:
+        cache_path = None
+    elif args.cache is not None:
+        cache_path = args.cache
+    else:
+        cache_path = config.cache_path()
+    result = engine.run(args.paths, config, jobs=args.jobs,
+                        cache_path=cache_path)
 
     baseline_path = (args.baseline if args.baseline is not None
                      else config.baseline_path())
@@ -73,11 +92,18 @@ def main(argv: list[str] | None = None,
         out.write(f"wrote {len(result.findings)} finding(s) to "
                   f"{baseline_path}\n")
         return 0
+    if args.update_baseline:
+        removed = baseline_mod.update_baseline(
+            result.findings, baseline_path, root=Path.cwd())
+        out.write(f"removed {removed} stale baseline entr(y/ies) from "
+                  f"{baseline_path}\n")
+        return 0
     if args.no_baseline:
         known = baseline_mod.load_baseline(Path("/nonexistent"))
     else:
         try:
-            known = baseline_mod.load_baseline(baseline_path)
+            known = baseline_mod.load_baseline(baseline_path,
+                                               root=Path.cwd())
         except baseline_mod.BaselineError as error:
             out.write(f"error: {error}\n")
             return 2

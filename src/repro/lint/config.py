@@ -7,6 +7,7 @@ Recognised keys::
     ignore = ["RPR302"]             # disable these rules project-wide
     print-allowed = ["repro.cli"]   # modules where RPR302 does not apply
     baseline = "lint-baseline.json" # default baseline path
+    cache = ".repro-lint-cache.json"  # incremental cache location
 
     [tool.repro.lint.layering]      # RPR301: layer -> forbidden imports
     "repro.featurize" = ["repro.models", ...]
@@ -17,13 +18,15 @@ works on a bare tree with no configuration at all.
 
 from __future__ import annotations
 
+import json
 import tomllib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
 
 __all__ = ["LintConfig", "load_config", "find_pyproject",
-           "DEFAULT_LAYERING", "DEFAULT_PRINT_ALLOWED", "DEFAULT_BASELINE"]
+           "DEFAULT_LAYERING", "DEFAULT_PRINT_ALLOWED", "DEFAULT_BASELINE",
+           "DEFAULT_CACHE"]
 
 #: Strict layering: lower layers never import upward.  The featurization,
 #: SQL, and data substrates must stay reusable without dragging in the
@@ -43,6 +46,8 @@ DEFAULT_PRINT_ALLOWED: tuple[str, ...] = (
 
 DEFAULT_BASELINE = "lint-baseline.json"
 
+DEFAULT_CACHE = ".repro-lint-cache.json"
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -59,6 +64,8 @@ class LintConfig:
         default_factory=lambda: dict(DEFAULT_LAYERING))
     #: Default baseline file path, relative to the pyproject directory.
     baseline: str = DEFAULT_BASELINE
+    #: Incremental-cache file path, relative to the pyproject directory.
+    cache: str = DEFAULT_CACHE
     #: Directory the configuration was loaded from (resolves baseline).
     root: Path = field(default_factory=Path.cwd)
 
@@ -71,6 +78,25 @@ class LintConfig:
     def baseline_path(self) -> Path:
         """Absolute path of the configured baseline file."""
         return (self.root / self.baseline).resolve()
+
+    def cache_path(self) -> Path:
+        """Absolute path of the configured incremental-cache file."""
+        return (self.root / self.cache).resolve()
+
+    def fingerprint(self) -> str:
+        """Deterministic string identifying the behavioural settings.
+
+        Feeds the cache meta key: any configuration change that could
+        alter findings must change this value.
+        """
+        return json.dumps({
+            "select": sorted(self.select) if self.select is not None
+            else None,
+            "ignore": sorted(self.ignore),
+            "print_allowed": list(self.print_allowed),
+            "layering": {layer: list(forbidden) for layer, forbidden
+                         in sorted(self.layering.items())},
+        }, sort_keys=True)
 
 
 def find_pyproject(start: Path) -> Path | None:
@@ -113,5 +139,6 @@ def load_config(start: Path | None = None) -> LintConfig:
                                         DEFAULT_PRINT_ALLOWED)),
         layering=layering,
         baseline=str(section.get("baseline", DEFAULT_BASELINE)),
+        cache=str(section.get("cache", DEFAULT_CACHE)),
         root=pyproject.parent,
     )

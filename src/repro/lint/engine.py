@@ -1,9 +1,20 @@
 """The visitor-driven rule engine.
 
-One run parses every target file once, walks each AST in source order,
-and dispatches node events to every enabled rule (``visit_Call``,
-``visit_Compare``, ...).  Module- and project-level hooks run after the
-walks.  Findings are collected centrally, pragma-suppressed, and sorted;
+One run analyses every target file in two stages.  The **per-file
+stage** parses each source, walks its AST in source order dispatching
+node events to every enabled rule (``visit_Call``, ``visit_Compare``,
+...), and extracts the semantic fact summary; it is embarrassingly
+parallel and fans out over a process pool for large cold runs.  The
+**project stage** builds the :class:`~repro.lint.semantic.index.
+ProjectIndex` from the fact summaries and runs every rule's
+``finish_project`` hook — the interprocedural pass.
+
+Both stages are incremental: with a :class:`~repro.lint.cache.
+LintCache`, unchanged files (by content hash) skip parsing entirely,
+and the project pass recomputes findings only for changed files plus
+their transitive importers, reusing cached results elsewhere.
+
+Findings are collected centrally, pragma-suppressed, and sorted;
 baseline filtering happens in :mod:`repro.lint.baseline` on top of the
 result.
 """
@@ -11,17 +22,27 @@ result.
 from __future__ import annotations
 
 import ast
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
+from repro.lint.cache import CacheEntry, LintCache, cache_meta_key, \
+    file_digest
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding
-from repro.lint.pragmas import is_suppressed, parse_pragmas
+from repro.lint.pragmas import decorator_pragmas, is_suppressed, \
+    parse_pragmas
 from repro.lint.registry import PARSE_ERROR_CODE, Rule, all_rule_classes
+from repro.lint.semantic.facts import ModuleFacts, extract_module_facts
+from repro.lint.semantic.index import ProjectIndex
 
-__all__ = ["ModuleContext", "ProjectContext", "LintResult",
-           "discover_files", "module_name_for", "run", "lint_text"]
+__all__ = ["ModuleContext", "ProjectContext", "FileAnalysis", "LintResult",
+           "discover_files", "module_name_for", "analyze_source",
+           "run", "lint_text"]
+
+#: Below this many changed files a process pool costs more than it saves.
+_MIN_FILES_FOR_POOL = 12
 
 
 class ModuleContext:
@@ -58,17 +79,49 @@ class ModuleContext:
 
 
 class ProjectContext:
-    """Cross-module state for ``finish_project`` hooks."""
+    """Cross-module state handed to ``finish_project`` hooks.
 
-    def __init__(self) -> None:
-        self.modules: list[ModuleContext] = []
+    Project rules see the whole program through :attr:`index` and report
+    through :meth:`report`; pragma suppression uses the per-file pragma
+    tables carried by the cached fact shards, so the hooks work without
+    any AST for unchanged files.
+    """
 
-    def iter_classes(self) -> Iterable[tuple[ModuleContext, ast.ClassDef]]:
-        """Every class definition in the project, with its module."""
-        for module in self.modules:
-            for node in ast.walk(module.tree):
-                if isinstance(node, ast.ClassDef):
-                    yield module, node
+    def __init__(self, index: ProjectIndex,
+                 pragmas_by_path: Mapping[str, Mapping[int, Iterable[str]]]
+                 ) -> None:
+        #: The project index built for this run.
+        self.index = index
+        self._pragmas = {
+            path: {line: frozenset(codes)
+                   for line, codes in table.items()}
+            for path, table in pragmas_by_path.items()}
+        #: path -> fresh semantic findings reported this pass.
+        self.findings_by_path: dict[str, list[Finding]] = {}
+        #: path -> pragma-suppressed semantic findings.
+        self.suppressed_by_path: dict[str, list[Finding]] = {}
+
+    def report(self, code: str, path: str, line: int, col: int,
+               message: str) -> None:
+        """Record a project-level finding, honouring same-line pragmas."""
+        finding = Finding(path=path, line=line, col=col, code=code,
+                          message=message)
+        if is_suppressed(self._pragmas.get(path, {}), line, code):
+            self.suppressed_by_path.setdefault(path, []).append(finding)
+        else:
+            self.findings_by_path.setdefault(path, []).append(finding)
+
+
+@dataclass
+class FileAnalysis:
+    """Per-file stage outcome: findings plus the semantic fact shard."""
+
+    path: str
+    module_name: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    #: ``None`` when the file failed to parse.
+    facts: ModuleFacts | None = None
 
 
 @dataclass(frozen=True)
@@ -79,6 +132,11 @@ class LintResult:
     suppressed: tuple[Finding, ...] = ()
     files_scanned: int = 0
     rules_run: tuple[str, ...] = field(default_factory=tuple)
+    #: Files analysed fresh this run: re-parsed files plus those whose
+    #: semantic findings were recomputed (changed files and their
+    #: transitive importers).  Everything when uncached; empty on a
+    #: fully warm run.
+    files_reanalyzed: tuple[str, ...] = field(default_factory=tuple)
 
 
 def discover_files(paths: Sequence[Path]) -> list[Path]:
@@ -123,6 +181,11 @@ def _enabled_rules(config: LintConfig) -> list[Rule]:
             if config.is_enabled(cls.code)]
 
 
+def _project_rules(rules: Sequence[Rule]) -> list[Rule]:
+    return [rule for rule in rules
+            if getattr(rule, "finish_project", None) is not None]
+
+
 def _dispatch_table(rules: Sequence[Rule]) -> dict[str, list]:
     """Node-type name -> bound ``visit_*`` handlers, in rule-code order."""
     table: dict[str, list] = {}
@@ -149,64 +212,213 @@ def _walk_module(module: ModuleContext, rules: Sequence[Rule],
             hook(module)
 
 
-def _build_module(source: str, *, path: str, module_name: str,
-                  sink: list[Finding]) -> ModuleContext | None:
+def analyze_source(source: str, *, path: str, module_name: str,
+                   config: LintConfig) -> FileAnalysis:
+    """Run the per-file stage on one source string.
+
+    Parses, walks every enabled rule's visit and module hooks, and
+    extracts the semantic fact shard.  Pure function of its arguments —
+    the unit the process pool distributes and the cache stores.
+    """
+    analysis = FileAnalysis(path=path, module_name=module_name)
     try:
         tree = ast.parse(source)
     except (SyntaxError, ValueError) as error:
         line = getattr(error, "lineno", 1) or 1
-        sink.append(Finding(
+        message = (error.msg if isinstance(error, SyntaxError) else
+                   str(error))
+        analysis.findings.append(Finding(
             path=path, line=line, col=1, code=PARSE_ERROR_CODE,
-            message=f"file does not parse: {error.msg if isinstance(error, SyntaxError) else error}"))
-        return None
-    return ModuleContext(path=path, module_name=module_name, source=source,
-                         tree=tree, pragmas=parse_pragmas(source))
+            message=f"file does not parse: {message}"))
+        return analysis
+    pragmas = decorator_pragmas(tree, parse_pragmas(source))
+    module = ModuleContext(path=path, module_name=module_name,
+                           source=source, tree=tree, pragmas=pragmas)
+    rules = _enabled_rules(config)
+    _walk_module(module, rules, _dispatch_table(rules))
+    analysis.findings.extend(module.findings)
+    analysis.suppressed.extend(module.suppressed)
+    analysis.facts = extract_module_facts(tree, path=path,
+                                          module_name=module_name,
+                                          pragmas=pragmas)
+    return analysis
 
 
-def _finish(project: ProjectContext, rules: Sequence[Rule],
-            parse_errors: list[Finding], files_scanned: int) -> LintResult:
-    for rule in rules:
-        hook = getattr(rule, "finish_project", None)
-        if hook is not None:
-            hook(project)
-    findings = list(parse_errors)
+def _analyze_file_task(item: tuple[str, str, str, LintConfig]
+                       ) -> FileAnalysis:
+    """Process-pool task: read and analyse one file."""
+    file_str, display, module_name, config = item
+    source = Path(file_str).read_text(encoding="utf-8")
+    return analyze_source(source, path=display, module_name=module_name,
+                          config=config)
+
+
+def _effective_jobs(jobs: int, n_files: int) -> int:
+    if jobs == 1 or n_files < _MIN_FILES_FOR_POOL:
+        return 1
+    if jobs <= 0:
+        return min(8, os.cpu_count() or 1)
+    return jobs
+
+
+def _run_file_stage(items: Sequence[tuple[str, str, str, LintConfig]],
+                    jobs: int) -> list[FileAnalysis]:
+    effective = _effective_jobs(jobs, len(items))
+    if effective <= 1:
+        return [_analyze_file_task(item) for item in items]
+    import multiprocessing
+
+    # fork keeps the imported rule registry; spawn would re-import it in
+    # each worker, which also works but pays start-up cost per process.
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else None)
+    with context.Pool(processes=effective) as pool:
+        return pool.map(_analyze_file_task, items, chunksize=4)
+
+
+def _display_path(file: Path, root: Path) -> str:
+    try:
+        return file.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return file.as_posix()
+
+
+def _semantic_pass(analyses: Sequence[FileAnalysis],
+                   project_rules: Sequence[Rule]) -> ProjectContext:
+    """Build the index and run every ``finish_project`` hook."""
+    facts = [a.facts for a in analyses if a.facts is not None]
+    index = ProjectIndex(facts)
+    project = ProjectContext(index, {f.path: f.pragmas for f in facts})
+    for rule in project_rules:
+        rule.finish_project(project)
+    return project
+
+
+def _assemble(analyses: Sequence[FileAnalysis],
+              semantic_findings: Mapping[str, Sequence[Finding]],
+              semantic_suppressed: Mapping[str, Sequence[Finding]],
+              rules: Sequence[Rule], files_scanned: int,
+              reanalyzed: Iterable[str]) -> LintResult:
+    findings: list[Finding] = []
     suppressed: list[Finding] = []
-    for module in project.modules:
-        findings.extend(module.findings)
-        suppressed.extend(module.suppressed)
+    for analysis in analyses:
+        findings.extend(analysis.findings)
+        suppressed.extend(analysis.suppressed)
+        findings.extend(semantic_findings.get(analysis.path, ()))
+        suppressed.extend(semantic_suppressed.get(analysis.path, ()))
     return LintResult(
         findings=tuple(sorted(findings)),
         suppressed=tuple(sorted(suppressed)),
         files_scanned=files_scanned,
         rules_run=tuple(rule.code for rule in rules),
+        files_reanalyzed=tuple(sorted(set(reanalyzed))),
     )
 
 
-def run(paths: Sequence[Path], config: LintConfig | None = None) -> LintResult:
-    """Lint every python file under ``paths`` with the enabled rules."""
+def run(paths: Sequence[Path], config: LintConfig | None = None, *,
+        jobs: int = 1, cache_path: Path | None = None) -> LintResult:
+    """Lint every python file under ``paths`` with the enabled rules.
+
+    ``jobs`` controls the per-file stage fan-out (1 = serial, 0 = one
+    process per core up to 8, N = exactly N workers).  ``cache_path``
+    enables the incremental cache at that location; ``None`` (the
+    library default) analyses everything from scratch.
+    """
     if config is None:
         config = LintConfig()
     rules = _enabled_rules(config)
-    table = _dispatch_table(rules)
+    project_rules = _project_rules(rules)
     files = discover_files([Path(p) for p in paths])
-    project = ProjectContext()
-    parse_errors: list[Finding] = []
     root = Path.cwd()
+
+    cache: LintCache | None = None
+    if cache_path is not None:
+        meta = cache_meta_key(config.fingerprint(),
+                              [rule.code for rule in rules])
+        cache = LintCache.load(Path(cache_path), meta)
+
+    analyses: dict[str, FileAnalysis] = {}
+    cached_semantic: dict[str, tuple[list[Finding], list[Finding]]] = {}
+    changed_items: list[tuple[str, str, str, LintConfig]] = []
+    displays: list[str] = []
+    hashes: dict[str, str] = {}
     for file in files:
-        try:
-            relative = file.resolve().relative_to(root.resolve())
-            display = relative.as_posix()
-        except ValueError:
-            display = file.as_posix()
-        source = file.read_text(encoding="utf-8")
-        module = _build_module(source, path=display,
-                               module_name=module_name_for(file),
-                               sink=parse_errors)
-        if module is None:
-            continue
-        project.modules.append(module)
-        _walk_module(module, rules, table)
-    return _finish(project, rules, parse_errors, len(files))
+        display = _display_path(file, root)
+        displays.append(display)
+        module_name = module_name_for(file)
+        digest = None
+        entry = None
+        if cache is not None:
+            try:
+                digest = file_digest(file.read_bytes())
+            except OSError:
+                digest = None
+            if digest is not None:
+                entry = cache.lookup(display, digest)
+        hashes[display] = digest or ""
+        if entry is not None:
+            analyses[display] = FileAnalysis(
+                path=display, module_name=entry.module_name,
+                findings=list(entry.findings),
+                suppressed=list(entry.suppressed),
+                facts=entry.facts)
+            if entry.semantic_findings is not None \
+                    and entry.semantic_suppressed is not None:
+                cached_semantic[display] = (
+                    list(entry.semantic_findings),
+                    list(entry.semantic_suppressed))
+        else:
+            changed_items.append((str(file), display, module_name, config))
+
+    for analysis in _run_file_stage(changed_items, jobs):
+        analyses[analysis.path] = analysis
+    ordered = [analyses[display] for display in displays]
+
+    changed_displays = {item[1] for item in changed_items}
+    missing_semantic = {display for display in displays
+                        if display not in cached_semantic}
+    semantic_findings: dict[str, Sequence[Finding]] = {}
+    semantic_suppressed: dict[str, Sequence[Finding]] = {}
+    if project_rules and (changed_displays or missing_semantic):
+        project = _semantic_pass(ordered, project_rules)
+        dirty = set(changed_displays) | missing_semantic
+        dirty |= project.index.dependent_paths(changed_displays)
+        dirty &= set(displays)
+        for display in displays:
+            if display in dirty:
+                semantic_findings[display] = \
+                    project.findings_by_path.get(display, [])
+                semantic_suppressed[display] = \
+                    project.suppressed_by_path.get(display, [])
+            else:
+                cached_f, cached_s = cached_semantic[display]
+                semantic_findings[display] = cached_f
+                semantic_suppressed[display] = cached_s
+        reanalyzed: Iterable[str] = dirty | changed_displays
+    else:
+        for display, (cached_f, cached_s) in cached_semantic.items():
+            semantic_findings[display] = cached_f
+            semantic_suppressed[display] = cached_s
+        reanalyzed = changed_displays
+
+    if cache is not None:
+        for display in displays:
+            analysis = analyses[display]
+            cache.put(display, CacheEntry(
+                file_hash=hashes[display],
+                module_name=analysis.module_name,
+                findings=list(analysis.findings),
+                suppressed=list(analysis.suppressed),
+                semantic_findings=list(semantic_findings.get(display, [])),
+                semantic_suppressed=list(
+                    semantic_suppressed.get(display, [])),
+                facts=analysis.facts))
+        cache.prune(displays)
+        cache.save()
+
+    return _assemble(ordered, semantic_findings, semantic_suppressed,
+                     rules, len(files), reanalyzed)
 
 
 def lint_text(source: str, *, module_name: str = "snippet",
@@ -216,12 +428,11 @@ def lint_text(source: str, *, module_name: str = "snippet",
     if config is None:
         config = LintConfig()
     rules = _enabled_rules(config)
-    table = _dispatch_table(rules)
-    project = ProjectContext()
-    parse_errors: list[Finding] = []
-    module = _build_module(source, path=path, module_name=module_name,
-                           sink=parse_errors)
-    if module is not None:
-        project.modules.append(module)
-        _walk_module(module, rules, table)
-    return _finish(project, rules, parse_errors, 1)
+    analysis = analyze_source(source, path=path, module_name=module_name,
+                              config=config)
+    project = _semantic_pass([analysis], _project_rules(rules))
+    return _assemble(
+        [analysis],
+        {path: project.findings_by_path.get(path, [])},
+        {path: project.suppressed_by_path.get(path, [])},
+        rules, 1, [path])

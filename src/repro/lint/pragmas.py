@@ -4,19 +4,27 @@ A finding is suppressed by a comment on the same physical line::
 
     qualifying = np.nonzero(entries == 1.0)[0]  # repro: ignore[RPR102]
 
-Several codes may be listed (``# repro: ignore[RPR102,RPR302]``); the
-bare form ``# repro: ignore`` suppresses every rule on that line.  The
-pragma must sit on the line the finding is reported at (the node's
-``lineno``), mirroring how ``# noqa`` behaves.
+Several codes may be listed, separated by commas or whitespace
+(``# repro: ignore[RPR102,RPR302]`` and ``# repro: ignore[RPR102
+RPR302]`` are equivalent); the bare form ``# repro: ignore`` suppresses
+every rule on that line.  The pragma must sit on the line the finding
+is reported at (the node's ``lineno``), mirroring how ``# noqa``
+behaves — with one ergonomic exception: a pragma on a decorator line
+also covers the decorated ``def``/``class`` statement, because findings
+for a decorated function anchor at the ``def`` line while the natural
+place to write the comment is often the decorator above it
+(:func:`decorator_pragmas`).
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
 
-__all__ = ["ALL_CODES", "parse_pragmas", "is_suppressed"]
+__all__ = ["ALL_CODES", "parse_pragmas", "decorator_pragmas",
+           "is_suppressed"]
 
 #: Sentinel entry meaning "every code" (the bare ``# repro: ignore``).
 ALL_CODES = "*"
@@ -50,12 +58,40 @@ def parse_pragmas(source: str) -> dict[int, frozenset[str]]:
             codes = frozenset({ALL_CODES})
         else:
             codes = frozenset(
-                part.strip() for part in raw.split(",") if part.strip())
+                part for part in re.split(r"[,\s]+", raw) if part)
             if not codes:
                 codes = frozenset({ALL_CODES})
         line = token.start[0]
         pragmas[line] = pragmas.get(line, frozenset()) | codes
     return pragmas
+
+
+def decorator_pragmas(tree: ast.AST,
+                      pragmas: dict[int, frozenset[str]]
+                      ) -> dict[int, frozenset[str]]:
+    """Extend ``pragmas`` so decorator-line pragmas cover their target.
+
+    Findings for a decorated function or class anchor at the ``def`` /
+    ``class`` line (the node's ``lineno``), but a suppression comment is
+    often most readable on the decorator above it.  For every decorated
+    definition, codes from any of its decorator lines are merged into
+    the definition line's entry.  The input mapping is not mutated.
+    """
+    merged = dict(pragmas)
+    for node in ast.walk(tree):
+        decorators = getattr(node, "decorator_list", None)
+        if not decorators:
+            continue
+        target_line = node.lineno
+        for decorator in decorators:
+            for line in range(decorator.lineno,
+                              (decorator.end_lineno or decorator.lineno)
+                              + 1):
+                codes = pragmas.get(line)
+                if codes:
+                    merged[target_line] = \
+                        merged.get(target_line, frozenset()) | codes
+    return merged
 
 
 def is_suppressed(pragmas: dict[int, frozenset[str]],

@@ -1,8 +1,14 @@
-"""Finding reporters: human-readable text and machine-readable JSON.
+"""Finding reporters: text, JSON, and SARIF 2.1.0 output.
 
 Reporters write to a caller-supplied stream; they never touch
 ``sys.stdout`` themselves, which keeps the library layer silent (the
 same contract rule RPR302 enforces on the rest of the codebase).
+
+The SARIF reporter emits the subset of `SARIF 2.1.0
+<https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+that code-scanning UIs consume: one run with the full rule catalogue in
+``tool.driver.rules`` and one ``result`` per new finding, carrying the
+rule id/index, level, message, and physical location.
 """
 
 from __future__ import annotations
@@ -12,7 +18,12 @@ from typing import IO, Sequence
 
 from repro.lint.findings import Finding
 
-__all__ = ["Report", "render_text", "render_json", "render"]
+__all__ = ["Report", "render_text", "render_json", "render_sarif",
+           "render", "SARIF_SCHEMA_URI", "SARIF_VERSION"]
+
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+SARIF_VERSION = "2.1.0"
 
 
 class Report:
@@ -65,10 +76,67 @@ def render_json(report: Report, stream: IO[str]) -> None:
     stream.write(json.dumps(payload, indent=2) + "\n")
 
 
+def render_sarif(report: Report, stream: IO[str]) -> None:
+    """SARIF 2.1.0 log with one result per new finding.
+
+    Baselined and pragma-suppressed findings are omitted — SARIF
+    consumers treat every ``result`` as actionable, matching the text
+    reporter's notion of "new".  Rules are listed in code order so
+    ``ruleIndex`` is deterministic.
+    """
+    from repro.lint.registry import all_rule_classes
+
+    rule_classes = sorted(all_rule_classes(), key=lambda cls: cls.code)
+    rule_index = {cls.code: i for i, cls in enumerate(rule_classes)}
+    rules = [
+        {
+            "id": cls.code,
+            "name": cls.name,
+            "shortDescription": {"text": cls.summary},
+        }
+        for cls in rule_classes
+    ]
+    results = []
+    for finding in report.new:
+        result = {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                },
+            }],
+        }
+        if finding.code in rule_index:
+            result["ruleIndex"] = rule_index[finding.code]
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    stream.write(json.dumps(payload, indent=2) + "\n")
+
+
 def render(report: Report, stream: IO[str], fmt: str = "text") -> None:
-    """Dispatch to the named reporter (``text`` or ``json``)."""
+    """Dispatch to the named reporter (``text``, ``json``, ``sarif``)."""
     if fmt == "json":
         render_json(report, stream)
+    elif fmt == "sarif":
+        render_sarif(report, stream)
     elif fmt == "text":
         render_text(report, stream)
     else:

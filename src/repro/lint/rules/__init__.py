@@ -20,6 +20,12 @@ from repro.lint.rules.layering import (
     ImportLayeringRule,
     PrintInLibraryRule,
 )
+from repro.lint.semantic.rules import (
+    FeatureDtypeDriftRule,
+    FeatureShapeContractRule,
+    GeneratorThreadingRule,
+    UnorderedIterationRule,
+)
 
 __all__ = [
     "MutableDefaultRule",
@@ -27,8 +33,12 @@ __all__ = [
     "BroadExceptRule",
     "FeaturizerSurfaceRule",
     "ScalarFeaturizeLoopRule",
+    "FeatureDtypeDriftRule",
+    "FeatureShapeContractRule",
     "GlobalNumpyRandomRule",
     "UnseededGeneratorRule",
+    "GeneratorThreadingRule",
+    "UnorderedIterationRule",
     "ImportLayeringRule",
     "PrintInLibraryRule",
     "DunderAllRule",

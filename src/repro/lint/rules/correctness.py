@@ -150,6 +150,9 @@ class FeaturizerSurfaceRule(Rule):
     abstract surface declared in ``featurize/base.py``.  A partial
     implementation inherits ``abc``'s *instantiation-time* failure, which
     a model-training run only hits long after import.
+
+    Runs on the project index (class hierarchy from cached fact shards),
+    so unchanged files need no AST for the check to cover them.
     """
 
     code = "RPR104"
@@ -161,93 +164,33 @@ class FeaturizerSurfaceRule(Rule):
 
     def finish_project(self, project: ProjectContext) -> None:
         """Check every transitive Featurizer subclass in the project."""
-        classes: dict[str, tuple[ModuleContext, ast.ClassDef]] = {}
-        for module, node in project.iter_classes():
-            classes[node.name] = (module, node)
-        root = classes.get(self.root_class)
-        if root is None:
-            return
-        required = self._abstract_names(root[1])
+        index = project.index
+        required: set[str] = set()
+        for _, root in index.classes_by_name.get(self.root_class, []):
+            required.update(root.abstract_names)
         if not required:
             return
-        for name in self._subclasses(classes, self.root_class):
-            module, node = classes[name]
-            if self._abstract_names(node):
+        for mf, cls in index.subclasses_of(self.root_class):
+            if cls.abstract_names:
                 continue  # itself abstract: an intermediate base class
-            provided = self._provided_names(classes, name)
+            provided = self._provided_names(index, mf, cls)
             missing = sorted(required - provided)
             if missing:
-                self.report(
-                    module, node,
-                    f"concrete Featurizer subclass {name} is missing "
+                project.report(
+                    self.code, mf.path, cls.lineno, cls.col,
+                    f"concrete Featurizer subclass {cls.name} is missing "
                     f"abstract member(s) {', '.join(missing)} required "
                     "by featurize/base.py")
 
     @staticmethod
-    def _base_names(node: ast.ClassDef) -> set[str]:
-        names = set()
-        for base in node.bases:
-            while isinstance(base, ast.Subscript):  # Generic[...] etc.
-                base = base.value
-            if isinstance(base, ast.Name):
-                names.add(base.id)
-            elif isinstance(base, ast.Attribute):
-                names.add(base.attr)
-        return names
-
-    @classmethod
-    def _subclasses(cls, classes, root: str) -> list[str]:
-        """Transitive subclasses of ``root``, by declared base names."""
-        known = {root}
-        changed = True
-        while changed:
-            changed = False
-            for name, (_, node) in classes.items():
-                if name not in known and cls._base_names(node) & known:
-                    known.add(name)
-                    changed = True
-        return sorted(known - {root})
-
-    @staticmethod
-    def _abstract_names(node: ast.ClassDef) -> set[str]:
-        """Names declared abstract in the class body."""
-        abstract = set()
-        for stmt in node.body:
-            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            for decorator in stmt.decorator_list:
-                label = (decorator.id if isinstance(decorator, ast.Name)
-                         else decorator.attr
-                         if isinstance(decorator, ast.Attribute) else None)
-                if label in ("abstractmethod", "abstractproperty"):
-                    abstract.add(stmt.name)
-        return abstract
-
-    @classmethod
-    def _provided_names(cls, classes, name: str) -> set[str]:
-        """Concrete members defined by ``name`` or any project ancestor."""
+    def _provided_names(index, mf, cls) -> set[str]:
+        """Concrete members defined by ``cls`` or any project ancestor."""
         provided: set[str] = set()
-        queue = [name]
-        seen: set[str] = set()
-        while queue:
-            current = queue.pop()
-            if current in seen or current not in classes:
-                continue
-            seen.add(current)
-            _, node = classes[current]
-            abstract = cls._abstract_names(node)
-            for stmt in node.body:
-                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    if stmt.name not in abstract:
-                        provided.add(stmt.name)
-                elif isinstance(stmt, ast.Assign):
-                    provided.update(t.id for t in stmt.targets
-                                    if isinstance(t, ast.Name))
-                elif (isinstance(stmt, ast.AnnAssign)
-                        and isinstance(stmt.target, ast.Name)
-                        and stmt.value is not None):
-                    provided.add(stmt.target.id)
-            queue.extend(cls._base_names(node))
+        for _, current in index.iter_ancestry(mf, cls):
+            abstract = set(current.abstract_names)
+            provided.update(m.name for m in current.methods
+                            if m.name not in abstract)
+            provided.update(current.assigned_names)
         return provided
 
 

@@ -1,0 +1,28 @@
+"""Semantic (interprocedural) analysis layer of the linter.
+
+The syntactic rules in :mod:`repro.lint.rules` see one file at a time,
+so they cannot catch a seed dropped at a call boundary or a dtype
+downcast two modules away — exactly the silent divergences that break
+the paper's determinism contract (Equation 4) across module boundaries.
+This package closes that gap in three stages:
+
+* :mod:`repro.lint.semantic.facts` — per-file extraction of a compact,
+  serializable summary (imports, classes, functions, call sites, return
+  shapes) that the incremental cache can store per content hash.
+* :mod:`repro.lint.semantic.index` — the project index built from those
+  summaries: module graph, import/symbol resolution, the ``Featurizer``
+  class hierarchy, and an approximate call graph.
+* :mod:`repro.lint.semantic.rules` — the interprocedural rules
+  (``RPR106``, ``RPR107``, ``RPR203``, ``RPR204``) registered in the
+  ordinary rule registry, so pragmas, baseline, configuration, and
+  reporters all apply unchanged.
+
+Every semantic finding is attributed to a file whose *import closure*
+determines it, which is what makes transitive cache invalidation along
+the import graph sound (see ``docs/architecture.md``).
+"""
+
+from repro.lint.semantic.facts import ModuleFacts, extract_module_facts
+from repro.lint.semantic.index import ProjectIndex
+
+__all__ = ["ModuleFacts", "ProjectIndex", "extract_module_facts"]

@@ -1,0 +1,550 @@
+"""Per-file semantic fact extraction.
+
+One pass over a module's AST produces a :class:`ModuleFacts` summary:
+resolved imports, class shapes, and per-function records of parameters,
+call sites, return values, and iteration sites.  Facts are plain
+dataclasses with a lossless ``to_dict``/``from_dict`` round trip, so the
+incremental cache can store them per content hash and the project index
+can be rebuilt without re-parsing unchanged files.
+
+The extraction is deliberately approximate — flow-insensitive, one
+level of local-assignment lookup — because the downstream analyses only
+need enough signal to flag *likely* contract violations; precision is
+recovered by the pragma mechanism on the rare false positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = [
+    "CallFact",
+    "ClassFacts",
+    "FunctionFacts",
+    "ImportFact",
+    "IterationFact",
+    "ModuleFacts",
+    "ParamFact",
+    "ReturnFact",
+    "extract_module_facts",
+    "is_generator_param",
+]
+
+#: Parameter names conventionally bound to ``np.random.Generator`` values
+#: throughout this codebase (see ``models/neural_net.py``).
+_GENERATOR_NAMES = frozenset({"rng", "generator"})
+
+#: numpy array constructors whose default dtype is float64.
+_FLOAT64_CTORS = frozenset({"zeros", "ones", "empty", "full"})
+
+#: numpy array constructors that take their dtype from the input.
+_ARRAY_CTORS = frozenset({"asarray", "array", "ascontiguousarray"})
+
+#: Rank-preserving / rank-erasing numpy combinators (kind stays "array").
+_ARRAY_COMBINATORS = frozenset({
+    "stack", "concatenate", "vstack", "hstack", "column_stack", "where",
+})
+
+#: Set-returning methods regardless of receiver type.
+_SET_METHODS = frozenset({
+    "intersection", "union", "difference", "symmetric_difference",
+})
+
+#: dtype spellings normalised to numpy canonical names.
+_DTYPE_ALIASES = {
+    "float": "float64", "double": "float64", "single": "float32",
+    "half": "float16", "int": "int64", "bool": "bool_",
+}
+
+
+@dataclass(frozen=True)
+class ParamFact:
+    """One parameter of a function: name, annotation text, default flag."""
+
+    name: str
+    annotation: str | None
+    has_default: bool
+
+
+@dataclass(frozen=True)
+class ImportFact:
+    """One imported binding, with relative imports already resolved."""
+
+    #: Absolute dotted module the binding comes from.
+    module: str
+    #: Imported symbol name, ``None`` for ``import m``, ``"*"`` for star.
+    name: str | None
+    #: Local binding name the module scope sees.
+    alias: str
+
+
+@dataclass(frozen=True)
+class CallFact:
+    """One call site inside a function body."""
+
+    #: Dotted callee as written (``"helper"``, ``"mod.f"``, ``"self.m"``).
+    callee: str
+    lineno: int
+    col: int
+    #: Whether any argument looks like an ``np.random.Generator`` value.
+    passes_generator: bool
+
+
+@dataclass(frozen=True)
+class ReturnFact:
+    """Classification of one ``return`` expression."""
+
+    lineno: int
+    col: int
+    #: ``"array"``, ``"set"``, ``"call"``, or ``"other"``.
+    kind: str
+    #: Normalised numpy dtype when statically known (``"float32"``, ...).
+    dtype: str | None = None
+    #: Array rank when statically known (tuple-literal shapes).
+    rank: int | None = None
+    #: Dotted callee when ``kind == "call"``.
+    callee: str | None = None
+
+
+@dataclass(frozen=True)
+class IterationFact:
+    """One iteration site whose order may be hash-seed dependent."""
+
+    lineno: int
+    col: int
+    #: ``"set"`` for syntactically set-valued, ``"call"`` for a call whose
+    #: return kind must be resolved through the index.
+    kind: str
+    #: Dotted callee when ``kind == "call"``.
+    callee: str | None
+    #: Rendered iterable expression, for the finding message.
+    rendered: str
+
+
+@dataclass
+class FunctionFacts:
+    """Summary of one function or method."""
+
+    name: str
+    #: ``"Class.method"`` for methods, the bare name for functions.
+    qualname: str
+    lineno: int
+    col: int
+    params: list[ParamFact] = field(default_factory=list)
+    #: Parameter names carrying an ``np.random.Generator``.
+    generator_params: list[str] = field(default_factory=list)
+    #: Whether some generator parameter has no default value.
+    generator_required: bool = False
+    #: Whether the body draws randomness from a generator value.
+    draws_generator: bool = False
+    calls: list[CallFact] = field(default_factory=list)
+    returns: list[ReturnFact] = field(default_factory=list)
+    iterations: list[IterationFact] = field(default_factory=list)
+
+
+@dataclass
+class ClassFacts:
+    """Summary of one class definition."""
+
+    name: str
+    lineno: int
+    col: int
+    #: Base classes as written (dotted names; subscripts unwrapped).
+    bases: list[str] = field(default_factory=list)
+    methods: list[FunctionFacts] = field(default_factory=list)
+    #: Method names declared ``@abstractmethod``/``@abstractproperty``.
+    abstract_names: list[str] = field(default_factory=list)
+    #: Names bound by class-level assignments.
+    assigned_names: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ModuleFacts:
+    """Everything the project index needs to know about one module."""
+
+    path: str
+    module_name: str
+    imports: list[ImportFact] = field(default_factory=list)
+    functions: list[FunctionFacts] = field(default_factory=list)
+    classes: list[ClassFacts] = field(default_factory=list)
+    #: line -> suppressed pragma codes, carried so the semantic pass can
+    #: honour pragmas without re-reading the source.
+    pragmas: dict[int, list[str]] = field(default_factory=dict)
+
+    def all_functions(self) -> Iterable[FunctionFacts]:
+        """Every function and method in the module, methods included."""
+        yield from self.functions
+        for cls in self.classes:
+            yield from cls.methods
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (cache shard format)."""
+        from dataclasses import asdict
+        payload = asdict(self)
+        payload["pragmas"] = {str(k): v for k, v in self.pragmas.items()}
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ModuleFacts":
+        """Rebuild facts from :meth:`to_dict` output."""
+        def function(d: Mapping) -> FunctionFacts:
+            return FunctionFacts(
+                name=d["name"], qualname=d["qualname"],
+                lineno=d["lineno"], col=d["col"],
+                params=[ParamFact(**p) for p in d["params"]],
+                generator_params=list(d["generator_params"]),
+                generator_required=d["generator_required"],
+                draws_generator=d["draws_generator"],
+                calls=[CallFact(**c) for c in d["calls"]],
+                returns=[ReturnFact(**r) for r in d["returns"]],
+                iterations=[IterationFact(**i) for i in d["iterations"]],
+            )
+
+        return cls(
+            path=payload["path"],
+            module_name=payload["module_name"],
+            imports=[ImportFact(**i) for i in payload["imports"]],
+            functions=[function(f) for f in payload["functions"]],
+            classes=[ClassFacts(
+                name=c["name"], lineno=c["lineno"], col=c["col"],
+                bases=list(c["bases"]),
+                methods=[function(m) for m in c["methods"]],
+                abstract_names=list(c["abstract_names"]),
+                assigned_names=list(c["assigned_names"]),
+            ) for c in payload["classes"]],
+            pragmas={int(k): list(v)
+                     for k, v in payload["pragmas"].items()},
+        )
+
+
+def is_generator_param(name: str, annotation: str | None) -> bool:
+    """Whether a parameter is, by convention or annotation, a Generator."""
+    if annotation is not None and "Generator" in annotation:
+        return True
+    return name in _GENERATOR_NAMES or name.endswith("_rng")
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _normalise_dtype(node: ast.expr | None) -> str | None:
+    """Canonical dtype name for a ``dtype=`` argument, if recognisable."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+    else:
+        dotted = _dotted(node)
+        if dotted is None:
+            return None
+        name = dotted.rpartition(".")[2]
+    return _DTYPE_ALIASES.get(name, name)
+
+
+def _shape_rank(node: ast.expr) -> int | None:
+    """Array rank implied by a shape argument (tuple length or scalar)."""
+    if isinstance(node, ast.Tuple):
+        return len(node.elts)
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return 1
+    return None
+
+
+def _argument(call: ast.Call, position: int, keyword: str) -> ast.expr | None:
+    """Positional-or-keyword argument lookup on a call node."""
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if len(call.args) > position:
+        return call.args[position]
+    return None
+
+
+class _GeneratorScope:
+    """Names and attribute patterns that hold generator values locally."""
+
+    def __init__(self, gen_params: Iterable[str]) -> None:
+        self.names = set(gen_params)
+
+    def note_assignment(self, target: str, value: ast.expr) -> None:
+        """Record ``target = np.random.default_rng(...)`` style bindings."""
+        if isinstance(value, ast.Call):
+            dotted = _dotted(value.func)
+            if dotted is not None and dotted.rpartition(".")[2] == "default_rng":
+                self.names.add(target)
+
+    def holds_generator(self, node: ast.expr) -> bool:
+        """Whether an expression syntactically carries a generator."""
+        if isinstance(node, ast.Name):
+            return (node.id in self.names
+                    or is_generator_param(node.id, None))
+        if isinstance(node, ast.Attribute):
+            attr = node.attr.lstrip("_")
+            return ("rng" in attr or attr == "generator"
+                    or attr.endswith("generator"))
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            return (dotted is not None
+                    and dotted.rpartition(".")[2] == "default_rng"
+                    and bool(node.args or node.keywords))
+        return False
+
+
+def _classify_value(node: ast.expr,
+                    locals_map: Mapping[str, ast.expr],
+                    depth: int = 0) -> tuple[str, str | None, int | None,
+                                             str | None]:
+    """``(kind, dtype, rank, callee)`` classification of an expression."""
+    if isinstance(node, ast.Name) and depth < 2:
+        assigned = locals_map.get(node.id)
+        if assigned is not None:
+            return _classify_value(assigned, locals_map, depth + 1)
+        return "other", None, None, None
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set", None, None, None
+    if not isinstance(node, ast.Call):
+        return "other", None, None, None
+
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+        return "set", None, None, None
+    if isinstance(func, ast.Attribute):
+        if func.attr in _SET_METHODS:
+            return "set", None, None, None
+        if func.attr == "astype":
+            return "array", _normalise_dtype(_argument(node, 0, "dtype")), \
+                None, None
+    dotted = _dotted(func)
+    if dotted is None:
+        return "other", None, None, None
+    tail = dotted.rpartition(".")[2]
+    if tail in _FLOAT64_CTORS:
+        shape = _argument(node, 0, "shape")
+        position = 2 if tail == "full" else 1
+        dtype_node = _argument(node, position, "dtype")
+        dtype = _normalise_dtype(dtype_node) if dtype_node is not None \
+            else "float64"
+        rank = _shape_rank(shape) if shape is not None else None
+        return "array", dtype, rank, None
+    if tail in _ARRAY_CTORS:
+        return "array", _normalise_dtype(_argument(node, 1, "dtype")), \
+            None, None
+    if tail in _ARRAY_COMBINATORS:
+        return "array", None, None, None
+    return "call", None, None, dotted
+
+
+def _unwrap_iterable(node: ast.expr) -> ast.expr | None:
+    """Strip order-neutral wrappers; ``None`` when order is made safe."""
+    while isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        name = node.func.id
+        if name in ("sorted", "min", "max", "sum", "len", "frozenset",
+                    "set", "any", "all"):
+            # sorted() fixes the order; the aggregations are orderless.
+            # set()/frozenset() of an iterable is flagged at *its* own
+            # iteration site, not here.
+            return None
+        if name in ("list", "tuple", "enumerate", "reversed", "iter"):
+            if not node.args:
+                return None
+            node = node.args[0]
+            continue
+        break
+    return node
+
+
+def _own_body_walk(node: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _extract_function(node: ast.FunctionDef | ast.AsyncFunctionDef,
+                      qualname: str) -> FunctionFacts:
+    args = node.args
+    params: list[ParamFact] = []
+    positional = [*args.posonlyargs, *args.args]
+    n_without_default = len(positional) - len(args.defaults)
+    for position, arg in enumerate(positional):
+        annotation = (ast.unparse(arg.annotation)
+                      if arg.annotation is not None else None)
+        params.append(ParamFact(name=arg.arg, annotation=annotation,
+                                has_default=position >= n_without_default))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        annotation = (ast.unparse(arg.annotation)
+                      if arg.annotation is not None else None)
+        params.append(ParamFact(name=arg.arg, annotation=annotation,
+                                has_default=default is not None))
+
+    generator_params = [p.name for p in params
+                        if is_generator_param(p.name, p.annotation)
+                        and p.name not in ("self", "cls")]
+    generator_required = any(
+        not p.has_default for p in params if p.name in generator_params)
+
+    scope = _GeneratorScope(generator_params)
+    locals_map: dict[str, ast.expr] = {}
+    conflicting: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Assign) and len(child.targets) == 1:
+            target = child.targets[0]
+            if isinstance(target, ast.Name):
+                scope.note_assignment(target.id, child.value)
+                if target.id in locals_map:
+                    conflicting.add(target.id)
+                else:
+                    locals_map[target.id] = child.value
+    for name in conflicting:
+        locals_map.pop(name, None)
+
+    facts = FunctionFacts(name=node.name, qualname=qualname,
+                          lineno=node.lineno, col=node.col_offset + 1,
+                          params=params,
+                          generator_params=generator_params,
+                          generator_required=generator_required)
+
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        func = child.func
+        if (isinstance(func, ast.Attribute)
+                and scope.holds_generator(func.value)):
+            facts.draws_generator = True
+            continue
+        dotted = _dotted(func)
+        if dotted is None:
+            continue
+        passes = any(scope.holds_generator(arg) for arg in child.args)
+        passes = passes or any(scope.holds_generator(kw.value)
+                               for kw in child.keywords)
+        facts.calls.append(CallFact(callee=dotted, lineno=child.lineno,
+                                    col=child.col_offset + 1,
+                                    passes_generator=passes))
+
+    for child in _own_body_walk(node):
+        if isinstance(child, ast.Return) and child.value is not None:
+            kind, dtype, rank, callee = _classify_value(child.value,
+                                                        locals_map)
+            facts.returns.append(ReturnFact(
+                lineno=child.lineno, col=child.col_offset + 1,
+                kind=kind, dtype=dtype, rank=rank, callee=callee))
+        iterables: list[ast.expr] = []
+        if isinstance(child, (ast.For, ast.AsyncFor)):
+            iterables.append(child.iter)
+        elif isinstance(child, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                ast.GeneratorExp)):
+            iterables.extend(gen.iter for gen in child.generators)
+        for iterable in iterables:
+            unwrapped = _unwrap_iterable(iterable)
+            if unwrapped is None:
+                continue
+            kind, _, _, callee = _classify_value(unwrapped, locals_map)
+            if kind == "set":
+                facts.iterations.append(IterationFact(
+                    lineno=iterable.lineno, col=iterable.col_offset + 1,
+                    kind="set", callee=None,
+                    rendered=ast.unparse(unwrapped)))
+            elif kind == "call" and callee is not None:
+                facts.iterations.append(IterationFact(
+                    lineno=iterable.lineno, col=iterable.col_offset + 1,
+                    kind="call", callee=callee,
+                    rendered=ast.unparse(unwrapped)))
+    return facts
+
+
+def _base_name(node: ast.expr) -> str | None:
+    while isinstance(node, ast.Subscript):  # Generic[...] and friends
+        node = node.value
+    return _dotted(node)
+
+
+def _decorator_label(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call):
+        node = node.func
+    dotted = _dotted(node)
+    return dotted.rpartition(".")[2] if dotted else None
+
+
+def _extract_class(node: ast.ClassDef) -> ClassFacts:
+    facts = ClassFacts(name=node.name, lineno=node.lineno,
+                       col=node.col_offset + 1,
+                       bases=[b for b in (_base_name(base)
+                                          for base in node.bases)
+                              if b is not None])
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            labels = {_decorator_label(d) for d in stmt.decorator_list}
+            if labels & {"abstractmethod", "abstractproperty"}:
+                facts.abstract_names.append(stmt.name)
+            facts.methods.append(
+                _extract_function(stmt, f"{node.name}.{stmt.name}"))
+        elif isinstance(stmt, ast.Assign):
+            facts.assigned_names.extend(
+                t.id for t in stmt.targets if isinstance(t, ast.Name))
+        elif (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.value is not None):
+            facts.assigned_names.append(stmt.target.id)
+    return facts
+
+
+def _resolve_relative(module_name: str, is_package_init: bool,
+                      node: ast.ImportFrom) -> str | None:
+    """Absolute module an import-from targets (mirrors RPR301's logic)."""
+    if node.level == 0:
+        return node.module
+    parts = module_name.split(".")
+    cut = node.level - 1 if is_package_init else node.level
+    if cut >= len(parts):
+        return node.module
+    base = parts[:len(parts) - cut]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base)
+
+
+def extract_module_facts(tree: ast.Module, *, path: str, module_name: str,
+                         pragmas: Mapping[int, Iterable[str]] | None = None
+                         ) -> ModuleFacts:
+    """Extract the semantic fact summary of one parsed module."""
+    is_package_init = path.rsplit("/", 1)[-1] == "__init__.py"
+    facts = ModuleFacts(path=path, module_name=module_name,
+                        pragmas={line: sorted(codes)
+                                 for line, codes in (pragmas or {}).items()})
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            facts.functions.append(_extract_function(stmt, stmt.name))
+        elif isinstance(stmt, ast.ClassDef):
+            facts.classes.append(_extract_class(stmt))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                facts.imports.append(ImportFact(
+                    module=alias.name, name=None, alias=local))
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_relative(module_name, is_package_init, node)
+            if target is None:
+                continue
+            for alias in node.names:
+                facts.imports.append(ImportFact(
+                    module=target, name=alias.name,
+                    alias=alias.asname or alias.name))
+    return facts

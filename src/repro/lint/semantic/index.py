@@ -1,0 +1,309 @@
+"""The project index: module graph, symbol resolution, call graph.
+
+Built once per run from the per-file :class:`~repro.lint.semantic.facts.
+ModuleFacts` summaries (cached per content hash), the index answers the
+cross-module questions the interprocedural rules ask:
+
+* *import graph* — which project modules does a module import, and,
+  transitively, which files must be re-analysed when one file changes
+  (:meth:`ProjectIndex.dependent_paths`);
+* *symbol resolution* — what does a name in a module refer to,
+  following ``from x import y`` chains and package re-exports;
+* *class hierarchy* — ``Featurizer`` (or any root) subclass closure
+  with inherited-member lookup;
+* *call graph* — approximate resolution of call sites to project
+  functions, including ``self.method`` dispatch and constructor calls.
+
+Resolution is best-effort: anything the index cannot resolve (builtins,
+third-party calls, dynamic dispatch) is simply invisible to the
+analyses, which keeps them quiet rather than wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.lint.semantic.facts import ClassFacts, FunctionFacts, ModuleFacts
+
+__all__ = ["ProjectIndex", "ResolvedSymbol"]
+
+#: Maximum re-export chain length followed during symbol resolution.
+_MAX_CHASE = 16
+
+
+class ResolvedSymbol:
+    """What a name in a module resolves to within the project."""
+
+    #: ``"function"``, ``"class"``, or ``"module"``.
+    kind: str
+
+    def __init__(self, kind: str, module: ModuleFacts | None,
+                 function: FunctionFacts | None = None,
+                 cls: ClassFacts | None = None) -> None:
+        self.kind = kind
+        #: Module the symbol is defined in (the target for ``module``).
+        self.module = module
+        #: Function facts when ``kind == "function"``.
+        self.function = function
+        #: Class facts when ``kind == "class"``.
+        self.cls = cls
+
+
+class ProjectIndex:
+    """Cross-module resolution structures built from module facts."""
+
+    def __init__(self, facts: Iterable[ModuleFacts]) -> None:
+        #: Module facts keyed by dotted module name.
+        self.modules: dict[str, ModuleFacts] = {}
+        #: Module facts keyed by scan-relative path.
+        self.by_path: dict[str, ModuleFacts] = {}
+        for mf in facts:
+            self.modules[mf.module_name] = mf
+            self.by_path[mf.path] = mf
+        #: module name -> project modules it imports (direct edges).
+        self.imports_of: dict[str, set[str]] = {}
+        #: module name -> project modules importing it (reverse edges).
+        self.importers_of: dict[str, set[str]] = {
+            name: set() for name in self.modules}
+        for name, mf in self.modules.items():
+            edges = {target for target in
+                     (self._project_module(imp.module)
+                      for imp in mf.imports)
+                     if target is not None and target != name}
+            self.imports_of[name] = edges
+            for target in edges:
+                self.importers_of[target].add(name)
+        #: bare class name -> [(module facts, class facts)] definitions.
+        self.classes_by_name: dict[str, list[tuple[ModuleFacts,
+                                                   ClassFacts]]] = {}
+        for mf in self.modules.values():
+            for cls in mf.classes:
+                self.classes_by_name.setdefault(cls.name, []).append(
+                    (mf, cls))
+
+    # ------------------------------------------------------------------
+    # import graph
+
+    def _project_module(self, dotted: str) -> str | None:
+        """Longest known project module matching ``dotted`` (or prefix)."""
+        name = dotted
+        while name:
+            if name in self.modules:
+                return name
+            name = name.rpartition(".")[0]
+        return None
+
+    def dependent_paths(self, paths: Iterable[str]) -> set[str]:
+        """Transitive importers (by path) of the given changed paths.
+
+        This is the cache-invalidation frontier: every semantic finding
+        is attributed to a file whose import closure determines it, so a
+        change can only affect the changed files and their transitive
+        importers.
+        """
+        queue = [self.by_path[p].module_name
+                 for p in paths if p in self.by_path]
+        seen: set[str] = set(queue)
+        while queue:
+            current = queue.pop()
+            for importer in self.importers_of.get(current, ()):
+                if importer not in seen:
+                    seen.add(importer)
+                    queue.append(importer)
+        return {self.modules[name].path for name in seen}
+
+    # ------------------------------------------------------------------
+    # symbol resolution
+
+    def resolve_symbol(self, module_name: str,
+                       name: str) -> ResolvedSymbol | None:
+        """Resolve a (possibly dotted) name in a module's global scope."""
+        head, _, rest = name.partition(".")
+        symbol = self._resolve_binding(module_name, head)
+        while symbol is not None and rest:
+            head, _, rest = rest.partition(".")
+            if symbol.kind == "module" and symbol.module is not None:
+                symbol = self._resolve_binding(
+                    symbol.module.module_name, head)
+            elif symbol.kind == "class" and symbol.cls is not None:
+                method = self._find_method(symbol.module, symbol.cls, head)
+                if method is None or rest:
+                    return None
+                return ResolvedSymbol("function", symbol.module,
+                                      function=method)
+            else:
+                return None
+        return symbol
+
+    def _resolve_binding(self, module_name: str, name: str,
+                         _depth: int = 0) -> ResolvedSymbol | None:
+        if _depth > _MAX_CHASE:
+            return None
+        mf = self.modules.get(module_name)
+        if mf is None:
+            return None
+        for function in mf.functions:
+            if function.name == name:
+                return ResolvedSymbol("function", mf, function=function)
+        for cls in mf.classes:
+            if cls.name == name:
+                return ResolvedSymbol("class", mf, cls=cls)
+        star_targets: list[str] = []
+        for imp in mf.imports:
+            if imp.name == "*":
+                star_targets.append(imp.module)
+                continue
+            if imp.alias != name:
+                continue
+            if imp.name is None:
+                target = self._project_module(imp.module)
+                if target is not None:
+                    return ResolvedSymbol("module", self.modules[target])
+                return None
+            target = self._project_module(imp.module)
+            if target is None:
+                return None
+            return self._resolve_binding(target, imp.name, _depth + 1)
+        for target_module in star_targets:
+            target = self._project_module(target_module)
+            if target is not None:
+                symbol = self._resolve_binding(target, name, _depth + 1)
+                if symbol is not None:
+                    return symbol
+        submodule = f"{module_name}.{name}"
+        if submodule in self.modules:
+            return ResolvedSymbol("module", self.modules[submodule])
+        return None
+
+    # ------------------------------------------------------------------
+    # class hierarchy
+
+    def resolve_base(self, module: ModuleFacts,
+                     base: str) -> tuple[ModuleFacts, ClassFacts] | None:
+        """Resolve a base-class name as written in a class statement.
+
+        Import-based resolution first; when that fails, fall back to a
+        unique bare-name match across the project (mirroring the
+        pre-index behaviour of the Featurizer-surface rule).
+        """
+        symbol = self.resolve_symbol(module.module_name, base)
+        if symbol is not None and symbol.kind == "class" \
+                and symbol.cls is not None and symbol.module is not None:
+            return symbol.module, symbol.cls
+        bare = base.rpartition(".")[2]
+        candidates = self.classes_by_name.get(bare, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def iter_ancestry(self, module: ModuleFacts, cls: ClassFacts
+                      ) -> Iterator[tuple[ModuleFacts, ClassFacts]]:
+        """The class and its project ancestors, nearest first."""
+        queue: list[tuple[ModuleFacts, ClassFacts]] = [(module, cls)]
+        seen: set[tuple[str, str]] = set()
+        while queue:
+            mf, current = queue.pop(0)
+            key = (mf.module_name, current.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield mf, current
+            for base in current.bases:
+                resolved = self.resolve_base(mf, base)
+                if resolved is not None:
+                    queue.append(resolved)
+
+    def subclasses_of(self, root_name: str
+                      ) -> list[tuple[ModuleFacts, ClassFacts]]:
+        """Transitive project subclasses of the class named ``root_name``.
+
+        Matching follows resolved bases where possible and bare base
+        names otherwise, so single-file trees (unit tests) and the real
+        multi-module hierarchy both resolve.
+        """
+        known: set[tuple[str, str]] = {
+            (mf.module_name, cls.name)
+            for mf, cls in self.classes_by_name.get(root_name, [])}
+        if not known:
+            return []
+        result: list[tuple[ModuleFacts, ClassFacts]] = []
+        changed = True
+        members = [(mf, cls) for mf in self.modules.values()
+                   for cls in mf.classes]
+        while changed:
+            changed = False
+            for mf, cls in members:
+                key = (mf.module_name, cls.name)
+                if key in known:
+                    continue
+                for base in cls.bases:
+                    resolved = self.resolve_base(mf, base)
+                    if resolved is not None:
+                        base_key = (resolved[0].module_name,
+                                    resolved[1].name)
+                    else:
+                        base_key = None
+                    bare = base.rpartition(".")[2]
+                    if (base_key in known
+                            or any(k[1] == bare for k in known)):
+                        known.add(key)
+                        result.append((mf, cls))
+                        changed = True
+                        break
+        return result
+
+    # ------------------------------------------------------------------
+    # call graph
+
+    def _find_method(self, module: ModuleFacts | None, cls: ClassFacts,
+                     name: str) -> FunctionFacts | None:
+        if module is None:
+            return None
+        for mf, current in self.iter_ancestry(module, cls):
+            for method in current.methods:
+                if method.name == name:
+                    return method
+        return None
+
+    def resolve_call(self, module_name: str, callee: str,
+                     enclosing_class: str | None = None
+                     ) -> tuple[ModuleFacts, FunctionFacts] | None:
+        """Resolve a call site to a project function, best effort.
+
+        ``callee`` is the dotted name as written (``"helper"``,
+        ``"mod.helper"``, ``"self.method"``, ``"Cls"``); constructor
+        calls resolve to the class's ``__init__``.  Returns ``None`` for
+        anything outside the project or not statically resolvable.
+        """
+        mf = self.modules.get(module_name)
+        if mf is None:
+            return None
+        head, _, rest = callee.partition(".")
+        if head in ("self", "cls") and enclosing_class is not None:
+            if not rest or "." in rest:
+                return None
+            for cls in mf.classes:
+                if cls.name == enclosing_class:
+                    method = self._find_method(mf, cls, rest)
+                    if method is not None:
+                        owner = self._method_owner(mf, cls, rest)
+                        return owner if owner is not None else (mf, method)
+            return None
+        symbol = self.resolve_symbol(module_name, callee)
+        if symbol is None or symbol.module is None:
+            return None
+        if symbol.kind == "function" and symbol.function is not None:
+            return symbol.module, symbol.function
+        if symbol.kind == "class" and symbol.cls is not None:
+            init = self._find_method(symbol.module, symbol.cls, "__init__")
+            if init is not None:
+                return symbol.module, init
+        return None
+
+    def _method_owner(self, module: ModuleFacts, cls: ClassFacts,
+                      name: str) -> tuple[ModuleFacts, FunctionFacts] | None:
+        for mf, current in self.iter_ancestry(module, cls):
+            for method in current.methods:
+                if method.name == name:
+                    return mf, method
+        return None

@@ -1,0 +1,134 @@
+"""Tests for the incremental cache and the parse-stage fan-out."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint import LintConfig
+from repro.lint.cache import CacheEntry, LintCache, cache_meta_key
+from repro.lint.engine import run
+from repro.lint.findings import Finding
+
+DIRTY = textwrap.dedent("""\
+    import numpy as np
+
+    __all__ = ["f"]
+
+
+    def f(x=[]):
+        \"\"\"Misbehave.\"\"\"
+        np.random.seed(0)
+        return x
+    """)
+
+
+def write_files(root: Path, count: int) -> None:
+    for i in range(count):
+        (root / f"mod{i:02d}.py").write_text(DIRTY, encoding="utf-8")
+
+
+class TestWarmRuns:
+    def test_warm_run_reuses_everything(self, tmp_path):
+        write_files(tmp_path, 4)
+        cache = tmp_path / "cache.json"
+        config = LintConfig()
+        cold = run([tmp_path], config, cache_path=cache)
+        warm = run([tmp_path], config, cache_path=cache)
+        assert warm.files_reanalyzed == ()
+        assert warm.findings == cold.findings
+        assert warm.suppressed == cold.suppressed
+        assert warm.files_scanned == cold.files_scanned
+
+    def test_uncached_run_matches_cached(self, tmp_path):
+        write_files(tmp_path, 4)
+        cache = tmp_path / "cache.json"
+        config = LintConfig()
+        cached = run([tmp_path], config, cache_path=cache)
+        plain = run([tmp_path], config)
+        assert plain.findings == cached.findings
+
+    def test_deleted_file_is_pruned(self, tmp_path):
+        write_files(tmp_path, 3)
+        cache = tmp_path / "cache.json"
+        config = LintConfig()
+        run([tmp_path], config, cache_path=cache)
+        (tmp_path / "mod02.py").unlink()
+        result = run([tmp_path], config, cache_path=cache)
+        assert result.files_scanned == 2
+        payload = json.loads(cache.read_text(encoding="utf-8"))
+        assert not any("mod02" in key for key in payload["files"])
+
+
+class TestInvalidation:
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        write_files(tmp_path, 2)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{ not json", encoding="utf-8")
+        config = LintConfig()
+        result = run([tmp_path], config, cache_path=cache)
+        assert len(result.findings) == 4  # RPR101 + RPR201 per file
+        # and the run rewrote a valid cache
+        assert json.loads(cache.read_text(encoding="utf-8"))["files"]
+
+    def test_config_change_invalidates_whole_cache(self, tmp_path):
+        write_files(tmp_path, 2)
+        cache = tmp_path / "cache.json"
+        run([tmp_path], LintConfig(), cache_path=cache)
+        narrowed = LintConfig(select=frozenset({"RPR101"}))
+        result = run([tmp_path], narrowed, cache_path=cache)
+        assert {f.code for f in result.findings} == {"RPR101"}
+        assert len(result.files_reanalyzed) == 2
+
+    def test_meta_key_covers_rules_and_config(self):
+        base = cache_meta_key("cfg-a", ["RPR101", "RPR102"])
+        assert base == cache_meta_key("cfg-a", ["RPR102", "RPR101"])
+        assert base != cache_meta_key("cfg-b", ["RPR101", "RPR102"])
+        assert base != cache_meta_key("cfg-a", ["RPR101"])
+
+    def test_unwritable_cache_does_not_fail_the_run(self, tmp_path):
+        write_files(tmp_path, 1)
+        config = LintConfig()
+        missing_dir = tmp_path / "no-such-dir" / "cache.json"
+        result = run([tmp_path], config, cache_path=missing_dir)
+        assert len(result.findings) == 2
+
+
+class TestEntryRoundTrip:
+    def test_entry_serialises_losslessly(self):
+        finding = Finding(path="a.py", line=3, col=1, code="RPR101",
+                          message="m")
+        entry = CacheEntry(file_hash="h", module_name="a",
+                           findings=[finding], suppressed=[],
+                           semantic_findings=[], semantic_suppressed=None,
+                           facts=None)
+        rebuilt = CacheEntry.from_dict(
+            json.loads(json.dumps(entry.to_dict())))
+        assert rebuilt.findings == [finding]
+        assert rebuilt.semantic_findings == []
+        assert rebuilt.semantic_suppressed is None
+
+    def test_stale_meta_key_loads_empty(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache = LintCache(cache_path, "meta-1")
+        cache.put("a.py", CacheEntry(file_hash="h", module_name="a"))
+        cache.save()
+        assert LintCache.load(cache_path, "meta-1").entries
+        assert not LintCache.load(cache_path, "meta-2").entries
+
+
+class TestParallelism:
+    def test_jobs_equivalent_to_serial(self, tmp_path):
+        # Enough files to clear the pool threshold.
+        write_files(tmp_path, 14)
+        config = LintConfig()
+        serial = run([tmp_path], config, jobs=1)
+        parallel = run([tmp_path], config, jobs=2)
+        assert parallel.findings == serial.findings
+        assert parallel.suppressed == serial.suppressed
+        assert parallel.files_scanned == serial.files_scanned
+
+    def test_jobs_auto_mode(self, tmp_path):
+        write_files(tmp_path, 14)
+        config = LintConfig()
+        auto = run([tmp_path], config, jobs=0)
+        assert auto.files_scanned == 14

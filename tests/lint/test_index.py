@@ -1,0 +1,159 @@
+"""Tests for the project index: resolution and cache invalidation.
+
+The fixture package exercises the three resolution features the
+interprocedural rules lean on — a diamond import, a cross-file
+``Featurizer`` subclass, and a symbol re-exported through a package
+``__init__`` — and then proves the import-graph invalidation frontier
+matches the diamond exactly.
+"""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint import LintConfig
+from repro.lint.engine import module_name_for, run
+from repro.lint.semantic import ProjectIndex, extract_module_facts
+
+#: Diamond: app -> (left, right) -> core, plus a package __init__
+#: re-exporting core's helper and a cross-file Featurizer hierarchy.
+FIXTURE = {
+    "pkg/__init__.py": """\
+        from pkg.core import helper
+        """,
+    "pkg/core.py": """\
+        def helper(x):
+            return x + 1
+
+        class Featurizer:
+            pass
+        """,
+    "pkg/left.py": """\
+        from pkg.core import helper
+
+        def via_left(x):
+            return helper(x)
+        """,
+    "pkg/right.py": """\
+        from pkg.core import Featurizer
+
+        class Intermediate(Featurizer):
+            pass
+        """,
+    "pkg/app.py": """\
+        from pkg import helper
+        from pkg.left import via_left
+        from pkg.right import Intermediate
+
+        class Leaf(Intermediate):
+            pass
+
+        def main(x):
+            return helper(via_left(x))
+        """,
+    "pkg/loner.py": """\
+        def unrelated():
+            return 0
+        """,
+}
+
+
+def write_tree(root: Path, files: dict) -> None:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def build_index(root: Path) -> ProjectIndex:
+    facts = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        facts.append(extract_module_facts(
+            tree, path=path.relative_to(root).as_posix(),
+            module_name=module_name_for(path)))
+    return ProjectIndex(facts)
+
+
+class TestResolution:
+    def test_direct_import_resolves(self, tmp_path):
+        write_tree(tmp_path, FIXTURE)
+        index = build_index(tmp_path)
+        symbol = index.resolve_symbol("pkg.left", "helper")
+        assert symbol.kind == "function"
+        assert symbol.module.module_name == "pkg.core"
+        assert symbol.function.name == "helper"
+
+    def test_reexport_through_package_init(self, tmp_path):
+        write_tree(tmp_path, FIXTURE)
+        index = build_index(tmp_path)
+        # app imports helper from the package, which re-exports core's.
+        symbol = index.resolve_symbol("pkg.app", "helper")
+        assert symbol.kind == "function"
+        assert symbol.module.module_name == "pkg.core"
+
+    def test_cross_file_subclass_closure(self, tmp_path):
+        write_tree(tmp_path, FIXTURE)
+        index = build_index(tmp_path)
+        subclasses = {cls.name for _, cls
+                      in index.subclasses_of("Featurizer")}
+        assert subclasses == {"Intermediate", "Leaf"}
+
+    def test_call_resolution_through_reexport(self, tmp_path):
+        write_tree(tmp_path, FIXTURE)
+        index = build_index(tmp_path)
+        resolved = index.resolve_call("pkg.app", "helper")
+        assert resolved is not None
+        assert resolved[0].module_name == "pkg.core"
+
+    def test_diamond_import_edges(self, tmp_path):
+        write_tree(tmp_path, FIXTURE)
+        index = build_index(tmp_path)
+        assert index.imports_of["pkg.left"] == {"pkg.core"}
+        assert index.imports_of["pkg.right"] == {"pkg.core"}
+        assert index.imports_of["pkg.app"] == {
+            "pkg", "pkg.left", "pkg.right"}
+        assert index.importers_of["pkg.core"] == {
+            "pkg", "pkg.left", "pkg.right"}
+
+    def test_dependent_paths_walk_the_diamond(self, tmp_path):
+        write_tree(tmp_path, FIXTURE)
+        index = build_index(tmp_path)
+        dependents = index.dependent_paths(["pkg/core.py"])
+        assert dependents == {"pkg/core.py", "pkg/__init__.py",
+                              "pkg/left.py", "pkg/right.py", "pkg/app.py"}
+        assert index.dependent_paths(["pkg/loner.py"]) == {"pkg/loner.py"}
+
+
+class TestTransitiveInvalidation:
+    """Editing one file re-analyses exactly it plus its importers."""
+
+    def test_diamond_edit_invalidates_importers_only(self, tmp_path):
+        write_tree(tmp_path, FIXTURE)
+        config = LintConfig()
+        cache = tmp_path / "cache.json"
+        cold = run([tmp_path / "pkg"], config, cache_path=cache)
+        assert len(cold.files_reanalyzed) == len(FIXTURE)
+
+        warm = run([tmp_path / "pkg"], config, cache_path=cache)
+        assert warm.files_reanalyzed == ()
+
+        target = tmp_path / "pkg/core.py"
+        target.write_text(target.read_text(encoding="utf-8")
+                          + "\n# touched\n", encoding="utf-8")
+        edited = run([tmp_path / "pkg"], config, cache_path=cache)
+        names = {Path(p).name for p in edited.files_reanalyzed}
+        assert names == {"core.py", "__init__.py", "left.py",
+                         "right.py", "app.py"}
+
+    def test_leaf_edit_invalidates_only_itself(self, tmp_path):
+        write_tree(tmp_path, FIXTURE)
+        config = LintConfig()
+        cache = tmp_path / "cache.json"
+        run([tmp_path / "pkg"], config, cache_path=cache)
+        target = tmp_path / "pkg/loner.py"
+        target.write_text(target.read_text(encoding="utf-8")
+                          + "\n# touched\n", encoding="utf-8")
+        edited = run([tmp_path / "pkg"], config, cache_path=cache)
+        names = {Path(p).name for p in edited.files_reanalyzed}
+        assert names == {"loner.py"}

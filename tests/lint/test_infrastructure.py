@@ -9,6 +9,7 @@ from repro.lint.baseline import (
     BaselineError,
     apply_baseline,
     load_baseline,
+    update_baseline,
     write_baseline,
 )
 from repro.lint.config import (
@@ -19,7 +20,7 @@ from repro.lint.config import (
 )
 from repro.lint.engine import discover_files, module_name_for
 from repro.lint.findings import Finding
-from repro.lint.pragmas import parse_pragmas
+from repro.lint.pragmas import decorator_pragmas, parse_pragmas
 from repro.lint.registry import all_rule_classes
 from repro.lint.reporters import Report, render
 
@@ -63,6 +64,46 @@ class TestBaseline:
         path.write_text("not json at all")
         with pytest.raises(BaselineError):
             load_baseline(path)
+
+    def test_stale_paths_are_pruned_on_load(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        path = tmp_path / "baseline.json"
+        write_baseline([F1, F2], path)  # a.py exists, b.py does not
+        known = load_baseline(path, root=tmp_path)
+        assert ("a.py", "RPR101", "m1") in known
+        assert ("b.py", "RPR303", "m2") not in known
+        # without a root, nothing is pruned (library callers opt in)
+        assert ("b.py", "RPR303", "m2") in load_baseline(path)
+
+    def test_update_baseline_drops_fixed_entries(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "b.py").write_text("x = 1\n")
+        path = tmp_path / "baseline.json"
+        write_baseline([F1, F2], path)
+        # Current run only produces F1 — F2 was fixed.
+        removed = update_baseline([F1], path, root=tmp_path)
+        assert removed == 1
+        assert set(load_baseline(path)) == {("a.py", "RPR101", "m1")}
+
+    def test_update_baseline_never_adds_new_findings(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        path = tmp_path / "baseline.json"
+        write_baseline([F1], path)
+        fresh = Finding(path="a.py", line=2, col=1, code="RPR102",
+                        message="brand new")
+        update_baseline([F1, fresh], path, root=tmp_path)
+        known = load_baseline(path)
+        assert set(known) == {("a.py", "RPR101", "m1")}
+
+    def test_update_baseline_is_deterministic(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "b.py").write_text("x = 1\n")
+        path = tmp_path / "baseline.json"
+        write_baseline([F2, F1], path)
+        update_baseline([F1, F2], path, root=tmp_path)
+        first = path.read_text()
+        update_baseline([F2, F1], path, root=tmp_path)
+        assert path.read_text() == first
 
 
 class TestConfig:
@@ -119,6 +160,36 @@ class TestPragmas:
 
     def test_blanket_form(self):
         assert parse_pragmas("x = 1  # repro: ignore\n")[1] == frozenset("*")
+
+    def test_space_separated_codes(self):
+        pragmas = parse_pragmas("x = 1  # repro: ignore[RPR102 RPR201]\n")
+        assert pragmas[1] == frozenset({"RPR102", "RPR201"})
+
+    def test_mixed_comma_and_space_separators(self):
+        pragmas = parse_pragmas(
+            "x = 1  # repro: ignore[RPR102, RPR201 RPR303]\n")
+        assert pragmas[1] == frozenset({"RPR102", "RPR201", "RPR303"})
+
+    def test_decorator_pragma_covers_the_def_line(self):
+        import ast
+        source = (
+            "@property  # repro: ignore[RPR101]\n"
+            "def f(x=[]):\n"
+            "    return x\n")
+        merged = decorator_pragmas(ast.parse(source),
+                                   parse_pragmas(source))
+        assert merged[1] == frozenset({"RPR101"})
+        assert merged[2] == frozenset({"RPR101"})
+
+    def test_decorator_pragma_suppresses_finding(self):
+        from repro.lint import lint_text
+        result = lint_text(
+            "@staticmethod  # repro: ignore[RPR101]\n"
+            "def f(x=[]):\n"
+            '    """Doc."""\n'
+            "    return x\n")
+        assert not any(f.code == "RPR101" for f in result.findings)
+        assert any(f.code == "RPR101" for f in result.suppressed)
 
 
 class TestReporters:

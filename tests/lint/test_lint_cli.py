@@ -99,3 +99,56 @@ def test_repo_src_via_cli_is_clean():
     repo_root = Path(__file__).resolve().parents[2]
     code, out = run_cli([str(repo_root / "src")])
     assert code == 0, out
+
+
+def test_sarif_format(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    code, out = run_cli([str(target), "--format", "sarif",
+                         "--no-baseline", "--no-cache"])
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["version"] == "2.1.0"
+    codes = {r["ruleId"] for r in payload["runs"][0]["results"]}
+    assert {"RPR101", "RPR201"} <= codes
+
+
+def test_update_baseline_flow(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    baseline = tmp_path / "baseline.json"
+    run_cli([str(target), "--baseline", str(baseline),
+             "--write-baseline", "--no-cache"])
+    # Fix the mutable default; --update-baseline drops its entry.
+    target.write_text(DIRTY.replace("def f(x=[]):", "def f(x=None):"))
+    code, out = run_cli([str(target), "--baseline", str(baseline),
+                         "--update-baseline", "--no-cache"])
+    assert code == 0
+    assert "removed 1" in out
+    payload = json.loads(baseline.read_text())
+    codes = {entry["code"] for entry in payload["findings"]}
+    assert "RPR101" not in codes and "RPR201" in codes
+
+
+def test_explicit_cache_speeds_warm_run(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    cache = tmp_path / "cache.json"
+    code, _ = run_cli([str(target), "--no-baseline",
+                       "--cache", str(cache)])
+    assert code == 1 and cache.exists()
+    # Warm run over an unchanged tree reports the same findings.
+    code, out = run_cli([str(target), "--no-baseline",
+                         "--cache", str(cache)])
+    assert code == 1
+    assert "RPR101" in out
+
+
+def test_jobs_flag_matches_serial(tmp_path):
+    for i in range(14):
+        (tmp_path / f"mod{i:02d}.py").write_text(DIRTY)
+    serial = run_cli([str(tmp_path), "--no-baseline", "--no-cache",
+                      "--format", "json"])
+    parallel = run_cli([str(tmp_path), "--no-baseline", "--no-cache",
+                        "--format", "json", "--jobs", "2"])
+    assert json.loads(serial[1]) == json.loads(parallel[1])
