@@ -1,0 +1,44 @@
+"""Tracing overhead: instrumented featurization vs the raw pipeline.
+
+Times the batch featurization path three ways (see
+``repro.bench.run_obs_bench``): with no instrumentation reachable at
+all, with the default disabled tracer, and with tracing enabled.  The
+disabled-mode overhead is the cost every production run pays for the
+hooks; it must stay under the same bound the ``repro bench obs`` CLI
+gate and the committed ``BENCH_obs.json`` enforce.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_obs_bench
+from repro.experiments.common import ExperimentResult
+
+#: Maximum tolerated slowdown of the disabled-tracing path, percent.
+MAX_DISABLED_OVERHEAD_PCT = 3.0
+
+
+def test_obs_overhead(scale, record):
+    report = run_obs_bench(rows=scale.forest_rows,
+                           queries=scale.featurize_queries,
+                           partitions=scale.partitions)
+    rows = [{
+        "queries": report["n_queries"],
+        "baseline (s)": f"{report['baseline_seconds']:.3f}",
+        "disabled (s)": f"{report['disabled_seconds']:.3f}",
+        "enabled (s)": f"{report['enabled_seconds']:.3f}",
+        "disabled overhead": f"{report['disabled_overhead_pct']:+.2f}%",
+        "enabled overhead": f"{report['enabled_overhead_pct']:+.2f}%",
+    }]
+    record(ExperimentResult(
+        experiment="obs_overhead",
+        paper_artifact="featurization cost (Section 5 'costs of the "
+                       "query featurization'), instrumented",
+        rows=rows,
+        notes="Disabled-mode overhead is what every run pays for the "
+              "repro.obs hooks; enabled-mode overhead is the price of "
+              "an actual trace.",
+    ))
+    assert report["disabled_overhead_pct"] <= MAX_DISABLED_OVERHEAD_PCT, (
+        f"disabled tracing costs {report['disabled_overhead_pct']:.2f}% "
+        f"(bound {MAX_DISABLED_OVERHEAD_PCT}%)"
+    )

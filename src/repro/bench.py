@@ -1,20 +1,34 @@
-"""Micro-benchmarks: featurization throughput and lint cache warm-up.
+"""Micro-benchmarks: featurization throughput, lint cache, obs overhead.
 
 The batch refactor's contract is twofold — bitwise-identical feature
 matrices and a real throughput win.  :func:`run_featurize_bench` checks
 both: every case times the per-query scalar loop against the columnar
 ``featurize_batch`` pipeline on the same workload and verifies the two
-matrices are identical before reporting a speedup.
+matrices are identical before reporting a speedup.  Pass timings come
+from ``bench.scalar_pass`` / ``bench.batch_pass`` spans (under
+:func:`repro.obs.ensure_tracing`), so a traced benchmark run exports the
+same numbers it reports.
 
 :func:`run_lint_bench` measures the linter's incremental cache the same
 way: a cold full-repo analysis against a warm re-run over an unchanged
 tree, verifying the warm run re-analyses nothing and reporting the
 speedup (committed as ``BENCH_lint.json``).
 
+:func:`run_obs_bench` guards the observability layer itself: it times
+the conjunctive batch-featurize path uninstrumented (compile + encode
+called directly), with tracing disabled (the no-op span path), and with
+tracing enabled, and reports the overhead percentages (committed as
+``BENCH_obs.json``; the disabled-mode number is gated at < 3% in CI).
+
 This module computes and returns results only; printing and process exit
 codes live in :mod:`repro.cli` (``repro bench featurize`` / ``repro
-bench lint``), and the pytest-driven benchmark lives in
-``benchmarks/test_featurize_throughput.py``.
+bench lint`` / ``repro bench obs``), and the pytest-driven benchmark
+lives in ``benchmarks/test_featurize_throughput.py``.
+
+Raw ``time.perf_counter`` use is deliberate here (and exempt from lint
+rule RPR108): interleaved best-of-N timing needs the clock directly,
+and the obs benchmark must time the *uninstrumented* path without
+touching the tracer it is measuring.
 """
 
 from __future__ import annotations
@@ -28,7 +42,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro import config
+from repro import config, obs
 from repro.data.forest import generate_forest
 from repro.data.table import Table
 from repro.featurize import (
@@ -41,7 +55,7 @@ from repro.sql.ast import Query
 from repro.workloads import generate_conjunctive_queries, generate_mixed_queries
 
 __all__ = ["BenchCase", "run_featurize_bench", "run_lint_bench",
-           "write_report"]
+           "run_obs_bench", "write_report"]
 
 #: (featurizer label, workload label) cases the benchmark measures.
 _CASES = (
@@ -110,14 +124,17 @@ def _time_case(featurizer, queries: Sequence[Query],
 
     scalar_seconds = float("inf")
     batch_seconds = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        np.stack([featurizer.featurize(q) for q in queries])
-        scalar_seconds = min(scalar_seconds, time.perf_counter() - start)
+    with obs.ensure_tracing():
+        for _ in range(repeats):
+            with obs.span("bench.scalar_pass", featurizer=featurizer_label,
+                          workload=workload_label) as sp:
+                np.stack([featurizer.featurize(q) for q in queries])
+            scalar_seconds = min(scalar_seconds, sp.duration_seconds)
 
-        start = time.perf_counter()
-        featurizer.featurize_batch(queries)
-        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+            with obs.span("bench.batch_pass", featurizer=featurizer_label,
+                          workload=workload_label) as sp:
+                featurizer.featurize_batch(queries)
+            batch_seconds = min(batch_seconds, sp.duration_seconds)
 
     return BenchCase(
         featurizer=featurizer_label,
@@ -235,6 +252,94 @@ def run_lint_bench(paths: Sequence[str] = ("src",), repeats: int = 3,
         "warm_files_reanalyzed": len(warm.files_reanalyzed),
         "findings": len(cold.findings),
         "min_speedup": speedup,
+    }
+
+
+def run_obs_bench(rows: int = 10_000, queries: int = 10_000,
+                  partitions: int = config.DEFAULT_PARTITIONS,
+                  seed: int = config.DEFAULT_SEED,
+                  smoke: bool = False, repeats: int = 7) -> dict:
+    """Measure the observability layer's overhead on batch featurization.
+
+    Times the conjunctive-QFT batch path over the conjunctive workload
+    three ways, interleaved, best of ``repeats``:
+
+    * **baseline** — compile + encode called directly, bypassing the
+      instrumented ``featurize_batch`` wrapper entirely;
+    * **disabled** — ``featurize_batch`` with tracing off (no-op spans
+      plus the always-on counters), the production default;
+    * **enabled** — ``featurize_batch`` with tracing on (live spans).
+
+    The report's ``disabled_overhead_pct`` is the number the CI gate
+    holds under 3%: instrumentation must cost nothing when nobody is
+    looking.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if smoke:
+        rows = min(rows, 2_000)
+        queries = min(queries, 2_000)
+        repeats = min(repeats, 5)
+    table = generate_forest(rows=rows, seed=seed)
+    workload = generate_conjunctive_queries(table, queries, seed=seed)
+    featurizer = _build_featurizer("conjunctive", table, partitions)
+
+    def uninstrumented():
+        batch = featurizer.compile_batch(workload)
+        return featurizer._featurize_compiled(batch)
+
+    # Untimed warm-up of every path (page-faults, lazy allocations).
+    reference = uninstrumented()
+    with obs.use_tracer(obs.Tracer(enabled=False)):
+        instrumented = featurizer.featurize_batch(workload)
+    if not np.array_equal(reference, instrumented):
+        raise RuntimeError(
+            "instrumented featurize_batch diverged from the direct "
+            "compile+encode path")
+
+    baseline_seconds = float("inf")
+    disabled_seconds = float("inf")
+    enabled_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        uninstrumented()
+        baseline_seconds = min(baseline_seconds,
+                               time.perf_counter() - start)
+
+        with obs.use_tracer(obs.Tracer(enabled=False)):
+            start = time.perf_counter()
+            featurizer.featurize_batch(workload)
+            disabled_seconds = min(disabled_seconds,
+                                   time.perf_counter() - start)
+
+        with obs.use_tracer(obs.Tracer(enabled=True)):
+            start = time.perf_counter()
+            featurizer.featurize_batch(workload)
+            enabled_seconds = min(enabled_seconds,
+                                  time.perf_counter() - start)
+
+    def overhead_pct(seconds: float) -> float:
+        if baseline_seconds <= 0.0:
+            return 0.0
+        return (seconds - baseline_seconds) / baseline_seconds * 100.0
+
+    return {
+        "benchmark": "obs",
+        "config": {
+            "rows": rows,
+            "queries": queries,
+            "partitions": partitions,
+            "seed": seed,
+            "smoke": smoke,
+            "repeats": repeats,
+        },
+        "n_queries": len(workload),
+        "feature_length": featurizer.feature_length,
+        "baseline_seconds": baseline_seconds,
+        "disabled_seconds": disabled_seconds,
+        "enabled_seconds": enabled_seconds,
+        "disabled_overhead_pct": overhead_pct(disabled_seconds),
+        "enabled_overhead_pct": overhead_pct(enabled_seconds),
     }
 
 

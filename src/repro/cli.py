@@ -17,6 +17,11 @@ downstream user needs, plus dataset generation:
   slower than the scalar loop or diverges from it.
 * ``repro bench lint`` — cold-vs-warm incremental lint benchmark;
   writes ``BENCH_lint.json`` and fails below ``--min-speedup``.
+* ``repro bench obs`` — observability-overhead benchmark; writes
+  ``BENCH_obs.json`` and fails if disabled-tracing overhead exceeds
+  ``--max-overhead`` (default 3%).
+* ``repro obs report trace.jsonl`` — per-stage summary of a span trace
+  recorded with ``--trace`` (see ``docs/observability.md``).
 * ``repro lint [paths]`` — the repo's own static-analysis pass
   (featurization/determinism contracts; see ``docs/lint_rules.md``).
 
@@ -94,18 +99,31 @@ def _cmd_estimate(args) -> int:
                                name=estimator.featurizer.table_name)
         true_count = cardinality(query, table)
         print(f"true:     {true_count}")
-        print(f"q-error:  {float(qerror(true_count, estimate)):.2f}")
+        # qerror rejects empty results (the paper's protocol); an ad-hoc
+        # CLI query may legitimately match nothing, so floor it here.
+        print(f"q-error:  {float(qerror(max(true_count, 1), estimate)):.2f}")
     return 0
 
 
 def _cmd_bench(args) -> int:
     if args.target == "lint":
         return _cmd_bench_lint(args)
+    if args.target == "obs":
+        return _cmd_bench_obs(args)
+    from repro import obs
     from repro.bench import run_featurize_bench, write_report
 
-    report = run_featurize_bench(rows=args.rows, queries=args.queries,
-                                 partitions=args.partitions, seed=args.seed,
-                                 smoke=args.smoke, repeats=args.repeats)
+    tracer = obs.Tracer(enabled=bool(args.trace))
+    with obs.use_tracer(tracer):
+        report = run_featurize_bench(rows=args.rows, queries=args.queries,
+                                     partitions=args.partitions,
+                                     seed=args.seed,
+                                     smoke=args.smoke, repeats=args.repeats)
+    if args.trace:
+        from repro.obs import export
+
+        count = export.write_spans_jsonl(tracer.finished(), args.trace)
+        print(f"wrote {count} spans to {args.trace}")
     cfg = report["config"]
     print(f"featurize bench: {cfg['queries']} queries over "
           f"{cfg['rows']} rows ({cfg['partitions']} partitions, "
@@ -146,6 +164,47 @@ def _cmd_bench_lint(args) -> int:
         print(f"FAIL: warm/cold speedup {report['min_speedup']:.2f}x "
               f"below required {args.min_speedup:.2f}x")
         return 1
+    return 0
+
+
+def _cmd_bench_obs(args) -> int:
+    from repro.bench import run_obs_bench, write_report
+
+    report = run_obs_bench(rows=args.rows, queries=args.queries,
+                           partitions=args.partitions, seed=args.seed,
+                           smoke=args.smoke, repeats=args.repeats)
+    cfg = report["config"]
+    print(f"obs bench: {report['n_queries']} queries over {cfg['rows']} "
+          f"rows, best of {cfg['repeats']} "
+          f"({'smoke' if cfg['smoke'] else 'full'})")
+    print(f"  baseline (uninstrumented) {report['baseline_seconds']:8.3f}s")
+    print(f"  tracing disabled          {report['disabled_seconds']:8.3f}s "
+          f"({report['disabled_overhead_pct']:+.2f}%)")
+    print(f"  tracing enabled           {report['enabled_seconds']:8.3f}s "
+          f"({report['enabled_overhead_pct']:+.2f}%)")
+    output = args.output or Path("BENCH_obs.json")
+    write_report(report, output)
+    print(f"wrote {output}")
+    if report["disabled_overhead_pct"] > args.max_overhead:
+        print(f"FAIL: disabled-tracing overhead "
+              f"{report['disabled_overhead_pct']:.2f}% above allowed "
+              f"{args.max_overhead:.2f}%")
+        return 1
+    return 0
+
+
+def _cmd_obs_report(args) -> int:
+    from repro.obs import export
+
+    records = export.read_spans_jsonl(args.trace)
+    summary = export.summarize_spans(records)
+    if args.format == "json":
+        print(export.render_summary_json(summary))
+    else:
+        print(export.render_summary_text(summary))
+    if args.chrome:
+        count = export.write_chrome_trace(records, args.chrome)
+        print(f"wrote {count} trace events to {args.chrome}")
     return 0
 
 
@@ -220,8 +279,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="micro-benchmarks (featurize throughput, lint cache)")
-    bench.add_argument("target", choices=["featurize", "lint"],
+        help="micro-benchmarks (featurize throughput, lint cache, "
+             "obs overhead)")
+    bench.add_argument("target", choices=["featurize", "lint", "obs"],
                        help="benchmark to run")
     bench.add_argument("--smoke", action="store_true",
                        help="small CI-sized workload (caps rows/queries)")
@@ -244,7 +304,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-speedup", type=float, default=1.0,
                        help="fail if any case's speedup is below this "
                             "(default: 1.0)")
+    bench.add_argument("--max-overhead", type=float, default=3.0,
+                       help="obs bench: fail if disabled-tracing overhead "
+                            "exceeds this percentage (default: 3.0)")
+    bench.add_argument("--trace", type=Path, default=None,
+                       help="featurize bench: record spans to this JSONL "
+                            "trace file")
     bench.set_defaults(func=_cmd_bench)
+
+    obs_parser = sub.add_parser(
+        "obs", help="observability utilities (see docs/observability.md)")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="summarise a JSONL span trace per stage")
+    obs_report.add_argument("trace", type=Path,
+                            help="trace.jsonl recorded with --trace")
+    obs_report.add_argument("--format", choices=["text", "json"],
+                            default="text",
+                            help="report format (default: text)")
+    obs_report.add_argument("--chrome", type=Path, default=None,
+                            help="also write Chrome trace-event JSON "
+                                 "(chrome://tracing / Perfetto)")
+    obs_report.set_defaults(func=_cmd_obs_report)
 
     lint = sub.add_parser(
         "lint", help="run the repro static-analysis pass (RPR rules)")

@@ -7,7 +7,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro import config
+from repro import config, obs
 from repro.sql.ast import Query
 
 __all__ = ["CardinalityEstimator", "clamp_estimate"]
@@ -31,5 +31,8 @@ class CardinalityEstimator(abc.ABC):
     def estimate_batch(self, queries: Sequence[Query] | Iterable[Query]
                        ) -> np.ndarray:
         """Estimate many queries; subclasses override for vectorised paths."""
-        return np.asarray([self.estimate(q) for q in queries],
-                          dtype=np.float64)
+        batch = list(queries)
+        with obs.span("estimator.estimate", estimator=self.name,
+                      n_queries=len(batch)):
+            return np.asarray([self.estimate(q) for q in batch],
+                              dtype=np.float64)

@@ -14,6 +14,7 @@ from typing import Iterable, Protocol, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.data.schema import Schema
 from repro.estimators.base import CardinalityEstimator
 from repro.featurize.joins import FeaturizerFactory, GlobalJoinFeaturizer
@@ -71,8 +72,11 @@ class LearnedEstimator(CardinalityEstimator):
         featurization cost no longer scales with per-query python
         dispatch.
         """
-        features = self._featurizer.featurize_batch(queries)
-        self._model.fit(features, np.asarray(cardinalities, dtype=np.float64))
+        with obs.span("estimator.fit", estimator=self.name,
+                      n_queries=len(queries)):
+            features = self._featurizer.featurize_batch(queries)
+            self._model.fit(features,
+                            np.asarray(cardinalities, dtype=np.float64))
         self._fitted = True
         return self
 
@@ -83,8 +87,11 @@ class LearnedEstimator(CardinalityEstimator):
                        ) -> np.ndarray:
         if not self._fitted:
             raise RuntimeError("estimator must be fitted before estimating")
-        features = self._featurizer.featurize_batch(list(queries))
-        return self._model.predict(features)
+        batch = list(queries)
+        with obs.span("estimator.estimate", estimator=self.name,
+                      n_queries=len(batch)):
+            features = self._featurizer.featurize_batch(batch)
+            return self._model.predict(features)
 
     def memory_bytes(self) -> int:
         """Model footprint (Section 5.7)."""
@@ -114,7 +121,10 @@ class MSCNEstimator(CardinalityEstimator):
     def fit(self, queries: Sequence[Query], cardinalities: np.ndarray
             ) -> "MSCNEstimator":
         """Train the underlying MSCN."""
-        self._model.fit(list(queries), np.asarray(cardinalities, dtype=np.float64))
+        with obs.span("estimator.fit", estimator=self.name,
+                      n_queries=len(queries)):
+            self._model.fit(list(queries),
+                            np.asarray(cardinalities, dtype=np.float64))
         self._fitted = True
         return self
 
@@ -126,7 +136,10 @@ class MSCNEstimator(CardinalityEstimator):
     def estimate_batch(self, queries) -> np.ndarray:
         if not self._fitted:
             raise RuntimeError("estimator must be fitted before estimating")
-        return self._model.predict(list(queries))
+        batch = list(queries)
+        with obs.span("estimator.estimate", estimator=self.name,
+                      n_queries=len(batch)):
+            return self._model.predict(batch)
 
     def memory_bytes(self) -> int:
         """Model footprint (Section 5.7)."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
-from repro import config
+from repro import config, obs
 from repro.data.forest import generate_forest
 from repro.data.imdb import generate_imdb
 from repro.data.schema import Schema
@@ -216,9 +216,19 @@ class ExperimentResult:
 
 
 def evaluate_estimator(estimator, workload: Workload) -> QErrorSummary:
-    """q-error summary of ``estimator`` over ``workload``."""
-    estimates = estimator.estimate_batch(workload.queries)
-    return summarize(qerror(workload.cardinalities, estimates))
+    """q-error summary of ``estimator`` over ``workload``.
+
+    Per-query q-errors also stream into the ``estimator.qerror``
+    histogram, so traced experiment runs carry the error distribution
+    alongside the timing spans.
+    """
+    with obs.span("experiment.evaluate",
+                  estimator=getattr(estimator, "name", type(estimator).__name__),
+                  n_queries=len(workload.queries)):
+        estimates = estimator.estimate_batch(workload.queries)
+        errors = qerror(workload.cardinalities, estimates)
+    obs.get_registry().histogram("estimator.qerror").record_many(errors)
+    return summarize(errors)
 
 
 def summary_row(label: Mapping[str, object] | str,

@@ -4,19 +4,23 @@ Usage::
 
     python -m repro.experiments.runner --experiment fig1
     python -m repro.experiments.runner --experiment tab1 --scale full
-    python -m repro.experiments.runner --all
+    python -m repro.experiments.runner --all --trace trace.jsonl
     python -m repro.experiments.runner --list
 
 Each experiment prints its measured rows and, where the paper reports
-numbers, the paper's rows for side-by-side comparison.
+numbers, the paper's rows for side-by-side comparison.  Per-experiment
+wall time comes from an ``experiment.run`` span; ``--trace PATH``
+additionally records every pipeline span (featurize stages, training
+epochs, estimation) to a JSONL file that ``repro obs report`` reads.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+from pathlib import Path
 
+from repro import obs
 from repro.experiments import FULL, SMALL, ExperimentResult
 from repro.experiments import (
     ablations,
@@ -78,6 +82,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="dataset/training scale (default: small)")
     parser.add_argument("--list", action="store_true",
                         help="list experiment ids and exit")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record pipeline spans to a JSONL trace file")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -89,12 +95,20 @@ def main(argv: list[str] | None = None) -> int:
 
     scale = _SCALES[args.scale]
     chosen = sorted(EXPERIMENTS) if args.all else [args.experiment]
-    for key in chosen:
-        start = time.perf_counter()
-        print(f"== running {key} at scale {scale.name!r} ==")
-        result = EXPERIMENTS[key](scale)
-        _print_result(result)
-        print(f"== {key} finished in {time.perf_counter() - start:.1f}s ==")
+    with obs.ensure_tracing() as tracer:
+        for key in chosen:
+            print(f"== running {key} at scale {scale.name!r} ==")
+            with obs.span("experiment.run", experiment=key,
+                          scale=scale.name) as sp:
+                result = EXPERIMENTS[key](scale)
+                _print_result(result)
+            print(f"== {key} finished in {sp.duration_seconds:.1f}s ==")
+        if args.trace:
+            from repro.obs import export
+
+            count = export.write_spans_jsonl(tracer.finished(),
+                                             Path(args.trace))
+            print(f"wrote {count} spans to {args.trace}")
     return 0
 
 

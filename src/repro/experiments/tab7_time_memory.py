@@ -13,8 +13,7 @@ Two measurements:
 
 from __future__ import annotations
 
-import time
-
+from repro import obs
 from repro.estimators import LearnedEstimator, SamplingEstimator
 from repro.estimators.learned import MSCNEstimator
 from repro.experiments.common import (
@@ -46,19 +45,20 @@ def run(scale: Scale = SMALL) -> ExperimentResult:
 
     rows = []
     sample = 1_000
-    for label in ("simple", "range", "conjunctive", "complex"):
-        workload = mixed_train if label == "complex" else conj_train
-        queries = workload.queries[:sample]
-        featurizer = qft_factory(label, table, partitions=scale.partitions)
-        start = time.perf_counter()
-        featurizer.featurize_batch(queries)
-        elapsed = time.perf_counter() - start
-        rows.append({
-            "measure": "featurization",
-            "subject": label,
-            "value": elapsed / len(queries) * 1e6,
-            "unit": "us/query",
-        })
+    with obs.ensure_tracing():
+        for label in ("simple", "range", "conjunctive", "complex"):
+            workload = mixed_train if label == "complex" else conj_train
+            queries = workload.queries[:sample]
+            featurizer = qft_factory(label, table,
+                                     partitions=scale.partitions)
+            with obs.span("featurize.workload", qft=label) as sp:
+                featurizer.featurize_batch(queries)
+            rows.append({
+                "measure": "featurization",
+                "subject": label,
+                "value": sp.duration_seconds / len(queries) * 1e6,
+                "unit": "us/query",
+            })
 
     # Memory footprints of trained estimators (small training runs — the
     # parameter count, not the accuracy, is what is measured here).

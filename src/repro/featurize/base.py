@@ -28,6 +28,7 @@ from typing import Iterable, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.data.stats import ColumnStats, TableStats
 from repro.data.table import Table
 from repro.featurize.batch import OP_CODES, PredicateBatch
@@ -136,7 +137,14 @@ class Featurizer(abc.ABC):
         """Encode a WHERE expression (``None`` = no predicates)."""
 
     def featurize(self, query: Query | BoolExpr | None) -> np.ndarray:
-        """Encode a query (or bare WHERE expression) into a feature vector."""
+        """Encode a query (or bare WHERE expression) into a feature vector.
+
+        The scalar surface is counted (``featurize.queries_total``) but
+        deliberately *not* wrapped in a per-query span: span bookkeeping
+        would rival the ~tens-of-µs encode itself.  The traced surface
+        is :meth:`featurize_batch`; scalar callers show up in the batch
+        spans of whatever pipeline invokes them.
+        """
         expr = self._extract_expr(query)
         vector = self._featurize_expr(expr)
         if vector.shape != (self.feature_length,):
@@ -144,6 +152,7 @@ class Featurizer(abc.ABC):
                 f"{type(self).__name__} produced shape {vector.shape}, "
                 f"expected ({self.feature_length},)"
             )
+        obs.get_registry().counter("featurize.queries_total").inc()
         return vector
 
     def featurize_batch(self, queries: Iterable[Query | BoolExpr | None]) -> np.ndarray:
@@ -154,15 +163,31 @@ class Featurizer(abc.ABC):
         pass over the ASTs, with all validation), then encoded in one
         vectorized step.  Scalar :meth:`featurize` remains the ``n = 1``
         special case with identical results and error contracts.
+
+        When tracing is enabled the two stages emit ``featurize.compile``
+        and ``featurize.encode`` child spans under ``featurize.batch``.
         """
-        batch = self.compile_batch(queries)
-        matrix = self._featurize_compiled(batch)
-        expected = (batch.n_queries, self.feature_length)
-        if matrix.shape != expected or matrix.dtype != np.float64:
-            raise AssertionError(
-                f"{type(self).__name__} produced {matrix.dtype} matrix of "
-                f"shape {matrix.shape}, expected float64 {expected}"
-            )
+        with obs.span("featurize.batch",
+                      featurizer=type(self).__name__) as root:
+            with obs.span("featurize.compile",
+                          featurizer=type(self).__name__):
+                batch = self.compile_batch(queries)
+            if root is not None:
+                root.set_attribute("n_queries", batch.n_queries)
+            with obs.span("featurize.encode",
+                          featurizer=type(self).__name__,
+                          n_queries=batch.n_queries):
+                matrix = self._featurize_compiled(batch)
+            if matrix.shape != (batch.n_queries, self.feature_length) \
+                    or matrix.dtype != np.float64:
+                raise AssertionError(
+                    f"{type(self).__name__} produced {matrix.dtype} matrix "
+                    f"of shape {matrix.shape}, expected float64 "
+                    f"({batch.n_queries}, {self.feature_length})"
+                )
+        registry = obs.get_registry()
+        registry.counter("featurize.queries_total").inc(batch.n_queries)
+        registry.histogram("featurize.batch_size").record(batch.n_queries)
         return matrix
 
     # ------------------------------------------------------------------

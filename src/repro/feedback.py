@@ -67,8 +67,14 @@ class QueryFeedbackMonitor:
         return self._total_observations
 
     def record(self, true_cardinality: float, estimate: float) -> None:
-        """Record one executed query's feedback."""
-        self._window.append(float(qerror(true_cardinality, estimate)))
+        """Record one executed query's feedback.
+
+        Production feedback may include empty results, which the strict
+        q-error rejects; the monitor treats those as cardinality 1 (the
+        paper's floor) rather than refusing the observation.
+        """
+        self._window.append(float(qerror(max(float(true_cardinality), 1.0),
+                                         max(float(estimate), 1.0))))
         self._total_observations += 1
 
     def current_quantile_error(self) -> float:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
+from repro import obs
 from repro.lint.cache import CacheEntry, LintCache, cache_meta_key, \
     file_digest
 from repro.lint.config import LintConfig
@@ -288,10 +289,12 @@ def _semantic_pass(analyses: Sequence[FileAnalysis],
                    project_rules: Sequence[Rule]) -> ProjectContext:
     """Build the index and run every ``finish_project`` hook."""
     facts = [a.facts for a in analyses if a.facts is not None]
-    index = ProjectIndex(facts)
-    project = ProjectContext(index, {f.path: f.pragmas for f in facts})
-    for rule in project_rules:
-        rule.finish_project(project)
+    with obs.span("lint.index", n_modules=len(facts)):
+        index = ProjectIndex(facts)
+        project = ProjectContext(index, {f.path: f.pragmas for f in facts})
+    with obs.span("lint.rules", n_rules=len(project_rules)):
+        for rule in project_rules:
+            rule.finish_project(project)
     return project
 
 
@@ -334,9 +337,10 @@ def run(paths: Sequence[Path], config: LintConfig | None = None, *,
 
     cache: LintCache | None = None
     if cache_path is not None:
-        meta = cache_meta_key(config.fingerprint(),
-                              [rule.code for rule in rules])
-        cache = LintCache.load(Path(cache_path), meta)
+        with obs.span("lint.cache.load"):
+            meta = cache_meta_key(config.fingerprint(),
+                                  [rule.code for rule in rules])
+            cache = LintCache.load(Path(cache_path), meta)
 
     analyses: dict[str, FileAnalysis] = {}
     cached_semantic: dict[str, tuple[list[Finding], list[Finding]]] = {}
@@ -371,8 +375,9 @@ def run(paths: Sequence[Path], config: LintConfig | None = None, *,
         else:
             changed_items.append((str(file), display, module_name, config))
 
-    for analysis in _run_file_stage(changed_items, jobs):
-        analyses[analysis.path] = analysis
+    with obs.span("lint.parse", n_files=len(changed_items)):
+        for analysis in _run_file_stage(changed_items, jobs):
+            analyses[analysis.path] = analysis
     ordered = [analyses[display] for display in displays]
 
     changed_displays = {item[1] for item in changed_items}
@@ -403,19 +408,21 @@ def run(paths: Sequence[Path], config: LintConfig | None = None, *,
         reanalyzed = changed_displays
 
     if cache is not None:
-        for display in displays:
-            analysis = analyses[display]
-            cache.put(display, CacheEntry(
-                file_hash=hashes[display],
-                module_name=analysis.module_name,
-                findings=list(analysis.findings),
-                suppressed=list(analysis.suppressed),
-                semantic_findings=list(semantic_findings.get(display, [])),
-                semantic_suppressed=list(
-                    semantic_suppressed.get(display, [])),
-                facts=analysis.facts))
-        cache.prune(displays)
-        cache.save()
+        with obs.span("lint.cache.save", n_files=len(displays)):
+            for display in displays:
+                analysis = analyses[display]
+                cache.put(display, CacheEntry(
+                    file_hash=hashes[display],
+                    module_name=analysis.module_name,
+                    findings=list(analysis.findings),
+                    suppressed=list(analysis.suppressed),
+                    semantic_findings=list(
+                        semantic_findings.get(display, [])),
+                    semantic_suppressed=list(
+                        semantic_suppressed.get(display, [])),
+                    facts=analysis.facts))
+            cache.prune(displays)
+            cache.save()
 
     return _assemble(ordered, semantic_findings, semantic_suppressed,
                      rules, len(files), reanalyzed)

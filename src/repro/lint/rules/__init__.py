@@ -5,6 +5,7 @@ Importing this package registers every rule with
 """
 
 from repro.lint.rules.correctness import (
+    AdHocTimingRule,
     BroadExceptRule,
     FeaturizerSurfaceRule,
     FloatEqualityRule,
@@ -33,6 +34,7 @@ __all__ = [
     "BroadExceptRule",
     "FeaturizerSurfaceRule",
     "ScalarFeaturizeLoopRule",
+    "AdHocTimingRule",
     "FeatureDtypeDriftRule",
     "FeatureShapeContractRule",
     "GlobalNumpyRandomRule",

@@ -15,7 +15,8 @@ from repro.lint.engine import ModuleContext, ProjectContext
 from repro.lint.registry import Rule, register
 
 __all__ = ["MutableDefaultRule", "FloatEqualityRule", "BroadExceptRule",
-           "FeaturizerSurfaceRule", "ScalarFeaturizeLoopRule"]
+           "FeaturizerSurfaceRule", "ScalarFeaturizeLoopRule",
+           "AdHocTimingRule"]
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
                      ast.DictComp, ast.SetComp)
@@ -245,3 +246,80 @@ class ScalarFeaturizeLoopRule(Rule):
         return (isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
                 and node.func.attr == "featurize")
+
+
+@register
+class AdHocTimingRule(Rule):
+    """Pipeline code must measure time through ``repro.obs`` spans, not
+    direct clock reads.  Ad-hoc ``time.perf_counter()`` pairs produce
+    numbers nothing can export, nest, or attribute to a stage — and they
+    quietly diverge from the trace a ``--trace`` run records.  Only the
+    observability layer itself and the benchmark harness (which times
+    the uninstrumented path on purpose) read the clock directly.
+    """
+
+    code = "RPR108"
+    name = "ad-hoc-timing"
+    summary = "Time pipeline stages with repro.obs spans, not raw clocks"
+
+    #: Module prefix the rule applies to.
+    module_prefix = "repro"
+    #: Module prefixes allowed to read clocks directly.
+    exempt_prefixes = ("repro.obs", "repro.bench")
+    #: ``time`` module members that read a clock.
+    _CLOCKS = frozenset({
+        "time", "time_ns", "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+        "thread_time", "thread_time_ns",
+    })
+
+    @staticmethod
+    def _covered(module_name: str, prefix: str) -> bool:
+        return (module_name == prefix
+                or module_name.startswith(prefix + "."))
+
+    def begin_module(self, module: ModuleContext) -> None:
+        """Prescan imports: ``time`` aliases and clock names it exports."""
+        self._applies = (
+            self._covered(module.module_name, self.module_prefix)
+            and not any(self._covered(module.module_name, prefix)
+                        for prefix in self.exempt_prefixes))
+        self._time_aliases: set[str] = set()
+        self._clock_names: dict[str, str] = {}
+        if not self._applies:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        self._time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name in self._CLOCKS:
+                            local = alias.asname or alias.name
+                            self._clock_names[local] = alias.name
+
+    def visit_Call(self, node: ast.Call, module: ModuleContext) -> None:
+        """Flag direct clock reads (``time.perf_counter()`` and kin)."""
+        if not self._applies:
+            return
+        clock = self._clock_call(node)
+        if clock is not None:
+            self.report(
+                module, node,
+                f"ad-hoc `{clock}()` timing; wrap the stage in an "
+                "obs.span(...) / @obs.trace so the measurement reaches "
+                "traces and metrics (or `# repro: ignore[RPR108]` for "
+                "deliberate raw-clock use)")
+
+    def _clock_call(self, node: ast.Call) -> str | None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self._time_aliases
+                and func.attr in self._CLOCKS):
+            return f"{func.value.id}.{func.attr}"
+        if isinstance(func, ast.Name) and func.id in self._clock_names:
+            return func.id
+        return None

@@ -29,9 +29,13 @@ def qerror(true_cardinality, estimate) -> np.ndarray:
     """Return the element-wise q-error ``max(x/e, e/x)``.
 
     Both arguments may be scalars or arrays and are broadcast against each
-    other.  Inputs are clamped to ``>= 1`` first, mirroring the paper's
-    evaluation protocol ("we consider only queries with non-empty results,
-    and all estimates are >= 1").
+    other.  Positive inputs below 1 are clamped to 1, mirroring the
+    paper's evaluation protocol ("we consider only queries with non-empty
+    results, and all estimates are >= 1").  Non-positive or non-finite
+    inputs raise ``ValueError`` instead of silently producing an
+    inf/nan-contaminated (or worse, deceptively finite) error sample:
+    a zero cardinality means the caller violated the non-empty-results
+    protocol, and a zero/negative estimate is a broken estimator.
 
     >>> float(qerror(100, 10))
     10.0
@@ -39,9 +43,23 @@ def qerror(true_cardinality, estimate) -> np.ndarray:
     10.0
     >>> float(qerror(42, 42))
     1.0
+    >>> float(qerror(0.5, 0.25))
+    1.0
     """
-    x = np.maximum(np.asarray(true_cardinality, dtype=np.float64), 1.0)
-    e = np.maximum(np.asarray(estimate, dtype=np.float64), 1.0)
+    x = np.asarray(true_cardinality, dtype=np.float64)
+    e = np.asarray(estimate, dtype=np.float64)
+    if not np.all(np.isfinite(x)) or np.any(x <= 0.0):
+        raise ValueError(
+            "q-error requires positive finite true cardinalities (the "
+            "paper's protocol admits only non-empty results); got "
+            f"min={x.min() if x.size else float('nan')}")
+    if not np.all(np.isfinite(e)) or np.any(e <= 0.0):
+        raise ValueError(
+            "q-error requires positive finite estimates (estimators must "
+            "clamp to >= 1); got "
+            f"min={e.min() if e.size else float('nan')}")
+    x = np.maximum(x, 1.0)
+    e = np.maximum(e, 1.0)
     return np.maximum(x / e, e / x)
 
 

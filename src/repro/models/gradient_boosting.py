@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import config
+from repro import config, obs
 from repro.models.base import Regressor, check_matrix
 from repro.models.tree import BinMapper, RegressionTree, grow_tree
 
@@ -60,12 +60,14 @@ class GradientBoostingRegressor(Regressor):
         """The trained weak learners."""
         return list(self._trees)
 
+    @obs.trace("model.fit", model="GradientBoostingRegressor")
     def fit(self, features: np.ndarray, targets: np.ndarray
             ) -> "GradientBoostingRegressor":
         X, y = check_matrix(features, targets)
         rng = np.random.default_rng(self.random_state)
-        self._mapper = BinMapper(self.max_bins).fit(X)
-        codes = self._mapper.transform(X)
+        with obs.span("model.gb.bin", max_bins=self.max_bins):
+            self._mapper = BinMapper(self.max_bins).fit(X)
+            codes = self._mapper.transform(X)
 
         use_early_stop = (self.early_stopping_rounds is not None
                           and X.shape[0] >= 50)
@@ -85,40 +87,45 @@ class GradientBoostingRegressor(Regressor):
         best_n_trees = 0
         rounds_since_best = 0
 
-        for _ in range(self.n_estimators):
-            residuals = y - prediction
-            if self.subsample < 1.0:
-                take = rng.random(train_idx.size) < self.subsample
-                rows = train_idx[take] if take.any() else train_idx
-            else:
-                rows = train_idx
-            tree = grow_tree(
-                codes, residuals, self._mapper, rows=rows,
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                colsample=self.colsample, rng=rng,
-            )
-            self._trees.append(tree)
-            prediction += self.learning_rate * tree.predict_binned(codes)
-
-            if use_early_stop:
-                val_loss = float(
-                    np.mean((y[val_idx] - prediction[val_idx]) ** 2)
-                )
-                if val_loss < best_val_loss - 1e-12:
-                    best_val_loss = val_loss
-                    best_n_trees = len(self._trees)
-                    rounds_since_best = 0
+        with obs.span("model.gb.boost",
+                      n_estimators=self.n_estimators) as boost:
+            for _ in range(self.n_estimators):
+                residuals = y - prediction
+                if self.subsample < 1.0:
+                    take = rng.random(train_idx.size) < self.subsample
+                    rows = train_idx[take] if take.any() else train_idx
                 else:
-                    rounds_since_best += 1
-                    if rounds_since_best >= self.early_stopping_rounds:
-                        break
+                    rows = train_idx
+                tree = grow_tree(
+                    codes, residuals, self._mapper, rows=rows,
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    colsample=self.colsample, rng=rng,
+                )
+                self._trees.append(tree)
+                prediction += self.learning_rate * tree.predict_binned(codes)
+
+                if use_early_stop:
+                    val_loss = float(
+                        np.mean((y[val_idx] - prediction[val_idx]) ** 2)
+                    )
+                    if val_loss < best_val_loss - 1e-12:
+                        best_val_loss = val_loss
+                        best_n_trees = len(self._trees)
+                        rounds_since_best = 0
+                    else:
+                        rounds_since_best += 1
+                        if rounds_since_best >= self.early_stopping_rounds:
+                            break
+            if boost is not None:
+                boost.set_attribute("trees_grown", len(self._trees))
 
         if use_early_stop and best_n_trees:
             self._trees = self._trees[:best_n_trees]
         self._fitted = True
         return self
 
+    @obs.trace("model.predict", model="GradientBoostingRegressor")
     def predict(self, features: np.ndarray) -> np.ndarray:
         if not self._fitted:
             raise RuntimeError("model must be fitted before predicting")

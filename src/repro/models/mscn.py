@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import config
+from repro import config, obs
 from repro.data.schema import Schema
 from repro.data.table import Table
 from repro.featurize.batch import OP_CODES, PredicateBatch
@@ -430,6 +430,7 @@ class MSCNModel:
 
     # ------------------------------------------------------------------
 
+    @obs.trace("model.fit", model="MSCNModel")
     def fit(self, queries: list[Query], cardinalities: np.ndarray) -> "MSCNModel":
         """Train on queries and their true cardinalities."""
         y_raw = np.asarray(cardinalities, dtype=np.float64)
@@ -442,7 +443,8 @@ class MSCNModel:
         self._label_max = float(max(log_y.max(), self._label_min + 1e-9))
         y = (log_y - self._label_min) / (self._label_max - self._label_min)
 
-        sets = self._builder.build(queries)
+        with obs.span("model.mscn.build_inputs", n_queries=len(queries)):
+            sets = self._builder.build(queries)
         rng = np.random.default_rng(self.random_state)
         params = self._all_params()
         m = [np.zeros_like(p) for p in params]
@@ -451,32 +453,37 @@ class MSCNModel:
         step = 0
 
         n = len(queries)
-        for _ in range(self.epochs):
-            order = rng.permutation(n)
-            for start in range(0, n, self.batch_size):
-                idx = order[start:start + self.batch_size]
-                if idx.size == 0:
-                    continue
-                batch_sets = tuple(s.take(idx) for s in sets)
-                pred, cache = self._forward(batch_sets)
-                grads = self._backward(cache, pred - y[idx])
-                step += 1
-                for p, g, m_i, v_i in zip(params, grads, m, v):
-                    m_i *= beta1
-                    m_i += (1 - beta1) * g
-                    v_i *= beta2
-                    v_i += (1 - beta2) * g**2
-                    m_hat = m_i / (1 - beta1**step)
-                    v_hat = v_i / (1 - beta2**step)
-                    p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+        for epoch in range(self.epochs):
+            with obs.span("model.train.epoch", model="MSCNModel",
+                          epoch=epoch, metric="model.train.epoch_seconds"):
+                order = rng.permutation(n)
+                for start in range(0, n, self.batch_size):
+                    idx = order[start:start + self.batch_size]
+                    if idx.size == 0:
+                        continue
+                    batch_sets = tuple(s.take(idx) for s in sets)
+                    pred, cache = self._forward(batch_sets)
+                    grads = self._backward(cache, pred - y[idx])
+                    step += 1
+                    for p, g, m_i, v_i in zip(params, grads, m, v):
+                        m_i *= beta1
+                        m_i += (1 - beta1) * g
+                        v_i *= beta2
+                        v_i += (1 - beta2) * g**2
+                        m_hat = m_i / (1 - beta1**step)
+                        v_hat = v_i / (1 - beta2**step)
+                        p -= (self.learning_rate * m_hat
+                              / (np.sqrt(v_hat) + eps))
         self._fitted = True
         return self
 
+    @obs.trace("model.predict", model="MSCNModel")
     def predict(self, queries: list[Query]) -> np.ndarray:
         """Predict cardinalities (denormalised from the sigmoid output)."""
         if not self._fitted:
             raise RuntimeError("model must be fitted before predicting")
-        sets = self._builder.build(queries)
+        with obs.span("model.mscn.build_inputs", n_queries=len(queries)):
+            sets = self._builder.build(queries)
         out, _ = self._forward(sets)
         log_pred = out * (self._label_max - self._label_min) + self._label_min
         return np.maximum(np.exp(np.clip(log_pred, 0.0, 80.0)),

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import config
+from repro import config, obs
 from repro.models.base import Regressor, check_matrix
 
 __all__ = ["NeuralNetRegressor"]
@@ -99,6 +99,7 @@ class NeuralNetRegressor(Regressor):
 
     # ------------------------------------------------------------------
 
+    @obs.trace("model.fit", model="NeuralNetRegressor")
     def fit(self, features: np.ndarray, targets: np.ndarray
             ) -> "NeuralNetRegressor":
         X, y = check_matrix(features, targets)
@@ -129,46 +130,50 @@ class NeuralNetRegressor(Regressor):
         best_params: tuple[list[np.ndarray], list[np.ndarray]] | None = None
         rounds_since_best = 0
 
-        for _ in range(self.epochs):
-            order = rng.permutation(train_idx)
-            for start in range(0, order.size, self.batch_size):
-                batch = order[start:start + self.batch_size]
-                if batch.size == 0:
-                    continue
-                pred, activations = self._forward(X[batch])
-                grad_w, grad_b = self._backward(activations, pred - y[batch])
-                step += 1
-                for i in range(len(self._weights)):
-                    m_w[i] = beta1 * m_w[i] + (1 - beta1) * grad_w[i]
-                    v_w[i] = beta2 * v_w[i] + (1 - beta2) * grad_w[i]**2
-                    m_b[i] = beta1 * m_b[i] + (1 - beta1) * grad_b[i]
-                    v_b[i] = beta2 * v_b[i] + (1 - beta2) * grad_b[i]**2
-                    m_hat_w = m_w[i] / (1 - beta1**step)
-                    v_hat_w = v_w[i] / (1 - beta2**step)
-                    m_hat_b = m_b[i] / (1 - beta1**step)
-                    v_hat_b = v_b[i] / (1 - beta2**step)
-                    self._weights[i] -= (self.learning_rate * m_hat_w
-                                         / (np.sqrt(v_hat_w) + eps))
-                    self._biases[i] -= (self.learning_rate * m_hat_b
-                                        / (np.sqrt(v_hat_b) + eps))
+        for epoch in range(self.epochs):
+            with obs.span("model.train.epoch", model="NeuralNetRegressor",
+                          epoch=epoch, metric="model.train.epoch_seconds"):
+                order = rng.permutation(train_idx)
+                for start in range(0, order.size, self.batch_size):
+                    batch = order[start:start + self.batch_size]
+                    if batch.size == 0:
+                        continue
+                    pred, activations = self._forward(X[batch])
+                    grad_w, grad_b = self._backward(activations,
+                                                    pred - y[batch])
+                    step += 1
+                    for i in range(len(self._weights)):
+                        m_w[i] = beta1 * m_w[i] + (1 - beta1) * grad_w[i]
+                        v_w[i] = beta2 * v_w[i] + (1 - beta2) * grad_w[i]**2
+                        m_b[i] = beta1 * m_b[i] + (1 - beta1) * grad_b[i]
+                        v_b[i] = beta2 * v_b[i] + (1 - beta2) * grad_b[i]**2
+                        m_hat_w = m_w[i] / (1 - beta1**step)
+                        v_hat_w = v_w[i] / (1 - beta2**step)
+                        m_hat_b = m_b[i] / (1 - beta1**step)
+                        v_hat_b = v_b[i] / (1 - beta2**step)
+                        self._weights[i] -= (self.learning_rate * m_hat_w
+                                             / (np.sqrt(v_hat_w) + eps))
+                        self._biases[i] -= (self.learning_rate * m_hat_b
+                                            / (np.sqrt(v_hat_b) + eps))
 
-            if use_early_stop:
-                val_pred, _ = self._forward(X[val_idx])
-                val_loss = float(np.mean((val_pred - y[val_idx]) ** 2))
-                if val_loss < best_val - 1e-9:
-                    best_val = val_loss
-                    best_params = ([W.copy() for W in self._weights],
-                                   [b.copy() for b in self._biases])
-                    rounds_since_best = 0
-                else:
-                    rounds_since_best += 1
-                    if rounds_since_best >= self.early_stopping_rounds:
-                        break
+                if use_early_stop:
+                    val_pred, _ = self._forward(X[val_idx])
+                    val_loss = float(np.mean((val_pred - y[val_idx]) ** 2))
+                    if val_loss < best_val - 1e-9:
+                        best_val = val_loss
+                        best_params = ([W.copy() for W in self._weights],
+                                       [b.copy() for b in self._biases])
+                        rounds_since_best = 0
+                    else:
+                        rounds_since_best += 1
+                        if rounds_since_best >= self.early_stopping_rounds:
+                            break
 
         if best_params is not None:
             self._weights, self._biases = best_params
         return self
 
+    @obs.trace("model.predict", model="NeuralNetRegressor")
     def predict(self, features: np.ndarray) -> np.ndarray:
         if self._scaler is None:
             raise RuntimeError("model must be fitted before predicting")

@@ -1,0 +1,58 @@
+"""``repro.obs`` — observability for the featurize → model → estimate
+pipeline.
+
+Three pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — nested span tracing with monotonic-clock
+  timing, a context-manager and decorator API, and a near-zero-cost
+  no-op path while disabled (the default).
+* :mod:`repro.obs.metrics_runtime` — counters, gauges, and streaming
+  histograms over fixed log-spaced buckets, so summaries are
+  deterministic byte-for-byte.
+* :mod:`repro.obs.export` — JSONL span logs, Chrome trace-event output
+  for flame views, and the per-stage summary behind
+  ``repro obs report``.
+
+This package sits at the very bottom of the layering: it imports
+nothing from the rest of ``repro``, so every layer (featurize, models,
+estimators, experiments, lint) may instrument itself freely.
+"""
+
+from repro.obs.metrics_runtime import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    disable,
+    enable,
+    enabled,
+    ensure_tracing,
+    get_tracer,
+    set_tracer,
+    span,
+    trace,
+    use_tracer,
+)
+
+__all__ = [
+    # tracing
+    "Span", "Tracer", "get_tracer", "set_tracer", "use_tracer",
+    "ensure_tracing", "span", "trace", "enabled", "enable", "disable",
+    # metrics
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry",
+    "set_registry",
+    # maintenance
+    "reset",
+]
+
+
+def reset() -> None:
+    """Clear recorded spans and all metrics (test/benchmark hygiene)."""
+    get_tracer().reset()
+    get_registry().reset()

@@ -1,0 +1,191 @@
+"""Trace exporters and the per-stage summary reporter.
+
+Three output shapes from one span list:
+
+* **JSONL span log** — one :meth:`Span.as_dict` object per line; the
+  durable trace format (``trace.jsonl``) that ``repro obs report``
+  consumes and CI uploads as an artifact.
+* **Chrome trace-event JSON** — complete ``X`` (duration) events that
+  ``chrome://tracing`` / Perfetto render as a flame view; thread idents
+  are remapped to small stable ``tid`` s in order of first appearance.
+* **Summary** — per-span-name aggregation (count, total, self-time,
+  min/mean/max) rendered as JSON or an aligned text table.
+
+Self-time is total time minus the time spent in direct child spans, so
+a ``featurize.batch`` parent whose compile/encode children cover it
+reports near-zero self-time — the signal that the stage breakdown is
+complete.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence, Union
+
+from repro.obs.trace import Span
+
+__all__ = ["SPAN_RECORD_KEYS", "span_records", "write_spans_jsonl",
+           "read_spans_jsonl", "to_chrome_trace", "write_chrome_trace",
+           "summarize_spans", "render_summary_text", "render_summary_json"]
+
+#: Keys every JSONL span record carries (the event schema).
+SPAN_RECORD_KEYS = ("name", "span_id", "parent_id", "thread", "start_ns",
+                    "duration_ns", "status", "error", "attributes")
+
+
+def span_records(spans: Iterable[Union[Span, Mapping]]) -> list[dict]:
+    """Normalise spans (live objects or parsed records) to plain dicts."""
+    records = []
+    for span in spans:
+        record = dict(span) if isinstance(span, Mapping) else span.as_dict()
+        missing = [key for key in SPAN_RECORD_KEYS if key not in record]
+        if missing:
+            raise ValueError(f"span record is missing keys {missing}")
+        records.append(record)
+    return records
+
+
+def write_spans_jsonl(spans: Iterable[Union[Span, Mapping]],
+                      path: Path) -> int:
+    """Write one span record per line; returns the number written."""
+    records = span_records(spans)
+    lines = [json.dumps(record, sort_keys=True) for record in records]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""),
+                          encoding="utf-8")
+    return len(records)
+
+
+def read_spans_jsonl(path: Path) -> list[dict]:
+    """Parse a JSONL trace back into span records (schema-checked)."""
+    records: list[dict] = []
+    for lineno, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{path}:{lineno}: not a JSON span record: {error}"
+            ) from None
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{lineno}: span record is not an object")
+        records.extend(span_records([record]))
+    return records
+
+
+def to_chrome_trace(spans: Iterable[Union[Span, Mapping]]) -> list[dict]:
+    """Convert spans to Chrome trace-event format (complete events).
+
+    Timestamps/durations are microseconds (the format's unit), taken
+    from the monotonic clock; ``tid`` is a stable small integer per
+    thread in order of first appearance.
+    """
+    events = []
+    tids: dict[int, int] = {}
+    for record in span_records(spans):
+        tid = tids.setdefault(record["thread"], len(tids))
+        args = dict(record["attributes"])
+        args["status"] = record["status"]
+        if record["error"]:
+            args["error"] = record["error"]
+        events.append({
+            "name": record["name"],
+            "ph": "X",
+            "ts": record["start_ns"] / 1e3,
+            "dur": record["duration_ns"] / 1e3,
+            "pid": 0,
+            "tid": tid,
+            "args": args,
+        })
+    return events
+
+
+def write_chrome_trace(spans: Iterable[Union[Span, Mapping]],
+                       path: Path) -> int:
+    """Write the Chrome trace-event JSON; returns the event count."""
+    events = to_chrome_trace(spans)
+    Path(path).write_text(
+        json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}) + "\n",
+        encoding="utf-8")
+    return len(events)
+
+
+def summarize_spans(spans: Iterable[Union[Span, Mapping]]) -> dict:
+    """Aggregate spans per name: count, total/self seconds, min/mean/max.
+
+    ``self_seconds`` subtracts direct children from each span before
+    summing, so nested stages are not double-counted across rows.
+    """
+    records = span_records(spans)
+    child_ns: dict[int, int] = {}
+    for record in records:
+        parent = record["parent_id"]
+        if parent is not None:
+            child_ns[parent] = child_ns.get(parent, 0) + record["duration_ns"]
+
+    by_name: dict[str, dict] = {}
+    for record in records:
+        row = by_name.setdefault(record["name"], {
+            "count": 0, "errors": 0, "total_seconds": 0.0,
+            "self_seconds": 0.0, "min_seconds": float("inf"),
+            "max_seconds": 0.0,
+        })
+        seconds = record["duration_ns"] / 1e9
+        own = max(record["duration_ns"]
+                  - child_ns.get(record["span_id"], 0), 0) / 1e9
+        row["count"] += 1
+        row["errors"] += 1 if record["status"] == "error" else 0
+        row["total_seconds"] += seconds
+        row["self_seconds"] += own
+        row["min_seconds"] = min(row["min_seconds"], seconds)
+        row["max_seconds"] = max(row["max_seconds"], seconds)
+    for row in by_name.values():
+        row["mean_seconds"] = row["total_seconds"] / row["count"]
+
+    if records:
+        start = min(r["start_ns"] for r in records)
+        end = max(r["start_ns"] + r["duration_ns"] for r in records)
+        wall = (end - start) / 1e9
+    else:
+        wall = 0.0
+    return {
+        "spans": len(records),
+        "wall_seconds": wall,
+        "by_name": {name: by_name[name] for name in sorted(by_name)},
+    }
+
+
+def render_summary_json(summary: dict) -> str:
+    """Deterministic JSON rendering of a :func:`summarize_spans` result."""
+    return json.dumps(summary, sort_keys=True, indent=2)
+
+
+def render_summary_text(summary: dict) -> str:
+    """Aligned text table of a summary, widest total first."""
+    header = ("span", "count", "total (s)", "self (s)", "mean (s)",
+              "max (s)", "errors")
+    rows = [header]
+    ordered = sorted(summary["by_name"].items(),
+                     key=lambda item: (-item[1]["total_seconds"], item[0]))
+    for name, row in ordered:
+        rows.append((name, str(row["count"]),
+                     f"{row['total_seconds']:.4f}",
+                     f"{row['self_seconds']:.4f}",
+                     f"{row['mean_seconds']:.6f}",
+                     f"{row['max_seconds']:.6f}",
+                     str(row["errors"])))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        cells = [row[0].ljust(widths[0])]
+        cells += [cell.rjust(width)
+                  for cell, width in zip(row[1:], widths[1:])]
+        lines.append("  ".join(cells).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    lines.append("")
+    lines.append(f"{summary['spans']} spans over "
+                 f"{summary['wall_seconds']:.4f}s wall clock")
+    return "\n".join(lines)

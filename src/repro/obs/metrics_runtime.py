@@ -1,0 +1,281 @@
+"""Runtime metrics: counters, gauges, and deterministic histograms.
+
+Complements span tracing with *aggregates*: how many queries were
+featurized, what batch sizes look like, how the q-error distributes.
+Counters and gauges are plain numbers; histograms bucket observations
+over **fixed log-spaced edges** (quarter-decades from 1e-9 to 1e9 by
+default), so two identical runs serialise to byte-identical summaries —
+no data-dependent bucket boundaries, no iteration-order dependence.
+
+This module is intentionally independent of :mod:`repro.obs.trace`
+(trace depends on it for the ``metric=`` span option, not the other way
+around) and of everything above :mod:`repro.obs` in the layering.
+
+Canonical metric names used by the instrumented pipeline:
+
+=============================  =========  =================================
+name                           kind       recorded by
+=============================  =========  =================================
+``featurize.queries_total``    counter    ``Featurizer.featurize[_batch]``
+``featurize.batch_size``       histogram  ``Featurizer.featurize_batch``
+``model.train.epoch_seconds``  histogram  NN / MSCN per-epoch spans
+``estimator.qerror``           histogram  ``evaluate_estimator``
+=============================  =========  =================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Iterable, Union
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_EDGES", "log_spaced_edges", "get_registry",
+           "set_registry"]
+
+
+def log_spaced_edges(low_exponent: int = -36, high_exponent: int = 36,
+                     per_decade: int = 4) -> tuple[float, ...]:
+    """Deterministic log-spaced bucket upper bounds.
+
+    Edges are ``10 ** (k / per_decade)`` for integer ``k`` — computed
+    from integer exponents, never from observed data, so every process
+    produces the exact same floats.  Exponents are in quarter-decades by
+    default: ``low_exponent=-36`` is 1e-9, ``high_exponent=36`` is 1e9.
+    """
+    if low_exponent >= high_exponent:
+        raise ValueError(
+            f"need low_exponent < high_exponent, got "
+            f"[{low_exponent}, {high_exponent}]")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    return tuple(10.0 ** (k / per_decade)
+                 for k in range(low_exponent, high_exponent + 1))
+
+
+#: Default histogram edges: quarter-decades spanning 1e-9 .. 1e9.
+DEFAULT_EDGES = log_spaced_edges()
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable state."""
+        return {"kind": "counter", "value": self._value}
+
+
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """Last recorded level."""
+        return self._value
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable state."""
+        return {"kind": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Streaming histogram over fixed, pre-declared bucket edges.
+
+    Bucket ``i`` counts observations ``v <= edges[i]`` (and greater than
+    the previous edge); one overflow bucket catches values above the
+    last edge.  Count/sum/min/max are tracked exactly.
+    """
+
+    __slots__ = ("name", "edges", "_counts", "_count", "_sum", "_min",
+                 "_max")
+
+    def __init__(self, name: str,
+                 edges: tuple[float, ...] = DEFAULT_EDGES) -> None:
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ValueError(
+                f"histogram {name!r} needs strictly increasing edges")
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        self._counts = np.zeros(len(self.edges) + 1, dtype=np.int64)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def record(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = int(np.searchsorted(self.edges, value, side="left"))
+        self._counts[index] += 1
+        self._count += 1
+        self._sum += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def record_many(self, values: Union[np.ndarray, Iterable[float]]) -> None:
+        """Record a batch of observations (vectorized)."""
+        arr = np.asarray(values, dtype=np.float64).reshape(-1)
+        if arr.size == 0:
+            return
+        indices = np.searchsorted(self.edges, arr, side="left")
+        self._counts += np.bincount(indices, minlength=self._counts.size)
+        self._count += int(arr.size)
+        self._sum += float(arr.sum())
+        self._min = min(self._min, float(arr.min()))
+        self._max = max(self._max, float(arr.max()))
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable state: non-empty buckets as [le, count].
+
+        The overflow bucket serialises with ``le = "+Inf"``.  Identical
+        observation streams produce identical snapshots byte-for-byte.
+        """
+        buckets = []
+        for i, count in enumerate(self._counts.tolist()):
+            if count == 0:
+                continue
+            le = "+Inf" if i == len(self.edges) else repr(self.edges[i])
+            buckets.append([le, count])
+        return {
+            "kind": "histogram",
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics.
+
+    Lookups are cheap enough for per-batch call sites; reuse of a name
+    with a different metric kind (or different histogram edges) is a
+    programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {kind.__name__}")
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  edges: tuple[float, ...] | None = None) -> Histogram:
+        """The histogram named ``name`` (created on first use).
+
+        ``edges`` applies on creation; asking for an existing histogram
+        with conflicting edges raises.
+        """
+        histogram = self._get_or_create(
+            name, Histogram,
+            lambda: Histogram(name, edges if edges is not None
+                              else DEFAULT_EDGES))
+        if edges is not None and histogram.edges != tuple(
+                float(e) for e in edges):
+            raise ValueError(
+                f"histogram {name!r} already exists with different edges")
+        return histogram
+
+    def names(self) -> tuple[str, ...]:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    def snapshot(self) -> dict:
+        """name -> metric snapshot, in sorted-name order."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in items}
+
+    def to_json(self) -> str:
+        """Deterministic JSON rendering of :meth:`snapshot`."""
+        return json.dumps(self.snapshot(), sort_keys=True, indent=2)
+
+    def write_json(self, path: Path) -> None:
+        """Write the summary as indented JSON (byte-stable per stream)."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    def reset(self) -> None:
+        """Drop every metric (tests and benchmark repeats use this)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: Process-global registry the instrumented pipeline records into.
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the global registry; returns it."""
+    global _registry
+    _registry = registry
+    return registry

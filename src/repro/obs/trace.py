@@ -1,0 +1,288 @@
+"""Span tracing: nested, monotonic-clock timing of pipeline stages.
+
+A **span** is one timed region of the featurize → model → estimate
+pipeline, with a name, structured attributes, and a parent — the span
+that was open on the same thread when it started.  Spans form per-thread
+trees, so a trace of ``LearnedEstimator.fit`` shows the featurization
+compile/encode stages nested under the estimator's own span, and a flame
+view (see :mod:`repro.obs.export`) reconstructs where the time went.
+
+Two usage surfaces:
+
+* context manager — ``with obs.span("featurize.encode", n=64) as sp:``;
+  the yielded object is the live :class:`Span` (``None`` when tracing is
+  disabled), whose ``duration_seconds`` is readable after the block.
+* decorator — ``@obs.trace("model.fit")`` wraps a callable in a span.
+
+Tracing is **off by default** and the disabled path is near-zero-cost:
+``span(...)`` returns a shared no-op context manager without allocating
+anything, so instrumentation can stay in hot code unconditionally.
+Durations come from :func:`time.perf_counter_ns` — the monotonic clock —
+never from wall-clock ``time.time``.
+
+The module-level helpers (:func:`span`, :func:`get_tracer`, ...) operate
+on one process-global active tracer.  Code that *needs* measurements
+regardless of global state (the benchmark CLI, the Tab. 7 experiment)
+wraps itself in :func:`ensure_tracing`, which reuses the active tracer
+when enabled and otherwise installs a temporary private one.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = ["Span", "Tracer", "get_tracer", "set_tracer", "use_tracer",
+           "ensure_tracing", "span", "trace", "enabled", "enable",
+           "disable"]
+
+
+class Span:
+    """One timed region: a node of the per-thread span tree.
+
+    Spans are context managers; timing starts at ``__enter__`` and the
+    duration, status, and parent linkage are final after ``__exit__``.
+    An exception escaping the block marks the span ``status="error"``
+    (recording the exception type) and re-raises.
+    """
+
+    __slots__ = ("name", "attributes", "span_id", "parent_id", "thread_id",
+                 "start_ns", "duration_ns", "status", "error",
+                 "_tracer", "_metric")
+
+    def __init__(self, tracer: "Tracer", name: str, metric: str | None,
+                 attributes: dict) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.thread_id = 0
+        self.start_ns = 0
+        self.duration_ns = 0
+        self.status = "ok"
+        self.error: str | None = None
+        self._tracer = tracer
+        self._metric = metric
+
+    @property
+    def duration_seconds(self) -> float:
+        """Span duration in seconds (0.0 while the span is still open)."""
+        return self.duration_ns / 1e9
+
+    def set_attribute(self, key: str, value) -> None:
+        """Attach a structured attribute after the span has started."""
+        self.attributes[key] = value
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable record (one JSONL line of a trace file)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread_id,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "status": self.status,
+            "error": self.error,
+            "attributes": self.attributes,
+        }
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = "error"
+            self.error = exc_type.__name__
+        self._tracer._close(self)
+        return False
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"parent={self.parent_id}, "
+                f"duration={self.duration_seconds:.6f}s, {self.status})")
+
+
+class _NoOpSpan:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoOpSpan()
+
+
+class Tracer:
+    """Collects finished spans; maintains one span stack per thread."""
+
+    def __init__(self, enabled: bool = True,
+                 clock_ns: Callable[[], int] = time.perf_counter_ns) -> None:
+        self._enabled = enabled
+        self._clock_ns = clock_ns
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._local = threading.local()
+        self._next_id = 1
+
+    @property
+    def enabled(self) -> bool:
+        """Whether :meth:`span` records (False: no-op fast path)."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+
+    def span(self, name: str, *, metric: str | None = None, **attributes):
+        """Open a span context; record its duration into histogram
+        ``metric`` (of the global metrics registry) when given."""
+        if not self._enabled:
+            return _NOOP_SPAN
+        return Span(self, name, metric, attributes)
+
+    def finished(self) -> tuple[Span, ...]:
+        """Every span closed so far, in close order."""
+        with self._lock:
+            return tuple(self._finished)
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans keep their linkage)."""
+        with self._lock:
+            self._finished.clear()
+
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            span.parent_id = stack[-1].span_id
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        span.thread_id = threading.get_ident()
+        stack.append(span)
+        span.start_ns = self._clock_ns()
+
+    def _close(self, span: Span) -> None:
+        span.duration_ns = self._clock_ns() - span.start_ns
+        stack = self._stack()
+        # Tolerate out-of-order exits (a span closed from a different
+        # frame than it was opened in) instead of corrupting the stack.
+        if span in stack:
+            while stack and stack[-1] is not span:
+                stack.pop()
+            stack.pop()
+        with self._lock:
+            self._finished.append(span)
+        if span._metric is not None and span.status == "ok":
+            from repro.obs.metrics_runtime import get_registry
+
+            get_registry().histogram(span._metric).record(
+                span.duration_seconds)
+
+
+#: The process-global active tracer; disabled until someone enables it.
+_active = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global active tracer."""
+    return _active
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the active tracer; returns it."""
+    global _active
+    _active = tracer
+    return tracer
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Temporarily install ``tracer`` as the active tracer."""
+    global _active
+    previous = _active
+    _active = tracer
+    try:
+        yield tracer
+    finally:
+        _active = previous
+
+
+@contextmanager
+def ensure_tracing() -> Iterator[Tracer]:
+    """Yield an *enabled* tracer: the active one if already enabled,
+    otherwise a temporary private tracer installed for the block.
+
+    This is how measurement consumers (benchmarks, timing experiments)
+    read span durations without forcing tracing on for the whole
+    process — and still contribute their spans to an externally enabled
+    trace (e.g. ``repro bench featurize --trace``).
+    """
+    if _active.enabled:
+        yield _active
+        return
+    with use_tracer(Tracer(enabled=True)) as tracer:
+        yield tracer
+
+
+def span(name: str, *, metric: str | None = None, **attributes):
+    """Open a span on the active tracer (no-op when tracing is off)."""
+    return _active.span(name, metric=metric, **attributes)
+
+
+def enabled() -> bool:
+    """Whether the active tracer is recording."""
+    return _active.enabled
+
+
+def enable() -> Tracer:
+    """Turn the active tracer on; returns it."""
+    _active.enabled = True
+    return _active
+
+
+def disable() -> Tracer:
+    """Turn the active tracer off; returns it."""
+    _active.enabled = False
+    return _active
+
+
+def trace(name: str | Callable | None = None, *,
+          metric: str | None = None, **attributes):
+    """Decorator form of :func:`span`.
+
+    Usable bare (``@trace``, span named after the callable) or with an
+    explicit name and attributes (``@trace("model.fit", model="gb")``).
+    """
+    if callable(name):  # bare @trace
+        func = name
+        return trace(func.__qualname__)(func)
+
+    def decorate(func: Callable) -> Callable:
+        span_name = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with _active.span(span_name, metric=metric, **attributes):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -16,9 +16,26 @@ class TestQError:
         assert float(qerror(100, 10)) == float(qerror(10, 100)) == 10.0
 
     def test_clamps_below_one(self):
-        # Paper protocol: all estimates and cardinalities >= 1.
-        assert float(qerror(0, 0.5)) == 1.0
-        assert float(qerror(5, 0)) == 5.0
+        # Paper protocol: all estimates and cardinalities >= 1, so
+        # positive fractional inputs clamp up to 1.
+        assert float(qerror(0.5, 0.25)) == 1.0
+        assert float(qerror(5, 0.5)) == 5.0
+
+    def test_rejects_nonpositive_inputs(self):
+        # Regression: a zero cardinality or estimate used to clamp
+        # silently to 1 instead of flagging the protocol violation.
+        with pytest.raises(ValueError, match="true cardinalities"):
+            qerror(0, 0.5)
+        with pytest.raises(ValueError, match="estimates"):
+            qerror(5, 0)
+        with pytest.raises(ValueError, match="true cardinalities"):
+            qerror([10, -3], [5, 5])
+
+    def test_rejects_nonfinite_inputs(self):
+        with pytest.raises(ValueError, match="true cardinalities"):
+            qerror(np.nan, 5)
+        with pytest.raises(ValueError, match="estimates"):
+            qerror(5, np.inf)
 
     def test_vectorised(self):
         errors = qerror([10, 20], [20, 10])

@@ -254,6 +254,44 @@ class TestPrintInLibraryRPR302:
                      config=config) == []
 
 
+class TestAdHocTimingRPR108:
+    def test_flags_time_attribute_call(self):
+        assert "RPR108" in codes(
+            "import time\n\ndef f():\n    return time.perf_counter()\n",
+            module_name="repro.featurize.base")
+
+    def test_flags_aliased_module_and_from_import(self):
+        assert "RPR108" in codes(
+            "import time as t\n\ndef f():\n    return t.monotonic_ns()\n",
+            module_name="repro.models.neural_net")
+        assert "RPR108" in codes(
+            "from time import perf_counter\n\n"
+            "def f():\n    return perf_counter()\n",
+            module_name="repro.experiments.runner")
+
+    def test_accepts_non_clock_time_functions(self):
+        assert codes(
+            "import time\n\ndef f():\n    time.sleep(0.1)\n",
+            module_name="repro.data.loader") == []
+
+    def test_obs_and_bench_are_exempt(self):
+        source = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        assert codes(source, module_name="repro.obs.trace") == []
+        assert codes(source, module_name="repro.bench") == []
+
+    def test_only_applies_inside_repro(self):
+        assert codes(
+            "import time\n\ndef f():\n    return time.time()\n",
+            module_name="scripts.profile") == []
+
+    def test_pragma_suppresses(self):
+        source = ("import time\n\ndef f():\n"
+                  "    return time.time()  # repro: ignore[RPR108]\n")
+        result = lint_text(source, module_name="repro.metrics")
+        assert result.findings == ()
+        assert [f.code for f in result.suppressed] == ["RPR108"]
+
+
 class TestDunderAllRPR303:
     def test_flags_public_definition_missing_from_all(self):
         assert "RPR303" in codes(

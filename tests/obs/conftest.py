@@ -1,0 +1,19 @@
+"""Obs-test hygiene: isolate tracer and metrics state per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Run each test against a fresh tracer and metrics registry."""
+    previous_tracer = obs.get_tracer()
+    previous_registry = obs.get_registry()
+    obs.set_tracer(obs.Tracer(enabled=False))
+    obs.set_registry(obs.MetricsRegistry())
+    yield
+    obs.set_tracer(previous_tracer)
+    obs.set_registry(previous_registry)

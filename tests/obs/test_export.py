@@ -1,0 +1,141 @@
+"""Tests for trace exporters: JSONL, Chrome events, summaries."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    SPAN_RECORD_KEYS,
+    read_spans_jsonl,
+    render_summary_json,
+    render_summary_text,
+    span_records,
+    summarize_spans,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+
+class StepClock:
+    """Monotonic clock advancing 1 ms per read — deterministic traces."""
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def __call__(self) -> int:
+        self.now += 1_000_000
+        return self.now
+
+
+def make_trace() -> tuple:
+    tracer = obs.Tracer(enabled=True, clock_ns=StepClock())
+    with tracer.span("featurize.batch", featurizer="ConjunctiveEncoding"):
+        with tracer.span("featurize.compile"):
+            pass
+        with tracer.span("featurize.encode", n_queries=300):
+            pass
+    try:
+        with tracer.span("model.fit"):
+            raise RuntimeError()
+    except RuntimeError:
+        pass
+    return tracer.finished()
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        spans = make_trace()
+        path = tmp_path / "trace.jsonl"
+        assert write_spans_jsonl(spans, path) == 4
+        records = read_spans_jsonl(path)
+        assert records == span_records(spans)
+        for record in records:
+            assert set(record) == set(SPAN_RECORD_KEYS)
+
+    def test_missing_key_rejected(self):
+        record = span_records(make_trace())[0]
+        del record["duration_ns"]
+        with pytest.raises(ValueError, match="duration_ns"):
+            span_records([record])
+
+    def test_bad_lines_reported_with_position(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "x"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="missing keys"):
+            read_spans_jsonl(path)
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=":1:"):
+            read_spans_jsonl(path)
+
+    def test_identical_traces_identical_bytes(self, tmp_path):
+        # Deterministic clock + sorted keys: byte-identical JSONL.
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_spans_jsonl(make_trace(), a)
+        write_spans_jsonl(make_trace(), b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestChromeTrace:
+    def test_event_shape(self):
+        events = to_chrome_trace(make_trace())
+        assert len(events) == 4
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 0
+            assert event["tid"] == 0  # single thread -> first tid
+            assert event["ts"] >= 0 and event["dur"] > 0
+        by_name = {e["name"]: e for e in events}
+        assert by_name["model.fit"]["args"]["status"] == "error"
+        assert by_name["model.fit"]["args"]["error"] == "RuntimeError"
+        assert by_name["featurize.encode"]["args"]["n_queries"] == 300
+
+    def test_microsecond_units(self):
+        records = span_records(make_trace())
+        events = to_chrome_trace(records)
+        assert events[0]["ts"] == records[0]["start_ns"] / 1e3
+        assert events[0]["dur"] == records[0]["duration_ns"] / 1e3
+
+    def test_written_file_shape(self, tmp_path):
+        path = tmp_path / "chrome.json"
+        assert write_chrome_trace(make_trace(), path) == 4
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert set(payload) == {"traceEvents", "displayTimeUnit"}
+        assert len(payload["traceEvents"]) == 4
+
+
+class TestSummary:
+    def test_self_time_subtracts_direct_children(self):
+        spans = make_trace()
+        summary = summarize_spans(spans)
+        batch = summary["by_name"]["featurize.batch"]
+        children = (summary["by_name"]["featurize.compile"]["total_seconds"]
+                    + summary["by_name"]["featurize.encode"]["total_seconds"])
+        assert batch["self_seconds"] == pytest.approx(
+            batch["total_seconds"] - children)
+        assert summary["spans"] == 4
+        assert summary["wall_seconds"] > 0
+
+    def test_error_counting(self):
+        summary = summarize_spans(make_trace())
+        assert summary["by_name"]["model.fit"]["errors"] == 1
+        assert summary["by_name"]["featurize.batch"]["errors"] == 0
+
+    def test_empty_summary(self):
+        summary = summarize_spans([])
+        assert summary == {"spans": 0, "wall_seconds": 0.0, "by_name": {}}
+
+    def test_text_rendering(self):
+        summary = summarize_spans(make_trace())
+        text = render_summary_text(summary)
+        lines = text.splitlines()
+        assert lines[0].startswith("span")
+        assert any(line.startswith("featurize.batch") for line in lines)
+        assert lines[-1].endswith("wall clock")
+
+    def test_json_rendering_deterministic(self):
+        summary = summarize_spans(make_trace())
+        assert (render_summary_json(summary)
+                == render_summary_json(summarize_spans(make_trace())))
+        assert json.loads(render_summary_json(summary)) == summary

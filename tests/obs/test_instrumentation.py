@@ -1,0 +1,154 @@
+"""The pipeline actually emits the spans/metrics the docs promise.
+
+These tests drive real featurizers, models, and estimators under an
+enabled tracer and check the span tree and metric names — the wiring
+that ``repro obs report`` and the CI trace artifact depend on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.estimators import LearnedEstimator
+from repro.experiments.common import evaluate_estimator
+from repro.featurize import ConjunctiveEncoding
+from repro.models import GradientBoostingRegressor, NeuralNetRegressor
+
+
+@pytest.fixture
+def traced():
+    tracer = obs.set_tracer(obs.Tracer(enabled=True))
+    return tracer
+
+
+def span_index(tracer):
+    return {s.span_id: s for s in tracer.finished()}
+
+
+class TestFeaturizeInstrumentation:
+    def test_batch_emits_compile_and_encode_children(self, traced,
+                                                     small_forest,
+                                                     conjunctive_workload):
+        featurizer = ConjunctiveEncoding(small_forest, max_partitions=8)
+        featurizer.featurize_batch(conjunctive_workload.queries[:100])
+        spans = {s.name: s for s in traced.finished()}
+        assert set(spans) == {"featurize.batch", "featurize.compile",
+                              "featurize.encode"}
+        batch = spans["featurize.batch"]
+        assert spans["featurize.compile"].parent_id == batch.span_id
+        assert spans["featurize.encode"].parent_id == batch.span_id
+        assert batch.attributes["n_queries"] == 100
+        assert batch.attributes["featurizer"] == "ConjunctiveEncoding"
+
+    def test_stage_spans_cover_the_batch_span(self, traced, small_forest,
+                                              conjunctive_workload):
+        # The acceptance criterion behind `repro obs report`: the stage
+        # breakdown accounts for (nearly) all of the parent's time.
+        featurizer = ConjunctiveEncoding(small_forest, max_partitions=8)
+        featurizer.featurize_batch(conjunctive_workload.queries)
+        spans = {s.name: s for s in traced.finished()}
+        children = (spans["featurize.compile"].duration_ns
+                    + spans["featurize.encode"].duration_ns)
+        parent = spans["featurize.batch"].duration_ns
+        assert children <= parent
+        assert children >= 0.8 * parent
+
+    def test_batch_records_metrics(self, traced, small_forest,
+                                   conjunctive_workload):
+        featurizer = ConjunctiveEncoding(small_forest, max_partitions=8)
+        featurizer.featurize_batch(conjunctive_workload.queries[:50])
+        registry = obs.get_registry()
+        assert registry.counter("featurize.queries_total").value == 50
+        assert registry.histogram("featurize.batch_size").count == 1
+
+    def test_scalar_counts_but_does_not_span(self, traced, small_forest,
+                                             conjunctive_workload):
+        featurizer = ConjunctiveEncoding(small_forest, max_partitions=8)
+        for query in conjunctive_workload.queries[:10]:
+            featurizer.featurize(query)
+        assert traced.finished() == ()
+        assert obs.get_registry().counter(
+            "featurize.queries_total").value == 10
+
+    def test_disabled_tracer_records_nothing_but_counts(self, small_forest,
+                                                        conjunctive_workload):
+        featurizer = ConjunctiveEncoding(small_forest, max_partitions=8)
+        featurizer.featurize_batch(conjunctive_workload.queries[:20])
+        assert obs.get_tracer().finished() == ()
+        assert obs.get_registry().counter(
+            "featurize.queries_total").value == 20
+
+
+class TestModelInstrumentation:
+    def test_gb_fit_predict_spans(self, traced):
+        rng = np.random.default_rng(0)
+        X, y = rng.random((120, 5)), rng.random(120)
+        model = GradientBoostingRegressor(n_estimators=5,
+                                          early_stopping_rounds=None)
+        model.fit(X, y)
+        model.predict(X[:10])
+        spans = span_index(traced)
+        names = [s.name for s in spans.values()]
+        assert names.count("model.fit") == 1
+        assert names.count("model.predict") == 1
+        by_name = {s.name: s for s in spans.values()}
+        fit = by_name["model.fit"]
+        assert fit.attributes["model"] == "GradientBoostingRegressor"
+        assert by_name["model.gb.bin"].parent_id == fit.span_id
+        boost = by_name["model.gb.boost"]
+        assert boost.parent_id == fit.span_id
+        assert boost.attributes["trees_grown"] == 5
+
+    def test_nn_epoch_spans_and_metric(self, traced):
+        rng = np.random.default_rng(1)
+        X, y = rng.random((40, 3)), rng.random(40)
+        NeuralNetRegressor(epochs=3, early_stopping_rounds=None,
+                           hidden_sizes=(8,)).fit(X, y)
+        epochs = [s for s in traced.finished()
+                  if s.name == "model.train.epoch"]
+        assert len(epochs) == 3
+        assert [s.attributes["epoch"] for s in epochs] == [0, 1, 2]
+        fit = next(s for s in traced.finished() if s.name == "model.fit")
+        assert all(s.parent_id == fit.span_id for s in epochs)
+        assert obs.get_registry().histogram(
+            "model.train.epoch_seconds").count == 3
+
+
+class TestEstimatorInstrumentation:
+    @pytest.fixture
+    def estimator(self, small_forest, conjunctive_workload):
+        est = LearnedEstimator(
+            ConjunctiveEncoding(small_forest, max_partitions=8),
+            GradientBoostingRegressor(n_estimators=5),
+        )
+        return est.fit(conjunctive_workload.queries[:150],
+                       conjunctive_workload.cardinalities[:150])
+
+    def test_fit_and_estimate_span_tree(self, traced, estimator,
+                                        conjunctive_workload):
+        estimator.estimate_batch(conjunctive_workload.queries[:30])
+        spans = span_index(traced)
+        by_name: dict = {}
+        for span in spans.values():
+            by_name.setdefault(span.name, []).append(span)
+        assert len(by_name["estimator.fit"]) == 1
+        assert len(by_name["estimator.estimate"]) == 1
+        estimate = by_name["estimator.estimate"][0]
+        assert estimate.attributes["n_queries"] == 30
+        # featurize.batch nests under both fit and estimate.
+        batch_parents = {s.parent_id for s in by_name["featurize.batch"]}
+        assert by_name["estimator.fit"][0].span_id in batch_parents
+        assert estimate.span_id in batch_parents
+        # model.fit nests under estimator.fit.
+        assert (by_name["model.fit"][0].parent_id
+                == by_name["estimator.fit"][0].span_id)
+
+    def test_evaluate_records_qerror_histogram(self, traced, estimator,
+                                               conjunctive_workload):
+        summary = evaluate_estimator(estimator, conjunctive_workload)
+        histogram = obs.get_registry().histogram("estimator.qerror")
+        assert histogram.count == len(conjunctive_workload)
+        assert histogram.sum == pytest.approx(
+            summary.mean * summary.count)
+        names = {s.name for s in traced.finished()}
+        assert "experiment.evaluate" in names

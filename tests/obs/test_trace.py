@@ -1,0 +1,194 @@
+"""Tests for the span tracer: nesting, errors, no-op path, decorator."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import _NOOP_SPAN
+
+
+class FakeClock:
+    """Deterministic monotonic clock advancing a fixed step per read."""
+
+    def __init__(self, step_ns: int = 1_000) -> None:
+        self.now = 0
+        self.step_ns = step_ns
+
+    def __call__(self) -> int:
+        self.now += self.step_ns
+        return self.now
+
+
+class TestSpanNesting:
+    def test_parent_linkage(self):
+        tracer = obs.Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_sibling_spans_share_parent(self):
+        tracer = obs.Tracer(enabled=True)
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert a.span_id != b.span_id
+
+    def test_finished_in_close_order(self):
+        tracer = obs.Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.finished()] == ["outer", "inner"][::-1]
+
+    def test_child_duration_within_parent(self):
+        clock = FakeClock()
+        tracer = obs.Tracer(enabled=True, clock_ns=clock)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert 0 < inner.duration_ns < outer.duration_ns
+
+    def test_spans_are_per_thread(self):
+        tracer = obs.Tracer(enabled=True)
+        results = {}
+
+        def worker():
+            with tracer.span("worker") as sp:
+                results["span"] = sp
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The worker's span opened on another thread: no parent there.
+        assert results["span"].parent_id is None
+        assert results["span"].thread_id != threading.get_ident()
+
+
+class TestErrorExit:
+    def test_exception_marks_error_and_reraises(self):
+        tracer = obs.Tracer(enabled=True)
+        with pytest.raises(KeyError):
+            with tracer.span("failing") as sp:
+                raise KeyError("boom")
+        assert sp.status == "error"
+        assert sp.error == "KeyError"
+        assert sp.duration_ns > 0
+        assert [s.name for s in tracer.finished()] == ["failing"]
+
+    def test_error_in_child_keeps_parent_ok_if_handled(self):
+        tracer = obs.Tracer(enabled=True)
+        with tracer.span("parent") as parent:
+            try:
+                with tracer.span("child"):
+                    raise ValueError()
+            except ValueError:
+                pass
+        assert parent.status == "ok"
+        statuses = {s.name: s.status for s in tracer.finished()}
+        assert statuses == {"parent": "ok", "child": "error"}
+
+    def test_error_span_skips_metric_recording(self):
+        tracer = obs.Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("stage", metric="stage.seconds"):
+                raise RuntimeError()
+        assert "stage.seconds" not in obs.get_registry().names()
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = obs.Tracer(enabled=False)
+        assert tracer.span("anything") is _NOOP_SPAN
+        assert tracer.span("other", n=1) is _NOOP_SPAN
+
+    def test_noop_enter_yields_none(self):
+        tracer = obs.Tracer(enabled=False)
+        with tracer.span("x") as sp:
+            assert sp is None
+        assert tracer.finished() == ()
+
+    def test_module_span_follows_active_tracer(self):
+        with obs.span("off") as sp:
+            assert sp is None  # conftest installs a disabled tracer
+        with obs.use_tracer(obs.Tracer(enabled=True)) as tracer:
+            with obs.span("on") as sp:
+                assert sp is not None
+        assert [s.name for s in tracer.finished()] == ["on"]
+
+
+class TestAttributesAndMetric:
+    def test_attributes_captured_and_extended(self):
+        tracer = obs.Tracer(enabled=True)
+        with tracer.span("stage", qft="conjunctive") as sp:
+            sp.set_attribute("n_queries", 42)
+        record = sp.as_dict()
+        assert record["attributes"] == {"qft": "conjunctive",
+                                        "n_queries": 42}
+
+    def test_metric_records_duration_histogram(self):
+        tracer = obs.Tracer(enabled=True)
+        with tracer.span("stage", metric="stage.seconds"):
+            pass
+        histogram = obs.get_registry().histogram("stage.seconds")
+        assert histogram.count == 1
+        assert histogram.sum >= 0.0
+
+
+class TestDecorator:
+    def test_bare_decorator_uses_qualname(self):
+        @obs.trace
+        def work():
+            return 7
+
+        with obs.use_tracer(obs.Tracer(enabled=True)) as tracer:
+            assert work() == 7
+        names = [s.name for s in tracer.finished()]
+        assert len(names) == 1 and names[0].endswith("work")
+
+    def test_named_decorator_with_attributes(self):
+        @obs.trace("model.fit", model="TestModel")
+        def fit():
+            return "done"
+
+        with obs.use_tracer(obs.Tracer(enabled=True)) as tracer:
+            assert fit() == "done"
+        (span,) = tracer.finished()
+        assert span.name == "model.fit"
+        assert span.attributes == {"model": "TestModel"}
+
+    def test_decorator_binds_tracer_at_call_time(self):
+        @obs.trace("late")
+        def work():
+            pass
+
+        work()  # disabled: nothing recorded anywhere
+        with obs.use_tracer(obs.Tracer(enabled=True)) as tracer:
+            work()
+        assert [s.name for s in tracer.finished()] == ["late"]
+
+
+class TestEnsureTracing:
+    def test_reuses_enabled_active_tracer(self):
+        active = obs.set_tracer(obs.Tracer(enabled=True))
+        with obs.ensure_tracing() as tracer:
+            assert tracer is active
+
+    def test_installs_temporary_tracer_when_disabled(self):
+        disabled = obs.get_tracer()
+        assert not disabled.enabled
+        with obs.ensure_tracing() as tracer:
+            assert tracer is not disabled
+            assert tracer.enabled
+            with obs.span("measured") as sp:
+                pass
+            assert sp is not None
+        assert obs.get_tracer() is disabled
+        assert disabled.finished() == ()
