@@ -20,10 +20,16 @@ called directly), with tracing disabled (the no-op span path), and with
 tracing enabled, and reports the overhead percentages (committed as
 ``BENCH_obs.json``; the disabled-mode number is gated at < 3% in CI).
 
+:func:`run_serve_bench` measures the serving stack end to end: an
+in-process HTTP server (estimate cache off) under a closed-loop
+multi-threaded client fleet, reporting p50/p95 latency and queries/sec
+at client batch sizes 1, 8, and 64 (committed as ``BENCH_serve.json``;
+CI gates batched throughput at ≥ 2× the single-request rate).
+
 This module computes and returns results only; printing and process exit
 codes live in :mod:`repro.cli` (``repro bench featurize`` / ``repro
-bench lint`` / ``repro bench obs``), and the pytest-driven benchmark
-lives in ``benchmarks/test_featurize_throughput.py``.
+bench lint`` / ``repro bench obs`` / ``repro bench serve``), and the
+pytest-driven benchmark lives in ``benchmarks/test_featurize_throughput.py``.
 
 Raw ``time.perf_counter`` use is deliberate here (and exempt from lint
 rule RPR108): interleaved best-of-N timing needs the clock directly,
@@ -35,6 +41,7 @@ from __future__ import annotations
 
 import json
 import tempfile
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -55,7 +62,7 @@ from repro.sql.ast import Query
 from repro.workloads import generate_conjunctive_queries, generate_mixed_queries
 
 __all__ = ["BenchCase", "run_featurize_bench", "run_lint_bench",
-           "run_obs_bench", "write_report"]
+           "run_obs_bench", "run_serve_bench", "write_report"]
 
 #: (featurizer label, workload label) cases the benchmark measures.
 _CASES = (
@@ -340,6 +347,172 @@ def run_obs_bench(rows: int = 10_000, queries: int = 10_000,
         "enabled_seconds": enabled_seconds,
         "disabled_overhead_pct": overhead_pct(disabled_seconds),
         "enabled_overhead_pct": overhead_pct(enabled_seconds),
+    }
+
+
+def _drive_closed_loop(url: str, payloads: list, threads: int, call) -> dict:
+    """Run a closed-loop client fleet over ``payloads``; return timings.
+
+    ``threads`` workers each hold their own :class:`ServeClient`, pull
+    the next payload from a shared queue, fire ``call(client, payload)``,
+    and record the request's wall latency — the classic closed-loop
+    (zero think time) load shape.  Returns per-request latencies plus
+    the fleet's wall-clock span.
+    """
+    import queue as queue_mod
+
+    from repro.serve import ServeClient
+
+    work: queue_mod.SimpleQueue = queue_mod.SimpleQueue()
+    for payload in payloads:
+        work.put(payload)
+    latencies: list[float] = []
+    failures: list[str] = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        client = ServeClient(url, timeout=60.0)
+        local: list[float] = []
+        while True:
+            try:
+                payload = work.get_nowait()
+            except queue_mod.Empty:
+                break
+            start = time.perf_counter()
+            try:
+                call(client, payload)
+            except Exception as exc:  # repro: ignore[RPR103] — collected and re-raised below
+                with lock:
+                    failures.append(str(exc))
+                break
+            local.append(time.perf_counter() - start)
+        with lock:
+            latencies.extend(local)
+
+    fleet = [threading.Thread(target=worker, name=f"repro-bench-client-{i}")
+             for i in range(threads)]
+    start = time.perf_counter()
+    for thread in fleet:
+        thread.start()
+    for thread in fleet:
+        thread.join()
+    wall_seconds = time.perf_counter() - start
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} benchmark request(s) failed; first: "
+            f"{failures[0]}")
+    return {"latencies": latencies, "wall_seconds": wall_seconds}
+
+
+def run_serve_bench(artifact: str | Path | None = None, rows: int = 4_000,
+                    queries: int = 2_048, threads: int = 8,
+                    partitions: int = config.DEFAULT_PARTITIONS,
+                    seed: int = config.DEFAULT_SEED, smoke: bool = False,
+                    batch_sizes: Sequence[int] = (1, 8, 64)) -> dict:
+    """Benchmark the serving stack end to end; return the report dict.
+
+    Boots an in-process :class:`~repro.serve.server.EstimationServer`
+    on an ephemeral port (estimate cache *disabled*, so every request
+    pays the real featurize → predict path), then drives it with a
+    closed-loop fleet of ``threads`` HTTP clients at each client-side
+    batch size: ``1`` hits ``POST /v1/estimate`` once per query, larger
+    sizes pack that many queries into one ``POST /v1/estimate_batch``
+    body.  Every case pushes the same distinct-query workload, so the
+    reported ``speedup`` — batched queries/sec over single-request
+    queries/sec at the largest batch size — isolates what micro-batching
+    amortises (HTTP round trips, request dispatch, per-call
+    featurization overhead).  CI gates it at ≥ 2×.
+
+    With ``artifact`` the persisted estimator at that path answers the
+    traffic; otherwise a small GB + conjunctive-QFT estimator is
+    trained in-process on the synthetic forest table.
+    """
+    from repro.estimators import LearnedEstimator
+    from repro.models import GradientBoostingRegressor
+    from repro.persistence import load_estimator
+    from repro.serve import EstimationServer, EstimationService
+    from repro.serve.client import ServeClient
+    from repro.workloads import generate_conjunctive_workload
+
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if smoke:
+        rows = min(rows, 1_000)
+        queries = min(queries, 256)
+        threads = min(threads, 4)
+    batch_sizes = tuple(sorted(set(int(b) for b in batch_sizes)))
+    if batch_sizes[0] != 1:
+        raise ValueError("batch_sizes must include 1 (the speedup baseline)")
+    table = generate_forest(rows=rows, seed=seed)
+    if artifact is not None:
+        estimator = load_estimator(artifact)
+    else:
+        train = generate_conjunctive_workload(
+            table, 120 if smoke else 400, seed=seed + 1)
+        estimator = LearnedEstimator(
+            ConjunctiveEncoding(table, max_partitions=partitions),
+            GradientBoostingRegressor(n_estimators=10 if smoke else 30),
+        ).fit(train.queries, train.cardinalities)
+    sqls = [query.to_sql()
+            for query in generate_conjunctive_queries(table, queries,
+                                                      seed=seed)]
+
+    service = EstimationService(estimator, max_batch_size=64,
+                                max_wait_ms=1.0, cache_size=0,
+                                max_inflight=max(64, threads * 4))
+    cases: list[dict] = []
+    with EstimationServer(service) as server:
+        # Untimed warm-up: first-request costs (lazy imports, allocator
+        # warm-up) must not pollute the smallest case.
+        warmup = ServeClient(server.url, timeout=60.0)
+        warmup.estimate(sqls[0])
+        warmup.estimate_batch(sqls[:8])
+        for batch_size in batch_sizes:
+            if batch_size == 1:
+                payloads: list = list(sqls)
+                call = (lambda client, sql: client.estimate(sql))
+            else:
+                payloads = [sqls[i:i + batch_size]
+                            for i in range(0, len(sqls), batch_size)]
+                call = (lambda client, batch: client.estimate_batch(batch))
+            timing = _drive_closed_loop(server.url, payloads, threads, call)
+            latencies_ms = np.asarray(timing["latencies"]) * 1000.0
+            wall = timing["wall_seconds"]
+            cases.append({
+                "batch_size": batch_size,
+                "requests": len(payloads),
+                "queries": len(sqls),
+                "wall_seconds": wall,
+                "queries_per_second": (len(sqls) / wall if wall > 0
+                                       else float("inf")),
+                "p50_latency_ms": float(np.percentile(latencies_ms, 50)),
+                "p95_latency_ms": float(np.percentile(latencies_ms, 95)),
+            })
+
+    by_size = {case["batch_size"]: case for case in cases}
+    single_qps = by_size[1]["queries_per_second"]
+    batched_qps = by_size[batch_sizes[-1]]["queries_per_second"]
+    return {
+        "benchmark": "serve",
+        "config": {
+            "rows": rows,
+            "queries": queries,
+            "threads": threads,
+            "partitions": partitions,
+            "seed": seed,
+            "smoke": smoke,
+            "artifact": str(artifact) if artifact is not None else None,
+            "estimator": estimator.name,
+            "batch_sizes": list(batch_sizes),
+            "max_batch_size": 64,
+            "max_wait_ms": 1.0,
+            "cache_size": 0,
+        },
+        "cases": cases,
+        "single_qps": single_qps,
+        "batched_qps": batched_qps,
+        "speedup": (batched_qps / single_qps if single_qps > 0
+                    else float("inf")),
     }
 
 

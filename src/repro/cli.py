@@ -12,6 +12,10 @@ downstream user needs, plus dataset generation:
   load a persisted estimator and print the estimate (optionally the true
   cardinality and q-error when ``--data`` is given).
 * ``repro experiments ...`` — forwards to the experiment runner.
+* ``repro serve --artifact model.npz --port 8642`` — serve a persisted
+  estimator over the HTTP JSON API (micro-batching, estimate cache,
+  admission control; see ``docs/serving.md``).  ``--registry`` switches
+  ``--artifact`` to a published model-registry name.
 * ``repro bench featurize`` — scalar-vs-batch featurization benchmark;
   writes ``BENCH_featurize.json`` and fails if the batch pipeline is
   slower than the scalar loop or diverges from it.
@@ -20,6 +24,10 @@ downstream user needs, plus dataset generation:
 * ``repro bench obs`` — observability-overhead benchmark; writes
   ``BENCH_obs.json`` and fails if disabled-tracing overhead exceeds
   ``--max-overhead`` (default 3%).
+* ``repro bench serve`` — end-to-end serving benchmark (closed-loop
+  client fleet, client batch sizes 1/8/64); writes ``BENCH_serve.json``
+  and fails if batched throughput is below ``--min-batch-speedup``
+  (default 2x) times the single-request rate.
 * ``repro obs report trace.jsonl`` — per-stage summary of a span trace
   recorded with ``--trace`` (see ``docs/observability.md``).
 * ``repro lint [paths]`` — the repo's own static-analysis pass
@@ -105,11 +113,51 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.serve import EstimationServer, EstimationService, ModelRegistry
+
+    if args.registry is not None:
+        registry = ModelRegistry(args.registry)
+        estimator = registry.load(args.artifact, args.version)
+        print(f"loaded {registry.resolve(args.artifact, args.version).label()}"
+              f" from registry {args.registry}")
+    else:
+        estimator = load_estimator(args.artifact)
+        print(f"loaded {estimator.name} from {args.artifact}")
+    service = EstimationService(estimator,
+                                max_batch_size=args.max_batch_size,
+                                max_wait_ms=args.max_wait_ms,
+                                cache_size=args.cache_size,
+                                max_inflight=args.max_inflight)
+    server = EstimationServer(service, host=args.host, port=args.port)
+    server.start()
+    print(f"serving on {server.url} "
+          f"(batch<= {args.max_batch_size}, wait {args.max_wait_ms}ms, "
+          f"cache {args.cache_size}, inflight<= {args.max_inflight})")
+    stop = getattr(args, "shutdown_event", None) or threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        # SIGINT/SIGTERM trigger the graceful drain; tests drive the
+        # same path through an injected shutdown_event instead.
+        signal.signal(signal.SIGINT, lambda signum, frame: stop.set())
+        signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    stop.wait()
+    print("draining in-flight requests ...")
+    server.stop(drain=True)
+    print("server stopped")
+    return 0
+
+
 def _cmd_bench(args) -> int:
+    args.smoke = args.smoke or args.quick
     if args.target == "lint":
         return _cmd_bench_lint(args)
     if args.target == "obs":
         return _cmd_bench_obs(args)
+    if args.target == "serve":
+        return _cmd_bench_serve(args)
     from repro import obs
     from repro.bench import run_featurize_bench, write_report
 
@@ -189,6 +237,39 @@ def _cmd_bench_obs(args) -> int:
         print(f"FAIL: disabled-tracing overhead "
               f"{report['disabled_overhead_pct']:.2f}% above allowed "
               f"{args.max_overhead:.2f}%")
+        return 1
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from repro.bench import run_serve_bench, write_report
+
+    # 10k HTTP requests per case is featurize-bench scale, not serving
+    # scale; cap the shared --queries default at a seconds-long run.
+    queries = min(args.queries, 4_096)
+    if queries < args.queries:
+        print(f"capping --queries at {queries} for the serving benchmark")
+    report = run_serve_bench(artifact=args.artifact, rows=args.rows,
+                             queries=queries, threads=args.threads,
+                             partitions=args.partitions, seed=args.seed,
+                             smoke=args.smoke)
+    cfg = report["config"]
+    print(f"serve bench: {cfg['queries']} distinct queries, "
+          f"{cfg['threads']} client threads, estimator "
+          f"{cfg['estimator']}{', smoke' if cfg['smoke'] else ''}")
+    for case in report["cases"]:
+        print(f"  batch {case['batch_size']:>3}: "
+              f"{case['queries_per_second']:10.1f} q/s  "
+              f"p50 {case['p50_latency_ms']:7.2f}ms  "
+              f"p95 {case['p95_latency_ms']:7.2f}ms  "
+              f"({case['requests']} requests)")
+    print(f"  batched/single speedup: {report['speedup']:.2f}x")
+    output = args.output or Path("BENCH_serve.json")
+    write_report(report, output)
+    print(f"wrote {output}")
+    if report["speedup"] < args.min_batch_speedup:
+        print(f"FAIL: batched throughput speedup {report['speedup']:.2f}x "
+              f"below required {args.min_batch_speedup:.2f}x")
         return 1
     return 0
 
@@ -277,12 +358,39 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "experiments", help="run paper experiments (see runner --help)")
 
+    serve = sub.add_parser(
+        "serve", help="serve a persisted estimator over an HTTP JSON API")
+    serve.add_argument("--artifact", required=True,
+                       help="persisted .npz model path (or a registry "
+                            "model name with --registry)")
+    serve.add_argument("--registry", type=Path, default=None,
+                       help="model-registry root; --artifact is then a "
+                            "published model name")
+    serve.add_argument("--version", default="latest",
+                       help="registry version to serve (default: latest)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--max-batch-size", type=int, default=64,
+                       help="micro-batch dispatch threshold (default: 64)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batch collection window (default: 2ms)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="LRU estimate-cache capacity, 0 disables "
+                            "(default: 1024)")
+    serve.add_argument("--max-inflight", type=int, default=256,
+                       help="reject requests beyond this many in flight "
+                            "with 503 (default: 256)")
+    serve.set_defaults(func=_cmd_serve)
+
     bench = sub.add_parser(
         "bench",
         help="micro-benchmarks (featurize throughput, lint cache, "
-             "obs overhead)")
-    bench.add_argument("target", choices=["featurize", "lint", "obs"],
+             "obs overhead, serving latency)")
+    bench.add_argument("target", choices=["featurize", "lint", "obs",
+                                          "serve"],
                        help="benchmark to run")
+    bench.add_argument("--quick", action="store_true",
+                       help="alias for --smoke")
     bench.add_argument("--smoke", action="store_true",
                        help="small CI-sized workload (caps rows/queries)")
     bench.add_argument("--rows", type=int, default=10_000,
@@ -310,6 +418,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--trace", type=Path, default=None,
                        help="featurize bench: record spans to this JSONL "
                             "trace file")
+    bench.add_argument("--artifact", default=None,
+                       help="serve bench: persisted .npz estimator to "
+                            "serve (default: train one in-process)")
+    bench.add_argument("--threads", type=int, default=8,
+                       help="serve bench: closed-loop client threads "
+                            "(default: 8)")
+    bench.add_argument("--min-batch-speedup", type=float, default=2.0,
+                       help="serve bench: fail if batched throughput is "
+                            "below this multiple of the single-request "
+                            "rate (default: 2.0)")
     bench.set_defaults(func=_cmd_bench)
 
     obs_parser = sub.add_parser(

@@ -121,3 +121,61 @@ class EquiDepthConjunctiveEncoding(ConjunctiveEncoding):
         config_dict = super().get_config()
         config_dict["partitioning"] = "equi-depth"
         return config_dict
+
+    # ------------------------------------------------------------------
+    # Persistence (see repro.persistence)
+    # ------------------------------------------------------------------
+
+    def fitted_state_arrays(self) -> dict[str, np.ndarray]:
+        """Data-derived geometry arrays for persistence.
+
+        The quantile boundaries (and, for exact attributes, the distinct
+        values) come from the fitted table's column values, which a
+        statistics snapshot cannot reproduce — so they ride along in the
+        ``.npz`` artifact and :meth:`from_fitted_state` restores them
+        without the data.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for attr in self.attributes:
+            arrays[f"boundaries/{attr}"] = self._boundaries[attr]
+            if self._exact[attr]:
+                arrays[f"uniques/{attr}"] = self._uniques[attr]
+        return arrays
+
+    @classmethod
+    def from_fitted_state(cls, snapshot: TableStats, attributes,
+                          config: dict, arrays: dict
+                          ) -> "EquiDepthConjunctiveEncoding":
+        """Rebuild a fitted instance from a snapshot plus state arrays.
+
+        Inverse of :meth:`fitted_state_arrays` +
+        :meth:`~repro.featurize.base.Featurizer.get_config`: the
+        constructor is bypassed (it needs column values) and the
+        partition geometry is restored verbatim, so the reconstructed
+        featurizer encodes bitwise-identically to the saved one.
+        """
+        config = {k: v for k, v in config.items() if k != "partitioning"}
+        restored = cls.__new__(cls)
+        # Initialise the equal-width substrate from the snapshot, then
+        # overwrite its geometry with the persisted quantile boundaries.
+        ConjunctiveEncoding.__init__(restored, snapshot, attributes,
+                                     **config)
+        restored._boundaries = {}
+        restored._uniques = {}
+        for attr in restored.attributes:
+            key = f"boundaries/{attr}"
+            if key not in arrays:
+                raise KeyError(f"featurizer/{key}")
+            boundaries = np.asarray(arrays[key], dtype=np.float64)
+            restored._boundaries[attr] = boundaries
+            uniques = arrays.get(f"uniques/{attr}")
+            if uniques is not None:
+                uniques = np.asarray(uniques, dtype=np.float64)
+                restored._uniques[attr] = uniques
+                restored._exact[attr] = True
+                restored._partition_counts[attr] = max(uniques.size, 1)
+            else:
+                restored._exact[attr] = False
+                restored._partition_counts[attr] = boundaries.size + 1
+        restored._refresh_partition_arrays()
+        return restored

@@ -7,9 +7,17 @@ fitted :class:`~repro.estimators.learned.LearnedEstimator` to a single
 ``.npz`` file and loads it back *without the original data* — the
 featurizer is reconstructed from its statistics snapshot.
 
-Supported featurizers: Singular/Range/Conjunctive/Disjunction encodings.
-Supported models: gradient boosting and the feed-forward NN.  Loaded
-models are predict-only (optimizer state and bin mappers are not kept).
+Supported featurizers: Singular/Range/Conjunctive/Disjunction encodings
+plus the equi-depth conjunctive variant (whose quantile boundaries are
+data-derived, so they are persisted as fitted-state arrays alongside the
+model weights).  Supported models: gradient boosting and the
+feed-forward NN.  Loaded models are predict-only (optimizer state and
+bin mappers are not kept).
+
+Artifact corruption (truncated downloads, partial writes, a zip member
+gone missing) surfaces as :class:`PersistenceError` naming the offending
+path — never as a raw ``zipfile.BadZipFile`` or ``KeyError`` from three
+layers down.
 
 Example::
 
@@ -20,6 +28,8 @@ Example::
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 from dataclasses import asdict
 from pathlib import Path
 
@@ -30,27 +40,42 @@ from repro.estimators.learned import LearnedEstimator
 from repro.featurize import (
     ConjunctiveEncoding,
     DisjunctionEncoding,
+    EquiDepthConjunctiveEncoding,
     RangeEncoding,
     SingularEncoding,
 )
 from repro.models.gradient_boosting import GradientBoostingRegressor
 from repro.models.neural_net import NeuralNetRegressor
 
-__all__ = ["save_estimator", "load_estimator", "FORMAT_VERSION"]
+__all__ = ["save_estimator", "load_estimator", "PersistenceError",
+           "FORMAT_VERSION"]
 
 FORMAT_VERSION = 1
+
+
+class PersistenceError(ValueError):
+    """A persisted-estimator artifact is unreadable, corrupt, or invalid.
+
+    Subclasses :class:`ValueError` so callers that predate this class
+    (and the historical ``load_estimator`` error contract) keep working.
+    """
+
 
 _FEATURIZERS = {
     "SingularEncoding": SingularEncoding,
     "RangeEncoding": RangeEncoding,
     "ConjunctiveEncoding": ConjunctiveEncoding,
     "DisjunctionEncoding": DisjunctionEncoding,
+    "EquiDepthConjunctiveEncoding": EquiDepthConjunctiveEncoding,
 }
 
 _MODELS = {
     "gradient_boosting": GradientBoostingRegressor,
     "neural_net": NeuralNetRegressor,
 }
+
+#: Errors the zip/npz layer raises on damaged archives.
+_CORRUPTION_ERRORS = (zipfile.BadZipFile, zlib.error, OSError, EOFError)
 
 
 def _snapshot_to_json(snapshot: TableStats) -> dict:
@@ -99,6 +124,11 @@ def save_estimator(estimator: LearnedEstimator, path: str | Path) -> None:
         "model": state["config"],
     }
     arrays = {f"model/{key}": value for key, value in state["arrays"].items()}
+    # Featurizers with data-derived geometry (equi-depth boundaries)
+    # contribute fitted-state arrays so loading never needs the table.
+    if hasattr(featurizer, "fitted_state_arrays"):
+        for key, value in featurizer.fitted_state_arrays().items():
+            arrays[f"featurizer/{key}"] = value
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "wb") as handle:
@@ -106,28 +136,84 @@ def save_estimator(estimator: LearnedEstimator, path: str | Path) -> None:
                             **arrays)
 
 
+def _read_archive(path: Path) -> tuple[dict, dict, dict]:
+    """Read ``(meta, model arrays, featurizer arrays)`` from ``path``.
+
+    Every way the archive can be damaged — not a zip at all, a truncated
+    central directory, a member whose compressed stream is cut short —
+    is translated into :class:`PersistenceError` naming the path.
+    """
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (*_CORRUPTION_ERRORS, ValueError) as exc:
+        raise PersistenceError(
+            f"{path} is not a readable estimator artifact (truncated or "
+            f"corrupt .npz): {exc}") from exc
+    try:
+        with archive:
+            if "__meta__" not in archive:
+                raise PersistenceError(
+                    f"{path} is not a persisted estimator (missing the "
+                    "__meta__ member)")
+            try:
+                meta = json.loads(str(archive["__meta__"]))
+            except json.JSONDecodeError as exc:
+                raise PersistenceError(
+                    f"{path}: corrupt __meta__ member "
+                    f"(invalid JSON: {exc})") from exc
+            model_arrays = {}
+            featurizer_arrays = {}
+            for key in archive.files:
+                if key.startswith("model/"):
+                    model_arrays[key[len("model/"):]] = archive[key]
+                elif key.startswith("featurizer/"):
+                    featurizer_arrays[key[len("featurizer/"):]] = archive[key]
+    except _CORRUPTION_ERRORS as exc:
+        raise PersistenceError(
+            f"{path} is not a readable estimator artifact (truncated or "
+            f"corrupt .npz): {exc}") from exc
+    return meta, model_arrays, featurizer_arrays
+
+
 def load_estimator(path: str | Path) -> LearnedEstimator:
-    """Load an estimator saved by :func:`save_estimator`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
-        if "__meta__" not in archive:
-            raise ValueError(f"{path} is not a persisted estimator")
-        meta = json.loads(str(archive["__meta__"]))
-        if meta.get("format_version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported format version {meta.get('format_version')}; "
-                f"this build reads version {FORMAT_VERSION}"
-            )
-        arrays = {key[len("model/"):]: archive[key]
-                  for key in archive.files if key.startswith("model/")}
+    """Load an estimator saved by :func:`save_estimator`.
 
-    feat_meta = meta["featurizer"]
-    featurizer_cls = _FEATURIZERS[feat_meta["class"]]
-    snapshot = _snapshot_from_json(feat_meta["snapshot"])
-    featurizer = featurizer_cls(snapshot, feat_meta["attributes"],
-                                **feat_meta["config"])
+    Raises :class:`PersistenceError` (a :class:`ValueError`) when the
+    artifact is unreadable, truncated, or missing required members.
+    """
+    path = Path(path)
+    meta, arrays, featurizer_arrays = _read_archive(path)
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"{path}: unsupported format version "
+            f"{meta.get('format_version')}; this build reads version "
+            f"{FORMAT_VERSION}"
+        )
 
-    model_cls = _MODELS[meta["model"]["kind"]]
-    model = model_cls.from_state({"config": meta["model"], "arrays": arrays})
+    try:
+        feat_meta = meta["featurizer"]
+        featurizer_cls = _FEATURIZERS[feat_meta["class"]]
+        snapshot = _snapshot_from_json(feat_meta["snapshot"])
+        if hasattr(featurizer_cls, "from_fitted_state"):
+            featurizer = featurizer_cls.from_fitted_state(
+                snapshot, feat_meta["attributes"], feat_meta["config"],
+                featurizer_arrays)
+        else:
+            featurizer = featurizer_cls(snapshot, feat_meta["attributes"],
+                                        **feat_meta["config"])
+        model_meta = meta["model"]
+        model_cls = _MODELS[model_meta["kind"]]
+    except KeyError as exc:
+        raise PersistenceError(
+            f"{path}: artifact metadata is missing required key "
+            f"{exc.args[0]!r} (truncated or corrupt save?)") from exc
+    try:
+        model = model_cls.from_state({"config": model_meta,
+                                      "arrays": arrays})
+    except KeyError as exc:
+        raise PersistenceError(
+            f"{path}: artifact is missing persisted model array "
+            f"{exc.args[0]!r} (truncated or corrupt save?)") from exc
 
     estimator = LearnedEstimator(featurizer, model,
                                  name=meta["estimator_name"])

@@ -1,0 +1,37 @@
+"""``repro.serve`` — a production-style cardinality-estimation service.
+
+The paper's pitch for learned estimators is operational: cheap, fast
+estimates inside a running system.  This package closes that loop by
+putting a fitted estimator behind a service boundary:
+
+* :mod:`repro.serve.registry` — versioned on-disk model registry with
+  manifests, checksums, and ``latest`` resolution.
+* :mod:`repro.serve.batcher` — micro-batching executor that amortises
+  the columnar featurize → predict path across concurrent requests.
+* :mod:`repro.serve.cache` — thread-safe LRU estimate cache keyed on
+  the canonical serialized query form.
+* :mod:`repro.serve.server` — threaded HTTP JSON API with admission
+  control, ``/metrics`` export, and graceful drain.
+* :mod:`repro.serve.client` — minimal stdlib client.
+
+Everything is stdlib + numpy; ``repro serve`` on the CLI boots a server
+and ``repro bench serve`` measures its latency/throughput envelope.
+"""
+
+from repro.serve.batcher import BatcherClosedError, MicroBatcher
+from repro.serve.cache import EstimateCache, query_cache_key
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.registry import ModelRegistry, ModelVersion, RegistryError
+from repro.serve.server import (
+    EstimationServer,
+    EstimationService,
+    ServiceUnavailableError,
+)
+
+__all__ = [
+    "MicroBatcher", "BatcherClosedError",
+    "EstimateCache", "query_cache_key",
+    "ServeClient", "ServeClientError",
+    "ModelRegistry", "ModelVersion", "RegistryError",
+    "EstimationService", "EstimationServer", "ServiceUnavailableError",
+]

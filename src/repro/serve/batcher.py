@@ -1,0 +1,225 @@
+"""Micro-batching executor for concurrent estimate requests.
+
+Learned estimators answer a batch of ``n`` queries far cheaper than
+``n`` single queries: the columnar compile → encode featurization and
+the model's matrix forward pass amortise per-call dispatch (this repo's
+``BENCH_featurize.json`` measures the gap at ~an order of magnitude).
+A serving process therefore wants *micro-batching*: concurrent requests
+are collected for at most ``max_wait_ms`` (or until ``max_batch_size``
+are waiting) and dispatched through ``estimate_batch`` as one batch,
+with each caller receiving its own future.
+
+Correctness contract: batch featurization is bitwise-identical to the
+scalar path (PR 2's equivalence gate) and the models predict row-wise,
+so a request's result does not depend on which batch it happened to
+ride in — ``tests/serve/test_batcher.py`` stress-asserts this.
+
+The worker thread emits ``serve.batch.collect`` / ``serve.batch.execute``
+spans and records every dispatched batch size into the
+``serve.batch.size`` histogram.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.sql.ast import Query
+
+__all__ = ["MicroBatcher", "BatcherClosedError"]
+
+
+class BatcherClosedError(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` after the batcher closed."""
+
+
+class _Request:
+    """One submitted query and the future its caller is waiting on."""
+
+    __slots__ = ("query", "future")
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.future: Future = Future()
+
+
+#: Queue sentinel that tells the worker to drain and exit.
+_SHUTDOWN = object()
+
+
+class MicroBatcher:
+    """Collects concurrent requests into batches for ``estimate_batch``.
+
+    Parameters
+    ----------
+    estimate_batch:
+        The vectorized estimate function (typically a fitted estimator's
+        ``estimate_batch`` bound method) mapping a query sequence to a
+        numpy vector of estimates.
+    max_batch_size:
+        Dispatch as soon as this many requests are waiting.
+    max_wait_ms:
+        Dispatch at most this long after the first request of a batch
+        arrived, even if the batch is not full.  ``0`` dispatches
+        whatever is immediately available (no artificial latency).
+    """
+
+    def __init__(self, estimate_batch: Callable[[Sequence[Query]], np.ndarray],
+                 max_batch_size: int = 64, max_wait_ms: float = 2.0) -> None:
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self._estimate_batch = estimate_batch
+        self._max_batch_size = max_batch_size
+        self._max_wait_seconds = max_wait_ms / 1000.0
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        self._drain_on_close = True
+        self._close_lock = threading.Lock()
+        self._worker = threading.Thread(target=self._run,
+                                        name="repro-serve-batcher",
+                                        daemon=True)
+        self._worker.start()
+
+    @property
+    def max_batch_size(self) -> int:
+        """Configured dispatch threshold."""
+        return self._max_batch_size
+
+    @property
+    def max_wait_ms(self) -> float:
+        """Configured collection window in milliseconds."""
+        return self._max_wait_seconds * 1000.0
+
+    def submit(self, query: Query) -> Future:
+        """Enqueue one query; returns the future carrying its estimate.
+
+        The future resolves to a ``float`` once the batch containing the
+        query executes, or raises whatever ``estimate_batch`` raised for
+        that batch.  Raises :class:`BatcherClosedError` once the batcher
+        has been closed — requests accepted *before* close are always
+        drained, never dropped.
+        """
+        with self._close_lock:
+            if self._closed:
+                raise BatcherClosedError(
+                    "batcher is closed; no new requests accepted")
+            request = _Request(query)
+            self._queue.put(request)
+        return request.future
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the worker; idempotent.
+
+        With ``drain=True`` (the default, and the graceful-shutdown
+        path) every already-submitted request is executed before the
+        worker exits.  With ``drain=False`` pending requests' futures
+        are cancelled instead.
+        """
+        with self._close_lock:
+            if self._closed:
+                self._worker.join()
+                return
+            self._closed = True
+            self._drain_on_close = drain
+            self._queue.put(_SHUTDOWN)
+        self._worker.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        """Context-manager support (closing with drain on exit)."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Close (draining) on context exit."""
+        self.close(drain=True)
+        return False
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _SHUTDOWN:
+                self._finish_shutdown()
+                return
+            if self._closed and not self._drain_on_close:
+                # close(drain=False): cancel instead of executing the
+                # requests still queued ahead of the sentinel.
+                first.future.cancel()
+                continue
+            batch = [first]
+            if self._collect(batch):
+                self._execute(batch)
+                self._finish_shutdown()
+                return
+            self._execute(batch)
+
+    def _collect(self, batch: list) -> bool:
+        """Fill ``batch`` until full, the window expires, or shutdown.
+
+        Returns ``True`` when the shutdown sentinel was consumed while
+        collecting (the caller executes the batch, then drains).
+        """
+        with obs.span("serve.batch.collect",
+                      max_batch_size=self._max_batch_size) as sp:
+            # Deadline arithmetic needs the raw monotonic clock: the
+            # remaining-wait computation cannot ride an obs span.
+            deadline = time.monotonic() + self._max_wait_seconds  # repro: ignore[RPR108]
+            while len(batch) < self._max_batch_size:
+                remaining = deadline - time.monotonic()  # repro: ignore[RPR108]
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    return True
+                batch.append(item)
+            if sp is not None:
+                sp.set_attribute("n_collected", len(batch))
+        return False
+
+    def _execute(self, batch: list) -> None:
+        """Dispatch one collected batch and resolve its futures."""
+        registry = obs.get_registry()
+        registry.counter("serve.batches_total").inc()
+        registry.histogram("serve.batch.size").record(len(batch))
+        queries = [request.query for request in batch]
+        try:
+            with obs.span("serve.batch.execute", n_queries=len(batch),
+                          metric="serve.batch.execute.seconds"):
+                estimates = self._estimate_batch(queries)
+        except Exception as exc:  # repro: ignore[RPR103] — forwarded to futures
+            for request in batch:
+                request.future.set_exception(exc)
+            return
+        for request, estimate in zip(batch, estimates):
+            request.future.set_result(float(estimate))
+
+    def _finish_shutdown(self) -> None:
+        """Drain (or cancel) everything still queued after the sentinel."""
+        pending: list[_Request] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                pending.append(item)
+        if not self._drain_on_close:
+            for request in pending:
+                request.future.cancel()
+            return
+        for start in range(0, len(pending), self._max_batch_size):
+            self._execute(pending[start:start + self._max_batch_size])

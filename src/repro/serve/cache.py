@@ -1,0 +1,118 @@
+"""Thread-safe LRU cache of cardinality estimates.
+
+Production query streams are heavily repetitive — the same dashboard,
+ORM, or prepared statement issues the same shapes over and over — and a
+cardinality estimate is a pure function of the query (Equation 4), so
+caching is always sound.  The cache keys on the **canonical serialized
+query form** (:func:`repro.workloads.serialization.canonical_query_text`),
+which means a query hits the cache no matter which surface it arrived
+through: an HTTP body, a workload file, or a generator.
+
+Hit/miss/eviction counts are mirrored into the process-global
+:mod:`repro.obs.metrics_runtime` registry (``serve.cache.hits`` /
+``serve.cache.misses`` / ``serve.cache.evictions``), so the ``/metrics``
+endpoint exports them alongside the rest of the serving metrics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+
+from repro import obs
+from repro.sql.ast import Query
+from repro.workloads.serialization import canonical_query_text
+
+__all__ = ["EstimateCache", "query_cache_key"]
+
+
+def query_cache_key(query: Query) -> str:
+    """Canonical cache key of a query (its serialized single-line SQL)."""
+    return canonical_query_text(query)
+
+
+class EstimateCache:
+    """A bounded, thread-safe LRU map of query key -> estimate.
+
+    ``max_size=0`` disables caching entirely: every lookup misses, no
+    entry is stored, and no counters move — the configuration the
+    serving benchmark uses to measure the uncached path honestly.
+    """
+
+    def __init__(self, max_size: int = 1024) -> None:
+        if max_size < 0:
+            raise ValueError(f"max_size must be >= 0, got {max_size}")
+        self._max_size = max_size
+        self._entries: OrderedDict[str, float] = OrderedDict()
+        self._lock = Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def max_size(self) -> int:
+        """Configured capacity (0 = caching disabled)."""
+        return self._max_size
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores anything at all."""
+        return self._max_size > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, key: str) -> float | None:
+        """The cached estimate for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's recency.  Both outcomes are counted
+        (locally and in the global metrics registry); a disabled cache
+        counts nothing.
+        """
+        if not self._max_size:
+            return None
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        registry = obs.get_registry()
+        if value is None:
+            registry.counter("serve.cache.misses").inc()
+        else:
+            registry.counter("serve.cache.hits").inc()
+        return value
+
+    def store(self, key: str, estimate: float) -> None:
+        """Insert (or refresh) an estimate, evicting the LRU entry if full."""
+        if not self._max_size:
+            return
+        evicted = 0
+        with self._lock:
+            self._entries[key] = float(estimate)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_size:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self._evictions += evicted
+        if evicted:
+            obs.get_registry().counter("serve.cache.evictions").inc(evicted)
+
+    def stats(self) -> dict:
+        """Local hit/miss/eviction/size counters (JSON-serialisable)."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._entries),
+                "max_size": self._max_size,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep their values)."""
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,97 @@
+"""Minimal stdlib client for the ``repro serve`` HTTP API.
+
+A thin ``urllib`` wrapper so tests, the serving benchmark, and scripts
+can talk to an :class:`~repro.serve.server.EstimationServer` without
+pulling in an HTTP library.  Errors surface as
+:class:`ServeClientError` carrying the HTTP status and, for ``503``
+rejections, the server's ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """An API call failed; carries ``status`` and optional ``retry_after``."""
+
+    def __init__(self, message: str, status: int = 0,
+                 retry_after: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Calls one serving endpoint's JSON API.
+
+    Parameters
+    ----------
+    base_url:
+        Server base, e.g. ``http://127.0.0.1:8642`` (trailing slash ok).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self._base_url = base_url.rstrip("/")
+        self._timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        """The server base URL this client talks to."""
+        return self._base_url
+
+    def healthz(self) -> dict:
+        """The liveness payload (``{"status": "ok"}`` when up)."""
+        return json.loads(self._get("/healthz"))
+
+    def metrics(self) -> str:
+        """The raw ``/metrics`` body (byte-stable JSON text)."""
+        return self._get("/metrics")
+
+    def estimate(self, sql: str) -> dict:
+        """Estimate one query; returns ``{"estimate": c, "cached": b}``."""
+        return self._post("/v1/estimate", {"sql": sql})
+
+    def estimate_batch(self, sqls: list[str]) -> list[float]:
+        """Estimate a batch of queries in one round trip."""
+        return self._post("/v1/estimate_batch", {"sql": list(sqls)})[
+            "estimates"]
+
+    # ------------------------------------------------------------------
+
+    def _get(self, path: str) -> str:
+        request = urllib.request.Request(self._base_url + path)
+        return self._send(request)
+
+    def _post(self, path: str, payload: dict) -> dict:
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self._base_url + path, data=body,
+            headers={"Content-Type": "application/json"}, method="POST")
+        return json.loads(self._send(request))
+
+    def _send(self, request: urllib.request.Request) -> str:
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self._timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(raw).get("error", raw)
+            except json.JSONDecodeError:
+                message = raw or exc.reason
+            retry_after = exc.headers.get("Retry-After")
+            raise ServeClientError(
+                f"HTTP {exc.code}: {message}", status=exc.code,
+                retry_after=int(retry_after) if retry_after else None,
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServeClientError(
+                f"cannot reach {request.full_url}: {exc.reason}") from exc

@@ -1,0 +1,397 @@
+"""HTTP serving front-end: estimate requests in, JSON estimates out.
+
+Two layers, separable for testing:
+
+* :class:`EstimationService` — the transport-free core.  It owns the
+  :class:`~repro.serve.batcher.MicroBatcher`, the
+  :class:`~repro.serve.cache.EstimateCache`, and the admission-control
+  counter, and exposes ``estimate`` / ``estimate_many`` / ``close``.
+* :class:`EstimationServer` — a ``ThreadingHTTPServer`` wrapping one
+  service in a small JSON API:
+
+  ==========================  ==================================================
+  ``GET  /healthz``           liveness probe, ``{"status": "ok"}``
+  ``GET  /metrics``           the byte-stable runtime-metrics snapshot (JSON)
+  ``POST /v1/estimate``       ``{"sql": "..."}`` → ``{"estimate": c, "cached": b}``
+  ``POST /v1/estimate_batch`` ``{"sql": [...]}`` → ``{"estimates": [...]}``
+  ==========================  ==================================================
+
+Backpressure: when more than ``max_inflight`` requests are already in
+flight the service refuses new work and the server answers ``503`` with
+a ``Retry-After`` header — bounded queues instead of unbounded latency.
+Shutdown is graceful: the listener stops accepting, in-flight handler
+threads are joined, and the batcher drains everything it already
+accepted before the process lets go (no accepted request is dropped).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import obs
+from repro.estimators.base import CardinalityEstimator
+from repro.featurize.base import LosslessnessError
+from repro.serve.batcher import BatcherClosedError, MicroBatcher
+from repro.serve.cache import EstimateCache, query_cache_key
+from repro.sql.ast import Query, UnsupportedQueryError
+from repro.sql.parser import SqlSyntaxError, parse_query
+
+__all__ = ["EstimationService", "EstimationServer",
+           "ServiceUnavailableError"]
+
+#: Seconds a rejected client should wait before retrying (503 header).
+_RETRY_AFTER_SECONDS = 1
+
+
+class ServiceUnavailableError(RuntimeError):
+    """The service is saturated (or closed) and refused the request."""
+
+    def __init__(self, message: str,
+                 retry_after: int = _RETRY_AFTER_SECONDS) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class EstimationService:
+    """Cache → micro-batcher → estimator pipeline with admission control.
+
+    Parameters
+    ----------
+    estimator:
+        A fitted estimator (``estimate_batch`` must be usable from the
+        batcher's worker thread).
+    max_batch_size / max_wait_ms:
+        Micro-batching knobs, see :class:`~repro.serve.batcher.MicroBatcher`.
+    cache_size:
+        LRU estimate-cache capacity; ``0`` disables caching.
+    max_inflight:
+        Admission bound: requests beyond this many concurrently in
+        flight are rejected with :class:`ServiceUnavailableError`.
+    """
+
+    def __init__(self, estimator: CardinalityEstimator,
+                 max_batch_size: int = 64, max_wait_ms: float = 2.0,
+                 cache_size: int = 1024, max_inflight: int = 256) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}")
+        self._estimator = estimator
+        self._batcher = MicroBatcher(estimator.estimate_batch,
+                                     max_batch_size=max_batch_size,
+                                     max_wait_ms=max_wait_ms)
+        self._cache = EstimateCache(max_size=cache_size)
+        self._max_inflight = max_inflight
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def estimator(self) -> CardinalityEstimator:
+        """The estimator answering this service's requests."""
+        return self._estimator
+
+    @property
+    def cache(self) -> EstimateCache:
+        """The service's estimate cache (for stats and tests)."""
+        return self._cache
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        """The service's micro-batcher (for stats and tests)."""
+        return self._batcher
+
+    def parse(self, sql: str) -> Query:
+        """Parse request SQL into a query AST (``ValueError`` family on
+        malformed input, so callers can map it to a 400)."""
+        return parse_query(sql)
+
+    def estimate(self, query: Query) -> tuple[float, bool]:
+        """Estimate one query; returns ``(estimate, was_cached)``.
+
+        Cache hit short-circuits; a miss rides the micro-batcher and the
+        result is cached on the way out.  Saturation raises
+        :class:`ServiceUnavailableError` *before* any work is queued.
+        """
+        with self._admit(1), obs.span("serve.request",
+                                      metric="serve.request.seconds"):
+            registry = obs.get_registry()
+            registry.counter("serve.requests_total").inc()
+            registry.counter("serve.queries_total").inc()
+            key = query_cache_key(query)
+            cached = self._cache.lookup(key)
+            if cached is not None:
+                return cached, True
+            try:
+                future = self._batcher.submit(query)
+            except BatcherClosedError as exc:
+                raise ServiceUnavailableError(str(exc)) from exc
+            estimate = future.result()
+            self._cache.store(key, estimate)
+            return estimate, False
+
+    def estimate_many(self, queries: list[Query]) -> list[float]:
+        """Estimate a client-supplied batch in one estimator call.
+
+        The batch is already amortised, so misses bypass the collection
+        window and go straight through ``estimate_batch``; individual
+        cache hits are still honoured and misses are cached.
+        """
+        with self._admit(1), obs.span("serve.request",
+                                      metric="serve.request.seconds",
+                                      n_queries=len(queries)):
+            registry = obs.get_registry()
+            registry.counter("serve.requests_total").inc()
+            registry.counter("serve.queries_total").inc(len(queries))
+            if self._closed:
+                raise ServiceUnavailableError("service is shut down")
+            results: list[float | None] = [None] * len(queries)
+            misses: list[tuple[int, Query, str]] = []
+            for position, query in enumerate(queries):
+                key = query_cache_key(query)
+                value = self._cache.lookup(key)
+                if value is None:
+                    misses.append((position, query, key))
+                else:
+                    results[position] = value
+            if misses:
+                registry.counter("serve.batches_total").inc()
+                registry.histogram("serve.batch.size").record(len(misses))
+                with obs.span("serve.batch.execute", n_queries=len(misses),
+                              metric="serve.batch.execute.seconds"):
+                    estimates = self._estimator.estimate_batch(
+                        [query for _, query, _ in misses])
+                for (position, _, key), estimate in zip(misses, estimates):
+                    value = float(estimate)
+                    self._cache.store(key, value)
+                    results[position] = value
+            return [float(value) for value in results]
+
+    def close(self, drain: bool = True) -> None:
+        """Refuse new requests and drain (or cancel) queued ones."""
+        self._closed = True
+        self._batcher.close(drain=drain)
+
+    def _admit(self, weight: int) -> "_Admission":
+        registry = obs.get_registry()
+        with self._inflight_lock:
+            if self._closed:
+                registry.counter("serve.rejected_total").inc()
+                raise ServiceUnavailableError("service is shut down")
+            if self._inflight + weight > self._max_inflight:
+                registry.counter("serve.rejected_total").inc()
+                raise ServiceUnavailableError(
+                    f"service saturated ({self._inflight} requests in "
+                    f"flight, limit {self._max_inflight})")
+            self._inflight += weight
+        return _Admission(self, weight)
+
+
+class _Admission:
+    """Context manager releasing an admitted request's in-flight slot."""
+
+    __slots__ = ("_service", "_weight")
+
+    def __init__(self, service: EstimationService, weight: int) -> None:
+        self._service = service
+        self._weight = weight
+
+    def __enter__(self) -> "_Admission":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        with self._service._inflight_lock:
+            self._service._inflight -= self._weight
+        return False
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes the JSON API onto an :class:`EstimationService`.
+
+    Subclassed per server with the ``service`` class attribute bound;
+    never instantiated directly.
+    """
+
+    service: EstimationService
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        """Serve ``/healthz`` and ``/metrics``."""
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/metrics":
+            body = obs.get_registry().to_json() + "\n"
+            self._send_bytes(200, body.encode("utf-8"),
+                             content_type="application/json")
+        else:
+            self._send_json(404, {"error": f"no such endpoint {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        """Serve ``/v1/estimate`` and ``/v1/estimate_batch``."""
+        if self.path == "/v1/estimate":
+            self._handle(self._estimate)
+        elif self.path == "/v1/estimate_batch":
+            self._handle(self._estimate_batch)
+        else:
+            self._send_json(404, {"error": f"no such endpoint {self.path}"})
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def _estimate(self, payload: dict) -> dict:
+        sql = payload.get("sql")
+        if not isinstance(sql, str):
+            raise ValueError('request body must carry {"sql": "<query>"}')
+        estimate, cached = self.service.estimate(self.service.parse(sql))
+        return {"estimate": estimate, "cached": cached}
+
+    def _estimate_batch(self, payload: dict) -> dict:
+        sqls = payload.get("sql")
+        if (not isinstance(sqls, list)
+                or not all(isinstance(s, str) for s in sqls)):
+            raise ValueError(
+                'request body must carry {"sql": ["<query>", ...]}')
+        queries = [self.service.parse(sql) for sql in sqls]
+        return {"estimates": self.service.estimate_many(queries)}
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _handle(self, endpoint) -> None:
+        try:
+            payload = self._read_json()
+            response = endpoint(payload)
+        except ServiceUnavailableError as exc:
+            obs.get_registry().counter("serve.errors_total").inc()
+            self._send_json(503, {"error": str(exc)},
+                            extra_headers={
+                                "Retry-After": str(exc.retry_after)})
+        except (ValueError, KeyError, SqlSyntaxError, UnsupportedQueryError,
+                LosslessnessError) as exc:
+            # KeyError is the featurizer's unknown-attribute complaint —
+            # a client mistake, not a server fault.
+            obs.get_registry().counter("serve.errors_total").inc()
+            message = exc.args[0] if exc.args else str(exc)
+            self._send_json(400, {"error": str(message)})
+        except Exception as exc:  # repro: ignore[RPR103] — mapped to a 500 response
+            obs.get_registry().counter("serve.errors_total").inc()
+            self._send_json(500, {"error": f"internal error: {exc}"})
+        else:
+            self._send_json(200, response)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") \
+                from exc
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _send_json(self, status: int, payload: dict,
+                   extra_headers: dict | None = None) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._send_bytes(status, body, content_type="application/json",
+                         extra_headers=extra_headers)
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str,
+                    extra_headers: dict | None = None) -> None:
+        # One request per connection: an idle keep-alive socket would
+        # otherwise pin its handler thread and stall the drain join.
+        self.close_connection = True
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Connection", "close")
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence the default stderr access log (obs metrics cover it)."""
+
+
+class EstimationServer:
+    """A threaded HTTP server around one :class:`EstimationService`.
+
+    ``port=0`` binds an ephemeral port (read it back from ``port`` after
+    construction) — the form every test and the in-process benchmark
+    use.  ``start()`` serves in a background thread; ``stop()`` performs
+    the graceful-drain sequence described in the module docs.
+    """
+
+    def __init__(self, service: EstimationService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._service = service
+        handler = type("BoundRequestHandler", (_RequestHandler,),
+                       {"service": service,
+                        "__doc__": _RequestHandler.__doc__})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        # Graceful drain: handler threads must be joinable (non-daemon)
+        # and server_close() must wait for them.
+        self._httpd.daemon_threads = False
+        self._httpd.block_on_close = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def service(self) -> EstimationService:
+        """The wrapped service."""
+        return self._service
+
+    @property
+    def host(self) -> str:
+        """Bound host address."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (useful after binding port 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "EstimationServer":
+        """Begin serving in a background thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-serve-http",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop accepting, join in-flight handlers, drain the batcher.
+
+        Every request accepted before ``stop`` completes normally; only
+        then does the service close.  Idempotent.
+        """
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._service.close(drain=drain)
+
+    def __enter__(self) -> "EstimationServer":
+        """Start on context entry."""
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Graceful stop on context exit."""
+        self.stop(drain=True)
+        return False

@@ -19,9 +19,25 @@ from pathlib import Path
 from repro.sql.parser import parse_query
 from repro.workloads.spec import LabeledQuery, Workload
 
-__all__ = ["save_workload", "load_workload"]
+__all__ = ["save_workload", "load_workload", "canonical_query_text"]
 
 _HEADER_PREFIX = "# workload: "
+
+
+def canonical_query_text(query) -> str:
+    """The canonical single-line SQL text of a query.
+
+    This is the serialization format's per-query payload: stable across
+    processes (the AST renders deterministically), free of separator
+    characters, and round-trippable through the package's SQL parser.
+    The serving layer's estimate cache keys on exactly this string, so a
+    query hits the cache no matter which surface (HTTP body, workload
+    file, generator) it arrived through.
+    """
+    sql = query.to_sql()
+    if "\t" in sql or "\n" in sql:
+        raise ValueError(f"query contains separator characters: {sql!r}")
+    return sql
 
 
 def save_workload(workload: Workload, path: str | Path) -> None:
@@ -30,9 +46,7 @@ def save_workload(workload: Workload, path: str | Path) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     lines = [f"{_HEADER_PREFIX}{workload.name}"]
     for item in workload:
-        sql = item.query.to_sql()
-        if "\t" in sql or "\n" in sql:
-            raise ValueError(f"query contains separator characters: {sql!r}")
+        sql = canonical_query_text(item.query)
         lines.append(f"{item.cardinality}\t{item.num_attributes}\t"
                      f"{item.num_predicates}\t{sql}")
     path.write_text("\n".join(lines) + "\n", encoding="utf-8")

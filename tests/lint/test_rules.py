@@ -239,6 +239,42 @@ class TestImportLayeringRPR301:
                      module_name="repro.experiments.fine") == []
 
 
+class TestServeLayeringRPR301:
+    """The repo's own pyproject pins repro.serve above the pipeline:
+    lower layers importing the serving subsystem must be flagged."""
+
+    @staticmethod
+    def _repo_config():
+        from pathlib import Path
+
+        from repro.lint.config import load_config
+
+        return load_config(Path(__file__).resolve().parents[2] / "src")
+
+    def test_flags_persistence_importing_serve(self):
+        assert "RPR301" in codes("from repro.serve import ModelRegistry\n",
+                                 module_name="repro.persistence",
+                                 config=self._repo_config())
+
+    def test_flags_estimators_importing_serve(self):
+        assert "RPR301" in codes("import repro.serve.batcher\n",
+                                 module_name="repro.estimators.evil",
+                                 config=self._repo_config())
+
+    def test_flags_obs_importing_serve(self):
+        assert "RPR301" in codes("from repro.serve.cache import "
+                                 "EstimateCache\n",
+                                 module_name="repro.obs.evil",
+                                 config=self._repo_config())
+
+    def test_serve_may_import_the_layers_below(self):
+        assert codes("from repro.estimators import LearnedEstimator\n"
+                     "from repro.persistence import load_estimator\n"
+                     "from repro import obs\n",
+                     module_name="repro.serve.server",
+                     config=self._repo_config()) == []
+
+
 class TestPrintInLibraryRPR302:
     def test_flags_print_in_library_module(self):
         assert "RPR302" in codes("def f():\n    print('hi')\n",

@@ -1,0 +1,125 @@
+"""Tests for the versioned on-disk model registry."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.persistence import save_estimator
+from repro.serve import ModelRegistry, RegistryError
+from repro.serve.registry import ARTIFACT_FILENAME, MANIFEST_FILENAME
+
+
+class TestPublish:
+    def test_publish_estimator_writes_artifact_and_manifest(
+            self, tmp_path, serve_estimator):
+        registry = ModelRegistry(tmp_path / "registry")
+        published = registry.publish(serve_estimator, "forest-gb")
+        assert published.version == 1
+        assert published.directory.name == "v0001"
+        assert (published.directory / ARTIFACT_FILENAME).is_file()
+        manifest = json.loads(
+            (published.directory / MANIFEST_FILENAME).read_text())
+        assert manifest["name"] == "forest-gb"
+        assert manifest["version"] == 1
+        assert manifest["estimator_name"] == serve_estimator.name
+        assert manifest["size_bytes"] == (
+            published.artifact_path.stat().st_size)
+        assert len(manifest["checksum_sha256"]) == 64
+
+    def test_publish_increments_version(self, tmp_path, serve_estimator):
+        registry = ModelRegistry(tmp_path / "registry")
+        assert registry.publish(serve_estimator, "m").version == 1
+        assert registry.publish(serve_estimator, "m").version == 2
+        assert registry.versions("m") == (1, 2)
+
+    def test_publish_existing_artifact_file(self, tmp_path,
+                                            serve_estimator):
+        artifact = tmp_path / "standalone.npz"
+        save_estimator(serve_estimator, artifact)
+        registry = ModelRegistry(tmp_path / "registry")
+        published = registry.publish(artifact, "imported")
+        assert published.artifact_path.read_bytes() == artifact.read_bytes()
+        assert registry.models() == ("imported",)
+
+    def test_publish_rejects_unreadable_source(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        bogus.write_bytes(b"not an artifact")
+        registry = ModelRegistry(tmp_path / "registry")
+        with pytest.raises(ValueError):
+            registry.publish(bogus, "bad")
+        # Nothing half-published.
+        assert registry.models() == ()
+
+    def test_publish_rejects_bad_names(self, tmp_path, serve_estimator):
+        registry = ModelRegistry(tmp_path / "registry")
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(RegistryError, match="invalid model name"):
+                registry.publish(serve_estimator, bad)
+
+
+class TestResolve:
+    def test_latest_resolves_to_highest_version(self, tmp_path,
+                                                serve_estimator):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(serve_estimator, "m")
+        registry.publish(serve_estimator, "m")
+        resolved = registry.resolve("m")
+        assert resolved.version == 2
+        assert registry.resolve("m", "latest").version == 2
+        assert registry.resolve("m", 1).version == 1
+        assert registry.resolve("m", "v0001").version == 1
+
+    def test_unknown_model_and_version(self, tmp_path, serve_estimator):
+        registry = ModelRegistry(tmp_path / "registry")
+        with pytest.raises(RegistryError, match="no model named"):
+            registry.resolve("ghost")
+        registry.publish(serve_estimator, "m")
+        with pytest.raises(RegistryError, match="no version 9"):
+            registry.resolve("m", 9)
+        with pytest.raises(RegistryError, match="invalid version"):
+            registry.resolve("m", "banana")
+
+
+class TestLoad:
+    def test_load_round_trips_estimates(self, tmp_path, serve_estimator,
+                                        conjunctive_workload):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(serve_estimator, "m")
+        loaded = registry.load("m")
+        queries = conjunctive_workload.queries[:20]
+        np.testing.assert_allclose(loaded.estimate_batch(queries),
+                                   serve_estimator.estimate_batch(queries))
+
+    def test_handle_cache_returns_same_object(self, tmp_path,
+                                              serve_estimator):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(serve_estimator, "m")
+        assert registry.load("m") is registry.load("m", "latest")
+        registry.evict("m")
+        assert registry.load("m") is not None
+
+    def test_checksum_mismatch_detected(self, tmp_path, serve_estimator):
+        registry = ModelRegistry(tmp_path / "registry")
+        published = registry.publish(serve_estimator, "m")
+        blob = bytearray(published.artifact_path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        published.artifact_path.write_bytes(bytes(blob))
+        with pytest.raises(RegistryError, match="checksum mismatch"):
+            registry.load("m")
+
+    def test_missing_artifact_detected(self, tmp_path, serve_estimator):
+        registry = ModelRegistry(tmp_path / "registry")
+        published = registry.publish(serve_estimator, "m")
+        published.artifact_path.unlink()
+        with pytest.raises(RegistryError, match="artifact file missing"):
+            registry.load("m")
+
+    def test_unreadable_manifest_detected(self, tmp_path, serve_estimator):
+        registry = ModelRegistry(tmp_path / "registry")
+        published = registry.publish(serve_estimator, "m")
+        published.manifest_path.write_text("{not json")
+        with pytest.raises(RegistryError, match="unreadable manifest"):
+            registry.load("m")

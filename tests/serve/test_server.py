@@ -1,0 +1,245 @@
+"""Tests for the HTTP serving front-end: endpoints, admission control,
+graceful drain, and /metrics byte-stability."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.serve import (
+    EstimationServer,
+    EstimationService,
+    ServeClient,
+    ServeClientError,
+)
+
+
+class SlowEstimator:
+    """Stub estimator whose batches take a configurable time."""
+
+    name = "slow-stub"
+
+    def __init__(self, delay: float) -> None:
+        self._delay = delay
+
+    def estimate_batch(self, queries):
+        time.sleep(self._delay)
+        return np.asarray([float(len(str(q))) for q in queries])
+
+    def estimate(self, query):
+        return float(self.estimate_batch([query])[0])
+
+
+@pytest.fixture()
+def running_server(serve_estimator):
+    """A started server over the shared estimator; stopped afterwards."""
+    service = EstimationService(serve_estimator, max_batch_size=8,
+                                max_wait_ms=1.0, cache_size=128,
+                                max_inflight=64)
+    server = EstimationServer(service)
+    server.start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture()
+def sqls(conjunctive_workload):
+    """A few parseable SQL strings matching the shared estimator."""
+    return [q.to_sql() for q in conjunctive_workload.queries[:12]]
+
+
+class TestEndpoints:
+    def test_healthz(self, running_server):
+        client = ServeClient(running_server.url)
+        assert client.healthz() == {"status": "ok"}
+
+    def test_estimate_and_cache_flag(self, running_server, sqls):
+        client = ServeClient(running_server.url)
+        first = client.estimate(sqls[0])
+        second = client.estimate(sqls[0])
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert first["estimate"] == second["estimate"]
+        assert first["estimate"] > 0
+
+    def test_estimate_batch_matches_direct(self, running_server, sqls,
+                                           serve_estimator,
+                                           conjunctive_workload):
+        client = ServeClient(running_server.url)
+        estimates = client.estimate_batch(sqls)
+        direct = serve_estimator.estimate_batch(
+            conjunctive_workload.queries[:12])
+        np.testing.assert_array_equal(np.asarray(estimates), direct)
+
+    def test_single_and_batch_agree(self, running_server, sqls):
+        client = ServeClient(running_server.url)
+        singles = [client.estimate(sql)["estimate"] for sql in sqls[:5]]
+        batch = client.estimate_batch(sqls[:5])
+        assert singles == batch
+
+    def test_metrics_endpoint_is_json(self, running_server, sqls):
+        client = ServeClient(running_server.url)
+        client.estimate(sqls[0])
+        import json
+
+        snapshot = json.loads(client.metrics())
+        assert snapshot["serve.requests_total"]["value"] >= 1
+        assert "serve.batch.size" in snapshot
+
+
+class TestErrorMapping:
+    def test_bad_sql_is_400(self, running_server):
+        client = ServeClient(running_server.url)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.estimate("SELECT nope FROM nowhere !!!")
+        assert excinfo.value.status == 400
+
+    def test_unknown_attribute_is_400(self, running_server):
+        client = ServeClient(running_server.url)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.estimate("SELECT count(*) FROM forest WHERE Ghost > 1")
+        assert excinfo.value.status == 400
+        assert "unknown attribute" in str(excinfo.value)
+
+    def test_malformed_json_is_400(self, running_server):
+        import urllib.request
+
+        request = urllib.request.Request(
+            running_server.url + "/v1/estimate", data=b"{broken",
+            method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_wrong_payload_shape_is_400(self, running_server):
+        client = ServeClient(running_server.url)
+        with pytest.raises(ServeClientError) as excinfo:
+            client._post("/v1/estimate_batch", {"sql": "not a list"})
+        assert excinfo.value.status == 400
+
+    def test_unknown_route_is_404(self, running_server):
+        client = ServeClient(running_server.url)
+        with pytest.raises(ServeClientError) as excinfo:
+            client._get("/v2/everything")
+        assert excinfo.value.status == 404
+
+
+class TestAdmissionControl:
+    def test_saturated_service_returns_503_with_retry_after(self, sqls):
+        service = EstimationService(SlowEstimator(delay=0.5),
+                                    max_batch_size=1, max_wait_ms=0.0,
+                                    cache_size=0, max_inflight=1)
+        with EstimationServer(service) as server:
+            client = ServeClient(server.url)
+            results: list = []
+
+            def occupy() -> None:
+                results.append(client.estimate(sqls[0]))
+
+            thread = threading.Thread(target=occupy)
+            thread.start()
+            deadline = time.monotonic() + 5
+            while service._inflight < 1:
+                if time.monotonic() > deadline:
+                    raise AssertionError("first request never admitted")
+                time.sleep(0.005)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.estimate(sqls[1])
+            thread.join()
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after == 1
+        assert len(results) == 1  # the occupying request still succeeded
+
+    def test_rejections_counted(self, sqls):
+        obs.reset()
+        service = EstimationService(SlowEstimator(delay=0.3),
+                                    max_batch_size=1, max_wait_ms=0.0,
+                                    cache_size=0, max_inflight=1)
+        with EstimationServer(service) as server:
+            client = ServeClient(server.url)
+            thread = threading.Thread(
+                target=lambda: client.estimate(sqls[0]))
+            thread.start()
+            deadline = time.monotonic() + 5
+            while service._inflight < 1:
+                if time.monotonic() > deadline:
+                    raise AssertionError("first request never admitted")
+                time.sleep(0.005)
+            with pytest.raises(ServeClientError):
+                client.estimate(sqls[1])
+            thread.join()
+        snapshot = obs.get_registry().snapshot()
+        assert snapshot["serve.rejected_total"]["value"] == 1
+
+
+class TestGracefulDrain:
+    def test_accepted_requests_survive_stop(self, sqls):
+        n_requests = 6
+        service = EstimationService(SlowEstimator(delay=0.1),
+                                    max_batch_size=1, max_wait_ms=0.0,
+                                    cache_size=0, max_inflight=64)
+        server = EstimationServer(service).start()
+        client = ServeClient(server.url, timeout=30)
+        results: list = []
+        errors: list = []
+        lock = threading.Lock()
+
+        def fire(i: int) -> None:
+            try:
+                value = client.estimate(sqls[i])
+            except Exception as exc:  # noqa: BLE001 — recorded for assert
+                with lock:
+                    errors.append(exc)
+            else:
+                with lock:
+                    results.append(value)
+
+        threads = [threading.Thread(target=fire, args=(i,))
+                   for i in range(n_requests)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 10
+        while service._inflight < n_requests:
+            if time.monotonic() > deadline:
+                raise AssertionError(
+                    f"only {service._inflight}/{n_requests} admitted")
+            time.sleep(0.005)
+        # Stop while every request is still in flight: the drain must
+        # complete them all before the server lets go.
+        server.stop(drain=True)
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(results) == n_requests
+        assert all(r["estimate"] > 0 for r in results)
+
+    def test_requests_after_stop_are_refused(self, serve_estimator, sqls):
+        service = EstimationService(serve_estimator)
+        server = EstimationServer(service).start()
+        client = ServeClient(server.url)
+        client.estimate(sqls[0])
+        server.stop()
+        with pytest.raises(ServeClientError):
+            client.estimate(sqls[1])
+
+
+class TestMetricsByteStability:
+    def test_identical_runs_identical_bytes(self, serve_estimator, sqls):
+        def run_once() -> str:
+            obs.reset()
+            service = EstimationService(serve_estimator, max_batch_size=8,
+                                        max_wait_ms=0.0, cache_size=64,
+                                        max_inflight=32)
+            with EstimationServer(service) as server:
+                client = ServeClient(server.url)
+                for sql in sqls[:4]:
+                    client.estimate(sql)
+                client.estimate(sqls[0])  # one cache hit
+                client.estimate_batch(sqls[:6])
+                return client.metrics()
+
+        assert run_once() == run_once()

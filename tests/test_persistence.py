@@ -8,12 +8,17 @@ from repro.estimators import LearnedEstimator
 from repro.featurize import (
     ConjunctiveEncoding,
     DisjunctionEncoding,
+    EquiDepthConjunctiveEncoding,
     RangeEncoding,
     SingularEncoding,
 )
 from repro.models import GradientBoostingRegressor, NeuralNetRegressor
 from repro.models.linear import RidgeRegressor
-from repro.persistence import load_estimator, save_estimator
+from repro.persistence import (
+    PersistenceError,
+    load_estimator,
+    save_estimator,
+)
 
 
 def _fit(featurizer, model, workload, n=200):
@@ -84,6 +89,50 @@ class TestRoundTrips:
         assert featurizer.feature_length == estimator.featurizer.feature_length
 
 
+class TestEquiDepthRoundTrip:
+    """Equi-depth geometry is data-derived: it must ride the artifact."""
+
+    def test_estimates_survive_round_trip(self, tmp_path, small_forest,
+                                          conjunctive_workload):
+        estimator = _fit(
+            EquiDepthConjunctiveEncoding(small_forest, max_partitions=8),
+            GradientBoostingRegressor(n_estimators=15),
+            conjunctive_workload,
+        )
+        path = tmp_path / "equidepth.npz"
+        save_estimator(estimator, path)
+        loaded = load_estimator(path)
+        assert isinstance(loaded.featurizer, EquiDepthConjunctiveEncoding)
+        queries = conjunctive_workload.queries[:40]
+        np.testing.assert_array_equal(loaded.estimate_batch(queries),
+                                      estimator.estimate_batch(queries))
+
+    def test_partition_geometry_restored_exactly(self, tmp_path,
+                                                 small_forest,
+                                                 conjunctive_workload):
+        estimator = _fit(
+            EquiDepthConjunctiveEncoding(small_forest, max_partitions=8),
+            GradientBoostingRegressor(n_estimators=5),
+            conjunctive_workload,
+        )
+        path = tmp_path / "equidepth.npz"
+        save_estimator(estimator, path)
+        original = estimator.featurizer
+        restored = load_estimator(path).featurizer
+        assert restored.attributes == original.attributes
+        assert restored.feature_length == original.feature_length
+        for attr in original.attributes:
+            assert (restored._partition_counts[attr]
+                    == original._partition_counts[attr])
+            assert restored._exact[attr] == original._exact[attr]
+            np.testing.assert_array_equal(restored._boundaries[attr],
+                                          original._boundaries[attr])
+        from repro.sql.parser import parse_where
+        expr = parse_where("A1 >= 2500 AND A1 <= 3000 AND A3 <> 10")
+        np.testing.assert_array_equal(restored.featurize(expr),
+                                      original.featurize(expr))
+
+
 class TestErrors:
     def test_unfitted_model_rejected(self, tmp_path, small_forest):
         estimator = LearnedEstimator(
@@ -104,6 +153,71 @@ class TestErrors:
         path = tmp_path / "junk.npz"
         np.savez(path, something=np.ones(3))
         with pytest.raises(ValueError, match="not a persisted estimator"):
+            load_estimator(path)
+
+
+class TestCorruptArtifacts:
+    """Damaged .npz files surface as PersistenceError naming the path."""
+
+    @staticmethod
+    def _valid_artifact(tmp_path, small_forest, conjunctive_workload):
+        estimator = _fit(
+            ConjunctiveEncoding(small_forest, max_partitions=8),
+            GradientBoostingRegressor(n_estimators=5),
+            conjunctive_workload,
+        )
+        path = tmp_path / "model.npz"
+        save_estimator(estimator, path)
+        return path
+
+    def test_persistence_error_is_a_value_error(self):
+        assert issubclass(PersistenceError, ValueError)
+
+    def test_truncated_artifact(self, tmp_path, small_forest,
+                                conjunctive_workload):
+        path = self._valid_artifact(tmp_path, small_forest,
+                                    conjunctive_workload)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        with pytest.raises(PersistenceError) as excinfo:
+            load_estimator(path)
+        assert str(path) in str(excinfo.value)
+        assert "truncated or corrupt" in str(excinfo.value)
+
+    def test_non_zip_garbage(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is definitely not a zip archive")
+        with pytest.raises(PersistenceError) as excinfo:
+            load_estimator(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_missing_model_array(self, tmp_path, small_forest,
+                                 conjunctive_workload):
+        path = self._valid_artifact(tmp_path, small_forest,
+                                    conjunctive_workload)
+        with np.load(path, allow_pickle=False) as archive:
+            members = {key: archive[key] for key in archive.files}
+        dropped = next(key for key in members if key.startswith("model/"))
+        del members[dropped]
+        np.savez(path, **members)
+        with pytest.raises(PersistenceError,
+                           match="missing persisted model array"):
+            load_estimator(path)
+
+    def test_unsupported_format_version(self, tmp_path, small_forest,
+                                        conjunctive_workload):
+        import json
+
+        path = self._valid_artifact(tmp_path, small_forest,
+                                    conjunctive_workload)
+        with np.load(path, allow_pickle=False) as archive:
+            members = {key: archive[key] for key in archive.files}
+        meta = json.loads(str(members["__meta__"]))
+        meta["format_version"] = 99
+        members["__meta__"] = np.asarray(json.dumps(meta))
+        np.savez(path, **members)
+        with pytest.raises(PersistenceError,
+                           match="unsupported format version 99"):
             load_estimator(path)
 
 
