@@ -205,6 +205,10 @@ def _cmd_bench_lint(args) -> int:
           f"warm {report['warm_seconds']:.3f}s "
           f"({report['warm_files_reanalyzed']} analysed), "
           f"speedup {report['min_speedup']:.2f}x")
+    for name in ("syntactic", "dataflow", "semantic"):
+        cold_pass = report["cold_pass_seconds"].get(name, 0.0)
+        warm_pass = report["warm_pass_seconds"].get(name, 0.0)
+        print(f"  {name:10s} cold {cold_pass:.3f}s  warm {warm_pass:.3f}s")
     output = args.output or Path("BENCH_lint.json")
     write_report(report, output)
     print(f"wrote {output}")

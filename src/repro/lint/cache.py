@@ -36,7 +36,10 @@ __all__ = ["CACHE_FORMAT_VERSION", "CacheEntry", "LintCache",
            "cache_meta_key", "file_digest"]
 
 #: Bump when the cached representation changes shape or semantics.
-CACHE_FORMAT_VERSION = 1
+# Version 2: fact shards carry the dataflow-derived concurrency facts
+# (lock attrs, guarded writes, lock acquires, blocking calls, lazy
+# inits, thread spawns) consumed by the RPR4xx band.
+CACHE_FORMAT_VERSION = 2
 
 
 def file_digest(data: bytes) -> str:

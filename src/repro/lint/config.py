@@ -8,6 +8,8 @@ Recognised keys::
     print-allowed = ["repro.cli"]   # modules where RPR302 does not apply
     baseline = "lint-baseline.json" # default baseline path
     cache = ".repro-lint-cache.json"  # incremental cache location
+    blocking-calls = ["redis.get"]  # extra dotted names RPR403 treats
+                                    # as blocking (suffix-matched)
 
     [tool.repro.lint.layering]      # RPR301: layer -> forbidden imports
     "repro.featurize" = ["repro.models", ...]
@@ -66,6 +68,9 @@ class LintConfig:
     baseline: str = DEFAULT_BASELINE
     #: Incremental-cache file path, relative to the pyproject directory.
     cache: str = DEFAULT_CACHE
+    #: Extra dotted call names the dataflow pass classifies as blocking
+    #: for RPR403, matched against the call expression's dotted tail.
+    blocking_calls: tuple[str, ...] = ()
     #: Directory the configuration was loaded from (resolves baseline).
     root: Path = field(default_factory=Path.cwd)
 
@@ -96,6 +101,7 @@ class LintConfig:
             "print_allowed": list(self.print_allowed),
             "layering": {layer: list(forbidden) for layer, forbidden
                          in sorted(self.layering.items())},
+            "blocking_calls": sorted(self.blocking_calls),
         }, sort_keys=True)
 
 
@@ -140,5 +146,7 @@ def load_config(start: Path | None = None) -> LintConfig:
         layering=layering,
         baseline=str(section.get("baseline", DEFAULT_BASELINE)),
         cache=str(section.get("cache", DEFAULT_CACHE)),
+        blocking_calls=tuple(
+            str(name) for name in section.get("blocking-calls", ())),
         root=pyproject.parent,
     )

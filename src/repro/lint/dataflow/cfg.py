@@ -1,0 +1,301 @@
+"""Per-function control-flow graphs built from the AST.
+
+A :class:`CFG` is the substrate of the dataflow pass: basic blocks of
+linearised :class:`Op` entries connected by branch, loop, exception,
+and fall-through edges.  ``build_cfg`` handles ``if``/``for``/``while``/
+``try``/``with`` plus ``break``/``continue``/``return``/``raise``; the
+remaining statement kinds are opaque single ops.
+
+``with`` statements are desugared into an ``enter`` op (context
+expressions evaluated, locks acquired), the body blocks, and an ``exit``
+op on the normal fall-through path.  Early exits (``return`` inside a
+``with``) jump straight to their target without passing the ``exit``
+op — the lock analysis tolerates this because its must-hold join
+intersects states at merge points, so an "escaped" acquisition never
+survives past a join with a lock-free path.
+
+Exception edges are conservative: every block created inside a ``try``
+body gets an edge to the handler-dispatch block, so a handler's entry
+state joins every intermediate state of the body.  ``finally`` bodies
+run on the joined normal/handler paths (the re-raise path through
+``finally`` is approximated away).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["Op", "Block", "CFG", "build_cfg"]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One linearised operation inside a basic block.
+
+    ``kind`` is one of:
+
+    * ``"stmt"`` — a simple statement (assignments, expressions,
+      ``return``/``raise`` carrying their value expressions, ...);
+    * ``"test"`` — the condition of an ``if`` or ``while`` (``node`` is
+      the branching statement; only ``node.test`` is evaluated here);
+    * ``"for"`` — a ``for`` loop head (``node.iter`` evaluated,
+      ``node.target`` bound);
+    * ``"enter"`` / ``"exit"`` — a ``with`` statement's context entry
+      (acquisition) and normal-path exit (release); ``node`` is the
+      ``ast.With``/``ast.AsyncWith``.
+    """
+
+    kind: str
+    node: ast.AST
+
+
+@dataclass
+class Block:
+    """A basic block: straight-line ops plus ordered edge lists."""
+
+    block_id: int
+    label: str
+    ops: list[Op] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, blocks: dict[int, Block], entry_id: int,
+                 exit_id: int) -> None:
+        self.blocks = blocks
+        self.entry_id = entry_id
+        self.exit_id = exit_id
+
+    def rpo(self) -> list[int]:
+        """Block ids in reverse post-order from the entry block.
+
+        The iteration order the fixed-point solver uses: predecessors
+        before successors except across back edges.  Blocks unreachable
+        from the entry are omitted.
+        """
+        seen: set[int] = set()
+        order: list[int] = []
+        stack: list[tuple[int, int]] = [(self.entry_id, 0)]
+        seen.add(self.entry_id)
+        while stack:
+            block_id, edge = stack[-1]
+            succs = self.blocks[block_id].succs
+            if edge < len(succs):
+                stack[-1] = (block_id, edge + 1)
+                target = succs[edge]
+                if target not in seen:
+                    seen.add(target)
+                    stack.append((target, 0))
+            else:
+                stack.pop()
+                order.append(block_id)
+        order.reverse()
+        return order
+
+
+@dataclass
+class _LoopTargets:
+    """Where ``break``/``continue``/``return``/``raise`` edges point."""
+
+    break_to: int | None
+    continue_to: int | None
+    return_to: int
+    raise_to: int
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self._blocks: dict[int, Block] = {}
+        self._next_id = 0
+
+    def new_block(self, label: str) -> Block:
+        block = Block(block_id=self._next_id, label=label)
+        self._blocks[self._next_id] = block
+        self._next_id += 1
+        return block
+
+    def edge(self, src: Block, dst_id: int) -> None:
+        if dst_id not in src.succs:
+            src.succs.append(dst_id)
+
+    def build(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        entry = self.new_block("entry")
+        exit_block = self.new_block("exit")
+        targets = _LoopTargets(break_to=None, continue_to=None,
+                               return_to=exit_block.block_id,
+                               raise_to=exit_block.block_id)
+        end = self._stmts(fn.body, entry, targets)
+        if end is not None:
+            self.edge(end, exit_block.block_id)
+        for block in self._blocks.values():
+            for succ in block.succs:
+                preds = self._blocks[succ].preds
+                if block.block_id not in preds:
+                    preds.append(block.block_id)
+        return CFG(self._blocks, entry.block_id, exit_block.block_id)
+
+    # ------------------------------------------------------------------
+
+    def _stmts(self, stmts: list[ast.stmt], current: Block,
+               targets: _LoopTargets) -> Block | None:
+        """Append ``stmts`` starting in ``current``; return the block
+        control falls out of, or ``None`` when every path terminates."""
+        for stmt in stmts:
+            if current is None:
+                # Dead code after a terminator: invisible to the
+                # analyses, exactly like it is to the interpreter.
+                return None
+            current = self._stmt(stmt, current, targets)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, current: Block,
+              targets: _LoopTargets) -> Block | None:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current, targets)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, current, targets)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, current, targets)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, current, targets)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current, targets)
+        if isinstance(stmt, ast.Return):
+            current.ops.append(Op("stmt", stmt))
+            self.edge(current, targets.return_to)
+            return None
+        if isinstance(stmt, ast.Raise):
+            current.ops.append(Op("stmt", stmt))
+            self.edge(current, targets.raise_to)
+            return None
+        if isinstance(stmt, ast.Break):
+            if targets.break_to is not None:
+                self.edge(current, targets.break_to)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if targets.continue_to is not None:
+                self.edge(current, targets.continue_to)
+            return None
+        # Everything else — assignments, expression statements, nested
+        # def/class (opaque), imports, asserts, match — is one op.
+        current.ops.append(Op("stmt", stmt))
+        return current
+
+    def _if(self, stmt: ast.If, current: Block,
+            targets: _LoopTargets) -> Block | None:
+        current.ops.append(Op("test", stmt))
+        then_block = self.new_block("if.then")
+        self.edge(current, then_block.block_id)
+        then_end = self._stmts(stmt.body, then_block, targets)
+        if stmt.orelse:
+            else_block = self.new_block("if.else")
+            self.edge(current, else_block.block_id)
+            else_end = self._stmts(stmt.orelse, else_block, targets)
+        else:
+            else_end = current
+        if then_end is None and else_end is None:
+            return None
+        join = self.new_block("if.join")
+        for end in (then_end, else_end):
+            if end is not None:
+                self.edge(end, join.block_id)
+        return join
+
+    def _while(self, stmt: ast.While, current: Block,
+               targets: _LoopTargets) -> Block | None:
+        head = self.new_block("while.head")
+        self.edge(current, head.block_id)
+        head.ops.append(Op("test", stmt))
+        after = self.new_block("while.after")
+        body = self.new_block("while.body")
+        self.edge(head, body.block_id)
+        self.edge(head, after.block_id)
+        loop_targets = _LoopTargets(break_to=after.block_id,
+                                    continue_to=head.block_id,
+                                    return_to=targets.return_to,
+                                    raise_to=targets.raise_to)
+        body_end = self._stmts(stmt.body, body, loop_targets)
+        if body_end is not None:
+            self.edge(body_end, head.block_id)
+        return self._stmts(stmt.orelse, after, targets)
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, current: Block,
+             targets: _LoopTargets) -> Block | None:
+        head = self.new_block("for.head")
+        self.edge(current, head.block_id)
+        head.ops.append(Op("for", stmt))
+        after = self.new_block("for.after")
+        body = self.new_block("for.body")
+        self.edge(head, body.block_id)
+        self.edge(head, after.block_id)
+        loop_targets = _LoopTargets(break_to=after.block_id,
+                                    continue_to=head.block_id,
+                                    return_to=targets.return_to,
+                                    raise_to=targets.raise_to)
+        body_end = self._stmts(stmt.body, body, loop_targets)
+        if body_end is not None:
+            self.edge(body_end, head.block_id)
+        return self._stmts(stmt.orelse, after, targets)
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, current: Block,
+              targets: _LoopTargets) -> Block | None:
+        current.ops.append(Op("enter", stmt))
+        body = self.new_block("with.body")
+        self.edge(current, body.block_id)
+        body_end = self._stmts(stmt.body, body, targets)
+        if body_end is None:
+            return None
+        body_end.ops.append(Op("exit", stmt))
+        return body_end
+
+    def _try(self, stmt: ast.Try, current: Block,
+             targets: _LoopTargets) -> Block | None:
+        dispatch = self.new_block("try.dispatch")
+        body = self.new_block("try.body")
+        self.edge(current, body.block_id)
+        inner_targets = _LoopTargets(break_to=targets.break_to,
+                                     continue_to=targets.continue_to,
+                                     return_to=targets.return_to,
+                                     raise_to=dispatch.block_id)
+        first_body_id = body.block_id
+        body_end = self._stmts(stmt.body, body, inner_targets)
+        # Conservative exception edges: a raise can interrupt the body
+        # at any point, so every block materialised for it reaches the
+        # handler dispatch.
+        for block_id in range(first_body_id, self._next_id):
+            if block_id != dispatch.block_id:
+                self.edge(self._blocks[block_id], dispatch.block_id)
+        if body_end is not None and stmt.orelse:
+            body_end = self._stmts(stmt.orelse, body_end, inner_targets)
+        ends = [body_end]
+        for handler in stmt.handlers:
+            handler_block = self.new_block("except")
+            self.edge(dispatch, handler_block.block_id)
+            ends.append(self._stmts(handler.body, handler_block, targets))
+        if not stmt.handlers:
+            # try/finally: the exception propagates past this statement.
+            self.edge(dispatch, targets.raise_to)
+        live = [end for end in ends if end is not None]
+        if stmt.finalbody:
+            final = self.new_block("finally")
+            for end in live:
+                self.edge(end, final.block_id)
+            if not stmt.handlers:
+                # The finally body also runs on the propagation path.
+                self.edge(dispatch, final.block_id)
+            return self._stmts(stmt.finalbody, final, targets)
+        if not live:
+            return None
+        join = self.new_block("try.join")
+        for end in live:
+            self.edge(end, join.block_id)
+        return join
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    return _Builder().build(fn)

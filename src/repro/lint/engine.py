@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import ast
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
@@ -31,6 +32,7 @@ from repro import obs
 from repro.lint.cache import CacheEntry, LintCache, cache_meta_key, \
     file_digest
 from repro.lint.config import LintConfig
+from repro.lint.dataflow import attach_concurrency_facts
 from repro.lint.findings import Finding
 from repro.lint.pragmas import decorator_pragmas, is_suppressed, \
     parse_pragmas
@@ -123,6 +125,11 @@ class FileAnalysis:
     suppressed: list[Finding] = field(default_factory=list)
     #: ``None`` when the file failed to parse.
     facts: ModuleFacts | None = None
+    #: Wall-clock seconds per per-file pass (``syntactic`` = parse +
+    #: rule walk, ``facts`` = fact extraction, ``dataflow`` = CFG +
+    #: fixed-point solves).  Empty for cache hits — warm runs spend
+    #: nothing here, which is exactly what the bench reports.
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -138,6 +145,12 @@ class LintResult:
     #: transitive importers).  Everything when uncached; empty on a
     #: fully warm run.
     files_reanalyzed: tuple[str, ...] = field(default_factory=tuple)
+    #: Wall-clock seconds per engine pass for this run: ``syntactic``
+    #: (parse + AST rule walk), ``dataflow`` (CFG + fixed-point
+    #: solves), and ``semantic`` (fact extraction + index build +
+    #: project rules).  Only fresh work is counted, so a warm run's
+    #: figures collapse towards zero.
+    pass_seconds: Mapping[str, float] = field(default_factory=dict)
 
 
 def discover_files(paths: Sequence[Path]) -> list[Path]:
@@ -222,6 +235,10 @@ def analyze_source(source: str, *, path: str, module_name: str,
     the unit the process pool distributes and the cache stores.
     """
     analysis = FileAnalysis(path=path, module_name=module_name)
+    # The per-file stage runs inside pool workers where obs spans are
+    # invisible to the parent, so it reads the clock directly and ships
+    # the figures home on the analysis record.
+    started = time.perf_counter()  # repro: ignore[RPR108]
     try:
         tree = ast.parse(source)
     except (SyntaxError, ValueError) as error:
@@ -239,9 +256,19 @@ def analyze_source(source: str, *, path: str, module_name: str,
     _walk_module(module, rules, _dispatch_table(rules))
     analysis.findings.extend(module.findings)
     analysis.suppressed.extend(module.suppressed)
+    syntactic_done = time.perf_counter()  # repro: ignore[RPR108]
     analysis.facts = extract_module_facts(tree, path=path,
                                           module_name=module_name,
                                           pragmas=pragmas)
+    facts_done = time.perf_counter()  # repro: ignore[RPR108]
+    attach_concurrency_facts(analysis.facts, tree,
+                             blocking_extra=config.blocking_calls)
+    dataflow_done = time.perf_counter()  # repro: ignore[RPR108]
+    analysis.stage_seconds = {
+        "syntactic": syntactic_done - started,
+        "facts": facts_done - syntactic_done,
+        "dataflow": dataflow_done - facts_done,
+    }
     return analysis
 
 
@@ -302,7 +329,9 @@ def _assemble(analyses: Sequence[FileAnalysis],
               semantic_findings: Mapping[str, Sequence[Finding]],
               semantic_suppressed: Mapping[str, Sequence[Finding]],
               rules: Sequence[Rule], files_scanned: int,
-              reanalyzed: Iterable[str]) -> LintResult:
+              reanalyzed: Iterable[str],
+              pass_seconds: Mapping[str, float] | None = None
+              ) -> LintResult:
     findings: list[Finding] = []
     suppressed: list[Finding] = []
     for analysis in analyses:
@@ -316,6 +345,7 @@ def _assemble(analyses: Sequence[FileAnalysis],
         files_scanned=files_scanned,
         rules_run=tuple(rule.code for rule in rules),
         files_reanalyzed=tuple(sorted(set(reanalyzed))),
+        pass_seconds=dict(pass_seconds or {}),
     )
 
 
@@ -350,7 +380,6 @@ def run(paths: Sequence[Path], config: LintConfig | None = None, *,
     for file in files:
         display = _display_path(file, root)
         displays.append(display)
-        module_name = module_name_for(file)
         digest = None
         entry = None
         if cache is not None:
@@ -362,6 +391,9 @@ def run(paths: Sequence[Path], config: LintConfig | None = None, *,
                 entry = cache.lookup(display, digest)
         hashes[display] = digest or ""
         if entry is not None:
+            # Cache hits reuse the stored module name: module_name_for
+            # stats the package tree, so skipping it keeps the warm
+            # path at one hash per file.
             analyses[display] = FileAnalysis(
                 path=display, module_name=entry.module_name,
                 findings=list(entry.findings),
@@ -373,7 +405,8 @@ def run(paths: Sequence[Path], config: LintConfig | None = None, *,
                     list(entry.semantic_findings),
                     list(entry.semantic_suppressed))
         else:
-            changed_items.append((str(file), display, module_name, config))
+            changed_items.append((str(file), display,
+                                  module_name_for(file), config))
 
     with obs.span("lint.parse", n_files=len(changed_items)):
         for analysis in _run_file_stage(changed_items, jobs):
@@ -383,10 +416,19 @@ def run(paths: Sequence[Path], config: LintConfig | None = None, *,
     changed_displays = {item[1] for item in changed_items}
     missing_semantic = {display for display in displays
                         if display not in cached_semantic}
+    pass_seconds = {"syntactic": 0.0, "dataflow": 0.0, "semantic": 0.0}
+    for analysis in ordered:
+        stage = analysis.stage_seconds
+        pass_seconds["syntactic"] += stage.get("syntactic", 0.0)
+        pass_seconds["dataflow"] += stage.get("dataflow", 0.0)
+        pass_seconds["semantic"] += stage.get("facts", 0.0)
     semantic_findings: dict[str, Sequence[Finding]] = {}
     semantic_suppressed: dict[str, Sequence[Finding]] = {}
     if project_rules and (changed_displays or missing_semantic):
+        project_started = time.perf_counter()  # repro: ignore[RPR108]
         project = _semantic_pass(ordered, project_rules)
+        pass_seconds["semantic"] += (
+            time.perf_counter() - project_started)  # repro: ignore[RPR108]
         dirty = set(changed_displays) | missing_semantic
         dirty |= project.index.dependent_paths(changed_displays)
         dirty &= set(displays)
@@ -425,7 +467,7 @@ def run(paths: Sequence[Path], config: LintConfig | None = None, *,
             cache.save()
 
     return _assemble(ordered, semantic_findings, semantic_suppressed,
-                     rules, len(files), reanalyzed)
+                     rules, len(files), reanalyzed, pass_seconds)
 
 
 def lint_text(source: str, *, module_name: str = "snippet",

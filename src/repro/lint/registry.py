@@ -5,7 +5,9 @@ every enabled rule once per run.  Codes are stable and banded:
 
 * ``RPR1xx`` — correctness (bugs waiting to happen),
 * ``RPR2xx`` — determinism (the paper's Equation-4 contract),
-* ``RPR3xx`` — layering and API hygiene.
+* ``RPR3xx`` — layering and API hygiene,
+* ``RPR4xx`` — concurrency (races, deadlocks, and stalls in the
+  threaded serving stack, driven by the CFG/dataflow pass).
 
 ``RPR001`` is reserved by the engine for files that fail to parse.
 """

@@ -4,6 +4,13 @@ Importing this package registers every rule with
 :mod:`repro.lint.registry`.  Rules live in one module per code band.
 """
 
+from repro.lint.rules.concurrency import (
+    BlockingWhileLockedRule,
+    DaemonThreadDrainRule,
+    LockOrderCycleRule,
+    ThreadUnsafeLazyInitRule,
+    UnguardedSharedStateRule,
+)
 from repro.lint.rules.correctness import (
     AdHocTimingRule,
     BroadExceptRule,
@@ -44,4 +51,9 @@ __all__ = [
     "ImportLayeringRule",
     "PrintInLibraryRule",
     "DunderAllRule",
+    "UnguardedSharedStateRule",
+    "LockOrderCycleRule",
+    "BlockingWhileLockedRule",
+    "ThreadUnsafeLazyInitRule",
+    "DaemonThreadDrainRule",
 ]

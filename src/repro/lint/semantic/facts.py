@@ -20,14 +20,21 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 __all__ = [
+    "AttrWriteFact",
+    "BlockingCallFact",
     "CallFact",
     "ClassFacts",
     "FunctionFacts",
     "ImportFact",
     "IterationFact",
+    "LazyInitFact",
+    "LockAcquireFact",
+    "LockAttrFact",
+    "LockedReadFact",
     "ModuleFacts",
     "ParamFact",
     "ReturnFact",
+    "ThreadSpawnFact",
     "extract_module_facts",
     "is_generator_param",
 ]
@@ -90,6 +97,99 @@ class CallFact:
     col: int
     #: Whether any argument looks like an ``np.random.Generator`` value.
     passes_generator: bool
+    #: Lock tokens must-held at the call site (dataflow pass; empty when
+    #: no lock is provably held).
+    held_locks: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LockAttrFact:
+    """One lock binding: a ``threading.Lock``/``RLock`` construction."""
+
+    #: Attribute name (``"_lock"``) or module-global binding name.
+    name: str
+    #: ``"Lock"`` or ``"RLock"`` — RLocks may be re-acquired reentrantly.
+    kind: str
+
+
+@dataclass(frozen=True)
+class AttrWriteFact:
+    """One write to ``self.<attr>`` (assignment, del, or mutator call)."""
+
+    attr: str
+    lineno: int
+    col: int
+    #: Lock tokens must-held at the write.
+    held: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LockedReadFact:
+    """A read of ``self.<attr>`` observed under a held lock.
+
+    Guard-ownership evidence: reading an attribute inside a lock region
+    declares it lock-protected just as writing it there does — the
+    admission-check pattern (read ``self._closed`` under the lock,
+    write it elsewhere) is exactly the race RPR401 exists to catch.
+    """
+
+    attr: str
+    lock: str
+
+
+@dataclass(frozen=True)
+class LockAcquireFact:
+    """One lock acquisition (``with lock:`` entry or ``.acquire()``)."""
+
+    lock: str
+    lineno: int
+    col: int
+    #: Lock tokens already must-held when this one is taken — the
+    #: intra-function edges of the acquisition-order graph.
+    held: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class BlockingCallFact:
+    """A known-blocking call executed while at least one lock is held."""
+
+    callee: str
+    lineno: int
+    col: int
+    held: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LazyInitFact:
+    """A non-atomic check-then-act on ``self.<attr>``.
+
+    Recorded only when no check of the attribute shares a lock *region*
+    with any write to it in the function — i.e. the lock (if any) was
+    released between deciding and acting.
+    """
+
+    attr: str
+    #: Check (``if``) site.
+    lineno: int
+    col: int
+    #: Representative write site.
+    write_lineno: int
+    write_col: int
+    #: Lock tokens held at the check / at the write.
+    held: tuple[str, ...] = ()
+    write_held: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ThreadSpawnFact:
+    """A ``threading.Thread`` constructed and started in a function."""
+
+    #: Rendered binding (``"self._worker"``, a local name, or ``""``
+    #: when started without ever being bound).
+    binding: str
+    daemon: bool
+    lineno: int
+    col: int
 
 
 @dataclass(frozen=True)
@@ -142,6 +242,15 @@ class FunctionFacts:
     calls: list[CallFact] = field(default_factory=list)
     returns: list[ReturnFact] = field(default_factory=list)
     iterations: list[IterationFact] = field(default_factory=list)
+    # -- concurrency facts (populated by the dataflow pass) ------------
+    attr_writes: list[AttrWriteFact] = field(default_factory=list)
+    locked_reads: list[LockedReadFact] = field(default_factory=list)
+    lock_acquires: list[LockAcquireFact] = field(default_factory=list)
+    blocking_calls: list[BlockingCallFact] = field(default_factory=list)
+    lazy_inits: list[LazyInitFact] = field(default_factory=list)
+    thread_spawns: list[ThreadSpawnFact] = field(default_factory=list)
+    #: Rendered receivers of ``.join()`` calls in the body.
+    thread_joins: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -158,6 +267,8 @@ class ClassFacts:
     abstract_names: list[str] = field(default_factory=list)
     #: Names bound by class-level assignments.
     assigned_names: list[str] = field(default_factory=list)
+    #: Locks this class constructs on ``self`` (the class *owns* them).
+    lock_attrs: list[LockAttrFact] = field(default_factory=list)
 
 
 @dataclass
@@ -169,6 +280,8 @@ class ModuleFacts:
     imports: list[ImportFact] = field(default_factory=list)
     functions: list[FunctionFacts] = field(default_factory=list)
     classes: list[ClassFacts] = field(default_factory=list)
+    #: Module-global lock bindings (``_LOCK = threading.Lock()``).
+    global_locks: list[LockAttrFact] = field(default_factory=list)
     #: line -> suppressed pragma codes, carried so the semantic pass can
     #: honour pragmas without re-reading the source.
     pragmas: dict[int, list[str]] = field(default_factory=dict)
@@ -189,6 +302,12 @@ class ModuleFacts:
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ModuleFacts":
         """Rebuild facts from :meth:`to_dict` output."""
+        def call(c: Mapping) -> CallFact:
+            return CallFact(
+                callee=c["callee"], lineno=c["lineno"], col=c["col"],
+                passes_generator=c["passes_generator"],
+                held_locks=tuple(c.get("held_locks", ())))
+
         def function(d: Mapping) -> FunctionFacts:
             return FunctionFacts(
                 name=d["name"], qualname=d["qualname"],
@@ -197,9 +316,32 @@ class ModuleFacts:
                 generator_params=list(d["generator_params"]),
                 generator_required=d["generator_required"],
                 draws_generator=d["draws_generator"],
-                calls=[CallFact(**c) for c in d["calls"]],
+                calls=[call(c) for c in d["calls"]],
                 returns=[ReturnFact(**r) for r in d["returns"]],
                 iterations=[IterationFact(**i) for i in d["iterations"]],
+                attr_writes=[AttrWriteFact(
+                    attr=w["attr"], lineno=w["lineno"], col=w["col"],
+                    held=tuple(w["held"]))
+                    for w in d.get("attr_writes", ())],
+                locked_reads=[LockedReadFact(**r)
+                              for r in d.get("locked_reads", ())],
+                lock_acquires=[LockAcquireFact(
+                    lock=a["lock"], lineno=a["lineno"], col=a["col"],
+                    held=tuple(a["held"]))
+                    for a in d.get("lock_acquires", ())],
+                blocking_calls=[BlockingCallFact(
+                    callee=b["callee"], lineno=b["lineno"], col=b["col"],
+                    held=tuple(b["held"]))
+                    for b in d.get("blocking_calls", ())],
+                lazy_inits=[LazyInitFact(
+                    attr=z["attr"], lineno=z["lineno"], col=z["col"],
+                    write_lineno=z["write_lineno"],
+                    write_col=z["write_col"], held=tuple(z["held"]),
+                    write_held=tuple(z["write_held"]))
+                    for z in d.get("lazy_inits", ())],
+                thread_spawns=[ThreadSpawnFact(**s)
+                               for s in d.get("thread_spawns", ())],
+                thread_joins=list(d.get("thread_joins", ())),
             )
 
         return cls(
@@ -213,7 +355,11 @@ class ModuleFacts:
                 methods=[function(m) for m in c["methods"]],
                 abstract_names=list(c["abstract_names"]),
                 assigned_names=list(c["assigned_names"]),
+                lock_attrs=[LockAttrFact(**a)
+                            for a in c.get("lock_attrs", ())],
             ) for c in payload["classes"]],
+            global_locks=[LockAttrFact(**g)
+                          for g in payload.get("global_locks", ())],
             pragmas={int(k): list(v)
                      for k, v in payload["pragmas"].items()},
         )

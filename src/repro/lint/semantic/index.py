@@ -25,7 +25,7 @@ from typing import Iterable, Iterator
 
 from repro.lint.semantic.facts import ClassFacts, FunctionFacts, ModuleFacts
 
-__all__ = ["ProjectIndex", "ResolvedSymbol"]
+__all__ = ["ProjectIndex", "ResolvedSymbol", "LockOrderGraph"]
 
 #: Maximum re-export chain length followed during symbol resolution.
 _MAX_CHASE = 16
@@ -66,10 +66,19 @@ class ProjectIndex:
         self.importers_of: dict[str, set[str]] = {
             name: set() for name in self.modules}
         for name, mf in self.modules.items():
-            edges = {target for target in
-                     (self._project_module(imp.module)
-                      for imp in mf.imports)
-                     if target is not None and target != name}
+            edges: set[str] = set()
+            for imp in mf.imports:
+                target = self._project_module(imp.module)
+                if target is not None and target != name:
+                    edges.add(target)
+                # ``from pkg import submodule`` depends on the submodule
+                # itself, not just the package __init__ — without this
+                # edge an edit to the submodule would never invalidate
+                # the importer's cached semantic findings.
+                if imp.name is not None and imp.name != "*":
+                    submodule = f"{imp.module}.{imp.name}"
+                    if submodule in self.modules and submodule != name:
+                        edges.add(submodule)
             self.imports_of[name] = edges
             for target in edges:
                 self.importers_of[target].add(name)
@@ -307,3 +316,287 @@ class ProjectIndex:
                 if method.name == name:
                     return mf, method
         return None
+
+    # ------------------------------------------------------------------
+    # lock ownership (the RPR4xx substrate)
+
+    def function_sites(self) -> Iterator[tuple[ModuleFacts, "str | None",
+                                               FunctionFacts]]:
+        """Every function with its module and enclosing class name."""
+        for mf in self.modules.values():
+            for fn in mf.functions:
+                yield mf, None, fn
+            for cls in mf.classes:
+                for method in cls.methods:
+                    yield mf, cls.name, method
+
+    def class_lock_attrs(self, module: ModuleFacts,
+                         cls: ClassFacts) -> dict[str, str]:
+        """Lock attribute name -> kind, inherited locks included."""
+        locks: dict[str, str] = {}
+        for _, current in self.iter_ancestry(module, cls):
+            for lock in current.lock_attrs:
+                locks.setdefault(lock.name, lock.kind)
+        return locks
+
+    def guarded_attrs(self, module: ModuleFacts,
+                      cls: ClassFacts) -> dict[str, set[str]]:
+        """Attribute name -> owning lock attribute names.
+
+        An attribute is *guarded* by a class-owned lock when any method
+        in the class (or an ancestor) touches it — write or read — while
+        must-holding ``self.<lock>``.  ``__init__`` is excluded: the
+        constructor runs before the object is shared, so its unlocked
+        writes are not ownership evidence against the lock.
+        """
+        locks = self.class_lock_attrs(module, cls)
+        guards: dict[str, set[str]] = {}
+        for _, current in self.iter_ancestry(module, cls):
+            for method in current.methods:
+                if method.name == "__init__":
+                    continue
+                for write in method.attr_writes:
+                    for token in write.held:
+                        self._note_guard(guards, write.attr, token, locks)
+                for read in method.locked_reads:
+                    self._note_guard(guards, read.attr, read.lock, locks)
+        return guards
+
+    @staticmethod
+    def _note_guard(guards: dict[str, set[str]], attr: str, token: str,
+                    locks: dict[str, str]) -> None:
+        prefix, _, lock_name = token.rpartition(".")
+        if prefix == "self" and lock_name in locks:
+            guards.setdefault(attr, set()).add(lock_name)
+
+    def canonical_lock(self, module: ModuleFacts,
+                       class_name: "str | None",
+                       token: str) -> "str | None":
+        """Project-wide identity of a lock token seen in ``module``.
+
+        ``self._lock`` in class ``C`` of module ``m`` becomes
+        ``"m.C._lock"``; a module-global ``_LOCK`` becomes
+        ``"m._LOCK"``, following one ``from x import _LOCK`` hop.
+        Deeper attribute chains (``self._service._lock``) cannot be
+        typed statically and map to ``None`` (invisible to the graph).
+        """
+        if token.startswith("self.") or token.startswith("cls."):
+            rest = token.partition(".")[2]
+            if "." in rest or class_name is None:
+                return None
+            return f"{module.module_name}.{class_name}.{rest}"
+        head, _, rest = token.partition(".")
+        if not rest:
+            for imp in module.imports:
+                if imp.alias == head and imp.name is not None \
+                        and imp.name != "*":
+                    target = self._project_module(imp.module)
+                    if target is not None:
+                        return f"{target}.{imp.name}"
+            return f"{module.module_name}.{head}"
+        for imp in module.imports:
+            if imp.alias != head or "." in rest:
+                continue
+            if imp.name is None:
+                target = self._project_module(imp.module)
+                if target is not None:
+                    return f"{target}.{rest}"
+            elif imp.name != "*":
+                # ``from pkg import submodule`` binds a module object;
+                # ``head.rest`` is then that module's global.
+                candidate = f"{imp.module}.{imp.name}"
+                if candidate in self.modules:
+                    return f"{candidate}.{rest}"
+        return None
+
+    def lock_kinds(self) -> dict[str, str]:
+        """Canonical lock id -> ``"Lock"``/``"RLock"`` for declared locks."""
+        kinds: dict[str, str] = {}
+        for mf in self.modules.values():
+            for lock in mf.global_locks:
+                kinds[f"{mf.module_name}.{lock.name}"] = lock.kind
+            for cls in mf.classes:
+                for lock in cls.lock_attrs:
+                    kinds[f"{mf.module_name}.{cls.name}.{lock.name}"] = \
+                        lock.kind
+        return kinds
+
+    def lock_order_graph(self) -> "LockOrderGraph":
+        """The project-wide lock-acquisition-order graph.
+
+        Nodes are canonical lock identities; an edge ``A -> B`` records
+        an acquisition of ``B`` somewhere while ``A`` is must-held —
+        directly in one function, or through a call chain (a call made
+        under ``A`` into a function that transitively acquires ``B``).
+        A cycle means two threads can wait on each other forever.
+        """
+        sites = [(mf, class_name, fn)
+                 for mf, class_name, fn in self.function_sites()]
+        key_of = {(mf.module_name, fn.qualname): (mf, class_name, fn)
+                  for mf, class_name, fn in sites}
+        # Fixed point: locks each function acquires, transitively
+        # through resolvable project calls.
+        acquired: dict[tuple[str, str], set[str]] = {}
+        resolved_calls: dict[tuple[str, str],
+                             list[tuple[tuple[str, str], object]]] = {}
+        for mf, class_name, fn in sites:
+            key = (mf.module_name, fn.qualname)
+            acquired[key] = {
+                canon for canon in
+                (self.canonical_lock(mf, class_name, acq.lock)
+                 for acq in fn.lock_acquires)
+                if canon is not None}
+            calls = []
+            for call in fn.calls:
+                target = self.resolve_call(mf.module_name, call.callee,
+                                           enclosing_class=class_name)
+                if target is None:
+                    continue
+                target_key = (target[0].module_name, target[1].qualname)
+                if target_key in key_of:
+                    calls.append((target_key, call))
+            resolved_calls[key] = calls
+        changed = True
+        while changed:
+            changed = False
+            for key, calls in resolved_calls.items():
+                for target_key, _ in calls:
+                    missing = acquired[target_key] - acquired[key]
+                    if missing:
+                        acquired[key] |= missing
+                        changed = True
+        graph = LockOrderGraph()
+        graph.kinds = self.lock_kinds()
+        for mf, class_name, fn in sites:
+            for acq in fn.lock_acquires:
+                target = self.canonical_lock(mf, class_name, acq.lock)
+                if target is None:
+                    continue
+                for held in acq.held:
+                    source = self.canonical_lock(mf, class_name, held)
+                    if source is not None:
+                        graph.add_edge(source, target, mf.path,
+                                       mf.module_name, acq.lineno,
+                                       acq.col, via=None)
+            key = (mf.module_name, fn.qualname)
+            for target_key, call in resolved_calls[key]:
+                if not call.held_locks:
+                    continue
+                for target in sorted(acquired[target_key]):
+                    for held in call.held_locks:
+                        source = self.canonical_lock(mf, class_name, held)
+                        if source is not None:
+                            graph.add_edge(
+                                source, target, mf.path, mf.module_name,
+                                call.lineno, call.col, via=call.callee)
+        return graph
+
+    def imports_closure(self, module_name: str) -> set[str]:
+        """``module_name`` plus every project module it transitively
+        imports (the set of modules whose change dirties this one)."""
+        seen = {module_name}
+        queue = [module_name]
+        while queue:
+            current = queue.pop()
+            for target in self.imports_of.get(current, ()):
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return seen
+
+
+class LockOrderGraph:
+    """Canonical lock nodes, ordered acquisition edges, edge sites."""
+
+    def __init__(self) -> None:
+        #: source lock -> set of locks acquired while holding it.
+        self.edges: dict[str, set[str]] = {}
+        #: (source, target) -> [(path, module, lineno, col, via)].
+        self.sites: dict[tuple[str, str],
+                         list[tuple[str, str, int, int, "str | None"]]] = {}
+        #: canonical lock id -> declared kind (``Lock``/``RLock``).
+        self.kinds: dict[str, str] = {}
+
+    def add_edge(self, source: str, target: str, path: str, module: str,
+                 lineno: int, col: int, via: "str | None") -> None:
+        """Record "``target`` acquired while ``source`` held" at a site."""
+        if source == target:
+            # Re-acquiring a lock you hold only deadlocks when it is a
+            # declared non-reentrant Lock; RLocks and undeclared
+            # (heuristic) locks stay quiet.
+            if self.kinds.get(source, "") != "Lock":
+                return
+        self.edges.setdefault(source, set()).add(target)
+        self.sites.setdefault((source, target), []).append(
+            (path, module, lineno, col, via))
+
+    def cycles(self) -> list[list[str]]:
+        """Strongly connected components with a cycle, sorted.
+
+        Each entry is the sorted list of lock ids in one SCC of size
+        ``>= 2``, or a single lock with a self-edge.
+        """
+        index_counter = [0]
+        stack: list[str] = []
+        on_stack: set[str] = set()
+        indices: dict[str, int] = {}
+        low: dict[str, int] = {}
+        result: list[list[str]] = []
+        nodes = sorted(set(self.edges)
+                       | {t for ts in self.edges.values() for t in ts})
+
+        def strongconnect(node: str) -> None:
+            work = [(node, iter(sorted(self.edges.get(node, ()))))]
+            indices[node] = low[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            while work:
+                current, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in indices:
+                        indices[succ] = low[succ] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append(
+                            (succ, iter(sorted(self.edges.get(succ,
+                                                              ())))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[current] = min(low[current], indices[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[current])
+                if low[current] == indices[current]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == current:
+                            break
+                    if len(component) > 1 or (
+                            component[0] in self.edges.get(component[0],
+                                                           set())):
+                        result.append(sorted(component))
+
+        for node in nodes:
+            if node not in indices:
+                strongconnect(node)
+        return sorted(result)
+
+    def cycle_edges(self, component: list[str]
+                    ) -> list[tuple[str, str]]:
+        """Graph edges with both endpoints inside ``component``."""
+        members = set(component)
+        return sorted(
+            (source, target)
+            for source, targets in self.edges.items()
+            if source in members
+            for target in targets if target in members)

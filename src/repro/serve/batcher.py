@@ -124,13 +124,14 @@ class MicroBatcher:
         worker exits.  With ``drain=False`` pending requests' futures
         are cancelled instead.
         """
+        # The join happens outside the lock: holding _close_lock while
+        # waiting for the worker would stall every submit() (and a
+        # concurrent close()) for the full drain time.
         with self._close_lock:
-            if self._closed:
-                self._worker.join()
-                return
-            self._closed = True
-            self._drain_on_close = drain
-            self._queue.put(_SHUTDOWN)
+            if not self._closed:
+                self._closed = True
+                self._drain_on_close = drain
+                self._queue.put(_SHUTDOWN)
         self._worker.join()
 
     def __enter__(self) -> "MicroBatcher":

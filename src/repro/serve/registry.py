@@ -236,7 +236,13 @@ class ModelRegistry:
         key = (resolved.name, resolved.version)
         with self._lock:
             handle = self._handles.get(key)
-        if handle is not None:
+        # Deliberately non-atomic check-then-act: holding _lock across
+        # the artifact load would serialize every first-time load behind
+        # disk I/O (the exact stall RPR403 exists to catch).  The racy
+        # window is benign — concurrent losers load a duplicate, then
+        # the setdefault below drops it and every caller shares the
+        # winner's handle.
+        if handle is not None:  # repro: ignore[RPR404]
             return handle
         if verify:
             self.verify(resolved)

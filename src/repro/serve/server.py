@@ -170,7 +170,8 @@ class EstimationService:
 
     def close(self, drain: bool = True) -> None:
         """Refuse new requests and drain (or cancel) queued ones."""
-        self._closed = True
+        with self._inflight_lock:
+            self._closed = True
         self._batcher.close(drain=drain)
 
     def _admit(self, weight: int) -> "_Admission":

@@ -132,3 +132,25 @@ class TestParallelism:
         config = LintConfig()
         auto = run([tmp_path], config, jobs=0)
         assert auto.files_scanned == 14
+
+    def test_warm_files_are_not_dispatched_to_workers(self, tmp_path,
+                                                      monkeypatch):
+        # The pool must only ever see cache misses: a warm run over an
+        # unchanged tree hands the file stage zero items (no re-read,
+        # no re-parse) regardless of the jobs setting.
+        import repro.lint.engine as engine_mod
+        write_files(tmp_path, 14)
+        cache = tmp_path / "cache.json"
+        config = LintConfig()
+        run([tmp_path], config, jobs=2, cache_path=cache)
+        dispatched = []
+        original = engine_mod._run_file_stage
+
+        def spy(items, jobs):
+            dispatched.append(len(items))
+            return original(items, jobs)
+
+        monkeypatch.setattr(engine_mod, "_run_file_stage", spy)
+        warm = run([tmp_path], config, jobs=2, cache_path=cache)
+        assert warm.files_reanalyzed == ()
+        assert dispatched == [0]

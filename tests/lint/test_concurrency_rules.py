@@ -1,0 +1,548 @@
+"""Tests for the concurrency band (RPR401-RPR405).
+
+Single-module behaviour goes through ``lint_text``; the cross-module
+lock-order cycle — the case that needs the ProjectIndex — builds a
+small package tree on disk and runs the full engine over it.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import LintConfig, lint_text
+from repro.lint.engine import run
+
+CONCURRENCY = LintConfig(select=frozenset(
+    {"RPR401", "RPR402", "RPR403", "RPR404", "RPR405"}))
+
+
+def codes(source, *, module_name="repro.serve.mod"):
+    result = lint_text(textwrap.dedent(source), module_name=module_name,
+                       config=CONCURRENCY)
+    return [f.code for f in result.findings]
+
+
+def write_tree(root: Path, files: dict) -> None:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def tree_codes(tmp_path, files, config=CONCURRENCY):
+    write_tree(tmp_path, files)
+    result = run([tmp_path / "repro"], config)
+    return [(f.path.rsplit("/", 1)[-1], f.code) for f in result.findings]
+
+
+PKG = {
+    "repro/__init__.py": '"""pkg."""\n',
+    "repro/serve/__init__.py": '"""pkg."""\n',
+}
+
+
+class TestUnguardedSharedStateRPR401:
+    def test_unlocked_write_to_guarded_attr_is_flagged(self):
+        assert codes("""\
+            import threading
+
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def reset(self):
+                    self._count = 0
+            """) == ["RPR401"]
+
+    def test_all_writes_locked_is_clean(self):
+        assert codes("""\
+            import threading
+
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def reset(self):
+                    with self._lock:
+                        self._count = 0
+            """) == []
+
+    def test_init_writes_are_exempt(self):
+        # __init__ happens before the object is shared; the unlocked
+        # assignment there is what *establishes* the guarded attribute.
+        assert codes("""\
+            import threading
+
+
+            class Holder:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._state = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._state[key] = value
+            """) == []
+
+    def test_locked_read_establishes_guardedness(self):
+        # No locked *write* exists, but the locked read in get() still
+        # marks _closed as guarded — the serving-stack shutdown race.
+        assert codes("""\
+            import threading
+
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._closed = False
+
+                def get(self):
+                    with self._lock:
+                        if self._closed:
+                            raise RuntimeError("closed")
+
+                def close(self):
+                    self._closed = True
+            """) == ["RPR401"]
+
+    def test_lockless_class_is_ignored(self):
+        assert codes("""\
+            class Plain:
+                def set(self, value):
+                    self._value = value
+            """) == []
+
+
+class TestLockOrderCycleRPR402:
+    def test_opposite_orders_in_one_module_are_flagged(self):
+        found = codes("""\
+            import threading
+
+
+            class Pair:
+                def __init__(self):
+                    self._a_lock = threading.Lock()
+                    self._b_lock = threading.Lock()
+
+                def ab(self):
+                    with self._a_lock:
+                        with self._b_lock:
+                            pass
+
+                def ba(self):
+                    with self._b_lock:
+                        with self._a_lock:
+                            pass
+            """)
+        assert found == ["RPR402", "RPR402"]
+
+    def test_consistent_order_is_clean(self):
+        assert codes("""\
+            import threading
+
+
+            class Pair:
+                def __init__(self):
+                    self._a_lock = threading.Lock()
+                    self._b_lock = threading.Lock()
+
+                def ab(self):
+                    with self._a_lock:
+                        with self._b_lock:
+                            pass
+
+                def also_ab(self):
+                    with self._a_lock:
+                        with self._b_lock:
+                            pass
+            """) == []
+
+    def test_reacquiring_a_plain_lock_is_flagged(self):
+        assert codes("""\
+            import threading
+
+
+            class Once:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def recurse(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """) == ["RPR402"]
+
+    def test_reacquiring_an_rlock_is_clean(self):
+        assert codes("""\
+            import threading
+
+
+            class Reentrant:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def recurse(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """) == []
+
+    def test_cross_module_cycle_through_a_call(self, tmp_path):
+        # locks_a holds A while *calling into* locks_b (which takes B),
+        # and elsewhere takes B then A directly: a cycle only the
+        # project-wide graph can see.  Both edges anchor in locks_a,
+        # whose import closure covers every participant.
+        found = tree_codes(tmp_path, {
+            **PKG,
+            "repro/serve/locks_b.py": """\
+                import threading
+
+                LOCK_B = threading.Lock()
+
+
+                def take_b():
+                    with LOCK_B:
+                        pass
+                """,
+            "repro/serve/locks_a.py": """\
+                import threading
+
+                from repro.serve import locks_b
+
+                LOCK_A = threading.Lock()
+
+
+                def a_then_b():
+                    with LOCK_A:
+                        locks_b.take_b()
+
+
+                def b_then_a():
+                    with locks_b.LOCK_B:
+                        with LOCK_A:
+                            pass
+                """,
+        })
+        assert found == [("locks_a.py", "RPR402"),
+                         ("locks_a.py", "RPR402")]
+
+    def test_fixing_the_callee_invalidates_the_cached_cycle(self, tmp_path):
+        # ``from repro.serve import locks_b`` must create an import
+        # edge to the submodule itself: editing only locks_b has to
+        # dirty locks_a's cached RPR402 findings on the warm run.
+        files = {
+            **PKG,
+            "repro/serve/locks_b.py": """\
+                import threading
+
+                LOCK_B = threading.Lock()
+
+
+                def take_b():
+                    with LOCK_B:
+                        pass
+                """,
+            "repro/serve/locks_a.py": """\
+                import threading
+
+                from repro.serve import locks_b
+
+                LOCK_A = threading.Lock()
+
+
+                def a_then_b():
+                    with LOCK_A:
+                        locks_b.take_b()
+
+
+                def b_then_a():
+                    with locks_b.LOCK_B:
+                        with LOCK_A:
+                            pass
+                """,
+        }
+        write_tree(tmp_path, files)
+        cache = tmp_path / "cache.json"
+        cold = run([tmp_path / "repro"], CONCURRENCY, cache_path=cache)
+        assert {f.code for f in cold.findings} == {"RPR402"}
+        (tmp_path / "repro/serve/locks_b.py").write_text(textwrap.dedent(
+            """\
+            import threading
+
+            LOCK_B = threading.Lock()
+
+
+            def take_b():
+                pass
+            """), encoding="utf-8")
+        warm = run([tmp_path / "repro"], CONCURRENCY, cache_path=cache)
+        assert warm.findings == ()
+        reanalyzed = {p.rsplit("/", 1)[-1] for p in warm.files_reanalyzed}
+        assert "locks_a.py" in reanalyzed
+
+    def test_cross_module_consistent_order_is_clean(self, tmp_path):
+        assert tree_codes(tmp_path, {
+            **PKG,
+            "repro/serve/locks_b.py": """\
+                import threading
+
+                LOCK_B = threading.Lock()
+
+
+                def take_b():
+                    with LOCK_B:
+                        pass
+                """,
+            "repro/serve/locks_a.py": """\
+                import threading
+
+                from repro.serve import locks_b
+
+                LOCK_A = threading.Lock()
+
+
+                def a_then_b():
+                    with LOCK_A:
+                        locks_b.take_b()
+                """,
+        }) == []
+
+
+class TestBlockingWhileLockedRPR403:
+    def test_sleep_under_lock_is_flagged(self):
+        assert codes("""\
+            import threading
+            import time
+
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def poll(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """) == ["RPR403"]
+
+    def test_sleep_outside_lock_is_clean(self):
+        assert codes("""\
+            import threading
+            import time
+
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def poll(self):
+                    with self._lock:
+                        pass
+                    time.sleep(0.1)
+            """) == []
+
+    def test_join_under_lock_is_flagged(self):
+        assert codes("""\
+            import threading
+
+
+            class Owner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._worker = threading.Thread(target=print)
+
+                def close(self):
+                    with self._lock:
+                        self._worker.join()
+            """) == ["RPR403"]
+
+    def test_config_extends_the_blocking_catalogue(self):
+        source = textwrap.dedent("""\
+            import threading
+
+            import redis
+
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def fetch(self, key):
+                    with self._lock:
+                        return redis.fetch_blocking(key)
+            """)
+        plain = lint_text(source, module_name="repro.serve.mod",
+                          config=CONCURRENCY)
+        extended = lint_text(source, module_name="repro.serve.mod",
+                             config=LintConfig(
+                                 select=frozenset({"RPR403"}),
+                                 blocking_calls=("redis.fetch_blocking",)))
+        assert [f.code for f in plain.findings] == []
+        assert [f.code for f in extended.findings] == ["RPR403"]
+
+
+class TestThreadUnsafeLazyInitRPR404:
+    def test_split_lock_regions_are_flagged(self):
+        assert codes("""\
+            import threading
+
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._handles = {}
+
+                def load(self, key):
+                    with self._lock:
+                        handle = self._handles.get(key)
+                    if handle is None:
+                        handle = object()
+                        with self._lock:
+                            self._handles[key] = handle
+                    return handle
+            """) == ["RPR404"]
+
+    def test_single_region_is_clean(self):
+        assert codes("""\
+            import threading
+
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._handles = {}
+
+                def load(self, key):
+                    with self._lock:
+                        handle = self._handles.get(key)
+                        if handle is None:
+                            handle = object()
+                            self._handles[key] = handle
+                    return handle
+            """) == []
+
+    def test_double_checked_locking_is_clean(self):
+        # The inner re-check shares a lock region with the write, which
+        # is exactly what makes the pattern safe.
+        assert codes("""\
+            import threading
+
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._handles = {}
+
+                def load(self, key):
+                    handle = self._handles.get(key)
+                    if handle is None:
+                        with self._lock:
+                            handle = self._handles.get(key)
+                            if handle is None:
+                                handle = object()
+                                self._handles[key] = handle
+                    return handle
+            """) == []
+
+    def test_pragma_suppresses_the_finding(self):
+        result = lint_text(textwrap.dedent("""\
+            import threading
+
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._handles = {}
+
+                def load(self, key):
+                    with self._lock:
+                        handle = self._handles.get(key)
+                    if handle is None:  # repro: ignore[RPR404]
+                        handle = object()
+                        with self._lock:
+                            self._handles.setdefault(key, handle)
+                    return handle
+            """), module_name="repro.serve.mod", config=CONCURRENCY)
+        assert [f.code for f in result.findings] == []
+        assert [f.code for f in result.suppressed] == ["RPR404"]
+
+
+class TestDaemonThreadDrainRPR405:
+    def test_unjoined_daemon_thread_is_flagged(self):
+        assert codes("""\
+            import threading
+
+
+            def spawn():
+                worker = threading.Thread(target=print, daemon=True)
+                worker.start()
+            """) == ["RPR405"]
+
+    def test_joined_daemon_thread_is_clean(self):
+        assert codes("""\
+            import threading
+
+
+            def spawn():
+                worker = threading.Thread(target=print, daemon=True)
+                worker.start()
+                worker.join()
+            """) == []
+
+    def test_self_bound_daemon_joined_in_another_method_is_clean(self):
+        assert codes("""\
+            import threading
+
+
+            class Batcher:
+                def start(self):
+                    self._worker = threading.Thread(target=print,
+                                                    daemon=True)
+                    self._worker.start()
+
+                def close(self):
+                    self._worker.join()
+            """) == []
+
+    def test_self_bound_daemon_never_joined_is_flagged(self):
+        assert codes("""\
+            import threading
+
+
+            class Batcher:
+                def start(self):
+                    self._worker = threading.Thread(target=print,
+                                                    daemon=True)
+                    self._worker.start()
+            """) == ["RPR405"]
+
+    def test_unbound_daemon_start_is_flagged(self):
+        assert codes("""\
+            import threading
+
+
+            def fire_and_forget():
+                threading.Thread(target=print, daemon=True).start()
+            """) == ["RPR405"]
+
+    def test_non_daemon_thread_is_clean(self):
+        # A non-daemon thread blocks interpreter exit until it finishes;
+        # there is no silent mid-operation kill to warn about.
+        assert codes("""\
+            import threading
+
+
+            def spawn():
+                worker = threading.Thread(target=print)
+                worker.start()
+            """) == []

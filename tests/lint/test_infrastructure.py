@@ -229,7 +229,7 @@ class TestRegistry:
         assert len(codes) == len(set(codes)) >= 9
         assert all(code.startswith("RPR") for code in codes)
         bands = {code[3] for code in codes}
-        assert bands == {"1", "2", "3"}
+        assert bands == {"1", "2", "3", "4"}
         for cls in classes:
             assert cls.name and cls.summary
 
