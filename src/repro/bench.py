@@ -21,10 +21,19 @@ tracing enabled, and reports the overhead percentages (committed as
 ``BENCH_obs.json``; the disabled-mode number is gated at < 3% in CI).
 
 :func:`run_serve_bench` measures the serving stack end to end: an
-in-process HTTP server (estimate cache off) under a closed-loop
-multi-threaded client fleet, reporting p50/p95 latency and queries/sec
-at client batch sizes 1, 8, and 64 (committed as ``BENCH_serve.json``;
-CI gates batched throughput at ≥ 2× the single-request rate).
+in-process HTTP server (estimate cache off, shape-plan cache on) under
+a closed-loop multi-threaded client fleet, reporting p50/p95 latency
+and queries/sec at client batch sizes 1, 8, and 64, verifying the
+fused compile→encode→predict path answers bitwise-identically to the
+legacy per-query path, and embedding the forest-inference
+microbenchmark plus plan-cache hit statistics (committed as
+``BENCH_serve.json``).
+
+:func:`run_predict_bench` isolates forest inference: the legacy
+per-tree python predict loop against the packed
+:class:`~repro.models.compiled_forest.CompiledForest` on identical
+feature matrices, asserting bitwise-equal outputs (CI gates the
+compiled path at ≥ 3× across all measured batch sizes).
 
 This module computes and returns results only; printing and process exit
 codes live in :mod:`repro.cli` (``repro bench featurize`` / ``repro
@@ -43,7 +52,7 @@ import json
 import tempfile
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Sequence
 
@@ -58,11 +67,12 @@ from repro.featurize import (
     RangeEncoding,
     SingularEncoding,
 )
-from repro.sql.ast import Query
+from repro.sql.ast import And, BoolExpr, Or, Query, SimplePredicate
 from repro.workloads import generate_conjunctive_queries, generate_mixed_queries
 
 __all__ = ["BenchCase", "run_featurize_bench", "run_lint_bench",
-           "run_obs_bench", "run_serve_bench", "write_report"]
+           "run_obs_bench", "run_predict_bench", "run_serve_bench",
+           "write_report"]
 
 #: (featurizer label, workload label) cases the benchmark measures.
 _CASES = (
@@ -363,6 +373,131 @@ def run_obs_bench(rows: int = 10_000, queries: int = 10_000,
     }
 
 
+def _legacy_forest_predict(model, features: np.ndarray) -> np.ndarray:
+    """The pre-compiled GB predict path: one python-level pass per tree.
+
+    Reproduced here verbatim (same accumulation order) as the timing
+    and bitwise reference for :func:`run_predict_bench`, independent of
+    whether the model object itself has been compiled.
+    """
+    prediction = np.full(features.shape[0], model._base)
+    for tree in model.trees:  # repro: ignore[RPR109] — this IS the legacy reference
+        prediction += model.learning_rate * tree.predict(features)
+    return prediction
+
+
+def run_predict_bench(rows: int = 4_000, queries: int = 4_096,
+                      trees: int = 120,
+                      partitions: int = config.DEFAULT_PARTITIONS,
+                      seed: int = config.DEFAULT_SEED, smoke: bool = False,
+                      repeats: int = 5,
+                      batch_sizes: Sequence[int] = (1, 8, 64)) -> dict:
+    """Benchmark compiled vs legacy forest inference; return the report.
+
+    Trains a gradient-boosting model on a real featurized workload
+    (conjunctive QFT over the synthetic forest table), then times
+    ``predict`` over identical feature matrices two ways: the legacy
+    per-tree python loop and the packed
+    :class:`~repro.models.compiled_forest.CompiledForest`
+    level-synchronous traversal.  Each batch size reports the best of
+    ``repeats`` per-call times and a bitwise-equality verdict;
+    ``min_speedup`` (the smallest ratio across batch sizes) is what CI
+    gates at ≥ 3×.
+
+    The default batch sizes (1, 8, 64) cover the serving regime — the
+    micro-batcher dispatches at most
+    :class:`~repro.serve.batcher.MicroBatcher`'s ``max_batch_size`` (64)
+    queries at once — which is where python dispatch dominates and the
+    compiled path pays off.  For offline thousand-row scoring the
+    legacy index-partitioning walk is already near memory bandwidth and
+    the compiled gathers win little (pass ``--batch-sizes`` to measure);
+    the report records this scope in ``batch_sizes_note``.
+    """
+    from repro.models import GradientBoostingRegressor
+    from repro.workloads import generate_conjunctive_workload
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if smoke:
+        rows = min(rows, 1_000)
+        queries = min(queries, 512)
+        trees = min(trees, 30)
+        repeats = min(repeats, 3)
+    table = generate_forest(rows=rows, seed=seed)
+    # 400 training queries even in smoke mode: fewer leaves the default
+    # min_samples_leaf no valid split and every tree degenerates to a
+    # stump, which would benchmark an unrealistically shallow forest.
+    train = generate_conjunctive_workload(table, 400, seed=seed + 1)
+    featurizer = ConjunctiveEncoding(table, max_partitions=partitions)
+    X_train = featurizer.featurize_batch(train.queries)
+    y_train = np.log(np.maximum(train.cardinalities, 1.0))
+    # No early stopping: the report's tree count must match the config.
+    model = GradientBoostingRegressor(n_estimators=trees,
+                                      early_stopping_rounds=None,
+                                      random_state=seed).fit(X_train, y_train)
+    X = featurizer.featurize_batch(
+        generate_conjunctive_queries(table, queries, seed=seed))
+    forest = model.compile()
+
+    cases: list[dict] = []
+    for batch_size in sorted(set(int(b) for b in batch_sizes)):
+        batch_size = min(batch_size, X.shape[0])
+        features = X[:batch_size]
+        # Enough calls per sample that the fast path stays measurable.
+        calls = max(1, min(64, X.shape[0] // batch_size))
+        legacy_reference = _legacy_forest_predict(model, features)
+        compiled_reference = forest.predict(features)
+        identical = bool(np.array_equal(legacy_reference,
+                                        compiled_reference))
+        legacy_seconds = float("inf")
+        compiled_seconds = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(calls):
+                _legacy_forest_predict(model, features)
+            legacy_seconds = min(legacy_seconds,
+                                 (time.perf_counter() - start) / calls)
+            start = time.perf_counter()
+            for _ in range(calls):
+                forest.predict(features)
+            compiled_seconds = min(compiled_seconds,
+                                   (time.perf_counter() - start) / calls)
+        cases.append({
+            "batch_size": batch_size,
+            "calls_per_sample": calls,
+            "legacy_seconds": legacy_seconds,
+            "compiled_seconds": compiled_seconds,
+            "speedup": (legacy_seconds / compiled_seconds
+                        if compiled_seconds > 0 else float("inf")),
+            "identical": identical,
+        })
+
+    return {
+        "benchmark": "predict",
+        "config": {
+            "rows": rows,
+            "queries": queries,
+            "trees": trees,
+            "partitions": partitions,
+            "seed": seed,
+            "smoke": smoke,
+            "repeats": repeats,
+            "batch_sizes": [case["batch_size"] for case in cases],
+        },
+        "batch_sizes_note": (
+            "defaults cover the serving regime (micro-batcher dispatches "
+            "<= 64 queries); larger offline batches are not gated — "
+            "measure them with --batch-sizes"),
+        "n_trees": forest.n_trees,
+        "max_nodes": forest.max_nodes,
+        "max_depth": forest.max_depth,
+        "feature_length": featurizer.feature_length,
+        "cases": cases,
+        "all_identical": all(case["identical"] for case in cases),
+        "min_speedup": min(case["speedup"] for case in cases),
+    }
+
+
 def _drive_closed_loop(url: str, payloads: list, threads: int, call) -> dict:
     """Run a closed-loop client fleet over ``payloads``; return timings.
 
@@ -386,19 +521,22 @@ def _drive_closed_loop(url: str, payloads: list, threads: int, call) -> dict:
     def worker() -> None:
         client = ServeClient(url, timeout=60.0)
         local: list[float] = []
-        while True:
-            try:
-                payload = work.get_nowait()
-            except queue_mod.Empty:
-                break
-            start = time.perf_counter()
-            try:
-                call(client, payload)
-            except Exception as exc:  # repro: ignore[RPR103] — collected and re-raised below
-                with lock:
-                    failures.append(str(exc))
-                break
-            local.append(time.perf_counter() - start)
+        try:
+            while True:
+                try:
+                    payload = work.get_nowait()
+                except queue_mod.Empty:
+                    break
+                start = time.perf_counter()
+                try:
+                    call(client, payload)
+                except Exception as exc:  # repro: ignore[RPR103] — collected and re-raised below
+                    with lock:
+                        failures.append(str(exc))
+                    break
+                local.append(time.perf_counter() - start)
+        finally:
+            client.close()
         with lock:
             latencies.extend(local)
 
@@ -417,11 +555,45 @@ def _drive_closed_loop(url: str, payloads: list, threads: int, call) -> dict:
     return {"latencies": latencies, "wall_seconds": wall_seconds}
 
 
+def _parameterized_queries(table: Table, num_queries: int, templates: int,
+                           seed: int) -> list[Query]:
+    """A prepared-statement-style workload: few shapes, many literals.
+
+    Draws ``templates`` base conjunctive queries, then emits
+    ``num_queries`` instances round-robin over them, each with every
+    numeric literal resampled from the predicate's own column domain.
+    This is the traffic shape the serving caches target: a dashboard or
+    ORM re-issues the same statement text with fresh parameters, so the
+    fingerprint (parse cache) and shape (plan cache) repeat while the
+    exact-match estimate cache stays cold.  Deterministic in ``seed``.
+    """
+    if not 1 <= templates <= num_queries:
+        raise ValueError(
+            f"templates must be in [1, {num_queries}], got {templates}")
+    bases = generate_conjunctive_queries(table, templates, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+
+    def rebind(expr: BoolExpr) -> BoolExpr:
+        if isinstance(expr, SimplePredicate):
+            values = table.column(expr.attribute).values
+            fresh = float(values[int(rng.integers(values.shape[0]))])
+            return SimplePredicate(expr.attribute, expr.op, fresh)
+        if isinstance(expr, And):
+            return And([rebind(child) for child in expr.children])
+        if isinstance(expr, Or):
+            return Or([rebind(child) for child in expr.children])
+        return expr
+
+    return [replace(bases[i % templates], where=rebind(bases[i % templates].where))
+            for i in range(num_queries)]
+
+
 def run_serve_bench(artifact: str | Path | None = None, rows: int = 4_000,
                     queries: int = 2_048, threads: int = 8,
                     partitions: int = config.DEFAULT_PARTITIONS,
                     seed: int = config.DEFAULT_SEED, smoke: bool = False,
-                    batch_sizes: Sequence[int] = (1, 8, 64)) -> dict:
+                    batch_sizes: Sequence[int] = (1, 8, 64),
+                    templates: int = 64) -> dict:
     """Benchmark the serving stack end to end; return the report dict.
 
     Boots an in-process :class:`~repro.serve.server.EstimationServer`
@@ -430,15 +602,31 @@ def run_serve_bench(artifact: str | Path | None = None, rows: int = 4_000,
     closed-loop fleet of ``threads`` HTTP clients at each client-side
     batch size: ``1`` hits ``POST /v1/estimate`` once per query, larger
     sizes pack that many queries into one ``POST /v1/estimate_batch``
-    body.  Every case pushes the same distinct-query workload, so the
-    reported ``speedup`` — batched queries/sec over single-request
-    queries/sec at the largest batch size — isolates what micro-batching
-    amortises (HTTP round trips, request dispatch, per-call
-    featurization overhead).  CI gates it at ≥ 2×.
+    body.  Every case pushes the same workload, so the reported
+    ``speedup`` — batched queries/sec over single-request queries/sec at
+    the largest batch size — isolates what micro-batching amortises
+    (HTTP round trips, request dispatch, per-call featurization
+    overhead).
+
+    The workload is *parameterized*: ``templates`` statement shapes,
+    each instantiated with fresh literals per query
+    (:func:`_parameterized_queries`).  That models prepared-statement /
+    dashboard traffic — the regime the parse-template and shape-plan
+    caches exist for — while keeping every query distinct so the
+    disabled exact-match cache cannot short-circuit the work.
 
     With ``artifact`` the persisted estimator at that path answers the
     traffic; otherwise a small GB + conjunctive-QFT estimator is
     trained in-process on the synthetic forest table.
+
+    The service runs its fused compile→encode→predict path (shape-plan
+    cache on): before any traffic, the whole workload is estimated once
+    through the legacy ``estimate_batch`` (pre-compile) and once
+    through the service's fused path, and the report's
+    ``fused_identical`` records their bitwise equality.  The plan
+    cache's hit/miss statistics and the forest-inference
+    microbenchmark (:func:`run_predict_bench`, matching tree count)
+    are embedded under ``plan_cache`` and ``predict``.
     """
     from repro.estimators import LearnedEstimator
     from repro.models import GradientBoostingRegressor
@@ -453,6 +641,8 @@ def run_serve_bench(artifact: str | Path | None = None, rows: int = 4_000,
         rows = min(rows, 1_000)
         queries = min(queries, 256)
         threads = min(threads, 4)
+        templates = min(templates, 16)
+    templates = min(templates, queries)
     batch_sizes = tuple(sorted(set(int(b) for b in batch_sizes)))
     if batch_sizes[0] != 1:
         raise ValueError("batch_sizes must include 1 (the speedup baseline)")
@@ -466,20 +656,30 @@ def run_serve_bench(artifact: str | Path | None = None, rows: int = 4_000,
             ConjunctiveEncoding(table, max_partitions=partitions),
             GradientBoostingRegressor(n_estimators=10 if smoke else 30),
         ).fit(train.queries, train.cardinalities)
-    sqls = [query.to_sql()
-            for query in generate_conjunctive_queries(table, queries,
-                                                      seed=seed)]
+    workload = _parameterized_queries(table, queries, templates, seed=seed)
+    sqls = [query.to_sql() for query in workload]
 
+    # Legacy reference BEFORE the service compiles the model: this is
+    # the per-query compile→encode plus per-tree-predict path the fused
+    # pipeline must reproduce bit for bit.
+    legacy_estimates = estimator.estimate_batch(workload)
     service = EstimationService(estimator, max_batch_size=64,
                                 max_wait_ms=1.0, cache_size=0,
-                                max_inflight=max(64, threads * 4))
+                                max_inflight=max(64, threads * 4),
+                                plan_cache_size=256)
+    if service.fused is not None:
+        fused_estimates = service.fused.estimate_batch(workload)
+        fused_identical = bool(np.array_equal(legacy_estimates,
+                                              fused_estimates))
+    else:
+        fused_identical = None
     cases: list[dict] = []
     with EstimationServer(service) as server:
         # Untimed warm-up: first-request costs (lazy imports, allocator
         # warm-up) must not pollute the smallest case.
-        warmup = ServeClient(server.url, timeout=60.0)
-        warmup.estimate(sqls[0])
-        warmup.estimate_batch(sqls[:8])
+        with ServeClient(server.url, timeout=60.0) as warmup:
+            warmup.estimate(sqls[0])
+            warmup.estimate_batch(sqls[:8])
         for batch_size in batch_sizes:
             if batch_size == 1:
                 payloads: list = list(sqls)
@@ -505,6 +705,13 @@ def run_serve_bench(artifact: str | Path | None = None, rows: int = 4_000,
     by_size = {case["batch_size"]: case for case in cases}
     single_qps = by_size[1]["queries_per_second"]
     batched_qps = by_size[batch_sizes[-1]]["queries_per_second"]
+    raw_model = getattr(getattr(estimator, "model", None), "model", None)
+    served_trees = (len(raw_model.trees)
+                    if raw_model is not None and hasattr(raw_model, "trees")
+                    else 30)
+    predict_report = run_predict_bench(
+        rows=rows, queries=queries, trees=max(served_trees, 1),
+        partitions=partitions, seed=seed, smoke=smoke)
     return {
         "benchmark": "serve",
         "config": {
@@ -517,15 +724,23 @@ def run_serve_bench(artifact: str | Path | None = None, rows: int = 4_000,
             "artifact": str(artifact) if artifact is not None else None,
             "estimator": estimator.name,
             "batch_sizes": list(batch_sizes),
+            "workload": "parameterized-conjunctive",
+            "templates": templates,
             "max_batch_size": 64,
             "max_wait_ms": 1.0,
             "cache_size": 0,
+            "plan_cache_size": 256,
+            "parse_cache_size": 512,
         },
         "cases": cases,
         "single_qps": single_qps,
         "batched_qps": batched_qps,
         "speedup": (batched_qps / single_qps if single_qps > 0
                     else float("inf")),
+        "fused_identical": fused_identical,
+        "plan_cache": service.plan_cache.stats(),
+        "parse_cache": service.parse_cache.stats(),
+        "predict": predict_report,
     }
 
 

@@ -27,7 +27,7 @@ downstream user needs, plus dataset generation:
 * ``repro bench serve`` — end-to-end serving benchmark (closed-loop
   client fleet, client batch sizes 1/8/64); writes ``BENCH_serve.json``
   and fails if batched throughput is below ``--min-batch-speedup``
-  (default 2x) times the single-request rate.
+  (default 5x) times the single-request rate.
 * ``repro obs report trace.jsonl`` — per-stage summary of a span trace
   recorded with ``--trace`` (see ``docs/observability.md``).
 * ``repro lint [paths]`` — the repo's own static-analysis pass
@@ -131,12 +131,17 @@ def _cmd_serve(args) -> int:
                                 max_batch_size=args.max_batch_size,
                                 max_wait_ms=args.max_wait_ms,
                                 cache_size=args.cache_size,
-                                max_inflight=args.max_inflight)
+                                max_inflight=args.max_inflight,
+                                plan_cache_size=args.plan_cache_size,
+                                parse_cache_size=args.parse_cache_size)
     server = EstimationServer(service, host=args.host, port=args.port)
     server.start()
+    fused = "fused" if service.fused is not None else "legacy"
     print(f"serving on {server.url} "
           f"(batch<= {args.max_batch_size}, wait {args.max_wait_ms}ms, "
-          f"cache {args.cache_size}, inflight<= {args.max_inflight})")
+          f"cache {args.cache_size}, plans {args.plan_cache_size}, "
+          f"templates {args.parse_cache_size}, "
+          f"inflight<= {args.max_inflight}, {fused} path)")
     stop = getattr(args, "shutdown_event", None) or threading.Event()
     if threading.current_thread() is threading.main_thread():
         # SIGINT/SIGTERM trigger the graceful drain; tests drive the
@@ -158,6 +163,8 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_obs(args)
     if args.target == "serve":
         return _cmd_bench_serve(args)
+    if args.target == "predict":
+        return _cmd_bench_predict(args)
     from repro import obs
     from repro.bench import run_featurize_bench, write_report
 
@@ -256,9 +263,10 @@ def _cmd_bench_serve(args) -> int:
     report = run_serve_bench(artifact=args.artifact, rows=args.rows,
                              queries=queries, threads=args.threads,
                              partitions=args.partitions, seed=args.seed,
-                             smoke=args.smoke)
+                             smoke=args.smoke, templates=args.templates)
     cfg = report["config"]
-    print(f"serve bench: {cfg['queries']} distinct queries, "
+    print(f"serve bench: {cfg['queries']} queries over "
+          f"{cfg['templates']} statement templates, "
           f"{cfg['threads']} client threads, estimator "
           f"{cfg['estimator']}{', smoke' if cfg['smoke'] else ''}")
     for case in report["cases"]:
@@ -268,12 +276,67 @@ def _cmd_bench_serve(args) -> int:
               f"p95 {case['p95_latency_ms']:7.2f}ms  "
               f"({case['requests']} requests)")
     print(f"  batched/single speedup: {report['speedup']:.2f}x")
+    if report["fused_identical"] is not None:
+        verdict = "ok" if report["fused_identical"] else "MISMATCH"
+        plans = report["plan_cache"]
+        parses = report["parse_cache"]
+        print(f"  fused path: bitwise vs legacy [{verdict}], plan cache "
+              f"{plans['hits']} hits / {plans['misses']} misses "
+              f"({plans['size']} plans)")
+        print(f"  parse cache: {parses['hits']} hits / "
+              f"{parses['misses']} misses "
+              f"({parses['size']} templates)")
+    print(f"  forest inference (embedded bench predict): "
+          f"{report['predict']['min_speedup']:.2f}x min speedup, "
+          f"{report['predict']['n_trees']} trees")
     output = args.output or Path("BENCH_serve.json")
     write_report(report, output)
     print(f"wrote {output}")
+    if report["fused_identical"] is False:
+        print("FAIL: fused estimates diverge from the legacy path")
+        return 1
+    if not report["predict"]["all_identical"]:
+        print("FAIL: compiled forest diverges from the per-tree loop")
+        return 1
     if report["speedup"] < args.min_batch_speedup:
         print(f"FAIL: batched throughput speedup {report['speedup']:.2f}x "
               f"below required {args.min_batch_speedup:.2f}x")
+        return 1
+    return 0
+
+
+def _cmd_bench_predict(args) -> int:
+    from repro.bench import run_predict_bench, write_report
+
+    kwargs = {}
+    if args.batch_sizes:
+        kwargs["batch_sizes"] = args.batch_sizes
+    report = run_predict_bench(rows=args.rows,
+                               queries=min(args.queries, 4_096),
+                               partitions=args.partitions, seed=args.seed,
+                               smoke=args.smoke, repeats=args.repeats,
+                               **kwargs)
+    cfg = report["config"]
+    print(f"predict bench: {report['n_trees']} trees "
+          f"(max {report['max_nodes']} nodes, depth {report['max_depth']}), "
+          f"feature length {report['feature_length']}"
+          f"{', smoke' if cfg['smoke'] else ''}")
+    for case in report["cases"]:
+        status = "ok" if case["identical"] else "MISMATCH"
+        print(f"  batch {case['batch_size']:>5}: "
+              f"legacy {case['legacy_seconds'] * 1000:9.3f}ms  "
+              f"compiled {case['compiled_seconds'] * 1000:9.3f}ms  "
+              f"speedup {case['speedup']:7.2f}x  [{status}]")
+    print(f"  min speedup: {report['min_speedup']:.2f}x")
+    output = args.output or Path("BENCH_predict.json")
+    write_report(report, output)
+    print(f"wrote {output}")
+    if not report["all_identical"]:
+        print("FAIL: compiled forest diverges from the per-tree loop")
+        return 1
+    if report["min_speedup"] < args.min_speedup:
+        print(f"FAIL: min speedup {report['min_speedup']:.2f}x below "
+              f"required {args.min_speedup:.2f}x")
         return 1
     return 0
 
@@ -384,14 +447,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-inflight", type=int, default=256,
                        help="reject requests beyond this many in flight "
                             "with 503 (default: 256)")
+    serve.add_argument("--plan-cache-size", type=int, default=256,
+                       help="shape-keyed plan-cache capacity for the fused "
+                            "estimate path, 0 disables (default: 256)")
+    serve.add_argument("--parse-cache-size", type=int, default=512,
+                       help="fingerprint-keyed parsed-template cache "
+                            "capacity, 0 disables (default: 512)")
     serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser(
         "bench",
         help="micro-benchmarks (featurize throughput, lint cache, "
-             "obs overhead, serving latency)")
+             "obs overhead, serving latency, forest inference)")
     bench.add_argument("target", choices=["featurize", "lint", "obs",
-                                          "serve"],
+                                          "serve", "predict"],
                        help="benchmark to run")
     bench.add_argument("--quick", action="store_true",
                        help="alias for --smoke")
@@ -428,10 +497,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--threads", type=int, default=8,
                        help="serve bench: closed-loop client threads "
                             "(default: 8)")
-    bench.add_argument("--min-batch-speedup", type=float, default=2.0,
+    bench.add_argument("--templates", type=int, default=64,
+                       help="serve bench: distinct statement templates in "
+                            "the parameterized workload (default: 64)")
+    bench.add_argument("--min-batch-speedup", type=float, default=5.0,
                        help="serve bench: fail if batched throughput is "
                             "below this multiple of the single-request "
-                            "rate (default: 2.0)")
+                            "rate (default: 5.0)")
+    bench.add_argument("--batch-sizes", type=int, nargs="+", default=None,
+                       help="predict bench: batch sizes to measure "
+                            "(default: 1 8 64, the serving regime)")
     bench.set_defaults(func=_cmd_bench)
 
     obs_parser = sub.add_parser(

@@ -31,7 +31,13 @@ import numpy as np
 from repro import obs
 from repro.data.stats import ColumnStats, TableStats
 from repro.data.table import Table
-from repro.featurize.batch import OP_CODES, PredicateBatch
+from repro.featurize.batch import (
+    OP_CODES,
+    CompiledPlan,
+    PredicateBatch,
+    index_values,
+    stitch_plans,
+)
 from repro.featurize.selectivity import strict_step
 from repro.sql.ast import (
     BoolExpr,
@@ -60,6 +66,14 @@ class Featurizer(abc.ABC):
 
     #: Paper label for plots ("simple", "range", "conjunctive", "complex").
     name: str = "abstract"
+
+    #: Whether this featurizer's encode stage reads ``batch.exprs``.
+    #: The base ``_featurize_compiled`` fallback does (it loops scalar
+    #: ``_featurize_expr`` calls over them); vectorized overrides that
+    #: consume only the columnar arrays declare ``False``, which lets
+    #: the serving layer encode instances of planned statements without
+    #: materializing bound ASTs at all (see :mod:`repro.serve.fused`).
+    encode_uses_exprs: bool = True
 
     def __init__(self, table: Union[Table, TableStats],
                  attributes: Sequence[str] | None = None) -> None:
@@ -193,6 +207,98 @@ class Featurizer(abc.ABC):
     # ------------------------------------------------------------------
     # Compile stage
     # ------------------------------------------------------------------
+
+    def extract_expr(self, query: Query | BoolExpr | None) -> BoolExpr | None:
+        """Validate a query against this featurizer and return its WHERE.
+
+        Public surface of the extraction step :meth:`featurize` and
+        :meth:`compile_batch` perform per query (single-table check,
+        table-name check); shape-plan callers use it to obtain the bare
+        expression before keying the plan cache.
+        """
+        return self._extract_expr(query)
+
+    def compile_plan(self, query: Query | BoolExpr | None) -> CompiledPlan:
+        """Compile the *shape* of one query into a reusable plan.
+
+        Runs this QFT's ordinary compile stage over a sentinel copy of
+        the expression whose literals are replaced by their walk-order
+        indices (:func:`~repro.featurize.batch.index_values`), so the
+        compiled ``value`` column *is* the walk-order → compile-slot
+        permutation.  All compile-time validation (query class,
+        attribute resolution) runs here and raises exactly the errors
+        ``compile_batch`` would raise for the same query; the returned
+        plan can then :meth:`~repro.featurize.batch.CompiledPlan.bind`
+        any same-shaped query without re-walking its AST.
+        """
+        expr = self._extract_expr(query)
+        sentinel = index_values(expr)
+        n_literals = 0 if expr is None else sum(
+            1 for _ in iter_simple_predicates(expr))
+        batch = self._compile_exprs([sentinel])
+        return CompiledPlan(
+            attributes=batch.attributes,
+            attr_index=batch.attr_index,
+            branch_index=batch.branch_index,
+            op_code=batch.op_code,
+            perm=batch.value.astype(np.int64),
+            n_literals=n_literals,
+        )
+
+    def encode_with_plan(self, plan: CompiledPlan, literals: np.ndarray,
+                         exprs: Sequence[BoolExpr | None]) -> np.ndarray:
+        """Encode same-shaped queries through a pre-compiled plan.
+
+        ``literals`` is the ``(k, plan.n_literals)`` walk-order literal
+        matrix and ``exprs`` the matching expressions.  Produces the
+        same matrix ``featurize_batch`` would for those queries, minus
+        the per-query compile pass.
+        """
+        if plan.attributes != self._attributes:
+            raise ValueError(
+                "plan was compiled against a different feature space "
+                f"({plan.attributes} != {self._attributes})"
+            )
+        matrix = self._featurize_compiled(plan.bind(literals, exprs))
+        if matrix.shape != (len(exprs), self.feature_length) \
+                or matrix.dtype != np.float64:
+            raise AssertionError(
+                f"{type(self).__name__} produced {matrix.dtype} matrix "
+                f"of shape {matrix.shape}, expected float64 "
+                f"({len(exprs)}, {self.feature_length})"
+            )
+        return matrix
+
+    def encode_with_plans(self, plans: Sequence[CompiledPlan],
+                          literal_rows: Sequence[np.ndarray],
+                          exprs: Sequence[BoolExpr | None]) -> np.ndarray:
+        """Encode a *mixed-shape* batch through pre-compiled plans.
+
+        ``plans[i]`` is query ``i``'s plan and ``literal_rows[i]`` its
+        walk-order literal vector; the plans may all differ.  The batch
+        is stamped out in one stitching pass
+        (:func:`~repro.featurize.batch.stitch_plans`) and encoded in
+        one vectorized call, so the cost does not grow with the number
+        of distinct shapes — the property the serving hot path relies
+        on.  Produces the same matrix ``featurize_batch`` would for the
+        original queries, minus every per-query compile pass.
+        """
+        for plan in plans:
+            if plan.attributes != self._attributes:
+                raise ValueError(
+                    "plan was compiled against a different feature space "
+                    f"({plan.attributes} != {self._attributes})"
+                )
+        matrix = self._featurize_compiled(
+            stitch_plans(plans, literal_rows, exprs))
+        if matrix.shape != (len(exprs), self.feature_length) \
+                or matrix.dtype != np.float64:
+            raise AssertionError(
+                f"{type(self).__name__} produced {matrix.dtype} matrix "
+                f"of shape {matrix.shape}, expected float64 "
+                f"({len(exprs)}, {self.feature_length})"
+            )
+        return matrix
 
     def compile_batch(self, queries: Iterable[Query | BoolExpr | None]
                       ) -> PredicateBatch:

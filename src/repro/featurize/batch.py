@@ -29,10 +29,22 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.sql.ast import BoolExpr, Op
+from repro.sql.ast import (
+    And,
+    BoolExpr,
+    LikePredicate,
+    Op,
+    Or,
+    SimplePredicate,
+    StringPredicate,
+)
 
 __all__ = [
     "PredicateBatch",
+    "CompiledPlan",
+    "stitch_plans",
+    "query_shape",
+    "index_values",
     "OP_CODES",
     "OP_EQ",
     "OP_NE",
@@ -125,3 +137,214 @@ class PredicateBatch:
                 f"exprs holds {len(self.exprs)} entries for "
                 f"{self.n_queries} queries"
             )
+
+
+# ----------------------------------------------------------------------
+# Shape plans — compile once, re-bind literals many times
+# ----------------------------------------------------------------------
+
+def query_shape(expr: BoolExpr | None) -> tuple[tuple, np.ndarray]:
+    """Return ``(shape_key, literals)`` of a WHERE expression.
+
+    The *shape* of a query is its boolean structure with every numeric
+    literal masked out: attribute names, operators, and the AND/OR tree
+    stay; comparison values do not.  Two queries with equal shape keys
+    compile to byte-identical :class:`PredicateBatch` structure and can
+    therefore share one :class:`CompiledPlan`, re-binding only their
+    literal vectors.
+
+    ``literals`` holds the masked values in AST walk order (depth-first,
+    left-to-right — the order :func:`~repro.sql.ast.iter_simple_predicates`
+    yields).  String and LIKE literals are *not* masked: they alter
+    dictionary-code resolution, so they stay part of the key (such
+    queries must be desugared before compiling anyway).
+
+    The key is a nested tuple of primitives — hashable and cheap to
+    build, suitable as a cache key.
+    """
+    literals: list[float] = []
+
+    def walk(node: BoolExpr) -> tuple:
+        if isinstance(node, SimplePredicate):
+            literals.append(float(node.value))
+            return ("p", node.attribute, node.op.value)
+        if isinstance(node, StringPredicate):
+            return ("s", node.attribute, node.op.value, node.value)
+        if isinstance(node, LikePredicate):
+            return ("like", node.attribute, node.prefix)
+        if isinstance(node, And):
+            return ("and",) + tuple(walk(c) for c in node.children)
+        if isinstance(node, Or):
+            return ("or",) + tuple(walk(c) for c in node.children)
+        raise TypeError(f"not a boolean expression: {type(node).__name__}")
+
+    if expr is None:
+        return ("none",), np.empty(0, dtype=np.float64)
+    key = walk(expr)
+    return key, np.asarray(literals, dtype=np.float64)
+
+
+def index_values(expr: BoolExpr | None) -> BoolExpr | None:
+    """Rebuild ``expr`` with each simple predicate's value replaced by its
+    walk-order index (0, 1, 2, …).
+
+    This is the *sentinel* expression plan compilation runs through a
+    QFT's ordinary compile stage: wherever the compiled batch places a
+    predicate, its ``value`` slot then holds the walk-order index of the
+    literal it came from — i.e. the compile stage itself reveals its
+    walk-order → compile-slot permutation, including any reordering or
+    duplication (DNF cross products) a QFT performs.  Works unchanged
+    for any ``_compile_exprs`` override because compile stages copy
+    literal values verbatim.
+    """
+    counter = [0]
+
+    def rebuild(node: BoolExpr) -> BoolExpr:
+        if isinstance(node, SimplePredicate):
+            index = counter[0]
+            counter[0] += 1
+            return SimplePredicate(node.attribute, node.op, float(index))
+        if isinstance(node, (StringPredicate, LikePredicate)):
+            return node
+        if isinstance(node, And):
+            return And([rebuild(c) for c in node.children])
+        if isinstance(node, Or):
+            return Or([rebuild(c) for c in node.children])
+        raise TypeError(f"not a boolean expression: {type(node).__name__}")
+
+    return None if expr is None else rebuild(expr)
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """The query-invariant part of a compiled batch for one query shape.
+
+    A plan is the single-query :class:`PredicateBatch` structure of a
+    shape — attribute ids, branch ids, op codes — plus the permutation
+    from walk-order literal slots to compile-order predicate rows.
+    :meth:`bind` stamps the structure out for ``k`` same-shaped queries
+    and gathers their literal matrix into place: the encode stage then
+    runs without re-walking a single AST.
+
+    Built by :meth:`repro.featurize.base.Featurizer.compile_plan`;
+    cached per shape key by the serving layer's plan cache.
+    """
+
+    #: Feature-space attribute order the plan was compiled against.
+    attributes: tuple[str, ...]
+    #: Per-predicate attribute ids, compile order (one query's worth).
+    attr_index: np.ndarray
+    #: Per-predicate disjunction-branch ids, compile order.
+    branch_index: np.ndarray
+    #: Per-predicate operator codes, compile order.
+    op_code: np.ndarray
+    #: Gather permutation: compile slot -> walk-order literal index.
+    perm: np.ndarray
+    #: Number of walk-order literals per query (:func:`query_shape`).
+    n_literals: int
+
+    @property
+    def n_predicates(self) -> int:
+        """Compiled predicate rows per query (≥ ``n_literals`` under DNF
+        duplication, or fewer if a QFT drops rows)."""
+        return int(self.attr_index.size)
+
+    def bind(self, literals: np.ndarray,
+             exprs: Sequence[BoolExpr | None]) -> PredicateBatch:
+        """Stamp the plan out for ``k`` queries with the given literals.
+
+        ``literals`` is the ``(k, n_literals)`` walk-order literal
+        matrix (row ``i`` from ``query_shape(exprs[i])``); ``exprs`` are
+        the original expressions, retained for fallback encoders and
+        error reporting.  Returns a batch equal to what
+        ``compile_batch`` would have produced for the same queries.
+        """
+        values = np.asarray(literals, dtype=np.float64)
+        if values.ndim != 2 or values.shape[1] != self.n_literals:
+            raise ValueError(
+                f"literal matrix must be (k, {self.n_literals}), "
+                f"got {values.shape}"
+            )
+        k = values.shape[0]
+        if len(exprs) != k:
+            raise ValueError(
+                f"exprs holds {len(exprs)} entries for {k} literal rows"
+            )
+        p = self.n_predicates
+        return PredicateBatch(
+            n_queries=k,
+            attributes=self.attributes,
+            query_index=np.repeat(np.arange(k, dtype=np.int64), p),
+            attr_index=np.tile(self.attr_index, k),
+            branch_index=np.tile(self.branch_index, k),
+            op_code=np.tile(self.op_code, k),
+            value=values[:, self.perm].ravel(),
+            position=np.arange(k * p, dtype=np.int64),
+            exprs=tuple(exprs),
+        )
+
+
+def stitch_plans(plans: Sequence[CompiledPlan],
+                 literal_rows: Sequence[np.ndarray],
+                 exprs: Sequence[BoolExpr | None]) -> PredicateBatch:
+    """Stamp a *mixed-shape* batch out of per-query plans.
+
+    ``plans[i]`` is query ``i``'s shape plan and ``literal_rows[i]`` its
+    walk-order literal vector (from :func:`query_shape`); the plans may
+    all differ.  The result equals what ``compile_batch`` would produce
+    for the same queries — predicate rows are query-major, each query's
+    rows in its plan's compile order — but is assembled purely from
+    array concatenation: no AST is walked, and unlike one
+    :meth:`CompiledPlan.bind` call per shape group, the whole batch pays
+    a single stitching pass regardless of how many distinct shapes it
+    mixes.  This is what lets a plan cache win on shape-diverse traffic
+    (every micro-batch a mix of many parameterized statements), where
+    per-group encodes would cost more than they save.
+
+    All plans must target the same feature space (equal ``attributes``).
+    """
+    k = len(plans)
+    if not (k == len(literal_rows) == len(exprs)):
+        raise ValueError(
+            f"plans/literal_rows/exprs must be parallel, got "
+            f"{k}/{len(literal_rows)}/{len(exprs)}")
+    if k == 0:
+        raise ValueError("cannot stitch an empty batch")
+    attributes = plans[0].attributes
+    for plan in plans:
+        if plan.attributes != attributes:
+            raise ValueError(
+                "plans target different feature spaces "
+                f"({plan.attributes} != {attributes})")
+    values: list[np.ndarray] = []
+    for plan, row in zip(plans, literal_rows):
+        row = np.asarray(row, dtype=np.float64)
+        if row.shape != (plan.n_literals,):
+            raise ValueError(
+                f"literal row of shape {row.shape} for a plan with "
+                f"{plan.n_literals} literals")
+        values.append(row[plan.perm])
+    counts = np.fromiter((plan.n_predicates for plan in plans),
+                         dtype=np.int64, count=k)
+    total = int(counts.sum())
+    if total:
+        attr_index = np.concatenate([plan.attr_index for plan in plans])
+        branch_index = np.concatenate([plan.branch_index for plan in plans])
+        op_code = np.concatenate([plan.op_code for plan in plans])
+        value = np.concatenate(values)
+    else:
+        attr_index = np.empty(0, dtype=np.int64)
+        branch_index = np.empty(0, dtype=np.int64)
+        op_code = np.empty(0, dtype=np.int64)
+        value = np.empty(0, dtype=np.float64)
+    return PredicateBatch(
+        n_queries=k,
+        attributes=attributes,
+        query_index=np.repeat(np.arange(k, dtype=np.int64), counts),
+        attr_index=attr_index,
+        branch_index=branch_index,
+        op_code=op_code,
+        value=value,
+        position=np.arange(total, dtype=np.int64),
+        exprs=tuple(exprs),
+    )

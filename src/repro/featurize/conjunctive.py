@@ -72,6 +72,9 @@ class ConjunctiveEncoding(Featurizer):
     """
 
     name = "conjunctive"
+    #: The vectorized encode (shared with :class:`DisjunctionEncoding`)
+    #: consumes only the columnar batch arrays.
+    encode_uses_exprs = False
 
     def __init__(self, table: Table, attributes=None,
                  max_partitions: int = config.DEFAULT_PARTITIONS,

@@ -46,6 +46,8 @@ class RangeEncoding(Featurizer):
     """Range Predicate Encoding: one normalised closed range per attribute."""
 
     name = "range"
+    #: The vectorized encode consumes only the columnar batch arrays.
+    encode_uses_exprs = False
 
     @property
     def feature_length(self) -> int:

@@ -54,6 +54,8 @@ class SingularEncoding(Featurizer):
     """Singular Predicate Encoding: 4 entries per attribute, 1 predicate each."""
 
     name = "simple"
+    #: The vectorized encode consumes only the columnar batch arrays.
+    encode_uses_exprs = False
 
     @property
     def feature_length(self) -> int:

@@ -16,7 +16,7 @@ from repro.lint.registry import Rule, register
 
 __all__ = ["MutableDefaultRule", "FloatEqualityRule", "BroadExceptRule",
            "FeaturizerSurfaceRule", "ScalarFeaturizeLoopRule",
-           "AdHocTimingRule"]
+           "AdHocTimingRule", "PerTreePredictLoopRule"]
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
                      ast.DictComp, ast.SetComp)
@@ -322,4 +322,89 @@ class AdHocTimingRule(Rule):
             return f"{func.value.id}.{func.attr}"
         if isinstance(func, ast.Name) and func.id in self._clock_names:
             return func.id
+        return None
+
+
+@register
+class PerTreePredictLoopRule(Rule):
+    """Forest inference must go through the packed
+    :class:`~repro.models.compiled_forest.CompiledForest` traversal.  A
+    python-level loop calling each tree's ``predict`` /
+    ``predict_binned`` silently reverts inference to per-tree, per-node
+    interpreter cost — correct output, an order of magnitude slower,
+    and no test notices.  Only the legacy reference path may loop:
+    ``repro.models.tree`` itself (the scalar implementation the packed
+    kernels are verified against) is exempt, and deliberate reference
+    loops elsewhere carry ``# repro: ignore[RPR109]``.
+    """
+
+    code = "RPR109"
+    name = "per-tree-predict-loop"
+    summary = "No per-tree predict() loops outside the legacy tree module"
+
+    #: Module prefix the rule applies to.
+    module_prefix = "repro"
+    #: Modules allowed to loop over trees (the scalar reference path).
+    exempt_prefixes = ("repro.models.tree",)
+    _PREDICT_NAMES = frozenset({"predict", "predict_binned"})
+
+    @staticmethod
+    def _covered(module_name: str, prefix: str) -> bool:
+        return (module_name == prefix
+                or module_name.startswith(prefix + "."))
+
+    def begin_module(self, module: ModuleContext) -> None:
+        """Decide whether this module is subject to the rule."""
+        self._applies = (
+            self._covered(module.module_name, self.module_prefix)
+            and not any(self._covered(module.module_name, prefix)
+                        for prefix in self.exempt_prefixes))
+
+    def visit_For(self, node: ast.For, module: ModuleContext) -> None:
+        """Flag loops *over trees* that call ``predict*`` per iteration.
+
+        Only loops whose iteration source or target is tree-ish count:
+        the boosting loop itself (``for _ in range(n_estimators)``)
+        legitimately predicts with each freshly grown tree to update
+        residuals — that is training, not a degraded inference path.
+        """
+        if not self._applies:
+            return
+        tree_ish = ("tree" in ast.unparse(node.iter).lower()
+                    or (isinstance(node.target, ast.Name)
+                        and "tree" in node.target.id.lower()))
+        if tree_ish:
+            self._check(node, module)
+
+    def visit_While(self, node: ast.While, module: ModuleContext) -> None:
+        """Flag while-loops indexing trees through ``predict*`` calls."""
+        if self._applies:
+            self._check(node, module)
+
+    def _check(self, node, module: ModuleContext) -> None:
+        call = self._tree_predict_call(node)
+        if call is not None:
+            self.report(
+                module, node,
+                f"per-tree `{call}` loop re-runs python-level inference "
+                "for every tree; predict through the packed "
+                "CompiledForest (model.compile()/estimate_features), or "
+                "add `# repro: ignore[RPR109]` for a deliberate legacy "
+                "reference path")
+
+    def _tree_predict_call(self, loop) -> str | None:
+        """The first ``<tree-ish>.predict*`` call in the loop, if any."""
+        for child in ast.walk(loop):
+            if not (isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr in self._PREDICT_NAMES):
+                continue
+            target = child.func.value
+            if (isinstance(target, ast.Name)
+                    and "tree" in target.id.lower()):
+                return f"{target.id}.{child.func.attr}"
+            # `self._trees[i].predict(...)` — subscripted tree lists.
+            if (isinstance(target, ast.Subscript)
+                    and "tree" in ast.unparse(target.value).lower()):
+                return f"{ast.unparse(target)}.{child.func.attr}"
         return None

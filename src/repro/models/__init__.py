@@ -22,6 +22,7 @@ log space by :class:`repro.models.base.LogSpaceRegressor`.
 """
 
 from repro.models.base import LogSpaceRegressor, Regressor
+from repro.models.compiled_forest import CompiledForest
 from repro.models.gradient_boosting import GradientBoostingRegressor
 from repro.models.linear import LinearSVR, RidgeRegressor
 from repro.models.mscn import MSCNModel, MSCNInputBuilder
@@ -30,6 +31,7 @@ from repro.models.neural_net import NeuralNetRegressor
 __all__ = [
     "Regressor",
     "LogSpaceRegressor",
+    "CompiledForest",
     "GradientBoostingRegressor",
     "NeuralNetRegressor",
     "MSCNModel",

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro import config, obs
 from repro.models.base import Regressor, check_matrix
+from repro.models.compiled_forest import CompiledForest
 from repro.models.tree import BinMapper, RegressionTree, grow_tree
 
 __all__ = ["GradientBoostingRegressor"]
@@ -54,16 +55,39 @@ class GradientBoostingRegressor(Regressor):
         self._mapper: BinMapper | None = None
         self._base: float = 0.0
         self._fitted = False
+        self._compiled: CompiledForest | None = None
 
     @property
     def trees(self) -> list[RegressionTree]:
         """The trained weak learners."""
         return list(self._trees)
 
+    @property
+    def compiled(self) -> CompiledForest | None:
+        """The packed forest, or ``None`` before :meth:`compile`."""
+        return self._compiled
+
+    def compile(self) -> CompiledForest:
+        """Pack the fitted trees into a :class:`CompiledForest`.
+
+        Idempotent; subsequent :meth:`predict` calls use the packed
+        tensors (bitwise-identical output).  Re-fitting invalidates the
+        compiled form.
+        """
+        if not self._fitted:
+            raise RuntimeError("model must be fitted before compiling")
+        if self._compiled is None:
+            with obs.span("model.gb.compile", n_trees=len(self._trees)):
+                self._compiled = CompiledForest(
+                    self._trees, self._base, self.learning_rate
+                )
+        return self._compiled
+
     @obs.trace("model.fit", model="GradientBoostingRegressor")
     def fit(self, features: np.ndarray, targets: np.ndarray
             ) -> "GradientBoostingRegressor":
         X, y = check_matrix(features, targets)
+        self._compiled = None
         rng = np.random.default_rng(self.random_state)
         with obs.span("model.gb.bin", max_bins=self.max_bins):
             self._mapper = BinMapper(self.max_bins).fit(X)
@@ -130,8 +154,10 @@ class GradientBoostingRegressor(Regressor):
         if not self._fitted:
             raise RuntimeError("model must be fitted before predicting")
         X, _ = check_matrix(features)
+        if self._compiled is not None:
+            return self._compiled.predict(X)
         prediction = np.full(X.shape[0], self._base)
-        for tree in self._trees:
+        for tree in self._trees:  # repro: ignore[RPR109]
             prediction += self.learning_rate * tree.predict(X)
         return prediction
 

@@ -49,7 +49,20 @@ class BinMapper:
         return self._thresholds[feature]
 
     def fit(self, features: np.ndarray) -> "BinMapper":
-        """Choose per-feature thresholds from the training matrix."""
+        """Choose per-feature thresholds from the training matrix.
+
+        Re-validates ``max_bins`` here as well as in the constructor:
+        :meth:`transform` packs codes into uint8, so more than 255 bins
+        would wrap silently (code 256 → 0) and corrupt every downstream
+        histogram.  Failing loudly at fit time catches configs that
+        bypassed ``__init__`` (deserialisation, subclasses, direct
+        attribute mutation).
+        """
+        if not 2 <= self._max_bins <= 255:
+            raise ValueError(
+                f"max_bins must be in [2, 255] to fit uint8 bin codes, "
+                f"got {self._max_bins}"
+            )
         X = np.asarray(features, dtype=np.float64)
         self._thresholds = []
         for column in X.T:

@@ -8,19 +8,31 @@ putting a fitted estimator behind a service boundary:
   manifests, checksums, and ``latest`` resolution.
 * :mod:`repro.serve.batcher` — micro-batching executor that amortises
   the columnar featurize → predict path across concurrent requests.
-* :mod:`repro.serve.cache` — thread-safe LRU estimate cache keyed on
-  the canonical serialized query form.
+* :mod:`repro.serve.cache` — thread-safe LRU caches: exact-match
+  estimates keyed on the canonical serialized query form, parsed
+  statement templates keyed on the literal-masked SQL fingerprint, and
+  compiled shape plans keyed on the literal-masked query structure.
+* :mod:`repro.serve.fused` — the fused compile→encode→predict hot path
+  (shape-plan reuse + compiled-forest inference) micro-batches ride
+  when the estimator supports it.
 * :mod:`repro.serve.server` — threaded HTTP JSON API with admission
   control, ``/metrics`` export, and graceful drain.
-* :mod:`repro.serve.client` — minimal stdlib client.
+* :mod:`repro.serve.client` — minimal stdlib client with bounded
+  ``Retry-After`` retries on saturation.
 
 Everything is stdlib + numpy; ``repro serve`` on the CLI boots a server
 and ``repro bench serve`` measures its latency/throughput envelope.
 """
 
 from repro.serve.batcher import BatcherClosedError, MicroBatcher
-from repro.serve.cache import EstimateCache, query_cache_key
+from repro.serve.cache import (
+    EstimateCache,
+    ParseCache,
+    PlanCache,
+    query_cache_key,
+)
 from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.fused import FusedEstimatePath
 from repro.serve.registry import ModelRegistry, ModelVersion, RegistryError
 from repro.serve.server import (
     EstimationServer,
@@ -30,7 +42,8 @@ from repro.serve.server import (
 
 __all__ = [
     "MicroBatcher", "BatcherClosedError",
-    "EstimateCache", "query_cache_key",
+    "EstimateCache", "ParseCache", "PlanCache", "query_cache_key",
+    "FusedEstimatePath",
     "ServeClient", "ServeClientError",
     "ModelRegistry", "ModelVersion", "RegistryError",
     "EstimationService", "EstimationServer", "ServiceUnavailableError",

@@ -59,9 +59,13 @@ class MicroBatcher:
     Parameters
     ----------
     estimate_batch:
-        The vectorized estimate function (typically a fitted estimator's
-        ``estimate_batch`` bound method) mapping a query sequence to a
-        numpy vector of estimates.
+        The vectorized estimate function mapping a query sequence to a
+        numpy vector of estimates.  :class:`~repro.serve.server.EstimationService`
+        passes the fused hot path's ``estimate_batch``
+        (:class:`~repro.serve.fused.FusedEstimatePath`) when the
+        estimator supports it, or the estimator's own ``estimate_batch``
+        bound method otherwise — both are bitwise-equivalent, so the
+        batcher needs no knowledge of which one it drives.
     max_batch_size:
         Dispatch as soon as this many requests are waiting.
     max_wait_ms:

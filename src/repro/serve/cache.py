@@ -1,16 +1,34 @@
-"""Thread-safe LRU cache of cardinality estimates.
+"""Thread-safe LRU caches for the serving layer.
 
-Production query streams are heavily repetitive — the same dashboard,
-ORM, or prepared statement issues the same shapes over and over — and a
-cardinality estimate is a pure function of the query (Equation 4), so
-caching is always sound.  The cache keys on the **canonical serialized
-query form** (:func:`repro.workloads.serialization.canonical_query_text`),
-which means a query hits the cache no matter which surface it arrived
-through: an HTTP body, a workload file, or a generator.
+Three caches with different keys and granularities, all bounded LRU
+maps built on one locked core (:class:`_LruCache`):
+
+* :class:`EstimateCache` — exact-match results.  Production query
+  streams are heavily repetitive — the same dashboard, ORM, or prepared
+  statement issues the same shapes over and over — and a cardinality
+  estimate is a pure function of the query (Equation 4), so caching is
+  always sound.  The cache keys on the **canonical serialized query
+  form** (:func:`repro.workloads.serialization.canonical_query_text`),
+  which means a query hits the cache no matter which surface it arrived
+  through: an HTTP body, a workload file, or a generator.
+* :class:`ParseCache` — parsed statement templates.  Keys are SQL
+  *fingerprints* (:func:`repro.sql.parser.fingerprint_sql` — the
+  statement text with numeric literals masked), so a parameterized
+  statement's thousandth instance re-binds the cached AST instead of
+  re-running the tokenizer and recursive descent.
+* :class:`PlanCache` — compiled shape plans for the fused estimate
+  path.  Keys are query *shapes* (:func:`repro.featurize.batch.query_shape`
+  — boolean structure with numeric literals masked), so a prepared
+  statement's thousandth parameterisation reuses the plan its first
+  compile produced even though every literal differs and the exact-match
+  cache misses.
+
+The three form the serving pipeline's cache ladder: fingerprint → AST
+(parse), shape → plan (compile), exact query → estimate (everything).
 
 Hit/miss/eviction counts are mirrored into the process-global
-:mod:`repro.obs.metrics_runtime` registry (``serve.cache.hits`` /
-``serve.cache.misses`` / ``serve.cache.evictions``), so the ``/metrics``
+:mod:`repro.obs.metrics_runtime` registry (``serve.cache.*`` /
+``serve.parse_cache.*`` / ``serve.plan_cache.*``), so the ``/metrics``
 endpoint exports them alongside the rest of the serving metrics.
 """
 
@@ -20,10 +38,11 @@ from collections import OrderedDict
 from threading import Lock
 
 from repro import obs
+from repro.featurize.batch import CompiledPlan
 from repro.sql.ast import Query
 from repro.workloads.serialization import canonical_query_text
 
-__all__ = ["EstimateCache", "query_cache_key"]
+__all__ = ["EstimateCache", "ParseCache", "PlanCache", "query_cache_key"]
 
 
 def query_cache_key(query: Query) -> str:
@@ -31,19 +50,23 @@ def query_cache_key(query: Query) -> str:
     return canonical_query_text(query)
 
 
-class EstimateCache:
-    """A bounded, thread-safe LRU map of query key -> estimate.
+class _LruCache:
+    """A bounded, thread-safe LRU map with mirrored hit/miss counters.
 
     ``max_size=0`` disables caching entirely: every lookup misses, no
     entry is stored, and no counters move — the configuration the
-    serving benchmark uses to measure the uncached path honestly.
+    serving benchmark uses to measure uncached paths honestly.
+    Subclasses set ``_metric_prefix`` to the global-registry counter
+    namespace (``<prefix>.hits`` / ``.misses`` / ``.evictions``).
     """
 
-    def __init__(self, max_size: int = 1024) -> None:
+    _metric_prefix = "serve.cache"
+
+    def __init__(self, max_size: int) -> None:
         if max_size < 0:
             raise ValueError(f"max_size must be >= 0, got {max_size}")
         self._max_size = max_size
-        self._entries: OrderedDict[str, float] = OrderedDict()
+        self._entries: OrderedDict = OrderedDict()
         self._lock = Lock()
         self._hits = 0
         self._misses = 0
@@ -63,8 +86,8 @@ class EstimateCache:
         with self._lock:
             return len(self._entries)
 
-    def lookup(self, key: str) -> float | None:
-        """The cached estimate for ``key``, or ``None`` on a miss.
+    def lookup(self, key):
+        """The cached value for ``key``, or ``None`` on a miss.
 
         A hit refreshes the entry's recency.  Both outcomes are counted
         (locally and in the global metrics registry); a disabled cache
@@ -81,25 +104,26 @@ class EstimateCache:
                 self._hits += 1
         registry = obs.get_registry()
         if value is None:
-            registry.counter("serve.cache.misses").inc()
+            registry.counter(f"{self._metric_prefix}.misses").inc()
         else:
-            registry.counter("serve.cache.hits").inc()
+            registry.counter(f"{self._metric_prefix}.hits").inc()
         return value
 
-    def store(self, key: str, estimate: float) -> None:
-        """Insert (or refresh) an estimate, evicting the LRU entry if full."""
+    def store(self, key, value) -> None:
+        """Insert (or refresh) a value, evicting the LRU entry if full."""
         if not self._max_size:
             return
         evicted = 0
         with self._lock:
-            self._entries[key] = float(estimate)
+            self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self._max_size:
                 self._entries.popitem(last=False)
                 evicted += 1
             self._evictions += evicted
         if evicted:
-            obs.get_registry().counter("serve.cache.evictions").inc(evicted)
+            obs.get_registry().counter(
+                f"{self._metric_prefix}.evictions").inc(evicted)
 
     def stats(self) -> dict:
         """Local hit/miss/eviction/size counters (JSON-serialisable)."""
@@ -116,3 +140,60 @@ class EstimateCache:
         """Drop every entry (counters keep their values)."""
         with self._lock:
             self._entries.clear()
+
+
+class EstimateCache(_LruCache):
+    """Exact-match query key -> estimate (``serve.cache.*`` counters).
+
+    Values are stored as ``float``; see the module docstring for why
+    exact-match caching of estimates is always sound.
+    """
+
+    _metric_prefix = "serve.cache"
+
+    def __init__(self, max_size: int = 1024) -> None:
+        super().__init__(max_size)
+
+    def store(self, key: str, estimate: float) -> None:
+        """Insert (or refresh) an estimate, evicting the LRU if full."""
+        super().store(key, float(estimate))
+
+
+class ParseCache(_LruCache):
+    """SQL fingerprint -> parsed statement template
+    (``serve.parse_cache.*`` counters).
+
+    Sits in front of the parser on the request path: an instance of a
+    previously seen statement template skips tokenization and recursive
+    descent entirely and re-binds the cached AST with its own literals
+    (:func:`repro.sql.parser.bind_template`).  Only templates that
+    passed :func:`repro.sql.parser.make_template`'s round-trip
+    self-check are ever stored, so a hit is always equivalent to a
+    fresh parse.
+    """
+
+    _metric_prefix = "serve.parse_cache"
+
+    def __init__(self, max_size: int = 512) -> None:
+        super().__init__(max_size)
+
+
+class PlanCache(_LruCache):
+    """Query shape key -> compiled plan (``serve.plan_cache.*`` counters).
+
+    Sits beside the exact-match :class:`EstimateCache` in the fused
+    serving path: a query whose literals differ from anything seen
+    before still reuses the :class:`~repro.featurize.batch.CompiledPlan`
+    of its shape, skipping the AST re-compile entirely.  ``max_size=0``
+    disables the cache (every lookup misses, nothing is stored) — the
+    fused path then compiles per shape per batch.
+    """
+
+    _metric_prefix = "serve.plan_cache"
+
+    def __init__(self, max_size: int = 256) -> None:
+        super().__init__(max_size)
+
+    def store(self, key: tuple, plan: CompiledPlan) -> None:
+        """Insert (or refresh) a plan, evicting the LRU entry if full."""
+        super().store(key, plan)

@@ -1,17 +1,41 @@
 """Minimal stdlib client for the ``repro serve`` HTTP API.
 
-A thin ``urllib`` wrapper so tests, the serving benchmark, and scripts
-can talk to an :class:`~repro.serve.server.EstimationServer` without
-pulling in an HTTP library.  Errors surface as
+A thin ``http.client`` wrapper so tests, the serving benchmark, and
+scripts can talk to an :class:`~repro.serve.server.EstimationServer`
+without pulling in an HTTP library.  Errors surface as
 :class:`ServeClientError` carrying the HTTP status and, for ``503``
 rejections, the server's ``Retry-After`` hint.
+
+The client holds one **persistent keep-alive connection**: every call
+reuses the socket of the previous one, so a request costs one
+round-trip instead of a TCP handshake plus a server handler-thread
+spawn.  A connection the server has meanwhile closed (idle timeout,
+restart) announces itself as ``RemoteDisconnected`` *before any
+response bytes*; exactly that case is transparently re-sent once on a
+fresh connection — the request was never read, so the re-send cannot
+double-execute it.  Connections are **thread-local**: a client shared
+across threads gives each thread its own socket (HTTP/1.1 sockets
+carry one request at a time), opened lazily on the thread's first
+call.
+
+The server sheds load by answering ``503`` + ``Retry-After`` when its
+admission bound is hit; a client that immediately gives up turns
+transient saturation into user-visible failures.  ``retries > 0``
+makes the client honour the hint: it sleeps the advertised seconds and
+re-sends, up to the configured attempt budget.  Only 503 responses that
+carry ``Retry-After`` are retried — 4xx are the caller's mistake, 5xx
+without a hint are genuine faults, and mid-response transport errors
+may not be idempotent-safe; all of those still raise immediately.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import socket
+import threading
+import time
+import urllib.parse
 
 __all__ = ["ServeClient", "ServeClientError"]
 
@@ -27,7 +51,7 @@ class ServeClientError(RuntimeError):
 
 
 class ServeClient:
-    """Calls one serving endpoint's JSON API.
+    """Calls one serving endpoint's JSON API over a keep-alive connection.
 
     Parameters
     ----------
@@ -35,16 +59,58 @@ class ServeClient:
         Server base, e.g. ``http://127.0.0.1:8642`` (trailing slash ok).
     timeout:
         Per-request socket timeout in seconds.
+    retries:
+        How many times to re-send a request refused with ``503`` +
+        ``Retry-After`` (sleeping the advertised seconds between
+        attempts).  ``0`` (the default) fails fast.  No other error is
+        ever retried (a stale keep-alive socket is replaced, not
+        retried — see the module docs).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 0) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self._base_url = base_url.rstrip("/")
+        parts = urllib.parse.urlsplit(self._base_url)
+        if parts.scheme not in ("http", "https") or not parts.hostname:
+            raise ValueError(f"base_url must be http(s)://host[:port], "
+                             f"got {base_url!r}")
+        self._scheme = parts.scheme
+        self._host = parts.hostname
+        self._port = parts.port
         self._timeout = timeout
+        self._retries = retries
+        # One persistent connection per calling thread: HTTP/1.1
+        # sockets are stateful (one request in flight at a time), so a
+        # client shared across threads must not share the socket.
+        self._local = threading.local()
 
     @property
     def base_url(self) -> str:
         """The server base URL this client talks to."""
         return self._base_url
+
+    def close(self) -> None:
+        """Drop the calling thread's persistent connection.
+
+        Reopened lazily on the next call; other threads' connections
+        are untouched (each thread closes its own, or the sockets go
+        with the process).
+        """
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def __enter__(self) -> "ServeClient":
+        """Context-manager entry; the socket still opens lazily."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Close the persistent connection on context exit."""
+        self.close()
+        return False
 
     def healthz(self) -> dict:
         """The liveness payload (``{"status": "ok"}`` when up)."""
@@ -66,32 +132,89 @@ class ServeClient:
     # ------------------------------------------------------------------
 
     def _get(self, path: str) -> str:
-        request = urllib.request.Request(self._base_url + path)
-        return self._send(request)
+        return self._send("GET", path)
 
     def _post(self, path: str, payload: dict) -> dict:
         body = json.dumps(payload).encode("utf-8")
-        request = urllib.request.Request(
-            self._base_url + path, data=body,
-            headers={"Content-Type": "application/json"}, method="POST")
-        return json.loads(self._send(request))
+        return json.loads(self._send("POST", path, body))
 
-    def _send(self, request: urllib.request.Request) -> str:
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self._timeout) as response:
-                return response.read().decode("utf-8")
-        except urllib.error.HTTPError as exc:
-            raw = exc.read().decode("utf-8", errors="replace")
+    def _send(self, method: str, path: str, body: bytes | None = None) -> str:
+        """Send with bounded 503 retries (see class docs).
+
+        Attempt ``i`` of a retried request re-sends the identical
+        method/path/body after sleeping the server's ``Retry-After``
+        seconds; the last attempt's error propagates.
+        """
+        for attempt in range(self._retries + 1):
             try:
-                message = json.loads(raw).get("error", raw)
+                return self._send_once(method, path, body)
+            except ServeClientError as exc:
+                retriable = (exc.status == 503
+                             and exc.retry_after is not None
+                             and attempt < self._retries)
+                if not retriable:
+                    raise
+                time.sleep(exc.retry_after)
+        raise AssertionError("unreachable: loop always returns or raises")
+
+    def _send_once(self, method: str, path: str,
+                   body: bytes | None) -> str:
+        attempts = 2 if getattr(self._local, "conn", None) is not None else 1
+        for attempt in range(attempts):
+            try:
+                return self._exchange(method, path, body)
+            except http.client.RemoteDisconnected as exc:
+                # The server closed the idle socket between calls; the
+                # request was never read, so one fresh-connection
+                # re-send is safe.  A fresh connection dying the same
+                # way is a genuine fault.
+                if attempt + 1 == attempts:
+                    raise ServeClientError(
+                        f"cannot reach {self._base_url}{path}: "
+                        f"connection closed without response") from exc
+        raise AssertionError("unreachable: loop always returns or raises")
+
+    def _exchange(self, method: str, path: str, body: bytes | None) -> str:
+        conn = self._connection()
+        try:
+            headers = ({"Content-Type": "application/json"}
+                       if body is not None else {})
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            will_close = response.will_close
+        except http.client.RemoteDisconnected:
+            self.close()
+            raise
+        except (OSError, http.client.HTTPException) as exc:
+            self.close()
+            raise ServeClientError(
+                f"cannot reach {self._base_url}{path}: {exc}") from exc
+        if will_close:
+            self.close()
+        if response.status != 200:
+            text = raw.decode("utf-8", errors="replace")
+            try:
+                message = json.loads(text).get("error", text)
             except json.JSONDecodeError:
-                message = raw or exc.reason
-            retry_after = exc.headers.get("Retry-After")
+                message = text or response.reason
+            retry_after = response.getheader("Retry-After")
             raise ServeClientError(
-                f"HTTP {exc.code}: {message}", status=exc.code,
+                f"HTTP {response.status}: {message}", status=response.status,
                 retry_after=int(retry_after) if retry_after else None,
-            ) from exc
-        except urllib.error.URLError as exc:
-            raise ServeClientError(
-                f"cannot reach {request.full_url}: {exc.reason}") from exc
+            )
+        return raw.decode("utf-8")
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            factory = (http.client.HTTPSConnection
+                       if self._scheme == "https"
+                       else http.client.HTTPConnection)
+            conn = factory(self._host, self._port, timeout=self._timeout)
+            conn.connect()
+            # Request line/headers and body are separate writes; Nagle
+            # would stall the body behind the server's delayed ACK.
+            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._local.conn = conn
+        return conn

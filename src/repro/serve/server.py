@@ -4,8 +4,12 @@ Two layers, separable for testing:
 
 * :class:`EstimationService` — the transport-free core.  It owns the
   :class:`~repro.serve.batcher.MicroBatcher`, the
-  :class:`~repro.serve.cache.EstimateCache`, and the admission-control
-  counter, and exposes ``estimate`` / ``estimate_many`` / ``close``.
+  :class:`~repro.serve.cache.EstimateCache`, the shape-keyed
+  :class:`~repro.serve.cache.PlanCache` feeding the fused
+  compile→encode→predict path (:mod:`repro.serve.fused`, used by both
+  the micro-batcher and the client-batch endpoint when the estimator is
+  eligible), and the admission-control counter, and exposes
+  ``estimate`` / ``estimate_many`` / ``close``.
 * :class:`EstimationServer` — a ``ThreadingHTTPServer`` wrapping one
   service in a small JSON API:
 
@@ -15,6 +19,15 @@ Two layers, separable for testing:
   ``POST /v1/estimate``       ``{"sql": "..."}`` → ``{"estimate": c, "cached": b}``
   ``POST /v1/estimate_batch`` ``{"sql": [...]}`` → ``{"estimates": [...]}``
   ==========================  ==================================================
+
+Connections are **keep-alive** (HTTP/1.1 + ``Content-Length``): a
+client that reuses its socket pays one round-trip per request instead
+of a TCP handshake plus a handler-thread spawn.  Each live connection
+registers itself with the server so shutdown stays graceful without an
+idle-timeout wait: ``stop()`` flips a draining flag (handler loops bow
+out between requests) and half-closes every connection's *read* side —
+blocked keep-alive readers see EOF immediately while in-flight
+responses still go out on the untouched write side.
 
 Backpressure: when more than ``max_inflight`` requests are already in
 flight the service refuses new work and the server answers ``503`` with
@@ -27,16 +40,31 @@ accepted before the process lets go (no accepted request is dropped).
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
 
 from repro import obs
 from repro.estimators.base import CardinalityEstimator
 from repro.featurize.base import LosslessnessError
 from repro.serve.batcher import BatcherClosedError, MicroBatcher
-from repro.serve.cache import EstimateCache, query_cache_key
+from repro.serve.cache import (
+    EstimateCache,
+    ParseCache,
+    PlanCache,
+    query_cache_key,
+)
+from repro.serve.fused import FusedEstimatePath, PlannedStatement
 from repro.sql.ast import Query, UnsupportedQueryError
-from repro.sql.parser import SqlSyntaxError, parse_query
+from repro.sql.parser import (
+    SqlSyntaxError,
+    bind_template,
+    fingerprint_sql,
+    make_template,
+    parse_query,
+)
 
 __all__ = ["EstimationService", "EstimationServer",
            "ServiceUnavailableError"]
@@ -54,6 +82,23 @@ class ServiceUnavailableError(RuntimeError):
         self.retry_after = retry_after
 
 
+class _Statement:
+    """A cached prepared statement.
+
+    Holds the re-bindable AST template plus, when the fused path could
+    shape-compile it, its :class:`~repro.serve.fused.PlannedStatement`
+    for the SQL-direct batch leg.  These are the values the
+    fingerprint-keyed :class:`~repro.serve.cache.ParseCache` stores.
+    """
+
+    __slots__ = ("template", "planned")
+
+    def __init__(self, template: Query,
+                 planned: PlannedStatement | None) -> None:
+        self.template = template
+        self.planned = planned
+
+
 class EstimationService:
     """Cache → micro-batcher → estimator pipeline with admission control.
 
@@ -69,16 +114,37 @@ class EstimationService:
     max_inflight:
         Admission bound: requests beyond this many concurrently in
         flight are rejected with :class:`ServiceUnavailableError`.
+    plan_cache_size:
+        Shape-keyed plan-cache capacity for the fused estimate path
+        (see :mod:`repro.serve.fused`); ``0`` disables plan caching.
+        Ignored when the estimator is ineligible for the fused path
+        (joins, global model, MSCN) — those keep their legacy
+        ``estimate_batch``.
+    parse_cache_size:
+        Fingerprint-keyed parsed-template cache capacity (prepared-
+        statement style: instances of a seen statement template skip
+        the parser and re-bind the cached AST); ``0`` disables it and
+        every request parses from scratch.
     """
 
     def __init__(self, estimator: CardinalityEstimator,
                  max_batch_size: int = 64, max_wait_ms: float = 2.0,
-                 cache_size: int = 1024, max_inflight: int = 256) -> None:
+                 cache_size: int = 1024, max_inflight: int = 256,
+                 plan_cache_size: int = 256,
+                 parse_cache_size: int = 512) -> None:
         if max_inflight < 1:
             raise ValueError(
                 f"max_inflight must be >= 1, got {max_inflight}")
         self._estimator = estimator
-        self._batcher = MicroBatcher(estimator.estimate_batch,
+        self._plan_cache = PlanCache(max_size=plan_cache_size)
+        self._parse_cache = ParseCache(max_size=parse_cache_size)
+        self._fused = FusedEstimatePath.try_build(estimator,
+                                                  self._plan_cache)
+        estimate_batch = (self._fused.estimate_batch
+                          if self._fused is not None
+                          else estimator.estimate_batch)
+        self._estimate_batch = estimate_batch
+        self._batcher = MicroBatcher(estimate_batch,
                                      max_batch_size=max_batch_size,
                                      max_wait_ms=max_wait_ms)
         self._cache = EstimateCache(max_size=cache_size)
@@ -102,10 +168,59 @@ class EstimationService:
         """The service's micro-batcher (for stats and tests)."""
         return self._batcher
 
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The shape-keyed plan cache (for stats and tests)."""
+        return self._plan_cache
+
+    @property
+    def parse_cache(self) -> ParseCache:
+        """The fingerprint-keyed parse-template cache (for stats/tests)."""
+        return self._parse_cache
+
+    @property
+    def fused(self) -> FusedEstimatePath | None:
+        """The fused estimate path, or ``None`` when bypassed."""
+        return self._fused
+
     def parse(self, sql: str) -> Query:
         """Parse request SQL into a query AST (``ValueError`` family on
-        malformed input, so callers can map it to a 400)."""
-        return parse_query(sql)
+        malformed input, so callers can map it to a 400).
+
+        Parameterized statements hit the fingerprint-keyed
+        :class:`~repro.serve.cache.ParseCache`: an instance of a seen
+        template re-binds the cached AST with its own literals instead
+        of re-running the parser; only templates whose round-trip
+        self-check passed are ever cached, so results are identical
+        either way.
+        """
+        if not self._parse_cache.enabled:
+            return parse_query(sql)
+        fingerprint, literals = fingerprint_sql(sql)
+        statement = self._parse_cache.lookup(fingerprint)
+        if statement is not None:
+            # Statements sharing a fingerprint differ only in literal
+            # text, so the literal count always matches the template's.
+            return bind_template(statement.template, literals)
+        query = parse_query(sql)
+        self._remember_statement(fingerprint, query, literals)
+        return query
+
+    def _remember_statement(self, fingerprint: str, query: Query,
+                            literals: tuple[float, ...]) -> None:
+        """Template-ize a first-seen statement into the parse cache.
+
+        Stores the re-bindable template together with its planned form
+        (when the fused path can shape-compile it); statements whose
+        round-trip self-check fails stay uncached and every instance
+        parses from scratch.
+        """
+        template = make_template(query, literals)
+        if template is None:
+            return
+        planned = (self._fused.plan_statement(template)
+                   if self._fused is not None else None)
+        self._parse_cache.store(fingerprint, _Statement(template, planned))
 
     def estimate(self, query: Query) -> tuple[float, bool]:
         """Estimate one query; returns ``(estimate, was_cached)``.
@@ -119,16 +234,20 @@ class EstimationService:
             registry = obs.get_registry()
             registry.counter("serve.requests_total").inc()
             registry.counter("serve.queries_total").inc()
-            key = query_cache_key(query)
-            cached = self._cache.lookup(key)
-            if cached is not None:
-                return cached, True
+            # Serializing the cache key costs more than a dict probe;
+            # skip it entirely when the cache cannot hit anyway.
+            if self._cache.enabled:
+                key = query_cache_key(query)
+                cached = self._cache.lookup(key)
+                if cached is not None:
+                    return cached, True
             try:
                 future = self._batcher.submit(query)
             except BatcherClosedError as exc:
                 raise ServiceUnavailableError(str(exc)) from exc
             estimate = future.result()
-            self._cache.store(key, estimate)
+            if self._cache.enabled:
+                self._cache.store(key, estimate)
             return estimate, False
 
     def estimate_many(self, queries: list[Query]) -> list[float]:
@@ -147,26 +266,101 @@ class EstimationService:
             if self._closed:
                 raise ServiceUnavailableError("service is shut down")
             results: list[float | None] = [None] * len(queries)
-            misses: list[tuple[int, Query, str]] = []
-            for position, query in enumerate(queries):
-                key = query_cache_key(query)
-                value = self._cache.lookup(key)
-                if value is None:
-                    misses.append((position, query, key))
-                else:
-                    results[position] = value
+            misses: list[tuple[int, Query, str | None]] = []
+            if self._cache.enabled:
+                for position, query in enumerate(queries):
+                    key = query_cache_key(query)
+                    value = self._cache.lookup(key)
+                    if value is None:
+                        misses.append((position, query, key))
+                    else:
+                        results[position] = value
+            else:
+                # Key serialization is pure waste against a disabled
+                # cache; every query is a miss by construction.
+                misses = [(position, query, None)
+                          for position, query in enumerate(queries)]
             if misses:
                 registry.counter("serve.batches_total").inc()
                 registry.histogram("serve.batch.size").record(len(misses))
                 with obs.span("serve.batch.execute", n_queries=len(misses),
                               metric="serve.batch.execute.seconds"):
-                    estimates = self._estimator.estimate_batch(
+                    estimates = self._estimate_batch(
                         [query for _, query, _ in misses])
                 for (position, _, key), estimate in zip(misses, estimates):
                     value = float(estimate)
-                    self._cache.store(key, value)
+                    if key is not None:
+                        self._cache.store(key, value)
                     results[position] = value
             return [float(value) for value in results]
+
+    def estimate_many_sql(self, sqls: list[str]) -> list[float]:
+        """Estimate a batch straight from SQL text (the batch endpoint).
+
+        This is the serving hot path's top: when the fused path can
+        shape-plan statements, the parse cache is on, and the
+        exact-match estimate cache is off (its keys need bound
+        queries), instances of already-seen statements skip AST
+        construction entirely — fingerprint → planned statement →
+        literals gathered into the stitched encode.  First-seen
+        statements, uncacheable templates, and statements outside the
+        planned class ride the bound-AST path within the same request;
+        in every configuration the results are bitwise-identical to
+        ``estimate_many([parse(sql) for sql in sqls])``, which is also
+        the literal fallback whenever the planned leg is unavailable.
+        """
+        fused = self._fused
+        if (fused is None or not fused.supports_planned_statements
+                or self._cache.enabled or not self._parse_cache.enabled):
+            return self.estimate_many([self.parse(sql) for sql in sqls])
+        with self._admit(1), obs.span("serve.request",
+                                      metric="serve.request.seconds",
+                                      n_queries=len(sqls)):
+            registry = obs.get_registry()
+            registry.counter("serve.requests_total").inc()
+            registry.counter("serve.queries_total").inc(len(sqls))
+            if self._closed:
+                raise ServiceUnavailableError("service is shut down")
+            n = len(sqls)
+            results: list[float] = [0.0] * n
+            planned_pos: list[int] = []
+            planned_stmts: list[PlannedStatement] = []
+            planned_rows: list[np.ndarray] = []
+            query_pos: list[int] = []
+            query_objs: list[Query] = []
+            for position, sql in enumerate(sqls):
+                fingerprint, literals = fingerprint_sql(sql)
+                statement = self._parse_cache.lookup(fingerprint)
+                if statement is None:
+                    query = parse_query(sql)
+                    self._remember_statement(fingerprint, query, literals)
+                    query_pos.append(position)
+                    query_objs.append(query)
+                elif statement.planned is not None:
+                    planned = statement.planned
+                    planned_pos.append(position)
+                    planned_stmts.append(planned)
+                    planned_rows.append(np.asarray(
+                        literals, dtype=np.float64)[planned.perm])
+                else:
+                    query_pos.append(position)
+                    query_objs.append(
+                        bind_template(statement.template, literals))
+            if n:
+                registry.counter("serve.batches_total").inc()
+                registry.histogram("serve.batch.size").record(n)
+            with obs.span("serve.batch.execute", n_queries=n,
+                          metric="serve.batch.execute.seconds"):
+                if planned_stmts:
+                    estimates = fused.estimate_planned(
+                        planned_stmts, planned_rows).tolist()
+                    for position, estimate in zip(planned_pos, estimates):
+                        results[position] = estimate
+                if query_objs:
+                    estimates = fused.estimate_batch(query_objs).tolist()
+                    for position, estimate in zip(query_pos, estimates):
+                        results[position] = estimate
+            return results
 
     def close(self, drain: bool = True) -> None:
         """Refuse new requests and drain (or cancel) queued ones."""
@@ -216,6 +410,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     service: EstimationService
     protocol_version = "HTTP/1.1"
+    # Cull keep-alive connections whose peer silently vanished; a live
+    # client just reconnects transparently on its next call.
+    timeout = 300.0
+    # Headers and body go out as separate writes; on a kept-alive
+    # socket Nagle would hold the second until the peer's delayed ACK
+    # (~40ms per response without this).
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
     # Routing
@@ -258,8 +459,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 or not all(isinstance(s, str) for s in sqls)):
             raise ValueError(
                 'request body must carry {"sql": ["<query>", ...]}')
-        queries = [self.service.parse(sql) for sql in sqls]
-        return {"estimates": self.service.estimate_many(queries)}
+        return {"estimates": self.service.estimate_many_sql(sqls)}
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -305,15 +505,42 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self._send_bytes(status, body, content_type="application/json",
                          extra_headers=extra_headers)
 
+    def setup(self) -> None:
+        """Register the connection so ``stop()`` can sweep idle sockets."""
+        super().setup()
+        registry = getattr(self.server, "_repro_handlers", None)
+        if registry is not None:
+            with self.server._repro_handlers_lock:
+                registry.add(self)
+
+    def finish(self) -> None:
+        """Unregister the connection once its handler loop ends."""
+        try:
+            super().finish()
+        finally:
+            registry = getattr(self.server, "_repro_handlers", None)
+            if registry is not None:
+                with self.server._repro_handlers_lock:
+                    registry.discard(self)
+
+    def handle_one_request(self) -> None:
+        """Keep-alive loop step; bows out once the server is draining.
+
+        The check sits *between* requests, so a request already being
+        processed when drain starts still gets its response; only the
+        connection's next request is refused (by EOF — ``stop()`` has
+        half-closed the read side).
+        """
+        if getattr(self.server, "_repro_draining", False):
+            self.close_connection = True
+            return
+        super().handle_one_request()
+
     def _send_bytes(self, status: int, body: bytes, content_type: str,
                     extra_headers: dict | None = None) -> None:
-        # One request per connection: an idle keep-alive socket would
-        # otherwise pin its handler thread and stall the drain join.
-        self.close_connection = True
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
-        self.send_header("Connection", "close")
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -343,6 +570,10 @@ class EstimationServer:
         # and server_close() must wait for them.
         self._httpd.daemon_threads = False
         self._httpd.block_on_close = True
+        # Keep-alive bookkeeping swept by stop(); see the module docs.
+        self._httpd._repro_handlers = set()
+        self._httpd._repro_handlers_lock = threading.Lock()
+        self._httpd._repro_draining = False
         self._thread: threading.Thread | None = None
 
     @property
@@ -379,8 +610,19 @@ class EstimationServer:
         """Stop accepting, join in-flight handlers, drain the batcher.
 
         Every request accepted before ``stop`` completes normally; only
-        then does the service close.  Idempotent.
+        then does the service close.  Keep-alive connections are
+        half-closed (read side only), so idle handler threads unblock
+        immediately while in-flight responses still reach their
+        clients.  Idempotent.
         """
+        self._httpd._repro_draining = True
+        with self._httpd._repro_handlers_lock:
+            handlers = list(self._httpd._repro_handlers)
+        for handler in handlers:
+            try:
+                handler.connection.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass  # already closing; the join below still converges
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:

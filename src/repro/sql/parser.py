@@ -23,7 +23,7 @@ comparisons cover everything else.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.sql.ast import (
     And,
@@ -38,7 +38,10 @@ from repro.sql.ast import (
     UnsupportedQueryError,
 )
 
-__all__ = ["parse_query", "parse_where", "SqlSyntaxError"]
+__all__ = [
+    "parse_query", "parse_where", "SqlSyntaxError",
+    "fingerprint_sql", "make_template", "bind_template",
+]
 
 
 class SqlSyntaxError(ValueError):
@@ -278,6 +281,122 @@ def _find_markers(expr: BoolExpr):
 def parse_query(sql: str) -> Query:
     """Parse a full ``SELECT count(*)`` statement into a :class:`Query`."""
     return _Parser(_tokenize(sql)).query()
+
+
+# ---------------------------------------------------------------------------
+# Prepared-statement templates
+# ---------------------------------------------------------------------------
+#
+# Serving traffic is dominated by *parameterized* statements: the same
+# SQL text with different numeric literals.  Re-running the full
+# tokenizer + recursive descent for every instance wastes most of the
+# request budget, so the serve layer caches parses per *fingerprint* —
+# the SQL text with numeric literals masked out — and re-binds the
+# cached AST with each instance's literals.  This is the textual twin
+# of the featurization layer's shape-keyed plan cache.
+
+# Matches string literals (kept verbatim, so numbers inside quotes are
+# never masked) or standalone numeric literals.  The lookbehind keeps
+# digits inside identifiers like ``attr_3`` or ``t1.col`` intact; in
+# this grammar every standalone number is a predicate literal.
+_LITERAL_RE = re.compile(r"'[^']*'|(?<![\w.])-?\d+(?:\.\d+)?")
+_NUMBER_RE = re.compile(r"(?<![\w.])-?\d+(?:\.\d+)?")
+
+
+def fingerprint_sql(sql: str) -> tuple[str, tuple[float, ...]]:
+    """Mask numeric literals out of ``sql``; return ``(key, literals)``.
+
+    ``key`` is the statement's template fingerprint (literals replaced
+    by ``?``, string literals kept — they are part of a query's shape,
+    exactly as in :func:`repro.featurize.batch.query_shape`) and
+    ``literals`` the masked values in textual order.  Works on any
+    string; a malformed statement simply yields a fingerprint no valid
+    template will ever be cached under.
+    """
+    if "'" not in sql:
+        # No string literals to protect: constant-replacement sub and
+        # findall both run without a per-match python callback.
+        return (_NUMBER_RE.sub("?", sql),
+                tuple(map(float, _NUMBER_RE.findall(sql))))
+    values: list[float] = []
+
+    def _mask(match: "re.Match[str]") -> str:
+        text = match.group(0)
+        if text.startswith("'"):
+            return text
+        values.append(float(text))
+        return "?"
+
+    return _LITERAL_RE.sub(_mask, sql), tuple(values)
+
+
+def make_template(query: Query, literals: tuple[float, ...]) -> Query | None:
+    """Freeze a parsed query into a re-bindable template, or ``None``.
+
+    The template is ``query`` with every numeric predicate literal
+    replaced by its textual index, so :func:`bind_template` can stamp a
+    new instance's literals in without re-parsing.  Builds are
+    self-checking: re-binding the template with the original
+    ``literals`` (as collected by :func:`fingerprint_sql`) must
+    reproduce ``query`` exactly, otherwise the statement is declared
+    uncacheable and ``None`` is returned — callers then simply parse
+    every instance.  The check makes the cache robust by construction:
+    a template only exists if rebinding provably round-trips.
+    """
+    counter = [0]
+
+    def rebuild(node: BoolExpr) -> BoolExpr:
+        if isinstance(node, SimplePredicate):
+            index = counter[0]
+            counter[0] += 1
+            return SimplePredicate(node.attribute, node.op, float(index))
+        if isinstance(node, And):
+            return And([rebuild(c) for c in node.children])
+        if isinstance(node, Or):
+            return Or([rebuild(c) for c in node.children])
+        return node
+
+    if query.where is None:
+        template = query
+    else:
+        template = replace(query, where=rebuild(query.where))
+    if counter[0] != len(literals):
+        return None
+    if bind_template(template, literals) != query:
+        return None
+    return template
+
+
+def bind_template(template: Query, literals: tuple[float, ...]) -> Query:
+    """Instantiate a :func:`make_template` query with fresh literals.
+
+    This is the per-request leg of the template cache, so nodes are
+    rebuilt through ``object.__new__`` instead of their constructors:
+    the template's structure already passed construction-time
+    validation and ``And``/``Or`` flattening when it was parsed, and
+    :func:`make_template`'s round-trip self-check exercises exactly
+    this fast path before any template is ever cached.
+    """
+
+    def rebuild(node: BoolExpr) -> BoolExpr:
+        cls = type(node)
+        if cls is SimplePredicate:
+            bound = object.__new__(SimplePredicate)
+            object.__setattr__(bound, "attribute", node.attribute)
+            object.__setattr__(bound, "op", node.op)
+            object.__setattr__(bound, "value", literals[int(node.value)])
+            return bound
+        if cls is And or cls is Or:
+            bound = object.__new__(cls)
+            object.__setattr__(
+                bound, "children",
+                tuple(rebuild(child) for child in node.children))
+            return bound
+        return node
+
+    if template.where is None:
+        return template
+    return replace(template, where=rebuild(template.where))
 
 
 def parse_where(sql: str) -> BoolExpr:

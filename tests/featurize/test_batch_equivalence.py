@@ -101,6 +101,80 @@ class TestEdgeCases:
             assert np.array_equal(batch[0], featurizer.featurize(query)), label
 
 
+class TestPlanEncodeEquivalence:
+    """Shape plans are an exact re-packaging of the compile stage.
+
+    ``compile_plan`` + ``encode_with_plan(s)`` must reproduce
+    ``featurize_batch`` bitwise — same-shape binds, mixed-shape
+    stitching, predicate-free queries — for every QFT.  This is the
+    contract the serving layer's plan cache and SQL-direct planned
+    leg stand on.
+    """
+
+    @staticmethod
+    def plan_encode(featurizer, queries):
+        from repro.featurize.batch import query_shape
+        exprs = [featurizer.extract_expr(q) for q in queries]
+        shaped = [query_shape(e) for e in exprs]
+        plans: dict = {}
+        per_query = []
+        for (key, _), expr in zip(shaped, exprs):
+            if key not in plans:
+                plans[key] = featurizer.compile_plan(expr)
+            per_query.append(plans[key])
+        return featurizer.encode_with_plans(
+            per_query, [literals for _, literals in shaped], exprs)
+
+    def test_stitched_encode_matches_batch_every_qft(
+            self, small_forest, conjunctive_workload):
+        queries = [q for q in conjunctive_workload.queries[:64]]
+        queries.append(Query.single_table(small_forest.name))
+        for label, featurizer in featurizer_cases(small_forest):
+            matrix = self.plan_encode(featurizer, queries)
+            expected = featurizer.featurize_batch(queries)
+            assert np.array_equal(matrix, expected), (
+                f"{label}: stitched plan encode diverges from batch")
+
+    def test_stitched_encode_matches_on_disjunctions(
+            self, small_forest, mixed_workload):
+        queries = mixed_workload.queries[:48]
+        for merge in ("max", "sum"):
+            featurizer = DisjunctionEncoding(small_forest,
+                                             max_partitions=16, merge=merge)
+            matrix = self.plan_encode(featurizer, queries)
+            assert np.array_equal(matrix,
+                                  featurizer.featurize_batch(queries)), merge
+
+    def test_same_shape_bind_matches_batch(self, small_forest,
+                                           conjunctive_workload):
+        from repro.featurize.batch import query_shape
+        query = conjunctive_workload.queries[0]
+        featurizer = ConjunctiveEncoding(small_forest, max_partitions=16)
+        expr = featurizer.extract_expr(query)
+        key, literals = query_shape(expr)
+        plan = featurizer.compile_plan(expr)
+        rows = np.stack([literals, literals * 0.5, literals + 1.0])
+        exprs = [expr] * 3  # encode ignores them; shape bookkeeping only
+        matrix = featurizer.encode_with_plan(plan, rows, exprs)
+        # Scalar cross-check on the first row (identical literals).
+        assert np.array_equal(matrix[0], featurizer.featurize(query))
+
+    def test_plan_validation_errors(self, small_forest,
+                                    conjunctive_workload):
+        from repro.featurize.batch import stitch_plans
+        featurizer = ConjunctiveEncoding(small_forest, max_partitions=16)
+        other = ConjunctiveEncoding(
+            small_forest, attributes=featurizer.attributes[:1],
+            max_partitions=16)
+        plan = other.compile_plan(None)
+        with pytest.raises(ValueError, match="different feature space"):
+            featurizer.encode_with_plans([plan], [np.empty(0)], [None])
+        with pytest.raises(ValueError, match="parallel"):
+            stitch_plans([plan], [], [None])
+        with pytest.raises(ValueError, match="empty batch"):
+            stitch_plans([], [], [])
+
+
 class TestLosslessnessParity:
     """featurize_batch rejects out-of-scope queries with the scalar
     path's exact error message."""

@@ -328,6 +328,53 @@ class TestAdHocTimingRPR108:
         assert [f.code for f in result.suppressed] == ["RPR108"]
 
 
+class TestPerTreePredictLoopRPR109:
+    def test_flags_for_loop_over_trees(self):
+        assert "RPR109" in codes(
+            "def f(model, X):\n"
+            "    total = 0.0\n"
+            "    for tree in model.trees:\n"
+            "        total += tree.predict(X)\n"
+            "    return total\n",
+            module_name="repro.estimators.learned")
+
+    def test_flags_subscripted_tree_list_and_predict_binned(self):
+        assert "RPR109" in codes(
+            "def f(trees, codes_):\n"
+            "    i = 0\n"
+            "    while i < len(trees):\n"
+            "        trees[i].predict_binned(codes_)\n"
+            "        i += 1\n",
+            module_name="repro.serve.registry")
+
+    def test_accepts_single_predict_call_outside_loop(self):
+        assert codes(
+            "def f(tree, X):\n    return tree.predict(X)\n",
+            module_name="repro.models.gradient_boosting") == []
+
+    def test_accepts_non_tree_predict_loops(self):
+        assert codes(
+            "def f(models, X):\n"
+            "    return [model.predict(X) for model in models]\n"
+            "    \n",
+            module_name="repro.experiments.runner") == []
+
+    def test_legacy_tree_module_is_exempt(self):
+        source = ("def f(trees, X):\n"
+                  "    for tree in trees:\n"
+                  "        tree.predict(X)\n")
+        assert codes(source, module_name="repro.models.tree") == []
+        assert "RPR109" in codes(source, module_name="repro.models.other")
+
+    def test_pragma_suppresses(self):
+        source = ("def f(model, X):\n"
+                  "    for tree in model.trees:  # repro: ignore[RPR109]\n"
+                  "        tree.predict(X)\n")
+        result = lint_text(source, module_name="repro.bench")
+        assert result.findings == ()
+        assert [f.code for f in result.suppressed] == ["RPR109"]
+
+
 class TestDunderAllRPR303:
     def test_flags_public_definition_missing_from_all(self):
         assert "RPR303" in codes(

@@ -39,6 +39,15 @@ class TestBinMapper:
         with pytest.raises(ValueError):
             BinMapper(max_bins=300)
 
+    def test_fit_revalidates_mutated_max_bins(self):
+        # transform() packs codes into uint8; a max_bins smuggled past
+        # __init__ (deserialisation, attribute mutation) must fail
+        # loudly at fit instead of wrapping codes silently.
+        mapper = BinMapper(max_bins=8)
+        mapper._max_bins = 256
+        with pytest.raises(ValueError, match="uint8"):
+            mapper.fit(np.ones((4, 1)))
+
     def test_transform_checks_feature_count(self):
         mapper = BinMapper().fit(np.ones((3, 2)))
         with pytest.raises(ValueError, match="features"):

@@ -1,0 +1,170 @@
+"""ServeClient transport behaviour against a scripted stub server.
+
+The stub plays back a fixed sequence of responses, so these tests pin
+the client's contract without a real estimation service: bounded
+retries on ``503`` + ``Retry-After`` only, fail-fast on every other
+error, and transparent replacement of stale keep-alive sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.serve import ServeClient, ServeClientError
+
+
+class StubServer:
+    """Plays back scripted ``(status, headers, body)`` responses."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+        self.lock = threading.Lock()
+        stub = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length", 0))
+                body = self.rfile.read(length) if length else b""
+                with stub.lock:
+                    stub.requests.append(body)
+                    step = (stub.script.pop(0) if stub.script
+                            else (200, {}, b'{"ok": true}'))
+                status, headers, payload = step
+                if status == "close":
+                    # Drop the connection without a response (stale
+                    # keep-alive socket simulation).
+                    self.close_connection = True
+                    self.connection.close()
+                    return
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                for name, value in headers.items():
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(payload)
+
+            do_GET = do_POST
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+        self.httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.thread = threading.Thread(target=self.httpd.serve_forever,
+                                       daemon=True)
+        self.thread.start()
+        self.url = f"http://127.0.0.1:{self.httpd.server_port}"
+
+    def stop(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.thread.join(timeout=5)
+
+
+def run_stub(script):
+    server = StubServer(script)
+    return server
+
+
+OK = (200, {}, json.dumps({"estimate": 1.0, "cached": False}).encode())
+BUSY = (503, {"Retry-After": "0"},
+        json.dumps({"error": "saturated"}).encode())
+BUSY_NO_HINT = (503, {}, json.dumps({"error": "saturated"}).encode())
+
+
+class TestRetryPolicy:
+    def test_retries_503_with_retry_after_until_success(self):
+        server = run_stub([BUSY, BUSY, OK])
+        try:
+            client = ServeClient(server.url, retries=2)
+            assert client.estimate("q")["estimate"] == 1.0
+            assert len(server.requests) == 3
+        finally:
+            server.stop()
+
+    def test_fail_fast_without_retries(self):
+        server = run_stub([BUSY, OK])
+        try:
+            client = ServeClient(server.url)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.estimate("q")
+            assert excinfo.value.status == 503
+            assert excinfo.value.retry_after == 0
+            assert len(server.requests) == 1
+        finally:
+            server.stop()
+
+    def test_retry_budget_is_bounded(self):
+        server = run_stub([BUSY] * 5)
+        try:
+            client = ServeClient(server.url, retries=2)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.estimate("q")
+            assert excinfo.value.status == 503
+            assert len(server.requests) == 3  # initial + 2 retries
+        finally:
+            server.stop()
+
+    def test_503_without_retry_after_is_not_retried(self):
+        server = run_stub([BUSY_NO_HINT, OK])
+        try:
+            client = ServeClient(server.url, retries=3)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.estimate("q")
+            assert excinfo.value.status == 503
+            assert excinfo.value.retry_after is None
+            assert len(server.requests) == 1
+        finally:
+            server.stop()
+
+    @pytest.mark.parametrize("status", [400, 404, 500])
+    def test_other_errors_never_retried(self, status):
+        error = (status, {}, json.dumps({"error": "nope"}).encode())
+        server = run_stub([error, OK])
+        try:
+            client = ServeClient(server.url, retries=3)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.estimate("q")
+            assert excinfo.value.status == status
+            assert len(server.requests) == 1
+        finally:
+            server.stop()
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            ServeClient("http://127.0.0.1:1", retries=-1)
+
+    def test_bad_base_url_rejected(self):
+        with pytest.raises(ValueError, match="base_url"):
+            ServeClient("ftp://example.com")
+
+
+class TestKeepAlive:
+    def test_stale_connection_is_replaced_transparently(self):
+        # Response 2 drops the reused socket before sending anything;
+        # the client must re-send once on a fresh connection.
+        server = run_stub([OK, ("close", {}, b""), OK])
+        try:
+            client = ServeClient(server.url, timeout=5.0)
+            assert client.estimate("q")["estimate"] == 1.0
+            assert client.estimate("q")["estimate"] == 1.0
+            assert len(server.requests) == 3
+        finally:
+            server.stop()
+
+    def test_context_manager_closes_connection(self):
+        server = run_stub([OK])
+        try:
+            with ServeClient(server.url) as client:
+                client.estimate("q")
+                assert getattr(client._local, "conn", None) is not None
+            assert getattr(client._local, "conn", None) is None
+        finally:
+            server.stop()

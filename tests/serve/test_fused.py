@@ -1,0 +1,184 @@
+"""The fused serving path and its SQL-direct planned leg.
+
+Covers eligibility (``try_build`` bypasses estimators without a
+featurizer), bitwise equivalence of every leg against the legacy
+``estimate_batch``, statement planning in the parse cache, the planned
+leg's cache interplay, and error-contract parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.serve.fused import FusedEstimatePath, PlannedStatement
+from repro.serve.server import EstimationService
+from repro.sql.ast import And, Or, SimplePredicate
+
+
+def perturb(query, delta):
+    """A same-shape instance of ``query`` with shifted literals."""
+
+    def rebind(expr):
+        if isinstance(expr, SimplePredicate):
+            return SimplePredicate(expr.attribute, expr.op,
+                                   expr.value + delta)
+        if isinstance(expr, And):
+            return And([rebind(child) for child in expr.children])
+        if isinstance(expr, Or):
+            return Or([rebind(child) for child in expr.children])
+        return expr
+
+    if query.where is None:
+        return query
+    return replace(query, where=rebind(query.where))
+
+
+@pytest.fixture()
+def instances(conjunctive_workload):
+    """Templates plus literal-shifted instances: repeating shapes."""
+    templates = conjunctive_workload.queries[:8]
+    out = []
+    for delta in (0.0, 1.0, 2.0):
+        out.extend(perturb(q, delta) for q in templates)
+    return out
+
+
+@pytest.fixture()
+def uncached_service(serve_estimator):
+    """Planned-leg configuration: estimate cache off, parse cache on."""
+    service = EstimationService(serve_estimator, cache_size=0)
+    yield service
+    service.close()
+
+
+class TestEligibility:
+    def test_learned_estimator_gets_fused_path(self, uncached_service):
+        assert isinstance(uncached_service.fused, FusedEstimatePath)
+        assert uncached_service.fused.supports_planned_statements
+
+    def test_estimator_without_featurizer_bypasses(self):
+        class Opaque:
+            name = "opaque"
+
+            def estimate_batch(self, queries):
+                return np.zeros(len(queries))
+
+        service = EstimationService(Opaque(), cache_size=0)
+        try:
+            assert service.fused is None
+        finally:
+            service.close()
+
+
+class TestFusedEquivalence:
+    def test_estimate_batch_bitwise_identical(self, uncached_service,
+                                              serve_estimator, instances):
+        fused = uncached_service.fused
+        np.testing.assert_array_equal(
+            fused.estimate_batch(instances),
+            serve_estimator.estimate_batch(instances))
+
+    def test_plan_cache_hits_on_repeated_shapes(self, uncached_service,
+                                                instances):
+        fused = uncached_service.fused
+        fused.estimate_batch(instances)
+        stats = uncached_service.plan_cache.stats()
+        # 8 shapes compiled once (repeats within one batch dedup
+        # through the batch-local map, not the cache) …
+        assert stats["misses"] == 8
+        fused.estimate_batch(instances)
+        # … and the next batch resolves all 8 shapes from the cache.
+        assert uncached_service.plan_cache.stats()["hits"] >= 8
+        assert uncached_service.plan_cache.stats()["misses"] == 8
+
+
+class TestPlannedLeg:
+    def test_sql_batch_bitwise_identical_to_parse_path(
+            self, uncached_service, serve_estimator, instances):
+        sqls = [q.to_sql() for q in instances]
+        first = uncached_service.estimate_many_sql(sqls)
+        # Second call: every statement is cached and planned.
+        second = uncached_service.estimate_many_sql(sqls)
+        direct = serve_estimator.estimate_batch(instances)
+        np.testing.assert_array_equal(np.asarray(first), direct)
+        np.testing.assert_array_equal(np.asarray(second), direct)
+
+    def test_statements_are_planned_in_parse_cache(self, uncached_service,
+                                                   instances):
+        sqls = [q.to_sql() for q in instances]
+        uncached_service.estimate_many_sql(sqls)
+        from repro.sql.parser import fingerprint_sql
+        fingerprint, _ = fingerprint_sql(sqls[0])
+        statement = uncached_service.parse_cache.lookup(fingerprint)
+        assert statement is not None
+        assert isinstance(statement.planned, PlannedStatement)
+        assert statement.planned.perm.dtype == np.int64
+
+    def test_planned_instances_skip_reparsing(self, uncached_service,
+                                              instances):
+        sqls = [q.to_sql() for q in instances]
+        uncached_service.estimate_many_sql(sqls)
+        before = uncached_service.parse_cache.stats()
+        uncached_service.estimate_many_sql(sqls)
+        after = uncached_service.parse_cache.stats()
+        assert after["hits"] - before["hits"] == len(sqls)
+        assert after["misses"] == before["misses"]
+
+    def test_estimate_cache_enabled_falls_back_and_hits(
+            self, serve_estimator, instances):
+        service = EstimationService(serve_estimator, cache_size=128)
+        try:
+            sqls = [q.to_sql() for q in instances]
+            first = service.estimate_many_sql(sqls)
+            hits_before = service.cache.stats()["hits"]
+            second = service.estimate_many_sql(sqls)
+            assert first == second
+            assert (service.cache.stats()["hits"]
+                    >= hits_before + len(sqls))
+        finally:
+            service.close()
+
+    def test_parse_cache_disabled_still_correct(self, serve_estimator,
+                                                instances):
+        service = EstimationService(serve_estimator, cache_size=0,
+                                    parse_cache_size=0)
+        try:
+            sqls = [q.to_sql() for q in instances]
+            np.testing.assert_array_equal(
+                np.asarray(service.estimate_many_sql(sqls)),
+                serve_estimator.estimate_batch(instances))
+        finally:
+            service.close()
+
+    def test_first_seen_and_planned_mix_in_one_batch(
+            self, uncached_service, serve_estimator, conjunctive_workload,
+            instances):
+        # Warm the first 8 statements, then mix in 4 never-seen ones.
+        warm = [q.to_sql() for q in instances]
+        uncached_service.estimate_many_sql(warm)
+        fresh = conjunctive_workload.queries[8:12]
+        mixed = instances[:8] + list(fresh)
+        got = uncached_service.estimate_many_sql(
+            [q.to_sql() for q in mixed])
+        np.testing.assert_array_equal(
+            np.asarray(got), serve_estimator.estimate_batch(mixed))
+
+    def test_unknown_attribute_raises_like_parse_path(self,
+                                                      uncached_service):
+        bad = "SELECT count(*) FROM forest WHERE no_such_column > 3"
+        with pytest.raises(KeyError):
+            uncached_service.estimate_many_sql([bad])
+        # The statement is cached but unplanned; the retry raises too.
+        with pytest.raises(KeyError):
+            uncached_service.estimate_many_sql([bad])
+
+    def test_wrong_table_raises_value_error(self, uncached_service):
+        bad = "SELECT count(*) FROM elsewhere WHERE A > 3"
+        with pytest.raises(ValueError):
+            uncached_service.estimate_many_sql([bad])
+
+    def test_empty_batch(self, uncached_service):
+        assert uncached_service.estimate_many_sql([]) == []

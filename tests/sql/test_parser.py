@@ -3,7 +3,9 @@
 import pytest
 
 from repro.sql.ast import And, Op, Or, SimplePredicate, UnsupportedQueryError
-from repro.sql.parser import SqlSyntaxError, parse_query, parse_where
+from repro.sql.parser import (SqlSyntaxError, bind_template,
+                              fingerprint_sql, make_template,
+                              parse_query, parse_where)
 
 
 class TestParseWhere:
@@ -143,3 +145,59 @@ class TestRoundTrip:
         reparsed = parse_query(query.to_sql())
         assert reparsed.joins == query.joins
         assert reparsed.predicates == query.predicates
+
+
+class TestStatementTemplates:
+    """fingerprint_sql / make_template / bind_template — the textual
+    prepared-statement layer the serve parse cache stands on."""
+
+    def test_fingerprint_masks_numeric_literals_in_order(self):
+        key, literals = fingerprint_sql(
+            "SELECT count(*) FROM t WHERE A1 > 5 AND A2 <= -3.5 OR A1 = 40")
+        assert key == ("SELECT count(*) FROM t WHERE A1 > ? "
+                       "AND A2 <= ? OR A1 = ?")
+        assert literals == (5.0, -3.5, 40.0)
+
+    def test_fingerprint_keeps_identifier_digits_and_strings(self):
+        key, literals = fingerprint_sql(
+            "SELECT count(*) FROM t WHERE name = 'oak 42' AND A1 > 7")
+        assert "'oak 42'" in key  # string shape survives, number masked
+        assert "A1" in key
+        assert literals == (7.0,)
+
+    def test_instances_of_one_statement_share_a_fingerprint(self):
+        a, lits_a = fingerprint_sql("SELECT count(*) FROM t WHERE A > 1")
+        b, lits_b = fingerprint_sql("SELECT count(*) FROM t WHERE A > 250")
+        assert a == b
+        assert (lits_a, lits_b) == ((1.0,), (250.0,))
+
+    def test_template_rebinds_to_any_instance(self):
+        sql = ("SELECT count(*) FROM t WHERE (A >= 1 AND A <= 9 OR B = 4) "
+               "AND C <> -2.5")
+        _, literals = fingerprint_sql(sql)
+        template = make_template(parse_query(sql), literals)
+        assert template is not None
+        fresh = (42.0, 77.5, -1.0, 0.0)
+        expected_sql = ("SELECT count(*) FROM t WHERE (A >= 42 AND A <= 77.5 "
+                        "OR B = -1) AND C <> 0")
+        assert bind_template(template, fresh) == parse_query(expected_sql)
+
+    def test_template_round_trips_string_predicates(self):
+        sql = "SELECT count(*) FROM t WHERE name = 'oak' AND A1 > 5"
+        query = parse_query(sql)
+        _, literals = fingerprint_sql(sql)
+        template = make_template(query, literals)
+        assert template is not None
+        assert bind_template(template, literals) == query
+
+    def test_literal_count_mismatch_is_uncacheable(self):
+        query = parse_query("SELECT count(*) FROM t WHERE A > 1 AND B < 2")
+        assert make_template(query, (1.0,)) is None
+        assert make_template(query, (1.0, 2.0, 3.0)) is None
+
+    def test_predicate_free_statement(self):
+        sql = "SELECT count(*) FROM t"
+        query = parse_query(sql)
+        template = make_template(query, ())
+        assert template is not None
+        assert bind_template(template, ()) == query
