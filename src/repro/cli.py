@@ -212,7 +212,7 @@ def _cmd_bench_lint(args) -> int:
           f"warm {report['warm_seconds']:.3f}s "
           f"({report['warm_files_reanalyzed']} analysed), "
           f"speedup {report['min_speedup']:.2f}x")
-    for name in ("syntactic", "dataflow", "semantic"):
+    for name in ("syntactic", "dataflow", "numeric", "semantic"):
         cold_pass = report["cold_pass_seconds"].get(name, 0.0)
         warm_pass = report["warm_pass_seconds"].get(name, 0.0)
         print(f"  {name:10s} cold {cold_pass:.3f}s  warm {warm_pass:.3f}s")
@@ -378,6 +378,8 @@ def _cmd_lint(args) -> int:
         forwarded.append("--no-cache")
     if args.list_rules:
         forwarded.append("--list-rules")
+    if args.explain is not None:
+        forwarded += ["--explain", args.explain]
     return lint_main(forwarded)
 
 
@@ -547,6 +549,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="analyse from scratch without a cache")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    lint.add_argument("--explain", metavar="CODE", default=None,
+                      help="print one rule's description, rationale, "
+                           "and a good/bad example, then exit")
     lint.set_defaults(func=_cmd_lint)
 
     return parser

@@ -39,7 +39,11 @@ __all__ = ["CACHE_FORMAT_VERSION", "CacheEntry", "LintCache",
 # Version 2: fact shards carry the dataflow-derived concurrency facts
 # (lock attrs, guarded writes, lock acquires, blocking calls, lazy
 # inits, thread spawns) consumed by the RPR4xx band.
-CACHE_FORMAT_VERSION = 2
+# Version 3: fact shards add the numeric abstract-interpretation facts
+# (narrowing casts, mixed precision, shape mismatches, small index
+# tensors, empty reductions) plus dataflow-refined return dtypes/ranks
+# consumed by the RPR5xx band and the sharpened RPR106/RPR107.
+CACHE_FORMAT_VERSION = 3
 
 
 def file_digest(data: bytes) -> str:

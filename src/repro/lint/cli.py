@@ -14,7 +14,8 @@ from typing import IO
 from repro.lint import baseline as baseline_mod
 from repro.lint import engine
 from repro.lint.config import load_config
-from repro.lint.registry import all_rule_classes
+from repro.lint.registry import PARSE_ERROR_CODE, all_rule_classes, \
+    get_rule_class
 from repro.lint.reporters import Report, render
 
 __all__ = ["build_parser", "main"]
@@ -24,8 +25,9 @@ def build_parser() -> argparse.ArgumentParser:
     """Argument parser for the lint front end."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="Static analysis enforcing the repro featurization "
-                    "and determinism contracts (rules RPR1xx/2xx/3xx).",
+        description="Static analysis enforcing the repro featurization, "
+                    "determinism, layering, concurrency, and numeric "
+                    "contracts (rules RPR1xx-5xx).",
     )
     parser.add_argument("paths", nargs="*", default=["src"], type=Path,
                         help="files or directories to lint (default: src)")
@@ -54,12 +56,48 @@ def build_parser() -> argparse.ArgumentParser:
                              "read/write no cache")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--explain", metavar="CODE", default=None,
+                        help="print one rule's description, rationale, "
+                             "and a good/bad example, then exit")
     return parser
 
 
 def _list_rules(stream: IO[str]) -> int:
     for cls in all_rule_classes():
         stream.write(f"{cls.code}  {cls.name}: {cls.summary}\n")
+    return 0
+
+
+def _indent(text: str, prefix: str = "    ") -> str:
+    return "\n".join(prefix + line if line else line
+                     for line in text.splitlines())
+
+
+def _explain(code: str, stream: IO[str]) -> int:
+    """Print one rule's registry metadata; exit 2 on unknown codes."""
+    code = code.upper()
+    if code == PARSE_ERROR_CODE:
+        stream.write(
+            f"{PARSE_ERROR_CODE}  parse-error\n"
+            "  Engine-reserved code: the file failed to parse, so no\n"
+            "  rule ran on it.  Fix the syntax error it reports.\n")
+        return 0
+    try:
+        cls = get_rule_class(code)
+    except KeyError:
+        stream.write(f"error: unknown rule code {code!r} "
+                     "(try --list-rules)\n")
+        return 2
+    stream.write(f"{cls.code}  {cls.name}\n")
+    stream.write(f"  {cls.summary}\n\n")
+    rationale = cls.rationale()
+    if rationale:
+        stream.write(_indent(rationale, "  ") + "\n\n")
+    stream.write("  Bad:\n")
+    stream.write(_indent(cls.example_bad) + "\n\n")
+    stream.write("  Good:\n")
+    stream.write(_indent(cls.example_good) + "\n\n")
+    stream.write(f"  Docs: {cls.help_uri()}\n")
     return 0
 
 
@@ -70,6 +108,8 @@ def main(argv: list[str] | None = None,
     args = build_parser().parse_args(argv)
     if args.list_rules:
         return _list_rules(out)
+    if args.explain is not None:
+        return _explain(args.explain, out)
 
     missing = [p for p in args.paths if not p.exists()]
     if missing:

@@ -1,4 +1,4 @@
-"""Per-function CFG + dataflow engine backing the RPR4xx rule band.
+"""Per-function CFG + dataflow engine backing the RPR4xx/RPR5xx bands.
 
 Layers, bottom up:
 
@@ -10,7 +10,10 @@ Layers, bottom up:
   lattice and the blocking-call catalogue;
 * :mod:`~repro.lint.dataflow.extract` — the pass distilling per-
   function concurrency facts for the incremental cache and the
-  project-stage concurrency rules.
+  project-stage concurrency rules;
+* :mod:`~repro.lint.dataflow.numeric` — the abstract-interpretation
+  pass over a combined dtype/interval/shape lattice feeding the
+  numeric facts behind RPR501-505.
 """
 
 from repro.lint.dataflow.cfg import CFG, Block, Op, build_cfg
@@ -20,6 +23,16 @@ from repro.lint.dataflow.locks import (
     LockStateAnalysis,
     classify_blocking,
     held_tokens,
+)
+from repro.lint.dataflow.numeric import (
+    NumericAnalysis,
+    NumState,
+    NumValue,
+    attach_numeric_facts,
+    dtype_range,
+    is_narrowing,
+    join_values,
+    promote,
 )
 from repro.lint.dataflow.solver import (
     ForwardAnalysis,
@@ -44,4 +57,12 @@ __all__ = [
     "classify_blocking",
     "held_tokens",
     "attach_concurrency_facts",
+    "NumericAnalysis",
+    "NumState",
+    "NumValue",
+    "attach_numeric_facts",
+    "dtype_range",
+    "is_narrowing",
+    "join_values",
+    "promote",
 ]

@@ -1,0 +1,1463 @@
+"""Numeric abstract interpretation: dtype / interval / shape lattice.
+
+This is the analysis layer behind the RPR5xx band.  It runs a forward
+fixed-point pass (via :func:`repro.lint.dataflow.solver.solve`) over
+each function's CFG with a combined abstract value per local name:
+
+* **dtype** — the normalised numpy element type (``"float32"``,
+  ``"uint8"``, ...), or ``None`` when unknown;
+* **value interval** — a ``[lo, hi]`` over-approximation of every
+  element, used to *prove* narrowing casts in-bounds (``np.zeros`` is
+  ``[0, 0]``, a ``uint8`` array is within ``[0, 255]``, ``x % 256`` is
+  within ``[0, 255]``);
+* **symbolic shape** — a tuple of concrete ints, symbolic dimension
+  names, or ``"?"`` per axis (``None`` = rank unknown), used to prove
+  broadcasting mismatches and track rank through indexing/reductions;
+* **maybe-empty taint** — set by boolean-mask indexing, consumed by the
+  empty-reduction check.
+
+Transfer functions cover the numpy surface the hot path actually uses:
+constructors (``zeros``/``ones``/``full``/``empty``/``arange``/
+``asarray``), ``astype`` casts, elementwise arithmetic with dtype
+promotion and broadcast checking, indexing (scalar, slice, boolean
+mask, integer gather), reductions (``min``/``max``/``argmin``/
+``sum``/``mean``), and ``concatenate``/``stack``.
+
+Interval **widening** keeps loops convergent: after a name's joined
+interval changes a few times, its bounds are widened to the full range,
+pinning the lattice chain to finite height well under the solver's
+pass limit.
+
+The collector replays the solved states and records
+:class:`~repro.lint.semantic.facts.NarrowingCastFact` et al. onto the
+per-function summaries, and refines ``ReturnFact`` dtype/rank where the
+crude syntactic classifier left them unknown — that refinement is what
+lets RPR106/RPR107 see through helper functions.  Facts ride the cache
+shards (format v3), so the pass is incremental like every other one.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from dataclasses import dataclass, replace
+
+from repro.lint.dataflow.cfg import Op, build_cfg
+from repro.lint.dataflow.solver import ForwardAnalysis, solve
+from repro.lint.semantic.facts import (
+    EmptyReductionFact,
+    FunctionFacts,
+    MixedPrecisionFact,
+    ModuleFacts,
+    NarrowingCastFact,
+    ShapeMismatchFact,
+    SmallIndexFact,
+    _normalise_dtype,
+)
+
+__all__ = [
+    "NumValue",
+    "NumState",
+    "NumericAnalysis",
+    "TOP",
+    "attach_numeric_facts",
+    "dtype_range",
+    "is_narrowing",
+    "join_values",
+    "promote",
+]
+
+# ----------------------------------------------------------------------
+# Dtype algebra
+# ----------------------------------------------------------------------
+
+#: dtype -> (kind, bits).  Kinds: ``i`` signed, ``u`` unsigned,
+#: ``f`` float, ``b`` bool.
+_DTYPES: dict[str, tuple[str, int]] = {
+    "bool_": ("b", 8),
+    "int8": ("i", 8), "int16": ("i", 16),
+    "int32": ("i", 32), "int64": ("i", 64),
+    "uint8": ("u", 8), "uint16": ("u", 16),
+    "uint32": ("u", 32), "uint64": ("u", 64),
+    "float16": ("f", 16), "float32": ("f", 32), "float64": ("f", 64),
+}
+
+_FULL = (-math.inf, math.inf)
+
+
+def dtype_range(name: str) -> tuple[float, float]:
+    """Representable value range of a dtype (floats get ``±inf``)."""
+    kind, bits = _DTYPES[name]
+    if kind == "f":
+        return _FULL
+    if kind == "b":
+        return (0.0, 1.0)
+    if kind == "u":
+        return (0.0, float(2 ** bits - 1))
+    return (float(-(2 ** (bits - 1))), float(2 ** (bits - 1) - 1))
+
+
+def _kind(name: str) -> str:
+    return _DTYPES[name][0]
+
+
+def _bits(name: str) -> int:
+    return _DTYPES[name][1]
+
+
+def promote(left: str | None, right: str | None) -> str | None:
+    """Simplified numpy result-dtype promotion for a binary op."""
+    if left is None or right is None:
+        return None
+    if left == right:
+        return left
+    lk, rk = _kind(left), _kind(right)
+    if lk == "b":
+        return right
+    if rk == "b":
+        return left
+    if lk == "f" or rk == "f":
+        bits = max(b for d, k in ((left, lk), (right, rk))
+                   for b in [_bits(d)] if k == "f")
+        return f"float{bits}"
+    if lk == rk:  # same signedness: wider wins
+        return f"{'uint' if lk == 'u' else 'int'}{max(_bits(left), _bits(right))}"
+    # Mixed signed/unsigned: need a signed type wide enough for both.
+    u_bits = _bits(left if lk == "u" else right)
+    i_bits = _bits(left if lk == "i" else right)
+    if i_bits > u_bits:
+        return f"int{i_bits}"
+    if u_bits >= 64:
+        return "float64"
+    return f"int{min(64, u_bits * 2)}"
+
+
+def is_narrowing(src: str, dst: str) -> bool:
+    """Whether casting ``src`` to ``dst`` can lose or wrap values.
+
+    Integer-to-integer: narrowing when the target range is not a
+    superset of the source range (this includes signed/unsigned flips).
+    Float-to-float: narrowing when the target mantissa is smaller.
+    Float-to-int casts are *excluded* — ``astype(int)`` after ``floor``
+    or ``linspace`` is the deliberate-truncation idiom, not a bug
+    class; int-to-float is likewise excluded (precision loss there is
+    gradual, not a wrap).
+    """
+    if src not in _DTYPES or dst not in _DTYPES:
+        return False
+    sk, dk = _kind(src), _kind(dst)
+    if sk == "f" and dk == "f":
+        return _bits(dst) < _bits(src)
+    if sk in "iub" and dk in "iub":
+        slo, shi = dtype_range(src)
+        dlo, dhi = dtype_range(dst)
+        return not (dlo <= slo and shi <= dhi)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Interval helpers
+# ----------------------------------------------------------------------
+
+
+def _iv(lo: float, hi: float) -> tuple[float, float]:
+    if math.isnan(lo) or math.isnan(hi) or lo > hi:
+        return _FULL
+    return (lo, hi)
+
+
+def _iv_add(a, b):
+    return _iv(a[0] + b[0], a[1] + b[1])
+
+
+def _iv_sub(a, b):
+    return _iv(a[0] - b[1], a[1] - b[0])
+
+
+def _iv_mul(a, b):
+    products = []
+    for x in a:
+        for y in b:
+            p = x * y
+            products.append(0.0 if math.isnan(p) else p)
+    return _iv(min(products), max(products))
+
+
+def _iv_hull(a, b):
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def _iv_within(iv, bounds) -> bool:
+    return (math.isfinite(iv[0]) and math.isfinite(iv[1])
+            and bounds[0] <= iv[0] and iv[1] <= bounds[1])
+
+
+# ----------------------------------------------------------------------
+# Abstract values and states
+# ----------------------------------------------------------------------
+
+# A shape axis is a concrete int length, a symbolic dimension name,
+# or "?" for unknown; a shape is a tuple of axes (None = rank unknown).
+
+
+@dataclass(frozen=True)
+class NumValue:
+    """Abstract value of one local binding."""
+
+    #: ``"array"``, ``"scalar"``, or ``"top"`` (unknown/not numeric).
+    kind: str = "top"
+    dtype: str | None = None
+    lo: float = -math.inf
+    hi: float = math.inf
+    #: Symbolic shape (``None`` = rank unknown).
+    shape: tuple | None = None
+    #: Whether the leading axis may have length 0 (mask/filter origin).
+    maybe_empty: bool = False
+
+    @property
+    def rank(self) -> int | None:
+        """Array rank when the shape is known."""
+        return None if self.shape is None else len(self.shape)
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """The ``[lo, hi]`` bounds as a pair."""
+        return (self.lo, self.hi)
+
+
+TOP = NumValue()
+
+
+def _scalar(dtype: str | None, iv=_FULL) -> NumValue:
+    return NumValue(kind="scalar", dtype=dtype, lo=iv[0], hi=iv[1])
+
+
+def _array(dtype: str | None, iv=_FULL, shape=None,
+           maybe_empty: bool = False) -> NumValue:
+    return NumValue(kind="array", dtype=dtype, lo=iv[0], hi=iv[1],
+                    shape=shape, maybe_empty=maybe_empty)
+
+
+def join_values(a: NumValue, b: NumValue) -> NumValue:
+    """Least upper bound of two abstract values."""
+    if a == b:
+        return a
+    if a.kind != b.kind or a.kind == "top" or b.kind == "top":
+        return TOP
+    dtype = a.dtype if a.dtype == b.dtype else None
+    lo, hi = _iv_hull(a.interval, b.interval)
+    if a.shape is not None and b.shape is not None \
+            and len(a.shape) == len(b.shape):
+        shape = tuple(x if x == y else "?"
+                      for x, y in zip(a.shape, b.shape))
+    else:
+        shape = None
+    return NumValue(kind=a.kind, dtype=dtype, lo=lo, hi=hi, shape=shape,
+                    maybe_empty=a.maybe_empty or b.maybe_empty)
+
+
+class NumState:
+    """Immutable name -> :class:`NumValue` environment.
+
+    Absent names are implicitly ``TOP``; bindings that join to ``TOP``
+    are dropped so structurally-equal states compare equal regardless
+    of insertion history.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items=()) -> None:
+        self._items: tuple = tuple(sorted(
+            (name, value) for name, value in items if value != TOP))
+
+    def get(self, name: str) -> NumValue:
+        """Abstract value of ``name`` (``TOP`` when untracked)."""
+        for key, value in self._items:
+            if key == name:
+                return value
+        return TOP
+
+    def set(self, name: str, value: NumValue) -> "NumState":
+        """A new state with ``name`` rebound to ``value``."""
+        items = [(k, v) for k, v in self._items if k != name]
+        if value != TOP:
+            items.append((name, value))
+        return NumState(items)
+
+    def names(self) -> tuple:
+        """All tracked (non-``TOP``) names."""
+        return tuple(k for k, _ in self._items)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, NumState) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NumState({dict(self._items)!r})"
+
+
+#: Joined-interval changes tolerated per name before widening to the
+#: full range.  Keeps every lattice chain finite (and far below the
+#: solver's pass limit) no matter what a loop accumulates.
+_WIDEN_AFTER = 4
+
+
+# ----------------------------------------------------------------------
+# Event sink (collector side-channel)
+# ----------------------------------------------------------------------
+
+
+def _rendered(node: ast.AST) -> str:
+    text = ast.unparse(node)
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+class _EventSink:
+    """Collects rule-relevant events during the replay pass.
+
+    The evaluator emits into the sink only when one is attached — the
+    fixed-point iteration runs with no sink, so events are recorded
+    exactly once per reachable expression.
+    """
+
+    def __init__(self, bound_guarded: frozenset = frozenset(),
+                 size_checked: frozenset = frozenset()) -> None:
+        self.bound_guarded = bound_guarded
+        self.size_checked = size_checked
+        self.narrowing_casts: list[NarrowingCastFact] = []
+        self.mixed_precision: list[MixedPrecisionFact] = []
+        self.shape_mismatches: list[ShapeMismatchFact] = []
+        self.small_indices: list[SmallIndexFact] = []
+        self.empty_reductions: list[EmptyReductionFact] = []
+        #: ``(lineno, col) -> NumValue`` for every ``return <expr>``.
+        self.returns: dict[tuple[int, int], NumValue] = {}
+        self._seen: set = set()
+
+    def _once(self, key) -> bool:
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        return True
+
+    def narrowing(self, node: ast.AST, src: str, dst: str,
+                  provable: bool) -> None:
+        """Record a narrowing cast (int guards consulted here)."""
+        guarded = _kind(dst) in "iub" \
+            and bool(_names_in(node) & self.bound_guarded)
+        key = ("narrow", node.lineno, node.col_offset, src, dst)
+        if self._once(key):
+            self.narrowing_casts.append(NarrowingCastFact(
+                lineno=node.lineno, col=node.col_offset + 1,
+                src_dtype=src, dst_dtype=dst, provable=provable,
+                guarded=guarded, rendered=_rendered(node)))
+
+    def mixed(self, node: ast.AST, left: str, right: str) -> None:
+        """Record a mixed-width float arithmetic op."""
+        key = ("mixed", node.lineno, node.col_offset)
+        if self._once(key):
+            self.mixed_precision.append(MixedPrecisionFact(
+                lineno=node.lineno, col=node.col_offset + 1,
+                left_dtype=left, right_dtype=right,
+                rendered=_rendered(node)))
+
+    def mismatch(self, node: ast.AST, detail: str) -> None:
+        """Record a proven broadcast/rank mismatch."""
+        key = ("shape", node.lineno, node.col_offset)
+        if self._once(key):
+            self.shape_mismatches.append(ShapeMismatchFact(
+                lineno=node.lineno, col=node.col_offset + 1,
+                detail=detail, rendered=_rendered(node)))
+
+    def small_index(self, node: ast.AST, index_dtype: str) -> None:
+        """Record a gather through a small-dtype index tensor."""
+        key = ("index", node.lineno, node.col_offset)
+        if self._once(key):
+            self.small_indices.append(SmallIndexFact(
+                lineno=node.lineno, col=node.col_offset + 1,
+                index_dtype=index_dtype, rendered=_rendered(node)))
+
+    def empty_reduction(self, node: ast.AST, func: str,
+                        operand: ast.AST) -> None:
+        """Record a min/max-style reduction on a maybe-empty operand."""
+        if _names_in(operand) & self.size_checked:
+            return
+        key = ("empty", node.lineno, node.col_offset)
+        if self._once(key):
+            self.empty_reductions.append(EmptyReductionFact(
+                lineno=node.lineno, col=node.col_offset + 1,
+                func=func, operand=_rendered(operand)))
+
+
+# ----------------------------------------------------------------------
+# Expression evaluator
+# ----------------------------------------------------------------------
+
+#: Reductions that raise on an empty operand.
+_EMPTY_UNSAFE = {"min", "max", "amin", "amax", "argmin", "argmax",
+                 "nanargmin", "nanargmax", "ptp"}
+
+_REDUCTIONS = _EMPTY_UNSAFE | {"sum", "mean", "prod", "any", "all",
+                               "std", "var", "median"}
+
+_ELEMENTWISE = {"abs", "absolute", "negative", "sqrt", "exp", "log",
+                "log2", "log10", "rint", "sign"}
+
+
+def _call_tail(node: ast.Call) -> str | None:
+    """Last attribute component (``np.searchsorted`` -> searchsorted)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _argument(call: ast.Call, position: int,
+              keyword: str | None) -> ast.expr | None:
+    if keyword is not None:
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                return kw.value
+    if position < len(call.args):
+        arg = call.args[position]
+        if not isinstance(arg, ast.Starred):
+            return arg
+    return None
+
+
+def _const_num(node: ast.expr | None) -> float | None:
+    if isinstance(node, ast.Constant) \
+            and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool):
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_num(node.operand)
+        return None if inner is None else -inner
+    return None
+
+
+class _Evaluator:
+    """Evaluates expressions to :class:`NumValue` under a state.
+
+    One instance is shared between the solver's transfer calls (no
+    sink) and the collector replay (sink attached).  A per-op node
+    cache guarantees each sub-expression is evaluated exactly once per
+    transfer, so sink events never duplicate.
+    """
+
+    def __init__(self) -> None:
+        self.sink: _EventSink | None = None
+        self._cache: dict[int, NumValue] = {}
+
+    def begin_op(self) -> None:
+        """Reset the per-op memo (state is fixed within one op)."""
+        self._cache.clear()
+
+    # -- dispatch ------------------------------------------------------
+
+    def eval(self, node: ast.expr | None, state: NumState) -> NumValue:
+        """Abstract value of ``node`` in ``state``."""
+        if node is None:
+            return TOP
+        cached = self._cache.get(id(node))
+        if cached is not None:
+            return cached
+        value = self._eval(node, state)
+        self._cache[id(node)] = value
+        return value
+
+    def _eval(self, node: ast.expr, state: NumState) -> NumValue:
+        if isinstance(node, ast.Constant):
+            return self._constant(node.value)
+        if isinstance(node, ast.Name):
+            return state.get(node.id)
+        if isinstance(node, ast.UnaryOp):
+            return self._unary(node, state)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node, state)
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.eval(value, state)
+            return TOP
+        if isinstance(node, ast.Compare):
+            return self._compare(node, state)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, state)
+            return join_values(self.eval(node.body, state),
+                               self.eval(node.orelse, state))
+        if isinstance(node, ast.Call):
+            return self._call(node, state)
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node, state)
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node, state)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            for element in node.elts:
+                if not isinstance(element, ast.Starred):
+                    self.eval(element, state)
+            return TOP
+        return TOP
+
+    # -- leaves --------------------------------------------------------
+
+    @staticmethod
+    def _constant(value) -> NumValue:
+        if isinstance(value, bool):
+            v = float(value)
+            return _scalar("bool_", (v, v))
+        if isinstance(value, int):
+            return _scalar("int64", (float(value), float(value)))
+        if isinstance(value, float):
+            return _scalar("float64", (value, value))
+        return TOP
+
+    def _attribute(self, node: ast.Attribute, state: NumState) -> NumValue:
+        base = self.eval(node.value, state)
+        if node.attr == "T" and base.kind == "array":
+            shape = None if base.shape is None else base.shape[::-1]
+            return replace(base, shape=shape)
+        if node.attr in ("size", "ndim"):
+            return _scalar("int64", (0.0, math.inf))
+        if node.attr == "dtype":
+            return TOP
+        return TOP
+
+    # -- operators -----------------------------------------------------
+
+    def _unary(self, node: ast.UnaryOp, state: NumState) -> NumValue:
+        operand = self.eval(node.operand, state)
+        if isinstance(node.op, ast.USub):
+            return replace(operand, lo=-operand.hi, hi=-operand.lo)
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        if isinstance(node.op, ast.Not):
+            return _scalar("bool_", (0.0, 1.0))
+        return TOP if operand.kind == "top" \
+            else replace(operand, lo=-math.inf, hi=math.inf)
+
+    def _compare(self, node: ast.Compare, state: NumState) -> NumValue:
+        values = [self.eval(node.left, state)]
+        values += [self.eval(c, state) for c in node.comparators]
+        arrays = [v for v in values if v.kind == "array"]
+        if arrays:  # elementwise comparison yields a boolean mask
+            shape = arrays[0].shape
+            return _array("bool_", (0.0, 1.0), shape=shape)
+        return _scalar("bool_", (0.0, 1.0))
+
+    def _binop(self, node: ast.BinOp, state: NumState) -> NumValue:
+        left = self.eval(node.left, state)
+        right = self.eval(node.right, state)
+        return self._combine(node, node.op, left, right)
+
+    def _combine(self, node: ast.AST, op: ast.operator,
+                 left: NumValue, right: NumValue) -> NumValue:
+        # float32 x float64 array arithmetic silently upcasts — flag it
+        # (scalar literals are weak in numpy promotion, so arrays only).
+        if (self.sink is not None
+                and left.kind == "array" and right.kind == "array"
+                and left.dtype and right.dtype
+                and _kind(left.dtype) == "f" == _kind(right.dtype)
+                and _bits(left.dtype) != _bits(right.dtype)):
+            self.sink.mixed(node, left.dtype, right.dtype)
+
+        # Scalars broadcast as rank 0, so they never hide a mismatch
+        # and never erase the array operand's shape.
+        lshape = left.shape if left.kind == "array" else ()
+        rshape = right.shape if right.kind == "array" else ()
+        shape, mismatch = _broadcast(lshape, rshape)
+        if mismatch and left.kind == "array" and right.kind == "array" \
+                and self.sink is not None:
+            self.sink.mismatch(node, mismatch)
+
+        if left.kind == "top" and right.kind == "top":
+            return TOP
+        kind = "array" if "array" in (left.kind, right.kind) else (
+            "scalar" if left.kind == right.kind == "scalar" else "top")
+        if kind == "top":
+            return TOP
+        dtype = self._result_dtype(left, right)
+        iv = self._op_interval(op, left, right, dtype)
+        if isinstance(op, (ast.Div,)) and dtype is not None \
+                and _kind(dtype) != "f":
+            dtype = "float64"  # true division always yields floats
+        maybe_empty = (left.maybe_empty and left.kind == "array") \
+            or (right.maybe_empty and right.kind == "array")
+        if kind == "scalar":
+            return _scalar(dtype, iv)
+        return _array(dtype, iv, shape=shape if not mismatch else None,
+                      maybe_empty=maybe_empty)
+
+    @staticmethod
+    def _result_dtype(left: NumValue, right: NumValue) -> str | None:
+        """Binary-op result dtype with weak-scalar promotion.
+
+        A bare scalar adopts the array operand's dtype (NEP 50: python
+        literals are weak), except a float scalar meeting an integer
+        array, which floats the result.  Anything else goes through
+        :func:`promote`.
+        """
+        if left.kind == "array" and right.kind == "scalar":
+            arr, sc = left, right
+        elif right.kind == "array" and left.kind == "scalar":
+            arr, sc = right, left
+        else:
+            return promote(left.dtype, right.dtype)
+        if arr.dtype is None or sc.dtype is None:
+            return None
+        if _kind(sc.dtype) == "f" and _kind(arr.dtype) in "iub":
+            return "float64"
+        return arr.dtype
+
+    @staticmethod
+    def _op_interval(op: ast.operator, left: NumValue, right: NumValue,
+                     dtype: str | None) -> tuple[float, float]:
+        a, b = left.interval, right.interval
+        if isinstance(op, ast.Add):
+            return _iv_add(a, b)
+        if isinstance(op, ast.Sub):
+            return _iv_sub(a, b)
+        if isinstance(op, ast.Mult):
+            return _iv_mul(a, b)
+        if isinstance(op, ast.Mod):
+            # x % c for a positive constant c is within [0, c-1]: the
+            # canonical pre-cast wrap guard, so keep it tight.
+            if b[0] == b[1] and b[0] > 0 and math.isfinite(b[0]):
+                return (0.0, b[1] - 1.0)
+            return _FULL
+        if isinstance(op, ast.BitAnd):
+            # x & mask with a non-negative constant mask bounds x.
+            if b[0] == b[1] and b[0] >= 0 and math.isfinite(b[0]):
+                return (0.0, b[1])
+            if a[0] == a[1] and a[0] >= 0 and math.isfinite(a[0]):
+                return (0.0, a[1])
+            return _FULL
+        if isinstance(op, ast.FloorDiv):
+            if b[0] >= 1 and a[0] >= 0:
+                return (0.0, a[1])
+            return _FULL
+        return _FULL
+
+    # -- calls ---------------------------------------------------------
+
+    def _call(self, node: ast.Call, state: NumState) -> NumValue:
+        # Evaluate every sub-expression first so sink events fire even
+        # inside calls the evaluator does not model.
+        receiver = None
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.eval(node.func.value, state)
+        arg_values = [self.eval(a, state) for a in node.args
+                      if not isinstance(a, ast.Starred)]
+        for kw in node.keywords:
+            self.eval(kw.value, state)
+
+        tail = _call_tail(node)
+        if tail is None:
+            return TOP
+
+        if isinstance(node.func, ast.Name):
+            return self._builtin(node, tail, arg_values, state)
+
+        # Method-style calls on an evaluated receiver.
+        if tail == "astype":
+            dst = _normalise_dtype(_argument(node, 0, "dtype"))
+            return self._cast(node, receiver or TOP, dst)
+        if tail in ("reshape", "ravel", "flatten"):
+            return self._reshape(node, tail, receiver or TOP, state)
+        if tail == "copy" and receiver is not None \
+                and receiver.kind == "array":
+            return receiver
+        if tail in _REDUCTIONS and receiver is not None \
+                and receiver.kind == "array":
+            return self._reduction(node, tail, receiver,
+                                   node.func.value, state)
+
+        # Module-style numpy calls (np.zeros, np.searchsorted, ...).
+        return self._np_call(node, tail, arg_values, state)
+
+    def _builtin(self, node: ast.Call, tail: str,
+                 arg_values: list[NumValue],
+                 state: NumState) -> NumValue:
+        first = arg_values[0] if arg_values else TOP
+        if tail == "len":
+            if first.shape and isinstance(first.shape[0], int):
+                d = float(first.shape[0])
+                return _scalar("int64", (d, d))
+            return _scalar("int64", (0.0, math.inf))
+        if tail == "int":
+            return _scalar("int64", _iv(first.lo - 1, first.hi + 1))
+        if tail == "float":
+            return _scalar("float64", first.interval)
+        if tail == "bool":
+            return _scalar("bool_", (0.0, 1.0))
+        if tail == "abs":
+            return self._abs(first)
+        if tail in ("min", "max") and len(arg_values) >= 2:
+            iv = arg_values[0].interval
+            for v in arg_values[1:]:
+                if tail == "min":
+                    iv = (min(iv[0], v.lo), min(iv[1], v.hi))
+                else:
+                    iv = (max(iv[0], v.lo), max(iv[1], v.hi))
+            return _scalar(promote(arg_values[0].dtype,
+                                   arg_values[1].dtype), iv)
+        return self._np_call(node, tail, arg_values, state)
+
+    @staticmethod
+    def _abs(value: NumValue) -> NumValue:
+        lo, hi = value.interval
+        alo = 0.0 if lo <= 0.0 <= hi else min(abs(lo), abs(hi))
+        ahi = max(abs(lo), abs(hi))
+        if value.kind == "top":
+            return TOP
+        return replace(value, lo=alo, hi=ahi)
+
+    def _np_call(self, node: ast.Call, tail: str,
+                 arg_values: list[NumValue],
+                 state: NumState) -> NumValue:
+        first = arg_values[0] if arg_values else TOP
+
+        if tail in ("zeros", "ones", "empty", "full"):
+            return self._constructor(node, tail, state)
+        if tail in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            dtype = _normalise_dtype(_argument(
+                node, 2 if tail == "full_like" else 1, "dtype")) \
+                or first.dtype
+            if tail == "zeros_like":
+                iv = (0.0, 0.0)
+            elif tail == "ones_like":
+                iv = (1.0, 1.0)
+            elif tail == "full_like":
+                c = _const_num(_argument(node, 1, "fill_value"))
+                iv = (c, c) if c is not None else _FULL
+            else:
+                iv = dtype_range(dtype) if dtype in _DTYPES else _FULL
+            return _array(dtype, iv, shape=first.shape)
+        if tail == "arange":
+            return self._arange(node)
+        if tail == "linspace":
+            start = _const_num(_argument(node, 0, "start"))
+            stop = _const_num(_argument(node, 1, "stop"))
+            iv = _iv(min(start, stop), max(start, stop)) \
+                if start is not None and stop is not None else _FULL
+            return _array("float64", iv, shape=("?",))
+        if tail in ("asarray", "array", "ascontiguousarray", "asfarray"):
+            dst = _normalise_dtype(_argument(node, 1, "dtype"))
+            source = self._as_array_value(node, first)
+            if dst is not None:
+                return self._cast(node, source, dst)
+            return source
+        if tail in ("concatenate", "stack", "vstack", "hstack",
+                    "column_stack"):
+            return self._concat(node, tail, state)
+        if tail == "where" and len(arg_values) == 3:
+            joined = join_values(arg_values[1], arg_values[2])
+            if joined.kind == "top":
+                return _array(promote(arg_values[1].dtype,
+                                      arg_values[2].dtype))
+            return replace(joined, kind="array")
+        if tail == "clip":
+            lo_c = _const_num(_argument(node, 1, "a_min"))
+            hi_c = _const_num(_argument(node, 2, "a_max"))
+            lo = lo_c if lo_c is not None else first.lo
+            hi = hi_c if hi_c is not None else first.hi
+            base = first if first.kind != "top" else _array(None)
+            return replace(base, lo=min(lo, hi), hi=max(lo, hi))
+        if tail in ("minimum", "maximum") and len(arg_values) >= 2:
+            a, b = arg_values[0], arg_values[1]
+            if tail == "minimum":
+                iv = _iv(min(a.lo, b.lo), min(a.hi, b.hi))
+            else:
+                iv = _iv(max(a.lo, b.lo), max(a.hi, b.hi))
+            kind = "array" if "array" in (a.kind, b.kind) else "scalar"
+            shape = a.shape if a.kind == "array" else b.shape
+            return NumValue(kind=kind, dtype=promote(a.dtype, b.dtype),
+                            lo=iv[0], hi=iv[1], shape=shape)
+        if tail == "searchsorted":
+            target = arg_values[1] if len(arg_values) > 1 else TOP
+            return _array("int64", (0.0, math.inf), shape=target.shape)
+        if tail in ("floor", "ceil", "round", "trunc"):
+            if first.kind == "top":
+                return _array("float64")
+            return replace(first, lo=first.lo - 1.0, hi=first.hi + 1.0)
+        if tail in ("abs", "absolute"):
+            return self._abs(first)
+        if tail == "sqrt":
+            return replace(first, dtype=first.dtype if first.dtype
+                           and _kind(first.dtype) == "f" else "float64",
+                           lo=0.0, hi=math.inf) \
+                if first.kind != "top" else _array("float64", (0.0, math.inf))
+        if tail == "exp":
+            base = first if first.kind != "top" else _array(None)
+            return replace(base, dtype="float64", lo=0.0, hi=math.inf)
+        if tail in _ELEMENTWISE:
+            if first.kind == "top":
+                return TOP
+            return replace(first, lo=-math.inf, hi=math.inf)
+        if tail == "unique":
+            if first.kind == "top":
+                return _array(None, shape=("?",))
+            return _array(first.dtype, first.interval, shape=("?",),
+                          maybe_empty=first.maybe_empty)
+        if tail in ("argsort", "nonzero", "flatnonzero"):
+            shape = first.shape if tail == "argsort" else ("?",)
+            return _array("int64", (0.0, math.inf), shape=shape)
+        if tail == "bincount":
+            return _array("int64", (0.0, math.inf), shape=("?",))
+        if tail == "cumsum":
+            if first.kind == "top":
+                return _array(None)
+            return replace(first, kind="array",
+                           lo=-math.inf, hi=math.inf)
+        if tail in _REDUCTIONS and arg_values:
+            operand_node = _argument(node, 0, "a")
+            return self._reduction(node, tail, first, operand_node, state)
+        return TOP
+
+    def _as_array_value(self, node: ast.Call, first: NumValue) -> NumValue:
+        """``asarray``-family result when no dtype is forced."""
+        arg = _argument(node, 0, None)
+        literal = self._literal_array(arg)
+        if literal is not None:
+            return literal
+        if first.kind == "scalar":
+            return _array(first.dtype, first.interval, shape=())
+        if first.kind == "array":
+            return first
+        return _array(None)
+
+    @staticmethod
+    def _literal_array(node: ast.expr | None) -> NumValue | None:
+        """Abstract value of a flat numeric list/tuple literal."""
+        if not isinstance(node, (ast.List, ast.Tuple)) or not node.elts:
+            return None
+        values = [_const_num(e) for e in node.elts]
+        if any(v is None for v in values):
+            return None
+        has_float = any(isinstance(e.value, float)
+                        for e in node.elts
+                        if isinstance(e, ast.Constant))
+        return _array("float64" if has_float else "int64",
+                      (min(values), max(values)),
+                      shape=(len(values),))
+
+    def _constructor(self, node: ast.Call, tail: str,
+                     state: NumState) -> NumValue:
+        dtype_node = _argument(node, 2 if tail == "full" else 1, "dtype")
+        dtype = _normalise_dtype(dtype_node) if dtype_node is not None \
+            else "float64"
+        shape = _shape_literal(_argument(node, 0, "shape"))
+        if tail == "zeros":
+            iv = (0.0, 0.0)
+        elif tail == "ones":
+            iv = (1.0, 1.0)
+        elif tail == "full":
+            c = _const_num(_argument(node, 1, "fill_value"))
+            iv = (c, c) if c is not None else _FULL
+        else:  # empty: anything representable in the dtype
+            iv = dtype_range(dtype) if dtype in _DTYPES else _FULL
+        return _array(dtype, iv, shape=shape)
+
+    def _arange(self, node: ast.Call) -> NumValue:
+        args = [a for a in node.args if not isinstance(a, ast.Starred)]
+        consts = [_const_num(a) for a in args]
+        is_float = any(isinstance(a, ast.Constant)
+                       and isinstance(a.value, float) for a in args)
+        dtype = _normalise_dtype(_argument(node, 3, "dtype")) \
+            or ("float64" if is_float else "int64")
+        if len(consts) == 1 and consts[0] is not None:
+            iv = _iv(0.0, consts[0])
+        elif len(consts) >= 2 and None not in consts[:2]:
+            iv = _iv(min(consts[0], consts[1]), max(consts[0], consts[1]))
+        elif len(args) <= 1:
+            iv = (0.0, math.inf)
+        else:
+            iv = _FULL
+        return _array(dtype, iv, shape=("?",))
+
+    def _cast(self, node: ast.AST, value: NumValue,
+              dst: str | None) -> NumValue:
+        kind = "array" if value.kind in ("array", "top") else value.kind
+        if dst is None or dst not in _DTYPES:
+            return NumValue(kind=kind, dtype=None, lo=value.lo,
+                            hi=value.hi, shape=value.shape,
+                            maybe_empty=value.maybe_empty)
+        src = value.dtype
+        iv = value.interval
+        if src is not None and is_narrowing(src, dst):
+            bounds = dtype_range(dst)
+            # Float narrowing halves the mantissa: never value-provable.
+            provable = _kind(dst) in "iub" and _iv_within(iv, bounds)
+            if self.sink is not None:
+                self.sink.narrowing(node, src, dst, provable)
+            if not provable:
+                iv = bounds
+        elif src is not None and _kind(src) == "f" \
+                and dst in _DTYPES and _kind(dst) in "iu":
+            iv = _iv(iv[0] - 1.0, iv[1])  # truncation toward zero
+        if dst in _DTYPES:
+            bounds = dtype_range(dst)
+            iv = _iv(max(iv[0], bounds[0]), min(iv[1], bounds[1]))
+        return NumValue(kind=kind, dtype=dst, lo=iv[0], hi=iv[1],
+                        shape=value.shape, maybe_empty=value.maybe_empty)
+
+    def _reshape(self, node: ast.Call, tail: str, receiver: NumValue,
+                 state: NumState) -> NumValue:
+        if receiver.kind == "top":
+            return _array(None)
+        if tail in ("ravel", "flatten"):
+            return replace(receiver, kind="array", shape=("?",))
+        if len(node.args) > 1:  # x.reshape(2, 3) splat form
+            shape = tuple(_axis_of(a) for a in node.args)
+        else:
+            shape = _shape_literal(_argument(node, 0, "shape"))
+        return replace(receiver, kind="array", shape=shape)
+
+    def _reduction(self, node: ast.Call, tail: str, operand: NumValue,
+                   operand_node: ast.expr | None,
+                   state: NumState) -> NumValue:
+        if tail in _EMPTY_UNSAFE and operand.maybe_empty \
+                and self.sink is not None and operand_node is not None:
+            self.sink.empty_reduction(node, tail, operand_node)
+        has_axis = _argument(node, 99, "axis") is not None
+        if tail in ("argmin", "argmax", "nanargmin", "nanargmax"):
+            result = _scalar("int64", (0.0, math.inf))
+        elif tail in ("min", "max", "amin", "amax"):
+            result = _scalar(operand.dtype, operand.interval)
+        elif tail == "sum":
+            dtype = operand.dtype
+            if dtype is not None and _kind(dtype) in "iub":
+                dtype = "int64"  # numpy widens integer sums
+            iv = (0.0, math.inf) if operand.lo >= 0 else _FULL
+            result = _scalar(dtype, iv)
+        elif tail == "mean":
+            dtype = operand.dtype \
+                if operand.dtype and _kind(operand.dtype) == "f" \
+                else "float64"
+            result = _scalar(dtype, operand.interval)
+        elif tail in ("any", "all"):
+            result = _scalar("bool_", (0.0, 1.0))
+        else:
+            result = _scalar(None)
+        if has_axis:
+            return _array(result.dtype, result.interval)
+        return result
+
+    def _concat(self, node: ast.Call, tail: str,
+                state: NumState) -> NumValue:
+        seq = _argument(node, 0, None)
+        if not isinstance(seq, (ast.List, ast.Tuple)):
+            return _array(None)
+        parts = [self.eval(e, state) for e in seq.elts
+                 if not isinstance(e, ast.Starred)]
+        arrays = [p for p in parts if p.kind == "array"]
+        if tail == "concatenate":
+            ranks = {p.rank for p in arrays if p.rank is not None}
+            if len(ranks) > 1 and self.sink is not None:
+                self.sink.mismatch(node, "concatenate of arrays with "
+                                   f"ranks {sorted(ranks)}")
+        dtype: str | None = None
+        known = [p.dtype for p in parts if p.kind != "top"]
+        if known and all(d is not None for d in known) \
+            and len(known) == len(parts):
+            dtype = known[0]
+            for d in known[1:]:
+                dtype = promote(dtype, d)
+        iv = _FULL
+        if parts and all(p.kind != "top" for p in parts):
+            iv = parts[0].interval
+            for p in parts[1:]:
+                iv = _iv_hull(iv, p.interval)
+        shape = None
+        if tail == "concatenate" and arrays \
+                and len(arrays) == len(parts):
+            ranks = {p.rank for p in arrays}
+            if len(ranks) == 1 and None not in ranks:
+                rank = ranks.pop()
+                shape = ("?",) * rank
+        maybe_empty = bool(parts) and all(p.maybe_empty for p in parts)
+        return _array(dtype, iv, shape=shape, maybe_empty=maybe_empty)
+
+    # -- indexing ------------------------------------------------------
+
+    def _subscript(self, node: ast.Subscript, state: NumState) -> NumValue:
+        base = self.eval(node.value, state)
+        return self._index(node, base, node.slice, state)
+
+    def _index(self, node: ast.AST, base: NumValue, idx: ast.expr,
+               state: NumState) -> NumValue:
+        if isinstance(idx, ast.Slice):
+            for part in (idx.lower, idx.upper, idx.step):
+                self.eval(part, state)
+            if base.kind != "array":
+                return TOP
+            shape = None if base.shape is None \
+                else ("?",) + base.shape[1:]
+            return replace(base, shape=shape)
+        if isinstance(idx, ast.Tuple):
+            result = base
+            for element in idx.elts:
+                result = self._index(node, result, element, state)
+            return result
+        value = self.eval(idx, state)
+        if value.kind == "scalar":
+            if base.kind != "array":
+                return TOP
+            if base.shape is not None and len(base.shape) > 1:
+                return replace(base, shape=base.shape[1:])
+            if base.shape is not None and len(base.shape) == 1:
+                return _scalar(base.dtype, base.interval)
+            return replace(base, shape=None)
+        if value.kind == "array":
+            if value.dtype == "bool_":
+                # Mask selection: result length is data-dependent and
+                # may be zero — the maybe-empty taint RPR505 consumes.
+                return _array(base.dtype, base.interval, shape=("?",),
+                              maybe_empty=True)
+            if value.dtype is not None and _kind(value.dtype) in "iu" \
+                    and _bits(value.dtype) <= 32 \
+                    and self.sink is not None:
+                bound = dtype_range(value.dtype)[1]
+                if not (math.isfinite(value.hi) and value.hi < bound):
+                    self.sink.small_index(node, value.dtype)
+            return _array(base.dtype, base.interval, shape=value.shape,
+                          maybe_empty=value.maybe_empty)
+        return _array(base.dtype, base.interval) \
+            if base.kind == "array" else TOP
+
+
+def _axis_of(node: ast.expr) -> "int | str":
+    c = _const_num(node)
+    if c is not None and float(c).is_integer() and c >= 0:
+        return int(c)
+    if isinstance(node, ast.Name):
+        return node.id
+    return "?"
+
+
+def _shape_literal(node: ast.expr | None) -> tuple | None:
+    """Symbolic shape from a shape argument, ``None`` if unknowable."""
+    if node is None:
+        return None
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return tuple(_axis_of(e) for e in node.elts)
+    c = _const_num(node)
+    if c is not None and float(c).is_integer() and c >= 0:
+        return (int(c),)
+    if isinstance(node, ast.Name):
+        return (node.id,)
+    return None  # e.g. np.zeros(X.shape): rank unknown
+
+
+def _broadcast(a: tuple | None,
+               b: tuple | None) -> tuple[tuple | None, str | None]:
+    """Broadcast two symbolic shapes.
+
+    Returns ``(result_shape, mismatch_detail)``.  The detail is set
+    only for *proven* mismatches: two concrete, unequal, non-1 lengths
+    on the same axis.  Symbolic names never prove a conflict — they
+    join to ``"?"`` — so the check errs quiet, not wrong.
+    """
+    if a is None or b is None:
+        return None, None  # unknown rank: nothing provable
+    result = []
+    for i in range(1, max(len(a), len(b)) + 1):
+        da = a[-i] if i <= len(a) else 1
+        db = b[-i] if i <= len(b) else 1
+        if da == 1:
+            result.append(db)
+        elif db == 1:
+            result.append(da)
+        elif da == db:
+            result.append(da)
+        elif isinstance(da, int) and isinstance(db, int):
+            return None, (f"shapes {_fmt_shape(a)} and {_fmt_shape(b)} "
+                          f"cannot broadcast (axis -{i}: {da} vs {db})")
+        else:
+            result.append("?")
+    return tuple(reversed(result)), None
+
+
+def _fmt_shape(shape: tuple) -> str:
+    return "(" + ", ".join(str(d) for d in shape) + ")"
+
+
+# ----------------------------------------------------------------------
+# The analysis
+# ----------------------------------------------------------------------
+
+
+class NumericAnalysis(ForwardAnalysis[NumState]):
+    """Forward dtype/interval/shape analysis over one function."""
+
+    def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._fn = fn
+        self._ev = _Evaluator()
+        self._lo_changes: dict[str, int] = {}
+        self._hi_changes: dict[str, int] = {}
+        self._last_joined: dict[str, tuple[float, float]] = {}
+
+    @property
+    def evaluator(self) -> _Evaluator:
+        """The shared expression evaluator (sink attach point)."""
+        return self._ev
+
+    def initial(self) -> NumState:
+        """Parameters seeded from their annotations (if any)."""
+        items = []
+        args = self._fn.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is None:
+                continue
+            try:
+                text = ast.unparse(arg.annotation)
+            except ValueError:  # pragma: no cover - malformed annotation
+                continue
+            if "ndarray" in text or "NDArray" in text:
+                items.append((arg.arg, _array(None)))
+            elif text == "int":
+                items.append((arg.arg, _scalar("int64")))
+            elif text == "float":
+                items.append((arg.arg, _scalar("float64")))
+            elif text == "bool":
+                items.append((arg.arg, _scalar("bool_", (0.0, 1.0))))
+        return NumState(items)
+
+    def join(self, states: list[NumState]) -> NumState:
+        """Pointwise join with per-name interval widening."""
+        if len(states) == 1:
+            return states[0]
+        names: set[str] = set()
+        for state in states:
+            names.update(state.names())
+        items = []
+        for name in names:
+            joined = states[0].get(name)
+            for state in states[1:]:
+                joined = join_values(joined, state.get(name))
+            joined = self._widen(name, joined)
+            items.append((name, joined))
+        return NumState(items)
+
+    def _widen(self, name: str, value: NumValue) -> NumValue:
+        # One-sided: only a bound that keeps moving across joins is
+        # widened to infinity; a stable bound (a loop counter's start,
+        # say) survives, keeping casts on that side provable.  A
+        # widened bound is absorbed by every later hull, so the
+        # change counters go quiet and the chain stays finite.
+        if value.kind == "top":
+            return value
+        iv = value.interval
+        last = self._last_joined.get(name)
+        if last is not None:
+            if last[0] != iv[0]:
+                self._lo_changes[name] = self._lo_changes.get(name, 0) + 1
+            if last[1] != iv[1]:
+                self._hi_changes[name] = self._hi_changes.get(name, 0) + 1
+        lo, hi = iv
+        if self._lo_changes.get(name, 0) > _WIDEN_AFTER:
+            lo = -math.inf
+        if self._hi_changes.get(name, 0) > _WIDEN_AFTER:
+            hi = math.inf
+        if (lo, hi) != iv:
+            value = replace(value, lo=lo, hi=hi)
+        self._last_joined[name] = (lo, hi)
+        return value
+
+    def transfer(self, op: Op, state: NumState) -> NumState:
+        """Interpret one op abstractly."""
+        self._ev.begin_op()
+        node = op.node
+        if op.kind == "for":
+            return self._bind_for(node, state)
+        if op.kind == "test":
+            self._ev.eval(node.test, state)
+            return state
+        if op.kind == "enter":
+            for item in node.items:
+                self._ev.eval(item.context_expr, state)
+                if item.optional_vars is not None:
+                    for name in _target_names(item.optional_vars):
+                        state = state.set(name, TOP)
+            return state
+        if op.kind != "stmt":
+            return state
+        if isinstance(node, ast.Assign):
+            value = self._ev.eval(node.value, state)
+            for target in node.targets:
+                state = self._assign(target, value, state)
+            return state
+        if isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                value = self._ev.eval(node.value, state)
+                state = self._assign(node.target, value, state)
+            return state
+        if isinstance(node, ast.AugAssign):
+            current = self._ev.eval(_load_of(node.target), state) \
+                if isinstance(node.target, ast.Name) \
+                else self._ev.eval(node.target.value, state) \
+                if isinstance(node.target, ast.Subscript) else TOP
+            delta = self._ev.eval(node.value, state)
+            combined = self._ev._combine(node, node.op, current, delta)
+            return self._assign(node.target, combined, state)
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                value = self._ev.eval(node.value, state)
+                sink = self._ev.sink
+                if sink is not None:
+                    key = (node.lineno, node.col_offset + 1)
+                    sink.returns[key] = value
+            return state
+        if isinstance(node, (ast.Expr, ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._ev.eval(child, state)
+            return state
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    state = state.set(target.id, TOP)
+            return state
+        return state
+
+    def _assign(self, target: ast.expr, value: NumValue,
+                state: NumState) -> NumState:
+        if isinstance(target, ast.Name):
+            return state.set(target.id, value)
+        if isinstance(target, ast.Subscript):
+            return self._store(target, value, state)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for name in _target_names(target):
+                state = state.set(name, TOP)
+            return state
+        return state
+
+    def _store(self, target: ast.Subscript, value: NumValue,
+               state: NumState) -> NumState:
+        """``base[idx] = value``: merge into the base conservatively."""
+        self._ev.eval(target.slice, state) \
+            if not isinstance(target.slice, ast.Slice) else None
+        if not isinstance(target.value, ast.Name):
+            return state
+        base = state.get(target.value.id)
+        if base.kind != "array":
+            return state
+        # Storing a known-wider value into a narrower array wraps just
+        # like an explicit cast — same event, same rule.
+        if base.dtype is not None and value.dtype is not None \
+                and is_narrowing(value.dtype, base.dtype):
+            bounds = dtype_range(base.dtype)
+            provable = _kind(base.dtype) in "iub" \
+                and _iv_within(value.interval, bounds)
+            if self._ev.sink is not None:
+                self._ev.sink.narrowing(target, value.dtype,
+                                        base.dtype, provable)
+        iv = _iv_hull(base.interval, value.interval)
+        if base.dtype is not None and base.dtype in _DTYPES:
+            bounds = dtype_range(base.dtype)
+            iv = _iv(max(iv[0], bounds[0]), min(iv[1], bounds[1]))
+        return state.set(target.value.id, replace(
+            base, lo=iv[0], hi=iv[1]))
+
+    def _bind_for(self, node: ast.For, state: NumState) -> NumState:
+        target, it = node.target, node.iter
+        if isinstance(it, ast.Call):
+            tail = _call_tail(it)
+            if tail == "range":
+                value = self._range_value(it)
+                for name in _target_names(target):
+                    state = state.set(name, value)
+                return state
+            if tail == "enumerate" and isinstance(target, ast.Tuple) \
+                    and len(target.elts) == 2:
+                source = self._ev.eval(_argument(it, 0, None), state)
+                element = _element_of(source)
+                pairs = [(_scalar("int64", (0.0, math.inf))), element]
+                for sub, val in zip(target.elts, pairs):
+                    for name in _target_names(sub):
+                        state = state.set(name, val)
+                return state
+        value = self._ev.eval(it, state)
+        element = _element_of(value)
+        if isinstance(target, ast.Name):
+            return state.set(target.id, element)
+        for name in _target_names(target):
+            state = state.set(name, TOP)
+        return state
+
+    @staticmethod
+    def _range_value(call: ast.Call) -> NumValue:
+        args = [a for a in call.args if not isinstance(a, ast.Starred)]
+        consts = [_const_num(a) for a in args]
+        if len(consts) == 1:
+            hi = consts[0] if consts[0] is not None else math.inf
+            return _scalar("int64", (0.0, hi))
+        if len(consts) >= 2 and None not in consts[:2]:
+            return _scalar("int64", _iv(consts[0], consts[1]))
+        return _scalar("int64")
+
+
+def _element_of(value: NumValue) -> NumValue:
+    """Abstract value of one element yielded by iterating ``value``."""
+    if value.kind != "array":
+        return TOP
+    if value.shape is not None and len(value.shape) >= 2:
+        return _array(value.dtype, value.interval,
+                      shape=value.shape[1:])
+    return _scalar(value.dtype, value.interval)
+
+
+def _load_of(name: ast.Name) -> ast.Name:
+    """A Load twin of a Store name node (for evaluating augtargets)."""
+    twin = ast.Name(id=name.id, ctx=ast.Load())
+    return ast.copy_location(twin, name)
+
+
+def _target_names(target: ast.expr):
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+# ----------------------------------------------------------------------
+# Guard prescan (flow-insensitive)
+# ----------------------------------------------------------------------
+
+_BOUNDING_CALLS = {"clip", "minimum", "maximum", "mod"}
+
+
+def _own_body_walk(fn: ast.AST):
+    """Walk ``fn``'s body without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _collect_guards(fn) -> tuple[frozenset, frozenset]:
+    """Names bound-guarded / size-checked anywhere in the body.
+
+    Deliberately flow-insensitive: a bound check *anywhere* in the
+    function is taken as evidence the author thought about the range.
+    The analysis errs quiet rather than wrong.
+    """
+    bound: set[str] = set()
+    size_checked: set[str] = set()
+    for node in _own_body_walk(fn):
+        tests = []
+        if isinstance(node, (ast.If, ast.While)):
+            tests.append(node.test)
+        elif isinstance(node, ast.Assert):
+            tests.append(node.test)
+        for test in tests:
+            for child in ast.walk(test):
+                if isinstance(child, ast.Compare):
+                    exprs = [child.left, *child.comparators]
+                    if any(_const_num(e) is not None for e in exprs):
+                        for e in exprs:
+                            bound |= _names_in(e)
+                if isinstance(child, ast.Attribute) \
+                        and child.attr in ("size", "shape"):
+                    size_checked |= _names_in(child.value)
+                if isinstance(child, ast.Call) \
+                        and isinstance(child.func, ast.Name) \
+                        and child.func.id == "len" and child.args:
+                    size_checked |= _names_in(child.args[0])
+        if isinstance(node, ast.Call) \
+                and _call_tail(node) in _BOUNDING_CALLS:
+            for arg in node.args:
+                if not isinstance(arg, ast.Starred):
+                    bound |= _names_in(arg)
+    return frozenset(bound), frozenset(size_checked)
+
+
+# ----------------------------------------------------------------------
+# Module-level attachment
+# ----------------------------------------------------------------------
+
+
+def attach_numeric_facts(facts: ModuleFacts, tree: ast.Module) -> None:
+    """Populate the numeric fact fields on every function summary.
+
+    Walks the module top level pairing AST definitions with the
+    already-extracted :class:`FunctionFacts` in declaration order
+    (the same contract ``attach_concurrency_facts`` relies on); any
+    mismatch degrades to attaching nothing rather than misattributing.
+    """
+    functions = iter(facts.functions)
+    classes = iter(facts.classes)
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            ff = next(functions, None)
+            if ff is None or ff.name != stmt.name:
+                return
+            _attach_function(stmt, ff)
+        elif isinstance(stmt, ast.ClassDef):
+            cf = next(classes, None)
+            if cf is None or cf.name != stmt.name:
+                return
+            methods = iter(cf.methods)
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                    mf = next(methods, None)
+                    if mf is None or mf.name != sub.name:
+                        return
+                    _attach_function(sub, mf)
+
+
+def _attach_function(fn, ff: FunctionFacts) -> None:
+    cfg = build_cfg(fn)
+    analysis = NumericAnalysis(fn)
+    solution = solve(cfg, analysis)
+    sink = _EventSink(*_collect_guards(fn))
+    analysis.evaluator.sink = sink
+    try:
+        for block_id in cfg.rpo():
+            if block_id not in solution.block_in:
+                continue
+            state = solution.block_in[block_id]
+            for op in cfg.blocks[block_id].ops:
+                state = analysis.transfer(op, state)
+    finally:
+        analysis.evaluator.sink = None
+    ff.narrowing_casts = sink.narrowing_casts
+    ff.mixed_precision = sink.mixed_precision
+    ff.shape_mismatches = sink.shape_mismatches
+    ff.small_indices = sink.small_indices
+    ff.empty_reductions = sink.empty_reductions
+    _refine_returns(ff, sink)
+
+
+def _refine_returns(ff: FunctionFacts, sink: _EventSink) -> None:
+    """Fill dtype/rank the syntactic return classifier left unknown.
+
+    Only strengthens ``"array"``/``"other"`` returns into arrays with
+    dataflow-derived dtype and rank — the facts RPR106/RPR107 chase
+    through helpers.  Never overwrites a syntactically-known value.
+    """
+    for i, ret in enumerate(ff.returns):
+        value = sink.returns.get((ret.lineno, ret.col))
+        if value is None or value.kind != "array":
+            continue
+        if ret.kind not in ("array", "other"):
+            continue
+        dtype = ret.dtype if ret.dtype is not None else value.dtype
+        rank = ret.rank if ret.rank is not None else value.rank
+        if dtype != ret.dtype or rank != ret.rank:
+            ff.returns[i] = replace(ret, kind="array", dtype=dtype,
+                                    rank=rank)

@@ -32,7 +32,8 @@ from repro import obs
 from repro.lint.cache import CacheEntry, LintCache, cache_meta_key, \
     file_digest
 from repro.lint.config import LintConfig
-from repro.lint.dataflow import attach_concurrency_facts
+from repro.lint.dataflow import attach_concurrency_facts, \
+    attach_numeric_facts
 from repro.lint.findings import Finding
 from repro.lint.pragmas import decorator_pragmas, is_suppressed, \
     parse_pragmas
@@ -127,8 +128,9 @@ class FileAnalysis:
     facts: ModuleFacts | None = None
     #: Wall-clock seconds per per-file pass (``syntactic`` = parse +
     #: rule walk, ``facts`` = fact extraction, ``dataflow`` = CFG +
-    #: fixed-point solves).  Empty for cache hits — warm runs spend
-    #: nothing here, which is exactly what the bench reports.
+    #: fixed-point lock/reaching solves, ``numeric`` = the dtype/
+    #: interval/shape abstract interpretation).  Empty for cache hits —
+    #: warm runs spend nothing here, which is what the bench reports.
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
 
@@ -146,9 +148,10 @@ class LintResult:
     #: fully warm run.
     files_reanalyzed: tuple[str, ...] = field(default_factory=tuple)
     #: Wall-clock seconds per engine pass for this run: ``syntactic``
-    #: (parse + AST rule walk), ``dataflow`` (CFG + fixed-point
-    #: solves), and ``semantic`` (fact extraction + index build +
-    #: project rules).  Only fresh work is counted, so a warm run's
+    #: (parse + AST rule walk), ``dataflow`` (CFG + fixed-point lock/
+    #: reaching solves), ``numeric`` (the dtype/interval/shape abstract
+    #: interpretation), and ``semantic`` (fact extraction + index build
+    #: + project rules).  Only fresh work is counted, so a warm run's
     #: figures collapse towards zero.
     pass_seconds: Mapping[str, float] = field(default_factory=dict)
 
@@ -264,10 +267,13 @@ def analyze_source(source: str, *, path: str, module_name: str,
     attach_concurrency_facts(analysis.facts, tree,
                              blocking_extra=config.blocking_calls)
     dataflow_done = time.perf_counter()  # repro: ignore[RPR108]
+    attach_numeric_facts(analysis.facts, tree)
+    numeric_done = time.perf_counter()  # repro: ignore[RPR108]
     analysis.stage_seconds = {
         "syntactic": syntactic_done - started,
         "facts": facts_done - syntactic_done,
         "dataflow": dataflow_done - facts_done,
+        "numeric": numeric_done - dataflow_done,
     }
     return analysis
 
@@ -416,11 +422,13 @@ def run(paths: Sequence[Path], config: LintConfig | None = None, *,
     changed_displays = {item[1] for item in changed_items}
     missing_semantic = {display for display in displays
                         if display not in cached_semantic}
-    pass_seconds = {"syntactic": 0.0, "dataflow": 0.0, "semantic": 0.0}
+    pass_seconds = {"syntactic": 0.0, "dataflow": 0.0, "numeric": 0.0,
+                    "semantic": 0.0}
     for analysis in ordered:
         stage = analysis.stage_seconds
         pass_seconds["syntactic"] += stage.get("syntactic", 0.0)
         pass_seconds["dataflow"] += stage.get("dataflow", 0.0)
+        pass_seconds["numeric"] += stage.get("numeric", 0.0)
         pass_seconds["semantic"] += stage.get("facts", 0.0)
     semantic_findings: dict[str, Sequence[Finding]] = {}
     semantic_suppressed: dict[str, Sequence[Finding]] = {}

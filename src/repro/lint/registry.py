@@ -7,13 +7,17 @@ every enabled rule once per run.  Codes are stable and banded:
 * ``RPR2xx`` — determinism (the paper's Equation-4 contract),
 * ``RPR3xx`` — layering and API hygiene,
 * ``RPR4xx`` — concurrency (races, deadlocks, and stalls in the
-  threaded serving stack, driven by the CFG/dataflow pass).
+  threaded serving stack, driven by the CFG/dataflow pass),
+* ``RPR5xx`` — numeric correctness (dtype narrowing, precision drift,
+  shape contracts, index-dtype capacity, and empty reductions in the
+  tensor hot path, driven by the abstract-interpretation pass).
 
 ``RPR001`` is reserved by the engine for files that fail to parse.
 """
 
 from __future__ import annotations
 
+import inspect
 import re
 from typing import TYPE_CHECKING
 
@@ -22,10 +26,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.lint.engine import ModuleContext, ProjectContext
 
 __all__ = ["Rule", "register", "all_rule_classes", "get_rule_class",
-           "PARSE_ERROR_CODE"]
+           "DOCS_URI", "PARSE_ERROR_CODE"]
 
 #: Engine-reserved code for unparseable files (not a registered rule).
 PARSE_ERROR_CODE = "RPR001"
+
+#: Repo-relative documentation file the per-rule help links anchor into.
+DOCS_URI = "docs/lint_rules.md"
 
 _CODE_PATTERN = re.compile(r"^RPR[1-9]\d{2}$")
 
@@ -57,6 +64,10 @@ class Rule:
     name: str = ""
     #: One-line summary shown by ``--list-rules`` and the docs table.
     summary: str = ""
+    #: Minimal violating snippet, shown by ``repro lint --explain``.
+    example_bad: str = ""
+    #: Minimal compliant rewrite of :attr:`example_bad`.
+    example_good: str = ""
 
     def __init__(self, config: "LintConfig") -> None:
         self.config = config
@@ -64,6 +75,16 @@ class Rule:
     def report(self, module: "ModuleContext", node, message: str) -> None:
         """Record a violation of this rule at ``node``."""
         module.report(self.code, node, message)
+
+    @classmethod
+    def rationale(cls) -> str:
+        """Why the rule exists: the class docstring, dedented."""
+        return inspect.cleandoc(cls.__doc__ or "")
+
+    @classmethod
+    def help_uri(cls) -> str:
+        """Repo-relative documentation anchor for this rule."""
+        return f"{DOCS_URI}#{cls.code.lower()}"
 
 
 def register(cls: type[Rule]) -> type[Rule]:
@@ -74,6 +95,10 @@ def register(cls: type[Rule]) -> type[Rule]:
             "(expected RPRnnn with nnn in 100..999)")
     if not cls.name or not cls.summary:
         raise ValueError(f"rule {cls.__name__} needs a name and a summary")
+    if not cls.example_bad or not cls.example_good:
+        raise ValueError(
+            f"rule {cls.__name__} needs example_bad and example_good "
+            "snippets (shown by --explain)")
     existing = _REGISTRY.get(cls.code)
     if existing is not None and existing is not cls:
         raise ValueError(

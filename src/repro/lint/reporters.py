@@ -88,14 +88,18 @@ def render_sarif(report: Report, stream: IO[str]) -> None:
 
     rule_classes = sorted(all_rule_classes(), key=lambda cls: cls.code)
     rule_index = {cls.code: i for i, cls in enumerate(rule_classes)}
-    rules = [
-        {
+    rules = []
+    for cls in rule_classes:
+        entry = {
             "id": cls.code,
             "name": cls.name,
             "shortDescription": {"text": cls.summary},
+            "helpUri": cls.help_uri(),
         }
-        for cls in rule_classes
-    ]
+        rationale = cls.rationale()
+        if rationale:
+            entry["fullDescription"] = {"text": rationale}
+        rules.append(entry)
     results = []
     for finding in report.new:
         result = {

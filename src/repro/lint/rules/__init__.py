@@ -28,6 +28,13 @@ from repro.lint.rules.layering import (
     ImportLayeringRule,
     PrintInLibraryRule,
 )
+from repro.lint.rules.numeric import (
+    EmptyArrayReductionRule,
+    FloatPrecisionDriftRule,
+    ShapeContractViolationRule,
+    SilentDtypeNarrowingRule,
+    UnsafeIndexDtypeRule,
+)
 from repro.lint.semantic.rules import (
     FeatureDtypeDriftRule,
     FeatureShapeContractRule,
@@ -56,4 +63,9 @@ __all__ = [
     "BlockingWhileLockedRule",
     "ThreadUnsafeLazyInitRule",
     "DaemonThreadDrainRule",
+    "SilentDtypeNarrowingRule",
+    "FloatPrecisionDriftRule",
+    "ShapeContractViolationRule",
+    "UnsafeIndexDtypeRule",
+    "EmptyArrayReductionRule",
 ]

@@ -66,6 +66,8 @@ class UnguardedSharedStateRule(Rule):
     code = "RPR401"
     name = "unguarded-shared-state"
     summary = "Guarded attribute written outside its owning lock"
+    example_bad = 'def close(self):\n    self._closed = True  # elsewhere guarded by self._lock'
+    example_good = 'def close(self):\n    with self._lock:\n        self._closed = True'
 
     def finish_project(self, project: "ProjectContext") -> None:
         """Flag unlocked writes to lock-guarded attributes."""
@@ -104,6 +106,8 @@ class LockOrderCycleRule(Rule):
     code = "RPR402"
     name = "lock-order-cycle"
     summary = "Cycle in the project lock-acquisition-order graph"
+    example_bad = 'def transfer():\n    with LOCK_A:\n        with LOCK_B: ...\n\ndef refund():\n    with LOCK_B:\n        with LOCK_A: ...'
+    example_good = '# one global acquisition order, everywhere\ndef refund():\n    with LOCK_A:\n        with LOCK_B: ...'
 
     def finish_project(self, project: "ProjectContext") -> None:
         """Report each acquisition edge participating in a cycle."""
@@ -149,6 +153,8 @@ class BlockingWhileLockedRule(Rule):
     code = "RPR403"
     name = "blocking-while-locked"
     summary = "Known-blocking call inside a held-lock region"
+    example_bad = 'with self._lock:\n    payload = request.urlopen(url).read()'
+    example_good = 'payload = request.urlopen(url).read()\nwith self._lock:\n    self._cache[url] = payload'
 
     def finish_project(self, project: "ProjectContext") -> None:
         """Flag blocking calls recorded with a non-empty held set."""
@@ -177,6 +183,8 @@ class ThreadUnsafeLazyInitRule(Rule):
     code = "RPR404"
     name = "thread-unsafe-lazy-init"
     summary = "Non-atomic check-then-act on a guarded attribute"
+    example_bad = 'if self._handle is None:\n    self._handle = expensive_load()'
+    example_good = 'with self._lock:\n    if self._handle is None:\n        self._handle = expensive_load()'
 
     def finish_project(self, project: "ProjectContext") -> None:
         """Flag lazy-init pairs on guarded attrs of lock-owning classes."""
@@ -212,6 +220,8 @@ class DaemonThreadDrainRule(Rule):
     code = "RPR405"
     name = "daemon-thread-drain"
     summary = "Daemon thread started but never joined on a drain path"
+    example_bad = 'worker = threading.Thread(target=drain, daemon=True)\nworker.start()  # never joined: close() may drop queued work'
+    example_good = 'worker = threading.Thread(target=drain)\nworker.start()\n# ... on shutdown:\nworker.join()'
 
     def finish_project(self, project: "ProjectContext") -> None:
         """Flag daemon-thread spawns with no matching join anywhere."""

@@ -31,6 +31,8 @@ class MutableDefaultRule(Rule):
     code = "RPR101"
     name = "mutable-default-argument"
     summary = "Default argument values must be immutable"
+    example_bad = 'def append(item, acc=[]):\n    acc.append(item)\n    return acc'
+    example_good = 'def append(item, acc=None):\n    if acc is None:\n        acc = []\n    acc.append(item)\n    return acc'
 
     def visit_FunctionDef(self, node: ast.FunctionDef,
                           module: ModuleContext) -> None:
@@ -77,6 +79,8 @@ class FloatEqualityRule(Rule):
     code = "RPR102"
     name = "float-literal-equality"
     summary = "No exact ==/!= against float scalar literals"
+    example_bad = 'if weight == 0.1:\n    skip()'
+    example_good = 'if math.isclose(weight, 0.1):\n    skip()'
 
     def visit_Compare(self, node: ast.Compare,
                       module: ModuleContext) -> None:
@@ -112,6 +116,8 @@ class BroadExceptRule(Rule):
     code = "RPR103"
     name = "broad-except"
     summary = "No bare `except:` or swallowed `except Exception:`"
+    example_bad = 'try:\n    run()\nexcept Exception:\n    pass'
+    example_good = 'try:\n    run()\nexcept OSError as error:\n    log.warning("run failed: %s", error)\n    raise'
 
     _BROAD = {"Exception", "BaseException"}
 
@@ -159,6 +165,8 @@ class FeaturizerSurfaceRule(Rule):
     code = "RPR104"
     name = "featurizer-abstract-surface"
     summary = "Concrete Featurizer subclasses implement all abstract methods"
+    example_bad = 'class BitmapFeaturizer(Featurizer):\n    def featurize(self, query):\n        ...\n    # feature_names() left unimplemented'
+    example_good = 'class BitmapFeaturizer(Featurizer):\n    def featurize(self, query):\n        ...\n    def feature_names(self):\n        ...'
 
     #: Root class whose abstract surface is enforced.
     root_class = "Featurizer"
@@ -207,6 +215,8 @@ class ScalarFeaturizeLoopRule(Rule):
     code = "RPR105"
     name = "scalar-featurize-loop"
     summary = "No per-query featurize() loops inside batch methods"
+    example_bad = 'def featurize_batch(self, queries):\n    return np.stack([self.featurize(q) for q in queries])'
+    example_good = 'def featurize_batch(self, queries):\n    batch = compile_batch(queries)\n    return self._encode_batch(batch)'
 
     #: Module prefix the rule applies to (the featurization package).
     module_prefix = "repro.featurize"
@@ -261,6 +271,8 @@ class AdHocTimingRule(Rule):
     code = "RPR108"
     name = "ad-hoc-timing"
     summary = "Time pipeline stages with repro.obs spans, not raw clocks"
+    example_bad = 'start = time.perf_counter()\nencode(batch)\nelapsed = time.perf_counter() - start'
+    example_good = 'with obs.span("featurize.encode"):\n    encode(batch)'
 
     #: Module prefix the rule applies to.
     module_prefix = "repro"
@@ -341,6 +353,8 @@ class PerTreePredictLoopRule(Rule):
     code = "RPR109"
     name = "per-tree-predict-loop"
     summary = "No per-tree predict() loops outside the legacy tree module"
+    example_bad = 'total = np.zeros(len(X))\nfor tree in self._trees:\n    total += tree.predict(X)'
+    example_good = 'total = self.compiled.predict(X)  # packed forest, one traversal'
 
     #: Module prefix the rule applies to.
     module_prefix = "repro"

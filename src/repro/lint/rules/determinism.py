@@ -90,6 +90,8 @@ class GlobalNumpyRandomRule(_NumpyRandomRule):
     code = "RPR201"
     name = "global-numpy-random"
     summary = "No global-state np.random.* calls; thread a Generator"
+    example_bad = 'noise = np.random.normal(size=n)'
+    example_good = 'noise = rng.normal(size=n)  # rng threaded from the caller'
 
     def visit_Attribute(self, node: ast.Attribute,
                         module: ModuleContext) -> None:
@@ -125,6 +127,8 @@ class UnseededGeneratorRule(_NumpyRandomRule):
     code = "RPR202"
     name = "unseeded-default-rng"
     summary = "np.random.default_rng() must receive a seed"
+    example_bad = 'rng = np.random.default_rng()'
+    example_good = 'rng = np.random.default_rng(seed)'
 
     def visit_Call(self, node: ast.Call, module: ModuleContext) -> None:
         """Flag `default_rng()` calls that carry no seed argument."""

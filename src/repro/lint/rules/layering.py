@@ -28,6 +28,8 @@ class ImportLayeringRule(Rule):
     code = "RPR301"
     name = "import-layering"
     summary = "featurize/sql/data never import models/estimators/experiments"
+    example_bad = '# in repro/featurize/base.py\nfrom repro.models.tree import RegressionTree'
+    example_good = '# featurize stays below models: exchange plain ndarrays,\n# let repro.estimators wire the two layers together'
 
     def visit_Import(self, node: ast.Import, module: ModuleContext) -> None:
         """Check `import x` statements against the layer map."""
@@ -83,6 +85,8 @@ class PrintInLibraryRule(Rule):
     code = "RPR302"
     name = "print-in-library"
     summary = "No print() outside configured CLI entry-point modules"
+    example_bad = 'def fit(self, X):\n    print("fitting", X.shape)'
+    example_good = 'def fit(self, X):\n    log.debug("fitting %s", X.shape)'
 
     def visit_Call(self, node: ast.Call, module: ModuleContext) -> None:
         """Flag print() calls outside the configured CLI modules."""
@@ -107,6 +111,8 @@ class DunderAllRule(Rule):
     code = "RPR303"
     name = "dunder-all-consistency"
     summary = "__all__ matches the actually-defined public names"
+    example_bad = '__all__ = ["encode"]\n\ndef encode(): ...\ndef decode(): ...  # public but unexported'
+    example_good = '__all__ = ["decode", "encode"]\n\ndef encode(): ...\ndef decode(): ...'
 
     def finish_module(self, module: ModuleContext) -> None:
         """Cross-check the module's __all__ against its bindings."""

@@ -1,0 +1,216 @@
+"""Numeric dtype/shape rules (RPR5xx): the tensor-hot-path band.
+
+The reproduction's accuracy story rests on bitwise-identical vectorized
+kernels, but a dtype that silently narrows, a float32 operand sneaking
+into a float64 contract, or a reduction over a mask-filtered (possibly
+empty) array corrupts estimates without failing a single test.  All
+five rules run in the project stage on the numeric facts the abstract-
+interpretation pass attaches per function
+(:mod:`repro.lint.dataflow.numeric`), so they are incremental like the
+rest of the semantic layer: a change re-derives findings only for the
+changed files and their transitive importers.
+
+Anchoring invariant (shared with the other project rules): every
+finding here is intra-file — the fact and the report live in the same
+module — so cached findings can never go stale through another file.
+RPR502's kernel membership is deliberately limited to functions *in*
+the pinned-dtype packages (``repro.featurize``/``repro.models``/
+``repro.serve``) rather than extended through the call graph: a
+caller-derived membership would let a change in the caller's file
+invalidate findings anchored here, which the import-graph dirty set
+does not cover.  Helpers outside those packages are instead reached
+through the dataflow-refined return dtypes that RPR106 chases.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lint.engine import ProjectContext
+
+__all__ = [
+    "SilentDtypeNarrowingRule",
+    "FloatPrecisionDriftRule",
+    "ShapeContractViolationRule",
+    "UnsafeIndexDtypeRule",
+    "EmptyArrayReductionRule",
+]
+
+#: Packages whose kernels pin a float64 feature contract (the same
+#: region RPR106 polices) — mixed-width float arithmetic here is drift.
+_KERNEL_PREFIXES = ("repro.featurize", "repro.models", "repro.serve")
+
+
+def _module_in(module_name: str, prefixes: tuple[str, ...]) -> bool:
+    return any(module_name == p or module_name.startswith(p + ".")
+               for p in prefixes)
+
+
+@register
+class SilentDtypeNarrowingRule(Rule):
+    """A cast to a narrower dtype wraps out-of-range values silently —
+    ``np.int64([256]).astype(np.uint8)`` is ``[0]``, no warning, no
+    exception.  The analysis tracks value intervals, so a cast is only
+    reported when the values are *not* provably in range and no bound
+    guard (a comparison against a numeric constant, ``np.clip``,
+    ``%``/``&`` masking) mentions a contributing name anywhere in the
+    function.  Deliberate float-to-int truncation is exempt.
+    """
+
+    code = "RPR501"
+    name = "silent-dtype-narrowing"
+    summary = "Narrowing dtype cast with no provable bound or guard"
+    example_bad = ('wide = np.asarray(ids, dtype=np.int64)\n'
+                   'codes = wide.astype(np.uint8)  # >255 wraps silently')
+    example_good = ('wide = np.asarray(ids, dtype=np.int64)\n'
+                    'if wide.max() > 255:\n'
+                    '    raise ValueError("id out of uint8 range")\n'
+                    'codes = wide.astype(np.uint8)')
+
+    def finish_project(self, project: "ProjectContext") -> None:
+        """Report unguarded, unprovable narrowing casts."""
+        for mf, _, fn in project.index.function_sites():
+            for cast in fn.narrowing_casts:
+                if cast.provable or cast.guarded:
+                    continue
+                project.report(
+                    self.code, mf.path, cast.lineno, cast.col,
+                    f"`{cast.rendered}` narrows {cast.src_dtype} to "
+                    f"{cast.dst_dtype} with no provable bound: "
+                    "out-of-range values wrap silently; guard or clip "
+                    "the value range first, or keep the wider dtype")
+
+
+@register
+class FloatPrecisionDriftRule(Rule):
+    """The featurize/models/serve kernels pin a float64 feature
+    contract (RPR106); arithmetic that mixes float32 and float64
+    arrays inside them either silently upcasts (hiding that an input
+    was produced at half precision) or, after a later downcast, loses
+    bits non-deterministically relative to the scalar reference path.
+    Either way the bitwise-equivalence guarantees the serving stack is
+    built on stop holding.  Scalar literals are exempt — numpy keeps
+    the array dtype for them.
+    """
+
+    code = "RPR502"
+    name = "float-precision-drift"
+    summary = "Mixed float32/float64 array arithmetic in a pinned kernel"
+    example_bad = ('half = np.asarray(x, dtype=np.float32)\n'
+                   'out = half * weights  # weights is float64: upcast'
+                   ' hides the precision loss')
+    example_good = ('full = np.asarray(x, dtype=np.float64)\n'
+                    'out = full * weights')
+
+    def finish_project(self, project: "ProjectContext") -> None:
+        """Report mixed-width float ops in kernel modules."""
+        for mf, _, fn in project.index.function_sites():
+            if not _module_in(mf.module_name, _KERNEL_PREFIXES):
+                continue
+            for mix in fn.mixed_precision:
+                project.report(
+                    self.code, mf.path, mix.lineno, mix.col,
+                    f"`{mix.rendered}` mixes {mix.left_dtype} and "
+                    f"{mix.right_dtype} arrays in a float64-contract "
+                    "kernel; cast both operands to one width at the "
+                    "boundary instead of letting promotion decide")
+
+
+@register
+class ShapeContractViolationRule(Rule):
+    """Array algebra whose operand shapes provably cannot broadcast
+    (two concrete, unequal, non-1 lengths on the same axis) or a
+    ``concatenate`` over arrays of different ranks raises at runtime —
+    but only on the first input that actually reaches the expression,
+    which for rarely-taken branches means in production.  The analysis
+    reports only *proven* mismatches: symbolic or unknown dimensions
+    never fire.
+    """
+
+    code = "RPR503"
+    name = "shape-contract-violation"
+    summary = "Provable broadcasting or rank mismatch in array algebra"
+    example_bad = ('a = np.zeros((3,))\n'
+                   'b = np.zeros((4,))\n'
+                   'c = a + b  # ValueError at runtime')
+    example_good = ('a = np.zeros((3,))\n'
+                    'b = np.zeros((3,))\n'
+                    'c = a + b')
+
+    def finish_project(self, project: "ProjectContext") -> None:
+        """Report statically-proven shape mismatches."""
+        for mf, _, fn in project.index.function_sites():
+            for mismatch in fn.shape_mismatches:
+                project.report(
+                    self.code, mf.path, mismatch.lineno, mismatch.col,
+                    f"`{mismatch.rendered}` cannot execute: "
+                    f"{mismatch.detail}; fix the construction site or "
+                    "the contract, not the symptom")
+
+
+@register
+class UnsafeIndexDtypeRule(Rule):
+    """Gathering with an int32-or-smaller index tensor caps the
+    addressable length of the target array at the index dtype's max;
+    once the packed structure outgrows it the indices wrap and the
+    gather silently reads the wrong rows (the CompiledForest
+    child-index class of bug).  Reported only when the index values
+    are not provably below the dtype's ceiling — a freshly
+    ``arange``-d or interval-bounded index is fine.
+    """
+
+    code = "RPR504"
+    name = "unsafe-index-dtype"
+    summary = "Unbounded int32-or-smaller index tensor used in a gather"
+    example_bad = ('idx = np.asarray(rows, dtype=np.int32)\n'
+                   'out = table[idx]  # wraps once table outgrows int32')
+    example_good = ('idx = np.asarray(rows, dtype=np.int64)\n'
+                    'out = table[idx]')
+
+    def finish_project(self, project: "ProjectContext") -> None:
+        """Report gathers through unbounded small-dtype indices."""
+        for mf, _, fn in project.index.function_sites():
+            for fact in fn.small_indices:
+                project.report(
+                    self.code, mf.path, fact.lineno, fact.col,
+                    f"`{fact.rendered}` gathers through a "
+                    f"{fact.index_dtype} index tensor whose values are "
+                    "bounded only by the dtype itself; index with "
+                    "int64 (numpy's native index type) unless the "
+                    "array length is provably capped")
+
+
+@register
+class EmptyArrayReductionRule(Rule):
+    """``min``/``max``/``argmin``-style reductions raise ``ValueError``
+    on an empty operand, and boolean-mask selection (``x[x > 0]``) is
+    exactly the construction that produces an empty array on
+    unremarkable inputs.  The analysis taints mask-selected values as
+    maybe-empty and reports reductions over them unless the function
+    checks the operand's size (``.size``, ``len()``, ``.shape``) in
+    some test or assert.
+    """
+
+    code = "RPR505"
+    name = "empty-array-reduction"
+    summary = "min/max-style reduction over a possibly-empty selection"
+    example_bad = ('pos = x[x > 0]\n'
+                   'lo = pos.min()  # ValueError when nothing is positive')
+    example_good = ('pos = x[x > 0]\n'
+                    'if pos.size == 0:\n'
+                    '    return default\n'
+                    'lo = pos.min()')
+
+    def finish_project(self, project: "ProjectContext") -> None:
+        """Report unchecked reductions over maybe-empty operands."""
+        for mf, _, fn in project.index.function_sites():
+            for fact in fn.empty_reductions:
+                project.report(
+                    self.code, mf.path, fact.lineno, fact.col,
+                    f"`{fact.func}()` reduces `{fact.operand}`, which "
+                    "a boolean mask may have emptied: numpy raises on "
+                    "empty reductions; check `.size` first or pass "
+                    "`initial=`")

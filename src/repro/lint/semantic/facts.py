@@ -24,6 +24,7 @@ __all__ = [
     "BlockingCallFact",
     "CallFact",
     "ClassFacts",
+    "EmptyReductionFact",
     "FunctionFacts",
     "ImportFact",
     "IterationFact",
@@ -31,9 +32,13 @@ __all__ = [
     "LockAcquireFact",
     "LockAttrFact",
     "LockedReadFact",
+    "MixedPrecisionFact",
     "ModuleFacts",
+    "NarrowingCastFact",
     "ParamFact",
     "ReturnFact",
+    "ShapeMismatchFact",
+    "SmallIndexFact",
     "ThreadSpawnFact",
     "extract_module_facts",
     "is_generator_param",
@@ -209,6 +214,78 @@ class ReturnFact:
 
 
 @dataclass(frozen=True)
+class NarrowingCastFact:
+    """A dtype cast that cannot represent every value of its source.
+
+    Recorded for explicit casts (``astype``, ``asarray(..., dtype=)``)
+    and for stores into a known-narrower array.  ``provable`` means the
+    tracked value interval fits the target dtype; ``guarded`` means a
+    bound guard (comparison against a numeric constant, ``np.clip``,
+    mask, or modulo) mentions a contributing name somewhere in the
+    function body.  RPR501 only fires when neither holds.
+    """
+
+    lineno: int
+    col: int
+    src_dtype: str
+    dst_dtype: str
+    provable: bool
+    guarded: bool
+    #: Rendered cast expression, for the finding message.
+    rendered: str
+
+
+@dataclass(frozen=True)
+class MixedPrecisionFact:
+    """An arithmetic op combining float arrays of different widths."""
+
+    lineno: int
+    col: int
+    left_dtype: str
+    right_dtype: str
+    rendered: str
+
+
+@dataclass(frozen=True)
+class ShapeMismatchFact:
+    """A provable broadcasting or rank mismatch in array algebra."""
+
+    lineno: int
+    col: int
+    #: Human-readable mismatch description (shapes involved).
+    detail: str
+    rendered: str
+
+
+@dataclass(frozen=True)
+class SmallIndexFact:
+    """A gather through an int32-or-smaller index tensor whose values
+    are bounded only by the index dtype itself."""
+
+    lineno: int
+    col: int
+    index_dtype: str
+    rendered: str
+
+
+@dataclass(frozen=True)
+class EmptyReductionFact:
+    """A min/max-style reduction over a possibly-empty array.
+
+    ``maybe_empty`` taint originates from boolean-mask indexing; the
+    fact is suppressed when the function checks the operand's size
+    (``.size``, ``len()``, ``.shape``) anywhere in a test or assert.
+    """
+
+    lineno: int
+    col: int
+    #: Reduction name (``"min"``, ``"argmax"``, ...).
+    func: str
+    #: Rendered operand expression.
+    operand: str
+
+
+@dataclass(frozen=True)
 class IterationFact:
     """One iteration site whose order may be hash-seed dependent."""
 
@@ -251,6 +328,12 @@ class FunctionFacts:
     thread_spawns: list[ThreadSpawnFact] = field(default_factory=list)
     #: Rendered receivers of ``.join()`` calls in the body.
     thread_joins: list[str] = field(default_factory=list)
+    # -- numeric facts (populated by the numeric dataflow pass) --------
+    narrowing_casts: list[NarrowingCastFact] = field(default_factory=list)
+    mixed_precision: list[MixedPrecisionFact] = field(default_factory=list)
+    shape_mismatches: list[ShapeMismatchFact] = field(default_factory=list)
+    small_indices: list[SmallIndexFact] = field(default_factory=list)
+    empty_reductions: list[EmptyReductionFact] = field(default_factory=list)
 
 
 @dataclass
@@ -342,6 +425,16 @@ class ModuleFacts:
                 thread_spawns=[ThreadSpawnFact(**s)
                                for s in d.get("thread_spawns", ())],
                 thread_joins=list(d.get("thread_joins", ())),
+                narrowing_casts=[NarrowingCastFact(**n)
+                                 for n in d.get("narrowing_casts", ())],
+                mixed_precision=[MixedPrecisionFact(**m)
+                                 for m in d.get("mixed_precision", ())],
+                shape_mismatches=[ShapeMismatchFact(**s)
+                                  for s in d.get("shape_mismatches", ())],
+                small_indices=[SmallIndexFact(**s)
+                               for s in d.get("small_indices", ())],
+                empty_reductions=[EmptyReductionFact(**e)
+                                  for e in d.get("empty_reductions", ())],
             )
 
         return cls(

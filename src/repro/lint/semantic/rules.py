@@ -68,6 +68,8 @@ class GeneratorThreadingRule(Rule):
     code = "RPR203"
     name = "generator-threading"
     summary = "Calls reaching stochastic code must pass a Generator"
+    example_bad = 'def fit(self, data):\n    train(data)  # train() draws randomness internally'
+    example_good = 'def fit(self, data, rng):\n    train(data, rng=rng)'
 
     def finish_project(self, project: "ProjectContext") -> None:
         """Flag call sites into generator-requiring functions."""
@@ -199,6 +201,8 @@ class FeatureDtypeDriftRule(_SurfaceReturnsRule):
     code = "RPR106"
     name = "feature-dtype-drift"
     summary = "Featurize surfaces must emit float64 feature matrices"
+    example_bad = 'def featurize(self, query):\n    return np.zeros(8, dtype=np.float32)'
+    example_good = 'def featurize(self, query):\n    return np.zeros(8)  # numpy defaults to float64'
 
     _NARROW = frozenset({"float32", "float16"})
 
@@ -229,6 +233,8 @@ class FeatureShapeContractRule(_SurfaceReturnsRule):
     code = "RPR107"
     name = "feature-shape-contract"
     summary = "Featurize surfaces must emit the contracted array rank"
+    example_bad = 'def featurize_batch(self, queries):\n    return np.zeros(8)  # rank 1; the batch contract is rank 2'
+    example_good = 'def featurize_batch(self, queries):\n    return np.zeros((len(queries), 8))'
 
     def finish_project(self, project: "ProjectContext") -> None:
         """Flag featurize surfaces returning the wrong array rank."""
@@ -261,6 +267,8 @@ class UnorderedIterationRule(Rule):
     code = "RPR204"
     name = "unordered-iteration"
     summary = "No set-ordered iteration in feature-emission code"
+    example_bad = 'for name in {c.name for c in columns}:\n    emit(name)'
+    example_good = 'for name in sorted({c.name for c in columns}):\n    emit(name)'
 
     #: Packages whose iteration order reaches feature emission.
     module_prefixes = ("repro.featurize", "repro.workloads")

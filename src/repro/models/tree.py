@@ -98,6 +98,15 @@ class BinMapper:
             )
         codes = np.empty(X.shape, dtype=np.uint8)
         for j, thresholds in enumerate(self._thresholds):
+            # fit() rejects max_bins > 255, but thresholds can also
+            # arrive via persistence, where a corrupt or hand-built
+            # artifact bypasses that check — and searchsorted output
+            # beyond 255 would wrap to a valid-looking uint8 code.
+            if thresholds.size > 254:
+                raise ValueError(
+                    f"column {j} has {thresholds.size} thresholds; "
+                    "bin codes above 255 cannot fit uint8"
+                )
             codes[:, j] = np.searchsorted(thresholds, X[:, j]).astype(np.uint8)
         return codes
 

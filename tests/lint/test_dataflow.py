@@ -147,6 +147,57 @@ class TestCfgShapes:
         assert all(op.node.lineno != 3
                    for block in cfg.blocks.values() for op in block.ops)
 
+    def test_while_else_lives_on_the_normal_exit_path(self):
+        _, cfg = fn_cfg("""\
+            def f(x):
+                while x:
+                    x = x - 1
+                else:
+                    cleanup()
+                done()
+            """)
+        head = block_of(cfg, "test", 2)
+        els = block_of(cfg, "stmt", 5)
+        after = block_of(cfg, "stmt", 6)
+        # The else body runs when the loop exhausts, i.e. straight off
+        # the head's false edge, and flows on into the trailing code.
+        assert els.block_id in head.succs
+        assert after.block_id == els.block_id or \
+            after.block_id in els.succs
+
+    def test_try_finally_joins_body_and_handler(self):
+        _, cfg = fn_cfg("""\
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    fallback()
+                finally:
+                    close()
+                done()
+            """)
+        final = block_of(cfg, "stmt", 7)
+        body = block_of(cfg, "stmt", 3)
+        handler = block_of(cfg, "stmt", 5)
+        # Both the normal path and the handled path funnel into the
+        # finally block before the trailing code.
+        assert body.block_id in final.preds
+        assert handler.block_id in final.preds
+
+    def test_bare_try_finally_runs_on_the_propagation_path(self):
+        _, cfg = fn_cfg("""\
+            def f():
+                try:
+                    risky()
+                finally:
+                    close()
+                done()
+            """)
+        final = block_of(cfg, "stmt", 5)
+        # With no handler the exception still executes the finally
+        # body on its way out, so the dispatch block reaches it too.
+        assert len(final.preds) >= 2
+
     def test_rpo_starts_at_entry(self):
         _, cfg = fn_cfg("""\
             def f(x):
@@ -196,6 +247,63 @@ class TestReachingDefinitions:
                 sites = {site for site in state if site[0] == "x"}
                 assert {site[1] for site in sites} == {2, 4}
                 assert analysis.resolve(state, "x") is None
+                break
+        else:
+            raise AssertionError("return op not reached")
+
+    def test_try_finally_join_merges_both_definitions(self):
+        # x is redefined on the normal path (line 4) and the handled
+        # path (line 6); the finally join must carry both sites, and
+        # neither kills the other.
+        fn, cfg, analysis, solution = self.states_at("""\
+            def f():
+                x = 0
+                try:
+                    x = risky()
+                except ValueError:
+                    x = -1
+                finally:
+                    log()
+                return x
+            """)
+        for op, state in iter_op_states(cfg, analysis, solution):
+            if op.kind == "stmt" and isinstance(op.node, ast.Return):
+                sites = {site[1] for site in state if site[0] == "x"}
+                assert {4, 6} <= sites
+                assert analysis.resolve(state, "x") is None
+                break
+        else:
+            raise AssertionError("return op not reached")
+
+    def test_augmented_subscript_mutates_without_rebinding(self):
+        # ``a[0] += 1`` mutates the object a names but does not rebind
+        # ``a`` — its original definition must still resolve, while an
+        # augmented assignment to the bare name kills it.
+        fn, cfg, analysis, solution = self.states_at("""\
+            def f(n):
+                a = make(n)
+                a[0] += 1
+                return a
+            """)
+        for op, state in iter_op_states(cfg, analysis, solution):
+            if op.kind == "stmt" and isinstance(op.node, ast.Return):
+                value = analysis.resolve(state, "a")
+                assert isinstance(value, ast.Call)
+                break
+        else:
+            raise AssertionError("return op not reached")
+
+    def test_augmented_name_assignment_kills_the_definition(self):
+        fn, cfg, analysis, solution = self.states_at("""\
+            def f(n):
+                a = make(n)
+                a += 1
+                return a
+            """)
+        for op, state in iter_op_states(cfg, analysis, solution):
+            if op.kind == "stmt" and isinstance(op.node, ast.Return):
+                sites = {site[1] for site in state if site[0] == "a"}
+                assert sites == {3}
                 break
         else:
             raise AssertionError("return op not reached")

@@ -229,9 +229,12 @@ class TestRegistry:
         assert len(codes) == len(set(codes)) >= 9
         assert all(code.startswith("RPR") for code in codes)
         bands = {code[3] for code in codes}
-        assert bands == {"1", "2", "3", "4"}
+        assert bands == {"1", "2", "3", "4", "5"}
         for cls in classes:
             assert cls.name and cls.summary
+            assert cls.example_bad and cls.example_good
+            assert cls.rationale()
+            assert cls.help_uri().endswith(cls.code.lower())
 
 
 class TestDiscovery:

@@ -94,6 +94,41 @@ def test_list_rules(tmp_path):
         assert expected in out
 
 
+def test_explain_prints_rationale_and_examples():
+    code, out = run_cli(["--explain", "RPR501"])
+    assert code == 0
+    assert "RPR501" in out and "silent-dtype-narrowing" in out
+    assert "Bad:" in out and "Good:" in out
+    assert "docs/lint_rules.md#rpr501" in out
+
+
+def test_explain_normalises_case():
+    code, out = run_cli(["--explain", "rpr101"])
+    assert code == 0
+    assert "RPR101" in out
+
+
+def test_explain_covers_every_registered_rule():
+    from repro.lint.registry import all_rule_classes
+
+    for cls in all_rule_classes():
+        code, out = run_cli(["--explain", cls.code])
+        assert code == 0, cls.code
+        assert cls.code in out and "Bad:" in out, cls.code
+
+
+def test_explain_parse_error_code_is_documented():
+    code, out = run_cli(["--explain", "RPR001"])
+    assert code == 0
+    assert "parse" in out.lower()
+
+
+def test_explain_unknown_code_is_a_usage_error():
+    code, out = run_cli(["--explain", "RPR999"])
+    assert code == 2
+    assert "unknown rule code" in out
+
+
 def test_repo_src_via_cli_is_clean():
     """End to end: the shipped tree, real config, real baseline."""
     repo_root = Path(__file__).resolve().parents[2]

@@ -1,0 +1,398 @@
+"""Tests for the numeric abstract-interpretation band (RPR501-505).
+
+Covers the lattice primitives directly (dtype promotion, narrowing
+classification, value joins, interval widening termination), each
+rule's positive and negative fixtures end to end through
+:func:`lint_text`, and the cache round-trip of the numeric facts.
+"""
+
+import ast
+import math
+import textwrap
+
+from repro.lint.dataflow import (
+    NumericAnalysis,
+    NumState,
+    NumValue,
+    attach_numeric_facts,
+    build_cfg,
+    dtype_range,
+    is_narrowing,
+    iter_op_states,
+    join_values,
+    promote,
+    solve,
+)
+from repro.lint.engine import lint_text
+from repro.lint.semantic.facts import ModuleFacts, extract_module_facts
+
+INF = math.inf
+
+
+def numeric_codes(source, module_name="snippet"):
+    """RPR5xx finding codes (with lines) for a dedented snippet."""
+    result = lint_text(textwrap.dedent(source), module_name=module_name)
+    return sorted((f.code, f.line) for f in result.findings
+                  if f.code.startswith("RPR5"))
+
+
+def facts_for(source, module_name="snippet"):
+    tree = ast.parse(textwrap.dedent(source))
+    facts = extract_module_facts(tree, path=f"{module_name}.py",
+                                 module_name=module_name)
+    attach_numeric_facts(facts, tree)
+    return facts
+
+
+class TestDtypeLattice:
+    def test_promotion_widens_within_a_kind(self):
+        assert promote("int32", "int64") == "int64"
+        assert promote("float32", "float64") == "float64"
+        assert promote("uint8", "uint16") == "uint16"
+
+    def test_promotion_crosses_kinds_upward(self):
+        assert promote("bool_", "int32") == "int32"
+        assert promote("int64", "float32") in ("float32", "float64")
+        assert promote("float64", "int8") == "float64"
+
+    def test_mixed_signedness_needs_a_wider_signed_type(self):
+        result = promote("uint32", "int32")
+        assert result in ("int64", "float64")
+
+    def test_unknown_dtype_is_absorbing(self):
+        assert promote(None, "int32") is None
+        assert promote("int32", None) is None
+
+    def test_narrowing_is_range_containment_not_bit_width(self):
+        assert is_narrowing("int64", "uint8")
+        assert is_narrowing("int64", "int32")
+        assert not is_narrowing("int32", "int64")
+        assert not is_narrowing("uint8", "int64")
+        # Same width, different sign: both directions lose values.
+        assert is_narrowing("int8", "uint8")
+        assert is_narrowing("uint8", "int8")
+
+    def test_float_narrowing_is_mantissa_loss(self):
+        assert is_narrowing("float64", "float32")
+        assert not is_narrowing("float32", "float64")
+
+    def test_cross_kind_casts_are_exempt(self):
+        assert not is_narrowing("float64", "int32")
+        assert not is_narrowing("int64", "float32")
+
+    def test_dtype_range_bounds(self):
+        assert dtype_range("uint8") == (0, 255)
+        assert dtype_range("int8") == (-128, 127)
+        lo, hi = dtype_range("float32")
+        assert lo == -INF and hi == INF
+
+
+class TestJoinValues:
+    def test_join_hulls_intervals(self):
+        a = NumValue(kind="scalar", dtype="int64", lo=0, hi=10)
+        b = NumValue(kind="scalar", dtype="int64", lo=5, hi=20)
+        joined = join_values(a, b)
+        assert (joined.lo, joined.hi) == (0, 20)
+        assert joined.dtype == "int64"
+
+    def test_join_of_different_dtypes_forgets_the_dtype(self):
+        a = NumValue(kind="array", dtype="int32", shape=(4,))
+        b = NumValue(kind="array", dtype="float64", shape=(4,))
+        assert join_values(a, b).dtype is None
+
+    def test_join_keeps_agreeing_dims_and_wildcards_the_rest(self):
+        a = NumValue(kind="array", dtype="f8", shape=(3, 8))
+        b = NumValue(kind="array", dtype="f8", shape=(5, 8))
+        assert join_values(a, b).shape == ("?", 8)
+
+    def test_join_of_different_ranks_forgets_the_shape(self):
+        a = NumValue(kind="array", dtype="f8", shape=(3,))
+        b = NumValue(kind="array", dtype="f8", shape=(3, 4))
+        assert join_values(a, b).shape is None
+
+    def test_maybe_empty_taints_the_join(self):
+        a = NumValue(kind="array", dtype="f8", shape=(3,))
+        b = NumValue(kind="array", dtype="f8", shape=("?",),
+                     maybe_empty=True)
+        assert join_values(a, b).maybe_empty
+
+
+class TestWideningTermination:
+    def solve_fn(self, source):
+        tree = ast.parse(textwrap.dedent(source))
+        fn = next(node for node in ast.walk(tree)
+                  if isinstance(node, ast.FunctionDef))
+        cfg = build_cfg(fn)
+        analysis = NumericAnalysis(fn)
+        return fn, cfg, analysis, solve(cfg, analysis)
+
+    def value_at_return(self, source, name):
+        fn, cfg, analysis, solution = self.solve_fn(source)
+        for op, state in iter_op_states(cfg, analysis, solution):
+            if op.kind == "stmt" and isinstance(op.node, ast.Return):
+                return state.get(name)
+        raise AssertionError("return op not reached")
+
+    def test_counting_loop_terminates_and_widens_upward(self):
+        # Without widening the interval [0,0], [0,1], [0,2], ... climbs
+        # forever; the per-name widening counter must cut it to +inf
+        # within the solver's pass budget.
+        total = self.value_at_return("""\
+            def f(n):
+                total = 0
+                for i in range(n):
+                    total = total + 1
+                return total
+            """, "total")
+        assert total.lo == 0
+        assert total.hi == INF
+
+    def test_widening_preserves_the_stable_bound(self):
+        # The lower bound never changes, so widening must only blow
+        # out the climbing end, not both.
+        x = self.value_at_return("""\
+            def f(n):
+                x = 100
+                while n:
+                    x = x - 3
+                return x
+            """, "x")
+        assert x.hi == 100
+        assert x.lo == -INF
+
+    def test_nested_loops_converge(self):
+        fn, cfg, analysis, solution = self.solve_fn("""\
+            def f(n, m):
+                acc = 0
+                for i in range(n):
+                    for j in range(m):
+                        acc = acc + i * j
+                return acc
+            """)
+        assert solution.block_in  # fixed point reached, no blow-up
+
+
+class TestSilentDtypeNarrowing:
+    def test_unbounded_narrowing_cast_fires(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f(ids):
+                wide = np.asarray(ids, dtype=np.int64)
+                return wide.astype(np.uint8)
+            """) == [("RPR501", 5)]
+
+    def test_provably_in_range_cast_is_silent(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f():
+                codes = np.zeros((4, 4), dtype=np.int64)
+                return codes.astype(np.uint8)
+            """) == []
+
+    def test_bound_guard_suppresses(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f(vals):
+                wide = np.asarray(vals, dtype=np.int64)
+                if wide.max() > 255:
+                    raise ValueError("out of range")
+                return wide.astype(np.uint8)
+            """) == []
+
+    def test_float_to_int_truncation_is_exempt(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f(x):
+                vals = np.asarray(x, dtype=np.float64)
+                return vals.astype(np.int32)
+            """) == []
+
+
+class TestFloatPrecisionDrift:
+    KERNEL = "repro.featurize.fixture"
+    MIXED = """\
+        import numpy as np
+
+        def f(a32, b):
+            a = np.asarray(a32, dtype=np.float32)
+            c = np.asarray(b, dtype=np.float64)
+            return a * c
+        """
+
+    def test_mixed_float_arithmetic_fires_in_kernel_modules(self):
+        assert numeric_codes(self.MIXED, module_name=self.KERNEL) == \
+            [("RPR502", 6)]
+
+    def test_rule_is_scoped_to_the_kernel_prefixes(self):
+        assert numeric_codes(self.MIXED, module_name="snippet") == []
+
+    def test_uniform_precision_is_silent(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f(a, b):
+                x = np.asarray(a, dtype=np.float64)
+                y = np.asarray(b, dtype=np.float64)
+                return x * y
+            """, module_name=self.KERNEL) == []
+
+
+class TestShapeContractViolation:
+    def test_incompatible_broadcast_fires(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f():
+                a = np.zeros((3,))
+                b = np.zeros((4,))
+                return a + b
+            """) == [("RPR503", 6)]
+
+    def test_broadcastable_shapes_are_silent(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f():
+                a = np.zeros((3, 4))
+                b = np.zeros((4,))
+                row = np.zeros((1, 4))
+                return a + b + row
+            """) == []
+
+    def test_unknown_shapes_never_fire(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f(a, b):
+                return a + b
+            """) == []
+
+    def test_concatenate_rank_mismatch_fires(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f():
+                a = np.zeros((3, 4))
+                b = np.zeros((4,))
+                return np.concatenate([a, b])
+            """) == [("RPR503", 6)]
+
+
+class TestUnsafeIndexDtype:
+    def test_unbounded_small_index_fires(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f(table, rows):
+                idx = np.asarray(rows, dtype=np.int32)
+                return table[idx]
+            """) == [("RPR504", 5)]
+
+    def test_provably_bounded_index_is_silent(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f(table):
+                idx = np.zeros((8,), dtype=np.int32)
+                idx = idx + 1000
+                return table[idx]
+            """) == []
+
+    def test_int64_index_is_silent(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f(table, rows):
+                idx = np.asarray(rows, dtype=np.int64)
+                return table[idx]
+            """) == []
+
+
+class TestEmptyArrayReduction:
+    def test_reduction_over_mask_selection_fires(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f(x: np.ndarray):
+                pos = x[x > 0]
+                return float(pos.min())
+            """) == [("RPR505", 5)]
+
+    def test_size_check_suppresses(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f(x: np.ndarray):
+                pos = x[x > 0]
+                if pos.size == 0:
+                    return 0.0
+                return float(pos.min())
+            """) == []
+
+    def test_known_nonempty_operand_is_silent(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f():
+                x = np.ones((8,))
+                return float(x.min())
+            """) == []
+
+    def test_sum_of_empty_is_well_defined_and_silent(self):
+        assert numeric_codes("""\
+            import numpy as np
+
+            def f(x: np.ndarray):
+                pos = x[x > 0]
+                return float(pos.sum())
+            """) == []
+
+
+class TestFactsAndCacheRoundTrip:
+    SOURCE = """\
+        import numpy as np
+
+        def f(ids):
+            wide = np.asarray(ids, dtype=np.int64)
+            return wide.astype(np.uint8)
+
+        def g():
+            a = np.zeros((3,))
+            b = np.zeros((4,))
+            return a + b
+        """
+
+    def test_numeric_facts_are_attached_per_function(self):
+        facts = facts_for(self.SOURCE)
+        by_name = {fn.name: fn for fn in facts.functions}
+        assert [c.dst_dtype for c in by_name["f"].narrowing_casts] == \
+            ["uint8"]
+        assert not by_name["f"].narrowing_casts[0].provable
+        assert len(by_name["g"].shape_mismatches) == 1
+
+    def test_facts_survive_the_cache_round_trip(self):
+        facts = facts_for(self.SOURCE)
+        clone = ModuleFacts.from_dict(facts.to_dict())
+        for original, restored in zip(facts.functions, clone.functions):
+            assert restored.narrowing_casts == original.narrowing_casts
+            assert restored.shape_mismatches == original.shape_mismatches
+            assert restored.small_indices == original.small_indices
+            assert restored.empty_reductions == original.empty_reductions
+            assert restored.mixed_precision == original.mixed_precision
+
+    def test_cast_interval_refines_the_return_fact(self):
+        # The syntactic pass sees only ``wide.astype(...)``; the lattice
+        # replay fills in the concrete dtype and rank.
+        facts = facts_for("""\
+            import numpy as np
+
+            def f():
+                codes = np.zeros((4, 4), dtype=np.int64)
+                return codes.astype(np.uint8)
+            """)
+        ret = facts.functions[0].returns[0]
+        assert (ret.dtype, ret.rank) == ("uint8", 2)

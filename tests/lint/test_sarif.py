@@ -68,6 +68,12 @@ SARIF_SCHEMA = {
                                                     "type": "object",
                                                     "required": ["text"],
                                                 },
+                                                "fullDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "helpUri": {
+                                                    "type": "string"},
                                             },
                                         },
                                     },
@@ -194,3 +200,15 @@ def test_rule_index_points_into_catalogue(report):
     for result in payload["runs"][0]["results"]:
         index = result["ruleIndex"]
         assert rules[index]["id"] == result["ruleId"]
+
+
+def test_rule_catalogue_carries_full_metadata():
+    """Every rule entry has the help URI and a real fullDescription."""
+    rules = render(Report(new=[]))["runs"][0]["tool"]["driver"]["rules"]
+    assert len(rules) >= 26
+    for entry in rules:
+        assert entry["helpUri"].startswith("docs/lint_rules.md#")
+        assert entry["helpUri"].endswith(entry["id"].lower())
+        assert entry["fullDescription"]["text"].strip()
+        assert entry["fullDescription"]["text"] != \
+            entry["shortDescription"]["text"]
