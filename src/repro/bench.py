@@ -303,6 +303,16 @@ def run_obs_bench(rows: int = 10_000, queries: int = 10_000,
     The report's ``disabled_overhead_pct`` is the number the CI gate
     holds under 3%: instrumentation must cost nothing when nobody is
     looking.
+
+    Two telemetry hot-path legs ride along (best of the same
+    ``repeats``), since PR 9 put both on the serving request path:
+
+    * **window** — per-``observe`` cost of a labelled
+      :class:`~repro.obs.window.WindowedHistogram` and per-``advance``
+      cost of rolling its tick ring;
+    * **events** — per-``record`` cost of the wide-event log with
+      ``sample_every=1`` (keep everything) vs ``sample_every=16``
+      (head sampling active), showing what sampling saves.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -353,6 +363,48 @@ def run_obs_bench(rows: int = 10_000, queries: int = 10_000,
             return 0.0
         return (seconds - baseline_seconds) / baseline_seconds * 100.0
 
+    from repro.obs.events import EventLog
+    from repro.obs.window import WindowedHistogram
+
+    telemetry_ops = min(4 * queries, 40_000)
+    advance_ops = 1_024
+    values = [(i % 97) / 7.0 for i in range(telemetry_ops)]
+    observe_seconds = float("inf")
+    advance_seconds = float("inf")
+    keep_all_seconds = float("inf")
+    sampled_seconds = float("inf")
+    for _ in range(repeats):
+        histogram = WindowedHistogram("bench.window",
+                                      label_names=("model",),
+                                      window_ticks=8)
+        start = time.perf_counter()
+        for value in values:
+            histogram.observe(value, model="bench")
+        observe_seconds = min(observe_seconds,
+                              time.perf_counter() - start)
+
+        start = time.perf_counter()
+        for _ in range(advance_ops):
+            histogram.advance()
+        advance_seconds = min(advance_seconds,
+                              time.perf_counter() - start)
+
+        for sample_every in (1, 16):
+            log = EventLog(capacity=1_024, sample_every=sample_every)
+            start = time.perf_counter()
+            for i in range(telemetry_ops):
+                log.record(trace_id=i, fingerprint="bench",
+                           model_version="bench", cache="hit",
+                           latency_seconds=0.001, estimate=1.0)
+            elapsed = time.perf_counter() - start
+            if sample_every == 1:
+                keep_all_seconds = min(keep_all_seconds, elapsed)
+            else:
+                sampled_seconds = min(sampled_seconds, elapsed)
+
+    def ns_per_op(seconds: float, ops: int) -> float:
+        return seconds / ops * 1e9 if ops else 0.0
+
     return {
         "benchmark": "obs",
         "config": {
@@ -370,6 +422,23 @@ def run_obs_bench(rows: int = 10_000, queries: int = 10_000,
         "enabled_seconds": enabled_seconds,
         "disabled_overhead_pct": overhead_pct(disabled_seconds),
         "enabled_overhead_pct": overhead_pct(enabled_seconds),
+        "window": {
+            "observe_ops": telemetry_ops,
+            "observe_seconds": observe_seconds,
+            "observe_ns_per_op": ns_per_op(observe_seconds, telemetry_ops),
+            "advance_ops": advance_ops,
+            "advance_seconds": advance_seconds,
+            "advance_ns_per_op": ns_per_op(advance_seconds, advance_ops),
+        },
+        "events": {
+            "record_ops": telemetry_ops,
+            "keep_all_seconds": keep_all_seconds,
+            "keep_all_ns_per_op": ns_per_op(keep_all_seconds,
+                                            telemetry_ops),
+            "sample_16_seconds": sampled_seconds,
+            "sample_16_ns_per_op": ns_per_op(sampled_seconds,
+                                             telemetry_ops),
+        },
     }
 
 

@@ -28,8 +28,15 @@ downstream user needs, plus dataset generation:
   client fleet, client batch sizes 1/8/64); writes ``BENCH_serve.json``
   and fails if batched throughput is below ``--min-batch-speedup``
   (default 5x) times the single-request rate.
-* ``repro obs report trace.jsonl`` — per-stage summary of a span trace
-  recorded with ``--trace`` (see ``docs/observability.md``).
+* ``repro obs report trace.jsonl [--events events.jsonl]`` — per-stage
+  summary of a span trace recorded with ``--trace``, plus a request-
+  event summary when ``--events`` is given (see
+  ``docs/observability.md``).
+* ``repro obs watch events.jsonl [--follow]`` — tail a request-event
+  log as one aligned line per event.
+* ``repro obs stitch client.jsonl server.jsonl --output trace.json`` —
+  stitch span logs from several processes into one Chrome trace with
+  flow arrows joining each request's client and server spans.
 * ``repro lint [paths]`` — the repo's own static-analysis pass
   (featurization/determinism contracts; see ``docs/lint_rules.md``).
 
@@ -117,6 +124,7 @@ def _cmd_serve(args) -> int:
     import signal
     import threading
 
+    from repro import obs
     from repro.serve import EstimationServer, EstimationService, ModelRegistry
 
     if args.registry is not None:
@@ -127,13 +135,19 @@ def _cmd_serve(args) -> int:
     else:
         estimator = load_estimator(args.artifact)
         print(f"loaded {estimator.name} from {args.artifact}")
+    if args.trace:
+        # Spans are recorded for the whole serving lifetime and written
+        # as JSONL at drain; stitch with a client trace afterwards.
+        obs.enable()
     service = EstimationService(estimator,
                                 max_batch_size=args.max_batch_size,
                                 max_wait_ms=args.max_wait_ms,
                                 cache_size=args.cache_size,
                                 max_inflight=args.max_inflight,
                                 plan_cache_size=args.plan_cache_size,
-                                parse_cache_size=args.parse_cache_size)
+                                parse_cache_size=args.parse_cache_size,
+                                model_version=args.model_version,
+                                tick_every=args.tick_every)
     server = EstimationServer(service, host=args.host, port=args.port)
     server.start()
     fused = "fused" if service.fused is not None else "legacy"
@@ -141,7 +155,8 @@ def _cmd_serve(args) -> int:
           f"(batch<= {args.max_batch_size}, wait {args.max_wait_ms}ms, "
           f"cache {args.cache_size}, plans {args.plan_cache_size}, "
           f"templates {args.parse_cache_size}, "
-          f"inflight<= {args.max_inflight}, {fused} path)")
+          f"inflight<= {args.max_inflight}, {fused} path, "
+          f"model {service.model_version}, tick every {args.tick_every})")
     stop = getattr(args, "shutdown_event", None) or threading.Event()
     if threading.current_thread() is threading.main_thread():
         # SIGINT/SIGTERM trigger the graceful drain; tests drive the
@@ -151,6 +166,15 @@ def _cmd_serve(args) -> int:
     stop.wait()
     print("draining in-flight requests ...")
     server.stop(drain=True)
+    if args.trace:
+        from repro.obs import export
+
+        count = export.write_spans_jsonl(obs.get_tracer().finished(),
+                                         args.trace)
+        print(f"wrote {count} spans to {args.trace}")
+    if args.events:
+        count = obs.get_event_log().write_jsonl(args.events)
+        print(f"wrote {count} events to {args.events}")
     print("server stopped")
     return 0
 
@@ -241,6 +265,13 @@ def _cmd_bench_obs(args) -> int:
           f"({report['disabled_overhead_pct']:+.2f}%)")
     print(f"  tracing enabled           {report['enabled_seconds']:8.3f}s "
           f"({report['enabled_overhead_pct']:+.2f}%)")
+    window = report["window"]
+    events = report["events"]
+    print(f"  window observe {window['observe_ns_per_op']:8.0f}ns/op  "
+          f"advance {window['advance_ns_per_op']:8.0f}ns/op")
+    print(f"  event record   {events['keep_all_ns_per_op']:8.0f}ns/op "
+          f"(keep all)  {events['sample_16_ns_per_op']:8.0f}ns/op "
+          f"(1-in-16 sampling)")
     output = args.output or Path("BENCH_obs.json")
     write_report(report, output)
     print(f"wrote {output}")
@@ -342,17 +373,72 @@ def _cmd_bench_predict(args) -> int:
 
 
 def _cmd_obs_report(args) -> int:
+    from repro.obs import events as obs_events
     from repro.obs import export
 
-    records = export.read_spans_jsonl(args.trace)
-    summary = export.summarize_spans(records)
-    if args.format == "json":
-        print(export.render_summary_json(summary))
-    else:
-        print(export.render_summary_text(summary))
-    if args.chrome:
-        count = export.write_chrome_trace(records, args.chrome)
-        print(f"wrote {count} trace events to {args.chrome}")
+    if args.trace is None and args.events is None:
+        print("error: nothing to report — give a span trace and/or "
+              "--events", file=sys.stderr)
+        return 2
+    if args.trace is not None:
+        records = export.read_spans_jsonl(args.trace)
+        summary = export.summarize_spans(records)
+        if args.format == "json":
+            print(export.render_summary_json(summary))
+        else:
+            print(export.render_summary_text(summary))
+        if args.chrome:
+            count = export.write_chrome_trace(records, args.chrome)
+            print(f"wrote {count} trace events to {args.chrome}")
+    if args.events is not None:
+        event_records = obs_events.read_events_jsonl(args.events)
+        event_summary = obs_events.summarize_events(event_records)
+        if args.format == "json":
+            print(obs_events.render_events_summary_json(event_summary))
+        else:
+            print(obs_events.render_events_summary_text(event_summary))
+    return 0
+
+
+def _cmd_obs_watch(args) -> int:
+    import time
+
+    from repro.obs import events as obs_events
+
+    shown = 0
+    while True:
+        if args.events.exists():
+            records = obs_events.read_events_jsonl(args.events)
+        elif not args.follow:
+            print(f"error: no such event log: {args.events}",
+                  file=sys.stderr)
+            return 2
+        else:
+            records = []
+        for record in records[shown:]:
+            if args.errors_only and not record.get("error"):
+                continue
+            print(obs_events.render_event_text(record), flush=True)
+        shown = len(records)
+        if not args.follow:
+            return 0
+        try:
+            # A poll delay, not a measurement — RPR108 governs clock
+            # *reads*, and the tailer takes none.
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_obs_stitch(args) -> int:
+    from repro.obs import export
+
+    traces = []
+    for path in args.traces:
+        traces.append((Path(path).stem, export.read_spans_jsonl(path)))
+    count = export.write_stitched_chrome_trace(traces, args.output)
+    names = ", ".join(name for name, _ in traces)
+    print(f"wrote {count} trace events ({names}) to {args.output}")
     return 0
 
 
@@ -455,6 +541,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--parse-cache-size", type=int, default=512,
                        help="fingerprint-keyed parsed-template cache "
                             "capacity, 0 disables (default: 512)")
+    serve.add_argument("--model-version", default=None,
+                       help="version label stamped on telemetry "
+                            "(default: the estimator's name)")
+    serve.add_argument("--tick-every", type=int, default=256,
+                       help="advance the sliding telemetry windows every "
+                            "N requests, 0 disables auto-ticking "
+                            "(default: 256)")
+    serve.add_argument("--trace", type=Path, default=None,
+                       help="enable tracing and write the span JSONL "
+                            "here at graceful shutdown")
+    serve.add_argument("--events", type=Path, default=None,
+                       help="write the retained request-event JSONL "
+                            "here at graceful shutdown")
     serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser(
@@ -515,9 +614,12 @@ def build_parser() -> argparse.ArgumentParser:
         "obs", help="observability utilities (see docs/observability.md)")
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
     obs_report = obs_sub.add_parser(
-        "report", help="summarise a JSONL span trace per stage")
-    obs_report.add_argument("trace", type=Path,
+        "report", help="summarise a JSONL span trace and/or event log")
+    obs_report.add_argument("trace", type=Path, nargs="?", default=None,
                             help="trace.jsonl recorded with --trace")
+    obs_report.add_argument("--events", type=Path, default=None,
+                            help="events.jsonl recorded with "
+                                 "serve --events")
     obs_report.add_argument("--format", choices=["text", "json"],
                             default="text",
                             help="report format (default: text)")
@@ -525,6 +627,30 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also write Chrome trace-event JSON "
                                  "(chrome://tracing / Perfetto)")
     obs_report.set_defaults(func=_cmd_obs_report)
+    obs_watch = obs_sub.add_parser(
+        "watch", help="print request events from a JSONL event log, "
+                      "one aligned line each")
+    obs_watch.add_argument("events", type=Path,
+                           help="events.jsonl recorded with serve --events")
+    obs_watch.add_argument("--follow", action="store_true",
+                           help="keep polling the file for new events "
+                                "(Ctrl-C to stop)")
+    obs_watch.add_argument("--interval", type=float, default=1.0,
+                           help="poll interval in seconds with --follow "
+                                "(default: 1.0)")
+    obs_watch.add_argument("--errors-only", action="store_true",
+                           help="only print events that errored")
+    obs_watch.set_defaults(func=_cmd_obs_watch)
+    obs_stitch = obs_sub.add_parser(
+        "stitch", help="stitch span traces from several processes into "
+                       "one Chrome trace with flow arrows")
+    obs_stitch.add_argument("traces", type=Path, nargs="+",
+                            help="span JSONL files, ordered by causality "
+                                 "(client before server); process names "
+                                 "come from the file stems")
+    obs_stitch.add_argument("--output", type=Path, required=True,
+                            help="stitched Chrome trace-event JSON path")
+    obs_stitch.set_defaults(func=_cmd_obs_stitch)
 
     lint = sub.add_parser(
         "lint", help="run the repro static-analysis pass (RPR rules)")

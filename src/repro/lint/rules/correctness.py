@@ -9,6 +9,7 @@ and featurizers that silently miss part of the abstract surface.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterable
 
 from repro.lint.engine import ModuleContext, ProjectContext
@@ -16,7 +17,8 @@ from repro.lint.registry import Rule, register
 
 __all__ = ["MutableDefaultRule", "FloatEqualityRule", "BroadExceptRule",
            "FeaturizerSurfaceRule", "ScalarFeaturizeLoopRule",
-           "AdHocTimingRule", "PerTreePredictLoopRule"]
+           "AdHocTimingRule", "PerTreePredictLoopRule",
+           "MetricNameDriftRule"]
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
                      ast.DictComp, ast.SetComp)
@@ -422,3 +424,90 @@ class PerTreePredictLoopRule(Rule):
                     and "tree" in ast.unparse(target.value).lower()):
                 return f"{ast.unparse(target)}.{child.func.attr}"
         return None
+
+
+@register
+class MetricNameDriftRule(Rule):
+    """Metric and span names are the join keys of the whole telemetry
+    stack: the ``/metrics`` JSON, the Prometheus exposition (which maps
+    ``serve.request.seconds`` to ``serve_request_seconds``), trace
+    summaries, dashboards, and alert expressions all select series by
+    these strings.  A name built at the call site — an f-string, a
+    concatenation, a ``.format(...)`` — fragments one logical series
+    into many (or silently creates a new one on a typo), and nothing
+    can grep for where a dashboard's series comes from.  Names must be
+    **dotted lowercase literals** at the call site, or a plain variable
+    holding one resolved up front (as ``serve/cache.py`` does in
+    ``__init__``).  ``repro.obs`` itself is exempt — it is the layer
+    that manipulates names.
+    """
+
+    code = "RPR110"
+    name = "metric-name-drift"
+    summary = "Obs metric/span names must be dotted-lowercase literals"
+    example_bad = 'obs.get_registry().counter(f"serve.cache.{kind}").inc()'
+    example_good = 'obs.get_registry().counter("serve.cache.hits").inc()'
+
+    #: Module prefix the rule applies to.
+    module_prefix = "repro"
+    #: Module prefixes allowed to construct names dynamically.
+    exempt_prefixes = ("repro.obs",)
+    #: Obs API methods whose first argument is a metric/span name.
+    _NAME_METHODS = frozenset({"span", "trace", "counter", "gauge",
+                               "histogram", "slo"})
+    #: Keyword arguments that also carry metric names on those calls.
+    _NAME_KEYWORDS = frozenset({"name", "metric"})
+    _NAME_PATTERN = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+    #: Node types that mean "assembled at the call site".
+    _DYNAMIC = (ast.JoinedStr, ast.BinOp, ast.Call)
+
+    @staticmethod
+    def _covered(module_name: str, prefix: str) -> bool:
+        return (module_name == prefix
+                or module_name.startswith(prefix + "."))
+
+    def begin_module(self, module: ModuleContext) -> None:
+        """Decide whether this module is subject to the rule."""
+        self._applies = (
+            self._covered(module.module_name, self.module_prefix)
+            and not any(self._covered(module.module_name, prefix)
+                        for prefix in self.exempt_prefixes))
+
+    def visit_Call(self, node: ast.Call, module: ModuleContext) -> None:
+        """Check the name argument(s) of obs metric/span calls."""
+        if not self._applies:
+            return
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in self._NAME_METHODS):
+            return
+        candidates: list[ast.expr] = []
+        if node.args:
+            candidates.append(node.args[0])
+        candidates.extend(
+            keyword.value for keyword in node.keywords
+            if keyword.arg in self._NAME_KEYWORDS)
+        for value in candidates:
+            self._check_name(value, func.attr, module)
+
+    def _check_name(self, value: ast.expr, method: str,
+                    module: ModuleContext) -> None:
+        if isinstance(value, ast.Constant):
+            if (isinstance(value.value, str)
+                    and not self._NAME_PATTERN.match(value.value)):
+                self.report(
+                    module, value,
+                    f"metric/span name {value.value!r} passed to "
+                    f".{method}(...) is not dotted lowercase "
+                    "([a-z0-9_] segments joined by '.'); series names "
+                    "must be stable join keys across metrics, traces, "
+                    "and the Prometheus exposition")
+            return
+        if isinstance(value, self._DYNAMIC):
+            self.report(
+                module, value,
+                f"metric/span name passed to .{method}(...) is built "
+                "dynamically at the call site; use a dotted-lowercase "
+                "string literal, or resolve the name into a plain "
+                "variable up front (see serve/cache.py) so series "
+                "stay grep-able and stable")

@@ -1,23 +1,40 @@
 """``repro.obs`` — observability for the featurize → model → estimate
-pipeline.
+pipeline and the serving stack above it.
 
-Three pieces (see ``docs/observability.md``):
+Six pieces (see ``docs/observability.md``):
 
 * :mod:`repro.obs.trace` — nested span tracing with monotonic-clock
-  timing, a context-manager and decorator API, and a near-zero-cost
-  no-op path while disabled (the default).
+  timing, a context-manager and decorator API, a near-zero-cost no-op
+  path while disabled (the default), and cross-process **trace
+  context**: deterministic trace ids minted per request, carried in the
+  ``X-Repro-Trace`` header, stamped onto every span opened in context.
 * :mod:`repro.obs.metrics_runtime` — counters, gauges, and streaming
   histograms over fixed log-spaced buckets, so summaries are
   deterministic byte-for-byte.
+* :mod:`repro.obs.window` — sliding-window monitors: labeled ring
+  histograms advanced on a logical tick (windowed p50/p95/p99 per
+  model/table/QFT/cache dimension) and :class:`SloTracker` burn-rate
+  tracking against latency/q-error targets.
+* :mod:`repro.obs.events` — one wide event per served request with
+  deterministic head sampling, always-keep-on-error, and a bounded
+  worst-q-error exemplar reservoir that retains the offending SQL.
+* :mod:`repro.obs.prometheus` — text exposition of both registries for
+  standard scrapers, plus the strict format validator.
 * :mod:`repro.obs.export` — JSONL span logs, Chrome trace-event output
-  for flame views, and the per-stage summary behind
-  ``repro obs report``.
+  (including multi-process stitching with flow arrows), and the
+  per-stage summary behind ``repro obs report``.
 
 This package sits at the very bottom of the layering: it imports
 nothing from the rest of ``repro``, so every layer (featurize, models,
-estimators, experiments, lint) may instrument itself freely.
+estimators, experiments, lint, serve) may instrument itself freely.
 """
 
+from repro.obs.events import (
+    EventLog,
+    ExemplarReservoir,
+    get_event_log,
+    set_event_log,
+)
 from repro.obs.metrics_runtime import (
     Counter,
     Gauge,
@@ -27,32 +44,59 @@ from repro.obs.metrics_runtime import (
     set_registry,
 )
 from repro.obs.trace import (
+    TRACE_HEADER,
     Span,
     Tracer,
+    current_trace_id,
     disable,
     enable,
     enabled,
     ensure_tracing,
+    format_trace_header,
     get_tracer,
+    mint_trace_id,
+    parse_trace_header,
+    reset_trace_ids,
     set_tracer,
     span,
     trace,
+    use_trace_context,
     use_tracer,
+)
+from repro.obs.window import (
+    SloTracker,
+    WindowedHistogram,
+    WindowRegistry,
+    get_windows,
+    set_windows,
 )
 
 __all__ = [
     # tracing
     "Span", "Tracer", "get_tracer", "set_tracer", "use_tracer",
     "ensure_tracing", "span", "trace", "enabled", "enable", "disable",
+    # trace context
+    "TRACE_HEADER", "mint_trace_id", "current_trace_id",
+    "use_trace_context", "format_trace_header", "parse_trace_header",
+    "reset_trace_ids",
     # metrics
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry",
     "set_registry",
+    # windowed monitors
+    "WindowedHistogram", "SloTracker", "WindowRegistry", "get_windows",
+    "set_windows",
+    # request events
+    "EventLog", "ExemplarReservoir", "get_event_log", "set_event_log",
     # maintenance
     "reset",
 ]
 
 
 def reset() -> None:
-    """Clear recorded spans and all metrics (test/benchmark hygiene)."""
+    """Clear spans, metrics, windows, events, and the trace-id counter
+    (test/benchmark hygiene — and how two runs start byte-identical)."""
     get_tracer().reset()
     get_registry().reset()
+    get_windows().reset()
+    get_event_log().reset()
+    reset_trace_ids()

@@ -1,0 +1,439 @@
+"""Structured request events: one wide record per served estimate.
+
+Metrics answer "how much / how fast on aggregate"; traces answer "where
+did this request spend its time".  Neither answers "*which* query was
+the one that blew the q-error budget last window" — for that you need
+the request itself: its SQL, its shape fingerprint, which batch served
+it, which model version answered, whether the caches hit, how long it
+took, what was estimated, and (once feedback arrives) how wrong the
+estimate was.  This module keeps exactly that, as **one wide event per
+``/v1/estimate*`` request**, in the canonical wide-event style:
+
+* :class:`EventLog` — a bounded in-memory ring of
+  :data:`EVENT_RECORD_KEYS`-shaped dicts with **deterministic head
+  sampling**: event ``seq`` is assigned to every request, but only
+  every ``sample_every``-th event (``seq % sample_every == 0``) is
+  retained — *unless the request errored*, which is always kept.  The
+  sampling decision is a pure function of the sequence number, so two
+  identical runs retain the identical event set.
+* :class:`ExemplarReservoir` — a bounded best-of set holding the
+  **worst-q-error requests seen so far**, including their SQL text, so
+  the offending query is still in hand when the windowed p95 alarm
+  fires.  Admission is by q-error with the sequence number as a
+  deterministic tie-break; sampling does not apply (an exemplar is kept
+  even when its event was not).
+* JSONL export/import mirroring :mod:`repro.obs.export`'s span format,
+  consumed by ``repro obs report --events`` and the ``repro obs watch``
+  tailer.
+
+Timestamps come from an injectable ``clock_ns`` (default
+``time.perf_counter_ns``) so tests and determinism checks can pin them;
+:meth:`EventLog.stopwatch` is the sanctioned way for higher layers to
+time a request without touching ``time.*`` themselves (RPR108 keeps raw
+clock calls out of the serve stack).
+
+Like everything in ``repro.obs``, this module imports nothing from the
+rest of ``repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+__all__ = ["EVENT_RECORD_KEYS", "EventLog", "ExemplarReservoir",
+           "Stopwatch", "read_events_jsonl", "render_event_text",
+           "summarize_events", "render_events_summary_text",
+           "render_events_summary_json", "get_event_log", "set_event_log"]
+
+#: Keys every event record carries, in serialisation order.
+EVENT_RECORD_KEYS = ("seq", "ts_ns", "trace_id", "fingerprint", "sql",
+                     "batch_id", "model_version", "cache", "latency_seconds",
+                     "estimate", "qerror", "error")
+
+
+class Stopwatch:
+    """Context manager measuring elapsed seconds on an injected clock.
+
+    The serve layer uses this (via :meth:`EventLog.stopwatch`) instead
+    of calling ``time.*`` directly, keeping ad-hoc clock access inside
+    ``repro.obs`` where RPR108 allows it.
+    """
+
+    __slots__ = ("seconds", "_clock_ns", "_start_ns")
+
+    def __init__(self, clock_ns: Callable[[], int]) -> None:
+        self.seconds = 0.0
+        self._clock_ns = clock_ns
+        self._start_ns = 0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start_ns = self._clock_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = (self._clock_ns() - self._start_ns) / 1e9
+        return False
+
+
+class ExemplarReservoir:
+    """Bounded set of the worst-q-error requests, SQL included.
+
+    Admission: an offer enters while the reservoir has room, or when
+    its q-error beats the current minimum; ties break toward the
+    earlier sequence number, so the retained set is a deterministic
+    function of the offered stream.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._items: list[dict] = []
+        self._lock = threading.Lock()
+
+    def offer(self, qerror: float, record: Mapping) -> bool:
+        """Offer one (q-error, event record) pair; True if retained."""
+        qerror = float(qerror)
+        entry = dict(record)
+        entry["qerror"] = qerror
+        # Sort key: worst q-error first, earliest seq breaks ties.
+        key = (-qerror, entry.get("seq", 0))
+        with self._lock:
+            if len(self._items) >= self.capacity:
+                worst_kept = (-self._items[-1]["qerror"],
+                              self._items[-1].get("seq", 0))
+                if key >= worst_kept:
+                    return False
+                self._items.pop()
+            self._items.append(entry)
+            self._items.sort(key=lambda item: (-item["qerror"],
+                                               item.get("seq", 0)))
+            return True
+
+    def worst(self) -> dict | None:
+        """The single worst-q-error exemplar (None while empty)."""
+        with self._lock:
+            return dict(self._items[0]) if self._items else None
+
+    def snapshot(self) -> list[dict]:
+        """Exemplars, worst q-error first (deterministic order)."""
+        with self._lock:
+            return [dict(item) for item in self._items]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class EventLog:
+    """Bounded, head-sampled log of wide per-request events.
+
+    Parameters
+    ----------
+    capacity:
+        Retained-event ring size; the oldest sampled event falls out
+        once full (errors are not exempt from eviction, only from
+        sampling).
+    sample_every:
+        Head-sampling period: event ``seq`` is retained iff
+        ``seq % sample_every == 0`` or the request errored.  1 keeps
+        everything.
+    exemplar_capacity:
+        Size of the worst-q-error :class:`ExemplarReservoir`.
+    clock_ns:
+        Timestamp source; injectable for deterministic runs.
+    """
+
+    def __init__(self, capacity: int = 1024, sample_every: int = 1,
+                 exemplar_capacity: int = 8,
+                 clock_ns: Callable[[], int] = time.perf_counter_ns) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}")
+        self.capacity = int(capacity)
+        self.sample_every = int(sample_every)
+        self.exemplars = ExemplarReservoir(exemplar_capacity)
+        self._clock_ns = clock_ns
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._recorded = 0
+        self._sampled = 0
+        self._errors = 0
+
+    def stopwatch(self) -> Stopwatch:
+        """A :class:`Stopwatch` on this log's clock (see class docs)."""
+        return Stopwatch(self._clock_ns)
+
+    def record(self, *, trace_id: int | None = None,
+               fingerprint: str | None = None, sql: str | None = None,
+               batch_id: int | None = None,
+               model_version: str | None = None, cache: str | None = None,
+               latency_seconds: float = 0.0, estimate: float | None = None,
+               qerror: float | None = None,
+               error: str | None = None) -> dict:
+        """Record one request; returns the event record.
+
+        The record is returned whether or not it was *retained* — the
+        caller may still need it (e.g. to offer it to the exemplar
+        reservoir once feedback arrives); ``record["sampled"]`` is not a
+        key, retention is an internal property of the log.
+        """
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        event = {
+            "seq": seq,
+            "ts_ns": self._clock_ns(),
+            "trace_id": trace_id,
+            "fingerprint": fingerprint,
+            "sql": sql,
+            "batch_id": batch_id,
+            "model_version": model_version,
+            "cache": cache,
+            "latency_seconds": float(latency_seconds),
+            "estimate": None if estimate is None else float(estimate),
+            "qerror": None if qerror is None else float(qerror),
+            "error": error,
+        }
+        keep = (seq % self.sample_every == 0) or (error is not None)
+        with self._lock:
+            self._recorded += 1
+            if error is not None:
+                self._errors += 1
+            if keep:
+                self._sampled += 1
+                self._events.append(event)
+        return event
+
+    def attach_qerror(self, fingerprint: str, qerror: float,
+                      sql: str | None = None) -> dict | None:
+        """Attach feedback to the newest sampled event with
+        ``fingerprint``; offers the pair to the exemplar reservoir.
+
+        Returns the updated event record, or ``None`` when no sampled
+        event matches (the exemplar offer still happens — feedback on
+        an unsampled request must not lose the offending SQL).
+        """
+        qerror = float(qerror)
+        matched: dict | None = None
+        with self._lock:
+            for event in reversed(self._events):
+                if event["fingerprint"] == fingerprint:
+                    event["qerror"] = qerror
+                    if sql is not None and event["sql"] is None:
+                        event["sql"] = sql
+                    matched = dict(event)
+                    break
+        offered = matched if matched is not None else {
+            "seq": self._seq, "ts_ns": self._clock_ns(), "trace_id": None,
+            "fingerprint": fingerprint, "sql": sql, "batch_id": None,
+            "model_version": None, "cache": None, "latency_seconds": 0.0,
+            "estimate": None, "qerror": qerror, "error": None,
+        }
+        self.exemplars.offer(qerror, offered)
+        return matched
+
+    def events(self) -> list[dict]:
+        """Retained events, oldest first."""
+        with self._lock:
+            return [dict(event) for event in self._events]
+
+    def counts(self) -> dict:
+        """Recorded / sampled / error totals plus retained size."""
+        with self._lock:
+            return {
+                "recorded": self._recorded,
+                "sampled": self._sampled,
+                "errors": self._errors,
+                "retained": len(self._events),
+                "sample_every": self.sample_every,
+            }
+
+    def snapshot(self) -> dict:
+        """Byte-stable JSON-serialisable state (counts + exemplars)."""
+        return {
+            "kind": "events",
+            "counts": self.counts(),
+            "exemplars": self.exemplars.snapshot(),
+        }
+
+    def write_jsonl(self, path: Path) -> int:
+        """Write retained events one JSON object per line; returns
+        the number written."""
+        records = self.events()
+        lines = [json.dumps(record, sort_keys=True) for record in records]
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""),
+                              encoding="utf-8")
+        return len(records)
+
+    def reset(self) -> None:
+        """Drop all events, counts, and exemplars."""
+        with self._lock:
+            self._events.clear()
+            self._seq = 0
+            self._recorded = 0
+            self._sampled = 0
+            self._errors = 0
+        self.exemplars = ExemplarReservoir(self.exemplars.capacity)
+
+
+def read_events_jsonl(path: Path) -> list[dict]:
+    """Parse a JSONL event log back into records (schema-checked)."""
+    records: list[dict] = []
+    for lineno, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{path}:{lineno}: not a JSON event record: {error}"
+            ) from None
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"{path}:{lineno}: event record is not an object")
+        missing = [key for key in EVENT_RECORD_KEYS if key not in record]
+        if missing:
+            raise ValueError(
+                f"{path}:{lineno}: event record is missing keys {missing}")
+        records.append(record)
+    return records
+
+
+def render_event_text(record: Mapping) -> str:
+    """One aligned human line per event (the ``repro obs watch`` shape)."""
+    qerror = record.get("qerror")
+    estimate = record.get("estimate")
+    parts = [
+        f"#{record.get('seq', '?')}",
+        f"trace={record.get('trace_id')}",
+        f"model={record.get('model_version') or '-'}",
+        f"cache={record.get('cache') or '-'}",
+        f"batch={record.get('batch_id') if record.get('batch_id') is not None else '-'}",
+        f"lat={record.get('latency_seconds', 0.0) * 1e3:.3f}ms",
+        f"est={estimate:.1f}" if estimate is not None else "est=-",
+        f"qerr={qerror:.3f}" if qerror is not None else "qerr=-",
+    ]
+    error = record.get("error")
+    if error:
+        parts.append(f"error={error}")
+    fingerprint = record.get("fingerprint")
+    if fingerprint:
+        parts.append(f"fp={str(fingerprint)[:12]}")
+    return "  ".join(parts)
+
+
+def _rank_quantile(values: list, q: float) -> float:
+    """Nearest-rank quantile of ``values`` (0.0 when empty).
+
+    Deterministic (plain sort, no interpolation) so two reads of the
+    same event log render byte-identical summaries.
+    """
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return 0.0
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+def summarize_events(records: Iterable[Mapping]) -> dict:
+    """Aggregate event records into a per-model / per-cache summary.
+
+    The summary is a pure function of the record list (counts, nearest-
+    rank latency and q-error quantiles, the single worst-q-error event),
+    so ``repro obs report --events`` output is deterministic for a
+    deterministic log.
+    """
+    records = list(records)
+    latencies = [r.get("latency_seconds", 0.0) or 0.0 for r in records]
+    qerrors = [r["qerror"] for r in records if r.get("qerror") is not None]
+    models: dict[str, int] = {}
+    caches: dict[str, int] = {}
+    errors = 0
+    worst: Mapping | None = None
+    for record in records:
+        models[record.get("model_version") or "-"] = (
+            models.get(record.get("model_version") or "-", 0) + 1)
+        caches[record.get("cache") or "-"] = (
+            caches.get(record.get("cache") or "-", 0) + 1)
+        if record.get("error"):
+            errors += 1
+        observed = record.get("qerror")
+        if observed is not None and (
+                worst is None
+                or observed > worst["qerror"]
+                or (observed == worst["qerror"]
+                    and record.get("seq", 0) < worst.get("seq", 0))):
+            worst = record
+    return {
+        "events": len(records),
+        "errors": errors,
+        "models": dict(sorted(models.items())),
+        "cache": dict(sorted(caches.items())),
+        "latency_ms": {
+            "p50": _rank_quantile(latencies, 0.50) * 1e3,
+            "p95": _rank_quantile(latencies, 0.95) * 1e3,
+            "max": (max(latencies) * 1e3 if latencies else 0.0),
+        },
+        "qerror": {
+            "count": len(qerrors),
+            "p50": _rank_quantile(qerrors, 0.50),
+            "p95": _rank_quantile(qerrors, 0.95),
+            "max": (max(float(q) for q in qerrors) if qerrors else 0.0),
+        },
+        "worst": dict(worst) if worst is not None else None,
+    }
+
+
+def render_events_summary_text(summary: Mapping) -> str:
+    """Human-readable multi-line rendering of :func:`summarize_events`."""
+    latency = summary["latency_ms"]
+    qerr = summary["qerror"]
+    lines = [
+        f"events: {summary['events']} ({summary['errors']} errors)",
+        "  latency  p50 {p50:9.3f}ms  p95 {p95:9.3f}ms  "
+        "max {max:9.3f}ms".format(**latency),
+        f"  q-error  n {qerr['count']}  p50 {qerr['p50']:8.3f}  "
+        f"p95 {qerr['p95']:8.3f}  max {qerr['max']:8.3f}",
+    ]
+    for model, count in summary["models"].items():
+        lines.append(f"  model {model}: {count}")
+    for cache, count in summary["cache"].items():
+        lines.append(f"  cache {cache}: {count}")
+    if summary["worst"] is not None:
+        lines.append("  worst: " + render_event_text(summary["worst"]))
+        sql = summary["worst"].get("sql")
+        if sql:
+            lines.append(f"    sql: {sql}")
+    return "\n".join(lines)
+
+
+def render_events_summary_json(summary: Mapping) -> str:
+    """Byte-stable JSON rendering of :func:`summarize_events`."""
+    return json.dumps(summary, sort_keys=True, indent=2)
+
+
+#: Process-global event log the serving stack records into.
+_event_log = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The process-global request-event log."""
+    return _event_log
+
+
+def set_event_log(log: EventLog) -> EventLog:
+    """Install ``log`` as the global event log; returns it."""
+    global _event_log
+    _event_log = log
+    return log

@@ -27,6 +27,7 @@ from repro.obs.trace import Span
 
 __all__ = ["SPAN_RECORD_KEYS", "span_records", "write_spans_jsonl",
            "read_spans_jsonl", "to_chrome_trace", "write_chrome_trace",
+           "stitch_chrome_trace", "write_stitched_chrome_trace",
            "summarize_spans", "render_summary_text", "render_summary_json"]
 
 #: Keys every JSONL span record carries (the event schema).
@@ -75,12 +76,14 @@ def read_spans_jsonl(path: Path) -> list[dict]:
     return records
 
 
-def to_chrome_trace(spans: Iterable[Union[Span, Mapping]]) -> list[dict]:
+def to_chrome_trace(spans: Iterable[Union[Span, Mapping]],
+                    pid: int = 0) -> list[dict]:
     """Convert spans to Chrome trace-event format (complete events).
 
     Timestamps/durations are microseconds (the format's unit), taken
     from the monotonic clock; ``tid`` is a stable small integer per
-    thread in order of first appearance.
+    thread in order of first appearance.  ``pid`` labels the process
+    row (the stitched multi-process exporter passes one per trace).
     """
     events = []
     tids: dict[int, int] = {}
@@ -95,11 +98,112 @@ def to_chrome_trace(spans: Iterable[Union[Span, Mapping]]) -> list[dict]:
             "ph": "X",
             "ts": record["start_ns"] / 1e3,
             "dur": record["duration_ns"] / 1e3,
-            "pid": 0,
+            "pid": pid,
             "tid": tid,
             "args": args,
         })
     return events
+
+
+def _record_trace_ids(record: Mapping) -> list:
+    """Trace ids a span participates in: its own plus any span links.
+
+    A batch-execute span that served many requests carries the full
+    id list in a ``links`` attribute; each link joins that span to the
+    corresponding request's flow.
+    """
+    attributes = record["attributes"]
+    ids = []
+    own = attributes.get("trace_id")
+    if own is not None:
+        ids.append(own)
+    for linked in attributes.get("links", ()):  # batch span links
+        if linked is not None and linked not in ids:
+            ids.append(linked)
+    return ids
+
+
+def stitch_chrome_trace(
+        traces: Sequence[tuple[str, Iterable[Union[Span, Mapping]]]]
+) -> list[dict]:
+    """Stitch span logs from several processes into one Chrome trace.
+
+    ``traces`` is an ordered list of ``(process name, spans)`` pairs —
+    order them by causality (client before server): each gets its own
+    ``pid`` with a ``process_name`` metadata event, and per-process
+    timestamps are rebased so every process starts at t=0 (monotonic
+    clocks from different processes share no epoch, so absolute
+    alignment is impossible; rebasing keeps each flame readable and
+    the **flow events** carry the causality).
+
+    For every trace id observed (span ``trace_id`` attributes plus
+    batch ``links``), the earliest participating span per process
+    anchors a flow: phase ``s`` (start) in the first participating
+    process, ``t`` (step) in the middle, ``f`` (finish, binding
+    enclosing slice) in the last — rendered by Perfetto as arrows from
+    the client request into the server-side work that served it.
+    """
+    events: list[dict] = []
+    # pid -> (trace id -> earliest anchor event), in process order.
+    anchors: list[dict] = []
+    for pid, (process_name, spans) in enumerate(traces):
+        records = span_records(spans)
+        base_ns = min((r["start_ns"] for r in records), default=0)
+        rebased = []
+        for record in records:
+            rebased.append(dict(record,
+                                start_ns=record["start_ns"] - base_ns))
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": process_name},
+        })
+        process_events = to_chrome_trace(rebased, pid=pid)
+        events.extend(process_events)
+        process_anchors: dict = {}
+        for record, event in zip(rebased, process_events):
+            for trace_id in _record_trace_ids(record):
+                anchor = process_anchors.get(trace_id)
+                if anchor is None or event["ts"] < anchor["ts"]:
+                    process_anchors[trace_id] = event
+        anchors.append(process_anchors)
+
+    trace_ids = sorted({trace_id for process_anchors in anchors
+                        for trace_id in process_anchors},
+                       key=lambda trace_id: (str(type(trace_id)),
+                                             str(trace_id)))
+    for trace_id in trace_ids:
+        chain = [process_anchors[trace_id] for process_anchors in anchors
+                 if trace_id in process_anchors]
+        if len(chain) < 2:
+            continue  # a flow needs at least two processes to connect
+        for index, anchor in enumerate(chain):
+            if index == 0:
+                phase = "s"
+            elif index == len(chain) - 1:
+                phase = "f"
+            else:
+                phase = "t"
+            flow = {
+                "name": "request", "cat": "trace", "id": trace_id,
+                "ph": phase, "ts": anchor["ts"], "pid": anchor["pid"],
+                "tid": anchor["tid"],
+            }
+            if phase == "f":
+                flow["bp"] = "e"
+            events.append(flow)
+    return events
+
+
+def write_stitched_chrome_trace(
+        traces: Sequence[tuple[str, Iterable[Union[Span, Mapping]]]],
+        path: Path) -> int:
+    """Write a stitched multi-process Chrome trace; returns the event
+    count (slices + metadata + flows)."""
+    events = stitch_chrome_trace(traces)
+    Path(path).write_text(
+        json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}) + "\n",
+        encoding="utf-8")
+    return len(events)
 
 
 def write_chrome_trace(spans: Iterable[Union[Span, Mapping]],

@@ -134,8 +134,19 @@ class Histogram:
         self._max = float("-inf")
 
     def record(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation.
+
+        Observations must be finite and non-negative (durations,
+        counts, q-errors — everything the pipeline buckets is);
+        NaN/inf/negative values raise ``ValueError`` instead of
+        silently poisoning ``sum``/``min``/``max``, matching the
+        ``qerror`` input contract.
+        """
         value = float(value)
+        if not np.isfinite(value) or value < 0.0:
+            raise ValueError(
+                f"histogram {self.name!r} cannot record {value!r}; "
+                "observations must be finite and non-negative")
         index = int(np.searchsorted(self.edges, value, side="left"))
         self._counts[index] += 1
         self._count += 1
@@ -148,6 +159,11 @@ class Histogram:
         arr = np.asarray(values, dtype=np.float64).reshape(-1)
         if arr.size == 0:
             return
+        if not np.all(np.isfinite(arr)) or bool(np.any(arr < 0.0)):
+            raise ValueError(
+                f"histogram {self.name!r} cannot record a batch with "
+                "NaN/inf/negative values; observations must be finite "
+                "and non-negative")
         indices = np.searchsorted(self.edges, arr, side="left")
         self._counts += np.bincount(indices, minlength=self._counts.size)
         self._count += int(arr.size)

@@ -25,6 +25,17 @@ on one process-global active tracer.  Code that *needs* measurements
 regardless of global state (the benchmark CLI, the Tab. 7 experiment)
 wraps itself in :func:`ensure_tracing`, which reuses the active tracer
 when enabled and otherwise installs a temporary private one.
+
+**Trace context** ties spans from different threads — and different
+*processes* — to one logical request.  A trace id is minted once per
+request (:func:`mint_trace_id`, a deterministic process-local counter,
+not a random uuid, so identical runs mint identical ids), installed on
+the current thread with :func:`use_trace_context`, and every span
+opened while the context is active is stamped with a ``trace_id``
+attribute.  Across the HTTP boundary the id travels in the
+:data:`TRACE_HEADER` header (``X-Repro-Trace``): the serve client mints
+and sends it, the server parses and adopts it, and the exporter
+stitches both processes' spans into one Chrome trace keyed on the id.
 """
 
 from __future__ import annotations
@@ -37,7 +48,80 @@ from typing import Callable, Iterator
 
 __all__ = ["Span", "Tracer", "get_tracer", "set_tracer", "use_tracer",
            "ensure_tracing", "span", "trace", "enabled", "enable",
-           "disable"]
+           "disable", "TRACE_HEADER", "mint_trace_id", "current_trace_id",
+           "use_trace_context", "format_trace_header",
+           "parse_trace_header", "reset_trace_ids"]
+
+#: HTTP header carrying the trace id across the client/server boundary.
+TRACE_HEADER = "X-Repro-Trace"
+
+#: Deterministic process-local trace-id source (monotone from 1).
+_trace_id_lock = threading.Lock()
+_next_trace_id = 1
+
+#: Per-thread active trace id (None outside any request context).
+_trace_context = threading.local()
+
+
+def mint_trace_id() -> int:
+    """A fresh trace id: a process-local counter, never random.
+
+    Counter-minted ids keep identical runs byte-identical (uuids would
+    not); cross-process uniqueness is unnecessary because stitching
+    keys on *(origin, id)* pairs carried by the minting side.
+    """
+    global _next_trace_id
+    with _trace_id_lock:
+        trace_id = _next_trace_id
+        _next_trace_id += 1
+    return trace_id
+
+
+def reset_trace_ids() -> None:
+    """Restart the trace-id counter (test/determinism hygiene)."""
+    global _next_trace_id
+    with _trace_id_lock:
+        _next_trace_id = 1
+
+
+def current_trace_id() -> int | None:
+    """The trace id active on this thread, or ``None``."""
+    return getattr(_trace_context, "trace_id", None)
+
+
+@contextmanager
+def use_trace_context(trace_id: int | None) -> Iterator[int | None]:
+    """Install ``trace_id`` as this thread's active trace context.
+
+    Every span opened inside the block is stamped with a ``trace_id``
+    attribute (unless it sets its own).  ``None`` clears the context.
+    """
+    previous = getattr(_trace_context, "trace_id", None)
+    _trace_context.trace_id = trace_id
+    try:
+        yield trace_id
+    finally:
+        _trace_context.trace_id = previous
+
+
+def format_trace_header(trace_id: int) -> str:
+    """Render a trace id as the :data:`TRACE_HEADER` value."""
+    return str(int(trace_id))
+
+
+def parse_trace_header(value: str | None) -> int | None:
+    """Parse a :data:`TRACE_HEADER` value; ``None`` when absent/invalid.
+
+    Propagation must never fail a request, so malformed headers simply
+    drop the context instead of raising.
+    """
+    if value is None:
+        return None
+    value = value.strip()
+    if not value.isdigit():
+        return None
+    trace_id = int(value)
+    return trace_id if trace_id > 0 else None
 
 
 class Span:
@@ -172,6 +256,9 @@ class Tracer:
         stack = self._stack()
         if stack:
             span.parent_id = stack[-1].span_id
+        trace_id = getattr(_trace_context, "trace_id", None)
+        if trace_id is not None and "trace_id" not in span.attributes:
+            span.attributes["trace_id"] = trace_id
         with self._lock:
             span.span_id = self._next_id
             self._next_id += 1

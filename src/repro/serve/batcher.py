@@ -40,13 +40,22 @@ class BatcherClosedError(RuntimeError):
 
 
 class _Request:
-    """One submitted query and the future its caller is waiting on."""
+    """One submitted query and the future its caller is waiting on.
 
-    __slots__ = ("query", "future")
+    ``trace_id`` carries the submitting request's trace context across
+    the thread hop into the worker (the batch-execute span links every
+    trace it serves); ``batch_id`` is stamped by the worker when the
+    request's batch dispatches, so the caller can attribute its request
+    event to the batch that answered it.
+    """
 
-    def __init__(self, query: Query) -> None:
+    __slots__ = ("query", "future", "trace_id", "batch_id")
+
+    def __init__(self, query: Query, trace_id: int | None = None) -> None:
         self.query = query
         self.future: Future = Future()
+        self.trace_id = trace_id
+        self.batch_id: int | None = None
 
 
 #: Queue sentinel that tells the worker to drain and exit.
@@ -85,6 +94,7 @@ class MicroBatcher:
         self._max_batch_size = max_batch_size
         self._max_wait_seconds = max_wait_ms / 1000.0
         self._queue: queue.Queue = queue.Queue()
+        self._batch_seq = 0
         self._closed = False
         self._drain_on_close = True
         self._close_lock = threading.Lock()
@@ -112,13 +122,25 @@ class MicroBatcher:
         has been closed — requests accepted *before* close are always
         drained, never dropped.
         """
+        return self.submit_request(query).future
+
+    def submit_request(self, query: Query,
+                       trace_id: int | None = None) -> _Request:
+        """Enqueue one query; returns the full request handle.
+
+        Like :meth:`submit` but exposes the :class:`_Request` itself:
+        ``request.future`` carries the estimate and, once resolved,
+        ``request.batch_id`` identifies the dispatched batch the query
+        rode in.  ``trace_id`` joins the request's trace to that batch's
+        execute span (a ``links`` span attribute).
+        """
         with self._close_lock:
             if self._closed:
                 raise BatcherClosedError(
                     "batcher is closed; no new requests accepted")
-            request = _Request(query)
+            request = _Request(query, trace_id=trace_id)
             self._queue.put(request)
-        return request.future
+        return request
 
     def close(self, drain: bool = True) -> None:
         """Stop the worker; idempotent.
@@ -196,14 +218,26 @@ class MicroBatcher:
         return False
 
     def _execute(self, batch: list) -> None:
-        """Dispatch one collected batch and resolve its futures."""
+        """Dispatch one collected batch and resolve its futures.
+
+        Stamps every request with the dispatched batch's id and links
+        the execute span to each request's trace (one batch serves many
+        traces; the stitched Chrome export draws a flow arrow per link).
+        """
         registry = obs.get_registry()
         registry.counter("serve.batches_total").inc()
         registry.histogram("serve.batch.size").record(len(batch))
+        self._batch_seq += 1
+        batch_id = self._batch_seq
+        links = sorted({request.trace_id for request in batch
+                        if request.trace_id is not None})
+        for request in batch:
+            request.batch_id = batch_id
         queries = [request.query for request in batch]
         try:
             with obs.span("serve.batch.execute", n_queries=len(batch),
-                          metric="serve.batch.execute.seconds"):
+                          metric="serve.batch.execute.seconds",
+                          batch_id=batch_id, links=links):
                 estimates = self._estimate_batch(queries)
         except Exception as exc:  # repro: ignore[RPR103] — forwarded to futures
             for request in batch:

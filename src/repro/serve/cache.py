@@ -71,6 +71,12 @@ class _LruCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        # Metric names resolve once here from the subclass's literal
+        # prefix; call sites must pass pre-resolved names (RPR110 keeps
+        # dynamically built strings out of metric lookups).
+        self._hits_metric = self._metric_prefix + ".hits"
+        self._misses_metric = self._metric_prefix + ".misses"
+        self._evictions_metric = self._metric_prefix + ".evictions"
 
     @property
     def max_size(self) -> int:
@@ -104,9 +110,9 @@ class _LruCache:
                 self._hits += 1
         registry = obs.get_registry()
         if value is None:
-            registry.counter(f"{self._metric_prefix}.misses").inc()
+            registry.counter(self._misses_metric).inc()
         else:
-            registry.counter(f"{self._metric_prefix}.hits").inc()
+            registry.counter(self._hits_metric).inc()
         return value
 
     def store(self, key, value) -> None:
@@ -122,8 +128,7 @@ class _LruCache:
                 evicted += 1
             self._evictions += evicted
         if evicted:
-            obs.get_registry().counter(
-                f"{self._metric_prefix}.evictions").inc(evicted)
+            obs.get_registry().counter(self._evictions_metric).inc(evicted)
 
     def stats(self) -> dict:
         """Local hit/miss/eviction/size counters (JSON-serialisable)."""

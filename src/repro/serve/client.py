@@ -26,6 +26,15 @@ re-sends, up to the configured attempt budget.  Only 503 responses that
 carry ``Retry-After`` are retried — 4xx are the caller's mistake, 5xx
 without a hint are genuine faults, and mid-response transport errors
 may not be idempotent-safe; all of those still raise immediately.
+
+**Trace propagation**: every request mints a deterministic trace id
+(:func:`repro.obs.mint_trace_id`), sends it in the ``X-Repro-Trace``
+header, and opens a client-side ``serve.client.request`` span stamped
+with it.  The server adopts the id for its own spans, so the two
+processes' span logs stitch into one Chrome trace
+(:func:`repro.obs.export.stitch_chrome_trace`).  Retries of one logical
+request reuse its trace id — the stitched view shows every attempt on
+one flow.
 """
 
 from __future__ import annotations
@@ -36,6 +45,8 @@ import socket
 import threading
 import time
 import urllib.parse
+
+from repro import obs
 
 __all__ = ["ServeClient", "ServeClientError"]
 
@@ -120,6 +131,10 @@ class ServeClient:
         """The raw ``/metrics`` body (byte-stable JSON text)."""
         return self._get("/metrics")
 
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition (``/metrics.prom``)."""
+        return self._get("/metrics.prom")
+
     def estimate(self, sql: str) -> dict:
         """Estimate one query; returns ``{"estimate": c, "cached": b}``."""
         return self._post("/v1/estimate", {"sql": sql})
@@ -128,6 +143,20 @@ class ServeClient:
         """Estimate a batch of queries in one round trip."""
         return self._post("/v1/estimate_batch", {"sql": list(sqls)})[
             "estimates"]
+
+    def feedback(self, sql: str, true_cardinality: float,
+                 estimate: float | None = None) -> dict:
+        """Report an executed query's true cardinality.
+
+        Returns ``{"qerror": q, "estimate": c}``.  Pass ``estimate`` if
+        you still hold the value the server answered with; otherwise
+        the server re-estimates the query to compute the q-error.
+        """
+        payload: dict = {"sql": sql,
+                         "true_cardinality": float(true_cardinality)}
+        if estimate is not None:
+            payload["estimate"] = float(estimate)
+        return self._post("/v1/feedback", payload)
 
     # ------------------------------------------------------------------
 
@@ -143,11 +172,14 @@ class ServeClient:
 
         Attempt ``i`` of a retried request re-sends the identical
         method/path/body after sleeping the server's ``Retry-After``
-        seconds; the last attempt's error propagates.
+        seconds; the last attempt's error propagates.  One trace id is
+        minted for the whole logical request, so every attempt carries
+        the same ``X-Repro-Trace`` value.
         """
+        trace_id = obs.mint_trace_id()
         for attempt in range(self._retries + 1):
             try:
-                return self._send_once(method, path, body)
+                return self._send_once(method, path, body, trace_id)
             except ServeClientError as exc:
                 retriable = (exc.status == 503
                              and exc.retry_after is not None
@@ -157,12 +189,12 @@ class ServeClient:
                 time.sleep(exc.retry_after)
         raise AssertionError("unreachable: loop always returns or raises")
 
-    def _send_once(self, method: str, path: str,
-                   body: bytes | None) -> str:
+    def _send_once(self, method: str, path: str, body: bytes | None,
+                   trace_id: int) -> str:
         attempts = 2 if getattr(self._local, "conn", None) is not None else 1
         for attempt in range(attempts):
             try:
-                return self._exchange(method, path, body)
+                return self._exchange(method, path, body, trace_id)
             except http.client.RemoteDisconnected as exc:
                 # The server closed the idle socket between calls; the
                 # request was never read, so one fresh-connection
@@ -174,14 +206,19 @@ class ServeClient:
                         f"connection closed without response") from exc
         raise AssertionError("unreachable: loop always returns or raises")
 
-    def _exchange(self, method: str, path: str, body: bytes | None) -> str:
+    def _exchange(self, method: str, path: str, body: bytes | None,
+                  trace_id: int) -> str:
         conn = self._connection()
         try:
             headers = ({"Content-Type": "application/json"}
                        if body is not None else {})
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
+            headers[obs.TRACE_HEADER] = obs.format_trace_header(trace_id)
+            with obs.use_trace_context(trace_id), \
+                    obs.span("serve.client.request", path=path,
+                             metric="serve.client.request.seconds"):
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
             will_close = response.will_close
         except http.client.RemoteDisconnected:
             self.close()

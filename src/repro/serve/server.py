@@ -16,9 +16,28 @@ Two layers, separable for testing:
   ==========================  ==================================================
   ``GET  /healthz``           liveness probe, ``{"status": "ok"}``
   ``GET  /metrics``           the byte-stable runtime-metrics snapshot (JSON)
+  ``GET  /metrics.prom``      Prometheus text exposition (also
+                              ``/metrics?format=prometheus``): counters,
+                              histograms, windowed summaries, SLO burn rates
   ``POST /v1/estimate``       ``{"sql": "..."}`` → ``{"estimate": c, "cached": b}``
   ``POST /v1/estimate_batch`` ``{"sql": [...]}`` → ``{"estimates": [...]}``
+  ``POST /v1/feedback``       ``{"sql": "...", "true_cardinality": t}`` →
+                              ``{"qerror": q, "estimate": c}``
   ==========================  ==================================================
+
+Accuracy-aware telemetry (``repro.obs`` v2): every ``/v1/estimate*``
+request emits one wide event into the process event log (fingerprint,
+trace id, batch id, model version, cache outcome, latency, estimate),
+request latency feeds the windowed ``serve.request.seconds.window``
+monitor and the ``serve.latency.slo`` tracker, and ``/v1/feedback``
+closes the accuracy loop: the observed true cardinality becomes a
+q-error observation in the per-model/table/QFT
+``serve.qerror.window``, the ``serve.qerror.slo`` burn rate, the
+service's :class:`~repro.feedback.QueryFeedbackMonitor`, and the
+worst-q-error exemplar reservoir (which keeps the offending SQL).
+Requests carrying an ``X-Repro-Trace`` header adopt the client's trace
+id — every span the request opens is stamped with it, so client and
+server span logs stitch into one Chrome trace.
 
 Connections are **keep-alive** (HTTP/1.1 + ``Content-Length``): a
 client that reuses its socket pays one round-trip per request instead
@@ -42,13 +61,17 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
 from repro import obs
 from repro.estimators.base import CardinalityEstimator
-from repro.featurize.base import LosslessnessError
+from repro.featurize.base import Featurizer, LosslessnessError
+from repro.feedback import QueryFeedbackMonitor
+from repro.metrics import qerror
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
 from repro.serve.batcher import BatcherClosedError, MicroBatcher
 from repro.serve.cache import (
     EstimateCache,
@@ -80,6 +103,41 @@ class ServiceUnavailableError(RuntimeError):
                  retry_after: int = _RETRY_AFTER_SECONDS) -> None:
         super().__init__(message)
         self.retry_after = retry_after
+
+
+class _RequestTelemetry:
+    """Collects one request's wide-event fields and emits on exit.
+
+    Opened around the whole request (admission included, so rejections
+    are captured too); the body fills in ``cache`` / ``batch_id`` /
+    ``estimate`` as they become known.  On exit — normal or exceptional
+    — the latency stopwatch stops and the service records the event,
+    the windowed latency observation, the latency SLO sample, and the
+    logical-tick bump.
+    """
+
+    __slots__ = ("_service", "sql", "trace_id", "cache", "batch_id",
+                 "estimate", "watch")
+
+    def __init__(self, service: "EstimationService", sql: str | None,
+                 trace_id: int | None) -> None:
+        self._service = service
+        self.sql = sql
+        self.trace_id = trace_id
+        self.cache: str | None = None
+        self.batch_id: int | None = None
+        self.estimate: float | None = None
+        self.watch = obs.get_event_log().stopwatch()
+
+    def __enter__(self) -> "_RequestTelemetry":
+        self.watch.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.watch.__exit__(exc_type, exc, tb)
+        error = exc_type.__name__ if exc_type is not None else None
+        self._service._record_request(self, error)
+        return False
 
 
 class _Statement:
@@ -125,16 +183,33 @@ class EstimationService:
         statement style: instances of a seen statement template skip
         the parser and re-bind the cached AST); ``0`` disables it and
         every request parses from scratch.
+    model_version:
+        Label value for per-model telemetry dimensions; defaults to the
+        estimator's ``name`` (or its class name).
+    tick_every:
+        Auto-advance the global windowed monitors one logical tick
+        every this many requests (estimates *and* feedback); ``0``
+        (the default) leaves ticking to the operator / tests.
+    latency_slo / qerror_slo:
+        Targets for the ``serve.latency.slo`` (seconds) and
+        ``serve.qerror.slo`` (ratio) trackers.
+    slo_objective:
+        Fraction of observations that must meet each SLO target.
     """
 
     def __init__(self, estimator: CardinalityEstimator,
                  max_batch_size: int = 64, max_wait_ms: float = 2.0,
                  cache_size: int = 1024, max_inflight: int = 256,
                  plan_cache_size: int = 256,
-                 parse_cache_size: int = 512) -> None:
+                 parse_cache_size: int = 512,
+                 model_version: str | None = None, tick_every: int = 0,
+                 latency_slo: float = 0.5, qerror_slo: float = 10.0,
+                 slo_objective: float = 0.99) -> None:
         if max_inflight < 1:
             raise ValueError(
                 f"max_inflight must be >= 1, got {max_inflight}")
+        if tick_every < 0:
+            raise ValueError(f"tick_every must be >= 0, got {tick_every}")
         self._estimator = estimator
         self._plan_cache = PlanCache(max_size=plan_cache_size)
         self._parse_cache = ParseCache(max_size=parse_cache_size)
@@ -152,6 +227,31 @@ class EstimationService:
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         self._closed = False
+        # --- accuracy-aware telemetry (repro.obs v2) ------------------
+        self._model_version = (model_version
+                               or getattr(estimator, "name", None)
+                               or type(estimator).__name__)
+        featurizer = getattr(estimator, "featurizer", None)
+        if isinstance(featurizer, Featurizer):
+            self._table_label = featurizer.table_name
+            self._qft_label = type(featurizer).__name__
+        else:
+            self._table_label = "-"
+            self._qft_label = type(estimator).__name__
+        self._tick_every = tick_every
+        self._request_seq = 0
+        self._monitor = QueryFeedbackMonitor()
+        windows = obs.get_windows()
+        self._latency_window = windows.histogram(
+            "serve.request.seconds.window", label_names=("model", "cache"))
+        self._qerror_window = windows.histogram(
+            "serve.qerror.window", label_names=("model", "table", "qft"))
+        self._latency_slo = windows.slo("serve.latency.slo",
+                                        target=latency_slo,
+                                        objective=slo_objective)
+        self._qerror_slo = windows.slo("serve.qerror.slo",
+                                       target=qerror_slo,
+                                       objective=slo_objective)
 
     @property
     def estimator(self) -> CardinalityEstimator:
@@ -182,6 +282,16 @@ class EstimationService:
     def fused(self) -> FusedEstimatePath | None:
         """The fused estimate path, or ``None`` when bypassed."""
         return self._fused
+
+    @property
+    def model_version(self) -> str:
+        """The model-version label on this service's telemetry."""
+        return self._model_version
+
+    @property
+    def feedback_monitor(self) -> QueryFeedbackMonitor:
+        """The drift monitor fed by :meth:`feedback` (for stats/tests)."""
+        return self._monitor
 
     def parse(self, sql: str) -> Query:
         """Parse request SQL into a query AST (``ValueError`` family on
@@ -222,15 +332,20 @@ class EstimationService:
                    if self._fused is not None else None)
         self._parse_cache.store(fingerprint, _Statement(template, planned))
 
-    def estimate(self, query: Query) -> tuple[float, bool]:
+    def estimate(self, query: Query, sql: str | None = None,
+                 trace_id: int | None = None) -> tuple[float, bool]:
         """Estimate one query; returns ``(estimate, was_cached)``.
 
         Cache hit short-circuits; a miss rides the micro-batcher and the
         result is cached on the way out.  Saturation raises
         :class:`ServiceUnavailableError` *before* any work is queued.
+        ``sql``/``trace_id`` enrich the request's wide event and join
+        its spans to the caller's trace; both are optional.
         """
-        with self._admit(1), obs.span("serve.request",
-                                      metric="serve.request.seconds"):
+        with _RequestTelemetry(self, sql, trace_id) as telemetry, \
+                obs.use_trace_context(trace_id or obs.current_trace_id()), \
+                self._admit(1), \
+                obs.span("serve.request", metric="serve.request.seconds"):
             registry = obs.get_registry()
             registry.counter("serve.requests_total").inc()
             registry.counter("serve.queries_total").inc()
@@ -240,26 +355,36 @@ class EstimationService:
                 key = query_cache_key(query)
                 cached = self._cache.lookup(key)
                 if cached is not None:
+                    telemetry.cache = "hit"
+                    telemetry.estimate = cached
                     return cached, True
             try:
-                future = self._batcher.submit(query)
+                request = self._batcher.submit_request(
+                    query, trace_id=trace_id)
             except BatcherClosedError as exc:
                 raise ServiceUnavailableError(str(exc)) from exc
-            estimate = future.result()
+            estimate = request.future.result()
+            telemetry.cache = "miss"
+            telemetry.batch_id = request.batch_id
+            telemetry.estimate = estimate
             if self._cache.enabled:
                 self._cache.store(key, estimate)
             return estimate, False
 
-    def estimate_many(self, queries: list[Query]) -> list[float]:
+    def estimate_many(self, queries: list[Query],
+                      trace_id: int | None = None) -> list[float]:
         """Estimate a client-supplied batch in one estimator call.
 
         The batch is already amortised, so misses bypass the collection
         window and go straight through ``estimate_batch``; individual
         cache hits are still honoured and misses are cached.
         """
-        with self._admit(1), obs.span("serve.request",
-                                      metric="serve.request.seconds",
-                                      n_queries=len(queries)):
+        with _RequestTelemetry(self, None, trace_id) as telemetry, \
+                obs.use_trace_context(trace_id or obs.current_trace_id()), \
+                self._admit(1), \
+                obs.span("serve.request", metric="serve.request.seconds",
+                         n_queries=len(queries)):
+            telemetry.cache = "batch"
             registry = obs.get_registry()
             registry.counter("serve.requests_total").inc()
             registry.counter("serve.queries_total").inc(len(queries))
@@ -294,7 +419,8 @@ class EstimationService:
                     results[position] = value
             return [float(value) for value in results]
 
-    def estimate_many_sql(self, sqls: list[str]) -> list[float]:
+    def estimate_many_sql(self, sqls: list[str],
+                          trace_id: int | None = None) -> list[float]:
         """Estimate a batch straight from SQL text (the batch endpoint).
 
         This is the serving hot path's top: when the fused path can
@@ -312,10 +438,14 @@ class EstimationService:
         fused = self._fused
         if (fused is None or not fused.supports_planned_statements
                 or self._cache.enabled or not self._parse_cache.enabled):
-            return self.estimate_many([self.parse(sql) for sql in sqls])
-        with self._admit(1), obs.span("serve.request",
-                                      metric="serve.request.seconds",
-                                      n_queries=len(sqls)):
+            return self.estimate_many([self.parse(sql) for sql in sqls],
+                                      trace_id=trace_id)
+        with _RequestTelemetry(self, None, trace_id) as telemetry, \
+                obs.use_trace_context(trace_id or obs.current_trace_id()), \
+                self._admit(1), \
+                obs.span("serve.request", metric="serve.request.seconds",
+                         n_queries=len(sqls)):
+            telemetry.cache = "batch"
             registry = obs.get_registry()
             registry.counter("serve.requests_total").inc()
             registry.counter("serve.queries_total").inc(len(sqls))
@@ -361,6 +491,85 @@ class EstimationService:
                     for position, estimate in zip(query_pos, estimates):
                         results[position] = estimate
             return results
+
+    def feedback(self, sql: str, true_cardinality: float,
+                 estimate: float | None = None,
+                 trace_id: int | None = None) -> tuple[float, float]:
+        """Report an executed query's true cardinality; returns
+        ``(qerror, estimate)``.
+
+        This closes the accuracy loop: the observed q-error (floored at
+        cardinality 1, the paper's convention) feeds the per-model
+        ``serve.qerror.window`` monitor, the ``serve.qerror.slo`` burn
+        rate, the drift :class:`~repro.feedback.QueryFeedbackMonitor`,
+        and the worst-q-error exemplar reservoir (which keeps ``sql``
+        itself).  ``estimate`` is the estimate the caller was served;
+        when omitted the service re-estimates the query directly
+        (bypassing caches and admission — feedback must not compete
+        with live traffic for in-flight slots).
+        """
+        with obs.use_trace_context(trace_id or obs.current_trace_id()), \
+                obs.span("serve.feedback"):
+            query = self.parse(sql)
+            if estimate is None:
+                estimate = float(self._estimate_batch([query])[0])
+            true_floored = max(float(true_cardinality), 1.0)
+            estimate_floored = max(float(estimate), 1.0)
+            observed = float(qerror(true_floored, estimate_floored))
+            self._monitor.record(true_cardinality, estimate)
+            self._qerror_window.observe(observed, model=self._model_version,
+                                        table=self._table_label,
+                                        qft=self._qft_label)
+            self._qerror_slo.observe(observed)
+            registry = obs.get_registry()
+            registry.counter("serve.feedback_total").inc()
+            registry.histogram("serve.feedback.qerror").record(observed)
+            try:
+                fingerprint, _ = fingerprint_sql(sql)
+            except (ValueError, SqlSyntaxError):
+                fingerprint = None
+            if fingerprint is not None:
+                obs.get_event_log().attach_qerror(fingerprint, observed,
+                                                  sql=sql)
+            self._bump_tick()
+            return observed, float(estimate)
+
+    def _record_request(self, telemetry: "_RequestTelemetry",
+                        error: str | None) -> None:
+        """Emit one finished request's telemetry (event + windows)."""
+        fingerprint = None
+        if telemetry.sql is not None:
+            try:
+                fingerprint, _ = fingerprint_sql(telemetry.sql)
+            except (ValueError, SqlSyntaxError):
+                fingerprint = None
+        obs.get_event_log().record(
+            trace_id=telemetry.trace_id,
+            fingerprint=fingerprint,
+            sql=telemetry.sql,
+            batch_id=telemetry.batch_id,
+            model_version=self._model_version,
+            cache=telemetry.cache,
+            latency_seconds=telemetry.watch.seconds,
+            estimate=telemetry.estimate,
+            error=error,
+        )
+        cache_label = telemetry.cache or ("error" if error else "none")
+        self._latency_window.observe(telemetry.watch.seconds,
+                                     model=self._model_version,
+                                     cache=cache_label)
+        self._latency_slo.observe(telemetry.watch.seconds)
+        self._bump_tick()
+
+    def _bump_tick(self) -> None:
+        """Advance the global windows every ``tick_every`` requests."""
+        if not self._tick_every:
+            return
+        with self._inflight_lock:
+            self._request_seq += 1
+            advance = self._request_seq % self._tick_every == 0
+        if advance:
+            obs.get_windows().advance_all()
 
     def close(self, drain: bool = True) -> None:
         """Refuse new requests and drain (or cancel) queued ones."""
@@ -423,10 +632,25 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        """Serve ``/healthz`` and ``/metrics``."""
-        if self.path == "/healthz":
+        """Serve ``/healthz`` and the two ``/metrics`` renderings.
+
+        ``/metrics`` keeps its byte-stable JSON snapshot; the
+        Prometheus text exposition answers on ``/metrics.prom`` and
+        ``/metrics?format=prometheus`` (both render counters, gauges,
+        cumulative histograms, windowed summaries, and SLO burn rates
+        with labels).
+        """
+        parsed = urllib.parse.urlsplit(self.path)
+        query = urllib.parse.parse_qs(parsed.query)
+        if parsed.path == "/healthz":
             self._send_json(200, {"status": "ok"})
-        elif self.path == "/metrics":
+        elif (parsed.path == "/metrics.prom"
+              or (parsed.path == "/metrics"
+                  and query.get("format") == ["prometheus"])):
+            body = render_prometheus()
+            self._send_bytes(200, body.encode("utf-8"),
+                             content_type=CONTENT_TYPE)
+        elif parsed.path == "/metrics":
             body = obs.get_registry().to_json() + "\n"
             self._send_bytes(200, body.encode("utf-8"),
                              content_type="application/json")
@@ -434,32 +658,67 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no such endpoint {self.path}"})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server naming)
-        """Serve ``/v1/estimate`` and ``/v1/estimate_batch``."""
-        if self.path == "/v1/estimate":
-            self._handle(self._estimate)
-        elif self.path == "/v1/estimate_batch":
-            self._handle(self._estimate_batch)
-        else:
-            self._send_json(404, {"error": f"no such endpoint {self.path}"})
+        """Serve ``/v1/estimate``, ``/v1/estimate_batch``, ``/v1/feedback``.
+
+        A request carrying an ``X-Repro-Trace`` header adopts the
+        client's trace id for the duration of handling: every span the
+        service opens is stamped with it, which is what lets the
+        exporter stitch client and server span logs into one trace.
+        """
+        trace_id = obs.parse_trace_header(
+            self.headers.get(obs.TRACE_HEADER))
+        with obs.use_trace_context(trace_id):
+            if self.path == "/v1/estimate":
+                self._handle(lambda payload: self._estimate(payload,
+                                                            trace_id))
+            elif self.path == "/v1/estimate_batch":
+                self._handle(lambda payload: self._estimate_batch(payload,
+                                                                  trace_id))
+            elif self.path == "/v1/feedback":
+                self._handle(lambda payload: self._feedback(payload,
+                                                            trace_id))
+            else:
+                self._send_json(404,
+                                {"error": f"no such endpoint {self.path}"})
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
 
-    def _estimate(self, payload: dict) -> dict:
+    def _estimate(self, payload: dict, trace_id: int | None = None) -> dict:
         sql = payload.get("sql")
         if not isinstance(sql, str):
             raise ValueError('request body must carry {"sql": "<query>"}')
-        estimate, cached = self.service.estimate(self.service.parse(sql))
+        estimate, cached = self.service.estimate(self.service.parse(sql),
+                                                 sql=sql, trace_id=trace_id)
         return {"estimate": estimate, "cached": cached}
 
-    def _estimate_batch(self, payload: dict) -> dict:
+    def _estimate_batch(self, payload: dict,
+                        trace_id: int | None = None) -> dict:
         sqls = payload.get("sql")
         if (not isinstance(sqls, list)
                 or not all(isinstance(s, str) for s in sqls)):
             raise ValueError(
                 'request body must carry {"sql": ["<query>", ...]}')
-        return {"estimates": self.service.estimate_many_sql(sqls)}
+        return {"estimates": self.service.estimate_many_sql(
+            sqls, trace_id=trace_id)}
+
+    def _feedback(self, payload: dict, trace_id: int | None = None) -> dict:
+        sql = payload.get("sql")
+        true_cardinality = payload.get("true_cardinality")
+        if not isinstance(sql, str) \
+                or not isinstance(true_cardinality, (int, float)):
+            raise ValueError(
+                'request body must carry {"sql": "<query>", '
+                '"true_cardinality": <number>}')
+        estimate = payload.get("estimate")
+        if estimate is not None and not isinstance(estimate, (int, float)):
+            raise ValueError('"estimate" must be a number when present')
+        observed, served = self.service.feedback(
+            sql, float(true_cardinality),
+            estimate=None if estimate is None else float(estimate),
+            trace_id=trace_id)
+        return {"qerror": observed, "estimate": served}
 
     # ------------------------------------------------------------------
     # Plumbing

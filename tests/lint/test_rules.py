@@ -435,3 +435,70 @@ class TestEngineBehaviour:
         lines = [f.line for f in result.findings]
         assert lines == sorted(lines) == [1, 2]
         assert all(f.path == "snippet.py" for f in result.findings)
+
+
+class TestMetricNameDriftRPR110:
+    def test_flags_fstring_metric_name(self):
+        assert "RPR110" in codes(
+            'def f(kind, registry):\n'
+            '    registry.counter(f"serve.cache.{kind}").inc()\n',
+            module_name="repro.serve.cache")
+
+    def test_flags_concatenated_and_formatted_names(self):
+        assert "RPR110" in codes(
+            'def f(prefix, registry):\n'
+            '    registry.histogram(prefix + ".seconds").record(1.0)\n',
+            module_name="repro.serve.server")
+        assert "RPR110" in codes(
+            'def f(obs, kind):\n'
+            '    with obs.span("serve.{}".format(kind)):\n'
+            '        pass\n',
+            module_name="repro.serve.server")
+
+    def test_flags_non_dotted_lowercase_literal(self):
+        assert "RPR110" in codes(
+            'def f(registry):\n'
+            '    registry.counter("Serve-Requests").inc()\n',
+            module_name="repro.serve.server")
+        assert "RPR110" in codes(
+            'def f(obs):\n'
+            '    with obs.span("serve.request.", metric="ok.name"):\n'
+            '        pass\n',
+            module_name="repro.serve.server")
+
+    def test_flags_dynamic_metric_keyword(self):
+        assert "RPR110" in codes(
+            'def f(obs, stage):\n'
+            '    with obs.span("serve.request", metric=f"{stage}.s"):\n'
+            '        pass\n',
+            module_name="repro.serve.server")
+
+    def test_accepts_literals_and_preresolved_variables(self):
+        assert codes(
+            'def f(self, obs, registry):\n'
+            '    registry.counter("serve.requests_total").inc()\n'
+            '    registry.counter(self._hits_metric).inc()\n'
+            '    with obs.span("serve.request",\n'
+            '                  metric="serve.request.seconds"):\n'
+            '        pass\n',
+            module_name="repro.serve.server") == []
+
+    def test_obs_layer_is_exempt(self):
+        assert codes(
+            'def f(self, name):\n'
+            '    self.counter(name + "_total").inc()\n',
+            module_name="repro.obs.prometheus") == []
+
+    def test_only_applies_inside_repro(self):
+        assert codes(
+            'def f(registry, kind):\n'
+            '    registry.counter(f"x.{kind}").inc()\n',
+            module_name="scripts.dashboard") == []
+
+    def test_pragma_suppresses(self):
+        source = ('def f(registry, kind):\n'
+                  '    registry.counter(f"c.{kind}").inc()'
+                  '  # repro: ignore[RPR110]\n')
+        result = lint_text(source, module_name="repro.serve.cache")
+        assert result.findings == ()
+        assert [f.code for f in result.suppressed] == ["RPR110"]

@@ -1,0 +1,192 @@
+"""Wide request events: sampling, exemplars, stopwatch, JSONL export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_RECORD_KEYS,
+    EventLog,
+    ExemplarReservoir,
+    read_events_jsonl,
+    render_event_text,
+    render_events_summary_json,
+    render_events_summary_text,
+    summarize_events,
+)
+
+
+def fixed_clock(value: int = 1_000):
+    """A clock_ns that always returns ``value`` (deterministic events)."""
+    return lambda: value
+
+
+class TestEventLog:
+    def test_record_assigns_sequence_and_schema(self):
+        log = EventLog(clock_ns=fixed_clock())
+        record = log.record(trace_id=7, fingerprint="fp", sql="SELECT 1",
+                            model_version="m", cache="miss",
+                            latency_seconds=0.004, estimate=12.0)
+        assert tuple(record) == EVENT_RECORD_KEYS
+        assert record["seq"] == 1
+        assert log.record(trace_id=8)["seq"] == 2
+
+    def test_head_sampling_is_deterministic(self):
+        log = EventLog(sample_every=3, clock_ns=fixed_clock())
+        for _ in range(9):
+            log.record(trace_id=1)
+        kept = [event["seq"] for event in log.events()]
+        assert kept == [3, 6, 9]
+        counts = log.counts()
+        assert counts["recorded"] == 9
+        assert counts["sampled"] == 3
+
+    def test_errors_bypass_sampling(self):
+        log = EventLog(sample_every=100, clock_ns=fixed_clock())
+        log.record(trace_id=1)
+        log.record(trace_id=2, error="SqlSyntaxError")
+        kept = [event["seq"] for event in log.events()]
+        assert kept == [2]
+        assert log.counts()["errors"] == 1
+
+    def test_capacity_evicts_oldest(self):
+        log = EventLog(capacity=2, clock_ns=fixed_clock())
+        for _ in range(4):
+            log.record(trace_id=1)
+        assert [event["seq"] for event in log.events()] == [3, 4]
+
+    def test_attach_qerror_updates_newest_match(self):
+        log = EventLog(clock_ns=fixed_clock())
+        log.record(fingerprint="fp", sql=None, estimate=10.0)
+        log.record(fingerprint="fp", sql=None, estimate=11.0)
+        updated = log.attach_qerror("fp", 4.5, sql="SELECT 1")
+        assert updated["seq"] == 2
+        assert updated["qerror"] == 4.5
+        assert updated["sql"] == "SELECT 1"
+        # The match landed in the stored event, not just the copy.
+        assert log.events()[1]["qerror"] == 4.5
+
+    def test_attach_qerror_unmatched_still_reaches_exemplars(self):
+        log = EventLog(sample_every=100, clock_ns=fixed_clock())
+        log.record(fingerprint="fp")       # not retained (sampled out)
+        assert log.attach_qerror("fp", 99.0, sql="SELECT 1") is None
+        worst = log.exemplars.worst()
+        assert worst is not None
+        assert worst["qerror"] == 99.0
+        assert worst["sql"] == "SELECT 1"
+
+    def test_stopwatch_measures_on_injected_clock(self):
+        ticks = iter([100, 350])
+        log = EventLog(clock_ns=lambda: next(ticks))
+        with log.stopwatch() as watch:
+            pass
+        assert watch.seconds == pytest.approx(250e-9)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = EventLog(clock_ns=fixed_clock())
+        log.record(trace_id=1, fingerprint="fp", sql="SELECT 1",
+                   model_version="m", cache="hit", latency_seconds=0.001,
+                   estimate=5.0)
+        log.record(trace_id=2, error="ValueError")
+        path = tmp_path / "events.jsonl"
+        assert log.write_jsonl(path) == 2
+        records = read_events_jsonl(path)
+        assert records == log.events()
+
+    def test_read_rejects_malformed_records(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"seq": 1}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="missing keys"):
+            read_events_jsonl(path)
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="not a JSON event record"):
+            read_events_jsonl(path)
+
+    def test_reset_restores_sequence_and_exemplars(self):
+        log = EventLog(clock_ns=fixed_clock())
+        log.record(fingerprint="fp")
+        log.attach_qerror("fp", 9.0)
+        log.reset()
+        assert log.events() == []
+        assert log.counts()["recorded"] == 0
+        assert len(log.exemplars) == 0
+        assert log.record(trace_id=1)["seq"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventLog(capacity=0)
+        with pytest.raises(ValueError, match="sample_every"):
+            EventLog(sample_every=0)
+
+
+class TestExemplarReservoir:
+    def test_keeps_the_worst_k_worst_first(self):
+        reservoir = ExemplarReservoir(capacity=2)
+        assert reservoir.offer(2.0, {"seq": 1}) is True
+        assert reservoir.offer(5.0, {"seq": 2}) is True
+        assert reservoir.offer(3.0, {"seq": 3}) is True   # evicts 2.0
+        assert reservoir.offer(1.0, {"seq": 4}) is False  # too good
+        snapshot = reservoir.snapshot()
+        assert [item["qerror"] for item in snapshot] == [5.0, 3.0]
+        assert reservoir.worst()["seq"] == 2
+
+    def test_ties_break_toward_earlier_sequence(self):
+        reservoir = ExemplarReservoir(capacity=1)
+        reservoir.offer(5.0, {"seq": 2})
+        assert reservoir.offer(5.0, {"seq": 9}) is False
+        assert reservoir.worst()["seq"] == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ExemplarReservoir(capacity=0)
+
+
+class TestSummaries:
+    def _records(self):
+        log = EventLog(clock_ns=fixed_clock())
+        log.record(trace_id=1, fingerprint="fp", sql="SELECT 1",
+                   model_version="m1", cache="miss",
+                   latency_seconds=0.004, estimate=10.0)
+        log.record(trace_id=2, fingerprint="fp", model_version="m1",
+                   cache="hit", latency_seconds=0.001, estimate=10.0)
+        log.record(trace_id=3, model_version="m1", cache="miss",
+                   latency_seconds=0.002, error="SqlSyntaxError")
+        log.attach_qerror("fp", 37.5, sql="SELECT 1")
+        return log.events()
+
+    def test_summarize_counts_and_worst(self):
+        summary = summarize_events(self._records())
+        assert summary["events"] == 3
+        assert summary["errors"] == 1
+        assert summary["models"] == {"m1": 3}
+        assert summary["cache"] == {"hit": 1, "miss": 2}
+        assert summary["qerror"]["count"] == 1
+        assert summary["qerror"]["max"] == 37.5
+        assert summary["worst"]["sql"] == "SELECT 1"
+
+    def test_summarize_empty(self):
+        summary = summarize_events([])
+        assert summary["events"] == 0
+        assert summary["worst"] is None
+        assert summary["latency_ms"]["p95"] == 0.0
+
+    def test_render_text_and_json_are_deterministic(self):
+        records = self._records()
+        text = render_events_summary_text(summarize_events(records))
+        assert "events: 3 (1 errors)" in text
+        assert "worst:" in text and "SELECT 1" in text
+        first = render_events_summary_json(summarize_events(records))
+        second = render_events_summary_json(summarize_events(records))
+        assert first == second
+        assert json.loads(first)["events"] == 3
+
+    def test_render_event_text_shape(self):
+        records = self._records()
+        line = render_event_text(records[1])
+        assert line.startswith("#2")
+        assert "qerr=37.500" in line
+        assert "cache=hit" in line
+        error_line = render_event_text(records[2])
+        assert "error=SqlSyntaxError" in error_line

@@ -141,3 +141,35 @@ class TestRegistry:
         registry.counter("c").inc()
         registry.reset()
         assert registry.names() == ()
+
+
+class TestHistogramValueHardening:
+    """PR 9 regression: a poisoned observation must fail loudly, not
+    corrupt the bucket counts every downstream quantile reads."""
+
+    def test_record_rejects_nan(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            histogram.record(float("nan"))
+
+    def test_record_rejects_infinities_and_negatives(self):
+        histogram = MetricsRegistry().histogram("h")
+        for bad in (float("inf"), float("-inf"), -0.001, -5):
+            with pytest.raises(ValueError, match="finite and non-negative"):
+                histogram.record(bad)
+
+    def test_record_many_rejects_any_poisoned_value(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            histogram.record_many([0.1, float("nan"), 0.2])
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            histogram.record_many([0.1, -0.2])
+        # Nothing was recorded by the failed batches.
+        assert histogram.snapshot()["count"] == 0
+
+    def test_record_still_accepts_zero_and_positive(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.record(0.0)
+        histogram.record(12.5)
+        histogram.record_many([0.25, 3.0])
+        assert histogram.snapshot()["count"] == 4

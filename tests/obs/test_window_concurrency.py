@@ -1,0 +1,124 @@
+"""Byte-stability of windowed snapshots under concurrent writers.
+
+The windowed monitors promise that a snapshot is a pure function of the
+observation multiset per tick — not of thread scheduling.  These tests
+drive N threads × M ticks against one monitor, with a barrier at every
+tick boundary so each tick's multiset is fixed, and assert the JSON
+snapshot is byte-identical no matter how many threads wrote or in what
+interleaving.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs.window import SloTracker, WindowedHistogram, WindowRegistry
+
+N_TICKS = 5
+PER_TICK = 240  # observations per tick, divisible by every thread count
+
+
+def tick_values(tick: int) -> list[float]:
+    """The fixed observation multiset of one tick (deterministic)."""
+    return [((tick * PER_TICK + i) % 97) / 13.0 for i in range(PER_TICK)]
+
+
+def run_histogram(n_threads: int) -> str:
+    window = WindowedHistogram("w.conc", label_names=("lane",),
+                               window_ticks=3)
+    barrier = threading.Barrier(n_threads + 1)
+
+    def worker(worker_index: int) -> None:
+        for tick in range(N_TICKS):
+            values = tick_values(tick)
+            share = values[worker_index::n_threads]
+            for value in share:
+                window.observe(value, lane=str(int(value * 13) % 3))
+            barrier.wait()  # everyone finished this tick's share
+            barrier.wait()  # main thread advanced; next tick may start
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for _ in range(N_TICKS):
+        barrier.wait()
+        window.advance()
+        barrier.wait()
+    for thread in threads:
+        thread.join()
+    return json.dumps(window.snapshot(), sort_keys=True)
+
+
+def run_slo(n_threads: int) -> str:
+    slo = SloTracker("s.conc", target=3.0, objective=0.9,
+                     short_ticks=2, long_ticks=4)
+    barrier = threading.Barrier(n_threads + 1)
+
+    def worker(worker_index: int) -> None:
+        for tick in range(N_TICKS):
+            for value in tick_values(tick)[worker_index::n_threads]:
+                slo.observe(value)
+            barrier.wait()
+            barrier.wait()
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for _ in range(N_TICKS):
+        barrier.wait()
+        slo.advance()
+        barrier.wait()
+    for thread in threads:
+        thread.join()
+    return json.dumps(slo.snapshot(), sort_keys=True)
+
+
+class TestConcurrentByteStability:
+    def test_histogram_snapshot_independent_of_writer_count(self):
+        single = run_histogram(1)
+        assert run_histogram(4) == single
+        assert run_histogram(8) == single
+
+    def test_histogram_snapshot_repeatable_at_same_writer_count(self):
+        assert run_histogram(6) == run_histogram(6)
+
+    def test_slo_snapshot_independent_of_writer_count(self):
+        single = run_slo(1)
+        assert run_slo(4) == single
+        assert run_slo(8) == single
+
+    def test_registry_advance_all_under_writers(self):
+        """advance_all from the main thread while workers observe a
+        fixed per-tick multiset: final to_json is writer-count
+        independent."""
+
+        def run(n_threads: int) -> str:
+            windows = WindowRegistry()
+            histogram = windows.histogram("w.reg", window_ticks=3)
+            slo = windows.slo("s.reg", target=3.0, objective=0.9)
+            barrier = threading.Barrier(n_threads + 1)
+
+            def worker(worker_index: int) -> None:
+                for tick in range(N_TICKS):
+                    for value in tick_values(tick)[worker_index::n_threads]:
+                        histogram.observe(value)
+                        slo.observe(value)
+                    barrier.wait()
+                    barrier.wait()
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(n_threads)]
+            for thread in threads:
+                thread.start()
+            for _ in range(N_TICKS):
+                barrier.wait()
+                windows.advance_all()
+                barrier.wait()
+            for thread in threads:
+                thread.join()
+            return windows.to_json()
+
+        assert run(1) == run(5)
