@@ -49,6 +49,7 @@ touching the tracer it is measuring.
 from __future__ import annotations
 
 import json
+import os
 import tempfile
 import threading
 import time
@@ -70,9 +71,9 @@ from repro.featurize import (
 from repro.sql.ast import And, BoolExpr, Or, Query, SimplePredicate
 from repro.workloads import generate_conjunctive_queries, generate_mixed_queries
 
-__all__ = ["BenchCase", "run_featurize_bench", "run_lint_bench",
-           "run_obs_bench", "run_predict_bench", "run_serve_bench",
-           "write_report"]
+__all__ = ["BenchCase", "run_featurize_bench", "run_fleet_bench",
+           "run_lint_bench", "run_obs_bench", "run_predict_bench",
+           "run_serve_bench", "write_report"]
 
 #: (featurizer label, workload label) cases the benchmark measures.
 _CASES = (
@@ -810,6 +811,162 @@ def run_serve_bench(artifact: str | Path | None = None, rows: int = 4_000,
         "plan_cache": service.plan_cache.stats(),
         "parse_cache": service.parse_cache.stats(),
         "predict": predict_report,
+    }
+
+
+def run_fleet_bench(artifact: str | Path | None = None, rows: int = 4_000,
+                    queries: int = 2_048, threads: int = 8,
+                    partitions: int = config.DEFAULT_PARTITIONS,
+                    seed: int = config.DEFAULT_SEED, smoke: bool = False,
+                    worker_counts: Sequence[int] = (1, 2, 4),
+                    templates: int = 64, batch_size: int = 64) -> dict:
+    """Benchmark fleet scaling: the same workload at several worker counts.
+
+    Publishes one estimator into a scratch
+    :class:`~repro.serve.registry.ModelRegistry`, then for each count in
+    ``worker_counts`` boots a real fleet — ``N`` worker *subprocesses*
+    (estimate cache off, so every batch pays featurize → predict) behind
+    a :class:`~repro.fleet.router.FleetRouter` — and drives it with the
+    closed-loop client fleet from the serve benchmark, packing
+    ``batch_size`` queries per ``POST /v1/estimate_batch``.  Workers are
+    separate processes, so unlike a thread pool this scaling is not
+    GIL-bound; the reported ``fleet_speedup`` is aggregate
+    queries/second at the largest count over the single-worker rate.
+
+    Worker subprocesses make this benchmark 10-100x heavier to boot
+    than the in-process serve bench; the workload itself matches
+    :func:`run_serve_bench`'s parameterized-statement shape, so the two
+    reports compose (``repro bench serve --workers N`` embeds this one
+    under the serve report's ``fleet`` key).
+    """
+    import shutil
+
+    from repro.estimators import LearnedEstimator
+    from repro.fleet import (
+        FleetRouter,
+        ProcessWorker,
+        RouterServer,
+        WorkerSupervisor,
+    )
+    from repro.models import GradientBoostingRegressor
+    from repro.persistence import load_estimator
+    from repro.serve import ModelRegistry
+    from repro.serve.client import ServeClient
+    from repro.workloads import generate_conjunctive_workload
+
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if smoke:
+        rows = min(rows, 1_000)
+        queries = min(queries, 256)
+        threads = min(threads, 4)
+        templates = min(templates, 16)
+        worker_counts = tuple(c for c in worker_counts if c <= 2) or (1, 2)
+    worker_counts = tuple(sorted(set(int(c) for c in worker_counts)))
+    if worker_counts[0] != 1:
+        raise ValueError(
+            "worker_counts must include 1 (the scaling baseline)")
+    templates = min(templates, queries)
+    table = generate_forest(rows=rows, seed=seed)
+    if artifact is not None:
+        estimator = load_estimator(artifact)
+    else:
+        train = generate_conjunctive_workload(
+            table, 120 if smoke else 400, seed=seed + 1)
+        # A heavier forest than the serve bench's: per-batch worker
+        # compute must dominate the router's forwarding overhead for
+        # the scaling measurement to mean anything.
+        estimator = LearnedEstimator(
+            ConjunctiveEncoding(table, max_partitions=partitions),
+            GradientBoostingRegressor(n_estimators=10 if smoke else 60),
+        ).fit(train.queries, train.cardinalities)
+    workload = _parameterized_queries(table, queries, templates, seed=seed)
+    sqls = [query.to_sql() for query in workload]
+    payloads = [sqls[i:i + batch_size]
+                for i in range(0, len(sqls), batch_size)]
+
+    registry_root = Path(tempfile.mkdtemp(prefix="repro-fleet-bench-"))
+    cases: list[dict] = []
+    try:
+        registry = ModelRegistry(registry_root)
+        published = registry.publish(estimator, "bench")
+        for count in worker_counts:
+            def factory(worker_id: str) -> ProcessWorker:
+                return ProcessWorker(
+                    worker_id, registry_root, "bench",
+                    cache_size=0, max_wait_ms=1.0,
+                    max_inflight=max(64, threads * 4),
+                    tick_every=0).start()
+
+            supervisor = WorkerSupervisor(factory, poll_interval=0.5)
+            supervisor.spawn(count)
+            supervisor.start()
+            router = FleetRouter(supervisor.pool, supervisor=supervisor)
+            server = RouterServer(router)
+            server.start()
+            try:
+                # Untimed warm-up: touch every worker's parse/plan
+                # caches and the router's keep-alive sockets.
+                with ServeClient(server.url, timeout=60.0) as warmup:
+                    for start_at in range(0, min(len(sqls), 256),
+                                          batch_size):
+                        warmup.estimate_batch(
+                            sqls[start_at:start_at + batch_size])
+                timing = _drive_closed_loop(
+                    server.url, list(payloads), threads,
+                    lambda client, batch: client.estimate_batch(batch))
+            finally:
+                server.stop(drain=True)
+                supervisor.stop(drain=True)
+            latencies_ms = np.asarray(timing["latencies"]) * 1000.0
+            wall = timing["wall_seconds"]
+            cases.append({
+                "workers": count,
+                "requests": len(payloads),
+                "queries": len(sqls),
+                "wall_seconds": wall,
+                "queries_per_second": (len(sqls) / wall if wall > 0
+                                       else float("inf")),
+                "p50_latency_ms": float(np.percentile(latencies_ms, 50)),
+                "p95_latency_ms": float(np.percentile(latencies_ms, 95)),
+            })
+    finally:
+        shutil.rmtree(registry_root, ignore_errors=True)
+
+    by_count = {case["workers"]: case for case in cases}
+    single_qps = by_count[1]["queries_per_second"]
+    fleet_qps = by_count[worker_counts[-1]]["queries_per_second"]
+    cpu_count = os.cpu_count() or 1
+    return {
+        "benchmark": "fleet",
+        "config": {
+            "rows": rows,
+            "queries": queries,
+            "threads": threads,
+            "partitions": partitions,
+            "seed": seed,
+            "smoke": smoke,
+            "artifact": str(artifact) if artifact is not None else None,
+            "estimator": estimator.name,
+            "model": published.label(),
+            "worker_counts": list(worker_counts),
+            "templates": templates,
+            "batch_size": batch_size,
+            "workload": "parameterized-conjunctive",
+            "cache_size": 0,
+            "cpu_count": cpu_count,
+        },
+        "cases": cases,
+        "single_worker_qps": single_qps,
+        "fleet_qps": fleet_qps,
+        "fleet_speedup": (fleet_qps / single_qps if single_qps > 0
+                          else float("inf")),
+        # Separate worker processes only add throughput when the host
+        # has cores for them; below this bound the measurement is the
+        # scheduler's, not the fleet's.
+        "cpu_limited": cpu_count < worker_counts[-1],
     }
 
 

@@ -18,6 +18,7 @@ from repro.lint.rules.correctness import (
     FloatEqualityRule,
     MutableDefaultRule,
     ScalarFeaturizeLoopRule,
+    SubprocessWithoutDrainRule,
 )
 from repro.lint.rules.determinism import (
     GlobalNumpyRandomRule,
@@ -48,6 +49,7 @@ __all__ = [
     "BroadExceptRule",
     "FeaturizerSurfaceRule",
     "ScalarFeaturizeLoopRule",
+    "SubprocessWithoutDrainRule",
     "AdHocTimingRule",
     "FeatureDtypeDriftRule",
     "FeatureShapeContractRule",

@@ -277,28 +277,40 @@ def parse_exposition(text: str) -> dict[str, dict]:
     for family, data in families.items():
         if data["type"] != "histogram":
             continue
-        buckets = [(labels.get("le"), value)
-                   for name, labels, value in data["samples"]
-                   if name == f"{family}_bucket"]
-        counts = [(name, value) for name, labels, value in data["samples"]
-                  if name == f"{family}_count"]
-        previous = -math.inf
-        inf_count = None
-        for le, value in buckets:
-            if le is None:
+        # Validate each series group independently: a page merged from
+        # several sources (the fleet router's ``worker``-labeled scrape)
+        # carries one cumulative bucket run *per label set*, so the
+        # cumulativity and +Inf/_count checks group on the non-``le``
+        # labels rather than assuming a single unlabeled run.
+        buckets: dict[tuple, list[tuple[str | None, float]]] = {}
+        counts: dict[tuple, float] = {}
+        for name, labels, value in data["samples"]:
+            group = tuple(sorted((key, val) for key, val in labels.items()
+                                 if key != "le"))
+            if name == f"{family}_bucket":
+                buckets.setdefault(group, []).append(
+                    (labels.get("le"), value))
+            elif name == f"{family}_count" and group not in counts:
+                counts[group] = value
+        for group, run in buckets.items():
+            previous = -math.inf
+            inf_count = None
+            for le, value in run:
+                if le is None:
+                    raise ValueError(
+                        f"histogram {family!r} bucket is missing its "
+                        f"le label")
+                if value < previous:
+                    raise ValueError(
+                        f"histogram {family!r} buckets are not cumulative")
+                previous = value
+                if le == "+Inf":
+                    inf_count = value
+            if inf_count is None:
                 raise ValueError(
-                    f"histogram {family!r} bucket is missing its le label")
-            if value < previous:
+                    f"histogram {family!r} has no +Inf bucket")
+            if group in counts and counts[group] != inf_count:
                 raise ValueError(
-                    f"histogram {family!r} buckets are not cumulative")
-            previous = value
-            if le == "+Inf":
-                inf_count = value
-        if buckets and inf_count is None:
-            raise ValueError(
-                f"histogram {family!r} has no +Inf bucket")
-        if counts and inf_count is not None and counts[0][1] != inf_count:
-            raise ValueError(
-                f"histogram {family!r} +Inf bucket ({inf_count}) does not "
-                f"match _count ({counts[0][1]})")
+                    f"histogram {family!r} +Inf bucket ({inf_count}) does "
+                    f"not match _count ({counts[group]})")
     return families

@@ -127,6 +127,20 @@ class ServeClient:
         """The liveness payload (``{"status": "ok"}`` when up)."""
         return json.loads(self._get("/healthz"))
 
+    def get_json(self, path: str) -> dict:
+        """GET an arbitrary endpoint and parse its JSON body.
+
+        The escape hatch for server-specific endpoints the typed
+        methods don't cover (e.g. the fleet router's ``/fleet/status``).
+        """
+        return json.loads(self._get(path))
+
+    def post_json(self, path: str, payload: dict,
+                  trace_id: int | None = None) -> dict:
+        """POST ``payload`` to an arbitrary endpoint; returns the JSON
+        response (fleet control endpoints, ad-hoc tooling)."""
+        return self._post(path, payload, trace_id=trace_id)
+
     def metrics(self) -> str:
         """The raw ``/metrics`` body (byte-stable JSON text)."""
         return self._get("/metrics")
@@ -135,17 +149,36 @@ class ServeClient:
         """The Prometheus text exposition (``/metrics.prom``)."""
         return self._get("/metrics.prom")
 
-    def estimate(self, sql: str) -> dict:
-        """Estimate one query; returns ``{"estimate": c, "cached": b}``."""
-        return self._post("/v1/estimate", {"sql": sql})
+    def estimate(self, sql: str, trace_id: int | None = None) -> dict:
+        """Estimate one query; returns ``{"estimate": c, "cached": b}``.
 
-    def estimate_batch(self, sqls: list[str]) -> list[float]:
+        Talking to a fleet router, the response additionally carries
+        the answering ``worker_id`` and its ``model_version`` — the
+        dict is returned whole, so those ride along for free.
+        """
+        return self._post("/v1/estimate", {"sql": sql}, trace_id=trace_id)
+
+    def estimate_batch(self, sqls: list[str],
+                       trace_id: int | None = None) -> list[float]:
         """Estimate a batch of queries in one round trip."""
-        return self._post("/v1/estimate_batch", {"sql": list(sqls)})[
+        return self.estimate_batch_detail(sqls, trace_id=trace_id)[
             "estimates"]
 
+    def estimate_batch_detail(self, sqls: list[str],
+                              trace_id: int | None = None) -> dict:
+        """Estimate a batch and return the *full* response payload.
+
+        ``estimate_batch`` keeps its historical ``list`` return; this
+        variant exposes everything the server answered — against a
+        fleet router that includes ``workers`` (the distinct worker ids
+        that served the batch) and ``model_version``.
+        """
+        return self._post("/v1/estimate_batch", {"sql": list(sqls)},
+                          trace_id=trace_id)
+
     def feedback(self, sql: str, true_cardinality: float,
-                 estimate: float | None = None) -> dict:
+                 estimate: float | None = None,
+                 trace_id: int | None = None) -> dict:
         """Report an executed query's true cardinality.
 
         Returns ``{"qerror": q, "estimate": c}``.  Pass ``estimate`` if
@@ -156,27 +189,34 @@ class ServeClient:
                          "true_cardinality": float(true_cardinality)}
         if estimate is not None:
             payload["estimate"] = float(estimate)
-        return self._post("/v1/feedback", payload)
+        return self._post("/v1/feedback", payload, trace_id=trace_id)
 
     # ------------------------------------------------------------------
 
     def _get(self, path: str) -> str:
         return self._send("GET", path)
 
-    def _post(self, path: str, payload: dict) -> dict:
+    def _post(self, path: str, payload: dict,
+              trace_id: int | None = None) -> dict:
         body = json.dumps(payload).encode("utf-8")
-        return json.loads(self._send("POST", path, body))
+        return json.loads(self._send("POST", path, body,
+                                     trace_id=trace_id))
 
-    def _send(self, method: str, path: str, body: bytes | None = None) -> str:
+    def _send(self, method: str, path: str, body: bytes | None = None,
+              trace_id: int | None = None) -> str:
         """Send with bounded 503 retries (see class docs).
 
         Attempt ``i`` of a retried request re-sends the identical
         method/path/body after sleeping the server's ``Retry-After``
-        seconds; the last attempt's error propagates.  One trace id is
-        minted for the whole logical request, so every attempt carries
-        the same ``X-Repro-Trace`` value.
+        seconds; the last attempt's error propagates.  One trace id
+        covers the whole logical request, so every attempt carries the
+        same ``X-Repro-Trace`` value.  Callers that are themselves
+        serving a traced request (the fleet router forwarding to a
+        worker) pass their inbound ``trace_id`` so the onward hop joins
+        the same trace instead of minting a fresh one.
         """
-        trace_id = obs.mint_trace_id()
+        if trace_id is None:
+            trace_id = obs.mint_trace_id()
         for attempt in range(self._retries + 1):
             try:
                 return self._send_once(method, path, body, trace_id)
@@ -208,7 +248,11 @@ class ServeClient:
 
     def _exchange(self, method: str, path: str, body: bytes | None,
                   trace_id: int) -> str:
-        conn = self._connection()
+        try:
+            conn = self._connection()
+        except OSError as exc:
+            raise ServeClientError(
+                f"cannot reach {self._base_url}{path}: {exc}") from exc
         try:
             headers = ({"Content-Type": "application/json"}
                        if body is not None else {})

@@ -16,10 +16,17 @@ diff-able::
         v0002/
           ...
 
-``latest`` resolves to the highest version number.  Loads verify the
-manifest checksum, go through :func:`repro.persistence.load_estimator`,
-and are memoised in an in-process handle cache so concurrent servers
-and batchers share one fitted estimator per (name, version).
+``latest`` resolves to an explicit pointer file (``latest.json``,
+written atomically by :meth:`ModelRegistry.set_latest`) when one
+exists, and to the highest version number otherwise — so a rollout can
+promote a candidate or *roll back* to an older version without
+deleting the bad artifact.  Loads verify the manifest checksum, go
+through :func:`repro.persistence.load_estimator`, and are memoised in
+an in-process handle cache so concurrent servers and batchers share
+one fitted estimator per (name, version).  Each cached handle is keyed
+by the manifest checksum it was loaded under: republishing over the
+same directory (or any manifest change) invalidates the memo instead
+of serving the stale estimator.
 """
 
 from __future__ import annotations
@@ -41,10 +48,13 @@ from repro.persistence import (
 )
 
 __all__ = ["ModelRegistry", "ModelVersion", "RegistryError",
-           "ARTIFACT_FILENAME", "MANIFEST_FILENAME", "LATEST"]
+           "ARTIFACT_FILENAME", "MANIFEST_FILENAME", "LATEST_FILENAME",
+           "LATEST"]
 
 ARTIFACT_FILENAME = "model.npz"
 MANIFEST_FILENAME = "manifest.json"
+#: Per-model pointer file naming the version ``latest`` resolves to.
+LATEST_FILENAME = "latest.json"
 
 #: Version alias resolving to the highest published version.
 LATEST = "latest"
@@ -115,7 +125,12 @@ class ModelRegistry:
 
     def __init__(self, root: str | Path) -> None:
         self._root = Path(root)
-        self._handles: dict[tuple[str, int], LearnedEstimator] = {}
+        # (name, version) -> (manifest checksum, estimator).  The
+        # checksum is the memo's validity token: a republish over the
+        # same directory rewrites the manifest, so comparing checksums
+        # on every load is what keeps hot-swapped handles fresh.
+        self._handles: dict[tuple[str, int],
+                            tuple[str, LearnedEstimator]] = {}
         self._lock = Lock()
 
     @property
@@ -197,11 +212,17 @@ class ModelRegistry:
         """Resolve ``(name, version)`` to a concrete :class:`ModelVersion`.
 
         ``version`` may be an integer, a ``vNNNN`` string, or the alias
-        ``"latest"`` (the highest published version).
+        ``"latest"``: the version the model's ``latest.json`` pointer
+        names (see :meth:`set_latest`), or the highest published
+        version when no pointer has ever been set.
         """
         numbers = self.versions(name)
         if version == LATEST:
-            number = numbers[-1]
+            pinned = self._read_latest_pointer(name)
+            if pinned is not None and pinned in numbers:
+                number = pinned
+            else:
+                number = numbers[-1]
         else:
             if isinstance(version, str):
                 stripped = version.lstrip(_VERSION_PREFIX)
@@ -219,6 +240,41 @@ class ModelRegistry:
             name=name, version=number,
             directory=self._root / name / _format_version(number))
 
+    def set_latest(self, name: str, version: int | str) -> ModelVersion:
+        """Point ``latest`` at a specific published version of ``name``.
+
+        This is the registry half of a rollout: *promote* points the
+        alias at the freshly published candidate, *rollback* pins it
+        back to the baseline so a published-but-bad higher version is
+        never served again by ``resolve(name)``.  The pointer file is
+        written next to the version directories with a tmp-file +
+        ``os.replace`` so a concurrent reader sees the old pointer or
+        the new one, never a torn write.
+        """
+        resolved = self.resolve(name, version)
+        pointer = {"name": name, "version": resolved.version}
+        target = self._root / name / LATEST_FILENAME
+        scratch = target.with_suffix(".json.tmp")
+        scratch.write_text(json.dumps(pointer, sort_keys=True) + "\n",
+                           encoding="utf-8")
+        scratch.replace(target)
+        return resolved
+
+    def _read_latest_pointer(self, name: str) -> int | None:
+        """The pinned ``latest`` version, or ``None`` without a pointer.
+
+        A damaged pointer file degrades to the highest-version default
+        rather than taking the model offline.
+        """
+        pointer_path = self._root / name / LATEST_FILENAME
+        try:
+            payload = json.loads(pointer_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        version = payload.get("version") if isinstance(payload, dict) \
+            else None
+        return version if isinstance(version, int) else None
+
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
@@ -230,20 +286,24 @@ class ModelRegistry:
         The first load per (name, version) verifies the artifact's
         sha256 against the manifest (skippable with ``verify=False``)
         and goes through :func:`repro.persistence.load_estimator`; later
-        loads return the cached in-process handle.
+        loads return the cached in-process handle.  Every load re-reads
+        the (small JSON) manifest and compares its checksum against the
+        one the cached handle was loaded under — if the version was
+        republished in place, the stale handle is dropped and the new
+        artifact loaded, so long-lived servers hot-swap correctly.
         """
         resolved = self.resolve(name, version)
         key = (resolved.name, resolved.version)
+        expected = resolved.manifest().get("checksum_sha256")
         with self._lock:
-            handle = self._handles.get(key)
+            cached = self._handles.get(key)
         # Deliberately non-atomic check-then-act: holding _lock across
         # the artifact load would serialize every first-time load behind
         # disk I/O (the exact stall RPR403 exists to catch).  The racy
         # window is benign — concurrent losers load a duplicate, then
-        # the setdefault below drops it and every caller shares the
-        # winner's handle.
-        if handle is not None:  # repro: ignore[RPR404]
-            return handle
+        # the last store below wins and every later caller shares it.
+        if cached is not None and cached[0] == expected:  # repro: ignore[RPR404]
+            return cached[1]
         if verify:
             self.verify(resolved)
         try:
@@ -253,10 +313,15 @@ class ModelRegistry:
                 f"artifact {resolved.label()} failed to load: {exc}"
             ) from exc
         with self._lock:
-            # Another thread may have raced the load; first one wins so
-            # every caller shares a single handle.
-            handle = self._handles.setdefault(key, estimator)
-        return handle
+            # Concurrent loaders of the same manifest loaded identical
+            # artifacts, so whichever store wins is interchangeable;
+            # a racing *republish* wins over both on its next load via
+            # the checksum comparison above.
+            current = self._handles.get(key)
+            if current is not None and current[0] == expected:
+                return current[1]
+            self._handles[key] = (expected, estimator)
+        return estimator
 
     def verify(self, resolved: ModelVersion) -> None:
         """Check the artifact's checksum against its manifest.

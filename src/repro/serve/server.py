@@ -58,11 +58,8 @@ accepted before the process lets go (no accepted request is dropped).
 
 from __future__ import annotations
 
-import json
-import socket
 import threading
 import urllib.parse
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
@@ -80,6 +77,7 @@ from repro.serve.cache import (
     query_cache_key,
 )
 from repro.serve.fused import FusedEstimatePath, PlannedStatement
+from repro.serve.http import JsonRequestHandler, ThreadedJsonServer
 from repro.sql.ast import Query, UnsupportedQueryError
 from repro.sql.parser import (
     SqlSyntaxError,
@@ -610,22 +608,16 @@ class _Admission:
         return False
 
 
-class _RequestHandler(BaseHTTPRequestHandler):
+class _RequestHandler(JsonRequestHandler):
     """Routes the JSON API onto an :class:`EstimationService`.
 
     Subclassed per server with the ``service`` class attribute bound;
-    never instantiated directly.
+    never instantiated directly.  Transport plumbing (keep-alive,
+    drain, JSON encode/decode) comes from
+    :class:`~repro.serve.http.JsonRequestHandler`.
     """
 
     service: EstimationService
-    protocol_version = "HTTP/1.1"
-    # Cull keep-alive connections whose peer silently vanished; a live
-    # client just reconnects transparently on its next call.
-    timeout = 300.0
-    # Headers and body go out as separate writes; on a kept-alive
-    # socket Nagle would hold the second until the peer's delayed ACK
-    # (~40ms per response without this).
-    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
     # Routing
@@ -746,154 +738,28 @@ class _RequestHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(200, response)
 
-    def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
-        raw = self.rfile.read(length) if length else b""
-        try:
-            payload = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValueError(f"request body is not valid JSON: {exc}") \
-                from exc
-        if not isinstance(payload, dict):
-            raise ValueError("request body must be a JSON object")
-        return payload
 
-    def _send_json(self, status: int, payload: dict,
-                   extra_headers: dict | None = None) -> None:
-        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-        self._send_bytes(status, body, content_type="application/json",
-                         extra_headers=extra_headers)
-
-    def setup(self) -> None:
-        """Register the connection so ``stop()`` can sweep idle sockets."""
-        super().setup()
-        registry = getattr(self.server, "_repro_handlers", None)
-        if registry is not None:
-            with self.server._repro_handlers_lock:
-                registry.add(self)
-
-    def finish(self) -> None:
-        """Unregister the connection once its handler loop ends."""
-        try:
-            super().finish()
-        finally:
-            registry = getattr(self.server, "_repro_handlers", None)
-            if registry is not None:
-                with self.server._repro_handlers_lock:
-                    registry.discard(self)
-
-    def handle_one_request(self) -> None:
-        """Keep-alive loop step; bows out once the server is draining.
-
-        The check sits *between* requests, so a request already being
-        processed when drain starts still gets its response; only the
-        connection's next request is refused (by EOF — ``stop()`` has
-        half-closed the read side).
-        """
-        if getattr(self.server, "_repro_draining", False):
-            self.close_connection = True
-            return
-        super().handle_one_request()
-
-    def _send_bytes(self, status: int, body: bytes, content_type: str,
-                    extra_headers: dict | None = None) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (extra_headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
-
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
-        """Silence the default stderr access log (obs metrics cover it)."""
-
-
-class EstimationServer:
+class EstimationServer(ThreadedJsonServer):
     """A threaded HTTP server around one :class:`EstimationService`.
 
     ``port=0`` binds an ephemeral port (read it back from ``port`` after
     construction) — the form every test and the in-process benchmark
     use.  ``start()`` serves in a background thread; ``stop()`` performs
-    the graceful-drain sequence described in the module docs.
+    the graceful-drain sequence described in the module docs, then
+    closes the service (draining the micro-batcher).
     """
 
     def __init__(self, service: EstimationService, host: str = "127.0.0.1",
                  port: int = 0) -> None:
+        super().__init__(_RequestHandler, host=host, port=port,
+                         thread_name="repro-serve-http", service=service)
         self._service = service
-        handler = type("BoundRequestHandler", (_RequestHandler,),
-                       {"service": service,
-                        "__doc__": _RequestHandler.__doc__})
-        self._httpd = ThreadingHTTPServer((host, port), handler)
-        # Graceful drain: handler threads must be joinable (non-daemon)
-        # and server_close() must wait for them.
-        self._httpd.daemon_threads = False
-        self._httpd.block_on_close = True
-        # Keep-alive bookkeeping swept by stop(); see the module docs.
-        self._httpd._repro_handlers = set()
-        self._httpd._repro_handlers_lock = threading.Lock()
-        self._httpd._repro_draining = False
-        self._thread: threading.Thread | None = None
 
     @property
     def service(self) -> EstimationService:
         """The wrapped service."""
         return self._service
 
-    @property
-    def host(self) -> str:
-        """Bound host address."""
-        return self._httpd.server_address[0]
-
-    @property
-    def port(self) -> int:
-        """Bound port (useful after binding port 0)."""
-        return self._httpd.server_address[1]
-
-    @property
-    def url(self) -> str:
-        """Base URL clients should talk to."""
-        return f"http://{self.host}:{self.port}"
-
-    def start(self) -> "EstimationServer":
-        """Begin serving in a background thread; returns ``self``."""
-        if self._thread is not None:
-            raise RuntimeError("server already started")
-        self._thread = threading.Thread(target=self._httpd.serve_forever,
-                                        name="repro-serve-http",
-                                        daemon=True)
-        self._thread.start()
-        return self
-
-    def stop(self, drain: bool = True) -> None:
-        """Stop accepting, join in-flight handlers, drain the batcher.
-
-        Every request accepted before ``stop`` completes normally; only
-        then does the service close.  Keep-alive connections are
-        half-closed (read side only), so idle handler threads unblock
-        immediately while in-flight responses still reach their
-        clients.  Idempotent.
-        """
-        self._httpd._repro_draining = True
-        with self._httpd._repro_handlers_lock:
-            handlers = list(self._httpd._repro_handlers)
-        for handler in handlers:
-            try:
-                handler.connection.shutdown(socket.SHUT_RD)
-            except OSError:
-                pass  # already closing; the join below still converges
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join()
-            self._thread = None
+    def _on_stop(self, drain: bool) -> None:
+        """Close the service once the listener has fully stopped."""
         self._service.close(drain=drain)
-
-    def __enter__(self) -> "EstimationServer":
-        """Start on context entry."""
-        return self.start()
-
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        """Graceful stop on context exit."""
-        self.stop(drain=True)
-        return False

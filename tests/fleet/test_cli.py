@@ -1,0 +1,111 @@
+"""Fleet CLI: parser wiring and the remote-control subcommands."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.cli import main
+from repro.fleet import RouterServer
+from repro.fleet.cli import build_parser
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["fleet", "serve", "--registry", "/tmp/reg", "--model", "m"])
+        assert args.workers == 2
+        assert args.version == "latest"
+        assert args.port == 8640
+        assert args.retries == 1
+        assert args.mirror_fraction == 1.0
+        assert callable(args.func)
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args(
+            ["fleet", "serve", "--registry", "/tmp/reg", "--model", "m",
+             "--workers", "4", "--version", "3", "--min-feedback", "8",
+             "--max-qerror-ratio", "2.0"])
+        assert args.workers == 4
+        assert args.version == "3"
+        assert args.min_feedback == 8
+        assert args.max_qerror_ratio == 2.0
+
+    def test_control_commands_parse(self):
+        parser = build_parser()
+        for argv in (["fleet", "status"],
+                     ["fleet", "rollout", "--version", "2"],
+                     ["fleet", "promote"],
+                     ["fleet", "rollback"]):
+            args = parser.parse_args(argv)
+            assert args.url == "http://127.0.0.1:8640"
+            assert callable(args.func)
+
+
+class TestControlCommands:
+    def test_status_against_live_router(self, local_fleet, capsys):
+        _, router = local_fleet(workers=2)
+        server = RouterServer(router)
+        server.start()
+        try:
+            assert main(["fleet", "status", "--url", server.url]) == 0
+        finally:
+            server.stop()
+        document = json.loads(capsys.readouterr().out)
+        assert document["rollout"] == {"state": "idle"}
+        assert {row["worker_id"] for row in document["workers"]} \
+            == {"w0", "w1"}
+
+    def test_rollout_without_manager_fails_cleanly(self, local_fleet,
+                                                   capsys):
+        _, router = local_fleet(workers=2)
+        server = RouterServer(router)
+        server.start()
+        try:
+            assert main(["fleet", "promote", "--url", server.url]) == 1
+        finally:
+            server.stop()
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_unreachable_router_fails_cleanly(self, capsys):
+        code = main(["fleet", "status",
+                     "--url", "http://127.0.0.1:9", "--timeout", "0.5"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err.lower()
+
+
+class TestServeCommand:
+    def test_serve_boots_serves_and_drains(self, fleet_registry,
+                                           fleet_sqls):
+        import time
+
+        shutdown = threading.Event()
+        args = build_parser().parse_args(
+            ["fleet", "serve",
+             "--registry", str(fleet_registry.root), "--model", "m",
+             "--workers", "2", "--port", "0"])
+        args.shutdown_event = shutdown
+        url_box: dict[str, str] = {}
+        args.on_ready = lambda url: url_box.setdefault("url", url)
+
+        ran = threading.Thread(target=lambda: args.func(args))
+        ran.start()
+        try:
+            deadline = time.monotonic() + 180.0
+            while "url" not in url_box and ran.is_alive():
+                assert time.monotonic() < deadline, \
+                    "fleet serve never became ready"
+                ran.join(timeout=0.1)
+            assert "url" in url_box, "fleet serve thread died during boot"
+            from repro.serve import ServeClient
+            with ServeClient(url_box["url"]) as client:
+                assert client.healthz() == {"status": "ok", "workers": 2}
+                response = client.estimate(fleet_sqls[0])
+                assert response["estimate"] > 0
+                status = client.get_json("/fleet/status")
+                assert {row["worker_id"] for row in status["workers"]} \
+                    == {"w0", "w1"}
+        finally:
+            shutdown.set()
+            ran.join(timeout=120.0)
+        assert not ran.is_alive()

@@ -1,0 +1,80 @@
+"""Consistent-hash ring properties: uniformity, remap drift, preference."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.fleet import HashRing
+
+KEYS = [f"template:{index}" for index in range(10_000)]
+
+
+def _placement(ring: HashRing) -> dict[str, str]:
+    return {key: ring.lookup(key) for key in KEYS}
+
+
+class TestDistribution:
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_near_uniform_distribution(self, workers):
+        ring = HashRing(f"w{i}" for i in range(workers))
+        counts = Counter(ring.lookup(key) for key in KEYS)
+        assert len(counts) == workers  # every worker owns something
+        expected = len(KEYS) / workers
+        for node, count in counts.items():
+            assert 0.5 * expected <= count <= 1.6 * expected, (
+                f"{node} owns {count} of {len(KEYS)} keys "
+                f"(expected ~{expected:.0f})")
+
+    def test_lookup_is_deterministic(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w2", "w0", "w1"])  # insertion order is irrelevant
+        assert _placement(a) == _placement(b)
+
+
+class TestRemapDrift:
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_join_moves_less_than_one_over_n(self, workers):
+        ring = HashRing(f"w{i}" for i in range(workers))
+        before = _placement(ring)
+        ring.add("w-new")
+        after = _placement(ring)
+        moved = sum(before[key] != after[key] for key in KEYS)
+        assert moved / len(KEYS) < 1.0 / workers
+        # Every moved key moved TO the new node — consistent hashing
+        # never shuffles keys between surviving nodes on a join.
+        for key in KEYS:
+            if before[key] != after[key]:
+                assert after[key] == "w-new"
+
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_leave_moves_only_the_dead_nodes_keys(self, workers):
+        ring = HashRing([f"w{i}" for i in range(workers + 1)])
+        before = _placement(ring)
+        ring.remove("w0")
+        after = _placement(ring)
+        moved = sum(before[key] != after[key] for key in KEYS)
+        assert moved / len(KEYS) < 1.0 / workers
+        for key in KEYS:
+            if before[key] == "w0":
+                assert after[key] != "w0"
+            else:
+                assert after[key] == before[key]
+
+
+class TestPreference:
+    def test_preference_is_distinct_and_starts_with_owner(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        for key in KEYS[:200]:
+            order = ring.preference(key, 3)
+            assert order[0] == ring.lookup(key)
+            assert len(order) == len(set(order)) == 3
+
+    def test_preference_caps_at_membership(self):
+        ring = HashRing(["w0", "w1"])
+        assert len(ring.preference("k", 5)) == 2
+
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(KeyError):
+            HashRing().lookup("k")

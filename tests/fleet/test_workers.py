@@ -1,0 +1,172 @@
+"""Worker pool semantics, supervisor crash-restarts, and the real
+subprocess worker's JSON control channel."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.fleet import (
+    LocalWorker,
+    ProcessWorker,
+    WorkerError,
+    WorkerPool,
+    WorkerSupervisor,
+)
+from repro.serve import ServeClient
+
+from .conftest import make_service
+
+
+def _wait_until(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestWorkerPool:
+    def test_add_get_remove(self, fleet_estimator):
+        pool = WorkerPool()
+        worker = LocalWorker("w0", make_service(fleet_estimator)).start()
+        try:
+            pool.add(worker)
+            assert pool.ids() == ("w0",)
+            assert pool.get("w0") is worker
+            assert len(pool) == 1
+            assert pool.remove("w0") is worker
+            assert pool.get("w0") is None
+        finally:
+            worker.terminate()
+
+    def test_rebind_same_id_keeps_ring_shape(self, fleet_estimator):
+        pool = WorkerPool()
+        first = LocalWorker("w0", make_service(fleet_estimator)).start()
+        second = LocalWorker("w0", make_service(fleet_estimator)).start()
+        try:
+            pool.add(first)
+            placement = [pool.preference(f"k{i}", 1)[0].worker_id
+                         for i in range(16)]
+            pool.add(second)  # re-bind: same id, fresh handle
+            assert pool.get("w0") is second
+            assert [pool.preference(f"k{i}", 1)[0].worker_id
+                    for i in range(16)] == placement
+        finally:
+            first.terminate()
+            second.terminate()
+
+    def test_swap_replaces_membership_and_returns_displaced(
+            self, fleet_estimator):
+        pool = WorkerPool()
+        old = [LocalWorker(f"w{i}", make_service(fleet_estimator)).start()
+               for i in range(2)]
+        new = [LocalWorker(f"c{i}", make_service(fleet_estimator)).start()
+               for i in range(2)]
+        try:
+            for handle in old:
+                pool.add(handle)
+            displaced = pool.swap(new)
+            assert [h.worker_id for h in displaced] == ["w0", "w1"]
+            assert pool.ids() == ("c0", "c1")
+            owner = pool.preference("some-key", 1)[0]
+            assert owner.worker_id in ("c0", "c1")
+        finally:
+            for handle in old + new:
+                handle.terminate()
+
+
+class TestLocalWorker:
+    def test_lifecycle_and_http_surface(self, fleet_estimator, fleet_sqls):
+        worker = LocalWorker("w0", make_service(fleet_estimator)).start()
+        assert worker.alive()
+        assert worker.describe()["kind"] == "LocalWorker"
+        response = worker.client.estimate(fleet_sqls[0])
+        assert response["estimate"] > 0
+        worker.warm(fleet_sqls[:4])
+        worker.drain()
+        assert not worker.alive()
+
+    def test_client_before_start_raises(self, fleet_estimator):
+        worker = LocalWorker("w0", make_service(fleet_estimator))
+        with pytest.raises(WorkerError, match="no URL"):
+            worker.client
+
+
+class TestSupervisor:
+    def test_restarts_failed_worker_under_same_id(self, fleet_estimator):
+        def factory(worker_id: str) -> LocalWorker:
+            return LocalWorker(worker_id,
+                               make_service(fleet_estimator)).start()
+
+        supervisor = WorkerSupervisor(factory, poll_interval=0.02,
+                                      backoff_base=0.01, backoff_max=0.05)
+        try:
+            (original,) = supervisor.spawn(1)
+            supervisor.start()
+            original.fail()
+            assert _wait_until(
+                lambda: (supervisor.pool.get("w0") is not None
+                         and supervisor.pool.get("w0") is not original
+                         and supervisor.pool.get("w0").alive()))
+            assert supervisor.restarts().get("w0", 0) >= 1
+            replacement = supervisor.pool.get("w0")
+            assert replacement.client.healthz() == {"status": "ok"}
+        finally:
+            supervisor.stop(drain=False)
+
+    def test_forget_stops_supervision_without_touching_pool(
+            self, fleet_estimator):
+        def factory(worker_id: str) -> LocalWorker:
+            return LocalWorker(worker_id,
+                               make_service(fleet_estimator)).start()
+
+        supervisor = WorkerSupervisor(factory, poll_interval=0.02,
+                                      backoff_base=0.01, backoff_max=0.05)
+        try:
+            (worker,) = supervisor.spawn(1)
+            supervisor.forget("w0")
+            supervisor.start()
+            worker.fail()
+            time.sleep(0.2)  # several poll sweeps
+            assert supervisor.pool.get("w0") is worker  # not replaced
+            assert supervisor.restarts() == {}
+        finally:
+            supervisor.stop(drain=False)
+
+    def test_context_manager_drains_fleet(self, fleet_estimator):
+        def factory(worker_id: str) -> LocalWorker:
+            return LocalWorker(worker_id,
+                               make_service(fleet_estimator)).start()
+
+        with WorkerSupervisor(factory, poll_interval=0.02) as supervisor:
+            handles = supervisor.spawn(2)
+            assert all(handle.alive() for handle in handles)
+        assert all(not handle.alive() for handle in handles)
+        assert len(supervisor.pool) == 0
+
+
+class TestProcessWorker:
+    """End-to-end: a real subprocess worker over the control channel."""
+
+    def test_spawn_serve_warm_drain(self, tmp_path, fleet_estimator,
+                                    fleet_sqls):
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(tmp_path / "registry")
+        published = registry.publish(fleet_estimator, "proc")
+        worker = ProcessWorker("p0", registry.root, "proc",
+                               start_timeout=120.0).start()
+        try:
+            assert worker.alive()
+            assert worker.pid is not None
+            assert worker.model_version == published.label()
+            with ServeClient(worker.url) as client:
+                response = client.estimate(fleet_sqls[0])
+                assert response["estimate"] > 0
+            worker.warm(fleet_sqls[:2])
+        finally:
+            worker.drain()
+        assert not worker.alive()

@@ -502,3 +502,87 @@ class TestMetricNameDriftRPR110:
         result = lint_text(source, module_name="repro.serve.cache")
         assert result.findings == ()
         assert [f.code for f in result.suppressed] == ["RPR110"]
+
+
+class TestSubprocessWithoutDrainRPR111:
+    def test_flags_undrained_attribute_binding(self):
+        assert "RPR111" in codes(
+            'import subprocess\n'
+            'class W:\n'
+            '    def start(self):\n'
+            '        self._proc = subprocess.Popen(["sleep", "1"])\n',
+            module_name="repro.fleet.evil")
+
+    def test_flags_undrained_local_and_unbound_spawn(self):
+        assert "RPR111" in codes(
+            'import subprocess\n'
+            'def f():\n'
+            '    proc = subprocess.Popen(["sleep", "1"])\n'
+            '    return proc.pid\n',
+            module_name="repro.serve.evil")
+        assert "RPR111" in codes(
+            'import subprocess\n'
+            'def f():\n'
+            '    subprocess.Popen(["sleep", "1"])\n',
+            module_name="repro.fleet.evil")
+
+    def test_accepts_direct_drain(self):
+        assert "RPR111" not in codes(
+            'import subprocess\n'
+            'class W:\n'
+            '    def start(self):\n'
+            '        self._proc = subprocess.Popen(["sleep", "1"])\n'
+            '    def stop(self):\n'
+            '        self._proc.wait()\n',
+            module_name="repro.fleet.ok")
+
+    def test_accepts_drain_through_alias(self):
+        assert "RPR111" not in codes(
+            'import subprocess\n'
+            'class W:\n'
+            '    def start(self):\n'
+            '        self._proc = subprocess.Popen(["sleep", "1"])\n'
+            '    def stop(self):\n'
+            '        proc = self._proc\n'
+            '        proc.terminate()\n'
+            '        proc.wait()\n',
+            module_name="repro.fleet.ok")
+
+    def test_flags_from_import_and_multiprocessing(self):
+        assert "RPR111" in codes(
+            'from subprocess import Popen\n'
+            'def f():\n'
+            '    worker = Popen(["sleep", "1"])\n'
+            '    return worker\n',
+            module_name="repro.fleet.evil")
+        assert "RPR111" in codes(
+            'import multiprocessing\n'
+            'def f(target):\n'
+            '    child = multiprocessing.Process(target=target)\n'
+            '    child.start()\n',
+            module_name="repro.fleet.evil")
+
+    def test_subprocess_run_is_not_a_spawn(self):
+        assert "RPR111" not in codes(
+            'import subprocess\n'
+            'def f():\n'
+            '    return subprocess.run(["ls"], check=True)\n',
+            module_name="repro.fleet.ok")
+
+    def test_only_applies_to_serving_layers(self):
+        assert "RPR111" not in codes(
+            'import subprocess\n'
+            'def f():\n'
+            '    proc = subprocess.Popen(["sleep", "1"])\n'
+            '    return proc.pid\n',
+            module_name="repro.experiments.runner")
+
+    def test_pragma_suppresses(self):
+        source = ('import subprocess\n'
+                  'def f():\n'
+                  '    proc = subprocess.Popen(["ls"])'
+                  '  # repro: ignore[RPR111]\n'
+                  '    return proc\n')
+        result = lint_text(source, module_name="repro.fleet.evil")
+        assert "RPR111" not in [f.code for f in result.findings]
+        assert "RPR111" in [f.code for f in result.suppressed]

@@ -23,6 +23,7 @@ class StubServer:
     def __init__(self, script):
         self.script = list(script)
         self.requests = []
+        self.headers_seen = []
         self.lock = threading.Lock()
         stub = self
 
@@ -34,6 +35,7 @@ class StubServer:
                 body = self.rfile.read(length) if length else b""
                 with stub.lock:
                     stub.requests.append(body)
+                    stub.headers_seen.append(dict(self.headers))
                     step = (stub.script.pop(0) if stub.script
                             else (200, {}, b'{"ok": true}'))
                 status, headers, payload = step
@@ -166,5 +168,62 @@ class TestKeepAlive:
                 client.estimate("q")
                 assert getattr(client._local, "conn", None) is not None
             assert getattr(client._local, "conn", None) is None
+        finally:
+            server.stop()
+
+
+class TestTracePropagation:
+    def test_explicit_trace_id_rides_the_header(self):
+        from repro import obs
+
+        server = run_stub([OK, OK])
+        try:
+            with ServeClient(server.url) as client:
+                client.estimate("q", trace_id=12345)
+                client.feedback("q", 10.0, trace_id=12345)
+            headers = [h[obs.TRACE_HEADER] for h in server.headers_seen]
+            assert headers == [obs.format_trace_header(12345)] * 2
+        finally:
+            server.stop()
+
+    def test_trace_id_minted_when_absent(self):
+        from repro import obs
+
+        server = run_stub([OK])
+        try:
+            with ServeClient(server.url) as client:
+                client.estimate("q")
+            (headers,) = server.headers_seen
+            minted = obs.parse_trace_header(headers.get(obs.TRACE_HEADER))
+            assert isinstance(minted, int) and minted > 0
+        finally:
+            server.stop()
+
+
+class TestTransportErrors:
+    def test_refused_connection_is_a_transport_error(self):
+        # Nothing listens on port 9 (discard); the raw socket error must
+        # surface as a status-0 ServeClientError, never leak through —
+        # the fleet router's failover dispatches on exactly this.
+        with ServeClient("http://127.0.0.1:9", timeout=0.5) as client:
+            with pytest.raises(ServeClientError) as excinfo:
+                client.estimate("q")
+        assert excinfo.value.status == 0
+        assert "cannot reach" in str(excinfo.value)
+
+
+class TestDocumentHelpers:
+    def test_batch_detail_and_get_json(self):
+        detail = json.dumps({"estimates": [1.0, 2.0],
+                             "workers": ["w0"]}).encode()
+        status = json.dumps({"rollout": {"state": "idle"}}).encode()
+        server = run_stub([(200, {}, detail), (200, {}, status)])
+        try:
+            with ServeClient(server.url) as client:
+                document = client.estimate_batch_detail(["a", "b"])
+                assert document == {"estimates": [1.0, 2.0],
+                                    "workers": ["w0"]}
+                assert client.get_json("/fleet/status") \
+                    == {"rollout": {"state": "idle"}}
         finally:
             server.stop()

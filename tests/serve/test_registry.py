@@ -123,3 +123,82 @@ class TestLoad:
         published.manifest_path.write_text("{not json")
         with pytest.raises(RegistryError, match="unreadable manifest"):
             registry.load("m")
+
+
+class TestLatestPointer:
+    def test_set_latest_pins_resolution(self, tmp_path, serve_estimator):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(serve_estimator, "m")
+        registry.publish(serve_estimator, "m")
+        pinned = registry.set_latest("m", 1)
+        assert pinned.version == 1
+        assert registry.resolve("m").version == 1
+        assert registry.resolve("m", "latest").version == 1
+        # Explicit versions still resolve past the pointer.
+        assert registry.resolve("m", 2).version == 2
+
+    def test_pointer_survives_a_newer_publish(self, tmp_path,
+                                              serve_estimator):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(serve_estimator, "m")
+        registry.set_latest("m", 1)
+        registry.publish(serve_estimator, "m")  # v2 must NOT win
+        assert registry.resolve("m").version == 1
+
+    def test_damaged_pointer_degrades_to_highest_version(
+            self, tmp_path, serve_estimator):
+        from repro.serve.registry import LATEST_FILENAME
+
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(serve_estimator, "m")
+        registry.publish(serve_estimator, "m")
+        registry.set_latest("m", 1)
+        (registry.root / "m" / LATEST_FILENAME).write_text("{broken")
+        assert registry.resolve("m").version == 2
+
+    def test_set_latest_rejects_unknown_version(self, tmp_path,
+                                                serve_estimator):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(serve_estimator, "m")
+        with pytest.raises(RegistryError, match="no version 7"):
+            registry.set_latest("m", 7)
+
+
+class TestRepublishInvalidation:
+    def test_stale_handle_dropped_when_artifact_changes(
+            self, tmp_path, serve_estimator, small_forest,
+            conjunctive_workload):
+        from repro.estimators import LearnedEstimator
+        from repro.featurize import ConjunctiveEncoding
+        from repro.models import GradientBoostingRegressor
+        from repro.serve.registry import _sha256
+
+        registry = ModelRegistry(tmp_path / "registry")
+        published = registry.publish(serve_estimator, "m")
+        first = registry.load("m")
+        assert registry.load("m") is first  # memoised handle
+
+        # Republish in place: a different estimator lands at the same
+        # (name, version) path, as a sync from another host would.
+        items = list(conjunctive_workload)[:50]
+        other = LearnedEstimator(
+            ConjunctiveEncoding(small_forest, max_partitions=4),
+            GradientBoostingRegressor(n_estimators=3),
+        ).fit([item.query for item in items],
+              np.asarray([item.cardinality for item in items],
+                         dtype=float))
+        save_estimator(other, published.artifact_path)
+        manifest = json.loads(published.manifest_path.read_text())
+        manifest["checksum_sha256"] = _sha256(published.artifact_path)
+        published.manifest_path.write_text(json.dumps(manifest))
+
+        reloaded = registry.load("m")
+        assert reloaded is not first  # stale handle invalidated
+        assert registry.load("m") is reloaded  # and re-memoised
+
+    def test_unchanged_artifact_keeps_the_handle(self, tmp_path,
+                                                 serve_estimator):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(serve_estimator, "m")
+        first = registry.load("m")
+        assert registry.load("m") is first
